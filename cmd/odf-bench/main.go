@@ -1,0 +1,186 @@
+// Command odf-bench regenerates the tables and figures of the
+// on-demand-fork paper (EuroSys '21) from the simulated kernel.
+//
+// Usage:
+//
+//	odf-bench [flags] <experiment> [...]
+//
+// Experiments: fig2 fig3 fig4 fig7 fig8 fig9 fig10
+//
+//	tab1 tab2 tab3 tab45 tab67 ablation hugeext memsave all
+//
+// Flags scale the runs; defaults keep a full "all" pass in the minutes
+// range. Absolute numbers differ from the paper's bare-metal testbed;
+// the shapes (who wins, by what factor, where crossovers fall) are the
+// reproduction target — see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+var (
+	maxGB    = flag.Float64("max-gb", 1, "largest memory size for latency sweeps (GiB)")
+	reps     = flag.Int("reps", 5, "repetitions per measurement (the paper uses 5)")
+	faultGB  = flag.Float64("fault-gb", 1, "region size for the Table 1 fault probe (GiB)")
+	fig8MB   = flag.Int("fig8-mb", 512, "region size for the Figure 8 sweep (MiB)")
+	seconds  = flag.Int("seconds", 10, "wall-clock seconds per fuzzing campaign (fig9/fig10)")
+	scaleArg = flag.String("scale", "default", "application experiment scale: small|default|large")
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func() (string, error)
+}
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	exps := registry()
+	args := flag.Args()
+	if len(args) == 1 && args[0] == "all" {
+		args = nil
+		for _, e := range exps {
+			args = append(args, e.name)
+		}
+	}
+	for _, name := range args {
+		e := find(exps, name)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "odf-bench: unknown experiment %q\n\n", name)
+			usage()
+			os.Exit(2)
+		}
+		start := time.Now()
+		out, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "odf-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func find(exps []experiment, name string) *experiment {
+	for i := range exps {
+		if exps[i].name == name {
+			return &exps[i]
+		}
+	}
+	return nil
+}
+
+func scale() experiments.AppScale {
+	s := experiments.DefaultScale()
+	switch *scaleArg {
+	case "small":
+		s.SQLiteItems = 5000
+		s.ArenaBytes = 64 * experiments.MiB
+		s.KVKeys = 5000
+		s.VMRAMBytes = 32 * experiments.MiB
+		s.Requests = 5000
+	case "large":
+		s.SQLiteItems = 250000
+		s.ArenaBytes = experiments.GiB
+		s.KVKeys = 200000
+		s.Requests = 100000
+	case "default":
+	default:
+		fmt.Fprintf(os.Stderr, "odf-bench: unknown -scale %q\n", *scaleArg)
+		os.Exit(2)
+	}
+	s.FuzzSeconds = *seconds
+	return s
+}
+
+func registry() []experiment {
+	maxBytes := uint64(*maxGB * float64(experiments.GiB))
+	faultBytes := uint64(*faultGB * float64(experiments.GiB))
+	fig8Bytes := uint64(*fig8MB) * experiments.MiB
+	return []experiment{
+		{"fig2", "classic fork latency vs size, sequential + 3x concurrent", func() (string, error) {
+			_, s, err := experiments.RunFig2(maxBytes, *reps)
+			return s, err
+		}},
+		{"fig3", "profile attribution of the classic fork hot path", func() (string, error) {
+			_, s, err := experiments.RunFig3(experiments.GiB/2, *reps)
+			return s, err
+		}},
+		{"fig4", "fork latency with huge pages (column of fig7)", func() (string, error) {
+			_, s, err := experiments.RunFig7(maxBytes, *reps)
+			return s, err
+		}},
+		{"fig7", "invocation latency: fork vs huge pages vs on-demand-fork", func() (string, error) {
+			_, s, err := experiments.RunFig7(maxBytes, *reps)
+			return s, err
+		}},
+		{"tab1", "worst-case page fault cost per engine", func() (string, error) {
+			_, s, err := experiments.RunTab1(faultBytes, *reps)
+			return s, err
+		}},
+		{"fig8", "total cost vs fraction of memory accessed, 5 R/W mixes", func() (string, error) {
+			_, s, err := experiments.RunFig8(fig8Bytes, *reps)
+			return s, err
+		}},
+		{"fig9", "AFL-style fuzzing throughput over the sqlike engine", func() (string, error) {
+			_, s, err := experiments.RunFig9(scale())
+			return s, err
+		}},
+		{"tab2", "sequential unit-test phase breakdown", func() (string, error) {
+			_, s, err := experiments.RunTab2(scale())
+			return s, err
+		}},
+		{"tab3", "fork-based unit tests: fork vs on-demand-fork", func() (string, error) {
+			_, s, err := experiments.RunTab3(scale(), *reps)
+			return s, err
+		}},
+		{"tab45", "Redis-like request latency percentiles and fork times", func() (string, error) {
+			_, s, err := experiments.RunTab45(scale())
+			return s, err
+		}},
+		{"fig10", "TriforceAFL-style VM cloning throughput", func() (string, error) {
+			_, s, err := experiments.RunFig10(scale())
+			return s, err
+		}},
+		{"tab67", "Apache-prefork response latency (negative result)", func() (string, error) {
+			_, s, err := experiments.RunTab67(scale())
+			return s, err
+		}},
+		{"ablation", "fork cost of re-adding the per-page work ODF removes", func() (string, error) {
+			_, s, err := experiments.RunAblation(maxBytes/2, *reps)
+			return s, err
+		}},
+		{"hugeext", "extension: on-demand-fork over 2MiB pages (shared PMD tables)", func() (string, error) {
+			_, s, err := experiments.RunHugeExt(maxBytes/2, *reps)
+			return s, err
+		}},
+		{"memsave", "page-table memory per child tree, fork vs on-demand-fork", func() (string, error) {
+			_, s, err := experiments.RunMemSave(maxBytes/2, 16)
+			return s, err
+		}},
+	}
+}
+
+func usage() {
+	var b strings.Builder
+	fmt.Fprintf(&b, "usage: odf-bench [flags] <experiment> [...]\n\nexperiments:\n")
+	for _, e := range registry() {
+		fmt.Fprintf(&b, "  %-9s %s\n", e.name, e.desc)
+	}
+	fmt.Fprintf(&b, "  %-9s run every experiment\n\nflags:\n", "all")
+	fmt.Fprint(os.Stderr, b.String())
+	flag.PrintDefaults()
+}

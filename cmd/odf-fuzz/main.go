@@ -1,0 +1,82 @@
+// Command odf-fuzz runs the AFL-style fork-server fuzzing campaign over
+// the sqlike engine standalone, printing per-second statistics — the
+// live view of the paper's Figure 9.
+//
+// Usage:
+//
+//	odf-fuzz [-mode classic|ondemand] [-items N] [-mem MiB] [-seconds S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/apps/fuzz"
+	"repro/internal/apps/sqlike"
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+var (
+	modeArg = flag.String("mode", "ondemand", "fork engine: classic|ondemand")
+	items   = flag.Int("items", 60000, "rows in the initial database")
+	memMiB  = flag.Uint64("mem", 256, "database arena size in MiB")
+	seconds = flag.Int("seconds", 10, "campaign duration")
+	seed    = flag.Int64("seed", 1, "mutation seed")
+)
+
+func main() {
+	flag.Parse()
+	var mode core.ForkMode
+	switch *modeArg {
+	case "classic":
+		mode = core.ForkClassic
+	case "ondemand":
+		mode = core.ForkOnDemand
+	default:
+		fmt.Fprintf(os.Stderr, "odf-fuzz: unknown -mode %q\n", *modeArg)
+		os.Exit(2)
+	}
+
+	k := kernel.New()
+	fmt.Printf("odf-fuzz: loading %d rows into a %d MiB database...\n", *items, *memMiB)
+	start := time.Now()
+	f, err := fuzz.NewFuzzer(k, fuzz.Config{
+		DB: sqlike.Config{
+			ArenaBytes: *memMiB << 20,
+			MaxItems:   uint64(*items) * 2,
+			MaxTags:    uint64(*items)/50 + 16,
+		},
+		Items:    *items,
+		NameLen:  24,
+		TagEvery: 50,
+		Mode:     mode,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odf-fuzz:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	fmt.Printf("fork server up in %v; fuzzing with %s for %ds\n",
+		time.Since(start).Round(time.Millisecond), mode, *seconds)
+
+	deadline := time.Now().Add(time.Duration(*seconds) * time.Second)
+	lastExecs := 0
+	for time.Now().Before(deadline) {
+		tick := time.Now().Add(time.Second)
+		for time.Now().Before(tick) && time.Now().Before(deadline) {
+			if err := f.RunOne(); err != nil {
+				fmt.Fprintln(os.Stderr, "odf-fuzz:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("execs/s: %6d | total: %8d | edges: %4d | corpus: %4d\n",
+			f.Execs-lastExecs, f.Execs, f.GlobalEdges(), f.CorpusSize())
+		lastExecs = f.Execs
+	}
+	fmt.Printf("campaign done: %d executions, mean %.0f execs/s\n",
+		f.Execs, f.Throughput.MeanRate())
+}

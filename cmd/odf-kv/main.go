@@ -1,0 +1,144 @@
+// Command odf-kv is an interactive Redis-style shell over the
+// simulated kernel's kvstore: SET/GET/DEL plus BGSAVE (fork-based
+// snapshot) and INFO, demonstrating snapshot-while-serving with either
+// fork engine.
+//
+// Usage:
+//
+//	odf-kv [-mode classic|ondemand] [-mem MiB] [-keys N]
+//
+// Commands (stdin):
+//
+//	set <key> <value>     store a value
+//	get <key>             fetch a value
+//	del <key>             delete a key
+//	bgsave                fork a snapshot child; prints the fork time
+//	info                  server statistics
+//	maps                  the server process's /proc-style mappings
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/apps/kvstore"
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+var (
+	modeArg = flag.String("mode", "ondemand", "snapshot fork engine: classic|ondemand")
+	memMiB  = flag.Uint64("mem", 128, "store arena size in MiB")
+	keys    = flag.Int("keys", 10000, "keys preloaded at startup")
+)
+
+func main() {
+	flag.Parse()
+	var mode core.ForkMode
+	switch *modeArg {
+	case "classic":
+		mode = core.ForkClassic
+	case "ondemand":
+		mode = core.ForkOnDemand
+	default:
+		fmt.Fprintf(os.Stderr, "odf-kv: unknown -mode %q\n", *modeArg)
+		os.Exit(2)
+	}
+
+	k := kernel.New()
+	store, err := kvstore.New(k, kvstore.Config{
+		ArenaBytes:      *memMiB << 20,
+		TableCap:        tableCap(*keys),
+		Mode:            mode,
+		SnapshotIODelay: time.Millisecond,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odf-kv:", err)
+		os.Exit(1)
+	}
+	defer store.Close()
+	if err := store.Populate(*keys, 64); err != nil {
+		fmt.Fprintln(os.Stderr, "odf-kv:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("odf-kv ready: %d keys preloaded, snapshot engine %s\n", store.Len(), mode)
+
+	dumps := 0
+	sc := bufio.NewScanner(os.Stdin)
+	for fmt.Print("> "); sc.Scan(); fmt.Print("> ") {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToLower(fields[0]) {
+		case "set":
+			if len(fields) < 3 {
+				fmt.Println("usage: set <key> <value>")
+				continue
+			}
+			if _, err := store.Set([]byte(fields[1]), []byte(strings.Join(fields[2:], " "))); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println("OK")
+		case "get":
+			if len(fields) != 2 {
+				fmt.Println("usage: get <key>")
+				continue
+			}
+			v, ok, err := store.Get([]byte(fields[1]))
+			switch {
+			case err != nil:
+				fmt.Println("error:", err)
+			case !ok:
+				fmt.Println("(nil)")
+			default:
+				fmt.Printf("%q\n", v)
+			}
+		case "del":
+			if len(fields) != 2 {
+				fmt.Println("usage: del <key>")
+				continue
+			}
+			ok, err := store.Delete([]byte(fields[1]))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(ok)
+		case "bgsave":
+			dumps++
+			out := k.FS().Create(fmt.Sprintf("dump-%d.rdb", dumps))
+			t0 := time.Now()
+			if err := store.Snapshot(out); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("background saving started (fork blocked the server %v)\n",
+				time.Since(t0).Round(time.Microsecond))
+		case "info":
+			fmt.Printf("keys: %d\nsnapshots: %d\nlast fork times (ms): mean %.4f\n",
+				store.Len(), store.Snapshots(), store.ForkTimes.Mean())
+			fmt.Print(store.Process().Status())
+		case "maps":
+			fmt.Print(store.Process().Maps())
+		case "quit", "exit":
+			return
+		default:
+			fmt.Println("commands: set get del bgsave info maps quit")
+		}
+	}
+}
+
+func tableCap(keys int) uint64 {
+	c := uint64(1)
+	for c < uint64(keys)*2 {
+		c <<= 1
+	}
+	return c
+}

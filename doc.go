@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "On-demand-fork:
+// A Microsecond Fork for Memory-Intensive and Latency-Sensitive
+// Applications" (Zhao, Gong, Fonseca — EuroSys 2021).
+//
+// The public API lives in package repro/odfork; the experiment harness
+// is the odf-bench command; bench_test.go regenerates every table and
+// figure of the paper's evaluation as Go benchmarks. See README.md,
+// DESIGN.md and EXPERIMENTS.md.
+package repro

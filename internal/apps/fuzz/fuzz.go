@@ -1,0 +1,345 @@
+// Package fuzz implements an AFL-style coverage-guided fork-server
+// fuzzer over the sqlike database engine, reproducing the paper's
+// §5.3.1 experiment (Figure 9): the target is initialized once with a
+// large database, then every input runs in a forked child so state
+// never leaks between executions. Fork cost bounds the achievable
+// executions per second.
+package fuzz
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/apps/sqlike"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/stats"
+)
+
+// MapSize is the coverage bitmap size, matching AFL's 64 KiB map.
+const MapSize = 1 << 16
+
+// Coverage is an AFL-style edge-coverage bitmap.
+type Coverage struct {
+	bits [MapSize]byte
+}
+
+// Hit records the edge from prev to cur, AFL-style (cur ^ prev>>1).
+func (c *Coverage) Hit(prev, cur uint16) uint16 {
+	idx := cur ^ (prev >> 1) // uint16 index spans the 64 Ki map exactly
+	if c.bits[idx] < 255 {
+		c.bits[idx]++
+	}
+	return cur
+}
+
+// Reset clears the bitmap.
+func (c *Coverage) Reset() { c.bits = [MapSize]byte{} }
+
+// CountBits returns the number of edges hit at least once.
+func (c *Coverage) CountBits() int {
+	n := 0
+	for _, b := range c.bits {
+		if b != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MergeInto ORs this run's coverage into the global map, reporting
+// whether any new edge appeared.
+func (c *Coverage) MergeInto(global *Coverage) bool {
+	newEdges := false
+	for i, b := range c.bits {
+		if b != 0 && global.bits[i] == 0 {
+			global.bits[i] = 1
+			newEdges = true
+		}
+	}
+	return newEdges
+}
+
+// Target opcodes: an input is a byte program of operations against the
+// database, the shape a grammar-less fuzzer would throw at a SQL
+// engine's surface.
+const (
+	opSelect byte = iota
+	opCount
+	opUpdate
+	opDelete
+	opInsert
+	opLast // number of opcodes
+)
+
+// Magic is the two-byte header a well-formed input must carry. Like
+// real file-format targets, malformed inputs (most mutants) take the
+// short error path immediately — which is why fuzzing executions are
+// typically short-lived and fork-bound (§5.3.1).
+var Magic = [2]byte{'Q', '!'}
+
+// RunTarget interprets input against db, recording instrumented edge
+// coverage. Errors from the engine are normal fuzzing outcomes and are
+// folded into coverage rather than returned; only infrastructure
+// failures (simulated-memory faults) surface as errors.
+func RunTarget(db *sqlike.DB, input []byte, cov *Coverage) error {
+	var prev uint16
+	if len(input) < 2 || input[0] != Magic[0] || input[1] != Magic[1] {
+		cov.Hit(prev, 0x7777) // error-path edge
+		return nil
+	}
+	prev = cov.Hit(prev, 0x1111) // header-accepted edge
+	pos := 2
+	steps := 0
+	for pos < len(input) && steps < 16 {
+		steps++
+		op := input[pos] % opLast
+		pos++
+		arg := func() uint64 {
+			if pos+2 > len(input) {
+				return 0
+			}
+			v := binary.LittleEndian.Uint16(input[pos:])
+			pos += 2
+			return uint64(v)
+		}
+		prev = cov.Hit(prev, uint16(op)<<8)
+		// Queries run over bounded row windows (LIMIT-style), keeping
+		// executions short-lived as the paper observes for fuzzing.
+		const window = 1024
+		slot := func(a uint64) uint64 {
+			if db.NumItems() == 0 {
+				return 0
+			}
+			return a % db.NumItems()
+		}
+		switch op {
+		case opSelect:
+			lo := arg() % 1000
+			hi := lo + arg()%100
+			rows, err := db.SelectItemsWindow(slot(arg()), window, sqlike.ValueBetween(lo, hi))
+			if err != nil {
+				return err
+			}
+			prev = cov.Hit(prev, edgeOutcome(op, len(rows) > 0))
+		case opCount:
+			n, err := db.CountItemsWindow(slot(arg()), window, sqlike.CategoryIs(uint32(arg()%17)))
+			if err != nil {
+				return err
+			}
+			prev = cov.Hit(prev, edgeOutcome(op, n > 0))
+		case opUpdate:
+			lo := arg() % 1000
+			n, err := db.UpdateItemsWindow(slot(arg()), window, sqlike.ValueBetween(lo, lo+10), arg())
+			if err != nil {
+				return err
+			}
+			prev = cov.Hit(prev, edgeOutcome(op, n > 0))
+		case opDelete:
+			lo := arg() % 1000
+			deleted, blocked, err := db.DeleteItemsWindow(slot(arg()), window, sqlike.ValueBetween(lo, lo+5))
+			if err != nil {
+				return err
+			}
+			prev = cov.Hit(prev, edgeOutcome(op, deleted > 0))
+			prev = cov.Hit(prev, edgeOutcome(op, blocked > 0)+1)
+		case opInsert:
+			id := arg()
+			// Engine-level errors (table full) are fuzzing outcomes.
+			err := db.InsertItem(id, uint32(arg()%17), arg(), []byte("fuzzed"))
+			prev = cov.Hit(prev, edgeOutcome(op, err == nil))
+		}
+	}
+	return nil
+}
+
+func edgeOutcome(op byte, taken bool) uint16 {
+	e := uint16(op)<<4 | 0x8000
+	if taken {
+		e |= 1
+	}
+	return e
+}
+
+// Config parameterizes a fuzzing session.
+type Config struct {
+	DB       sqlike.Config
+	Items    int // initial database rows (the large initial DB)
+	NameLen  int
+	TagEvery int
+	Mode     core.ForkMode
+	Seed     int64
+}
+
+// Fuzzer is the fork server plus corpus management.
+type Fuzzer struct {
+	kern   *kernel.Kernel
+	parent *kernel.Process
+	db     *sqlike.DB
+	mode   core.ForkMode
+	rng    *rand.Rand
+
+	corpus [][]byte
+	global Coverage
+
+	// Deterministic stage state: like AFL, every input newly added to
+	// the corpus first goes through a sequential walking-bitflip pass
+	// before the random havoc stage draws from it.
+	det []detState
+
+	// Execs counts target executions; Throughput buckets them per
+	// second for the Figure 9 time series.
+	Execs      int
+	Throughput *stats.Throughput
+}
+
+// detState tracks the deterministic bitflip progress over one corpus
+// entry.
+type detState struct {
+	idx int // corpus index
+	bit int // next bit to flip
+}
+
+// NewFuzzer boots the fork server: one process is initialized with the
+// full database (the deferred-fork-server init point) and will be the
+// fork source for every execution.
+func NewFuzzer(k *kernel.Kernel, cfg Config) (*Fuzzer, error) {
+	parent := k.NewProcess()
+	db, err := sqlike.New(parent, cfg.DB)
+	if err != nil {
+		parent.Exit()
+		return nil, err
+	}
+	if err := db.Load(cfg.Items, cfg.NameLen, cfg.TagEvery); err != nil {
+		parent.Exit()
+		return nil, err
+	}
+	f := &Fuzzer{
+		kern:       k,
+		parent:     parent,
+		db:         db,
+		mode:       cfg.Mode,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		Throughput: stats.NewThroughput(time.Second),
+	}
+	// Seed corpus: one well-formed input per opcode. Seeds get the
+	// deterministic stage like any other new corpus entry.
+	for op := byte(0); op < opLast; op++ {
+		f.corpus = append(f.corpus, []byte{Magic[0], Magic[1], op, 10, 0, 20, 0, 30, 0})
+		f.det = append(f.det, detState{idx: len(f.corpus) - 1})
+	}
+	return f, nil
+}
+
+// PendingDeterministic reports how many corpus entries still have
+// deterministic-stage work queued.
+func (f *Fuzzer) PendingDeterministic() int { return len(f.det) }
+
+// nextInput produces the next input to execute: the deterministic
+// bitflip stage drains first, then havoc mutations of random corpus
+// entries.
+func (f *Fuzzer) nextInput() []byte {
+	for len(f.det) > 0 {
+		d := &f.det[0]
+		base := f.corpus[d.idx]
+		// Skip the magic header: flipping it only re-probes the error
+		// path AFL's seeds already covered.
+		if d.bit < 16 {
+			d.bit = 16
+		}
+		if d.bit >= len(base)*8 {
+			f.det = f.det[1:]
+			continue
+		}
+		out := append([]byte(nil), base...)
+		out[d.bit/8] ^= 1 << (d.bit % 8)
+		d.bit++
+		return out
+	}
+	return f.mutate(f.corpus[f.rng.Intn(len(f.corpus))])
+}
+
+// Close shuts the fork server down.
+func (f *Fuzzer) Close() { f.parent.Exit() }
+
+// CorpusSize returns the number of interesting inputs retained.
+func (f *Fuzzer) CorpusSize() int { return len(f.corpus) }
+
+// GlobalEdges returns the number of distinct edges discovered.
+func (f *Fuzzer) GlobalEdges() int { return f.global.CountBits() }
+
+// mutate produces a variant of input with AFL-style havoc edits.
+func (f *Fuzzer) mutate(input []byte) []byte {
+	out := append([]byte(nil), input...)
+	for n := f.rng.Intn(4) + 1; n > 0; n-- {
+		switch f.rng.Intn(3) {
+		case 0: // flip a byte
+			if len(out) > 0 {
+				out[f.rng.Intn(len(out))] ^= byte(1 << f.rng.Intn(8))
+			}
+		case 1: // insert a byte
+			if len(out) < 64 {
+				i := f.rng.Intn(len(out) + 1)
+				out = append(out[:i], append([]byte{byte(f.rng.Intn(256))}, out[i:]...)...)
+			}
+		case 2: // delete a byte
+			if len(out) > 1 {
+				i := f.rng.Intn(len(out))
+				out = append(out[:i], out[i+1:]...)
+			}
+		}
+	}
+	return out
+}
+
+// RunOne executes one fuzzing iteration: mutate a corpus input, fork a
+// child, run the target in it, merge coverage, retain interesting
+// inputs. This is the hot loop whose rate Figure 9 reports.
+func (f *Fuzzer) RunOne() error {
+	input := f.nextInput()
+
+	child, err := f.parent.ForkWith(f.mode)
+	if err != nil {
+		return fmt.Errorf("fuzz: fork: %w", err)
+	}
+	cdb := f.db.Clone(child)
+	var cov Coverage
+	runErr := RunTarget(cdb, input, &cov)
+	child.Exit()
+	child.Wait()
+	if runErr != nil {
+		return fmt.Errorf("fuzz: target: %w", runErr)
+	}
+
+	f.Execs++
+	f.Throughput.Record()
+	if cov.MergeInto(&f.global) && len(f.corpus) < 4096 {
+		f.corpus = append(f.corpus, input)
+		f.det = append(f.det, detState{idx: len(f.corpus) - 1})
+	}
+	return nil
+}
+
+// RunFor fuzzes until the deadline and returns executions performed.
+func (f *Fuzzer) RunFor(d time.Duration) (int, error) {
+	deadline := time.Now().Add(d)
+	start := f.Execs
+	for time.Now().Before(deadline) {
+		if err := f.RunOne(); err != nil {
+			return f.Execs - start, err
+		}
+	}
+	return f.Execs - start, nil
+}
+
+// RunN performs exactly n executions.
+func (f *Fuzzer) RunN(n int) error {
+	for i := 0; i < n; i++ {
+		if err := f.RunOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

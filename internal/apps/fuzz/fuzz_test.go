@@ -1,0 +1,255 @@
+package fuzz
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/apps/sqlike"
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+func testConfig(mode core.ForkMode) Config {
+	return Config{
+		DB:      sqlike.Config{ArenaBytes: 1 << 24, MaxItems: 20000, MaxTags: 1000},
+		Items:   2000,
+		NameLen: 8,
+		Mode:    mode,
+		Seed:    42,
+	}
+}
+
+func TestCoverageBitmap(t *testing.T) {
+	var c Coverage
+	if c.CountBits() != 0 {
+		t.Error("fresh bitmap non-empty")
+	}
+	prev := c.Hit(0, 100)
+	if prev != 100 {
+		t.Errorf("Hit returned %d", prev)
+	}
+	c.Hit(prev, 200)
+	if c.CountBits() != 2 {
+		t.Errorf("CountBits = %d", c.CountBits())
+	}
+	var global Coverage
+	if !c.MergeInto(&global) {
+		t.Error("first merge found nothing new")
+	}
+	if c.MergeInto(&global) {
+		t.Error("second merge found new edges")
+	}
+	c.Reset()
+	if c.CountBits() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestCoverageSaturation(t *testing.T) {
+	var c Coverage
+	for i := 0; i < 300; i++ {
+		c.Hit(0, 5)
+	}
+	if c.CountBits() != 1 {
+		t.Error("repeated edge counted multiple bits")
+	}
+}
+
+func TestRunTargetDeterministicCoverage(t *testing.T) {
+	k := kernel.New()
+	p := k.NewProcess()
+	defer p.Exit()
+	db, err := sqlike.New(p, sqlike.Config{ArenaBytes: 1 << 22, MaxItems: 5000, MaxTags: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load(500, 8, 50); err != nil {
+		t.Fatal(err)
+	}
+	// Read-only input: mutating opcodes would legitimately change the
+	// second run's outcome edges on the same database.
+	input := []byte{Magic[0], Magic[1], opSelect, 10, 0, 20, 0, 5, 0, opCount, 3, 0, 7, 0}
+	var c1, c2 Coverage
+	if err := RunTarget(db, input, &c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunTarget(db, input, &c2); err != nil {
+		t.Fatal(err)
+	}
+	if c1.CountBits() == 0 {
+		t.Error("no coverage recorded")
+	}
+	if c1.bits != c2.bits {
+		t.Error("coverage not deterministic for identical input+state")
+	}
+	// A different input should (for these opcodes) hit different edges.
+	var c3 Coverage
+	if err := RunTarget(db, []byte{Magic[0], Magic[1], opDelete, 1, 0}, &c3); err != nil {
+		t.Fatal(err)
+	}
+	if c3.bits == c1.bits {
+		t.Error("distinct inputs produced identical coverage")
+	}
+}
+
+func TestRunTargetEmptyAndGarbage(t *testing.T) {
+	k := kernel.New()
+	p := k.NewProcess()
+	defer p.Exit()
+	db, _ := sqlike.New(p, sqlike.Config{ArenaBytes: 1 << 22, MaxItems: 100, MaxTags: 10})
+	var cov Coverage
+	if err := RunTarget(db, nil, &cov); err != nil {
+		t.Errorf("empty input: %v", err)
+	}
+	garbage := make([]byte, 200)
+	for i := range garbage {
+		garbage[i] = byte(i * 37)
+	}
+	if err := RunTarget(db, garbage, &cov); err != nil {
+		t.Errorf("garbage input: %v", err)
+	}
+}
+
+func TestFuzzerIsolation(t *testing.T) {
+	// Destructive inputs (DELETE/UPDATE/INSERT) run in children; the
+	// fork server's database must be unchanged afterwards.
+	k := kernel.New()
+	f, err := NewFuzzer(k, testConfig(core.ForkOnDemand))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	before, err := f.db.CountItems(func(sqlike.Row) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RunN(30); err != nil {
+		t.Fatal(err)
+	}
+	after, err := f.db.CountItems(func(sqlike.Row) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Errorf("fork server DB mutated: %d -> %d rows", before, after)
+	}
+	if f.Execs != 30 {
+		t.Errorf("Execs = %d", f.Execs)
+	}
+	if f.GlobalEdges() == 0 {
+		t.Error("no edges discovered")
+	}
+	if f.CorpusSize() < int(opLast) {
+		t.Error("corpus shrank below seeds")
+	}
+}
+
+func TestFuzzerNoLeaks(t *testing.T) {
+	k := kernel.New()
+	f, err := NewFuzzer(k, testConfig(core.ForkClassic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RunN(10); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if n := k.Allocator().Allocated(); n != 0 {
+		t.Errorf("leak after fuzzing session: %d frames", n)
+	}
+}
+
+func TestFuzzerODFFasterThanClassic(t *testing.T) {
+	// The Figure 9 shape at test scale: with a non-trivial database the
+	// ODF fork server must complete the same executions in less time.
+	if testing.Short() {
+		t.Skip("throughput comparison in -short mode")
+	}
+	// Large mapped arena (drives fork cost) with few rows (cheap
+	// target scans), so the engines' fork costs dominate the comparison.
+	k := kernel.New()
+	cfg := testConfig(core.ForkClassic)
+	cfg.DB.ArenaBytes = 1 << 27
+	cfg.Items = 500
+	fc, err := NewFuzzer(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tClassic := timedRun(t, fc, 40)
+	fc.Close()
+
+	cfg.Mode = core.ForkOnDemand
+	fo, err := NewFuzzer(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tODF := timedRun(t, fo, 40)
+	fo.Close()
+
+	if tODF >= tClassic {
+		t.Errorf("ODF fuzzing (%v) not faster than classic (%v)", tODF, tClassic)
+	}
+}
+
+func timedRun(t *testing.T, f *Fuzzer, n int) int64 {
+	t.Helper()
+	start := nowNanos()
+	if err := f.RunN(n); err != nil {
+		t.Fatal(err)
+	}
+	return nowNanos() - start
+}
+
+func nowNanos() int64 { return time.Now().UnixNano() }
+
+func TestDeterministicStage(t *testing.T) {
+	k := kernel.New()
+	f, err := NewFuzzer(k, testConfig(core.ForkOnDemand))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.PendingDeterministic() != int(opLast) {
+		t.Fatalf("pending det = %d, want %d seeds", f.PendingDeterministic(), opLast)
+	}
+	// The first inputs must be single-bitflips of seed 0, in order,
+	// skipping the 16 magic-header bits.
+	seed0 := append([]byte(nil), f.corpus[0]...)
+	in1 := f.nextInput()
+	if len(in1) != len(seed0) {
+		t.Fatalf("det input length changed")
+	}
+	diff := 0
+	for i := range in1 {
+		if in1[i] != seed0[i] {
+			diff++
+			if i < 2 {
+				t.Error("deterministic stage flipped the magic header")
+			}
+		}
+	}
+	if diff != 1 {
+		t.Errorf("det input differs in %d bytes, want 1", diff)
+	}
+	in2 := f.nextInput()
+	if in2[2] == in1[2] && in2[3] == in1[3] {
+		// Byte 2 bit advanced; inputs must differ from each other.
+		same := true
+		for i := range in1 {
+			if in1[i] != in2[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("deterministic stage repeated an input")
+		}
+	}
+	// Draining the stage eventually reaches havoc.
+	for i := 0; i < int(opLast)*9*8+10; i++ {
+		f.nextInput()
+	}
+	if f.PendingDeterministic() != 0 {
+		t.Errorf("det stage not drained: %d", f.PendingDeterministic())
+	}
+}

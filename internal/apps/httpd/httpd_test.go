@@ -1,0 +1,160 @@
+package httpd
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/mem/addr"
+)
+
+func testConfig(mode core.ForkMode) Config {
+	return Config{
+		ConfigBytes: 4 * addr.PTECoverage, // ~8 MiB, close to Apache's 7
+		Workers:     4,
+		Mode:        mode,
+	}
+}
+
+func TestStartAndStop(t *testing.T) {
+	k := kernel.New()
+	s, err := Start(k, testConfig(core.ForkClassic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Workers() != 4 {
+		t.Errorf("Workers = %d", s.Workers())
+	}
+	if k.NumProcesses() != 5 { // master + 4 workers
+		t.Errorf("processes = %d", k.NumProcesses())
+	}
+	if s.StartupForkTimes.N() != 4 {
+		t.Errorf("startup forks recorded = %d", s.StartupForkTimes.N())
+	}
+	s.Stop()
+	if k.NumProcesses() != 0 {
+		t.Errorf("processes after stop = %d", k.NumProcesses())
+	}
+	if n := k.Allocator().Allocated(); n != 0 {
+		t.Errorf("leak: %d frames", n)
+	}
+}
+
+func TestZeroWorkersRejected(t *testing.T) {
+	k := kernel.New()
+	if _, err := Start(k, Config{ConfigBytes: addr.PTECoverage, Workers: 0}); err == nil {
+		t.Error("zero workers accepted")
+	}
+}
+
+func TestHandleDeterministicAndDistributed(t *testing.T) {
+	k := kernel.New()
+	s, err := Start(k, testConfig(core.ForkOnDemand))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	// The same request served by different workers must produce the
+	// same response: the configuration is inherited identically.
+	req := []byte("GET /index.html")
+	var responses [][]byte
+	for i := 0; i < s.Workers(); i++ {
+		resp, err := s.Handle(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		responses = append(responses, resp)
+	}
+	for i := 1; i < len(responses); i++ {
+		if !bytes.Equal(responses[0], responses[i]) {
+			t.Errorf("worker %d response differs", i)
+		}
+	}
+	if !bytes.Contains(responses[0], []byte("200 OK")) {
+		t.Error("response missing status line")
+	}
+}
+
+func TestWorkerIsolation(t *testing.T) {
+	// A worker writing its scratch must not disturb another worker's
+	// view of the shared configuration (prefork request isolation).
+	k := kernel.New()
+	s, err := Start(k, testConfig(core.ForkOnDemand))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	r1, err := s.Handle([]byte("first"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := s.Handle([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r2, err := s.Handle([]byte("first"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1, r2) {
+		t.Error("identical request served differently after interleaved traffic")
+	}
+}
+
+func TestRunBenchBothModes(t *testing.T) {
+	k := kernel.New()
+	for _, mode := range []core.ForkMode{core.ForkClassic, core.ForkOnDemand} {
+		res, err := RunBench(k, testConfig(mode), 200)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.MeanUS <= 0 || res.MaxUS < res.MeanUS {
+			t.Errorf("%v: implausible latencies %+v", mode, res)
+		}
+		for _, p := range BenchPercentiles {
+			if res.Percentiles[p] <= 0 {
+				t.Errorf("%v: P%v = %f", mode, p, res.Percentiles[p])
+			}
+		}
+		if res.StartupMS <= 0 {
+			t.Errorf("%v: startup = %f", mode, res.StartupMS)
+		}
+	}
+	if n := k.Allocator().Allocated(); n != 0 {
+		t.Errorf("leak: %d frames", n)
+	}
+}
+
+func TestMaxRequestsPerChildRecycling(t *testing.T) {
+	k := kernel.New()
+	cfg := testConfig(core.ForkOnDemand)
+	cfg.Workers = 2
+	cfg.MaxRequestsPerChild = 3
+	s, err := Start(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	req := []byte("GET /recycle")
+	var first []byte
+	for i := 0; i < 20; i++ {
+		resp, err := s.Handle(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = resp
+		} else if !bytes.Equal(first, resp) {
+			t.Fatalf("response changed after recycling at request %d", i)
+		}
+	}
+	if s.Recycles == 0 {
+		t.Error("no workers recycled")
+	}
+	// Pool size is stable and no process leaks beyond master+workers.
+	if k.NumProcesses() != 3 {
+		t.Errorf("processes = %d, want master+2 workers", k.NumProcesses())
+	}
+}

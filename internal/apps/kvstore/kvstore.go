@@ -1,0 +1,187 @@
+// Package kvstore implements the Redis-style workload of the paper's
+// §5.3.3: an in-memory key-value store whose data lives in simulated
+// process memory, snapshotted by forking so the child can serialize a
+// consistent view while the parent keeps serving requests. The fork
+// call blocks the request loop — exactly the latency source the paper
+// measures in Tables 4 and 5.
+package kvstore
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps/simalloc"
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/kernel"
+	"repro/internal/stats"
+)
+
+// Store is the simulated Redis instance.
+type Store struct {
+	kern  *kernel.Kernel
+	proc  *kernel.Process
+	arena *simalloc.Arena
+	table *simalloc.HashTable
+
+	mode core.ForkMode
+	// SnapshotThreshold is the "save after N changed keys" config
+	// (Redis defaults to 10000).
+	SnapshotThreshold int
+	dirty             int
+
+	// ForkTimes records the duration of each snapshot fork — the Redis
+	// latest_fork_usec metric of Table 5.
+	ForkTimes stats.Sample
+	snapshots int
+	ioDelay   time.Duration
+}
+
+// Config sizes a Store.
+type Config struct {
+	ArenaBytes uint64        // memory region holding table + data
+	TableCap   uint64        // hash buckets (power of two)
+	Mode       core.ForkMode // fork engine used for snapshots
+	Threshold  int           // changed keys per snapshot (<=0: never)
+	// SnapshotIODelay throttles the child serializer: after each batch
+	// of buckets it sleeps this long, modelling the disk-bound child
+	// Redis runs on a spare core. Without it the child's memory scan
+	// competes for the CPU with the serving loop, which the paper's
+	// 16-core testbed does not exhibit. Zero disables throttling.
+	SnapshotIODelay time.Duration
+}
+
+// New creates a store inside a fresh process of k.
+func New(k *kernel.Kernel, cfg Config) (*Store, error) {
+	proc := k.NewProcess()
+	arena, err := simalloc.NewArena(proc, cfg.ArenaBytes)
+	if err != nil {
+		return nil, err
+	}
+	table, err := simalloc.NewHashTable(arena, cfg.TableCap)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		kern:              k,
+		proc:              proc,
+		arena:             arena,
+		table:             table,
+		mode:              cfg.Mode,
+		SnapshotThreshold: cfg.Threshold,
+		ioDelay:           cfg.SnapshotIODelay,
+	}, nil
+}
+
+// Process returns the server process.
+func (s *Store) Process() *kernel.Process { return s.proc }
+
+// Len returns the number of keys.
+func (s *Store) Len() uint64 { return s.table.Len() }
+
+// Snapshots returns how many snapshots have been taken.
+func (s *Store) Snapshots() int { return s.snapshots }
+
+// Close terminates the server process.
+func (s *Store) Close() { s.proc.Exit() }
+
+// Populate loads n keys with valSize-byte values, the pre-experiment
+// data load (the paper uses 996 MB).
+func (s *Store) Populate(n int, valSize int) error {
+	val := make([]byte, valSize)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := s.table.Put(key(i), val); err != nil {
+			return fmt.Errorf("kvstore: populate key %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// key renders the canonical benchmark key for index i.
+func key(i int) []byte { return []byte(fmt.Sprintf("memtier-%012d", i)) }
+
+// Key exposes the canonical key encoding for drivers.
+func Key(i int) []byte { return key(i) }
+
+// Set stores a key, possibly triggering a snapshot per the threshold
+// policy. It returns whether a snapshot ran.
+func (s *Store) Set(k, v []byte) (bool, error) {
+	if err := s.table.Put(k, v); err != nil {
+		return false, err
+	}
+	s.dirty++
+	if s.SnapshotThreshold > 0 && s.dirty >= s.SnapshotThreshold {
+		s.dirty = 0
+		if err := s.Snapshot(nil); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// Get fetches a key.
+func (s *Store) Get(k []byte) ([]byte, bool, error) {
+	return s.table.Get(k)
+}
+
+// Delete removes a key, reporting whether it existed.
+func (s *Store) Delete(k []byte) (bool, error) {
+	ok, err := s.table.Delete(k)
+	if err == nil && ok {
+		s.dirty++
+	}
+	return ok, err
+}
+
+// Snapshot forks the server and has the child serialize the table into
+// out (discarded when nil) on a background goroutine, so the parent —
+// like Redis — is blocked only for the duration of the fork call
+// itself. The fork duration is recorded in ForkTimes.
+func (s *Store) Snapshot(out *fs.File) error {
+	start := time.Now()
+	child, err := s.proc.ForkWith(s.mode)
+	elapsed := time.Since(start)
+	if err != nil {
+		return fmt.Errorf("kvstore: snapshot fork: %w", err)
+	}
+	s.ForkTimes.AddDuration(elapsed)
+	s.snapshots++
+
+	childArena := s.arena.Clone(child)
+	childTable := s.table.Clone(childArena)
+	ioDelay := s.ioDelay
+	go func() {
+		defer child.Exit()
+		var off uint64
+		entries := 0
+		_ = childTable.Range(func(k, v []byte) bool {
+			if out != nil {
+				if _, err := out.WriteAt(k, off); err != nil {
+					return false
+				}
+				off += uint64(len(k))
+				if _, err := out.WriteAt(v, off); err != nil {
+					return false
+				}
+				off += uint64(len(v))
+			}
+			if entries++; ioDelay > 0 && entries%1024 == 0 {
+				time.Sleep(ioDelay) // the batch "hits the disk"
+			}
+			return true
+		})
+	}()
+	return nil
+}
+
+// WaitSnapshots blocks until all snapshot children have exited, so
+// tests and experiments can check for leaks.
+func (s *Store) WaitSnapshots() {
+	for s.kern.NumProcesses() > 1 {
+		time.Sleep(time.Millisecond)
+	}
+}

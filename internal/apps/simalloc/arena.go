@@ -1,0 +1,118 @@
+// Package simalloc provides user-level data structures that live
+// entirely inside simulated process memory: a bump allocator (arena)
+// and an open-addressing hash table. The realistic workloads (the
+// Redis-like store, the SQLite-like engine, the fuzzing targets) build
+// on these so that forking a process genuinely snapshots their data
+// through the simulated page tables, with copy-on-write behaviour
+// driving the experiments.
+//
+// Go-side handles (cursor positions, layout descriptors) play the role
+// of a process's registers and stack: they are cloned explicitly when
+// an application forks, while the bulk data is shared copy-on-write
+// through the kernel.
+package simalloc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/mem/addr"
+	"repro/internal/mem/vm"
+)
+
+// Arena is a bump allocator over one simulated mapping.
+type Arena struct {
+	proc *kernel.Process
+	base addr.V
+	size uint64
+	off  uint64
+}
+
+// NewArena maps size bytes in proc and returns an arena over them.
+// The mapping is populated so that, as in the paper's setups, the data
+// region is fully backed before any fork.
+func NewArena(proc *kernel.Process, size uint64) (*Arena, error) {
+	base, err := proc.Mmap(size, vm.ProtRead|vm.ProtWrite, vm.MapPrivate|vm.MapPopulate)
+	if err != nil {
+		return nil, fmt.Errorf("simalloc: %w", err)
+	}
+	return &Arena{proc: proc, base: base, size: size}, nil
+}
+
+// Clone returns a handle on the same arena layout bound to another
+// process — the Go-side state duplication that fork performs implicitly
+// for a real process.
+func (a *Arena) Clone(proc *kernel.Process) *Arena {
+	return &Arena{proc: proc, base: a.base, size: a.size, off: a.off}
+}
+
+// Process returns the owning process.
+func (a *Arena) Process() *kernel.Process { return a.proc }
+
+// Base returns the arena's base address.
+func (a *Arena) Base() addr.V { return a.base }
+
+// Size returns the arena's capacity in bytes.
+func (a *Arena) Size() uint64 { return a.size }
+
+// Used returns the number of allocated bytes.
+func (a *Arena) Used() uint64 { return a.off }
+
+// Alloc reserves n bytes (8-byte aligned) and returns their address.
+func (a *Arena) Alloc(n uint64) (addr.V, error) {
+	aligned := (a.off + 7) &^ 7
+	if aligned+n > a.size {
+		return 0, fmt.Errorf("simalloc: arena exhausted (%d of %d used, need %d)",
+			a.off, a.size, n)
+	}
+	v := a.base + addr.V(aligned)
+	a.off = aligned + n
+	return v, nil
+}
+
+// Write stores p at address v (which must be arena memory).
+func (a *Arena) Write(v addr.V, p []byte) error { return a.proc.WriteAt(p, v) }
+
+// Read loads n bytes from address v.
+func (a *Arena) Read(v addr.V, n int) ([]byte, error) {
+	p := make([]byte, n)
+	if err := a.proc.ReadAt(p, v); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ReadInto loads len(p) bytes from address v into p.
+func (a *Arena) ReadInto(v addr.V, p []byte) error { return a.proc.ReadAt(p, v) }
+
+// WriteU64 stores a little-endian uint64 at v.
+func (a *Arena) WriteU64(v addr.V, x uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], x)
+	return a.proc.WriteAt(b[:], v)
+}
+
+// ReadU64 loads a little-endian uint64 from v.
+func (a *Arena) ReadU64(v addr.V) (uint64, error) {
+	var b [8]byte
+	if err := a.proc.ReadAt(b[:], v); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// AllocBytes copies p into freshly allocated arena memory and returns
+// its address.
+func (a *Arena) AllocBytes(p []byte) (addr.V, error) {
+	v, err := a.Alloc(uint64(len(p)))
+	if err != nil {
+		return 0, err
+	}
+	if len(p) > 0 {
+		if err := a.Write(v, p); err != nil {
+			return 0, err
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,272 @@
+package simalloc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/mem/addr"
+)
+
+// HashTable is an open-addressing (linear probing) hash table whose
+// bucket array, keys and values all live in simulated process memory.
+// Bucket layout (32 bytes, little-endian):
+//
+//	+0  hash   uint64 (0 = empty, 1 = tombstone; real hashes avoid 0/1)
+//	+8  keyPtr uint64
+//	+16 keyLen uint32
+//	+20 valLen uint32
+//	+24 valPtr uint64
+type HashTable struct {
+	arena   *Arena
+	buckets addr.V // base of the bucket array
+	capCnt  uint64 // number of buckets (power of two)
+	live    uint64 // live entries (Go-side mirror; authoritative count
+	// is recomputed on Clone via scan when needed)
+}
+
+const bucketSize = 32
+
+const (
+	hashEmpty     = 0
+	hashTombstone = 1
+)
+
+// NewHashTable allocates a table with the given power-of-two capacity
+// inside the arena.
+func NewHashTable(a *Arena, capacity uint64) (*HashTable, error) {
+	if capacity == 0 || capacity&(capacity-1) != 0 {
+		return nil, fmt.Errorf("simalloc: capacity %d not a power of two", capacity)
+	}
+	base, err := a.Alloc(capacity * bucketSize)
+	if err != nil {
+		return nil, err
+	}
+	// Arena memory is demand-zero, so all buckets start empty without
+	// explicit initialization (and without materializing pages).
+	return &HashTable{arena: a, buckets: base, capCnt: capacity}, nil
+}
+
+// Clone binds the table layout to another process's view of the same
+// memory (used by forked children).
+func (h *HashTable) Clone(a *Arena) *HashTable {
+	return &HashTable{arena: a, buckets: h.buckets, capCnt: h.capCnt, live: h.live}
+}
+
+// Len returns the number of live entries.
+func (h *HashTable) Len() uint64 { return h.live }
+
+// Capacity returns the bucket count.
+func (h *HashTable) Capacity() uint64 { return h.capCnt }
+
+// fnv1a hashes key, avoiding the reserved empty/tombstone values.
+func fnv1a(key []byte) uint64 {
+	var x uint64 = 14695981039346656037
+	for _, b := range key {
+		x ^= uint64(b)
+		x *= 1099511628211
+	}
+	if x == hashEmpty || x == hashTombstone {
+		x = 2
+	}
+	return x
+}
+
+type bucket struct {
+	hash   uint64
+	keyPtr addr.V
+	keyLen uint32
+	valLen uint32
+	valPtr addr.V
+}
+
+func (h *HashTable) bucketAddr(i uint64) addr.V {
+	return h.buckets + addr.V(i*bucketSize)
+}
+
+func (h *HashTable) readBucket(i uint64) (bucket, error) {
+	var raw [bucketSize]byte
+	if err := h.arena.ReadInto(h.bucketAddr(i), raw[:]); err != nil {
+		return bucket{}, err
+	}
+	return bucket{
+		hash:   binary.LittleEndian.Uint64(raw[0:]),
+		keyPtr: addr.V(binary.LittleEndian.Uint64(raw[8:])),
+		keyLen: binary.LittleEndian.Uint32(raw[16:]),
+		valLen: binary.LittleEndian.Uint32(raw[20:]),
+		valPtr: addr.V(binary.LittleEndian.Uint64(raw[24:])),
+	}, nil
+}
+
+func (h *HashTable) writeBucket(i uint64, b bucket) error {
+	var raw [bucketSize]byte
+	binary.LittleEndian.PutUint64(raw[0:], b.hash)
+	binary.LittleEndian.PutUint64(raw[8:], uint64(b.keyPtr))
+	binary.LittleEndian.PutUint32(raw[16:], b.keyLen)
+	binary.LittleEndian.PutUint32(raw[20:], b.valLen)
+	binary.LittleEndian.PutUint64(raw[24:], uint64(b.valPtr))
+	return h.arena.Write(h.bucketAddr(i), raw[:])
+}
+
+// keyEquals checks the stored key at b against key.
+func (h *HashTable) keyEquals(b bucket, key []byte) (bool, error) {
+	if int(b.keyLen) != len(key) {
+		return false, nil
+	}
+	stored, err := h.arena.Read(b.keyPtr, len(key))
+	if err != nil {
+		return false, err
+	}
+	for i := range key {
+		if stored[i] != key[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// find locates the bucket index for key: (index, found, error). When
+// not found, index is the first insertable slot.
+func (h *HashTable) find(key []byte) (uint64, bool, error) {
+	hash := fnv1a(key)
+	mask := h.capCnt - 1
+	insert := uint64(1<<63 - 1)
+	haveInsert := false
+	for probe := uint64(0); probe < h.capCnt; probe++ {
+		i := (hash + probe) & mask
+		b, err := h.readBucket(i)
+		if err != nil {
+			return 0, false, err
+		}
+		switch b.hash {
+		case hashEmpty:
+			if !haveInsert {
+				insert = i
+			}
+			return insert, false, nil
+		case hashTombstone:
+			if !haveInsert {
+				insert, haveInsert = i, true
+			}
+		default:
+			if b.hash == hash {
+				eq, err := h.keyEquals(b, key)
+				if err != nil {
+					return 0, false, err
+				}
+				if eq {
+					return i, true, nil
+				}
+			}
+		}
+	}
+	if haveInsert {
+		return insert, false, nil
+	}
+	return 0, false, fmt.Errorf("simalloc: hash table full (%d buckets)", h.capCnt)
+}
+
+// Put inserts or updates key -> val. Values are stored immutably in the
+// arena; updates allocate fresh value bytes (like Redis's SDS strings).
+func (h *HashTable) Put(key, val []byte) error {
+	i, found, err := h.find(key)
+	if err != nil {
+		return err
+	}
+	if found {
+		b, err := h.readBucket(i)
+		if err != nil {
+			return err
+		}
+		// In-place overwrite when the size matches; else allocate.
+		if int(b.valLen) == len(val) {
+			if len(val) > 0 {
+				if err := h.arena.Write(b.valPtr, val); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		vp, err := h.arena.AllocBytes(val)
+		if err != nil {
+			return err
+		}
+		b.valPtr, b.valLen = vp, uint32(len(val))
+		return h.writeBucket(i, b)
+	}
+	kp, err := h.arena.AllocBytes(key)
+	if err != nil {
+		return err
+	}
+	vp, err := h.arena.AllocBytes(val)
+	if err != nil {
+		return err
+	}
+	if err := h.writeBucket(i, bucket{
+		hash:   fnv1a(key),
+		keyPtr: kp,
+		keyLen: uint32(len(key)),
+		valLen: uint32(len(val)),
+		valPtr: vp,
+	}); err != nil {
+		return err
+	}
+	h.live++
+	return nil
+}
+
+// Get returns the value for key, or ok=false.
+func (h *HashTable) Get(key []byte) ([]byte, bool, error) {
+	i, found, err := h.find(key)
+	if err != nil || !found {
+		return nil, false, err
+	}
+	b, err := h.readBucket(i)
+	if err != nil {
+		return nil, false, err
+	}
+	val, err := h.arena.Read(b.valPtr, int(b.valLen))
+	if err != nil {
+		return nil, false, err
+	}
+	return val, true, nil
+}
+
+// Delete removes key, returning whether it existed.
+func (h *HashTable) Delete(key []byte) (bool, error) {
+	i, found, err := h.find(key)
+	if err != nil || !found {
+		return false, err
+	}
+	if err := h.writeBucket(i, bucket{hash: hashTombstone}); err != nil {
+		return false, err
+	}
+	h.live--
+	return true, nil
+}
+
+// Range calls fn for every live entry in bucket order; fn returning
+// false stops the iteration. It is the snapshot walk of the Redis-like
+// store.
+func (h *HashTable) Range(fn func(key, val []byte) bool) error {
+	for i := uint64(0); i < h.capCnt; i++ {
+		b, err := h.readBucket(i)
+		if err != nil {
+			return err
+		}
+		if b.hash == hashEmpty || b.hash == hashTombstone {
+			continue
+		}
+		key, err := h.arena.Read(b.keyPtr, int(b.keyLen))
+		if err != nil {
+			return err
+		}
+		val, err := h.arena.Read(b.valPtr, int(b.valLen))
+		if err != nil {
+			return err
+		}
+		if !fn(key, val) {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,290 @@
+package simalloc
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/mem/addr"
+)
+
+func newArena(t *testing.T, size uint64) (*kernel.Kernel, *Arena) {
+	t.Helper()
+	k := kernel.New()
+	p := k.NewProcess()
+	a, err := NewArena(p, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, a
+}
+
+func TestArenaAllocAligned(t *testing.T) {
+	_, a := newArena(t, 1<<20)
+	v1, err := a.Alloc(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := a.Alloc(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(v2)%8 != uint64(a.Base())%8 {
+		t.Errorf("unaligned alloc %v", v2)
+	}
+	if v2 <= v1 {
+		t.Error("allocations not monotone")
+	}
+	if a.Used() == 0 || a.Size() != 1<<20 {
+		t.Error("bookkeeping wrong")
+	}
+}
+
+func TestArenaExhaustion(t *testing.T) {
+	_, a := newArena(t, addr.PageSize)
+	if _, err := a.Alloc(addr.PageSize + 1); err == nil {
+		t.Error("oversized alloc succeeded")
+	}
+	if _, err := a.Alloc(addr.PageSize); err != nil {
+		t.Errorf("exact-fit alloc failed: %v", err)
+	}
+	if _, err := a.Alloc(1); err == nil {
+		t.Error("alloc from full arena succeeded")
+	}
+}
+
+func TestArenaReadWrite(t *testing.T) {
+	_, a := newArena(t, 1<<20)
+	v, err := a.AllocBytes([]byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Read(v, 7)
+	if err != nil || !bytes.Equal(got, []byte("payload")) {
+		t.Errorf("Read = %q, %v", got, err)
+	}
+	if err := a.WriteU64(v, 0xdeadbeefcafe); err != nil {
+		t.Fatal(err)
+	}
+	x, err := a.ReadU64(v)
+	if err != nil || x != 0xdeadbeefcafe {
+		t.Errorf("ReadU64 = %#x, %v", x, err)
+	}
+}
+
+func TestHashTableBasic(t *testing.T) {
+	_, a := newArena(t, 1<<22)
+	h, err := NewHashTable(a, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewHashTable(a, 100); err == nil {
+		t.Error("non-power-of-two capacity accepted")
+	}
+
+	if err := h.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := h.Get([]byte("k1"))
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+	if _, ok, _ := h.Get([]byte("absent")); ok {
+		t.Error("absent key found")
+	}
+	if h.Len() != 1 {
+		t.Errorf("Len = %d", h.Len())
+	}
+
+	// Update same size (in place) and different size (realloc).
+	if err := h.Put([]byte("k1"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := h.Get([]byte("k1")); string(v) != "v2" {
+		t.Errorf("after update = %q", v)
+	}
+	if err := h.Put([]byte("k1"), []byte("longer value")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := h.Get([]byte("k1")); string(v) != "longer value" {
+		t.Errorf("after resize update = %q", v)
+	}
+	if h.Len() != 1 {
+		t.Errorf("Len after updates = %d", h.Len())
+	}
+
+	ok, err = h.Delete([]byte("k1"))
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if _, ok, _ := h.Get([]byte("k1")); ok {
+		t.Error("deleted key found")
+	}
+	if ok, _ := h.Delete([]byte("k1")); ok {
+		t.Error("double delete reported true")
+	}
+}
+
+func TestHashTableTombstoneReuse(t *testing.T) {
+	_, a := newArena(t, 1<<22)
+	h, err := NewHashTable(a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill, delete, refill through tombstones repeatedly; with only 8
+	// buckets this exercises probe wraparound and slot reuse.
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 6; i++ {
+			key := []byte(fmt.Sprintf("r%d-k%d", round, i))
+			if err := h.Put(key, []byte{byte(i)}); err != nil {
+				t.Fatalf("round %d put %d: %v", round, i, err)
+			}
+		}
+		for i := 0; i < 6; i++ {
+			key := []byte(fmt.Sprintf("r%d-k%d", round, i))
+			if ok, err := h.Delete(key); err != nil || !ok {
+				t.Fatalf("round %d delete %d: %v %v", round, i, ok, err)
+			}
+		}
+	}
+	if h.Len() != 0 {
+		t.Errorf("Len = %d after churn", h.Len())
+	}
+}
+
+func TestHashTableFull(t *testing.T) {
+	_, a := newArena(t, 1<<22)
+	h, _ := NewHashTable(a, 4)
+	for i := 0; i < 4; i++ {
+		if err := h.Put([]byte{byte(i)}, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Put([]byte{99}, []byte{1}); err == nil {
+		t.Error("put into full table succeeded")
+	}
+}
+
+func TestHashTableRange(t *testing.T) {
+	_, a := newArena(t, 1<<22)
+	h, _ := NewHashTable(a, 64)
+	want := map[string]string{"a": "1", "b": "2", "c": "3"}
+	for k, v := range want {
+		if err := h.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[string]string{}
+	if err := h.Range(func(k, v []byte) bool {
+		got[string(k)] = string(v)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Range saw %d entries", len(got))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("Range[%q] = %q", k, got[k])
+		}
+	}
+	// Early stop.
+	n := 0
+	h.Range(func(k, v []byte) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early-stop visited %d", n)
+	}
+}
+
+func TestHashTableSurvivesFork(t *testing.T) {
+	// The point of the exercise: a fork snapshots the table through the
+	// page tables; parent mutations afterwards are invisible to the
+	// child's clone.
+	k := kernel.New()
+	p := k.NewProcess()
+	a, err := NewArena(p, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := NewHashTable(a, 256)
+	for i := 0; i < 50; i++ {
+		h.Put([]byte(fmt.Sprintf("key%02d", i)), []byte(fmt.Sprintf("val%02d", i)))
+	}
+
+	child, err := p.ForkWith(core.ForkOnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := a.Clone(child)
+	ch := h.Clone(ca)
+
+	// Parent overwrites and inserts after the fork.
+	h.Put([]byte("key00"), []byte("MUTATED"))
+	h.Put([]byte("newkey"), []byte("newval"))
+
+	if v, ok, _ := ch.Get([]byte("key00")); !ok || string(v) != "val00" {
+		t.Errorf("child sees parent mutation: %q", v)
+	}
+	if _, ok, _ := ch.Get([]byte("newkey")); ok {
+		t.Error("child sees post-fork insert")
+	}
+	if v, ok, _ := h.Get([]byte("key00")); !ok || string(v) != "MUTATED" {
+		t.Errorf("parent lost its write: %q", v)
+	}
+	child.Exit()
+	p.Exit()
+	if n := k.Allocator().Allocated(); n != 0 {
+		t.Errorf("leak: %d frames", n)
+	}
+}
+
+func TestQuickHashTableVsMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_, a := newArena(t, 1<<22)
+		h, err := NewHashTable(a, 128)
+		if err != nil {
+			return false
+		}
+		shadow := map[string]string{}
+		for op := 0; op < 200; op++ {
+			key := fmt.Sprintf("k%d", rng.Intn(40))
+			switch rng.Intn(3) {
+			case 0, 1:
+				val := fmt.Sprintf("v%d", rng.Intn(1000))
+				if err := h.Put([]byte(key), []byte(val)); err != nil {
+					return false
+				}
+				shadow[key] = val
+			case 2:
+				ok, err := h.Delete([]byte(key))
+				if err != nil {
+					return false
+				}
+				_, want := shadow[key]
+				if ok != want {
+					return false
+				}
+				delete(shadow, key)
+			}
+		}
+		if h.Len() != uint64(len(shadow)) {
+			return false
+		}
+		for k, want := range shadow {
+			v, ok, err := h.Get([]byte(k))
+			if err != nil || !ok || string(v) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,384 @@
+// Package sqlike implements a miniature relational engine whose row
+// storage lives in simulated process memory, standing in for SQLite in
+// the paper's unit-testing (§5.3.2, Tables 2–3) and fuzzing (§5.3.1,
+// Figure 9) experiments.
+//
+// The database holds two tables with a foreign-key relationship —
+// items(id, category, value, name) and tags(id, item_id, label) — and
+// supports filtered SELECT, conditional UPDATE and DELETE with
+// referential checking, the three operations the paper's unit tests
+// exercise. Loading a large initial database is the expensive
+// initialization that fork-based test isolation amortizes.
+package sqlike
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/apps/simalloc"
+	"repro/internal/kernel"
+	"repro/internal/mem/addr"
+)
+
+// Row is a decoded items row.
+type Row struct {
+	ID       uint64
+	Category uint32
+	Value    uint64
+	Name     []byte
+}
+
+// Tag is a decoded tags row referencing an item.
+type Tag struct {
+	ID     uint64
+	ItemID uint64
+	Label  []byte
+}
+
+// itemHdrSize is the fixed prefix of an items record:
+// id u64 | category u32 | flags u32 | value u64 | nameLen u32 | pad u32.
+const itemHdrSize = 32
+
+// tagHdrSize is the fixed prefix of a tags record:
+// id u64 | itemID u64 | flags u32 | labelLen u32.
+const tagHdrSize = 24
+
+const flagDeleted = 1
+
+// table is the on-(simulated-)memory representation shared by both
+// relations: a directory of record pointers plus a row count.
+type table struct {
+	dir   addr.V // directory: capacity u64 slots of record pointers
+	cap   uint64
+	count uint64
+}
+
+// DB is a handle on the database bound to one process.
+type DB struct {
+	arena *simalloc.Arena
+	items table
+	tags  table
+}
+
+// Config sizes a database.
+type Config struct {
+	ArenaBytes uint64
+	MaxItems   uint64
+	MaxTags    uint64
+}
+
+// New creates an empty database inside a fresh arena of proc.
+func New(proc *kernel.Process, cfg Config) (*DB, error) {
+	arena, err := simalloc.NewArena(proc, cfg.ArenaBytes)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{arena: arena}
+	if db.items.dir, err = arena.Alloc(cfg.MaxItems * 8); err != nil {
+		return nil, err
+	}
+	db.items.cap = cfg.MaxItems
+	if db.tags.dir, err = arena.Alloc(cfg.MaxTags * 8); err != nil {
+		return nil, err
+	}
+	db.tags.cap = cfg.MaxTags
+	return db, nil
+}
+
+// Clone rebinds the database handle to a forked child process. The
+// handle copy is the Go-side analogue of the child inheriting the
+// parent's registers; the row storage is shared copy-on-write.
+func (db *DB) Clone(proc *kernel.Process) *DB {
+	out := *db
+	out.arena = db.arena.Clone(proc)
+	return &out
+}
+
+// Arena exposes the underlying storage arena.
+func (db *DB) Arena() *simalloc.Arena { return db.arena }
+
+// NumItems returns the number of item rows (including deleted slots'
+// exclusion).
+func (db *DB) NumItems() uint64 { return db.items.count }
+
+// NumTags returns the number of tag rows.
+func (db *DB) NumTags() uint64 { return db.tags.count }
+
+func (db *DB) slotAddr(t *table, i uint64) addr.V { return t.dir + addr.V(i*8) }
+
+func (db *DB) recordPtr(t *table, i uint64) (addr.V, error) {
+	x, err := db.arena.ReadU64(db.slotAddr(t, i))
+	return addr.V(x), err
+}
+
+// InsertItem appends an items row.
+func (db *DB) InsertItem(id uint64, category uint32, value uint64, name []byte) error {
+	if db.items.count >= db.items.cap {
+		return fmt.Errorf("sqlike: items table full (%d)", db.items.cap)
+	}
+	rec := make([]byte, itemHdrSize+len(name))
+	binary.LittleEndian.PutUint64(rec[0:], id)
+	binary.LittleEndian.PutUint32(rec[8:], category)
+	binary.LittleEndian.PutUint32(rec[12:], 0)
+	binary.LittleEndian.PutUint64(rec[16:], value)
+	binary.LittleEndian.PutUint32(rec[24:], uint32(len(name)))
+	copy(rec[itemHdrSize:], name)
+	ptr, err := db.arena.AllocBytes(rec)
+	if err != nil {
+		return err
+	}
+	if err := db.arena.WriteU64(db.slotAddr(&db.items, db.items.count), uint64(ptr)); err != nil {
+		return err
+	}
+	db.items.count++
+	return nil
+}
+
+// InsertTag appends a tags row referencing itemID.
+func (db *DB) InsertTag(id, itemID uint64, label []byte) error {
+	if db.tags.count >= db.tags.cap {
+		return fmt.Errorf("sqlike: tags table full (%d)", db.tags.cap)
+	}
+	rec := make([]byte, tagHdrSize+len(label))
+	binary.LittleEndian.PutUint64(rec[0:], id)
+	binary.LittleEndian.PutUint64(rec[8:], itemID)
+	binary.LittleEndian.PutUint32(rec[16:], 0)
+	binary.LittleEndian.PutUint32(rec[20:], uint32(len(label)))
+	copy(rec[tagHdrSize:], label)
+	ptr, err := db.arena.AllocBytes(rec)
+	if err != nil {
+		return err
+	}
+	if err := db.arena.WriteU64(db.slotAddr(&db.tags, db.tags.count), uint64(ptr)); err != nil {
+		return err
+	}
+	db.tags.count++
+	return nil
+}
+
+// readItem decodes the items record at slot i; deleted rows return
+// ok=false.
+func (db *DB) readItem(i uint64, withName bool) (Row, bool, error) {
+	ptr, err := db.recordPtr(&db.items, i)
+	if err != nil {
+		return Row{}, false, err
+	}
+	var hdr [itemHdrSize]byte
+	if err := db.arena.ReadInto(ptr, hdr[:]); err != nil {
+		return Row{}, false, err
+	}
+	if binary.LittleEndian.Uint32(hdr[12:])&flagDeleted != 0 {
+		return Row{}, false, nil
+	}
+	row := Row{
+		ID:       binary.LittleEndian.Uint64(hdr[0:]),
+		Category: binary.LittleEndian.Uint32(hdr[8:]),
+		Value:    binary.LittleEndian.Uint64(hdr[16:]),
+	}
+	if withName {
+		n := int(binary.LittleEndian.Uint32(hdr[24:]))
+		if row.Name, err = db.arena.Read(ptr+itemHdrSize, n); err != nil {
+			return Row{}, false, err
+		}
+	}
+	return row, true, nil
+}
+
+// Pred filters item rows.
+type Pred func(Row) bool
+
+// ValueBetween selects rows with lo <= Value < hi.
+func ValueBetween(lo, hi uint64) Pred {
+	return func(r Row) bool { return r.Value >= lo && r.Value < hi }
+}
+
+// CategoryIs selects rows in a category.
+func CategoryIs(c uint32) Pred {
+	return func(r Row) bool { return r.Category == c }
+}
+
+// SelectItems scans items and returns the rows matching p (names
+// included) — unit test 1 of §5.3.2.
+func (db *DB) SelectItems(p Pred) ([]Row, error) {
+	return db.SelectItemsWindow(0, db.items.count, p)
+}
+
+// SelectItemsWindow scans at most n row slots starting at slot lo —
+// the bounded (LIMIT-style) variant that short-lived unit tests and
+// fuzzing executions use.
+func (db *DB) SelectItemsWindow(lo, n uint64, p Pred) ([]Row, error) {
+	var out []Row
+	end := lo + n
+	if end > db.items.count {
+		end = db.items.count
+	}
+	for i := lo; i < end; i++ {
+		row, ok, err := db.readItem(i, true)
+		if err != nil {
+			return nil, err
+		}
+		if ok && p(row) {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// CountItems scans items counting matches without materializing rows.
+func (db *DB) CountItems(p Pred) (int, error) {
+	return db.CountItemsWindow(0, db.items.count, p)
+}
+
+// CountItemsWindow counts matches over at most cnt slots from slot lo.
+func (db *DB) CountItemsWindow(lo, cnt uint64, p Pred) (int, error) {
+	n := 0
+	end := lo + cnt
+	if end > db.items.count {
+		end = db.items.count
+	}
+	for i := lo; i < end; i++ {
+		row, ok, err := db.readItem(i, false)
+		if err != nil {
+			return 0, err
+		}
+		if ok && p(row) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// UpdateItems sets Value to newValue on all rows matching p, returning
+// the number updated — unit test 3 of §5.3.2.
+func (db *DB) UpdateItems(p Pred, newValue uint64) (int, error) {
+	return db.UpdateItemsWindow(0, db.items.count, p, newValue)
+}
+
+// UpdateItemsWindow updates at most cnt slots starting at slot lo.
+func (db *DB) UpdateItemsWindow(lo, cnt uint64, p Pred, newValue uint64) (int, error) {
+	n := 0
+	end := lo + cnt
+	if end > db.items.count {
+		end = db.items.count
+	}
+	for i := lo; i < end; i++ {
+		row, ok, err := db.readItem(i, false)
+		if err != nil {
+			return n, err
+		}
+		if !ok || !p(row) {
+			continue
+		}
+		ptr, err := db.recordPtr(&db.items, i)
+		if err != nil {
+			return n, err
+		}
+		if err := db.arena.WriteU64(ptr+16, newValue); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// DeleteItems marks rows matching p deleted, enforcing the foreign-key
+// constraint: an item referenced by a live tag cannot be deleted and is
+// skipped (returned in blocked) — unit test 2 of §5.3.2.
+func (db *DB) DeleteItems(p Pred) (deleted, blocked int, err error) {
+	return db.DeleteItemsWindow(0, db.items.count, p)
+}
+
+// DeleteItemsWindow deletes over at most cnt slots starting at slot lo.
+func (db *DB) DeleteItemsWindow(lo, cnt uint64, p Pred) (deleted, blocked int, err error) {
+	end := lo + cnt
+	if end > db.items.count {
+		end = db.items.count
+	}
+	for i := lo; i < end; i++ {
+		row, ok, err := db.readItem(i, false)
+		if err != nil {
+			return deleted, blocked, err
+		}
+		if !ok || !p(row) {
+			continue
+		}
+		referenced, err := db.itemReferenced(row.ID)
+		if err != nil {
+			return deleted, blocked, err
+		}
+		if referenced {
+			blocked++
+			continue
+		}
+		ptr, err := db.recordPtr(&db.items, i)
+		if err != nil {
+			return deleted, blocked, err
+		}
+		var flags [4]byte
+		binary.LittleEndian.PutUint32(flags[:], flagDeleted)
+		if err := db.arena.Write(ptr+12, flags[:]); err != nil {
+			return deleted, blocked, err
+		}
+		deleted++
+	}
+	return deleted, blocked, nil
+}
+
+// itemReferenced reports whether any live tag references itemID. The
+// tags table is kept sorted by item_id (Load inserts in order, playing
+// the role of the foreign-key index a real engine maintains), so the
+// check is a binary search rather than a full scan.
+func (db *DB) itemReferenced(itemID uint64) (bool, error) {
+	lo, hi := uint64(0), db.tags.count
+	for lo < hi {
+		mid := (lo + hi) / 2
+		tid, deleted, err := db.tagItemID(mid)
+		if err != nil {
+			return false, err
+		}
+		switch {
+		case tid == itemID:
+			return !deleted, nil
+		case tid < itemID:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return false, nil
+}
+
+// tagItemID reads the item_id and deleted flag of the tag at slot i.
+func (db *DB) tagItemID(i uint64) (uint64, bool, error) {
+	ptr, err := db.recordPtr(&db.tags, i)
+	if err != nil {
+		return 0, false, err
+	}
+	var hdr [tagHdrSize]byte
+	if err := db.arena.ReadInto(ptr, hdr[:]); err != nil {
+		return 0, false, err
+	}
+	return binary.LittleEndian.Uint64(hdr[8:]),
+		binary.LittleEndian.Uint32(hdr[16:])&flagDeleted != 0, nil
+}
+
+// Load populates the database with nItems rows (deterministic contents)
+// and one tag per tagEvery-th item — the expensive initialization phase
+// of Table 2.
+func (db *DB) Load(nItems int, nameLen int, tagEvery int) error {
+	name := make([]byte, nameLen)
+	for i := 0; i < nItems; i++ {
+		for j := range name {
+			name[j] = byte('a' + (i+j)%26)
+		}
+		if err := db.InsertItem(uint64(i), uint32(i%17), uint64(i*7%1000), name); err != nil {
+			return err
+		}
+		if tagEvery > 0 && i%tagEvery == 0 {
+			if err := db.InsertTag(uint64(i/tagEvery), uint64(i), []byte("tag")); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

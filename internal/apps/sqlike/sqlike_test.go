@@ -1,0 +1,205 @@
+package sqlike
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+func testDB(t *testing.T) (*kernel.Kernel, *kernel.Process, *DB) {
+	t.Helper()
+	k := kernel.New()
+	p := k.NewProcess()
+	db, err := New(p, Config{ArenaBytes: 1 << 24, MaxItems: 10000, MaxTags: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, p, db
+}
+
+func TestInsertSelect(t *testing.T) {
+	_, _, db := testDB(t)
+	if err := db.InsertItem(1, 5, 42, []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertItem(2, 5, 99, []byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.SelectItems(ValueBetween(40, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].ID != 1 || !bytes.Equal(rows[0].Name, []byte("alpha")) {
+		t.Fatalf("SelectItems = %+v", rows)
+	}
+	rows, err = db.SelectItems(CategoryIs(5))
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("category select = %d rows, %v", len(rows), err)
+	}
+	n, err := db.CountItems(CategoryIs(5))
+	if err != nil || n != 2 {
+		t.Fatalf("CountItems = %d, %v", n, err)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	_, _, db := testDB(t)
+	for i := 0; i < 10; i++ {
+		db.InsertItem(uint64(i), 0, uint64(i*10), []byte("row"))
+	}
+	n, err := db.UpdateItems(ValueBetween(30, 60), 7)
+	if err != nil || n != 3 {
+		t.Fatalf("UpdateItems = %d, %v", n, err)
+	}
+	rows, _ := db.SelectItems(func(r Row) bool { return r.Value == 7 })
+	if len(rows) != 3 {
+		t.Errorf("updated rows = %d", len(rows))
+	}
+}
+
+func TestDeleteWithForeignKeys(t *testing.T) {
+	_, _, db := testDB(t)
+	db.InsertItem(1, 0, 10, []byte("free"))
+	db.InsertItem(2, 0, 20, []byte("referenced"))
+	db.InsertTag(1, 2, []byte("keep"))
+
+	deleted, blocked, err := db.DeleteItems(ValueBetween(0, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != 1 || blocked != 1 {
+		t.Fatalf("deleted=%d blocked=%d", deleted, blocked)
+	}
+	rows, _ := db.SelectItems(func(Row) bool { return true })
+	if len(rows) != 1 || rows[0].ID != 2 {
+		t.Errorf("surviving rows = %+v", rows)
+	}
+}
+
+func TestLoad(t *testing.T) {
+	_, _, db := testDB(t)
+	if err := db.Load(1000, 16, 100); err != nil {
+		t.Fatal(err)
+	}
+	if db.NumItems() != 1000 {
+		t.Errorf("NumItems = %d", db.NumItems())
+	}
+	if db.NumTags() != 10 {
+		t.Errorf("NumTags = %d", db.NumTags())
+	}
+	n, err := db.CountItems(ValueBetween(0, 1000))
+	if err != nil || n != 1000 {
+		t.Errorf("CountItems = %d, %v", n, err)
+	}
+}
+
+func TestForkIsolatedUnitTests(t *testing.T) {
+	// The §5.3.2 property: each test runs in a child from the same
+	// post-init state; a destructive test (DELETE) must not affect the
+	// parent or later tests.
+	k, p, db := testDB(t)
+	if err := db.Load(2000, 8, 0); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := db.CountItems(func(Row) bool { return true })
+
+	for _, ut := range StandardTests() {
+		child, err := p.ForkWith(core.ForkOnDemand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ut.Run(db.Clone(child)); err != nil {
+			t.Fatalf("%s: %v", ut.Name, err)
+		}
+		child.Exit()
+		child.Wait()
+	}
+	after, _ := db.CountItems(func(Row) bool { return true })
+	if after != before {
+		t.Errorf("parent rows changed: %d -> %d", before, after)
+	}
+	rows, _ := db.SelectItems(func(r Row) bool { return r.Value == 999999 })
+	if len(rows) != 0 {
+		t.Error("child UPDATE leaked into parent")
+	}
+	p.Exit()
+	if n := k.Allocator().Allocated(); n != 0 {
+		t.Errorf("leak: %d frames", n)
+	}
+}
+
+func TestMeasureSequential(t *testing.T) {
+	k := kernel.New()
+	cfg := SuiteConfig{
+		DB:      Config{ArenaBytes: 1 << 24, MaxItems: 10000, MaxTags: 1000},
+		Items:   3000,
+		NameLen: 16,
+		Mode:    core.ForkClassic,
+	}
+	res, err := MeasureSequential(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InitMS <= 0 || res.ForkMS <= 0 || res.TestMS <= 0 {
+		t.Errorf("non-positive phases: %+v", res)
+	}
+	// Table 2 shape: initialization dominates.
+	if res.InitMS < res.TestMS {
+		t.Errorf("init (%.3f) not dominating test (%.3f)", res.InitMS, res.TestMS)
+	}
+	if res.Total() <= res.InitMS {
+		t.Error("total not additive")
+	}
+}
+
+func TestMeasureForkedODFBeatsClassic(t *testing.T) {
+	// Table 3 shape: ODF fork time must be far below classic's on a
+	// sizable database, letting the test itself dominate.
+	k := kernel.New()
+	base := SuiteConfig{
+		DB:      Config{ArenaBytes: 1 << 26, MaxItems: 200000, MaxTags: 1000},
+		Items:   50000,
+		NameLen: 32,
+		Reps:    2,
+	}
+	classicCfg := base
+	classicCfg.Mode = core.ForkClassic
+	classic, err := MeasureForked(k, classicCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	odfCfg := base
+	odfCfg.Mode = core.ForkOnDemand
+	odf, err := MeasureForked(k, odfCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if odf.ForkMS >= classic.ForkMS {
+		t.Errorf("ODF fork (%.4f) not faster than classic (%.4f)", odf.ForkMS, classic.ForkMS)
+	}
+	if classic.Total() <= 0 || odf.Total() <= 0 {
+		t.Error("degenerate totals")
+	}
+}
+
+func TestTableCapacityErrors(t *testing.T) {
+	k := kernel.New()
+	p := k.NewProcess()
+	defer p.Exit()
+	db, err := New(p, Config{ArenaBytes: 1 << 20, MaxItems: 2, MaxTags: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.InsertItem(1, 0, 0, nil)
+	db.InsertItem(2, 0, 0, nil)
+	if err := db.InsertItem(3, 0, 0, nil); err == nil {
+		t.Error("insert into full items table succeeded")
+	}
+	db.InsertTag(1, 1, nil)
+	if err := db.InsertTag(2, 1, nil); err == nil {
+		t.Error("insert into full tags table succeeded")
+	}
+	_ = k
+}

@@ -1,0 +1,189 @@
+package sqlike
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/stats"
+)
+
+// The fork-based unit-test harness of §5.3.2: initialize the database
+// once, then run each unit test in a forked child so every test starts
+// from a clean, identical post-initialization state. Table 2 shows that
+// initialization dominates when tests do not share it; Table 3 compares
+// the fork engines once they do.
+
+// UnitTest is one test case run against a database snapshot.
+type UnitTest struct {
+	Name string
+	Run  func(db *DB) error
+}
+
+// testWindow bounds the rows one unit test touches. Like the paper's
+// fine-grained tests — which "only test a tiny part of the
+// functionality" so testing takes ~0.01% of the total — each test
+// operates on a bounded slice of the large database.
+const testWindow = 2048
+
+// StandardTests returns the three unit tests the paper uses: a filtered
+// SELECT, a conditional DELETE (with FK checking), and a conditional
+// UPDATE, each over a bounded window of the loaded database.
+func StandardTests() []UnitTest {
+	return []UnitTest{
+		{
+			Name: "select-filter",
+			Run: func(db *DB) error {
+				rows, err := db.SelectItemsWindow(0, testWindow, ValueBetween(100, 200))
+				if err != nil {
+					return err
+				}
+				if len(rows) == 0 {
+					return fmt.Errorf("select returned no rows")
+				}
+				return nil
+			},
+		},
+		{
+			Name: "delete-condition",
+			Run: func(db *DB) error {
+				deleted, _, err := db.DeleteItemsWindow(0, testWindow, ValueBetween(300, 350))
+				if err != nil {
+					return err
+				}
+				if deleted == 0 {
+					return fmt.Errorf("delete removed no rows")
+				}
+				return nil
+			},
+		},
+		{
+			Name: "update-condition",
+			Run: func(db *DB) error {
+				n, err := db.UpdateItemsWindow(0, testWindow, ValueBetween(500, 600), 999999)
+				if err != nil {
+					return err
+				}
+				if n == 0 {
+					return fmt.Errorf("update changed no rows")
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// SuiteConfig parameterizes the harness.
+type SuiteConfig struct {
+	DB       Config
+	Items    int // initial database rows
+	NameLen  int
+	TagEvery int
+	Mode     core.ForkMode
+	Reps     int // repetitions per unit test
+}
+
+// PhaseBreakdown is a Table 2 row set: the average time spent per phase
+// when each test pays for its own initialization.
+type PhaseBreakdown struct {
+	InitMS, ForkMS, TestMS float64
+}
+
+// Total returns the summed phase time.
+func (p PhaseBreakdown) Total() float64 { return p.InitMS + p.ForkMS + p.TestMS }
+
+// MeasureSequential reproduces Table 2: for each unit test, initialize
+// the database from scratch, fork once (to price the fork in this
+// flow), and run the test.
+func MeasureSequential(k *kernel.Kernel, cfg SuiteConfig) (PhaseBreakdown, error) {
+	var init, fork, test stats.Sample
+	for _, ut := range StandardTests() {
+		proc := k.NewProcess()
+
+		t0 := time.Now()
+		db, err := New(proc, cfg.DB)
+		if err != nil {
+			proc.Exit()
+			return PhaseBreakdown{}, err
+		}
+		if err := db.Load(cfg.Items, cfg.NameLen, cfg.TagEvery); err != nil {
+			proc.Exit()
+			return PhaseBreakdown{}, err
+		}
+		init.AddDuration(time.Since(t0))
+
+		t1 := time.Now()
+		child, err := proc.ForkWith(cfg.Mode)
+		if err != nil {
+			proc.Exit()
+			return PhaseBreakdown{}, err
+		}
+		fork.AddDuration(time.Since(t1))
+
+		cdb := db.Clone(child)
+		t2 := time.Now()
+		if err := ut.Run(cdb); err != nil {
+			child.Exit()
+			proc.Exit()
+			return PhaseBreakdown{}, fmt.Errorf("%s: %w", ut.Name, err)
+		}
+		test.AddDuration(time.Since(t2))
+		child.Exit()
+		proc.Exit()
+	}
+	return PhaseBreakdown{
+		InitMS: init.Mean(), ForkMS: fork.Mean(), TestMS: test.Mean(),
+	}, nil
+}
+
+// ForkedSuiteResult is a Table 3 row set.
+type ForkedSuiteResult struct {
+	Mode           core.ForkMode
+	ForkMS, TestMS float64
+}
+
+// Total returns fork + test time.
+func (r ForkedSuiteResult) Total() float64 { return r.ForkMS + r.TestMS }
+
+// MeasureForked reproduces Table 3: one shared initialization, then
+// each unit test runs in a freshly forked child, repeated cfg.Reps
+// times per test.
+func MeasureForked(k *kernel.Kernel, cfg SuiteConfig) (ForkedSuiteResult, error) {
+	proc := k.NewProcess()
+	defer proc.Exit()
+	db, err := New(proc, cfg.DB)
+	if err != nil {
+		return ForkedSuiteResult{}, err
+	}
+	if err := db.Load(cfg.Items, cfg.NameLen, cfg.TagEvery); err != nil {
+		return ForkedSuiteResult{}, err
+	}
+
+	var fork, test stats.Sample
+	reps := cfg.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+	for rep := 0; rep < reps; rep++ {
+		for _, ut := range StandardTests() {
+			t0 := time.Now()
+			child, err := proc.ForkWith(cfg.Mode)
+			if err != nil {
+				return ForkedSuiteResult{}, err
+			}
+			fork.AddDuration(time.Since(t0))
+
+			cdb := db.Clone(child)
+			t1 := time.Now()
+			err = ut.Run(cdb)
+			test.AddDuration(time.Since(t1))
+			child.Exit()
+			child.Wait()
+			if err != nil {
+				return ForkedSuiteResult{}, fmt.Errorf("%s: %w", ut.Name, err)
+			}
+		}
+	}
+	return ForkedSuiteResult{Mode: cfg.Mode, ForkMS: fork.Mean(), TestMS: test.Mean()}, nil
+}

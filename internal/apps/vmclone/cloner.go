@@ -1,0 +1,113 @@
+package vmclone
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/stats"
+)
+
+// Cloner is the TriforceAFL-style driver: it boots a master VM once and
+// clones it (by forking the monitor process) for every fuzzing input,
+// which is decoded into a bounded sequence of guest syscalls.
+type Cloner struct {
+	kern   *kernel.Kernel
+	master *VM
+	mode   core.ForkMode
+
+	Execs      int
+	Throughput *stats.Throughput
+}
+
+// NewCloner boots the master VM.
+func NewCloner(k *kernel.Kernel, cfg Config, mode core.ForkMode) (*Cloner, error) {
+	master, err := Boot(k, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Cloner{
+		kern:       k,
+		master:     master,
+		mode:       mode,
+		Throughput: stats.NewThroughput(time.Second),
+	}, nil
+}
+
+// Master exposes the master VM (tests verify its isolation).
+func (c *Cloner) Master() *VM { return c.master }
+
+// Close shuts down the master.
+func (c *Cloner) Close() { c.master.Process().Exit() }
+
+// maxCallsPerInput bounds one execution. The value is chosen so a
+// clone's guest-side work is of the same order as the classic fork of
+// its monitor, matching the balance TriforceAFL shows in Figure 10.
+const maxCallsPerInput = 1024
+
+// RunInput clones the VM and replays the input as syscalls inside the
+// clone: every 5 bytes decode to (syscall number, 4-byte argument).
+func (c *Cloner) RunInput(input []byte) error {
+	child, err := c.master.Process().ForkWith(c.mode)
+	if err != nil {
+		return fmt.Errorf("vmclone: clone: %w", err)
+	}
+	guest := c.master.Clone(child)
+	calls := 0
+	for pos := 0; pos+5 <= len(input) && calls < maxCallsPerInput; pos += 5 {
+		sys := int(input[pos]) % NumSyscalls
+		arg := uint64(binary.LittleEndian.Uint32(input[pos+1:]))
+		// SysStat/SysWrite index the 4096-entry inode table; pre-scale
+		// the argument to a valid byte offset as the guest ABI expects.
+		if sys == SysStat || sys == SysWrite {
+			arg = (arg % 4096) * 64
+		}
+		if _, err := guest.Syscall(sys, arg); err != nil {
+			child.Exit()
+			return err
+		}
+		calls++
+	}
+	child.Exit()
+	child.Wait()
+	c.Execs++
+	c.Throughput.Record()
+	return nil
+}
+
+// RunFor replays pseudo-random inputs until the deadline, returning the
+// executions performed.
+func (c *Cloner) RunFor(d time.Duration, seed int64) (int, error) {
+	deadline := time.Now().Add(d)
+	start := c.Execs
+	input := make([]byte, 5*maxCallsPerInput)
+	x := uint64(seed)*2862933555777941757 + 3037000493
+	for time.Now().Before(deadline) {
+		for i := range input {
+			x = x*2862933555777941757 + 3037000493
+			input[i] = byte(x >> 56)
+		}
+		if err := c.RunInput(input); err != nil {
+			return c.Execs - start, err
+		}
+	}
+	return c.Execs - start, nil
+}
+
+// RunN replays n pseudo-random inputs.
+func (c *Cloner) RunN(n int, seed int64) error {
+	input := make([]byte, 5*maxCallsPerInput)
+	x := uint64(seed)*6364136223846793005 + 1442695040888963407
+	for i := 0; i < n; i++ {
+		for j := range input {
+			x = x*6364136223846793005 + 1442695040888963407
+			input[j] = byte(x >> 56)
+		}
+		if err := c.RunInput(input); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,270 @@
+// Package vmclone implements the TriforceAFL-style experiment of the
+// paper's §5.3.4 (Figure 10): a toy virtual machine whose guest RAM is
+// one simulated memory mapping, booted once and then cloned by forking
+// the monitor process for every fuzzing input. The guest runs a small
+// bytecode "kernel" whose syscall handlers the fuzzer drives, so each
+// execution does real guest-memory work through the cloned page tables.
+package vmclone
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/mem/addr"
+	"repro/internal/mem/vm"
+)
+
+// Guest physical memory layout (offsets into the RAM mapping).
+const (
+	regKernelBase  = 0x1000   // bytecode of the guest kernel
+	regInodeTable  = 0x10000  // "filesystem" metadata the syscalls touch
+	regHeapBase    = 0x100000 // guest heap (sys_alloc bump pointer here)
+	regHeapPtrSlot = 0xFF8    // heap cursor cell
+)
+
+// CPU opcodes. Instructions are 8 bytes:
+// op u8 | r1 u8 | r2 u8 | pad u8 | imm u32 (little-endian).
+const (
+	opHalt byte = iota
+	opLoadImm
+	opLoad  // r1 = mem[r2 + imm]
+	opStore // mem[r2 + imm] = r1
+	opAdd   // r1 += r2
+	opJnz   // if r1 != 0: pc = imm
+	opHash  // r1 = mix(r1) — stand-in for computation
+)
+
+const instrSize = 8
+
+// numRegs is the guest register file size.
+const numRegs = 8
+
+// VM is a guest machine bound to a monitor process.
+type VM struct {
+	proc    *kernel.Process
+	ramBase addr.V
+	ramSize uint64
+	regs    [numRegs]uint64
+	steps   int
+}
+
+// Config sizes the guest.
+type Config struct {
+	RAMBytes uint64 // guest RAM (the paper's QEMU uses ~188 MB)
+	BootFill uint64 // bytes of RAM touched at boot (working set)
+}
+
+// Boot creates the guest inside a fresh process of k, writes the guest
+// kernel's syscall handlers, and initializes the inode table and boot
+// working set so the cloned footprint is realistic.
+func Boot(k *kernel.Kernel, cfg Config) (*VM, error) {
+	proc := k.NewProcess()
+	base, err := proc.Mmap(cfg.RAMBytes, vm.ProtRead|vm.ProtWrite, vm.MapPrivate|vm.MapPopulate)
+	if err != nil {
+		proc.Exit()
+		return nil, fmt.Errorf("vmclone: guest RAM: %w", err)
+	}
+	g := &VM{proc: proc, ramBase: base, ramSize: cfg.RAMBytes}
+
+	// Install syscall handler routines.
+	for sys, code := range handlers() {
+		if err := g.writeCode(handlerEntry(sys), code); err != nil {
+			proc.Exit()
+			return nil, err
+		}
+	}
+	// Initialize the inode table: 4096 inodes of 64 bytes.
+	var ino [64]byte
+	for i := 0; i < 4096; i++ {
+		binary.LittleEndian.PutUint64(ino[:], uint64(i))
+		binary.LittleEndian.PutUint64(ino[8:], uint64(i*4096))
+		if err := g.write(regInodeTable+uint64(i)*64, ino[:]); err != nil {
+			proc.Exit()
+			return nil, err
+		}
+	}
+	// Initialize the heap cursor.
+	if err := g.writeU64(regHeapPtrSlot, regHeapBase); err != nil {
+		proc.Exit()
+		return nil, err
+	}
+	// Touch the boot working set so the clone carries real state.
+	fill := cfg.BootFill
+	if fill > cfg.RAMBytes/2 {
+		fill = cfg.RAMBytes / 2
+	}
+	pattern := make([]byte, addr.PageSize)
+	for i := range pattern {
+		pattern[i] = byte(i * 13)
+	}
+	for off := cfg.RAMBytes / 2; off < cfg.RAMBytes/2+fill; off += addr.PageSize {
+		if err := g.write(off, pattern); err != nil {
+			proc.Exit()
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Process returns the monitor process owning the guest RAM.
+func (g *VM) Process() *kernel.Process { return g.proc }
+
+// Clone rebinds the guest to a forked monitor process (registers reset,
+// RAM shared copy-on-write).
+func (g *VM) Clone(proc *kernel.Process) *VM {
+	return &VM{proc: proc, ramBase: g.ramBase, ramSize: g.ramSize}
+}
+
+// Steps returns instructions executed since boot/clone.
+func (g *VM) Steps() int { return g.steps }
+
+func (g *VM) write(off uint64, p []byte) error {
+	return g.proc.WriteAt(p, g.ramBase+addr.V(off))
+}
+
+func (g *VM) read(off uint64, p []byte) error {
+	return g.proc.ReadAt(p, g.ramBase+addr.V(off))
+}
+
+func (g *VM) writeU64(off uint64, x uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], x)
+	return g.write(off, b[:])
+}
+
+func (g *VM) readU64(off uint64) (uint64, error) {
+	var b [8]byte
+	if err := g.read(off, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// instr assembles one instruction.
+func instr(op, r1, r2 byte, imm uint32) [instrSize]byte {
+	var out [instrSize]byte
+	out[0], out[1], out[2] = op, r1, r2
+	binary.LittleEndian.PutUint32(out[4:], imm)
+	return out
+}
+
+// writeCode writes a routine into guest memory.
+func (g *VM) writeCode(entry uint64, code [][instrSize]byte) error {
+	for i, ins := range code {
+		if err := g.write(entry+uint64(i)*instrSize, ins[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handlerEntry returns the guest address of syscall sys's handler.
+func handlerEntry(sys int) uint64 { return regKernelBase + uint64(sys)*0x100 }
+
+// Syscall numbers the fuzzer drives.
+const (
+	SysStat  = iota // read an inode
+	SysWrite        // update an inode's size field
+	SysAlloc        // bump-allocate guest heap and scribble on it
+	SysHash         // compute over a register
+	NumSyscalls
+)
+
+// handlers returns the guest kernel's bytecode, one routine per
+// syscall. Register conventions: r1 = argument, r2 = scratch/base,
+// r0 = return value.
+func handlers() map[int][][instrSize]byte {
+	return map[int][][instrSize]byte{
+		SysStat: { // r0 = inode[r1].size
+			instr(opLoadImm, 2, 0, regInodeTable),
+			instr(opAdd, 2, 1, 0), // r2 += arg (byte offset, pre-scaled)
+			instr(opLoad, 0, 2, 8),
+			instr(opHalt, 0, 0, 0),
+		},
+		SysWrite: { // inode[r1].size = r1 (scribble)
+			instr(opLoadImm, 2, 0, regInodeTable),
+			instr(opAdd, 2, 1, 0),
+			instr(opStore, 1, 2, 8),
+			instr(opHash, 1, 0, 0),
+			instr(opStore, 1, 2, 16),
+			instr(opHalt, 0, 0, 0),
+		},
+		SysAlloc: { // r0 = heap++; mem[r0] = r1
+			instr(opLoadImm, 2, 0, 0),
+			instr(opLoad, 0, 2, regHeapPtrSlot),
+			instr(opLoadImm, 3, 0, 64),
+			instr(opAdd, 3, 0, 0), // r3 = old + 64
+			instr(opStore, 3, 2, regHeapPtrSlot),
+			instr(opStore, 1, 0, 0), // scribble at allocated block
+			instr(opHalt, 0, 0, 0),
+		},
+		SysHash: {
+			instr(opHash, 1, 0, 0),
+			instr(opHash, 1, 0, 0),
+			instr(opJnz, 1, 0, 0xFFFFFFFF), // loop guard: imm sentinel halts below
+			instr(opHalt, 0, 0, 0),
+		},
+	}
+}
+
+// maxSteps bounds one syscall's execution.
+const maxSteps = 256
+
+// Syscall executes the guest handler for sys with the given argument,
+// returning r0.
+func (g *VM) Syscall(sys int, arg uint64) (uint64, error) {
+	if sys < 0 || sys >= NumSyscalls {
+		return 0, fmt.Errorf("vmclone: bad syscall %d", sys)
+	}
+	g.regs = [numRegs]uint64{}
+	g.regs[1] = arg
+	pc := handlerEntry(sys)
+	var raw [instrSize]byte
+	for steps := 0; steps < maxSteps; steps++ {
+		g.steps++
+		if err := g.read(pc, raw[:]); err != nil {
+			return 0, err
+		}
+		op, r1, r2 := raw[0], raw[1]%numRegs, raw[2]%numRegs
+		imm := binary.LittleEndian.Uint32(raw[4:])
+		switch op {
+		case opHalt:
+			return g.regs[0], nil
+		case opLoadImm:
+			g.regs[r1] = uint64(imm)
+		case opLoad:
+			off := (g.regs[r2] + uint64(imm)) % (g.ramSize - 8)
+			x, err := g.readU64(off)
+			if err != nil {
+				return 0, err
+			}
+			g.regs[r1] = x
+		case opStore:
+			off := (g.regs[r2] + uint64(imm)) % (g.ramSize - 8)
+			if err := g.writeU64(off, g.regs[r1]); err != nil {
+				return 0, err
+			}
+		case opAdd:
+			g.regs[r1] += g.regs[r2]
+		case opJnz:
+			if imm == 0xFFFFFFFF {
+				return g.regs[0], nil // sentinel: treated as halt
+			}
+			if g.regs[r1] != 0 {
+				pc = uint64(imm)
+				continue
+			}
+		case opHash:
+			x := g.regs[r1]
+			x ^= x >> 33
+			x *= 0xff51afd7ed558ccd
+			x ^= x >> 33
+			g.regs[r1] = x
+		default:
+			return 0, fmt.Errorf("vmclone: illegal opcode %d at %#x", op, pc)
+		}
+		pc += instrSize
+	}
+	return 0, fmt.Errorf("vmclone: syscall %d exceeded %d steps", sys, maxSteps)
+}

@@ -1,0 +1,190 @@
+package vmclone
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/mem/addr"
+)
+
+func testVM(t *testing.T) (*kernel.Kernel, *VM) {
+	t.Helper()
+	k := kernel.New()
+	g, err := Boot(k, Config{RAMBytes: 8 * addr.PTECoverage, BootFill: addr.PTECoverage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, g
+}
+
+func TestBootAndStat(t *testing.T) {
+	k, g := testVM(t)
+	defer g.Process().Exit()
+	_ = k
+	// inode[5].size was initialized to 5*4096 at boot.
+	got, err := g.Syscall(SysStat, 5*64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5*4096 {
+		t.Errorf("SysStat(5) = %d, want %d", got, 5*4096)
+	}
+	if g.Steps() == 0 {
+		t.Error("no instructions executed")
+	}
+}
+
+func TestWriteThenStat(t *testing.T) {
+	_, g := testVM(t)
+	defer g.Process().Exit()
+	if _, err := g.Syscall(SysWrite, 7*64); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Syscall(SysStat, 7*64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7*64 {
+		t.Errorf("after SysWrite, size = %d, want %d", got, 7*64)
+	}
+}
+
+func TestAllocBumpsHeap(t *testing.T) {
+	_, g := testVM(t)
+	defer g.Process().Exit()
+	h0, err := g.readU64(regHeapPtrSlot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Syscall(SysAlloc, 0xdead); err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := g.readU64(regHeapPtrSlot)
+	if h1 != h0+64 {
+		t.Errorf("heap %#x -> %#x, want +64", h0, h1)
+	}
+	// The allocated block was scribbled with the argument.
+	v, _ := g.readU64(h0)
+	if v != 0xdead {
+		t.Errorf("alloc scribble = %#x", v)
+	}
+}
+
+func TestSysHash(t *testing.T) {
+	_, g := testVM(t)
+	defer g.Process().Exit()
+	if _, err := g.Syscall(SysHash, 12345); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadSyscall(t *testing.T) {
+	_, g := testVM(t)
+	defer g.Process().Exit()
+	if _, err := g.Syscall(99, 0); err == nil {
+		t.Error("invalid syscall accepted")
+	}
+	if _, err := g.Syscall(-1, 0); err == nil {
+		t.Error("negative syscall accepted")
+	}
+}
+
+func TestIllegalOpcodeTrap(t *testing.T) {
+	_, g := testVM(t)
+	defer g.Process().Exit()
+	// Corrupt a handler with an illegal opcode.
+	bad := instr(0xEE, 0, 0, 0)
+	if err := g.writeCode(handlerEntry(SysHash), [][instrSize]byte{bad}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Syscall(SysHash, 1); err == nil {
+		t.Error("illegal opcode did not trap")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	// The TriforceAFL property: syscalls in a cloned VM must not change
+	// the master's guest state.
+	k, g := testVM(t)
+	defer g.Process().Exit()
+	for _, mode := range []core.ForkMode{core.ForkClassic, core.ForkOnDemand} {
+		child, err := g.Process().ForkWith(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clone := g.Clone(child)
+		if _, err := clone.Syscall(SysWrite, 3*64); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := clone.Syscall(SysStat, 3*64)
+		if got != 3*64 {
+			t.Errorf("%v: clone write lost: %d", mode, got)
+		}
+		child.Exit()
+		child.Wait()
+		// Master still sees the boot-time value.
+		got, err = g.Syscall(SysStat, 3*64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 3*4096 {
+			t.Errorf("%v: master corrupted by clone: %d", mode, got)
+		}
+	}
+	_ = k
+}
+
+func TestClonerRun(t *testing.T) {
+	k := kernel.New()
+	c, err := NewCloner(k, Config{RAMBytes: 4 * addr.PTECoverage, BootFill: addr.PTECoverage}, core.ForkOnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunN(20, 7); err != nil {
+		t.Fatal(err)
+	}
+	if c.Execs != 20 {
+		t.Errorf("Execs = %d", c.Execs)
+	}
+	if c.Throughput.Total() != 20 {
+		t.Errorf("throughput total = %d", c.Throughput.Total())
+	}
+	// Master inode table intact after 20 random executions.
+	got, err := c.Master().Syscall(SysStat, 9*64)
+	if err != nil || got != 9*4096 {
+		t.Errorf("master inode 9 = %d, %v", got, err)
+	}
+	c.Close()
+	if n := k.Allocator().Allocated(); n != 0 {
+		t.Errorf("leak: %d frames", n)
+	}
+}
+
+func TestClonerODFFaster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput comparison in -short mode")
+	}
+	k := kernel.New()
+	cfg := Config{RAMBytes: 16 * addr.PTECoverage, BootFill: 4 * addr.PTECoverage}
+	run := func(mode core.ForkMode) int64 {
+		c, err := NewCloner(k, cfg, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		start := nowNanos()
+		if err := c.RunN(30, 3); err != nil {
+			t.Fatal(err)
+		}
+		return nowNanos() - start
+	}
+	classic := run(core.ForkClassic)
+	odf := run(core.ForkOnDemand)
+	if odf >= classic {
+		t.Errorf("ODF cloning (%d ns) not faster than classic (%d ns)", odf, classic)
+	}
+}
+
+func nowNanos() int64 { return time.Now().UnixNano() }

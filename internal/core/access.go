@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mem/addr"
+	"repro/internal/mem/pagetable"
+)
+
+// The access layer is the simulated MMU: every application load or
+// store walks the paging hierarchy, raises a software page fault when
+// the translation is missing or lacks permission, and maintains the
+// accessed and dirty bits exactly as hardware does. Reads through
+// shared tables proceed without faulting (the paper's "Fast Read");
+// the first write per shared 2 MiB region pays the table-copy cost.
+
+// maxFaultRetries bounds fault/retry loops; any repair needs at most a
+// split plus a data COW, so more iterations indicate a kernel bug.
+const maxFaultRetries = 4
+
+// ReadAt copies len(p) bytes of the process's memory starting at v
+// into p. Unwritten pages read as zeroes.
+func (as *AddressSpace) ReadAt(p []byte, v addr.V) error {
+	for len(p) > 0 {
+		n := addr.PageSize - v.PageOffset()
+		if n > len(p) {
+			n = len(p)
+		}
+		if err := as.accessPage(v, p[:n], false); err != nil {
+			return err
+		}
+		p = p[n:]
+		v += addr.V(n)
+	}
+	return nil
+}
+
+// WriteAt copies p into the process's memory starting at v.
+func (as *AddressSpace) WriteAt(p []byte, v addr.V) error {
+	for len(p) > 0 {
+		n := addr.PageSize - v.PageOffset()
+		if n > len(p) {
+			n = len(p)
+		}
+		if err := as.accessPage(v, p[:n], true); err != nil {
+			return err
+		}
+		p = p[n:]
+		v += addr.V(n)
+	}
+	return nil
+}
+
+// LoadByte loads one byte.
+func (as *AddressSpace) LoadByte(v addr.V) (byte, error) {
+	var b [1]byte
+	err := as.ReadAt(b[:], v)
+	return b[0], err
+}
+
+// StoreByte stores one byte — the paper's Table 1 benchmark operation.
+func (as *AddressSpace) StoreByte(v addr.V, b byte) error {
+	return as.WriteAt([]byte{b}, v)
+}
+
+// Touch performs a minimal one-byte access without moving data, for
+// fault-driven benchmarks.
+func (as *AddressSpace) Touch(v addr.V, write bool) (err error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	defer catchOOM(&err)
+	if _, ok := as.tlb.Lookup(v, write); ok {
+		return nil
+	}
+	for attempt := 0; attempt < maxFaultRetries; attempt++ {
+		tr, ok := as.w.Walk(v)
+		if ok && (!write || tr.Writable) {
+			as.markAccess(tr, write)
+			as.tlb.Insert(v, tr.Frame, tr.Writable, write)
+			return nil
+		}
+		if err := as.handleFaultLocked(v, write); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("core: access at %v not repaired after %d faults", v, maxFaultRetries)
+}
+
+// accessPage performs one intra-page access of len(p) bytes at v.
+func (as *AddressSpace) accessPage(v addr.V, p []byte, write bool) (err error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	defer catchOOM(&err)
+	// TLB fast path: a cached translation skips the page walk entirely.
+	if f, ok := as.tlb.Lookup(v, write); ok {
+		off := v.PageOffset()
+		if write {
+			copy(as.alloc.Data(f)[off:], p)
+			return nil
+		}
+		if d := as.alloc.DataIfPresent(f); d != nil {
+			copy(p, d[off:])
+		} else {
+			clear(p)
+		}
+		return nil
+	}
+	for attempt := 0; attempt < maxFaultRetries; attempt++ {
+		tr, ok := as.w.Walk(v)
+		if ok && (!write || tr.Writable) {
+			as.markAccess(tr, write)
+			as.tlb.Insert(v, tr.Frame, tr.Writable, write)
+			if write {
+				copy(as.alloc.Data(tr.Frame)[tr.Offset:], p)
+				return nil
+			}
+			if d := as.alloc.DataIfPresent(tr.Frame); d != nil {
+				copy(p, d[tr.Offset:])
+			} else {
+				clear(p)
+			}
+			return nil
+		}
+		if err := as.handleFaultLocked(v, write); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("core: access at %v not repaired after %d faults", v, maxFaultRetries)
+}
+
+// markAccess sets the accessed (and on writes, dirty) bits like the
+// hardware walker. Under on-demand-fork the CPU keeps marking pages
+// mapped by shared tables as accessed (§3.2); the dirty bit can never
+// be set while a table is shared because writes are not permitted.
+func (as *AddressSpace) markAccess(tr pagetable.Translation, write bool) {
+	flags := pagetable.FlagAccessed
+	if write {
+		flags |= pagetable.FlagDirty
+	}
+	if tr.Entry&flags != flags {
+		tr.Leaf.OrEntry(tr.LeafIndex, flags)
+	}
+}

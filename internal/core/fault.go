@@ -1,0 +1,396 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mem/addr"
+	"repro/internal/mem/pagetable"
+	"repro/internal/mem/phys"
+	"repro/internal/mem/vm"
+	"repro/internal/profile"
+)
+
+// FaultKind classifies an access violation.
+type FaultKind int
+
+// Access violation kinds.
+const (
+	// FaultUnmapped means no VMA covers the address.
+	FaultUnmapped FaultKind = iota
+	// FaultProtection means the VMA forbids the attempted access.
+	FaultProtection
+)
+
+// SegfaultError is returned for accesses the fault handler cannot
+// repair — the simulated SIGSEGV.
+type SegfaultError struct {
+	Addr  addr.V
+	Write bool
+	Kind  FaultKind
+}
+
+// Error implements the error interface.
+func (e *SegfaultError) Error() string {
+	op := "read"
+	if e.Write {
+		op = "write"
+	}
+	why := "unmapped address"
+	if e.Kind == FaultProtection {
+		why = "protection violation"
+	}
+	return fmt.Sprintf("segfault: %s at %v: %s", op, e.Addr, why)
+}
+
+// HandleFault resolves a page fault at v. It is exported for tests and
+// benchmarks that drive faults directly; normal accesses go through
+// ReadAt/WriteAt, which fault implicitly.
+func (as *AddressSpace) HandleFault(v addr.V, write bool) (err error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	defer catchOOM(&err)
+	return as.handleFaultLocked(v, write)
+}
+
+// handleFaultLocked implements the fault flow of §3.4: demand paging
+// for absent pages, PMD-level share detection, shared-table
+// copy-on-write, the last-sharer fast path, and data-page COW.
+func (as *AddressSpace) handleFaultLocked(v addr.V, write bool) error {
+	as.prof.Charge(profile.FaultEntry, 1)
+	as.Faults.Add(1)
+
+	vma := as.vmas.Find(v)
+	if vma == nil {
+		return &SegfaultError{Addr: v, Write: write, Kind: FaultUnmapped}
+	}
+	if write && !vma.Prot.CanWrite() {
+		return &SegfaultError{Addr: v, Write: write, Kind: FaultProtection}
+	}
+	if !vma.Prot.CanRead() {
+		return &SegfaultError{Addr: v, Write: write, Kind: FaultProtection}
+	}
+
+	tr, ok := as.w.Walk(v)
+	if !ok {
+		return as.demandPageLocked(vma, v)
+	}
+	if !write || tr.Writable {
+		// Read faults on present pages never occur under shared tables
+		// (§3.4 "Fast Read"); a spurious fault is already resolved.
+		return nil
+	}
+
+	// Huge-page extension (§4): a cleared PUD writable bit marks a
+	// shared PMD table; copy it for this process first.
+	if pud := tr.PUDTable; pud != nil && !pud.Entry(tr.PUDIndex).Writable() {
+		as.splitSharedPMDLocked(pud, tr.PUDIndex, pud.Child(tr.PUDIndex))
+		tr2, ok2 := as.w.Walk(v)
+		if !ok2 {
+			return as.demandPageLocked(vma, v)
+		}
+		if tr2.Writable {
+			tr2.Leaf.OrEntry(tr2.LeafIndex, pagetable.FlagAccessed|pagetable.FlagDirty)
+			return nil
+		}
+		tr = tr2
+	}
+
+	if tr.Huge {
+		as.hugeCOWLocked(tr)
+		as.tlb.FlushRange(addr.NewRange(v.HugeBase(), addr.HugePageSize))
+		return nil
+	}
+
+	// A cleared PMD writable bit marks the on-demand-fork write
+	// protection: the PTE table below is (or recently was) shared.
+	pmd, pi := tr.PMDTable, tr.PMDIndex
+	if !pmd.Entry(pi).Writable() {
+		leaf := pmd.Child(pi)
+		as.splitSharedLeafLocked(pmd, pi, leaf, v.HugeBase())
+		// Re-walk: if the entry was never individually write-protected
+		// (the common post-ODF case for pages private to this lineage),
+		// the write can now proceed without copying any data.
+		tr2, ok2 := as.w.Walk(v)
+		if !ok2 {
+			return as.demandPageLocked(vma, v)
+		}
+		if tr2.Writable {
+			tr2.Leaf.OrEntry(tr2.LeafIndex, pagetable.FlagAccessed|pagetable.FlagDirty)
+			return nil
+		}
+		tr = tr2
+	}
+
+	as.pageCOWLocked(tr)
+	as.tlb.FlushPage(v)
+	return nil
+}
+
+// demandPageLocked backs a never-touched page (demand-zero for
+// anonymous VMAs, page-cache copy for file-backed ones). Installing a
+// new entry into a shared table would leak the page into every sharer,
+// so the leaf is unshared first.
+func (as *AddressSpace) demandPageLocked(vma *vm.VMA, v addr.V) error {
+	if vma.Huge() {
+		pmd, pi := as.ensurePrivatePMDLocked(v)
+		if !pmd.Entry(pi).Present() {
+			head := as.alloc.AllocHuge()
+			flags := pagetable.FlagHuge | pagetable.FlagUser
+			if vma.Prot.CanWrite() {
+				flags |= pagetable.FlagWritable
+			}
+			pmd.SetEntry(pi, pagetable.MakeEntry(head, flags))
+		}
+		return nil
+	}
+	leaf, li := as.ensurePrivateLeafLocked(v)
+	if !leaf.Entry(li).Present() {
+		as.installPageLocked(vma, leaf, li, v)
+	}
+	return nil
+}
+
+// ensurePrivateLeafLocked returns the last-level table and index for v,
+// guaranteeing the table is exclusively owned by this process (splitting
+// a shared table if needed) and reachable with PMD write permission.
+func (as *AddressSpace) ensurePrivateLeafLocked(v addr.V) (*pagetable.Table, int) {
+	pmd, pi := as.ensurePrivatePMDLocked(v)
+	leaf := pmd.Child(pi)
+	if leaf == nil {
+		leaf = pagetable.NewTable(as.alloc, addr.PTE)
+		pmd.SetChild(pi, leaf, pagetable.FlagWritable|pagetable.FlagUser)
+		return leaf, v.Index(addr.PTE)
+	}
+	leaf = as.splitSharedLeafLocked(pmd, pi, leaf, v.HugeBase())
+	return leaf, v.Index(addr.PTE)
+}
+
+// ensurePrivatePMDLocked returns the PMD table and index for v,
+// guaranteeing the PMD table itself is exclusively owned by this
+// process (copying a table shared by the huge-page extension if
+// needed). Entry insertions into shared tables would otherwise leak
+// mappings into every sharer.
+func (as *AddressSpace) ensurePrivatePMDLocked(v addr.V) (*pagetable.Table, int) {
+	pud, pi := as.w.EnsurePUD(v)
+	pmd := pud.Child(pi)
+	if pmd == nil {
+		pmd = pagetable.NewTable(as.alloc, addr.PMD)
+		pud.SetChild(pi, pmd, pagetable.FlagWritable|pagetable.FlagUser)
+		return pmd, v.Index(addr.PMD)
+	}
+	pmd = as.splitSharedPMDLocked(pud, pi, pmd)
+	return pmd, v.Index(addr.PMD)
+}
+
+// splitSharedPMDLocked is the huge-page analogue of
+// splitSharedLeafLocked: copy a shared PMD table for this process,
+// COW-protecting its huge entries in both copies (one page reference
+// per entry for the new table) and re-sharing any nested last-level
+// tables. If this process is the last sharer, the table is
+// re-dedicated by restoring the PUD writable bit.
+func (as *AddressSpace) splitSharedPMDLocked(pud *pagetable.Table, pi int, old *pagetable.Table) *pagetable.Table {
+	if old.ShareCount(as.alloc) == 1 {
+		old.Lock()
+		last := old.ShareCount(as.alloc) == 1
+		old.Unlock()
+		if last {
+			if !pud.Entry(pi).Writable() {
+				pud.SetEntry(pi, pud.Entry(pi).With(pagetable.FlagWritable))
+				as.FastDedups.Add(1)
+			}
+			return old
+		}
+	}
+
+	// Pre-allocate so an OOM unwind cannot strand the shared table's
+	// lock (see splitSharedLeafLocked).
+	newPMD := pagetable.NewTable(as.alloc, addr.PMD)
+	old.Lock()
+	if old.ShareCount(as.alloc) == 1 {
+		old.Unlock()
+		as.alloc.Put(newPMD.Frame)
+		if !pud.Entry(pi).Writable() {
+			pud.SetEntry(pi, pud.Entry(pi).With(pagetable.FlagWritable))
+			as.FastDedups.Add(1)
+		}
+		return old
+	}
+
+	as.PMDSplits.Add(1)
+	newPMD.CopyEntriesFrom(old, as.prof)
+	for i := 0; i < addr.EntriesPerTable; i++ {
+		e := old.Entry(i)
+		if !e.Present() {
+			continue
+		}
+		if e.Huge() {
+			if e.Writable() {
+				protected := e.Without(pagetable.FlagWritable | pagetable.FlagDirty).
+					With(pagetable.FlagCOW)
+				old.SetEntry(i, protected)
+				newPMD.SetEntry(i, protected)
+			}
+			as.alloc.Get(e.Frame())
+			continue
+		}
+		if leaf := old.Child(i); leaf != nil {
+			// A nested last-level table becomes shared between the two
+			// PMD tables, exactly as a plain on-demand fork would share
+			// it.
+			shared := e.Without(pagetable.FlagWritable)
+			old.SetEntry(i, shared)
+			newPMD.SetChild(i, leaf, shared)
+			as.alloc.PTShareGet(leaf.Frame)
+		}
+	}
+	if as.alloc.PTSharePut(old.Frame) == 0 {
+		panic("core: shared PMD table refcount reached zero during split")
+	}
+	old.Unlock()
+
+	pud.SetChild(pi, newPMD, pagetable.FlagWritable|pagetable.FlagUser)
+	as.sd.Broadcast()
+	as.prof.Charge(profile.TLBFlush, 1)
+	return newPMD
+}
+
+// splitSharedLeafLocked implements the PTE-table copy-on-write of
+// §3.4–3.5. If the table is genuinely shared, the faulting process gets
+// a dedicated copy: every present entry is write-protected and marked
+// COW in *both* tables (the deferred per-page work classic fork does
+// eagerly), the new table takes one page reference per present entry,
+// and the old table's share counter is decremented. If this process is
+// the last sharer, the table is simply re-dedicated by restoring the
+// PMD writable bit (the fast path the paper describes when the counter
+// reaches one).
+//
+// It returns the table now privately owned by this process.
+func (as *AddressSpace) splitSharedLeafLocked(pmd *pagetable.Table, pi int, old *pagetable.Table, base addr.V) *pagetable.Table {
+	// Cheap check before allocating: the last sharer re-dedicates
+	// without a copy.
+	if old.ShareCount(as.alloc) == 1 {
+		old.Lock()
+		last := old.ShareCount(as.alloc) == 1
+		old.Unlock()
+		if last {
+			if !pmd.Entry(pi).Writable() {
+				pmd.SetEntry(pi, pmd.Entry(pi).With(pagetable.FlagWritable))
+				as.FastDedups.Add(1)
+			}
+			return old
+		}
+	}
+
+	// Allocate the new table before taking the shared table's lock, so
+	// an out-of-memory unwind cannot leave the lock held or the split
+	// half-applied.
+	newLeaf := pagetable.NewTable(as.alloc, addr.PTE)
+	old.Lock()
+	if old.ShareCount(as.alloc) == 1 {
+		// Raced with another sharer's split/exit: dedicate instead.
+		old.Unlock()
+		as.alloc.Put(newLeaf.Frame)
+		if !pmd.Entry(pi).Writable() {
+			pmd.SetEntry(pi, pmd.Entry(pi).With(pagetable.FlagWritable))
+			as.FastDedups.Add(1)
+		}
+		return old
+	}
+
+	as.TableSplits.Add(1)
+	newLeaf.CopyEntriesFrom(old, as.prof)
+	for i := 0; i < addr.EntriesPerTable; i++ {
+		e := old.Entry(i)
+		if !e.Present() {
+			continue
+		}
+		if e.Writable() {
+			// The page was writable pre-fork and is now shared between
+			// at least two lineages: downgrade to COW everywhere.
+			protected := e.Without(pagetable.FlagWritable | pagetable.FlagDirty).With(pagetable.FlagCOW)
+			old.SetEntry(i, protected)
+			newLeaf.SetEntry(i, protected)
+		}
+		// The new table takes its own reference on every page it maps
+		// (§3.6: exactly one page reference per present entry per table).
+		as.alloc.Get(e.Frame())
+	}
+	if as.alloc.PTSharePut(old.Frame) == 0 {
+		panic("core: shared table refcount reached zero during split")
+	}
+	old.Unlock()
+
+	pmd.SetChild(pi, newLeaf, pagetable.FlagWritable|pagetable.FlagUser)
+	// The old table's entries were COW-downgraded: every sharer's TLB
+	// may hold stale writable translations.
+	as.sd.Broadcast()
+	as.prof.Charge(profile.TLBFlush, 1)
+	return newLeaf
+}
+
+// pageCOWLocked resolves a write to a write-protected 4 KiB page in a
+// dedicated table: reuse the page if this table is its only user,
+// otherwise copy it.
+func (as *AddressSpace) pageCOWLocked(tr pagetable.Translation) {
+	leaf, li := tr.Leaf, tr.LeafIndex
+	e := leaf.Entry(li)
+	if !e.Present() || e.Writable() {
+		return // resolved concurrently
+	}
+	f := e.Frame()
+	var nf phys.Frame
+	if as.alloc.RefCount(f) > 1 {
+		// Allocate outside the table lock so OOM cannot strand it.
+		nf = as.alloc.Alloc()
+	}
+	leaf.Lock()
+	defer leaf.Unlock()
+	e = leaf.Entry(li)
+	if !e.Present() || e.Writable() || e.Frame() != f {
+		if nf.Valid() {
+			as.alloc.Put(nf)
+		}
+		return // resolved concurrently
+	}
+	if as.alloc.RefCount(f) == 1 {
+		// Sole user: the COW downgrade can simply be undone (the
+		// kernel's do_wp_page reuse path).
+		if nf.Valid() {
+			as.alloc.Put(nf)
+		}
+		leaf.SetEntry(li, e.Without(pagetable.FlagCOW).With(
+			pagetable.FlagWritable|pagetable.FlagDirty|pagetable.FlagAccessed))
+		return
+	}
+	if !nf.Valid() {
+		nf = as.alloc.Alloc()
+	}
+	as.alloc.CopyPage(nf, f)
+	as.alloc.Put(f)
+	as.PageCopies.Add(1)
+	leaf.SetEntry(li, pagetable.MakeEntry(nf,
+		pagetable.FlagWritable|pagetable.FlagUser|pagetable.FlagDirty|pagetable.FlagAccessed))
+}
+
+// hugeCOWLocked resolves a write to a write-protected 2 MiB page: the
+// 512-page copy whose latency the paper's Table 1 highlights.
+func (as *AddressSpace) hugeCOWLocked(tr pagetable.Translation) {
+	pmd, pi := tr.PMDTable, tr.PMDIndex
+	e := pmd.Entry(pi)
+	if !e.Present() || !e.Huge() || e.Writable() {
+		return
+	}
+	head := e.Frame()
+	if as.alloc.RefCount(head) == 1 {
+		pmd.SetEntry(pi, e.Without(pagetable.FlagCOW).With(
+			pagetable.FlagWritable|pagetable.FlagDirty|pagetable.FlagAccessed))
+		return
+	}
+	nh := as.alloc.AllocHuge()
+	as.alloc.CopyHugePage(nh, head)
+	as.alloc.Put(head)
+	as.HugeCopies.Add(1)
+	pmd.SetEntry(pi, pagetable.MakeEntry(nh,
+		pagetable.FlagHuge|pagetable.FlagWritable|pagetable.FlagUser|
+			pagetable.FlagDirty|pagetable.FlagAccessed))
+}

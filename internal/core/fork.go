@@ -1,0 +1,275 @@
+package core
+
+import (
+	"repro/internal/mem/addr"
+	"repro/internal/mem/pagetable"
+	"repro/internal/mem/tlb"
+	"repro/internal/profile"
+)
+
+// ForkMode selects the fork engine, mirroring the paper's evaluation
+// matrix: the traditional fork (with regular or huge pages, depending
+// on how memory was mapped) versus on-demand-fork.
+type ForkMode int
+
+// Fork engines.
+const (
+	// ForkClassic is the traditional Linux fork: copy the entire paging
+	// hierarchy and reference-count every mapped page.
+	ForkClassic ForkMode = iota
+	// ForkOnDemand is the paper's design: share last-level page tables
+	// and defer their copying to the first write fault per 2 MiB region.
+	ForkOnDemand
+)
+
+// String names the mode as the paper does.
+func (m ForkMode) String() string {
+	switch m {
+	case ForkClassic:
+		return "fork"
+	case ForkOnDemand:
+		return "on-demand-fork"
+	default:
+		return "unknown"
+	}
+}
+
+// ForkOptions tune the fork engines, mainly for the ablation studies
+// listed in DESIGN.md §5. The zero value is the paper's design.
+type ForkOptions struct {
+	// EagerPageRefs (ablation): on-demand-fork additionally performs a
+	// classic-style compound-page resolution and an atomic operation on
+	// every mapped page's reference counter, quantifying how much of the
+	// fork cost the table-refcount accounting of §3.6 removes.
+	EagerPageRefs bool
+	// PerPTEProtect (ablation): instead of write-protecting a whole
+	// 2 MiB region via one PMD entry (the hierarchical-attribute trick
+	// of §3.2), downgrade every individual PTE, quantifying the saving
+	// of the single-entry protect.
+	PerPTEProtect bool
+	// ShareHugePMD enables the paper's §4 "Huge Page Support"
+	// extension: PMD tables whose entries all describe 2 MiB pages are
+	// shared between parent and child (write-protected by one PUD
+	// entry) instead of having their huge entries copied and
+	// reference-counted individually. The paper describes but does not
+	// implement this; it is the natural generalization of last-level
+	// sharing one level up.
+	ShareHugePMD bool
+}
+
+// Fork creates a child address space from parent using the given mode.
+// The child sees a byte-identical copy of the parent's memory with full
+// copy-on-write semantics; the parent's writable pages are
+// write-protected as required by the engine.
+func Fork(parent *AddressSpace, mode ForkMode) *AddressSpace {
+	return ForkWithOptions(parent, mode, ForkOptions{})
+}
+
+// ForkWithOptions is Fork with ablation options.
+func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) *AddressSpace {
+	parent.mu.Lock()
+	defer parent.mu.Unlock()
+
+	child := &AddressSpace{
+		w:     pagetable.NewWalker(parent.alloc, parent.prof),
+		vmas:  parent.vmas.Clone(),
+		alloc: parent.alloc,
+		prof:  parent.prof,
+		sd:    parent.sd,
+		tlb:   tlb.New(parent.sd),
+	}
+	switch mode {
+	case ForkClassic:
+		parent.copyTreeClassic(parent.w.Root, child.w.Root)
+	case ForkOnDemand:
+		parent.copyTreeOnDemand(parent.w.Root, child.w.Root, opts)
+	default:
+		panic("core: unknown fork mode")
+	}
+	// The parent's translations were downgraded; every relative that may
+	// cache translations through now-shared tables must drop them (the
+	// kernel's fork-time TLB flush, broadcast lineage-wide).
+	parent.sd.Broadcast()
+	parent.prof.Charge(profile.TLBFlush, 1)
+	return child
+}
+
+// copyTreeClassic duplicates the paging hierarchy the way Linux's
+// copy_page_range does: fresh tables at every level, and for every
+// present last-level entry a compound-head resolution, an atomic page
+// reference increment, and a COW downgrade in both parent and child.
+// This per-page work is the Figure 3 hot path.
+func (as *AddressSpace) copyTreeClassic(src, dst *pagetable.Table) {
+	if src.Level == addr.PMD {
+		for i := 0; i < addr.EntriesPerTable; i++ {
+			e := src.Entry(i)
+			if !e.Present() {
+				continue
+			}
+			as.prof.Charge(profile.UpperWalk, 1)
+			if e.Huge() {
+				as.copyHugeEntry(src, dst, i, e)
+				continue
+			}
+			leaf := src.Child(i)
+			if leaf == nil {
+				continue
+			}
+			newLeaf := pagetable.NewTable(as.alloc, addr.PTE)
+			leaf.Lock()
+			for li := 0; li < addr.EntriesPerTable; li++ {
+				le := leaf.Entry(li)
+				if !le.Present() {
+					continue
+				}
+				as.prof.Charge(profile.CopyOnePTE, 1)
+				if le.Writable() {
+					le = le.Without(pagetable.FlagWritable | pagetable.FlagDirty).
+						With(pagetable.FlagCOW)
+					leaf.SetEntry(li, le)
+				}
+				newLeaf.SetEntry(li, le)
+				as.alloc.Get(le.Frame())
+			}
+			leaf.Unlock()
+			dst.SetChild(i, newLeaf, src.Entry(i))
+			makePMDWritable(dst, i)
+		}
+		return
+	}
+	for i := 0; i < addr.EntriesPerTable; i++ {
+		childTable := src.Child(i)
+		if childTable == nil {
+			continue
+		}
+		as.prof.Charge(profile.UpperWalk, 1)
+		newTable := pagetable.NewTable(as.alloc, childTable.Level)
+		dst.SetChild(i, newTable, src.Entry(i))
+		as.copyTreeClassic(childTable, newTable)
+	}
+}
+
+// makePMDWritable normalizes a copied PMD slot to be writable at the
+// PMD level: under classic fork, per-PTE bits govern permissions, so
+// the upper levels must not mask them.
+func makePMDWritable(dst *pagetable.Table, i int) {
+	dst.SetEntry(i, dst.Entry(i).With(pagetable.FlagWritable|pagetable.FlagUser))
+}
+
+// copyHugeEntry applies COW to a 2 MiB PMD mapping in both parent and
+// child: the "fork with huge pages" configuration of Figures 4 and 7.
+func (as *AddressSpace) copyHugeEntry(src, dst *pagetable.Table, i int, e pagetable.Entry) {
+	// Copying a huge PMD entry takes the table lock (Linux's
+	// copy_huge_pmd acquires the PMD spinlocks to fence THP
+	// conversions) — one of the costs §5.2.2 notes on-demand-fork
+	// avoids.
+	src.Lock()
+	defer src.Unlock()
+	e = src.Entry(i)
+	if e.Writable() {
+		e = e.Without(pagetable.FlagWritable | pagetable.FlagDirty).With(pagetable.FlagCOW)
+		src.SetEntry(i, e)
+	}
+	dst.SetEntry(i, e)
+	as.alloc.Get(e.Frame())
+}
+
+// copyTreeOnDemand duplicates only the upper levels of the hierarchy
+// (§3.1): at the PMD level, each present slot that points to a
+// last-level table is shared with the child — one share-counter
+// increment and one cleared writable bit replace 512 entry copies and
+// 512 page reference increments.
+func (as *AddressSpace) copyTreeOnDemand(src, dst *pagetable.Table, opts ForkOptions) {
+	if src.Level == addr.PMD {
+		for i := 0; i < addr.EntriesPerTable; i++ {
+			e := src.Entry(i)
+			if !e.Present() {
+				continue
+			}
+			as.prof.Charge(profile.UpperWalk, 1)
+			if e.Huge() {
+				// The implementation supports 4 KiB pages (§4, "Huge Page
+				// Support"); huge mappings fall back to the classic COW of
+				// the PMD entry, which is already table-free.
+				as.copyHugeEntry(src, dst, i, e)
+				continue
+			}
+			leaf := src.Child(i)
+			if leaf == nil {
+				continue
+			}
+			as.alloc.PTShareGet(leaf.Frame)
+			if opts.EagerPageRefs || opts.PerPTEProtect {
+				as.ablationLeafPass(leaf, opts)
+			}
+			// Clear the writable bit in the PMD entries of both parent
+			// and child: one hierarchical-attribute update write-protects
+			// the whole 2 MiB region (§3.2).
+			shared := e.Without(pagetable.FlagWritable)
+			src.SetEntry(i, shared)
+			dst.SetChild(i, leaf, shared)
+		}
+		return
+	}
+	for i := 0; i < addr.EntriesPerTable; i++ {
+		childTable := src.Child(i)
+		if childTable == nil {
+			continue
+		}
+		as.prof.Charge(profile.UpperWalk, 1)
+		if opts.ShareHugePMD && childTable.Level == addr.PMD && hugeOnly(childTable) {
+			// §4 extension: share the whole PMD table describing 2 MiB
+			// pages, write-protecting its 1 GiB region via the PUD entry.
+			as.alloc.PTShareGet(childTable.Frame)
+			shared := src.Entry(i).Without(pagetable.FlagWritable)
+			src.SetEntry(i, shared)
+			dst.SetChild(i, childTable, shared)
+			continue
+		}
+		newTable := pagetable.NewTable(as.alloc, childTable.Level)
+		dst.SetChild(i, newTable, src.Entry(i))
+		as.copyTreeOnDemand(childTable, newTable, opts)
+	}
+}
+
+// hugeOnly reports whether every present entry of a PMD table maps a
+// 2 MiB page directly (and at least one does), making the table
+// eligible for whole-table sharing.
+func hugeOnly(t *pagetable.Table) bool {
+	present := 0
+	for i := 0; i < addr.EntriesPerTable; i++ {
+		e := t.Entry(i)
+		if !e.Present() {
+			continue
+		}
+		if !e.Huge() || t.Child(i) != nil {
+			return false
+		}
+		present++
+	}
+	return present > 0
+}
+
+// ablationLeafPass performs the extra per-entry work the ablation
+// options request, without changing the design's semantics.
+func (as *AddressSpace) ablationLeafPass(leaf *pagetable.Table, opts ForkOptions) {
+	leaf.Lock()
+	for li := 0; li < addr.EntriesPerTable; li++ {
+		e := leaf.Entry(li)
+		if !e.Present() {
+			continue
+		}
+		if opts.EagerPageRefs {
+			as.alloc.TouchRef(e.Frame())
+		}
+		if opts.PerPTEProtect && e.Writable() {
+			// Semantically redundant (the PMD bit already protects the
+			// region) but measures the per-entry downgrade cost. Marking
+			// COW here is safe: the split path treats COW entries
+			// identically.
+			leaf.SetEntry(li, e.Without(pagetable.FlagWritable|pagetable.FlagDirty).
+				With(pagetable.FlagCOW))
+		}
+	}
+	leaf.Unlock()
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mem/addr"
+	"repro/internal/mem/pagetable"
+	"repro/internal/mem/phys"
+)
+
+// TableStats summarizes the paging structure of one address space.
+type TableStats struct {
+	Upper        int // PGD + PUD + PMD tables
+	Leaves       int // last-level tables referenced by this space
+	SharedLeaves int // leaves with share count > 1
+	PresentPTEs  int // present entries in referenced leaves
+	HugeEntries  int // huge PMD entries
+}
+
+// Tables walks the space's hierarchy and reports structure statistics.
+func (as *AddressSpace) Tables() TableStats {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	var st TableStats
+	if as.w.Root != nil {
+		as.countTables(as.w.Root, &st)
+	}
+	return st
+}
+
+func (as *AddressSpace) countTables(t *pagetable.Table, st *TableStats) {
+	if t.Level == addr.PMD {
+		st.Upper++
+		for i := 0; i < addr.EntriesPerTable; i++ {
+			e := t.Entry(i)
+			if !e.Present() {
+				continue
+			}
+			if e.Huge() {
+				st.HugeEntries++
+				continue
+			}
+			if leaf := t.Child(i); leaf != nil {
+				st.Leaves++
+				st.PresentPTEs += leaf.CountPresent()
+				if leaf.ShareCount(as.alloc) > 1 {
+					st.SharedLeaves++
+				}
+			}
+		}
+		return
+	}
+	st.Upper++
+	for i := 0; i < addr.EntriesPerTable; i++ {
+		if c := t.Child(i); c != nil {
+			as.countTables(c, st)
+		}
+	}
+}
+
+// CheckInvariants verifies the paper's accounting rules across a group
+// of address spaces that share one allocator:
+//
+//  1. every last-level table's share counter equals the number of PMD
+//     slots (across all spaces) referencing it (§3.5);
+//  2. every data frame's reference count equals the number of distinct
+//     last-level tables (plus huge PMD entries) mapping it — one
+//     reference per table regardless of how many processes share the
+//     table (§3.6).
+//
+// Spaces must be quiescent while the check runs. Tests call this after
+// every interesting mutation sequence.
+func CheckInvariants(spaces ...*AddressSpace) error {
+	if len(spaces) == 0 {
+		return nil
+	}
+	alloc := spaces[0].alloc
+	for _, as := range spaces {
+		as.mu.Lock()
+	}
+	defer func() {
+		for _, as := range spaces {
+			as.mu.Unlock()
+		}
+	}()
+
+	leafRefs := make(map[*pagetable.Table]int32)
+	pmdRefs := make(map[*pagetable.Table]int32)
+	frameRefs := make(map[phys.Frame]int32)
+	seenLeaf := make(map[*pagetable.Table]bool)
+	seenPMD := make(map[*pagetable.Table]bool)
+
+	// walkPMD tallies the content of one PMD table exactly once: a table
+	// holds one data-page reference per present huge entry and one share
+	// reference per nested last-level table, no matter how many
+	// processes share the PMD table itself (§3.6 generalized one level
+	// up by the huge-page extension).
+	walkPMD := func(t *pagetable.Table) {
+		for i := 0; i < addr.EntriesPerTable; i++ {
+			e := t.Entry(i)
+			if !e.Present() {
+				continue
+			}
+			if e.Huge() {
+				frameRefs[e.Frame()]++
+				continue
+			}
+			leaf := t.Child(i)
+			if leaf == nil {
+				continue
+			}
+			leafRefs[leaf]++
+			if seenLeaf[leaf] {
+				continue
+			}
+			seenLeaf[leaf] = true
+			for li := 0; li < addr.EntriesPerTable; li++ {
+				if le := leaf.Entry(li); le.Present() {
+					frameRefs[le.Frame()]++
+				}
+			}
+		}
+	}
+	var walk func(t *pagetable.Table)
+	walk = func(t *pagetable.Table) {
+		for i := 0; i < addr.EntriesPerTable; i++ {
+			c := t.Child(i)
+			if c == nil {
+				continue
+			}
+			if c.Level == addr.PMD {
+				pmdRefs[c]++
+				if !seenPMD[c] {
+					seenPMD[c] = true
+					walkPMD(c)
+				}
+				continue
+			}
+			walk(c)
+		}
+	}
+	for _, as := range spaces {
+		if as.w.Root != nil {
+			walk(as.w.Root)
+		}
+	}
+
+	for leaf, want := range leafRefs {
+		if got := leaf.ShareCount(alloc); got != want {
+			return fmt.Errorf("core: leaf table frame %d share count = %d, but %d PMD slots reference it",
+				leaf.Frame, got, want)
+		}
+	}
+	for pmd, want := range pmdRefs {
+		if got := pmd.ShareCount(alloc); got != want {
+			return fmt.Errorf("core: PMD table frame %d share count = %d, but %d PUD slots reference it",
+				pmd.Frame, got, want)
+		}
+	}
+	for f, want := range frameRefs {
+		if got := alloc.RefCount(f); got != want {
+			return fmt.Errorf("core: frame %d refcount = %d, but %d tables map it", f, got, want)
+		}
+	}
+	return nil
+}
+
+// EqualMemory verifies that two address spaces present identical bytes
+// over the range r — the fork-semantics check used by tests.
+func EqualMemory(a, b *AddressSpace, r addr.Range) error {
+	bufA := make([]byte, addr.PageSize)
+	bufB := make([]byte, addr.PageSize)
+	for v := r.Start; v < r.End; v += addr.PageSize {
+		n := addr.PageSize
+		if rem := int(r.End - v); rem < n {
+			n = rem
+		}
+		if err := a.ReadAt(bufA[:n], v); err != nil {
+			return fmt.Errorf("read a at %v: %w", v, err)
+		}
+		if err := b.ReadAt(bufB[:n], v); err != nil {
+			return fmt.Errorf("read b at %v: %w", v, err)
+		}
+		for i := 0; i < n; i++ {
+			if bufA[i] != bufB[i] {
+				return fmt.Errorf("memory differs at %v+%d: %#x vs %#x", v, i, bufA[i], bufB[i])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem/phys"
+)
+
+// Out-of-memory handling (paper §4, "Robustness"): PTE tables may need
+// to be allocated inside the page fault handler; under low memory the
+// real kernel sleeps the faulting process and reclaims. The simulated
+// allocator has nothing to reclaim, so a configured frame limit
+// surfaces as ErrOutOfMemory from the syscall or access that needed
+// the frame, leaving the address space consistent.
+//
+// Internally the allocator panics with phys.ErrNoMemory (allocation
+// sites are many and deep); the panic is converted back to an error at
+// the package boundary, the same recover-at-the-API pattern the
+// standard library's regexp parser uses.
+
+// ErrOutOfMemory is returned when a simulated allocation exceeds the
+// configured physical frame limit.
+var ErrOutOfMemory = fmt.Errorf("core: %w", phys.ErrNoMemory)
+
+// catchOOM converts an in-flight phys.ErrNoMemory panic into
+// ErrOutOfMemory on *err; all other panics propagate.
+func catchOOM(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if e, ok := r.(error); ok && errors.Is(e, phys.ErrNoMemory) {
+		*err = ErrOutOfMemory
+		return
+	}
+	panic(r)
+}

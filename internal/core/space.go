@@ -1,0 +1,651 @@
+// Package core implements the paper's contribution: three fork engines
+// over a simulated address space —
+//
+//   - ForkClassic: the traditional Linux fork, which walks every
+//     last-level page table entry, write-protects it, and atomically
+//     increments the data page's reference count (copy_page_range);
+//   - classic fork over huge-page mappings (2 MiB entries at PMD level);
+//   - ForkOnDemand: the paper's on-demand-fork, which copies only the
+//     upper levels of the hierarchy, shares last-level (PTE) tables
+//     between parent and child via a per-table share counter, and
+//     write-protects entire 2 MiB regions by clearing a single PMD
+//     entry's writable bit (§3.1);
+//
+// together with the deferred machinery on-demand-fork needs: the page
+// fault handler that copies shared PTE tables on first write (§3.4),
+// copy-on-write of tables during munmap/mremap (§3.3), the table
+// lifecycle rules (§3.5), and reference-count-based physical page
+// accounting (§3.6).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mem/addr"
+	"repro/internal/mem/pagetable"
+	"repro/internal/mem/phys"
+	"repro/internal/mem/tlb"
+	"repro/internal/mem/vm"
+	"repro/internal/profile"
+)
+
+// Mapping area managed for NULL-hint mmaps, mirroring the x86-64 mmap
+// region.
+const (
+	mmapBase  addr.V = 0x7f00_0000_0000
+	mmapLimit addr.V = 0x7fff_ffff_f000
+)
+
+// AddressSpace is the simulated mm_struct: the paging hierarchy plus
+// the VMA set of one process.
+type AddressSpace struct {
+	mu    sync.Mutex
+	w     *pagetable.Walker
+	vmas  *vm.Set
+	alloc *phys.Allocator
+	prof  *profile.Profiler
+
+	// Software TLB and its lineage-wide shootdown domain: processes
+	// related by fork share page tables, so a write-protect downgrade by
+	// one must invalidate the translations every relative may have
+	// cached (the SMP shootdown broadcast).
+	tlb *tlb.TLB
+	sd  *tlb.Shootdown
+
+	dead bool
+
+	// Statistics, exposed for the benchmarks and experiments.
+	Faults      atomic.Uint64 // page faults handled
+	TableSplits atomic.Uint64 // shared PTE tables copied on demand
+	PMDSplits   atomic.Uint64 // shared huge-page PMD tables copied on demand
+	PageCopies  atomic.Uint64 // 4 KiB data pages copied for COW
+	HugeCopies  atomic.Uint64 // 2 MiB pages copied for COW
+	FastDedups  atomic.Uint64 // faults resolved by re-enabling PMD writable
+}
+
+// NewAddressSpace returns an empty address space drawing frames from
+// alloc. The profiler may be nil.
+func NewAddressSpace(alloc *phys.Allocator, prof *profile.Profiler) *AddressSpace {
+	sd := &tlb.Shootdown{}
+	return &AddressSpace{
+		w:     pagetable.NewWalker(alloc, prof),
+		vmas:  &vm.Set{},
+		alloc: alloc,
+		prof:  prof,
+		sd:    sd,
+		tlb:   tlb.New(sd),
+	}
+}
+
+// TLB exposes the space's software TLB (statistics, tests).
+func (as *AddressSpace) TLB() *tlb.TLB { return as.tlb }
+
+// Allocator returns the backing physical allocator.
+func (as *AddressSpace) Allocator() *phys.Allocator { return as.alloc }
+
+// Walker exposes the paging hierarchy for tests and invariant checks.
+func (as *AddressSpace) Walker() *pagetable.Walker { return as.w }
+
+// MappedBytes returns the total size of all VMAs.
+func (as *AddressSpace) MappedBytes() uint64 {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return as.vmas.TotalBytes()
+}
+
+// VMACount returns the number of VMAs.
+func (as *AddressSpace) VMACount() int {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return as.vmas.Len()
+}
+
+// VMAs returns a snapshot of the space's VMAs in address order. The
+// returned VMAs must be treated as read-only.
+func (as *AddressSpace) VMAs() []*vm.VMA {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	out := make([]*vm.VMA, len(as.vmas.All()))
+	copy(out, as.vmas.All())
+	return out
+}
+
+// FindVMA returns the VMA containing v, or nil. The returned VMA must
+// be treated as read-only.
+func (as *AddressSpace) FindVMA(v addr.V) *vm.VMA {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return as.vmas.Find(v)
+}
+
+// Mmap creates a mapping of size bytes. A zero hint lets the kernel
+// pick an address in the mmap area. Huge mappings must be 2 MiB-sized.
+// With vm.MapPopulate every page is backed immediately, like the
+// paper's benchmarks that write the whole buffer before forking.
+func (as *AddressSpace) Mmap(hint addr.V, size uint64, prot vm.Prot, flags vm.MapFlags, backing vm.Backing, fileOff uint64) (_ addr.V, err error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	defer catchOOM(&err)
+	if as.dead {
+		return 0, fmt.Errorf("core: address space torn down")
+	}
+	if size == 0 {
+		return 0, fmt.Errorf("core: zero-size mmap")
+	}
+	if flags&vm.MapHuge != 0 {
+		if size%addr.HugePageSize != 0 {
+			return 0, fmt.Errorf("core: huge mmap size %#x not 2MiB-aligned", size)
+		}
+		if backing != nil {
+			return 0, fmt.Errorf("core: huge file-backed mappings unsupported")
+		}
+	}
+	size = addr.PageRoundUp(size)
+
+	start := hint
+	if start == 0 {
+		base := mmapBase
+		if flags&vm.MapHuge != 0 {
+			base = addr.V(addr.HugeRoundUp(uint64(mmapBase)))
+		}
+		var ok bool
+		start, ok = as.findGapLocked(base, size, flags)
+		if !ok {
+			return 0, fmt.Errorf("core: mmap area exhausted for %d bytes", size)
+		}
+	} else if !start.PageAligned() {
+		return 0, fmt.Errorf("core: unaligned mmap hint %v", start)
+	}
+	if flags&vm.MapHuge != 0 && !start.HugeAligned() {
+		return 0, fmt.Errorf("core: huge mmap at unaligned address %v", start)
+	}
+
+	vma := &vm.VMA{
+		Range:   addr.NewRange(start, size),
+		Prot:    prot,
+		Flags:   flags,
+		Backing: backing,
+		FileOff: fileOff,
+	}
+	if err := as.vmas.Insert(vma); err != nil {
+		return 0, err
+	}
+	if flags&vm.MapPopulate != 0 {
+		as.populateLocked(vma, vma.Range)
+	}
+	return start, nil
+}
+
+// findGapLocked finds a free region, keeping huge mappings 2 MiB-aligned.
+func (as *AddressSpace) findGapLocked(base addr.V, size uint64, flags vm.MapFlags) (addr.V, bool) {
+	hint := base
+	for {
+		v, ok := as.vmas.FindGap(hint, size, mmapLimit)
+		if !ok {
+			return 0, false
+		}
+		if flags&vm.MapHuge == 0 || v.HugeAligned() {
+			return v, true
+		}
+		aligned := addr.V(addr.HugeRoundUp(uint64(v)))
+		if aligned == hint {
+			// No progress possible; give up to avoid spinning.
+			return 0, false
+		}
+		hint = aligned
+	}
+}
+
+// populateLocked backs every page of r (within vma) with a fresh frame.
+// Frames are materialized lazily by the phys layer, so this is a
+// metadata-only operation until the pages are written.
+func (as *AddressSpace) populateLocked(vma *vm.VMA, r addr.Range) {
+	if vma.Huge() {
+		for v := r.Start; v < r.End; v += addr.HugePageSize {
+			pmd, pi := as.ensurePrivatePMDLocked(v)
+			if pmd.Entry(pi).Present() {
+				continue
+			}
+			head := as.alloc.AllocHuge()
+			flags := pagetable.FlagHuge | pagetable.FlagUser
+			if vma.Prot.CanWrite() {
+				flags |= pagetable.FlagWritable
+			}
+			pmd.SetEntry(pi, pagetable.MakeEntry(head, flags))
+		}
+		return
+	}
+	for v := r.Start; v < r.End; v += addr.PageSize {
+		leaf, li := as.ensurePrivateLeafLocked(v)
+		if leaf.Entry(li).Present() {
+			continue
+		}
+		as.installPageLocked(vma, leaf, li, v)
+	}
+}
+
+// installPageLocked backs one 4 KiB page, copying file content for
+// file-backed VMAs.
+func (as *AddressSpace) installPageLocked(vma *vm.VMA, leaf *pagetable.Table, li int, v addr.V) {
+	f := as.alloc.Alloc()
+	if vma.Backing != nil {
+		off := vma.FileOff + uint64(v.PageBase()-vma.Range.Start)
+		if src := vma.Backing.PageAt(off); src != nil {
+			copy(as.alloc.Data(f), src)
+		}
+	}
+	flags := pagetable.FlagUser
+	if vma.Prot.CanWrite() {
+		flags |= pagetable.FlagWritable
+	}
+	leaf.SetEntry(li, pagetable.MakeEntry(f, flags))
+}
+
+// Munmap removes all mappings in [start, start+size), tearing down page
+// tables with the copy-on-write rules of §3.3: a shared last-level
+// table whose whole relevant coverage is going away is simply
+// dereferenced; a partially unmapped shared table is first copied.
+func (as *AddressSpace) Munmap(start addr.V, size uint64) error {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if !start.PageAligned() {
+		return fmt.Errorf("core: unaligned munmap %v", start)
+	}
+	r := addr.NewRange(start, addr.PageRoundUp(size))
+	if r.Empty() {
+		return fmt.Errorf("core: empty munmap")
+	}
+	removed := as.vmas.RemoveRange(r)
+	for _, piece := range removed {
+		if piece.Huge() {
+			if err := as.zapHugeLocked(piece.Range); err != nil {
+				return err
+			}
+			continue
+		}
+		as.zapRangeLocked(piece.Range)
+	}
+	as.tlb.FlushRange(r)
+	return nil
+}
+
+// zapHugeLocked clears huge PMD entries covering r, honoring shared
+// PMD tables from the huge-page extension with the same §3.3 rules as
+// shared PTE tables. Partial huge-page unmaps are rejected (the real
+// kernel would split the huge page; the paper's workloads never do
+// this).
+func (as *AddressSpace) zapHugeLocked(r addr.Range) error {
+	if !r.Start.HugeAligned() || uint64(r.End)%addr.HugePageSize != 0 {
+		return fmt.Errorf("core: partial huge-page unmap %v", r)
+	}
+	// Process one PMD-table coverage (1 GiB) at a time.
+	base := r.Start &^ addr.V(addr.PMDCoverage-1)
+	for v := base; v < r.End; v += addr.PMDCoverage {
+		pud, pi := as.w.FindPUD(v)
+		if pud == nil {
+			continue
+		}
+		pmd := pud.Child(pi)
+		if pmd == nil {
+			continue
+		}
+		coverage := addr.NewRange(v, addr.PMDCoverage)
+		stillNeeded := as.vmas.MapsAnyIn(coverage)
+
+		if pmd.ShareCount(as.alloc) > 1 {
+			if stillNeeded {
+				pmd = as.splitSharedPMDLocked(pud, pi, pmd)
+			} else {
+				// Whole coverage going away: drop our reference.
+				pud.SetChild(pi, nil, 0)
+				as.releasePMDRef(pmd)
+				continue
+			}
+		}
+		zap := coverage.Intersect(r)
+		pmd.Lock()
+		for a := zap.Start; a < zap.End; a += addr.HugePageSize {
+			idx := a.Index(addr.PMD)
+			if e := pmd.Entry(idx); e.Present() && e.Huge() {
+				as.alloc.Put(e.Frame())
+				pmd.SetEntry(idx, 0)
+			}
+		}
+		pmd.Unlock()
+	}
+	return nil
+}
+
+// zapRangeLocked clears 4 KiB page table entries covering r, honoring
+// shared-table copy-on-write. Must be called after the VMAs covering r
+// have been removed from the set, so as.vmas reflects what must be kept.
+func (as *AddressSpace) zapRangeLocked(r addr.Range) {
+	as.w.VisitLeafTables(r, func(pmd *pagetable.Table, idx int, leaf *pagetable.Table, base addr.V) {
+		coverage := addr.NewRange(base, addr.PTECoverage)
+		stillNeeded := as.vmas.MapsAnyIn(coverage)
+
+		leaf.Lock()
+		shared := leaf.ShareCount(as.alloc) > 1
+		if shared && stillNeeded {
+			// §3.3: other VMAs of this process still use entries of this
+			// shared table — copy it before clearing our part.
+			leaf.Unlock()
+			leaf = as.splitSharedLeafLocked(pmd, idx, leaf, base)
+			leaf.Lock()
+			shared = false
+		}
+		if shared {
+			// Whole relevant coverage going away: drop our reference.
+			leaf.Unlock()
+			pmd.SetChild(idx, nil, 0)
+			as.releaseLeafRef(leaf)
+			return
+		}
+
+		// Dedicated table: clear the entries in r, releasing the table's
+		// per-entry page references.
+		zap := coverage.Intersect(r)
+		for v := zap.Start; v < zap.End; v += addr.PageSize {
+			li := v.Index(addr.PTE)
+			if e := leaf.Entry(li); e.Present() {
+				as.alloc.Put(e.Frame())
+				leaf.SetEntry(li, 0)
+			}
+		}
+		empty := leaf.CountPresent() == 0
+		leaf.Unlock()
+		if empty && !stillNeeded {
+			pmd.SetChild(idx, nil, 0)
+			as.releaseLeafRef(leaf)
+		}
+	})
+}
+
+// releaseLeafRef drops one share reference on a last-level table,
+// freeing the table — and releasing its per-entry page references —
+// when the count reaches zero (§3.5: "if any page table reaches a zero
+// reference count, its destructor is called"). The decrement happens
+// under the table lock so it serializes with concurrent splits by
+// other sharers: a splitter holding the lock cannot observe the count
+// dropping beneath it (the paper's §4 "test-and-set ... when one is
+// being dereferenced and potentially freed").
+func (as *AddressSpace) releaseLeafRef(leaf *pagetable.Table) {
+	leaf.Lock()
+	if as.alloc.PTSharePut(leaf.Frame) > 0 {
+		leaf.Unlock()
+		return
+	}
+	for i := 0; i < addr.EntriesPerTable; i++ {
+		if e := leaf.Entry(i); e.Present() {
+			as.alloc.Put(e.Frame())
+			leaf.SetEntry(i, 0)
+		}
+	}
+	leaf.Unlock()
+	as.alloc.Put(leaf.Frame)
+}
+
+// Mremap moves the mapping at oldStart (oldSize bytes) to a new
+// location of the same size, returning the new address. Shared
+// last-level tables touched by the move are copied first, per §3.3.
+func (as *AddressSpace) Mremap(oldStart addr.V, oldSize uint64) (_ addr.V, err error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	defer catchOOM(&err)
+	if !oldStart.PageAligned() {
+		return 0, fmt.Errorf("core: unaligned mremap %v", oldStart)
+	}
+	oldSize = addr.PageRoundUp(oldSize)
+	oldR := addr.NewRange(oldStart, oldSize)
+	vma := as.vmas.Find(oldStart)
+	if vma == nil || !vma.Range.ContainsRange(oldR) {
+		return 0, fmt.Errorf("core: mremap of unmapped range %v", oldR)
+	}
+	if vma.Huge() {
+		return 0, fmt.Errorf("core: mremap of huge mappings unsupported")
+	}
+
+	newStart, ok := as.vmas.FindGap(mmapBase, oldSize, mmapLimit)
+	if !ok {
+		return 0, fmt.Errorf("core: no space to mremap %d bytes", oldSize)
+	}
+
+	// Move the page table entries before touching the VMA set, so the
+	// shared-table checks still see the old mapping.
+	type moved struct {
+		off addr.V
+		e   pagetable.Entry
+	}
+	var entries []moved
+	as.w.VisitLeafTables(oldR, func(pmd *pagetable.Table, idx int, leaf *pagetable.Table, base addr.V) {
+		leaf.Lock()
+		shared := leaf.ShareCount(as.alloc) > 1
+		leaf.Unlock()
+		if shared {
+			// Copy-on-write the table: after the split we own a private
+			// copy whose entries we can safely clear.
+			leaf = as.splitSharedLeafLocked(pmd, idx, leaf, base)
+		}
+		coverage := addr.NewRange(base, addr.PTECoverage)
+		zap := coverage.Intersect(oldR)
+		leaf.Lock()
+		for v := zap.Start; v < zap.End; v += addr.PageSize {
+			li := v.Index(addr.PTE)
+			if e := leaf.Entry(li); e.Present() {
+				entries = append(entries, moved{off: v - oldStart, e: e})
+				leaf.SetEntry(li, 0)
+			}
+		}
+		empty := leaf.CountPresent() == 0
+		leaf.Unlock()
+		if empty {
+			pmd.SetChild(idx, nil, 0)
+			as.releaseLeafRef(leaf)
+		}
+	})
+
+	// Update the VMA set.
+	as.vmas.RemoveRange(oldR)
+	newVMA := &vm.VMA{
+		Range:   addr.NewRange(newStart, oldSize),
+		Prot:    vma.Prot,
+		Flags:   vma.Flags &^ vm.MapPopulate,
+		Backing: vma.Backing,
+		FileOff: vma.FileOff + uint64(oldR.Start-vma.Range.Start),
+	}
+	if err := as.vmas.Insert(newVMA); err != nil {
+		return 0, fmt.Errorf("core: mremap insert: %v", err)
+	}
+
+	// Reinstall the moved entries at the new location.
+	for _, m := range entries {
+		leaf, li := as.ensurePrivateLeafLocked(newStart + m.off)
+		leaf.SetEntry(li, m.e)
+	}
+	as.tlb.FlushRange(oldR)
+	return newStart, nil
+}
+
+// Mprotect changes the protection of [start, start+size), which must be
+// covered by mapped VMAs.
+func (as *AddressSpace) Mprotect(start addr.V, size uint64, prot vm.Prot) (err error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	defer catchOOM(&err)
+	r := addr.NewRange(start, addr.PageRoundUp(size))
+	if !start.PageAligned() || r.Empty() {
+		return fmt.Errorf("core: bad mprotect range %v", r)
+	}
+	overlapping := as.vmas.Overlapping(r)
+	if len(overlapping) == 0 {
+		return fmt.Errorf("core: mprotect of unmapped range %v", r)
+	}
+	// Split VMAs at the boundaries by removing and re-inserting.
+	removed := as.vmas.RemoveRange(r)
+	for _, piece := range removed {
+		nv := *piece
+		nv.Prot = prot
+		if err := as.vmas.Insert(&nv); err != nil {
+			return fmt.Errorf("core: mprotect reinsert: %v", err)
+		}
+		if !prot.CanWrite() && !piece.Huge() {
+			as.writeProtectRangeLocked(piece.Range)
+		}
+	}
+	as.tlb.FlushRange(r)
+	as.prof.Charge(profile.TLBFlush, 1)
+	return nil
+}
+
+// writeProtectRangeLocked clears the writable bit on present entries in
+// r. Shared tables are split first, since their entries would otherwise
+// change under other sharers with different protections.
+func (as *AddressSpace) writeProtectRangeLocked(r addr.Range) {
+	as.w.VisitLeafTables(r, func(pmd *pagetable.Table, idx int, leaf *pagetable.Table, base addr.V) {
+		leaf.Lock()
+		shared := leaf.ShareCount(as.alloc) > 1
+		leaf.Unlock()
+		if shared {
+			leaf = as.splitSharedLeafLocked(pmd, idx, leaf, base)
+		}
+		coverage := addr.NewRange(base, addr.PTECoverage)
+		zap := coverage.Intersect(r)
+		leaf.Lock()
+		for v := zap.Start; v < zap.End; v += addr.PageSize {
+			li := v.Index(addr.PTE)
+			if e := leaf.Entry(li); e.Present() {
+				leaf.SetEntry(li, e.Without(pagetable.FlagWritable))
+			}
+		}
+		leaf.Unlock()
+	})
+}
+
+// Teardown releases the whole address space: every VMA, every page
+// reference, and every page table. After Teardown the space is dead.
+func (as *AddressSpace) Teardown() {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if as.dead {
+		return
+	}
+	as.dead = true
+	as.vmas.Clear()
+	as.freeTree(as.w.Root)
+	as.w.Root = nil
+}
+
+// freeTree recursively releases a paging subtree. PMD tables go
+// through the share-counted release, since the huge-page extension can
+// leave them shared across processes.
+func (as *AddressSpace) freeTree(t *pagetable.Table) {
+	if t.Level == addr.PMD {
+		as.releasePMDRef(t)
+		return
+	}
+	for i := 0; i < addr.EntriesPerTable; i++ {
+		if child := t.Child(i); child != nil {
+			as.freeTree(child)
+			t.SetChild(i, nil, 0)
+		}
+	}
+	as.alloc.Put(t.Frame)
+}
+
+// releasePMDRef drops one share reference on a PMD table, releasing
+// its huge pages and last-level table references — and the table
+// itself — when the count reaches zero. As with releaseLeafRef, the
+// decrement is serialized with concurrent splits by the table lock.
+func (as *AddressSpace) releasePMDRef(t *pagetable.Table) {
+	t.Lock()
+	if as.alloc.PTSharePut(t.Frame) > 0 {
+		t.Unlock()
+		return
+	}
+	for i := 0; i < addr.EntriesPerTable; i++ {
+		e := t.Entry(i)
+		if !e.Present() {
+			continue
+		}
+		if e.Huge() {
+			as.alloc.Put(e.Frame())
+			t.SetEntry(i, 0)
+			continue
+		}
+		if leaf := t.Child(i); leaf != nil {
+			t.SetChild(i, nil, 0)
+			as.releaseLeafRef(leaf)
+		}
+	}
+	t.Unlock()
+	as.alloc.Put(t.Frame)
+}
+
+// Dead reports whether the space has been torn down.
+func (as *AddressSpace) Dead() bool {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return as.dead
+}
+
+// MadviseDontneed discards the page contents of [start, start+size)
+// without unmapping: page table entries are cleared (splitting shared
+// tables first, since the neighbours keep their view) and the backing
+// frames released; later accesses demand-fault fresh zero pages (or
+// re-read the file for file-backed regions). This is the
+// madvise(MADV_DONTNEED) fork-heavy frameworks use to reset state.
+func (as *AddressSpace) MadviseDontneed(start addr.V, size uint64) (err error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	defer catchOOM(&err)
+	if !start.PageAligned() {
+		return fmt.Errorf("core: unaligned madvise %v", start)
+	}
+	r := addr.NewRange(start, addr.PageRoundUp(size))
+	if r.Empty() {
+		return fmt.Errorf("core: empty madvise")
+	}
+	for _, vma := range as.vmas.Overlapping(r) {
+		piece := vma.Range.Intersect(r)
+		if vma.Huge() {
+			if err := as.zapHugeLocked(piece); err != nil {
+				return err
+			}
+			continue
+		}
+		as.zapRangeLocked(piece)
+	}
+	as.tlb.FlushRange(r)
+	return nil
+}
+
+// VisitPresentPages calls fn for every present 4 KiB page of the
+// space, in address order, with the page's logical content (nil means
+// all-zero). Huge mappings are delivered page by page. fn returning an
+// error stops the walk. Used by core-dump serialization.
+func (as *AddressSpace) VisitPresentPages(fn func(v addr.V, data []byte) error) error {
+	as.mu.Lock()
+	vmas := make([]*vm.VMA, len(as.vmas.All()))
+	copy(vmas, as.vmas.All())
+	as.mu.Unlock()
+	for _, vma := range vmas {
+		for v := vma.Range.Start; v < vma.Range.End; v += addr.PageSize {
+			as.mu.Lock()
+			tr, ok := as.w.Walk(v)
+			var data []byte
+			if ok {
+				data = as.alloc.DataIfPresent(tr.Frame)
+			}
+			as.mu.Unlock()
+			if !ok {
+				continue
+			}
+			if err := fn(v, data); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps/fuzz"
+	"repro/internal/apps/httpd"
+	"repro/internal/apps/kvstore"
+	"repro/internal/apps/sqlike"
+	"repro/internal/apps/vmclone"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/stats"
+)
+
+// AppScale sizes the application experiments. The paper's setups
+// (≈1 GB databases, 188 MB VM) are reachable by raising these; the
+// defaults keep a full harness run in the minutes range.
+type AppScale struct {
+	SQLiteItems int    // rows in the initial sqlike database
+	ArenaBytes  uint64 // sqlike/kvstore arena size
+	KVKeys      int    // preloaded keys in the Redis-like store
+	KVValueLen  int
+	VMRAMBytes  uint64 // guest RAM for the TriforceAFL experiment
+	FuzzSeconds int    // wall-clock seconds per fuzzing campaign
+	Requests    int    // kvstore/httpd request counts
+}
+
+// DefaultScale is the standard harness configuration.
+func DefaultScale() AppScale {
+	return AppScale{
+		SQLiteItems: 60000,
+		ArenaBytes:  256 * MiB,
+		KVKeys:      40000,
+		KVValueLen:  64,
+		VMRAMBytes:  188 * MiB,
+		FuzzSeconds: 10,
+		Requests:    60000,
+	}
+}
+
+// Fig9Result is a fuzzing-campaign outcome for one engine.
+type Fig9Result struct {
+	Mode     core.ForkMode
+	Execs    int
+	MeanRate float64
+	Secs     []float64
+	Rate     []float64
+	Edges    int
+}
+
+// RunFig9 runs the AFL-on-SQLite campaign under both engines.
+func RunFig9(scale AppScale) ([]Fig9Result, string, error) {
+	var out []Fig9Result
+	tb := stats.NewTable("engine", "executions", "mean execs/s", "edges", "corpus")
+	for _, mode := range []core.ForkMode{core.ForkClassic, core.ForkOnDemand} {
+		k := kernel.New()
+		f, err := fuzz.NewFuzzer(k, fuzz.Config{
+			DB: sqlike.Config{
+				ArenaBytes: scale.ArenaBytes,
+				MaxItems:   uint64(scale.SQLiteItems) * 2,
+				MaxTags:    uint64(scale.SQLiteItems)/50 + 16,
+			},
+			Items:    scale.SQLiteItems,
+			NameLen:  24,
+			TagEvery: 50,
+			Mode:     mode,
+			Seed:     1,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		if _, err := f.RunFor(time.Duration(scale.FuzzSeconds) * time.Second); err != nil {
+			f.Close()
+			return nil, "", err
+		}
+		secs, rate := f.Throughput.Series()
+		out = append(out, Fig9Result{
+			Mode:     mode,
+			Execs:    f.Execs,
+			MeanRate: f.Throughput.MeanRate(),
+			Secs:     secs,
+			Rate:     rate,
+			Edges:    f.GlobalEdges(),
+		})
+		tb.AddRow(mode.String(), f.Execs, f.Throughput.MeanRate(), f.GlobalEdges(), f.CorpusSize())
+		f.Close()
+	}
+	text := header("Figure 9: AFL execution throughput on the sqlike engine") + tb.String() +
+		seriesText(out)
+	return out, text, nil
+}
+
+func seriesText(rs []Fig9Result) string {
+	s := "\nthroughput series (execs/s per second of campaign):\n"
+	for _, r := range rs {
+		s += fmt.Sprintf("  %-15s", r.Mode.String())
+		for _, v := range r.Rate {
+			s += fmt.Sprintf(" %6.0f", v)
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// RunTab2 reproduces the sequential test-phase breakdown.
+func RunTab2(scale AppScale) (sqlike.PhaseBreakdown, string, error) {
+	k := kernel.New()
+	res, err := sqlike.MeasureSequential(k, suiteConfig(scale, core.ForkClassic, 1))
+	if err != nil {
+		return sqlike.PhaseBreakdown{}, "", err
+	}
+	tb := stats.NewTable("phase", "avg. time (ms)", "relative")
+	total := res.Total()
+	tb.AddRow("Initialization", res.InitMS, pct(res.InitMS, total))
+	tb.AddRow("Forking", res.ForkMS, pct(res.ForkMS, total))
+	tb.AddRow("Testing", res.TestMS, pct(res.TestMS, total))
+	tb.AddRow("Total", total, "100%")
+	return res, header("Table 2: sequential unit-test phase breakdown") + tb.String(), nil
+}
+
+// RunTab3 compares fork-based unit testing under both engines.
+func RunTab3(scale AppScale, reps int) ([]sqlike.ForkedSuiteResult, string, error) {
+	k := kernel.New()
+	var out []sqlike.ForkedSuiteResult
+	for _, mode := range []core.ForkMode{core.ForkClassic, core.ForkOnDemand} {
+		res, err := sqlike.MeasureForked(k, suiteConfig(scale, mode, reps))
+		if err != nil {
+			return nil, "", err
+		}
+		out = append(out, res)
+	}
+	tb := stats.NewTable("phase", "fork (ms)", "on-demand-fork (ms)")
+	tb.AddRow("Forking", out[0].ForkMS, out[1].ForkMS)
+	tb.AddRow("Testing", out[0].TestMS, out[1].TestMS)
+	tb.AddRow("Total", out[0].Total(), out[1].Total())
+	return out, header("Table 3: fork-based unit test time by engine") + tb.String(), nil
+}
+
+func suiteConfig(scale AppScale, mode core.ForkMode, reps int) sqlike.SuiteConfig {
+	return sqlike.SuiteConfig{
+		DB: sqlike.Config{
+			ArenaBytes: scale.ArenaBytes,
+			MaxItems:   uint64(scale.SQLiteItems) * 2,
+			MaxTags:    uint64(scale.SQLiteItems)/50 + 16,
+		},
+		Items:    scale.SQLiteItems,
+		NameLen:  24,
+		TagEvery: 50,
+		Mode:     mode,
+		Reps:     reps,
+	}
+}
+
+func pct(part, total float64) string {
+	if total == 0 {
+		return "0%"
+	}
+	return fmt.Sprintf("%.2f%%", 100*part/total)
+}
+
+// RunTab45 runs the Redis-like latency benchmark under both engines,
+// producing Table 4 (request percentiles) and Table 5 (fork times).
+func RunTab45(scale AppScale) ([]kvstore.LatencyResult, string, error) {
+	var out []kvstore.LatencyResult
+	for _, mode := range []core.ForkMode{core.ForkClassic, core.ForkOnDemand} {
+		res, err := kvstore.RunLatency(kvstore.LatencyConfig{
+			Store: kvstore.Config{
+				ArenaBytes: scale.ArenaBytes,
+				TableCap:   tableCapFor(scale.KVKeys),
+				Mode:       mode,
+				Threshold:  10000, // the Redis default the paper uses
+			},
+			Keys:      scale.KVKeys,
+			ValueSize: scale.KVValueLen,
+			Requests:  scale.Requests,
+			// Calibration runs without snapshot pressure; post-snapshot
+			// copy-on-write roughly doubles service times, so the offered
+			// load is kept well below raw capacity to avoid saturating
+			// both engines (the paper's memtier run is likewise below
+			// Redis's saturation point).
+			LoadRatio: 0.2,
+			Seed:      7,
+			Runs:      5,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		out = append(out, res)
+	}
+
+	t4 := stats.NewTable("percentile", "fork (ms)", "on-demand-fork (ms)", "reduction")
+	for _, p := range kvstore.LatencyPercentiles {
+		a, b := out[0].Percentiles[p], out[1].Percentiles[p]
+		t4.AddRow(fmt.Sprintf(">=%.4g%%", p), a, b, pct(a-b, a))
+	}
+	t5 := stats.NewTable("type", "fork", "on-demand-fork", "reduction")
+	t5.AddRow("Mean (ms)", out[0].ForkMean, out[1].ForkMean, pct(out[0].ForkMean-out[1].ForkMean, out[0].ForkMean))
+	t5.AddRow("Std. Dev. (ms)", out[0].ForkStdDev, out[1].ForkStdDev,
+		pct(out[0].ForkStdDev-out[1].ForkStdDev, out[0].ForkStdDev))
+	text := header("Table 4: Redis-like request latency percentiles") + t4.String() + "\n" +
+		header("Table 5: Redis-like snapshot fork time") + t5.String() +
+		fmt.Sprintf("\nsnapshots taken: fork=%d odf=%d\n", out[0].Snapshots, out[1].Snapshots)
+	return out, text, nil
+}
+
+func tableCapFor(keys int) uint64 {
+	c := uint64(1)
+	for c < uint64(keys)*2 {
+		c <<= 1
+	}
+	return c
+}
+
+// RunFig10 runs the VM-cloning campaign under both engines.
+func RunFig10(scale AppScale) ([]Fig9Result, string, error) {
+	var out []Fig9Result
+	tb := stats.NewTable("engine", "executions", "mean execs/s")
+	for _, mode := range []core.ForkMode{core.ForkClassic, core.ForkOnDemand} {
+		k := kernel.New()
+		c, err := vmclone.NewCloner(k, vmclone.Config{
+			RAMBytes: scale.VMRAMBytes,
+			BootFill: scale.VMRAMBytes / 4,
+		}, mode)
+		if err != nil {
+			return nil, "", err
+		}
+		if _, err := c.RunFor(time.Duration(scale.FuzzSeconds)*time.Second, 3); err != nil {
+			c.Close()
+			return nil, "", err
+		}
+		secs, rate := c.Throughput.Series()
+		out = append(out, Fig9Result{
+			Mode: mode, Execs: c.Execs, MeanRate: c.Throughput.MeanRate(),
+			Secs: secs, Rate: rate,
+		})
+		tb.AddRow(mode.String(), c.Execs, c.Throughput.MeanRate())
+		c.Close()
+	}
+	text := header("Figure 10: TriforceAFL-style VM cloning throughput") + tb.String() + seriesText(out)
+	return out, text, nil
+}
+
+// RunTab67 runs the Apache-prefork benchmark under both engines.
+func RunTab67(scale AppScale) ([]httpd.BenchResult, string, error) {
+	var out []httpd.BenchResult
+	for _, mode := range []core.ForkMode{core.ForkClassic, core.ForkOnDemand} {
+		k := kernel.New()
+		res, err := httpd.RunBench(k, httpd.Config{
+			ConfigBytes: 7 * MiB,
+			Workers:     8,
+			Mode:        mode,
+		}, scale.Requests/4)
+		if err != nil {
+			return nil, "", err
+		}
+		out = append(out, res)
+	}
+	t6 := stats.NewTable("", "fork", "on-demand-fork", "difference")
+	t6.AddRow("Mean (us)", out[0].MeanUS, out[1].MeanUS, pct(out[1].MeanUS-out[0].MeanUS, out[0].MeanUS))
+	t6.AddRow("Max (us)", out[0].MaxUS, out[1].MaxUS, pct(out[1].MaxUS-out[0].MaxUS, out[0].MaxUS))
+	t7 := stats.NewTable("percentile", "fork (us)", "on-demand-fork (us)")
+	for _, p := range httpd.BenchPercentiles {
+		t7.AddRow(fmt.Sprintf(">=%.0f%%", p), out[0].Percentiles[p], out[1].Percentiles[p])
+	}
+	text := header("Table 6: Apache-prefork response latency") + t6.String() + "\n" +
+		header("Table 7: Apache-prefork latency distribution") + t7.String() +
+		fmt.Sprintf("\nstartup prefork time: fork=%.3fms odf=%.3fms\n", out[0].StartupMS, out[1].StartupMS)
+	return out, text, nil
+}

@@ -1,0 +1,341 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/profile"
+)
+
+// Tiny scales so the whole experiment surface runs in test time.
+func tinyScale() AppScale {
+	return AppScale{
+		SQLiteItems: 1500,
+		ArenaBytes:  32 * MiB,
+		KVKeys:      1000,
+		KVValueLen:  32,
+		VMRAMBytes:  16 * MiB,
+		FuzzSeconds: 1,
+		Requests:    1500,
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	if got := SizeLabel(512 * MiB); got != "512MB" {
+		t.Errorf("SizeLabel = %q", got)
+	}
+	if got := SizeLabel(2 * GiB); got != "2GB" {
+		t.Errorf("SizeLabel = %q", got)
+	}
+	if got := SizeLabel(GiB + GiB/2); got != "1.5GB" {
+		t.Errorf("SizeLabel = %q", got)
+	}
+}
+
+func TestSweepSizes(t *testing.T) {
+	sizes := SweepSizes(GiB)
+	if len(sizes) != 4 { // 128, 256, 512 MiB, 1 GiB
+		t.Fatalf("sweep = %v", sizes)
+	}
+	if sizes[0] != 128*MiB || sizes[3] != GiB {
+		t.Errorf("sweep endpoints = %v", sizes)
+	}
+}
+
+func TestRunFig2(t *testing.T) {
+	rows, text, err := RunFig2(256*MiB, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Linear shape: doubling memory should increase fork time
+	// (asserted on minima, which are robust to host noise).
+	if rows[1].SeqMinMS <= rows[0].SeqMinMS*1.2 {
+		t.Errorf("fork time not growing with size: %v -> %v", rows[0].SeqMinMS, rows[1].SeqMinMS)
+	}
+	if !strings.Contains(text, "Figure 2") || !strings.Contains(text, "128MB") {
+		t.Errorf("text malformed:\n%s", text)
+	}
+}
+
+func TestRunFig3(t *testing.T) {
+	prof, text, err := RunFig3(64*MiB, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Figure 3 shape: compound_head + page_ref_inc dominate.
+	rep := prof.Report()
+	if len(rep) == 0 {
+		t.Fatal("empty profile")
+	}
+	if rep[0].Name != profile.CompoundHead {
+		t.Errorf("top cost = %s, want compound_head", rep[0].Name)
+	}
+	var topTwo float64
+	for _, s := range rep {
+		if s.Name == profile.CompoundHead || s.Name == profile.PageRefInc {
+			topTwo += s.Percent
+		}
+	}
+	if topTwo < 60 {
+		t.Errorf("compound_head+page_ref_inc = %.1f%%, want the bulk", topTwo)
+	}
+	if !strings.Contains(text, "compound_head") {
+		t.Error("text missing hotspot")
+	}
+}
+
+func TestRunFig7(t *testing.T) {
+	rows, text, err := RunFig7(256*MiB, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Figure 7 shape, asserted on minima (robust to GC pauses in
+		// individual samples): both huge-page fork and on-demand-fork are
+		// far below classic fork, and ODF is at least comparable to huge
+		// pages (the paper reports it slightly ahead; at small sizes the
+		// two are within noise of each other).
+		if r.HugeMinMS > r.ForkMinMS/5 {
+			t.Errorf("%s: huge fork (%.4f) not well below classic (%.4f)",
+				SizeLabel(r.Size), r.HugeMinMS, r.ForkMinMS)
+		}
+		if r.OnDemandMinMS > r.ForkMinMS/5 {
+			t.Errorf("%s: odf (%.4f) not well below classic (%.4f)",
+				SizeLabel(r.Size), r.OnDemandMinMS, r.ForkMinMS)
+		}
+		if r.OnDemandMinMS > r.HugeMinMS*2 {
+			t.Errorf("%s: odf (%.4f) clearly slower than huge pages (%.4f)",
+				SizeLabel(r.Size), r.OnDemandMinMS, r.HugeMinMS)
+		}
+	}
+	if !strings.Contains(text, "speedup") {
+		t.Error("text missing speedup column")
+	}
+}
+
+func TestRunTab1(t *testing.T) {
+	rows, text, err := RunTab1(16*MiB, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	classic, huge, odf := rows[0].MeanMS, rows[1].MeanMS, rows[2].MeanMS
+	// Table 1 ordering: classic < odf < huge.
+	if !(classic < odf && odf < huge) {
+		t.Errorf("fault cost ordering violated: classic=%.5f huge=%.5f odf=%.5f",
+			classic, huge, odf)
+	}
+	if !strings.Contains(text, "Table 1") {
+		t.Error("text malformed")
+	}
+}
+
+func TestRunFig8Small(t *testing.T) {
+	rows, text, err := RunFig8(64*MiB, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 30 { // 5 mixes x 6 accessed points
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// At 0% accessed the reduction must be large for every mix. (At
+	// this tiny test scale the measured interval is tens of
+	// microseconds, so the threshold is loose; the full-size harness
+	// reproduces the paper's ~99%.)
+	for _, r := range rows {
+		if r.AccessedPct == 0 && r.ReductionPC < 30 {
+			t.Errorf("mix %d%%: reduction at 0%% accessed = %.1f", r.ReadPct, r.ReductionPC)
+		}
+	}
+	if !strings.Contains(text, "Figure 8") {
+		t.Error("text malformed")
+	}
+}
+
+func TestRunTab2And3(t *testing.T) {
+	scale := tinyScale()
+	res2, text2, err := RunTab2(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.InitMS <= res2.TestMS {
+		t.Errorf("init does not dominate: %+v", res2)
+	}
+	if !strings.Contains(text2, "Initialization") {
+		t.Error("tab2 text malformed")
+	}
+
+	res3, text3, err := RunTab3(scale, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3[1].ForkMS >= res3[0].ForkMS {
+		t.Errorf("tab3: odf fork (%.4f) not faster than classic (%.4f)",
+			res3[1].ForkMS, res3[0].ForkMS)
+	}
+	if !strings.Contains(text3, "on-demand-fork") {
+		t.Error("tab3 text malformed")
+	}
+}
+
+func TestRunTab45(t *testing.T) {
+	scale := tinyScale()
+	scale.Requests = 3000
+	res, text, err := RunTab45(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Snapshots == 0 || res[1].Snapshots == 0 {
+		t.Skipf("too few requests to trigger snapshots at this scale: %+v", res)
+	}
+	if res[1].ForkMean >= res[0].ForkMean {
+		t.Errorf("tab5: odf fork mean (%.4f) not below classic (%.4f)",
+			res[1].ForkMean, res[0].ForkMean)
+	}
+	if !strings.Contains(text, "Table 4") || !strings.Contains(text, "Table 5") {
+		t.Error("text malformed")
+	}
+}
+
+func TestRunFig9Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign in -short mode")
+	}
+	res, text, err := RunFig9(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Execs == 0 || res[1].Execs == 0 {
+		t.Fatalf("no executions: %+v", res)
+	}
+	if res[1].MeanRate <= res[0].MeanRate {
+		t.Errorf("fig9: odf rate (%.1f) not above classic (%.1f)",
+			res[1].MeanRate, res[0].MeanRate)
+	}
+	if !strings.Contains(text, "Figure 9") {
+		t.Error("text malformed")
+	}
+}
+
+func TestRunFig10Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign in -short mode")
+	}
+	// A larger guest than the other tiny-scale runs: at 16 MiB the
+	// per-input guest work dominates both engines and the comparison is
+	// noise; at 64 MiB the classic clone cost is clearly visible.
+	scale := tinyScale()
+	scale.VMRAMBytes = 64 * MiB
+	scale.FuzzSeconds = 2
+	res, text, err := RunFig10(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Execs == 0 || res[1].Execs == 0 {
+		t.Fatalf("no executions: %+v", res)
+	}
+	if res[1].MeanRate <= res[0].MeanRate {
+		t.Errorf("fig10: odf rate (%.1f) not above classic (%.1f)",
+			res[1].MeanRate, res[0].MeanRate)
+	}
+	if !strings.Contains(text, "Figure 10") {
+		t.Error("text malformed")
+	}
+}
+
+func TestRunTab67(t *testing.T) {
+	scale := tinyScale()
+	res, text, err := RunTab67(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The negative result: means within 50% of each other (generous,
+	// since both should be statistically identical).
+	ratio := res[1].MeanUS / res[0].MeanUS
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("httpd means diverge: classic=%.1f odf=%.1f", res[0].MeanUS, res[1].MeanUS)
+	}
+	if !strings.Contains(text, "Table 6") || !strings.Contains(text, "Table 7") {
+		t.Error("text malformed")
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	rows, text, err := RunAblation(64*MiB, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	classic, odf := rows[0].MeanMS, rows[1].MeanMS
+	eager, both := rows[2].MeanMS, rows[4].MeanMS
+	if odf >= classic {
+		t.Errorf("odf (%.4f) not below classic (%.4f)", odf, classic)
+	}
+	// Re-adding per-page work must cost more than plain odf.
+	if eager <= odf {
+		t.Errorf("eager refs (%.4f) not above odf (%.4f)", eager, odf)
+	}
+	if both <= odf {
+		t.Errorf("both ablations (%.4f) not above odf (%.4f)", both, odf)
+	}
+	if !strings.Contains(text, "Ablation") {
+		t.Error("text malformed")
+	}
+}
+
+func TestRunHugeExt(t *testing.T) {
+	rows, text, err := RunHugeExt(256*MiB, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	classic, plain, shared := rows[0].MinMS, rows[1].MinMS, rows[2].MinMS
+	// The extension must not be slower than per-entry COW of huge
+	// mappings, and both stay at least comparable to classic (at 2 MiB
+	// granularity all three touch few entries; sharing touches fewest).
+	if shared > plain*1.5 {
+		t.Errorf("shared PMD fork (%.4f) slower than per-entry ODF (%.4f)", shared, plain)
+	}
+	if shared > classic*1.5 {
+		t.Errorf("shared PMD fork (%.4f) slower than classic (%.4f)", shared, classic)
+	}
+	if !strings.Contains(text, "shared PMD") {
+		t.Error("text malformed")
+	}
+}
+
+func TestRunMemSave(t *testing.T) {
+	rows, text, err := RunMemSave(128*MiB, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // 1, 2, 4 children
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SavingsRatio < 2 {
+			t.Errorf("%d children: savings %.1fx, want substantial", r.Children, r.SavingsRatio)
+		}
+	}
+	// Both grow linearly per child (each child owns its upper tables),
+	// but ODF's per-child cost is just the 3 upper-level tables (12 KiB)
+	// while classic's includes every last-level table.
+	if perChild := rows[2].OnDemandKiB / 4; perChild > 16 {
+		t.Errorf("odf per-child PT memory = %d KiB, want upper tables only", perChild)
+	}
+	if rows[2].ClassicKiB < rows[0].ClassicKiB*3 {
+		t.Errorf("classic PT memory not growing: %d -> %d", rows[0].ClassicKiB, rows[2].ClassicKiB)
+	}
+	if !strings.Contains(text, "savings") {
+		t.Error("text malformed")
+	}
+}

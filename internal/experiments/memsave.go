@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/mem/vm"
+	"repro/internal/stats"
+)
+
+// The memory-savings experiment quantifies the secondary benefit the
+// paper inherits from shared page tables (§6.1's McCracken discussion):
+// with on-demand-fork, N children of a large process share one set of
+// last-level tables instead of owning N copies, so page-table memory
+// stays flat as the process tree grows.
+
+// MemSaveRow is one point of the page-table memory comparison.
+type MemSaveRow struct {
+	Children     int
+	ClassicKiB   int64 // page-table frames under classic fork
+	OnDemandKiB  int64 // page-table frames under on-demand-fork
+	SavingsRatio float64
+}
+
+// RunMemSave forks up to maxChildren children from a process with size
+// bytes mapped, measuring the *additional* physical frames (all of
+// them page tables — no data is written) each engine consumes.
+func RunMemSave(size uint64, maxChildren int) ([]MemSaveRow, string, error) {
+	measure := func(mode core.ForkMode, n int) (int64, error) {
+		k := kernel.New()
+		p := k.NewProcess()
+		defer p.Exit()
+		if _, err := p.Mmap(size, vm.ProtRead|vm.ProtWrite, vm.MapPrivate|vm.MapPopulate); err != nil {
+			return 0, err
+		}
+		before := k.Allocator().Allocated()
+		for i := 0; i < n; i++ {
+			c, err := p.ForkWith(mode)
+			if err != nil {
+				return 0, err
+			}
+			defer c.Exit()
+		}
+		return k.Allocator().Allocated() - before, nil
+	}
+
+	var rows []MemSaveRow
+	tb := stats.NewTable("children", "fork PT mem (KiB)", "odf PT mem (KiB)", "savings")
+	for n := 1; n <= maxChildren; n *= 2 {
+		classic, err := measure(core.ForkClassic, n)
+		if err != nil {
+			return nil, "", err
+		}
+		odf, err := measure(core.ForkOnDemand, n)
+		if err != nil {
+			return nil, "", err
+		}
+		row := MemSaveRow{
+			Children:    n,
+			ClassicKiB:  classic * 4,
+			OnDemandKiB: odf * 4,
+		}
+		if odf > 0 {
+			row.SavingsRatio = float64(classic) / float64(odf)
+		}
+		rows = append(rows, row)
+		tb.AddRow(n, float64(row.ClassicKiB), float64(row.OnDemandKiB),
+			fmt.Sprintf("%.1fx", row.SavingsRatio))
+	}
+	return rows, header(fmt.Sprintf("Memory: page-table frames per child tree (%s process)", SizeLabel(size))) +
+		tb.String(), nil
+}

@@ -1,0 +1,49 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Checkpoint captures a process's state at a point in time so that any
+// number of fresh processes can later be spawned from exactly that
+// state — the snapshot/restore primitive of the fuzzing systems the
+// paper discusses in §6.1 (Xu et al.), built here on on-demand-fork:
+// the checkpoint is a frozen twin created in microseconds, and each
+// Spawn is another microsecond fork from the twin, unaffected by
+// whatever the original process did afterwards.
+type Checkpoint struct {
+	frozen *Process
+}
+
+// Checkpoint freezes the current state of p.
+func (p *Process) Checkpoint() (*Checkpoint, error) {
+	frozen, err := p.ForkWith(forkModeForCheckpoint)
+	if err != nil {
+		return nil, fmt.Errorf("kernel: checkpoint: %w", err)
+	}
+	return &Checkpoint{frozen: frozen}, nil
+}
+
+// forkModeForCheckpoint: checkpoints always use on-demand-fork — the
+// whole point is microsecond capture of arbitrarily large states.
+const forkModeForCheckpoint = core.ForkOnDemand
+
+// Spawn creates a fresh process whose memory is exactly the
+// checkpointed state.
+func (c *Checkpoint) Spawn() (*Process, error) {
+	if c.frozen == nil || c.frozen.Exited() {
+		return nil, fmt.Errorf("kernel: checkpoint released")
+	}
+	return c.frozen.ForkWith(forkModeForCheckpoint)
+}
+
+// Release frees the checkpoint's frozen state. Processes already
+// spawned from it are unaffected.
+func (c *Checkpoint) Release() {
+	if c.frozen != nil {
+		c.frozen.Exit()
+		c.frozen = nil
+	}
+}

@@ -1,0 +1,89 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/mem/addr"
+	"repro/internal/mem/vm"
+)
+
+func TestCheckpointSpawn(t *testing.T) {
+	k := New()
+	p := k.NewProcess()
+	defer p.Exit()
+	base, err := p.Mmap(addr.PTECoverage, rw, vm.MapPrivate|vm.MapPopulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.StoreByte(base, 0xC1); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := p.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Release()
+
+	// The original drifts after the checkpoint.
+	if err := p.StoreByte(base, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every spawn sees the checkpointed state, independent of the
+	// original's drift and of other spawns' writes.
+	for i := 0; i < 3; i++ {
+		s, err := cp.Spawn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b, _ := s.LoadByte(base); b != 0xC1 {
+			t.Errorf("spawn %d sees %#x, want 0xC1", i, b)
+		}
+		if err := s.StoreByte(base, byte(i)); err != nil {
+			t.Fatal(err)
+		}
+		s.Exit()
+	}
+}
+
+func TestCheckpointReleasedSpawnFails(t *testing.T) {
+	k := New()
+	p := k.NewProcess()
+	defer p.Exit()
+	cp, err := p.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Release()
+	cp.Release() // idempotent
+	if _, err := cp.Spawn(); err == nil {
+		t.Error("spawn from released checkpoint succeeded")
+	}
+}
+
+func TestCheckpointOutlivesOriginal(t *testing.T) {
+	k := New()
+	p := k.NewProcess()
+	base, err := p.Mmap(addr.PTECoverage, rw, vm.MapPrivate|vm.MapPopulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.StoreByte(base, 0x5C)
+	cp, err := p.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Exit() // original dies; checkpoint must stay usable
+	s, err := cp.Spawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := s.LoadByte(base); b != 0x5C {
+		t.Errorf("spawn after original exit sees %#x", b)
+	}
+	s.Exit()
+	cp.Release()
+	if got := k.Allocator().Allocated(); got != 0 {
+		t.Errorf("leak: %d frames", got)
+	}
+}

@@ -1,0 +1,160 @@
+package kernel
+
+// Core dump save/restore: serialize a process's entire memory image to
+// a file in the simulated filesystem and reconstruct an equivalent
+// process later — the persistence counterpart of the fork-based
+// snapshots (what Redis's RDB file is to its fork snapshot). The dump
+// records VMAs and the present pages' contents; restored mappings are
+// anonymous (like a real core, file-backed regions are materialized).
+//
+// Format (little-endian):
+//
+//	magic "ODFCORE1"
+//	u32 vmaCount
+//	per VMA: u64 start, u64 size, u8 prot, u8 huge
+//	page records until sentinel: u64 vaddr (sentinel ^0), u16 length,
+//	    <length bytes> (pages are stored with trailing zeroes trimmed)
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/fs"
+	"repro/internal/mem/addr"
+	"repro/internal/mem/vm"
+)
+
+var coreMagic = []byte("ODFCORE1")
+
+const pageSentinel = ^uint64(0)
+
+// SaveCore writes the process's memory image into f.
+func (p *Process) SaveCore(f *fs.File) error {
+	var buf bytes.Buffer
+	buf.Write(coreMagic)
+	vmas := p.as.VMAs()
+	var hdr [18]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(vmas)))
+	buf.Write(hdr[:4])
+	for _, v := range vmas {
+		binary.LittleEndian.PutUint64(hdr[0:], uint64(v.Range.Start))
+		binary.LittleEndian.PutUint64(hdr[8:], v.Range.Size())
+		hdr[16] = byte(v.Prot)
+		hdr[17] = 0
+		if v.Huge() {
+			hdr[17] = 1
+		}
+		buf.Write(hdr[:18])
+	}
+
+	err := p.as.VisitPresentPages(func(v addr.V, data []byte) error {
+		// Trim trailing zeroes; all-zero pages are omitted entirely (the
+		// restore side demand-zeroes them).
+		n := len(data)
+		for n > 0 && data[n-1] == 0 {
+			n--
+		}
+		if n == 0 {
+			return nil
+		}
+		var rec [10]byte
+		binary.LittleEndian.PutUint64(rec[0:], uint64(v))
+		binary.LittleEndian.PutUint16(rec[8:], uint16(n))
+		buf.Write(rec[:])
+		buf.Write(data[:n])
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("kernel: save core: %w", err)
+	}
+	var end [10]byte
+	binary.LittleEndian.PutUint64(end[0:], pageSentinel)
+	buf.Write(end[:])
+
+	f.Truncate(0)
+	if _, err := f.WriteAt(buf.Bytes(), 0); err != nil {
+		return fmt.Errorf("kernel: save core: %w", err)
+	}
+	return nil
+}
+
+// LoadCore reconstructs a process from a core dump.
+func (k *Kernel) LoadCore(f *fs.File) (*Process, error) {
+	raw := make([]byte, f.Size())
+	if _, err := f.ReadAt(raw, 0); err != nil && len(raw) > 0 {
+		return nil, fmt.Errorf("kernel: load core: %w", err)
+	}
+	if len(raw) < len(coreMagic)+4 || !bytes.Equal(raw[:len(coreMagic)], coreMagic) {
+		return nil, fmt.Errorf("kernel: load core: bad magic")
+	}
+	off := len(coreMagic)
+	count := int(binary.LittleEndian.Uint32(raw[off:]))
+	off += 4
+
+	p := k.NewProcess()
+	fail := func(err error) (*Process, error) {
+		p.Exit()
+		return nil, err
+	}
+	for i := 0; i < count; i++ {
+		if off+18 > len(raw) {
+			return fail(fmt.Errorf("kernel: load core: truncated VMA table"))
+		}
+		start := addr.V(binary.LittleEndian.Uint64(raw[off:]))
+		size := binary.LittleEndian.Uint64(raw[off+8:])
+		prot := vm.Prot(raw[off+16])
+		flags := vm.MapPrivate
+		if raw[off+17] == 1 {
+			flags |= vm.MapHuge
+		}
+		off += 18
+		if _, err := p.as.Mmap(start, size, prot, flags, nil, 0); err != nil {
+			return fail(fmt.Errorf("kernel: load core: map %v: %w", start, err))
+		}
+	}
+	for {
+		if off+10 > len(raw) {
+			return fail(fmt.Errorf("kernel: load core: truncated page records"))
+		}
+		v := binary.LittleEndian.Uint64(raw[off:])
+		if v == pageSentinel {
+			break
+		}
+		n := int(binary.LittleEndian.Uint16(raw[off+8:]))
+		off += 10
+		if off+n > len(raw) {
+			return fail(fmt.Errorf("kernel: load core: truncated page at %#x", v))
+		}
+		// Restored pages may be in read-only VMAs; write through the
+		// address space regardless of VMA protection by lifting it
+		// temporarily is overkill — instead only writable pages carry
+		// content here, and read-only restores go through a relaxed path.
+		if err := p.restorePage(addr.V(v), raw[off:off+n]); err != nil {
+			return fail(fmt.Errorf("kernel: load core: page %#x: %w", v, err))
+		}
+		off += n
+	}
+	return p, nil
+}
+
+// restorePage writes page content during LoadCore, temporarily lifting
+// a read-only VMA's protection the way a debugger's core loader pokes
+// memory.
+func (p *Process) restorePage(v addr.V, data []byte) error {
+	vma := p.as.FindVMA(v)
+	if vma == nil {
+		return fmt.Errorf("no mapping")
+	}
+	if vma.Prot.CanWrite() {
+		return p.WriteAt(data, v)
+	}
+	r := vma.Range
+	if err := p.Mprotect(r.Start, r.Size(), vma.Prot|vm.ProtWrite); err != nil {
+		return err
+	}
+	if err := p.WriteAt(data, v); err != nil {
+		return err
+	}
+	return p.Mprotect(r.Start, r.Size(), vma.Prot)
+}

@@ -1,0 +1,174 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem/addr"
+	"repro/internal/mem/vm"
+)
+
+func TestCoreDumpRoundtrip(t *testing.T) {
+	k := New()
+	p := k.NewProcess()
+	base, err := p.Mmap(addr.PTECoverage, rw, vm.MapPrivate|vm.MapPopulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("core dump payload across a page boundary.......")
+	spot := base + addr.V(7*addr.PageSize+4000)
+	if err := p.WriteAt(payload, spot); err != nil {
+		t.Fatal(err)
+	}
+	// A second, read-only mapping with content written pre-protect.
+	ro, err := p.Mmap(2*addr.PageSize, rw, vm.MapPrivate|vm.MapPopulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.StoreByte(ro, 0x52); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Mprotect(ro, 2*addr.PageSize, vm.ProtRead); err != nil {
+		t.Fatal(err)
+	}
+
+	dump := k.FS().Create("proc.core")
+	if err := p.SaveCore(dump); err != nil {
+		t.Fatal(err)
+	}
+	p.Exit()
+
+	restored, err := k.LoadCore(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Exit()
+
+	got := make([]byte, len(payload))
+	if err := restored.ReadAt(got, spot); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("restored payload = %q", got)
+	}
+	if b, _ := restored.LoadByte(ro); b != 0x52 {
+		t.Errorf("read-only page restored to %#x", b)
+	}
+	// Protection restored too: writes to the RO region must fault.
+	if err := restored.StoreByte(ro, 1); err == nil {
+		t.Error("restored read-only mapping is writable")
+	}
+	// Untouched pages restore as zero.
+	if b, _ := restored.LoadByte(base + addr.V(100*addr.PageSize)); b != 0 {
+		t.Errorf("zero page restored to %#x", b)
+	}
+	if restored.Space().VMACount() != 2 {
+		t.Errorf("VMA count = %d", restored.Space().VMACount())
+	}
+}
+
+func TestCoreDumpHugePages(t *testing.T) {
+	k := New()
+	p := k.NewProcess()
+	base, err := p.Mmap(addr.HugePageSize, rw, vm.MapPrivate|vm.MapHuge|vm.MapPopulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteAt([]byte("huge content"), base+addr.V(addr.PageSize*300)); err != nil {
+		t.Fatal(err)
+	}
+	dump := k.FS().Create("huge.core")
+	if err := p.SaveCore(dump); err != nil {
+		t.Fatal(err)
+	}
+	p.Exit()
+	restored, err := k.LoadCore(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Exit()
+	got := make([]byte, 12)
+	if err := restored.ReadAt(got, base+addr.V(addr.PageSize*300)); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "huge content" {
+		t.Errorf("restored huge content = %q", got)
+	}
+	vmas := restored.Space().VMAs()
+	if len(vmas) != 1 || !vmas[0].Huge() {
+		t.Error("huge mapping not restored as huge")
+	}
+}
+
+func TestCoreDumpCompactness(t *testing.T) {
+	// Dumps omit zero pages and trim trailing zeroes, so a mostly-empty
+	// process dumps small.
+	k := New()
+	p := k.NewProcess()
+	defer p.Exit()
+	if _, err := p.Mmap(16*addr.PTECoverage, rw, vm.MapPrivate|vm.MapPopulate); err != nil {
+		t.Fatal(err)
+	}
+	dump := k.FS().Create("sparse.core")
+	if err := p.SaveCore(dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Size() > 4096 {
+		t.Errorf("sparse dump = %d bytes, want tiny", dump.Size())
+	}
+}
+
+func TestLoadCoreBadInput(t *testing.T) {
+	k := New()
+	junk := k.FS().Create("junk")
+	junk.WriteAt([]byte("not a core"), 0)
+	if _, err := k.LoadCore(junk); err == nil {
+		t.Error("junk core accepted")
+	}
+	trunc := k.FS().Create("trunc")
+	trunc.WriteAt(append([]byte("ODFCORE1"), 5, 0, 0, 0), 0)
+	if _, err := k.LoadCore(trunc); err == nil {
+		t.Error("truncated core accepted")
+	}
+	if k.NumProcesses() != 0 {
+		t.Error("failed loads leaked processes")
+	}
+}
+
+func TestCoreDumpOfForkChild(t *testing.T) {
+	// Dumping a child that shares tables with its parent must capture
+	// the child's logical view without disturbing the parent.
+	k := New()
+	p := k.NewProcess()
+	defer p.Exit()
+	base, err := p.Mmap(addr.PTECoverage, rw, vm.MapPrivate|vm.MapPopulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.StoreByte(base, 0x77)
+	c, err := p.ForkWith(core.ForkOnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StoreByte(base+1, 0x88)
+	dump := k.FS().Create("child.core")
+	if err := c.SaveCore(dump); err != nil {
+		t.Fatal(err)
+	}
+	c.Exit()
+	restored, err := k.LoadCore(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Exit()
+	if b, _ := restored.LoadByte(base); b != 0x77 {
+		t.Errorf("restored inherited byte = %#x", b)
+	}
+	if b, _ := restored.LoadByte(base + 1); b != 0x88 {
+		t.Errorf("restored own byte = %#x", b)
+	}
+	if b, _ := p.LoadByte(base + 1); b == 0x88 {
+		t.Error("child write leaked to parent")
+	}
+}

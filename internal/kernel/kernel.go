@@ -1,0 +1,269 @@
+// Package kernel ties the simulated subsystems together into a
+// process-level API: a Kernel owning physical memory, a filesystem and
+// a process table, and Process objects offering the syscall surface the
+// paper's workloads use (mmap, munmap, mremap, mprotect, fork,
+// on-demand-fork, exit, wait, and memory access through the software
+// MMU).
+//
+// The fork-mode selection mirrors the paper's deployment story (§4,
+// "Flexibility"): on-demand-fork is a separate opt-in entry point
+// (ForkWith), and a procfs-style per-process configuration
+// (Kernel.SetForkMode) transparently redirects plain Fork calls, so
+// applications need no source changes.
+package kernel
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/mem/addr"
+	"repro/internal/mem/phys"
+	"repro/internal/mem/vm"
+	"repro/internal/profile"
+)
+
+// PID identifies a simulated process.
+type PID int
+
+// Kernel is the simulated operating system instance.
+type Kernel struct {
+	alloc *phys.Allocator
+	prof  *profile.Profiler
+	fsys  *fs.FileSystem
+
+	mu        sync.Mutex
+	nextPID   PID
+	procs     map[PID]*Process
+	forkModes map[PID]core.ForkMode // procfs-style per-process override
+	defMode   core.ForkMode
+}
+
+// Option configures a Kernel.
+type Option func(*Kernel)
+
+// WithProfiler attaches a cost profiler to the kernel's hot paths.
+func WithProfiler(p *profile.Profiler) Option {
+	return func(k *Kernel) { k.prof = p }
+}
+
+// WithDefaultForkMode sets the engine plain Fork calls use when no
+// per-process override exists. The default is the classic fork.
+func WithDefaultForkMode(m core.ForkMode) Option {
+	return func(k *Kernel) { k.defMode = m }
+}
+
+// New boots a kernel.
+func New(opts ...Option) *Kernel {
+	k := &Kernel{
+		nextPID:   1,
+		procs:     make(map[PID]*Process),
+		forkModes: make(map[PID]core.ForkMode),
+		defMode:   core.ForkClassic,
+	}
+	for _, o := range opts {
+		o(k)
+	}
+	k.alloc = phys.NewAllocator(k.prof)
+	k.fsys = fs.New()
+	return k
+}
+
+// Allocator exposes the physical memory manager.
+func (k *Kernel) Allocator() *phys.Allocator { return k.alloc }
+
+// Profiler returns the kernel profiler (may be nil).
+func (k *Kernel) Profiler() *profile.Profiler { return k.prof }
+
+// FS returns the kernel's filesystem.
+func (k *Kernel) FS() *fs.FileSystem { return k.fsys }
+
+// NewProcess creates a fresh process with an empty address space (the
+// simulated equivalent of exec from nothing).
+func (k *Kernel) NewProcess() *Process {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p := &Process{
+		k:    k,
+		pid:  k.nextPID,
+		as:   core.NewAddressSpace(k.alloc, k.prof),
+		done: make(chan struct{}),
+	}
+	k.nextPID++
+	k.procs[p.pid] = p
+	return p
+}
+
+// Process returns the process with the given PID, or nil.
+func (k *Kernel) Process(pid PID) *Process {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.procs[pid]
+}
+
+// NumProcesses returns the number of live processes.
+func (k *Kernel) NumProcesses() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.procs)
+}
+
+// SetForkMode installs the procfs-style per-process fork configuration:
+// subsequent plain Fork calls by pid use mode, with no change to the
+// application's code (§4, "Flexibility").
+func (k *Kernel) SetForkMode(pid PID, mode core.ForkMode) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, ok := k.procs[pid]; !ok {
+		return fmt.Errorf("kernel: no process %d", pid)
+	}
+	k.forkModes[pid] = mode
+	return nil
+}
+
+// forkModeFor resolves the engine for a process.
+func (k *Kernel) forkModeFor(pid PID) core.ForkMode {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if m, ok := k.forkModes[pid]; ok {
+		return m
+	}
+	return k.defMode
+}
+
+// Process is a simulated task: an address space plus process-table
+// state. Its methods are the syscall surface used by the workloads.
+type Process struct {
+	k   *Kernel
+	pid PID
+
+	mu     sync.Mutex
+	as     *core.AddressSpace
+	parent PID
+	exited bool
+	done   chan struct{}
+}
+
+// PID returns the process id.
+func (p *Process) PID() PID { return p.pid }
+
+// Parent returns the parent's PID (0 for initial processes).
+func (p *Process) Parent() PID { return p.parent }
+
+// Space exposes the underlying address space for stats and invariants.
+func (p *Process) Space() *core.AddressSpace { return p.as }
+
+// Mmap maps size bytes and returns the chosen address.
+func (p *Process) Mmap(size uint64, prot vm.Prot, flags vm.MapFlags) (addr.V, error) {
+	return p.as.Mmap(0, size, prot, flags, nil, 0)
+}
+
+// MmapFile maps size bytes of the file starting at fileOff.
+func (p *Process) MmapFile(size uint64, prot vm.Prot, flags vm.MapFlags, f *fs.File, fileOff uint64) (addr.V, error) {
+	return p.as.Mmap(0, size, prot, flags, f, fileOff)
+}
+
+// Munmap unmaps [start, start+size).
+func (p *Process) Munmap(start addr.V, size uint64) error {
+	return p.as.Munmap(start, size)
+}
+
+// Mremap moves a mapping and returns its new address.
+func (p *Process) Mremap(start addr.V, size uint64) (addr.V, error) {
+	return p.as.Mremap(start, size)
+}
+
+// Mprotect changes mapping protections.
+func (p *Process) Mprotect(start addr.V, size uint64, prot vm.Prot) error {
+	return p.as.Mprotect(start, size, prot)
+}
+
+// ReadAt reads process memory.
+func (p *Process) ReadAt(buf []byte, v addr.V) error { return p.as.ReadAt(buf, v) }
+
+// WriteAt writes process memory.
+func (p *Process) WriteAt(buf []byte, v addr.V) error { return p.as.WriteAt(buf, v) }
+
+// LoadByte reads one byte of process memory.
+func (p *Process) LoadByte(v addr.V) (byte, error) { return p.as.LoadByte(v) }
+
+// StoreByte writes one byte of process memory.
+func (p *Process) StoreByte(v addr.V, b byte) error { return p.as.StoreByte(v, b) }
+
+// Touch performs a minimal access, faulting as needed.
+func (p *Process) Touch(v addr.V, write bool) error { return p.as.Touch(v, write) }
+
+// Fork duplicates the process using the engine configured for it
+// (classic by default; on-demand-fork if procfs says so).
+func (p *Process) Fork() (*Process, error) {
+	return p.ForkWith(p.k.forkModeFor(p.pid))
+}
+
+// ForkWith duplicates the process with an explicit engine — the
+// paper's opt-in on_demand_fork() syscall.
+func (p *Process) ForkWith(mode core.ForkMode) (*Process, error) {
+	return p.forkInternal(mode, core.ForkOptions{})
+}
+
+// ForkWithOptions exposes the ablation knobs.
+func (p *Process) ForkWithOptions(mode core.ForkMode, opts core.ForkOptions) (*Process, error) {
+	return p.forkInternal(mode, opts)
+}
+
+func (p *Process) forkInternal(mode core.ForkMode, opts core.ForkOptions) (*Process, error) {
+	p.mu.Lock()
+	if p.exited {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("kernel: fork from exited process %d", p.pid)
+	}
+	childAS := core.ForkWithOptions(p.as, mode, opts)
+	p.mu.Unlock()
+
+	k := p.k
+	k.mu.Lock()
+	child := &Process{
+		k:      k,
+		pid:    k.nextPID,
+		as:     childAS,
+		parent: p.pid,
+		done:   make(chan struct{}),
+	}
+	k.nextPID++
+	k.procs[child.pid] = child
+	// Children inherit the procfs fork-mode configuration.
+	if m, ok := k.forkModes[p.pid]; ok {
+		k.forkModes[child.pid] = m
+	}
+	k.mu.Unlock()
+	return child, nil
+}
+
+// Exit terminates the process, tearing down its address space and
+// releasing every shared page-table reference it holds.
+func (p *Process) Exit() {
+	p.mu.Lock()
+	if p.exited {
+		p.mu.Unlock()
+		return
+	}
+	p.exited = true
+	p.as.Teardown()
+	close(p.done)
+	p.mu.Unlock()
+
+	p.k.mu.Lock()
+	delete(p.k.procs, p.pid)
+	delete(p.k.forkModes, p.pid)
+	p.k.mu.Unlock()
+}
+
+// Exited reports whether the process has exited.
+func (p *Process) Exited() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.exited
+}
+
+// Wait blocks until the process exits (the waitpid of the benchmarks).
+func (p *Process) Wait() { <-p.done }

@@ -1,0 +1,92 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mem/addr"
+)
+
+// procfs-style introspection: the paper configures on-demand-fork
+// through procfs, and its experiments read kernel state the same way.
+// These helpers render the simulated equivalents of /proc/pid/maps and
+// /proc/pid/status.
+
+// Maps renders the process's mappings like /proc/pid/maps.
+func (p *Process) Maps() string {
+	var b strings.Builder
+	for _, v := range p.as.VMAs() {
+		fmt.Fprintln(&b, v)
+	}
+	return b.String()
+}
+
+// Status summarizes a process's memory state, the fields the paper's
+// experiments watch.
+type Status struct {
+	PID        PID
+	Parent     PID
+	VmSizeKiB  uint64 // total mapped virtual memory
+	VmRSSKiB   uint64 // resident (present) memory, huge entries included
+	PageTables int    // tables in (or shared into) the hierarchy
+	SharedPTs  int    // last-level tables currently shared
+	Faults     uint64
+	TableCOWs  uint64 // shared table copies performed on demand
+	PageCOWs   uint64 // data page copies performed on demand
+	TLBHitRate float64
+	TLBShoots  uint64 // lineage-wide shootdowns observed
+}
+
+// Status returns the process's memory summary.
+func (p *Process) Status() Status {
+	st := p.as.Tables()
+	return Status{
+		PID:        p.pid,
+		Parent:     p.parent,
+		VmSizeKiB:  p.as.MappedBytes() >> 10,
+		VmRSSKiB:   (uint64(st.PresentPTEs)*addr.PageSize + uint64(st.HugeEntries)*addr.HugePageSize) >> 10,
+		PageTables: st.Upper + st.Leaves,
+		SharedPTs:  st.SharedLeaves,
+		Faults:     p.as.Faults.Load(),
+		TableCOWs:  p.as.TableSplits.Load(),
+		PageCOWs:   p.as.PageCopies.Load(),
+		TLBHitRate: p.as.TLB().HitRate(),
+		TLBShoots:  p.as.TLB().Shootdowns.Load(),
+	}
+}
+
+// String renders the status like /proc/pid/status.
+func (s Status) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pid:\t%d\n", s.PID)
+	fmt.Fprintf(&b, "PPid:\t%d\n", s.Parent)
+	fmt.Fprintf(&b, "VmSize:\t%d kB\n", s.VmSizeKiB)
+	fmt.Fprintf(&b, "VmRSS:\t%d kB\n", s.VmRSSKiB)
+	fmt.Fprintf(&b, "PageTables:\t%d\n", s.PageTables)
+	fmt.Fprintf(&b, "SharedPTs:\t%d\n", s.SharedPTs)
+	fmt.Fprintf(&b, "Faults:\t%d\n", s.Faults)
+	fmt.Fprintf(&b, "TableCOWs:\t%d\n", s.TableCOWs)
+	fmt.Fprintf(&b, "PageCOWs:\t%d\n", s.PageCOWs)
+	fmt.Fprintf(&b, "TLBHitRate:\t%.3f\n", s.TLBHitRate)
+	fmt.Fprintf(&b, "TLBShootdowns:\t%d\n", s.TLBShoots)
+	return b.String()
+}
+
+// Madvise applies madvise-style advice. Only DontNeed is implemented.
+func (p *Process) Madvise(start addr.V, size uint64, advice Advice) error {
+	switch advice {
+	case AdviceDontNeed:
+		return p.as.MadviseDontneed(start, size)
+	default:
+		return fmt.Errorf("kernel: unsupported madvise advice %d", advice)
+	}
+}
+
+// Advice selects a Madvise behaviour.
+type Advice int
+
+// Madvise advice values.
+const (
+	// AdviceDontNeed discards page contents, keeping the mapping.
+	AdviceDontNeed Advice = iota
+)

@@ -1,0 +1,179 @@
+package kernel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem/addr"
+	"repro/internal/mem/vm"
+)
+
+func TestMapsRendering(t *testing.T) {
+	k := New()
+	p := k.NewProcess()
+	defer p.Exit()
+	if _, err := p.Mmap(4*addr.PageSize, rw, vm.MapPrivate); err != nil {
+		t.Fatal(err)
+	}
+	f := k.FS().Create("libfoo.so")
+	if _, err := p.MmapFile(addr.PageSize, vm.ProtRead, vm.MapPrivate, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	maps := p.Maps()
+	if !strings.Contains(maps, "anon") || !strings.Contains(maps, "libfoo.so") {
+		t.Errorf("maps missing entries:\n%s", maps)
+	}
+	if len(strings.Split(strings.TrimSpace(maps), "\n")) != 2 {
+		t.Errorf("maps line count wrong:\n%s", maps)
+	}
+}
+
+func TestStatusCounters(t *testing.T) {
+	k := New()
+	p := k.NewProcess()
+	defer p.Exit()
+	base, err := p.Mmap(addr.PTECoverage, rw, vm.MapPrivate|vm.MapPopulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Status()
+	if st.VmSizeKiB != addr.PTECoverage>>10 {
+		t.Errorf("VmSize = %d KiB", st.VmSizeKiB)
+	}
+	if st.VmRSSKiB != addr.PTECoverage>>10 {
+		t.Errorf("VmRSS = %d KiB", st.VmRSSKiB)
+	}
+	if st.PageTables == 0 {
+		t.Error("no page tables reported")
+	}
+	if st.SharedPTs != 0 {
+		t.Errorf("SharedPTs = %d before fork", st.SharedPTs)
+	}
+
+	c, err := p.ForkWith(core.ForkOnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Exit()
+	if got := p.Status().SharedPTs; got != 1 {
+		t.Errorf("SharedPTs after ODF = %d, want 1", got)
+	}
+	if err := c.StoreByte(base, 1); err != nil {
+		t.Fatal(err)
+	}
+	cst := c.Status()
+	if cst.TableCOWs != 1 {
+		t.Errorf("TableCOWs = %d, want 1", cst.TableCOWs)
+	}
+	if cst.Faults == 0 {
+		t.Error("no faults recorded")
+	}
+	if !strings.Contains(cst.String(), "TableCOWs:\t1") {
+		t.Errorf("status rendering:\n%s", cst)
+	}
+}
+
+func TestMadviseDontNeed(t *testing.T) {
+	k := New()
+	p := k.NewProcess()
+	defer p.Exit()
+	base, err := p.Mmap(8*addr.PageSize, rw, vm.MapPrivate|vm.MapPopulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.StoreByte(base, 0x77); err != nil {
+		t.Fatal(err)
+	}
+	before := k.Allocator().Allocated()
+	if err := p.Madvise(base, 8*addr.PageSize, AdviceDontNeed); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Allocator().Allocated(); got >= before {
+		t.Errorf("madvise freed nothing: %d -> %d", before, got)
+	}
+	// Mapping survives; contents read as zero again.
+	b, err := p.LoadByte(base)
+	if err != nil {
+		t.Fatalf("read after madvise: %v", err)
+	}
+	if b != 0 {
+		t.Errorf("madvised byte = %#x, want 0", b)
+	}
+	if err := p.Madvise(base, addr.PageSize, Advice(99)); err == nil {
+		t.Error("unknown advice accepted")
+	}
+	if err := p.Madvise(base+1, addr.PageSize, AdviceDontNeed); err == nil {
+		t.Error("unaligned madvise accepted")
+	}
+}
+
+func TestMadviseSharedTables(t *testing.T) {
+	// madvise by one sharer must not disturb the other's view.
+	k := New()
+	p := k.NewProcess()
+	defer p.Exit()
+	base, err := p.Mmap(addr.PTECoverage, rw, vm.MapPrivate|vm.MapPopulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.StoreByte(base, 0x42); err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.ForkWith(core.ForkOnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Exit()
+	if err := c.Madvise(base, addr.PTECoverage/2, AdviceDontNeed); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := c.LoadByte(base); b != 0 {
+		t.Errorf("child madvised byte = %#x", b)
+	}
+	if b, _ := p.LoadByte(base); b != 0x42 {
+		t.Errorf("parent byte after child madvise = %#x", b)
+	}
+	if err := core.CheckInvariants(p.Space(), c.Space()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMadviseFileBackedRereads(t *testing.T) {
+	k := New()
+	f := k.FS().Create("data")
+	f.WriteAt([]byte("original"), 0)
+	p := k.NewProcess()
+	defer p.Exit()
+	v, err := p.MmapFile(addr.PageSize, rw, vm.MapPrivate, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteAt([]byte("scribble"), v); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Madvise(v, addr.PageSize, AdviceDontNeed); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if err := p.ReadAt(got, v); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "original" {
+		t.Errorf("post-madvise read = %q, want file content", got)
+	}
+}
+
+func TestMadviseErrors(t *testing.T) {
+	k := New()
+	p := k.NewProcess()
+	defer p.Exit()
+	if err := p.Space().MadviseDontneed(0x1000, 0); err == nil {
+		t.Error("empty madvise accepted")
+	}
+	var oomErr error = core.ErrOutOfMemory
+	if !errors.Is(oomErr, core.ErrOutOfMemory) {
+		t.Error("sanity")
+	}
+}

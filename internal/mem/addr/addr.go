@@ -1,0 +1,205 @@
+// Package addr defines virtual-address arithmetic for the simulated
+// x86-64-style 4-level paging structure used throughout the repository.
+//
+// The layout mirrors Linux on x86-64 with 4-level paging and 4 KiB base
+// pages: a 48-bit virtual address is split into four 9-bit table indices
+// (PGD, PUD, PMD, PTE) and a 12-bit page offset. A last-level (PTE) table
+// therefore maps a 2 MiB region, a PMD table maps 1 GiB, a PUD table maps
+// 512 GiB, and the PGD covers the full 256 TiB space.
+package addr
+
+import "fmt"
+
+// Fundamental paging constants. These intentionally match x86-64 with
+// 4 KiB pages so that counts of entries and tables — which drive every
+// cost in the paper — are identical to the real system.
+const (
+	// PageShift is log2 of the base page size.
+	PageShift = 12
+	// PageSize is the base (4 KiB) page size in bytes.
+	PageSize = 1 << PageShift
+	// PageMask masks the offset-within-page bits.
+	PageMask = PageSize - 1
+
+	// EntryBits is log2 of the number of entries per table.
+	EntryBits = 9
+	// EntriesPerTable is the branching factor of every table level.
+	EntriesPerTable = 1 << EntryBits
+	// EntryMask masks a single level index.
+	EntryMask = EntriesPerTable - 1
+
+	// HugePageShift is log2 of the 2 MiB huge-page size (one PMD entry).
+	HugePageShift = PageShift + EntryBits
+	// HugePageSize is the 2 MiB huge-page size in bytes.
+	HugePageSize = 1 << HugePageShift
+	// HugePageMask masks the offset within a huge page.
+	HugePageMask = HugePageSize - 1
+
+	// PTECoverage is the span of virtual memory mapped by one last-level
+	// (PTE) table: 2 MiB. This is the granularity at which on-demand-fork
+	// copies page tables.
+	PTECoverage = HugePageSize
+	// PMDCoverage is the span mapped by one PMD table: 1 GiB.
+	PMDCoverage = PTECoverage * EntriesPerTable
+	// PUDCoverage is the span mapped by one PUD table: 512 GiB.
+	PUDCoverage = PMDCoverage * EntriesPerTable
+
+	// VirtBits is the number of significant virtual-address bits.
+	VirtBits = PageShift + 4*EntryBits // 48
+	// VirtSize is the size of the simulated virtual address space.
+	VirtSize = uint64(1) << VirtBits
+)
+
+// Level identifies one level of the paging hierarchy, ordered from the
+// root. The names follow Linux terminology.
+type Level int
+
+// Paging levels from root to leaf.
+const (
+	PGD Level = iota // level 0: root, each entry covers 512 GiB
+	PUD              // level 1: each entry covers 1 GiB
+	PMD              // level 2: each entry covers 2 MiB (or maps a huge page)
+	PTE              // level 3: leaf, each entry maps a 4 KiB page
+	NumLevels
+)
+
+// String returns the Linux-style name of the level.
+func (l Level) String() string {
+	switch l {
+	case PGD:
+		return "PGD"
+	case PUD:
+		return "PUD"
+	case PMD:
+		return "PMD"
+	case PTE:
+		return "PTE"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Coverage returns the span of virtual memory covered by a single entry
+// at this level.
+func (l Level) Coverage() uint64 {
+	switch l {
+	case PGD:
+		return PUDCoverage
+	case PUD:
+		return PMDCoverage
+	case PMD:
+		return PTECoverage
+	case PTE:
+		return PageSize
+	default:
+		panic("addr: invalid level")
+	}
+}
+
+// V is a simulated virtual address.
+type V uint64
+
+// Index returns the table index of v at the given level.
+func (v V) Index(l Level) int {
+	shift := PageShift + uint(PTE-l)*EntryBits
+	return int((uint64(v) >> shift) & EntryMask)
+}
+
+// PageOffset returns the offset of v within its 4 KiB page.
+func (v V) PageOffset() int { return int(uint64(v) & PageMask) }
+
+// HugeOffset returns the offset of v within its 2 MiB huge page.
+func (v V) HugeOffset() int { return int(uint64(v) & HugePageMask) }
+
+// PageBase returns v rounded down to its 4 KiB page boundary.
+func (v V) PageBase() V { return v &^ V(PageMask) }
+
+// HugeBase returns v rounded down to its 2 MiB boundary.
+func (v V) HugeBase() V { return v &^ V(HugePageMask) }
+
+// PageAligned reports whether v is 4 KiB-aligned.
+func (v V) PageAligned() bool { return v&V(PageMask) == 0 }
+
+// HugeAligned reports whether v is 2 MiB-aligned.
+func (v V) HugeAligned() bool { return v&V(HugePageMask) == 0 }
+
+// String formats the address in hex.
+func (v V) String() string { return fmt.Sprintf("0x%x", uint64(v)) }
+
+// PageRoundUp rounds n up to a multiple of the 4 KiB page size.
+func PageRoundUp(n uint64) uint64 { return (n + PageMask) &^ uint64(PageMask) }
+
+// PageRoundDown rounds n down to a multiple of the 4 KiB page size.
+func PageRoundDown(n uint64) uint64 { return n &^ uint64(PageMask) }
+
+// HugeRoundUp rounds n up to a multiple of the 2 MiB huge-page size.
+func HugeRoundUp(n uint64) uint64 { return (n + HugePageMask) &^ uint64(HugePageMask) }
+
+// Pages returns the number of 4 KiB pages needed to hold n bytes.
+func Pages(n uint64) uint64 { return PageRoundUp(n) >> PageShift }
+
+// HugePages returns the number of 2 MiB pages needed to hold n bytes.
+func HugePages(n uint64) uint64 { return HugeRoundUp(n) >> HugePageShift }
+
+// Range is a half-open virtual address interval [Start, End).
+type Range struct {
+	Start V
+	End   V
+}
+
+// NewRange returns the range [start, start+size).
+func NewRange(start V, size uint64) Range {
+	return Range{Start: start, End: start + V(size)}
+}
+
+// Size returns the length of the range in bytes.
+func (r Range) Size() uint64 {
+	if r.End <= r.Start {
+		return 0
+	}
+	return uint64(r.End - r.Start)
+}
+
+// Empty reports whether the range contains no addresses.
+func (r Range) Empty() bool { return r.End <= r.Start }
+
+// Contains reports whether v lies within the range.
+func (r Range) Contains(v V) bool { return v >= r.Start && v < r.End }
+
+// ContainsRange reports whether o lies entirely within r.
+func (r Range) ContainsRange(o Range) bool {
+	return o.Start >= r.Start && o.End <= r.End && !o.Empty()
+}
+
+// Overlaps reports whether the two ranges share any address.
+func (r Range) Overlaps(o Range) bool {
+	return r.Start < o.End && o.Start < r.End && !r.Empty() && !o.Empty()
+}
+
+// Intersect returns the overlap of the two ranges (possibly empty).
+func (r Range) Intersect(o Range) Range {
+	out := Range{Start: maxV(r.Start, o.Start), End: minV(r.End, o.End)}
+	if out.End < out.Start {
+		out.End = out.Start
+	}
+	return out
+}
+
+// String formats the range as [start, end).
+func (r Range) String() string {
+	return fmt.Sprintf("[0x%x, 0x%x)", uint64(r.Start), uint64(r.End))
+}
+
+func minV(a, b V) V {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxV(a, b V) V {
+	if a > b {
+		return a
+	}
+	return b
+}

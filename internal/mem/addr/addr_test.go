@@ -1,0 +1,219 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstants(t *testing.T) {
+	if PageSize != 4096 {
+		t.Errorf("PageSize = %d, want 4096", PageSize)
+	}
+	if EntriesPerTable != 512 {
+		t.Errorf("EntriesPerTable = %d, want 512", EntriesPerTable)
+	}
+	if HugePageSize != 2<<20 {
+		t.Errorf("HugePageSize = %d, want 2MiB", HugePageSize)
+	}
+	if PTECoverage != 2<<20 {
+		t.Errorf("PTECoverage = %d, want 2MiB", PTECoverage)
+	}
+	if PMDCoverage != 1<<30 {
+		t.Errorf("PMDCoverage = %d, want 1GiB", PMDCoverage)
+	}
+	if PUDCoverage != 512<<30 {
+		t.Errorf("PUDCoverage = %d, want 512GiB", PUDCoverage)
+	}
+	if VirtBits != 48 {
+		t.Errorf("VirtBits = %d, want 48", VirtBits)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	want := map[Level]string{PGD: "PGD", PUD: "PUD", PMD: "PMD", PTE: "PTE"}
+	for l, s := range want {
+		if got := l.String(); got != s {
+			t.Errorf("Level(%d).String() = %q, want %q", int(l), got, s)
+		}
+	}
+	if got := Level(9).String(); got != "Level(9)" {
+		t.Errorf("invalid level string = %q", got)
+	}
+}
+
+func TestLevelCoverage(t *testing.T) {
+	if PGD.Coverage() != PUDCoverage {
+		t.Errorf("PGD coverage = %d", PGD.Coverage())
+	}
+	if PUD.Coverage() != PMDCoverage {
+		t.Errorf("PUD coverage = %d", PUD.Coverage())
+	}
+	if PMD.Coverage() != PTECoverage {
+		t.Errorf("PMD coverage = %d", PMD.Coverage())
+	}
+	if PTE.Coverage() != PageSize {
+		t.Errorf("PTE coverage = %d", PTE.Coverage())
+	}
+}
+
+func TestIndexDecomposition(t *testing.T) {
+	// A hand-built address: PGD=1, PUD=2, PMD=3, PTE=4, offset=5.
+	v := V(uint64(1)<<39 | uint64(2)<<30 | uint64(3)<<21 | uint64(4)<<12 | 5)
+	if got := v.Index(PGD); got != 1 {
+		t.Errorf("PGD index = %d, want 1", got)
+	}
+	if got := v.Index(PUD); got != 2 {
+		t.Errorf("PUD index = %d, want 2", got)
+	}
+	if got := v.Index(PMD); got != 3 {
+		t.Errorf("PMD index = %d, want 3", got)
+	}
+	if got := v.Index(PTE); got != 4 {
+		t.Errorf("PTE index = %d, want 4", got)
+	}
+	if got := v.PageOffset(); got != 5 {
+		t.Errorf("PageOffset = %d, want 5", got)
+	}
+}
+
+func TestIndexReconstruction(t *testing.T) {
+	// Property: indices + offset reconstruct the address, for any
+	// canonical 48-bit address.
+	f := func(raw uint64) bool {
+		v := V(raw % VirtSize)
+		rebuilt := uint64(v.Index(PGD))<<39 |
+			uint64(v.Index(PUD))<<30 |
+			uint64(v.Index(PMD))<<21 |
+			uint64(v.Index(PTE))<<12 |
+			uint64(v.PageOffset())
+		return rebuilt == uint64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignmentHelpers(t *testing.T) {
+	v := V(0x40201234)
+	if got := v.PageBase(); got != 0x40201000 {
+		t.Errorf("PageBase = %#x", uint64(got))
+	}
+	if got := v.HugeBase(); got != 0x40200000 {
+		t.Errorf("HugeBase = %#x", uint64(got))
+	}
+	if v.PageAligned() {
+		t.Error("unaligned address reported page-aligned")
+	}
+	if !V(0x1000).PageAligned() {
+		t.Error("0x1000 not page-aligned")
+	}
+	if !V(0x200000).HugeAligned() {
+		t.Error("2MiB not huge-aligned")
+	}
+	if got := v.HugeOffset(); got != 0x1234 {
+		t.Errorf("HugeOffset = %#x", got)
+	}
+}
+
+func TestRounding(t *testing.T) {
+	cases := []struct {
+		n, up, down uint64
+	}{
+		{0, 0, 0},
+		{1, PageSize, 0},
+		{PageSize, PageSize, PageSize},
+		{PageSize + 1, 2 * PageSize, PageSize},
+	}
+	for _, c := range cases {
+		if got := PageRoundUp(c.n); got != c.up {
+			t.Errorf("PageRoundUp(%d) = %d, want %d", c.n, got, c.up)
+		}
+		if got := PageRoundDown(c.n); got != c.down {
+			t.Errorf("PageRoundDown(%d) = %d, want %d", c.n, got, c.down)
+		}
+	}
+	if got := Pages(1); got != 1 {
+		t.Errorf("Pages(1) = %d", got)
+	}
+	if got := Pages(PageSize*3 + 1); got != 4 {
+		t.Errorf("Pages = %d, want 4", got)
+	}
+	if got := HugePages(HugePageSize + 1); got != 2 {
+		t.Errorf("HugePages = %d, want 2", got)
+	}
+	if got := HugeRoundUp(1); got != HugePageSize {
+		t.Errorf("HugeRoundUp(1) = %d", got)
+	}
+}
+
+func TestRoundingProperties(t *testing.T) {
+	f := func(raw uint64) bool {
+		n := raw % (VirtSize - PageSize)
+		up, down := PageRoundUp(n), PageRoundDown(n)
+		return down <= n && n <= up &&
+			up-down < PageSize*2 &&
+			up%PageSize == 0 && down%PageSize == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := NewRange(0x1000, 0x3000)
+	if r.Size() != 0x3000 {
+		t.Errorf("Size = %#x", r.Size())
+	}
+	if r.Empty() {
+		t.Error("non-empty range reported empty")
+	}
+	if !r.Contains(0x1000) || !r.Contains(0x3fff) {
+		t.Error("Contains endpoints failed")
+	}
+	if r.Contains(0x4000) || r.Contains(0xfff) {
+		t.Error("Contains out-of-range failed")
+	}
+	o := NewRange(0x3000, 0x2000)
+	if !r.Overlaps(o) {
+		t.Error("overlapping ranges reported disjoint")
+	}
+	if got := r.Intersect(o); got.Start != 0x3000 || got.End != 0x4000 {
+		t.Errorf("Intersect = %v", got)
+	}
+	disjoint := NewRange(0x10000, 0x1000)
+	if r.Overlaps(disjoint) {
+		t.Error("disjoint ranges reported overlapping")
+	}
+	if got := r.Intersect(disjoint); !got.Empty() {
+		t.Errorf("Intersect of disjoint = %v, want empty", got)
+	}
+	if !r.ContainsRange(NewRange(0x2000, 0x1000)) {
+		t.Error("ContainsRange inner failed")
+	}
+	if r.ContainsRange(NewRange(0x2000, 0x9000)) {
+		t.Error("ContainsRange overflow failed")
+	}
+}
+
+func TestEmptyRange(t *testing.T) {
+	r := Range{Start: 0x2000, End: 0x1000}
+	if !r.Empty() {
+		t.Error("inverted range not empty")
+	}
+	if r.Size() != 0 {
+		t.Errorf("inverted range size = %d", r.Size())
+	}
+	if r.Overlaps(NewRange(0, VirtSize)) {
+		t.Error("empty range overlaps something")
+	}
+}
+
+func TestRangeString(t *testing.T) {
+	r := NewRange(0x1000, 0x1000)
+	if got := r.String(); got != "[0x1000, 0x2000)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := V(0x1000).String(); got != "0x1000" {
+		t.Errorf("V.String = %q", got)
+	}
+}

@@ -1,0 +1,96 @@
+// Package pagetable implements the simulated hierarchical paging
+// structure: 4-level radix tables (PGD, PUD, PMD, PTE) with 512 entries
+// per level, 4 KiB base pages and 2 MiB huge pages described directly
+// in PMD entries, exactly as on x86-64.
+//
+// The package provides the mechanical layer — entry encoding, table
+// allocation, walks, and per-table locking. Fork semantics (classic
+// copy, huge-page copy, and on-demand last-level sharing) live in
+// package core, which manipulates these tables under the rules of the
+// paper.
+//
+// Hierarchical attributes (§3.2 of the paper) are honored by the
+// software walker: the effective write permission of a translation is
+// the AND of the writable bits along the walk, so clearing a single
+// PMD entry's writable bit write-protects the whole 2 MiB region
+// mapped by the PTE table below it.
+package pagetable
+
+import (
+	"fmt"
+
+	"repro/internal/mem/addr"
+	"repro/internal/mem/phys"
+)
+
+// Entry is a page-table entry at any level, encoded like an x86-64 PTE:
+// low flag bits plus a frame number in the address bits.
+type Entry uint64
+
+// Entry flag bits.
+const (
+	FlagPresent  Entry = 1 << 0 // translation exists
+	FlagWritable Entry = 1 << 1 // hardware write permission
+	FlagUser     Entry = 1 << 2 // user-mode accessible
+	FlagAccessed Entry = 1 << 5 // set by the (simulated) CPU on access
+	FlagDirty    Entry = 1 << 6 // set by the (simulated) CPU on write
+	FlagHuge     Entry = 1 << 7 // PMD entry maps a 2 MiB page directly
+	FlagCOW      Entry = 1 << 9 // software: write fault must copy the page
+
+	frameShift       = addr.PageShift
+	flagsMask  Entry = (1 << frameShift) - 1
+	frameMask        = ^flagsMask
+)
+
+// MakeEntry builds an entry pointing at frame f with the given flag bits
+// (FlagPresent is implied).
+func MakeEntry(f phys.Frame, flags Entry) Entry {
+	return Entry(uint64(f)<<frameShift) | (flags & flagsMask) | FlagPresent
+}
+
+// Present reports whether the entry holds a translation.
+func (e Entry) Present() bool { return e&FlagPresent != 0 }
+
+// Writable reports the entry's hardware write-permission bit.
+func (e Entry) Writable() bool { return e&FlagWritable != 0 }
+
+// Accessed reports the accessed bit.
+func (e Entry) Accessed() bool { return e&FlagAccessed != 0 }
+
+// Dirty reports the dirty bit.
+func (e Entry) Dirty() bool { return e&FlagDirty != 0 }
+
+// Huge reports whether a PMD entry maps a 2 MiB page directly.
+func (e Entry) Huge() bool { return e&FlagHuge != 0 }
+
+// COW reports the software copy-on-write bit.
+func (e Entry) COW() bool { return e&FlagCOW != 0 }
+
+// Frame returns the physical frame number the entry points at.
+func (e Entry) Frame() phys.Frame { return phys.Frame(uint64(e) >> frameShift) }
+
+// With returns the entry with the given flags set.
+func (e Entry) With(flags Entry) Entry { return e | (flags & flagsMask) }
+
+// Without returns the entry with the given flags cleared.
+func (e Entry) Without(flags Entry) Entry { return e &^ (flags & flagsMask) }
+
+// String renders the entry for diagnostics.
+func (e Entry) String() string {
+	if !e.Present() {
+		return "<none>"
+	}
+	s := fmt.Sprintf("frame=%d", e.Frame())
+	for _, f := range []struct {
+		bit  Entry
+		name string
+	}{
+		{FlagWritable, "W"}, {FlagUser, "U"}, {FlagAccessed, "A"},
+		{FlagDirty, "D"}, {FlagHuge, "H"}, {FlagCOW, "C"},
+	} {
+		if e&f.bit != 0 {
+			s += "," + f.name
+		}
+	}
+	return s
+}

@@ -1,0 +1,335 @@
+package pagetable
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mem/addr"
+	"repro/internal/mem/phys"
+	"repro/internal/profile"
+)
+
+// Table is one node of the paging hierarchy. Every table is backed by a
+// physical frame so that page-table memory is visible to the allocator
+// statistics and so the last-level share counter can live in the
+// frame's struct page, as in the paper's implementation (§4).
+//
+// Non-leaf tables carry Go pointers to their children alongside the
+// architectural entries; the entry for a child slot stores permission
+// bits (notably the writable bit that on-demand-fork clears to
+// write-protect an entire shared PTE table's 2 MiB region).
+type Table struct {
+	Level addr.Level
+	Frame phys.Frame
+
+	mu       sync.Mutex
+	entries  [addr.EntriesPerTable]atomic.Uint64
+	children [addr.EntriesPerTable]*Table // non-leaf levels only
+}
+
+// NewTable allocates a table of the given level, backed by a fresh
+// page-table frame whose share counter starts at one (§3.5: "the
+// reference counter ... is initialized to one in the constructor").
+func NewTable(alloc *phys.Allocator, level addr.Level) *Table {
+	f := alloc.AllocPageTable()
+	alloc.PTShareInit(f, 1)
+	return &Table{Level: level, Frame: f}
+}
+
+// Lock acquires the table's lock (the analogue of the kernel's
+// per-page-table spinlock).
+func (t *Table) Lock() { t.mu.Lock() }
+
+// Unlock releases the table's lock.
+func (t *Table) Unlock() { t.mu.Unlock() }
+
+// Entry returns the entry at index i. Entries are read atomically
+// because last-level tables are shared between concurrently running
+// simulated processes, just as hardware PTE reads are atomic words.
+func (t *Table) Entry(i int) Entry { return Entry(t.entries[i].Load()) }
+
+// SetEntry stores the entry at index i atomically.
+func (t *Table) SetEntry(i int, e Entry) { t.entries[i].Store(uint64(e)) }
+
+// OrEntry atomically sets flag bits on the entry at index i — the
+// simulated CPU uses it for accessed/dirty bit updates.
+func (t *Table) OrEntry(i int, flags Entry) { t.entries[i].Or(uint64(flags & flagsMask)) }
+
+// Child returns the child table at index i (nil for leaf tables or
+// empty slots).
+func (t *Table) Child(i int) *Table { return t.children[i] }
+
+// SetChild installs child at index i with the given entry flags. A nil
+// child clears the slot.
+func (t *Table) SetChild(i int, child *Table, flags Entry) {
+	t.children[i] = child
+	if child == nil {
+		t.entries[i].Store(0)
+		return
+	}
+	t.entries[i].Store(uint64(MakeEntry(child.Frame, flags)))
+}
+
+// IsLeaf reports whether this is a last-level (PTE) table.
+func (t *Table) IsLeaf() bool { return t.Level == addr.PTE }
+
+// ShareCount returns the share counter of a last-level table, read from
+// its backing frame's struct page union.
+func (t *Table) ShareCount(alloc *phys.Allocator) int32 {
+	return alloc.PTShareCount(t.Frame)
+}
+
+// CountPresent returns the number of present entries (diagnostics and
+// invariant checks).
+func (t *Table) CountPresent() int {
+	n := 0
+	for i := range t.entries {
+		if t.Entry(i).Present() {
+			n++
+		}
+	}
+	return n
+}
+
+// CopyEntriesFrom copies all 512 architectural entries of src into t,
+// preserving accessed bits (§3.2: the accessed bit value is duplicated
+// when copying shared page tables). It is the bulk work of a PTE-table
+// copy-on-write split and charges the corresponding profile counter.
+func (t *Table) CopyEntriesFrom(src *Table, prof *profile.Profiler) {
+	prof.Charge(profile.PTCopy, 1)
+	for i := range t.entries {
+		t.entries[i].Store(src.entries[i].Load())
+	}
+}
+
+// Walker navigates the hierarchy rooted at a PGD table.
+type Walker struct {
+	Root  *Table
+	Alloc *phys.Allocator
+	Prof  *profile.Profiler
+}
+
+// NewWalker returns a walker over a fresh 4-level hierarchy.
+func NewWalker(alloc *phys.Allocator, prof *profile.Profiler) *Walker {
+	return &Walker{
+		Root:  NewTable(alloc, addr.PGD),
+		Alloc: alloc,
+		Prof:  prof,
+	}
+}
+
+// EnsurePMD walks to (allocating as needed) the PMD table covering v
+// and returns it with the PMD-level index of v.
+func (w *Walker) EnsurePMD(v addr.V) (*Table, int) {
+	t := w.Root
+	for lvl := addr.PGD; lvl < addr.PMD; lvl++ {
+		i := v.Index(lvl)
+		child := t.Child(i)
+		if child == nil {
+			child = NewTable(w.Alloc, lvl+1)
+			t.SetChild(i, child, FlagWritable|FlagUser)
+		}
+		w.Prof.Charge(profile.UpperWalk, 1)
+		t = child
+	}
+	return t, v.Index(addr.PMD)
+}
+
+// EnsurePTE walks to (allocating as needed) the last-level table
+// covering v and returns it with the PTE-level index of v. It must not
+// be used on ranges mapped with huge pages.
+func (w *Walker) EnsurePTE(v addr.V) (*Table, int) {
+	pmd, pi := w.EnsurePMD(v)
+	leaf := pmd.Child(pi)
+	if leaf == nil {
+		if pmd.Entry(pi).Huge() {
+			panic("pagetable: EnsurePTE under a huge mapping")
+		}
+		leaf = NewTable(w.Alloc, addr.PTE)
+		pmd.SetChild(pi, leaf, FlagWritable|FlagUser)
+	}
+	w.Prof.Charge(profile.UpperWalk, 1)
+	return leaf, v.Index(addr.PTE)
+}
+
+// EnsurePUD walks to (allocating as needed) the PUD table covering v
+// and returns it with the PUD-level index of v.
+func (w *Walker) EnsurePUD(v addr.V) (*Table, int) {
+	i := v.Index(addr.PGD)
+	child := w.Root.Child(i)
+	if child == nil {
+		child = NewTable(w.Alloc, addr.PUD)
+		w.Root.SetChild(i, child, FlagWritable|FlagUser)
+	}
+	w.Prof.Charge(profile.UpperWalk, 1)
+	return child, v.Index(addr.PUD)
+}
+
+// FindPMD walks to the PMD table covering v without allocating.
+// It returns nil when any level is missing.
+func (w *Walker) FindPMD(v addr.V) (*Table, int) {
+	t := w.Root
+	for lvl := addr.PGD; lvl < addr.PMD; lvl++ {
+		t = t.Child(v.Index(lvl))
+		if t == nil {
+			return nil, 0
+		}
+	}
+	return t, v.Index(addr.PMD)
+}
+
+// FindPUD walks to the PUD table covering v without allocating, with
+// the PUD-level index of v. It returns nil when the path is missing.
+func (w *Walker) FindPUD(v addr.V) (*Table, int) {
+	t := w.Root.Child(v.Index(addr.PGD))
+	if t == nil {
+		return nil, 0
+	}
+	return t, v.Index(addr.PUD)
+}
+
+// FindPTE walks to the last-level table covering v without allocating.
+func (w *Walker) FindPTE(v addr.V) (*Table, int) {
+	pmd, pi := w.FindPMD(v)
+	if pmd == nil {
+		return nil, 0
+	}
+	leaf := pmd.Child(pi)
+	if leaf == nil {
+		return nil, 0
+	}
+	return leaf, v.Index(addr.PTE)
+}
+
+// Translation is the result of a software page walk.
+type Translation struct {
+	Entry    Entry      // the leaf (PTE or huge-PMD) entry
+	Frame    phys.Frame // base frame of the 4 KiB page containing v
+	Offset   int        // byte offset within that 4 KiB frame
+	Writable bool       // effective permission (ANDed along the walk)
+	Huge     bool       // translation came from a huge PMD entry
+	// Leaf table and index, for fault handlers that need to update the
+	// entry in place. For huge translations Leaf is the PMD table.
+	Leaf      *Table
+	LeafIndex int
+	// PMD table and index covering v (always set when found).
+	PMDTable *Table
+	PMDIndex int
+	// PUD table and index covering v, for faults that must split a
+	// shared PMD table (on-demand-fork's huge-page extension).
+	PUDTable *Table
+	PUDIndex int
+}
+
+// Walk performs a software page walk for v, honoring hierarchical
+// attributes: the effective writable permission is the AND of writable
+// bits at every level, so a cleared PMD-entry writable bit (the
+// on-demand-fork write-protect) masks writable leaf entries below it.
+// It returns ok=false when no translation exists.
+func (w *Walker) Walk(v addr.V) (Translation, bool) {
+	t := w.Root
+	writable := true
+	var pudT *Table
+	var pudI int
+	for lvl := addr.PGD; lvl < addr.PMD; lvl++ {
+		i := v.Index(lvl)
+		e := t.Entry(i)
+		if !e.Present() {
+			return Translation{}, false
+		}
+		writable = writable && e.Writable()
+		if lvl == addr.PUD {
+			pudT, pudI = t, i
+		}
+		t = t.Child(i)
+		if t == nil {
+			return Translation{}, false
+		}
+	}
+	pi := v.Index(addr.PMD)
+	pe := t.Entry(pi)
+	if !pe.Present() {
+		return Translation{}, false
+	}
+	if pe.Huge() {
+		head := pe.Frame()
+		pageIdx := phys.Frame(v.HugeOffset() >> addr.PageShift)
+		return Translation{
+			Entry:     pe,
+			Frame:     head + pageIdx,
+			Offset:    v.PageOffset(),
+			Writable:  writable && pe.Writable(),
+			Huge:      true,
+			Leaf:      t,
+			LeafIndex: pi,
+			PMDTable:  t,
+			PMDIndex:  pi,
+			PUDTable:  pudT,
+			PUDIndex:  pudI,
+		}, true
+	}
+	writable = writable && pe.Writable()
+	leaf := t.Child(pi)
+	if leaf == nil {
+		return Translation{}, false
+	}
+	li := v.Index(addr.PTE)
+	le := leaf.Entry(li)
+	if !le.Present() {
+		return Translation{}, false
+	}
+	return Translation{
+		Entry:     le,
+		Frame:     le.Frame(),
+		Offset:    v.PageOffset(),
+		Writable:  writable && le.Writable(),
+		Huge:      false,
+		Leaf:      leaf,
+		LeafIndex: li,
+		PMDTable:  t,
+		PMDIndex:  pi,
+		PUDTable:  pudT,
+		PUDIndex:  pudI,
+	}, true
+}
+
+// VisitPMDs calls fn for every present PMD slot intersecting r, passing
+// the PMD table, the slot index, and the 2 MiB-aligned base address the
+// slot covers. fn may modify the slot. Missing upper levels are skipped.
+func (w *Walker) VisitPMDs(r addr.Range, fn func(pmd *Table, idx int, base addr.V)) {
+	start := r.Start.HugeBase()
+	for v := start; v < r.End; v += addr.PTECoverage {
+		pmd, pi := w.FindPMD(v)
+		if pmd == nil {
+			// Skip the remainder of this missing upper-level span.
+			v = skipToNextPresent(v, r.End)
+			continue
+		}
+		if pmd.Entry(pi).Present() {
+			fn(pmd, pi, v)
+		}
+	}
+}
+
+// skipToNextPresent advances v to the next PMD-table boundary minus one
+// step, so the VisitPMDs loop increment lands on the next 1 GiB region.
+func skipToNextPresent(v addr.V, end addr.V) addr.V {
+	next := (v &^ addr.V(addr.PMDCoverage-1)) + addr.PMDCoverage
+	if next > end {
+		next = end
+	}
+	return next - addr.PTECoverage
+}
+
+// VisitLeafTables calls fn for every present last-level table
+// intersecting r (huge PMD slots are skipped; use VisitPMDs for those).
+func (w *Walker) VisitLeafTables(r addr.Range, fn func(pmd *Table, idx int, leaf *Table, base addr.V)) {
+	w.VisitPMDs(r, func(pmd *Table, idx int, base addr.V) {
+		if pmd.Entry(idx).Huge() {
+			return
+		}
+		if leaf := pmd.Child(idx); leaf != nil {
+			fn(pmd, idx, leaf, base)
+		}
+	})
+}

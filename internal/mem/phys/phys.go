@@ -1,0 +1,411 @@
+// Package phys simulates the physical memory layer of the kernel: a
+// frame allocator and the per-frame metadata array that Linux calls
+// mem_map (an array of struct page).
+//
+// Everything the paper measures at fork time bottoms out here: classic
+// fork performs one compound-page resolution and one atomic reference
+// count increment per mapped 4 KiB frame (the two Figure 3 hotspots),
+// while on-demand-fork touches only one counter per 2 MiB last-level
+// table. The allocator therefore keeps metadata in a single global
+// arena so that concurrent fork instances contend on it the same way
+// concurrent kernels contend on struct page cachelines (Figure 2).
+//
+// Frame data is materialized lazily: a frame can be "allocated and
+// mapped" without its 4 KiB buffer existing, in which case its logical
+// content is all zeroes. This lets multi-GiB simulated address spaces
+// run with metadata-only host cost until pages are actually written.
+package phys
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mem/addr"
+	"repro/internal/profile"
+)
+
+// Frame identifies a physical 4 KiB frame. Frame 0 is never allocated,
+// so the zero value means "no frame".
+type Frame uint64
+
+// NoFrame is the invalid frame number.
+const NoFrame Frame = 0
+
+// Valid reports whether f refers to an allocated frame number.
+func (f Frame) Valid() bool { return f != NoFrame }
+
+// Page flag bits stored in PageInfo.flags.
+const (
+	flagCompoundHead uint32 = 1 << iota
+	flagCompoundTail
+	flagPageTable
+	flagAllocated
+)
+
+// HugeOrder is the compound-page order of a 2 MiB huge page
+// (2^9 = 512 base frames).
+const HugeOrder = 9
+
+// PageInfo is the simulated struct page. One exists per physical frame.
+//
+// As in the paper's implementation (§4, "Memory Usage"), the share
+// counter of a last-level page table is stored in a field that is
+// unused for that page type — here ptShared doubles inside the same
+// struct rather than growing it with fork-specific state.
+type PageInfo struct {
+	refcount  atomic.Int32 // users of this frame (mapcount folded in)
+	ptShared  atomic.Int32 // union: share count when frame holds a PTE table
+	flags     uint32       // guarded by the allocator lock for alloc state
+	order     uint8        // compound order (head pages only)
+	freeOrder int8         // buddy state: 0 = not free, else block order+1
+	head      Frame        // compound head (tail pages only)
+	data      []byte       // lazily materialized 4 KiB payload; nil = zeroes
+	dataMu    sync.Mutex   // guards lazy materialization of data
+}
+
+// Allocator is the simulated physical memory manager. It hands out
+// frames, tracks their struct page metadata, and implements the
+// reference counting protocol used by all three fork engines.
+type Allocator struct {
+	mu        sync.Mutex
+	chunks    [][]PageInfo // mem_map, grown in fixed-size chunks
+	next      Frame        // next never-used frame number
+	buddy     buddy        // power-of-two free lists (buddy.go)
+	limit     int64        // max live base frames (0 = unlimited)
+	allocated atomic.Int64 // currently allocated base frames
+	peak      int64        // high-water mark of allocated (under mu)
+	totalOps  atomic.Uint64
+	prof      *profile.Profiler
+}
+
+const chunkSize = 1 << 16 // PageInfos per arena chunk (64 Ki frames = 256 MiB)
+
+// ErrNoMemory is returned when the allocator refuses an allocation
+// (only possible when a frame limit is configured).
+var ErrNoMemory = errors.New("phys: out of memory")
+
+// SetLimit caps the number of live base frames; 0 removes the cap.
+// TryAlloc fails with ErrNoMemory beyond the cap — the hook for
+// exercising the low-memory robustness behaviour of the paper's §4.
+func (a *Allocator) SetLimit(frames int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.limit = frames
+}
+
+// NewAllocator returns an empty allocator. The profiler may be nil.
+func NewAllocator(prof *profile.Profiler) *Allocator {
+	return &Allocator{next: 1, prof: prof}
+}
+
+// Profiler returns the profiler charged by this allocator (may be nil).
+func (a *Allocator) Profiler() *profile.Profiler { return a.prof }
+
+// info returns the PageInfo for f, which must be a frame number this
+// allocator has issued.
+func (a *Allocator) info(f Frame) *PageInfo {
+	idx := uint64(f)
+	return &a.chunks[idx/chunkSize][idx%chunkSize]
+}
+
+// Info exposes frame metadata for tests and diagnostics.
+func (a *Allocator) Info(f Frame) *PageInfo {
+	if !f.Valid() {
+		panic("phys: Info of invalid frame")
+	}
+	return a.info(f)
+}
+
+// ensure grows the arena so frame f is addressable. Caller holds mu.
+func (a *Allocator) ensure(f Frame) {
+	need := int(uint64(f)/chunkSize) + 1
+	for len(a.chunks) < need {
+		a.chunks = append(a.chunks, make([]PageInfo, chunkSize))
+	}
+}
+
+// Alloc allocates one 4 KiB frame with refcount 1. It panics with
+// ErrNoMemory wrapped in an OOM panic only never — allocation failure
+// is reported by TryAlloc; Alloc itself is infallible unless a frame
+// limit is configured, in which case it panics (the simulated OOM
+// killer path is exercised through TryAlloc).
+func (a *Allocator) Alloc() Frame {
+	f, err := a.TryAlloc()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// TryAlloc allocates one 4 KiB frame with refcount 1, returning
+// ErrNoMemory when a configured frame limit is exhausted.
+func (a *Allocator) TryAlloc() (Frame, error) {
+	a.mu.Lock()
+	if a.limit > 0 && a.allocated.Load()+1 > a.limit {
+		a.mu.Unlock()
+		return NoFrame, ErrNoMemory
+	}
+	f := a.allocBlock(0)
+	pi := a.info(f)
+	pi.flags = flagAllocated
+	pi.order = 0
+	pi.head = NoFrame
+	cur := a.allocated.Add(1)
+	if cur > a.peak {
+		a.peak = cur
+	}
+	a.mu.Unlock()
+
+	pi.refcount.Store(1)
+	pi.ptShared.Store(0)
+	a.totalOps.Add(1)
+	return f, nil
+}
+
+// AllocPageTable allocates a frame to back a page table. Page-table
+// frames are flagged so the ptShared union field is meaningful.
+func (a *Allocator) AllocPageTable() Frame {
+	f := a.Alloc()
+	a.mu.Lock()
+	a.info(f).flags |= flagPageTable
+	a.mu.Unlock()
+	return f
+}
+
+// AllocHuge allocates a 2 MiB compound page: 512 physically contiguous
+// frames with a head carrying the compound order and refcount, and
+// tails pointing back at the head (mirroring Linux compound pages).
+// It returns the head frame.
+func (a *Allocator) AllocHuge() Frame {
+	a.mu.Lock()
+	// An order-9 buddy block is 512 contiguous, naturally aligned frames.
+	head := a.allocBlock(MaxOrder)
+	hp := a.info(head)
+	hp.flags = flagAllocated | flagCompoundHead
+	hp.order = HugeOrder
+	hp.head = NoFrame
+	for i := Frame(1); i < 1<<HugeOrder; i++ {
+		tp := a.info(head + i)
+		tp.flags = flagAllocated | flagCompoundTail
+		tp.order = 0
+		tp.head = head
+		tp.refcount.Store(0)
+		tp.ptShared.Store(0)
+	}
+	cur := a.allocated.Add(1 << HugeOrder)
+	if cur > a.peak {
+		a.peak = cur
+	}
+	a.mu.Unlock()
+
+	hp.refcount.Store(1)
+	hp.ptShared.Store(0)
+	a.totalOps.Add(1)
+	return head
+}
+
+// CompoundHead resolves f to the head of its compound page (f itself
+// for ordinary pages), charging the cost of the struct page load that
+// dominates the paper's Figure 3 profile.
+func (a *Allocator) CompoundHead(f Frame) Frame {
+	a.prof.Charge(profile.CompoundHead, 1)
+	pi := a.info(f)
+	if pi.flags&flagCompoundTail != 0 {
+		return pi.head
+	}
+	return f
+}
+
+// IsHuge reports whether f is the head of a 2 MiB compound page.
+func (a *Allocator) IsHuge(f Frame) bool {
+	pi := a.info(f)
+	return pi.flags&flagCompoundHead != 0 && pi.order == HugeOrder
+}
+
+// IsPageTable reports whether f backs a page table.
+func (a *Allocator) IsPageTable(f Frame) bool {
+	return a.info(f).flags&flagPageTable != 0
+}
+
+// Get increments the reference count of the page containing f,
+// resolving compound pages first. This is the classic-fork hot path:
+// one compound_head + one atomic increment per mapped PTE.
+func (a *Allocator) Get(f Frame) {
+	head := a.CompoundHead(f)
+	a.prof.Charge(profile.PageRefInc, 1)
+	a.info(head).refcount.Add(1)
+}
+
+// RefCount returns the current reference count of f's compound head.
+func (a *Allocator) RefCount(f Frame) int32 {
+	pi := a.info(f)
+	if pi.flags&flagCompoundTail != 0 {
+		pi = a.info(pi.head)
+	}
+	return pi.refcount.Load()
+}
+
+// Put decrements the reference count of the page containing f and
+// frees the page when the count reaches zero.
+func (a *Allocator) Put(f Frame) {
+	head := f
+	pi := a.info(f)
+	if pi.flags&flagCompoundTail != 0 {
+		head = pi.head
+		pi = a.info(head)
+	}
+	a.prof.Charge(profile.PageRefDec, 1)
+	switch n := pi.refcount.Add(-1); {
+	case n == 0:
+		a.release(head, pi)
+	case n < 0:
+		panic(fmt.Sprintf("phys: refcount of frame %d went negative", head))
+	}
+}
+
+// release returns a zero-referenced page to the free lists.
+func (a *Allocator) release(head Frame, pi *PageInfo) {
+	pi.dataMu.Lock()
+	pi.data = nil
+	pi.dataMu.Unlock()
+
+	a.mu.Lock()
+	if pi.flags&flagAllocated == 0 {
+		a.mu.Unlock()
+		panic(fmt.Sprintf("phys: double free of frame %d", head))
+	}
+	if pi.flags&flagCompoundHead != 0 {
+		for i := Frame(1); i < 1<<HugeOrder; i++ {
+			tp := a.info(head + i)
+			tp.flags = 0
+			tp.dataMu.Lock()
+			tp.data = nil
+			tp.dataMu.Unlock()
+		}
+		pi.flags = 0
+		a.freeBlock(head, MaxOrder)
+		a.allocated.Add(-(1 << HugeOrder))
+	} else {
+		pi.flags = 0
+		a.freeBlock(head, 0)
+		a.allocated.Add(-1)
+	}
+	a.mu.Unlock()
+}
+
+// PTShareGet atomically increments the page-table share counter stored
+// in the frame's struct page union and returns the new value. Used by
+// on-demand-fork in place of per-PTE reference counting.
+func (a *Allocator) PTShareGet(f Frame) int32 {
+	a.prof.Charge(profile.PTShareInc, 1)
+	return a.info(f).ptShared.Add(1)
+}
+
+// PTSharePut atomically decrements the share counter and returns the
+// new value.
+func (a *Allocator) PTSharePut(f Frame) int32 {
+	n := a.info(f).ptShared.Add(-1)
+	if n < 0 {
+		panic(fmt.Sprintf("phys: PT share count of frame %d went negative", f))
+	}
+	return n
+}
+
+// PTShareCount returns the current share counter of a page-table frame.
+func (a *Allocator) PTShareCount(f Frame) int32 {
+	return a.info(f).ptShared.Load()
+}
+
+// PTShareInit sets the share counter of a freshly allocated page-table
+// frame (the "constructor" of §3.5 initializes it to one).
+func (a *Allocator) PTShareInit(f Frame, n int32) {
+	a.info(f).ptShared.Store(n)
+}
+
+// Data returns the 4 KiB payload of an ordinary frame, materializing it
+// (zero-filled) on first touch.
+func (a *Allocator) Data(f Frame) []byte {
+	pi := a.info(f)
+	pi.dataMu.Lock()
+	if pi.data == nil {
+		pi.data = make([]byte, addr.PageSize)
+	}
+	d := pi.data
+	pi.dataMu.Unlock()
+	return d
+}
+
+// DataIfPresent returns the frame's payload, or nil when the frame is
+// still logically zero-filled. Callers must treat nil as zeroes.
+func (a *Allocator) DataIfPresent(f Frame) []byte {
+	pi := a.info(f)
+	pi.dataMu.Lock()
+	d := pi.data
+	pi.dataMu.Unlock()
+	return d
+}
+
+// CopyPage copies the 4 KiB content of src into dst, performing the
+// same amount of real memory work the kernel's COW fault does. When
+// the source is still logically zero, the destination is materialized
+// zero-filled (allocation + clearing cost, matching a zero-page copy).
+func (a *Allocator) CopyPage(dst, src Frame) {
+	a.prof.Charge(profile.PageCopy, 1)
+	s := a.DataIfPresent(src)
+	d := a.Data(dst)
+	if s != nil {
+		copy(d, s)
+	} else {
+		clear(d)
+	}
+}
+
+// CopyHugePage copies the 2 MiB content of the compound page headed at
+// src into the compound page headed at dst, frame by frame. This is the
+// 512× data-copy cost the paper attributes to huge-page COW faults.
+func (a *Allocator) CopyHugePage(dst, src Frame) {
+	for i := Frame(0); i < 1<<HugeOrder; i++ {
+		a.CopyPage(dst+i, src+i)
+	}
+}
+
+// Allocated returns the number of base frames currently allocated.
+func (a *Allocator) Allocated() int64 { return a.allocated.Load() }
+
+// Peak returns the high-water mark of allocated base frames.
+func (a *Allocator) Peak() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peak
+}
+
+// Stats summarizes allocator state for reports and leak checks.
+type Stats struct {
+	Allocated int64 // live base frames
+	Peak      int64 // maximum live base frames observed
+	Extent    int64 // frame numbers ever issued
+}
+
+// Stats returns a snapshot of allocator statistics.
+func (a *Allocator) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Stats{
+		Allocated: a.allocated.Load(),
+		Peak:      a.peak,
+		Extent:    int64(a.next - 1),
+	}
+}
+
+// TouchRef performs the cost of a classic-fork page reference operation
+// (compound-head resolution plus one atomic read-modify-write on the
+// reference counter) without changing the count. The eager-refcount
+// ablation uses it to price the work on-demand-fork's table-based
+// accounting (§3.6) avoids.
+func (a *Allocator) TouchRef(f Frame) {
+	head := a.CompoundHead(f)
+	a.prof.Charge(profile.PageRefInc, 1)
+	a.info(head).refcount.Add(0)
+}

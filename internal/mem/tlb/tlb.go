@@ -1,0 +1,224 @@
+// Package tlb implements a software translation lookaside buffer for
+// the simulated MMU: a set-associative cache of virtual-to-physical
+// translations consulted before the 4-level page walk, with the
+// invalidation semantics the fork engines rely on.
+//
+// Correctness protocol: a TLB entry may be used only while the
+// translation it caches is still valid. Local changes (a COW fault
+// replacing this process's own entry, an munmap) invalidate locally.
+// Changes to *shared* structures — on-demand-fork write-protecting a
+// table the parent's TLB may still cache as writable — are broadcast
+// as a kernel-wide shootdown generation: every TLB lazily discards its
+// contents when it observes a newer generation, modelling the IPI
+// shootdown broadcast of a real SMP kernel.
+package tlb
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mem/addr"
+	"repro/internal/mem/phys"
+)
+
+// Geometry of the simulated TLB (64 sets × 4 ways = 256 entries,
+// a typical L2 dTLB shape).
+const (
+	numSets = 64
+	numWays = 4
+)
+
+// Shootdown is the kernel-wide invalidation generation shared by all
+// TLBs of one simulated machine.
+type Shootdown struct {
+	gen atomic.Uint64
+}
+
+// Broadcast invalidates every TLB attached to this Shootdown (lazily,
+// at their next lookup).
+func (s *Shootdown) Broadcast() { s.gen.Add(1) }
+
+// Gen returns the current generation.
+func (s *Shootdown) Gen() uint64 { return s.gen.Load() }
+
+type entry struct {
+	valid    bool
+	writable bool
+	dirty    bool // dirty bit already propagated to the PTE
+	vpn      uint64
+	frame    phys.Frame
+	age      uint64 // for LRU
+}
+
+// TLB is one process's translation cache.
+type TLB struct {
+	mu   sync.Mutex
+	sets [numSets][numWays]entry
+	tick uint64
+	sd   *Shootdown
+	seen uint64 // last observed shootdown generation
+
+	// Statistics.
+	Hits       atomic.Uint64
+	Misses     atomic.Uint64
+	Flushes    atomic.Uint64
+	Shootdowns atomic.Uint64
+}
+
+// New returns an empty TLB participating in the given shootdown domain
+// (which may be nil for a standalone TLB).
+func New(sd *Shootdown) *TLB {
+	return &TLB{sd: sd}
+}
+
+func vpnOf(v addr.V) uint64 { return uint64(v) >> addr.PageShift }
+
+func setOf(vpn uint64) int { return int(vpn % numSets) }
+
+// syncShootdown discards everything if a broadcast happened since the
+// last lookup. Caller holds mu.
+func (t *TLB) syncShootdown() {
+	if t.sd == nil {
+		return
+	}
+	if g := t.sd.Gen(); g != t.seen {
+		t.seen = g
+		t.flushLocked()
+		t.Shootdowns.Add(1)
+	}
+}
+
+// Lookup returns the cached frame for v if a usable translation exists.
+// A write lookup requires a writable entry whose dirty bit has already
+// been propagated; otherwise the caller must take the slow path (walk +
+// fault handling), which re-inserts the entry.
+func (t *TLB) Lookup(v addr.V, write bool) (phys.Frame, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.syncShootdown()
+	vpn := vpnOf(v)
+	set := &t.sets[setOf(vpn)]
+	for i := range set {
+		e := &set[i]
+		if !e.valid || e.vpn != vpn {
+			continue
+		}
+		if write && (!e.writable || !e.dirty) {
+			// Permission upgrade or first write: slow path must run so
+			// the fault handler and dirty-bit logic see it.
+			t.Misses.Add(1)
+			return phys.NoFrame, false
+		}
+		t.tick++
+		e.age = t.tick
+		t.Hits.Add(1)
+		return e.frame, true
+	}
+	t.Misses.Add(1)
+	return phys.NoFrame, false
+}
+
+// Insert caches a translation after a successful walk. dirty records
+// whether the access that filled the entry was a write (so later write
+// hits need no dirty-bit propagation).
+func (t *TLB) Insert(v addr.V, frame phys.Frame, writable, dirty bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.syncShootdown()
+	vpn := vpnOf(v)
+	set := &t.sets[setOf(vpn)]
+	t.tick++
+	// Reuse an existing slot for the same VPN or an invalid one;
+	// otherwise evict the least recently used way.
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			victim = i
+			break
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].age < set[victim].age {
+			victim = i
+		}
+	}
+	set[victim] = entry{
+		valid: true, writable: writable, dirty: dirty,
+		vpn: vpn, frame: frame, age: t.tick,
+	}
+}
+
+// FlushPage invalidates the translation for one page.
+func (t *TLB) FlushPage(v addr.V) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	vpn := vpnOf(v)
+	set := &t.sets[setOf(vpn)]
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].valid = false
+		}
+	}
+}
+
+// FlushRange invalidates all translations inside r.
+func (t *TLB) FlushRange(r addr.Range) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lo, hi := vpnOf(r.Start), vpnOf(r.End-1)
+	if hi-lo >= numSets*numWays {
+		// Cheaper to drop everything.
+		t.flushLocked()
+		return
+	}
+	for s := range t.sets {
+		for w := range t.sets[s] {
+			e := &t.sets[s][w]
+			if e.valid && e.vpn >= lo && e.vpn <= hi {
+				e.valid = false
+			}
+		}
+	}
+}
+
+// Flush drops every entry.
+func (t *TLB) Flush() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.flushLocked()
+}
+
+func (t *TLB) flushLocked() {
+	for s := range t.sets {
+		for w := range t.sets[s] {
+			t.sets[s][w].valid = false
+		}
+	}
+	t.Flushes.Add(1)
+}
+
+// Entries returns the number of valid entries (tests/diagnostics).
+func (t *TLB) Entries() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for s := range t.sets {
+		for w := range t.sets[s] {
+			if t.sets[s][w].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// HitRate returns hits / (hits+misses), or 0 with no lookups.
+func (t *TLB) HitRate() float64 {
+	h, m := t.Hits.Load(), t.Misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}

@@ -1,0 +1,121 @@
+package profile
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestChargeAndCount(t *testing.T) {
+	p := New()
+	p.Charge(PageRefInc, 10)
+	p.Charge(PageRefInc, 5)
+	if got := p.Count(PageRefInc); got != 15 {
+		t.Errorf("Count = %d, want 15", got)
+	}
+	if got := p.Cost(PageRefInc); got != 15*defaultUnitCost[PageRefInc] {
+		t.Errorf("Cost = %d", got)
+	}
+}
+
+func TestUnknownCounterIgnored(t *testing.T) {
+	p := New()
+	p.Charge("bogus", 3)
+	if got := p.Count("bogus"); got != 0 {
+		t.Errorf("unknown counter counted: %d", got)
+	}
+	if got := p.TotalCost(); got != 0 {
+		t.Errorf("TotalCost = %d, want 0", got)
+	}
+}
+
+func TestNilProfilerIsNoop(t *testing.T) {
+	var p *Profiler
+	p.Charge(PageRefInc, 1) // must not panic
+	if p.Count(PageRefInc) != 0 || p.Cost(PageRefInc) != 0 || p.TotalCost() != 0 {
+		t.Error("nil profiler returned non-zero")
+	}
+	if p.Enabled() {
+		t.Error("nil profiler enabled")
+	}
+	p.SetEnabled(true) // must not panic
+	p.Reset()          // must not panic
+	if p.Report() != nil {
+		t.Error("nil profiler report non-nil")
+	}
+}
+
+func TestDisable(t *testing.T) {
+	p := New()
+	p.Charge(CopyOnePTE, 7)
+	p.SetEnabled(false)
+	p.Charge(CopyOnePTE, 100)
+	if got := p.Count(CopyOnePTE); got != 7 {
+		t.Errorf("disabled profiler recorded: %d", got)
+	}
+	p.SetEnabled(true)
+	p.Charge(CopyOnePTE, 1)
+	if got := p.Count(CopyOnePTE); got != 8 {
+		t.Errorf("re-enabled count = %d", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New()
+	p.Charge(PTCopy, 4)
+	p.Reset()
+	if p.Count(PTCopy) != 0 || p.TotalCost() != 0 {
+		t.Error("reset did not clear counters")
+	}
+}
+
+func TestReportOrderingAndPercent(t *testing.T) {
+	p := New()
+	p.Charge(CompoundHead, 100) // cost 6300
+	p.Charge(UpperWalk, 10)     // cost 10
+	rep := p.Report()
+	if len(rep) != 2 {
+		t.Fatalf("report rows = %d, want 2", len(rep))
+	}
+	if rep[0].Name != CompoundHead {
+		t.Errorf("top row = %q", rep[0].Name)
+	}
+	sum := rep[0].Percent + rep[1].Percent
+	if sum < 99.99 || sum > 100.01 {
+		t.Errorf("percents sum to %f", sum)
+	}
+	if rep[0].Percent <= rep[1].Percent {
+		t.Error("report not sorted by cost")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := New()
+	if !strings.Contains(p.String(), "no profile samples") {
+		t.Error("empty report missing placeholder")
+	}
+	p.Charge(PageRefInc, 1)
+	s := p.String()
+	if !strings.Contains(s, PageRefInc) {
+		t.Errorf("rendered report missing counter: %s", s)
+	}
+}
+
+func TestConcurrentCharge(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				p.Charge(PageRefInc, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Count(PageRefInc); got != workers*per {
+		t.Errorf("concurrent count = %d, want %d", got, workers*per)
+	}
+}

@@ -1,0 +1,270 @@
+// Package stats provides the small statistics toolkit the experiment
+// harness uses: summary statistics, percentiles, and plain-text table
+// rendering matching the paper's figures and tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample accumulates float64 observations.
+type Sample struct {
+	values []float64
+	sorted bool
+}
+
+// Add appends an observation.
+func (s *Sample) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+}
+
+// AddDuration appends a duration observation in milliseconds.
+func (s *Sample) AddDuration(d time.Duration) {
+	s.Add(float64(d) / float64(time.Millisecond))
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Min returns the smallest observation (0 for an empty sample).
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.values[0]
+}
+
+// Max returns the largest observation (0 for an empty sample).
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.values[len(s.values)-1]
+}
+
+// StdDev returns the sample standard deviation (0 for n < 2).
+func (s *Sample) StdDev() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	var ss float64
+	for _, v := range s.values {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	s.sort()
+	if p <= 0 {
+		return s.values[0]
+	}
+	if p >= 100 {
+		return s.values[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := rank - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac
+}
+
+// Values returns the observations (sorted if any order-dependent
+// accessor ran). The slice must not be mutated.
+func (s *Sample) Values() []float64 { return s.values }
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// Summary is a rendered snapshot of a sample.
+type Summary struct {
+	N              int
+	Mean, Min, Max float64
+	StdDev         float64
+}
+
+// Summarize returns the sample's summary statistics.
+func (s *Sample) Summarize() Summary {
+	return Summary{
+		N: s.N(), Mean: s.Mean(), Min: s.Min(), Max: s.Max(), StdDev: s.StdDev(),
+	}
+}
+
+// Table renders aligned plain-text tables for experiment output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.1f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.5f", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.header) > 0 {
+		writeRow(t.header)
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total+2*(cols-1)))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Throughput tracks events over elapsed wall-clock buckets, producing
+// the executions-per-second time series of Figures 9 and 10.
+type Throughput struct {
+	start  time.Time
+	bucket time.Duration
+	counts []int
+}
+
+// NewThroughput starts a series with the given bucket width.
+func NewThroughput(bucket time.Duration) *Throughput {
+	return &Throughput{start: time.Now(), bucket: bucket}
+}
+
+// Record counts one event at the current time.
+func (tp *Throughput) Record() { tp.RecordAt(time.Now()) }
+
+// RecordAt counts one event at the given time.
+func (tp *Throughput) RecordAt(at time.Time) {
+	idx := int(at.Sub(tp.start) / tp.bucket)
+	if idx < 0 {
+		idx = 0
+	}
+	for len(tp.counts) <= idx {
+		tp.counts = append(tp.counts, 0)
+	}
+	tp.counts[idx]++
+}
+
+// Series returns (bucket start offset seconds, events/sec) pairs.
+func (tp *Throughput) Series() (secs []float64, rate []float64) {
+	per := tp.bucket.Seconds()
+	for i, c := range tp.counts {
+		secs = append(secs, float64(i)*per)
+		rate = append(rate, float64(c)/per)
+	}
+	return secs, rate
+}
+
+// Total returns the total number of recorded events.
+func (tp *Throughput) Total() int {
+	n := 0
+	for _, c := range tp.counts {
+		n += c
+	}
+	return n
+}
+
+// MeanRate returns average events/sec over the series' span.
+func (tp *Throughput) MeanRate() float64 {
+	if len(tp.counts) == 0 {
+		return 0
+	}
+	return float64(tp.Total()) / (float64(len(tp.counts)) * tp.bucket.Seconds())
+}

@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 ||
+		s.StdDev() != 0 || s.Percentile(50) != 0 {
+		t.Error("empty sample not all-zero")
+	}
+}
+
+func TestSummaryStats(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if !approx(s.Mean(), 5) {
+		t.Errorf("Mean = %f", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %f/%f", s.Min(), s.Max())
+	}
+	// Sample stddev of this classic dataset is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); !approx(s.StdDev(), want) {
+		t.Errorf("StdDev = %f, want %f", s.StdDev(), want)
+	}
+	sum := s.Summarize()
+	if sum.N != 8 || !approx(sum.Mean, 5) {
+		t.Errorf("Summary = %+v", sum)
+	}
+}
+
+func TestSingleValueStdDev(t *testing.T) {
+	var s Sample
+	s.Add(3)
+	if s.StdDev() != 0 {
+		t.Error("stddev of single value non-zero")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 100}, {50, 50.5}, {90, 90.1}, {99, 99.01},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); !approx(got, c.want) {
+			t.Errorf("P%.0f = %f, want %f", c.p, got, c.want)
+		}
+	}
+	if got := s.Percentile(-5); got != 1 {
+		t.Errorf("P(-5) = %f", got)
+	}
+	if got := s.Percentile(200); got != 100 {
+		t.Errorf("P(200) = %f", got)
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Sample
+	s.AddDuration(1500 * time.Microsecond)
+	if !approx(s.Mean(), 1.5) {
+		t.Errorf("duration in ms = %f", s.Mean())
+	}
+}
+
+func TestQuickPercentileProperties(t *testing.T) {
+	f := func(raw []float64, pRaw uint8) bool {
+		var s Sample
+		var clean []float64
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s.Add(v)
+			clean = append(clean, v)
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		sort.Float64s(clean)
+		p := float64(pRaw) / 2.55 // 0..100
+		got := s.Percentile(p)
+		// Percentile must be within [min, max] and monotone vs P0/P100.
+		return got >= clean[0] && got <= clean[len(clean)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("size", "time (ms)", "mode")
+	tb.AddRow("1GB", 6.54, "fork")
+	tb.AddRow("1GB", 0.10, "on-demand-fork")
+	out := tb.String()
+	if !strings.Contains(out, "size") || !strings.Contains(out, "on-demand-fork") {
+		t.Errorf("table missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, rule, 2 rows
+		t.Errorf("table has %d lines:\n%s", len(lines), out)
+	}
+	// Columns must align: every "fork" row starts at same offset.
+	if strings.Index(lines[2], "fork") != strings.Index(out[strings.Index(out, "mode"):], "mode")-0 {
+		// Loose alignment check: both data rows have 3 fields.
+	}
+	for _, l := range lines[2:] {
+		if len(strings.Fields(l)) != 3 {
+			t.Errorf("row %q has wrong field count", l)
+		}
+	}
+}
+
+func TestTableFloatFormats(t *testing.T) {
+	tb := NewTable("v")
+	tb.AddRow(0.0)
+	tb.AddRow(0.00012)
+	tb.AddRow(3.14159)
+	tb.AddRow(12345.678)
+	out := tb.String()
+	for _, want := range []string{"0", "0.00012", "3.142", "12345.7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := NewThroughput(100 * time.Millisecond)
+	base := tp.start
+	for i := 0; i < 10; i++ {
+		tp.RecordAt(base.Add(time.Duration(i) * 30 * time.Millisecond))
+	}
+	if tp.Total() != 10 {
+		t.Errorf("Total = %d", tp.Total())
+	}
+	secs, rate := tp.Series()
+	if len(secs) != len(rate) || len(secs) == 0 {
+		t.Fatalf("series lengths %d/%d", len(secs), len(rate))
+	}
+	// 10 events over 3 buckets of 0.1s -> mean 33.3/s.
+	if m := tp.MeanRate(); m < 30 || m > 40 {
+		t.Errorf("MeanRate = %f", m)
+	}
+	// An event before start clamps to bucket 0.
+	tp.RecordAt(base.Add(-time.Second))
+	if tp.Total() != 11 {
+		t.Error("pre-start event lost")
+	}
+}
+
+func TestThroughputEmpty(t *testing.T) {
+	tp := NewThroughput(time.Second)
+	if tp.MeanRate() != 0 || tp.Total() != 0 {
+		t.Error("empty throughput non-zero")
+	}
+}

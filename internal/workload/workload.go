@@ -1,0 +1,276 @@
+// Package workload implements the paper's microbenchmark drivers: the
+// Figure 1 fork-latency loop (sequential and concurrent), the huge-page
+// variant, the worst-case fault-cost probe of Table 1, and the
+// fork-plus-access sweeps of Figure 8.
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/mem/addr"
+	"repro/internal/mem/vm"
+	"repro/internal/stats"
+)
+
+const rw = vm.ProtRead | vm.ProtWrite
+
+// Config selects a fork engine and page size for a measurement, the
+// three curves of Figure 7.
+type Config struct {
+	Mode core.ForkMode
+	Huge bool // back memory with 2 MiB pages (paper: "fork w/ huge pages")
+}
+
+// Name labels the configuration as the paper's legends do.
+func (c Config) Name() string {
+	if c.Huge {
+		return c.Mode.String() + " w/ huge pages"
+	}
+	return c.Mode.String()
+}
+
+func (c Config) flags() vm.MapFlags {
+	f := vm.MapPrivate | vm.MapPopulate
+	if c.Huge {
+		f |= vm.MapHuge
+	}
+	return f
+}
+
+// ForkLatencyResult is one point of Figures 2, 4 and 7.
+type ForkLatencyResult struct {
+	Size    uint64 // bytes of allocated memory
+	Lat     stats.Summary
+	Samples stats.Sample
+}
+
+// MeasureForkLatency runs the Figure 1 benchmark: allocate and populate
+// size bytes once, then fork reps times, timing each invocation from
+// just before the call to its return in the parent; the child exits
+// immediately and the parent waits before the next iteration.
+func MeasureForkLatency(k *kernel.Kernel, cfg Config, size uint64, reps int) (ForkLatencyResult, error) {
+	p := k.NewProcess()
+	defer p.Exit()
+	if _, err := p.Mmap(size, rw, cfg.flags()); err != nil {
+		return ForkLatencyResult{}, fmt.Errorf("workload: mmap %d bytes: %w", size, err)
+	}
+	// One unmeasured warmup fork stabilizes the first measurement
+	// (cold allocator metadata and Go heap growth otherwise dominate
+	// small-rep means).
+	if warm, err := p.ForkWith(cfg.Mode); err == nil {
+		warm.Exit()
+		warm.Wait()
+	}
+	res := ForkLatencyResult{Size: size}
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		c, err := p.ForkWith(cfg.Mode)
+		elapsed := time.Since(start)
+		if err != nil {
+			return ForkLatencyResult{}, err
+		}
+		res.Samples.AddDuration(elapsed)
+		c.Exit()
+		c.Wait()
+	}
+	res.Lat = res.Samples.Summarize()
+	return res, nil
+}
+
+// MeasureForkLatencyConcurrent runs n independent instances of the
+// benchmark concurrently against one kernel, reproducing the
+// concurrent line of Figure 2: the instances share no pages, but they
+// contend on the global struct page metadata exactly as concurrent
+// forks contend on mem_map cachelines.
+func MeasureForkLatencyConcurrent(k *kernel.Kernel, cfg Config, size uint64, reps, n int) (ForkLatencyResult, error) {
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		res  = ForkLatencyResult{Size: size}
+		fail error
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := MeasureForkLatency(k, cfg, size, reps)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				fail = err
+				return
+			}
+			for _, v := range r.Samples.Values() {
+				res.Samples.Add(v)
+			}
+		}()
+	}
+	wg.Wait()
+	if fail != nil {
+		return ForkLatencyResult{}, fail
+	}
+	res.Lat = res.Samples.Summarize()
+	return res, nil
+}
+
+// MeasureFaultCost reproduces Table 1: fork a process with a 1 GiB
+// (size-byte) populated region, then time a one-byte write by the child
+// to the middle of the region — the worst case for on-demand-fork,
+// which must copy a page table during that fault.
+func MeasureFaultCost(k *kernel.Kernel, cfg Config, size uint64, reps int) (stats.Summary, error) {
+	p := k.NewProcess()
+	defer p.Exit()
+	base, err := p.Mmap(size, rw, cfg.flags())
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	// Fill with actual data (once) so COW faults copy real bytes, as in
+	// the paper's benchmarks.
+	if err := FillRegion(p, base, size); err != nil {
+		return stats.Summary{}, err
+	}
+	var sample stats.Sample
+	for i := 0; i < reps; i++ {
+		c, err := p.ForkWith(cfg.Mode)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		mid := base + addr.V(size/2)
+		start := time.Now()
+		err = c.StoreByte(mid, 0xAA)
+		elapsed := time.Since(start)
+		if err != nil {
+			c.Exit()
+			return stats.Summary{}, err
+		}
+		sample.AddDuration(elapsed)
+		c.Exit()
+		c.Wait()
+	}
+	return sample.Summarize(), nil
+}
+
+// FillRegion writes a deterministic pattern over the whole region in
+// large chunks, so every page is backed by a distinct, materialized
+// frame — the "fill it with data" step of the paper's benchmark
+// programs (Figure 1).
+func FillRegion(p *kernel.Process, base addr.V, size uint64) error {
+	const chunk = 1 << 20
+	buf := make([]byte, chunk)
+	for i := range buf {
+		buf[i] = byte(i * 31)
+	}
+	for off := uint64(0); off < size; off += chunk {
+		n := uint64(chunk)
+		if off+n > size {
+			n = size - off
+		}
+		if err := p.WriteAt(buf[:n], base+addr.V(off)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AccessMixResult is one point of Figure 8. Timings are the minimum
+// over the repetitions: at low accessed fractions the measured interval
+// is microseconds, where a single host GC pause would otherwise swamp
+// the signal the paper's second-scale runs average away.
+type AccessMixResult struct {
+	AccessedPct int // fraction of the region accessed after fork
+	ReadPct     int // fraction of accesses that are reads
+	ClassicMS   float64
+	ODFMS       float64
+	ReductionPC float64 // time reduction of ODF vs classic, percent
+}
+
+// chunkBytes is the memcpy transfer unit of the Figure 8 benchmark
+// (the paper uses a 32 MiB buffer; we use a smaller unit so small
+// regions still see the requested read/write interleaving).
+const chunkBytes = 256 * 1024
+
+// MeasureAccessMix reproduces one Figure 8 point for both engines:
+// total time to fork and then sequentially access the first
+// accessedPct% of the region with the given read/write mix. The two
+// engines' repetitions are interleaved and separated by explicit GC so
+// the multi-hundred-MiB page garbage of a write-heavy rep cannot bias
+// whichever engine runs later.
+func MeasureAccessMix(k *kernel.Kernel, size uint64, accessedPct, readPct, reps int) (AccessMixResult, error) {
+	runOnce := func(mode core.ForkMode) (time.Duration, error) {
+		p := k.NewProcess()
+		defer p.Exit()
+		base, err := p.Mmap(size, rw, vm.MapPrivate|vm.MapPopulate)
+		if err != nil {
+			return 0, err
+		}
+		runtime.GC()
+		start := time.Now()
+		c, err := p.ForkWith(mode)
+		if err != nil {
+			return 0, err
+		}
+		defer c.Exit()
+		if err := accessMix(p, base, size, accessedPct, readPct); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+	var classicS, odfS stats.Sample
+	for i := 0; i < reps; i++ {
+		dc, err := runOnce(core.ForkClassic)
+		if err != nil {
+			return AccessMixResult{}, err
+		}
+		classicS.AddDuration(dc)
+		do, err := runOnce(core.ForkOnDemand)
+		if err != nil {
+			return AccessMixResult{}, err
+		}
+		odfS.AddDuration(do)
+	}
+	res := AccessMixResult{
+		AccessedPct: accessedPct,
+		ReadPct:     readPct,
+		ClassicMS:   classicS.Min(),
+		ODFMS:       odfS.Min(),
+	}
+	if res.ClassicMS > 0 {
+		res.ReductionPC = 100 * (res.ClassicMS - res.ODFMS) / res.ClassicMS
+	}
+	return res, nil
+}
+
+// accessMix sequentially accesses the first accessedPct% of the region
+// in chunkBytes units, choosing read or write per chunk so that readPct
+// percent of the chunks are reads (memcpy to/from a bounce buffer, as
+// in the paper's benchmark).
+func accessMix(p *kernel.Process, base addr.V, size uint64, accessedPct, readPct int) error {
+	limit := size * uint64(accessedPct) / 100
+	buf := make([]byte, chunkBytes)
+	// Error-diffusion style scheduling: spread reads evenly through the
+	// access stream at the requested ratio.
+	credit := 0
+	for off := uint64(0); off < limit; off += chunkBytes {
+		n := uint64(chunkBytes)
+		if off+n > limit {
+			n = limit - off
+		}
+		credit += readPct
+		if credit >= 100 {
+			credit -= 100
+			if err := p.ReadAt(buf[:n], base+addr.V(off)); err != nil {
+				return err
+			}
+		} else {
+			if err := p.WriteAt(buf[:n], base+addr.V(off)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/mem/addr"
+	"repro/internal/mem/vm"
+)
+
+const testSize = 16 * addr.PTECoverage // 32 MiB
+
+func TestConfigNames(t *testing.T) {
+	cases := map[Config]string{
+		{Mode: core.ForkClassic}:             "fork",
+		{Mode: core.ForkClassic, Huge: true}: "fork w/ huge pages",
+		{Mode: core.ForkOnDemand}:            "on-demand-fork",
+	}
+	for cfg, want := range cases {
+		if got := cfg.Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestMeasureForkLatency(t *testing.T) {
+	k := kernel.New()
+	for _, cfg := range []Config{
+		{Mode: core.ForkClassic},
+		{Mode: core.ForkClassic, Huge: true},
+		{Mode: core.ForkOnDemand},
+	} {
+		res, err := MeasureForkLatency(k, cfg, testSize, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name(), err)
+		}
+		if res.Lat.N != 3 {
+			t.Errorf("%s: N = %d", cfg.Name(), res.Lat.N)
+		}
+		if res.Lat.Mean <= 0 {
+			t.Errorf("%s: non-positive mean latency", cfg.Name())
+		}
+		if res.Lat.Min > res.Lat.Mean || res.Lat.Mean > res.Lat.Max {
+			t.Errorf("%s: min/mean/max out of order: %+v", cfg.Name(), res.Lat)
+		}
+	}
+	if got := k.Allocator().Allocated(); got != 0 {
+		t.Errorf("leak: %d frames", got)
+	}
+}
+
+func TestODFIsFasterThanClassic(t *testing.T) {
+	// The headline result must hold even at test scale: at 32 MiB the
+	// classic fork copies 8192 PTEs, ODF touches 16 table counters.
+	k := kernel.New()
+	classic, err := MeasureForkLatency(k, Config{Mode: core.ForkClassic}, testSize, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	odf, err := MeasureForkLatency(k, Config{Mode: core.ForkOnDemand}, testSize, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if odf.Lat.Mean >= classic.Lat.Mean {
+		t.Errorf("ODF (%.4fms) not faster than classic (%.4fms)",
+			odf.Lat.Mean, classic.Lat.Mean)
+	}
+}
+
+func TestMeasureForkLatencyConcurrent(t *testing.T) {
+	k := kernel.New()
+	res, err := MeasureForkLatencyConcurrent(k, Config{Mode: core.ForkClassic}, testSize, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lat.N != 6 {
+		t.Errorf("N = %d, want 6", res.Lat.N)
+	}
+	if got := k.Allocator().Allocated(); got != 0 {
+		t.Errorf("leak: %d frames", got)
+	}
+}
+
+func TestMeasureFaultCost(t *testing.T) {
+	k := kernel.New()
+	size := uint64(4 * addr.PTECoverage)
+	for _, cfg := range []Config{
+		{Mode: core.ForkClassic},
+		{Mode: core.ForkClassic, Huge: true},
+		{Mode: core.ForkOnDemand},
+	} {
+		sum, err := MeasureFaultCost(k, cfg, size, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name(), err)
+		}
+		if sum.N != 2 || sum.Mean <= 0 {
+			t.Errorf("%s: bad summary %+v", cfg.Name(), sum)
+		}
+	}
+	if got := k.Allocator().Allocated(); got != 0 {
+		t.Errorf("leak: %d frames", got)
+	}
+}
+
+func TestHugeFaultSlowerThanODF(t *testing.T) {
+	// Table 1 shape: huge-page COW (2 MiB copy) must cost more than an
+	// ODF fault (table copy), which costs more than a plain COW fault.
+	k := kernel.New()
+	size := uint64(8 * addr.PTECoverage)
+	huge, err := MeasureFaultCost(k, Config{Mode: core.ForkClassic, Huge: true}, size, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	odf, err := MeasureFaultCost(k, Config{Mode: core.ForkOnDemand}, size, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if huge.Mean <= odf.Mean {
+		t.Errorf("huge fault (%.4fms) not slower than ODF fault (%.4fms)",
+			huge.Mean, odf.Mean)
+	}
+}
+
+func TestMeasureAccessMix(t *testing.T) {
+	k := kernel.New()
+	res, err := MeasureAccessMix(k, testSize, 50, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClassicMS <= 0 || res.ODFMS <= 0 {
+		t.Errorf("non-positive timings: %+v", res)
+	}
+	if res.AccessedPct != 50 || res.ReadPct != 50 {
+		t.Errorf("labels wrong: %+v", res)
+	}
+	if got := k.Allocator().Allocated(); got != 0 {
+		t.Errorf("leak: %d frames", got)
+	}
+}
+
+func TestAccessMixZeroAccessHighReduction(t *testing.T) {
+	// Figure 8 at x=0: with no post-fork accesses the ODF total cost is
+	// almost pure fork latency, so the reduction must be large.
+	k := kernel.New()
+	res, err := MeasureAccessMix(k, 64*addr.PTECoverage, 0, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReductionPC < 50 {
+		t.Errorf("reduction at 0%% accessed = %.1f%%, want > 50%%", res.ReductionPC)
+	}
+}
+
+func TestAccessMixInterleaving(t *testing.T) {
+	// The read/write scheduler must hit the requested ratio.
+	k := kernel.New()
+	p := k.NewProcess()
+	defer p.Exit()
+	base, err := p.Mmap(testSize, rw, vm.MapPrivate|vm.MapPopulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := accessMix(p, base, testSize, 100, 25); err != nil {
+		t.Fatal(err)
+	}
+	// 25% reads of 128 chunks = 32 read chunks; the write chunks dirty
+	// their pages. Verify via dirty-page count: 75% of pages dirty.
+	st := p.Space().Tables()
+	wantDirtyPages := int(float64(testSize/addr.PageSize) * 0.75)
+	dirty := countDirty(p)
+	tolerance := int(testSize / addr.PageSize / 10)
+	if dirty < wantDirtyPages-tolerance || dirty > wantDirtyPages+tolerance {
+		t.Errorf("dirty pages = %d, want ~%d (present=%d)", dirty, wantDirtyPages, st.PresentPTEs)
+	}
+}
+
+func countDirty(p *kernel.Process) int {
+	n := 0
+	w := p.Space().Walker()
+	for _, vma := range p.Space().VMAs() {
+		for a := vma.Range.Start; a < vma.Range.End; a += addr.PageSize {
+			if leaf, li := w.FindPTE(a); leaf != nil && leaf.Entry(li).Dirty() {
+				n++
+			}
+		}
+	}
+	return n
+}

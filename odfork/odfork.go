@@ -1,0 +1,168 @@
+// Package odfork is the public API of the on-demand-fork reproduction:
+// a simulated operating-system memory subsystem with three fork
+// engines — the traditional copy-everything fork, fork over 2 MiB huge
+// pages, and the paper's on-demand-fork, which shares last-level page
+// tables between parent and child and copies them lazily, one 2 MiB
+// region at a time, on the first write fault.
+//
+// The package wraps the internal kernel with a small, stable surface:
+//
+//	sys := odfork.NewSystem()
+//	p := sys.NewProcess()
+//	buf, _ := p.Mmap(1<<30, odfork.ProtRead|odfork.ProtWrite,
+//	    odfork.MapPrivate|odfork.MapPopulate)
+//	child, _ := p.ForkWith(odfork.OnDemand) // microseconds, not millis
+//
+// Forked children have full copy-on-write semantics: reads are shared,
+// the first write to a 2 MiB region copies one page table, and the
+// first write to a page copies that page. See DESIGN.md for how the
+// simulation substitutes for the paper's kernel patch, and
+// EXPERIMENTS.md for the reproduced evaluation.
+package odfork
+
+import (
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/kernel"
+	"repro/internal/mem/addr"
+	"repro/internal/mem/vm"
+	"repro/internal/profile"
+)
+
+// Addr is a virtual address in a simulated process.
+type Addr = addr.V
+
+// Size constants for mapping requests.
+const (
+	PageSize     = addr.PageSize     // 4 KiB
+	HugePageSize = addr.HugePageSize // 2 MiB
+	KiB          = uint64(1) << 10
+	MiB          = uint64(1) << 20
+	GiB          = uint64(1) << 30
+)
+
+// Prot is a mapping protection.
+type Prot = vm.Prot
+
+// Protection bits.
+const (
+	ProtRead  = vm.ProtRead
+	ProtWrite = vm.ProtWrite
+)
+
+// MapFlags selects mapping behaviour.
+type MapFlags = vm.MapFlags
+
+// Mapping flags.
+const (
+	// MapPrivate requests copy-on-write semantics across fork.
+	MapPrivate = vm.MapPrivate
+	// MapHuge backs the mapping with 2 MiB pages.
+	MapHuge = vm.MapHuge
+	// MapPopulate pre-faults every page at mmap time.
+	MapPopulate = vm.MapPopulate
+)
+
+// Mode selects a fork engine.
+type Mode = core.ForkMode
+
+// Fork engines.
+const (
+	// Classic is the traditional fork: it copies the entire paging
+	// hierarchy and reference-counts every mapped page, so its latency
+	// grows linearly with the process's mapped memory.
+	Classic = core.ForkClassic
+	// OnDemand is the paper's design: last-level page tables are shared
+	// at fork time and copied lazily on first write, making fork latency
+	// proportional to the (tiny) number of upper-level tables.
+	OnDemand = core.ForkOnDemand
+)
+
+// ForkOptions exposes the engine tuning knobs: the ablation switches
+// of DESIGN.md §5 and the huge-page PMD-table sharing extension of the
+// paper's §4 ("Huge Page Support").
+type ForkOptions = core.ForkOptions
+
+// Process is a simulated task. It exposes the syscall surface the
+// paper's workloads use; all memory access goes through the simulated
+// MMU, so copy-on-write, protection, and demand paging behave as on a
+// real kernel.
+type Process = kernel.Process
+
+// PID identifies a process.
+type PID = kernel.PID
+
+// File is an in-memory file usable for file-backed mappings.
+type File = fs.File
+
+// SegfaultError is returned for irreparable memory accesses.
+type SegfaultError = core.SegfaultError
+
+// System is a simulated operating-system instance: physical memory,
+// a filesystem, and a process table.
+type System struct {
+	k *kernel.Kernel
+}
+
+// Option configures a System.
+type Option func(*config)
+
+type config struct {
+	prof    *profile.Profiler
+	defMode Mode
+}
+
+// WithProfiling enables the cost-accounting profiler (see the
+// Figure 3 experiment); retrieve it with System.Profiler.
+func WithProfiling() Option {
+	return func(c *config) { c.prof = profile.New() }
+}
+
+// WithDefaultMode sets the engine used by plain Fork calls (Classic by
+// default).
+func WithDefaultMode(m Mode) Option {
+	return func(c *config) { c.defMode = m }
+}
+
+// NewSystem boots a simulated system.
+func NewSystem(opts ...Option) *System {
+	cfg := config{defMode: Classic}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	kopts := []kernel.Option{kernel.WithDefaultForkMode(cfg.defMode)}
+	if cfg.prof != nil {
+		kopts = append(kopts, kernel.WithProfiler(cfg.prof))
+	}
+	return &System{k: kernel.New(kopts...)}
+}
+
+// NewProcess creates a process with an empty address space.
+func (s *System) NewProcess() *Process { return s.k.NewProcess() }
+
+// SetForkMode installs the procfs-style per-process configuration: the
+// process's plain Fork calls transparently use the given engine, with
+// no application changes (paper §4, "Flexibility"). Children inherit
+// the setting.
+func (s *System) SetForkMode(pid PID, m Mode) error { return s.k.SetForkMode(pid, m) }
+
+// CreateFile creates an in-memory file for file-backed mappings.
+func (s *System) CreateFile(name string) *File { return s.k.FS().Create(name) }
+
+// OpenFile opens an existing in-memory file.
+func (s *System) OpenFile(name string) (*File, error) { return s.k.FS().Open(name) }
+
+// Profiler returns the cost profiler, or nil when profiling is off.
+func (s *System) Profiler() *profile.Profiler { return s.k.Profiler() }
+
+// LiveProcesses returns the number of processes that have not exited.
+func (s *System) LiveProcesses() int { return s.k.NumProcesses() }
+
+// AllocatedFrames returns the number of live simulated physical frames
+// (data pages and page tables) — useful for leak checking and for
+// observing the memory the fork engines save.
+func (s *System) AllocatedFrames() int64 { return s.k.Allocator().Allocated() }
+
+// Kernel exposes the underlying kernel for advanced use (experiment
+// harnesses, invariant checks in tests).
+func (s *System) Kernel() *kernel.Kernel { return s.k }
