@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race bench
+
+all: build test
+
+build:
+	$(GO) vet ./...
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-sensitive packages: the parallel fork engine, the
+# sharded allocator, and everything between them.
+race:
+	$(GO) test -race ./internal/core/... ./internal/mem/...
+
+# Fixed iteration count: several benchmarks do expensive unmeasured
+# setup per iteration (see bench_test.go).
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=20x .

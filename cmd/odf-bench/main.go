@@ -32,6 +32,7 @@ var (
 	fig8MB   = flag.Int("fig8-mb", 512, "region size for the Figure 8 sweep (MiB)")
 	seconds  = flag.Int("seconds", 10, "wall-clock seconds per fuzzing campaign (fig9/fig10)")
 	scaleArg = flag.String("scale", "default", "application experiment scale: small|default|large")
+	workers  = flag.Int("fork-workers", 4, "max worker count for the parfork sweep (ForkOptions.Parallelism)")
 )
 
 type experiment struct {
@@ -45,6 +46,10 @@ func main() {
 	flag.Parse()
 	if flag.NArg() == 0 {
 		usage()
+		os.Exit(2)
+	}
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "odf-bench: -fork-workers must be >= 1, got %d\n", *workers)
 		os.Exit(2)
 	}
 
@@ -169,6 +174,10 @@ func registry() []experiment {
 		}},
 		{"memsave", "page-table memory per child tree, fork vs on-demand-fork", func() (string, error) {
 			_, s, err := experiments.RunMemSave(maxBytes/2, 16)
+			return s, err
+		}},
+		{"parfork", "parallel fork engine + sharded allocator scaling", func() (string, error) {
+			_, s, err := experiments.RunParFork(maxBytes, *reps, *workers)
 			return s, err
 		}},
 	}

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/mem/addr"
 	"repro/internal/mem/pagetable"
+	"repro/internal/mem/phys"
 	"repro/internal/mem/tlb"
 	"repro/internal/profile"
 )
@@ -55,6 +58,67 @@ type ForkOptions struct {
 	// implement this; it is the natural generalization of last-level
 	// sharing one level up.
 	ShareHugePMD bool
+	// Parallelism is the number of workers that copy the paging
+	// hierarchy. When greater than one, present PMD-slot ranges are
+	// fanned out to a bounded, reusable worker pool; each worker writes
+	// only its own destination subtree, so no two workers touch the
+	// same table. The zero value and 1 both select the sequential
+	// engine — the paper's single-threaded copy — so existing callers
+	// see identical behaviour. Values above the pool size are clamped
+	// to GOMAXPROCS; negative values panic (see ForkWithOptions).
+	Parallelism int
+	// ParallelThreshold is the minimum number of present PMD slots
+	// (2 MiB regions) the parent must map before a Parallelism > 1 fork
+	// actually fans out; smaller address spaces run sequentially so
+	// they don't pay goroutine handoff for microseconds of work.
+	// 0 selects DefaultParallelThreshold; negative disables the
+	// threshold (always fan out).
+	ParallelThreshold int
+}
+
+// DefaultParallelThreshold is the present-PMD-slot count (2 MiB regions
+// — 64 slots = 128 MiB of mapped memory) below which a parallel fork
+// falls back to the sequential engine.
+const DefaultParallelThreshold = 64
+
+// Validate panics when the options are malformed (negative
+// Parallelism). Layers that take locks before entering the fork
+// engine must validate first, so an API-misuse panic cannot escape
+// with a lock still held and poison the process for callers that
+// recover.
+func (o ForkOptions) Validate() {
+	if o.Parallelism < 0 {
+		panic(fmt.Sprintf(
+			"core: ForkOptions.Parallelism must be non-negative, got %d "+
+				"(0 selects the sequential default, 1 forces sequential, "+
+				"N>1 fans fork out over up to N workers)", o.Parallelism))
+	}
+}
+
+// workers validates Parallelism and returns the effective worker
+// count. It is the single read point for the knob: negative values
+// panic with a descriptive error, oversized values are clamped to the
+// pool size (GOMAXPROCS), and 0 means sequential.
+func (o ForkOptions) workers() int {
+	o.Validate()
+	w := o.Parallelism
+	if maxw := forkPoolSize() + 1; w > maxw {
+		// The caller participates too, so pool size + 1 workers can run.
+		w = maxw
+	}
+	return w
+}
+
+// threshold returns the effective sequential-fallback threshold in
+// present PMD slots.
+func (o ForkOptions) threshold() int {
+	if o.ParallelThreshold == 0 {
+		return DefaultParallelThreshold
+	}
+	if o.ParallelThreshold < 0 {
+		return 0
+	}
+	return o.ParallelThreshold
 }
 
 // Fork creates a child address space from parent using the given mode.
@@ -65,8 +129,11 @@ func Fork(parent *AddressSpace, mode ForkMode) *AddressSpace {
 	return ForkWithOptions(parent, mode, ForkOptions{})
 }
 
-// ForkWithOptions is Fork with ablation options.
+// ForkWithOptions is Fork with ablation and parallelism options. It
+// panics when opts.Parallelism is negative.
 func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) *AddressSpace {
+	workers := opts.workers() // validate before taking any lock
+
 	parent.mu.Lock()
 	defer parent.mu.Unlock()
 
@@ -78,11 +145,20 @@ func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) *Add
 		sd:    parent.sd,
 		tlb:   tlb.New(parent.sd),
 	}
+	fanOut := workers > 1 && parent.presentPMDSlots() >= opts.threshold()
 	switch mode {
 	case ForkClassic:
-		parent.copyTreeClassic(parent.w.Root, child.w.Root)
+		if fanOut {
+			runForkTasks(parent.collectClassicTasks(parent.w.Root, child.w.Root, nil), workers)
+		} else {
+			parent.copyTreeClassic(parent.w.Root, child.w.Root)
+		}
 	case ForkOnDemand:
-		parent.copyTreeOnDemand(parent.w.Root, child.w.Root, opts)
+		if fanOut {
+			runForkTasks(parent.collectOnDemandTasks(parent.w.Root, child.w.Root, opts, nil), workers)
+		} else {
+			parent.copyTreeOnDemand(parent.w.Root, child.w.Root, opts)
+		}
 	default:
 		panic("core: unknown fork mode")
 	}
@@ -101,40 +177,7 @@ func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) *Add
 // This per-page work is the Figure 3 hot path.
 func (as *AddressSpace) copyTreeClassic(src, dst *pagetable.Table) {
 	if src.Level == addr.PMD {
-		for i := 0; i < addr.EntriesPerTable; i++ {
-			e := src.Entry(i)
-			if !e.Present() {
-				continue
-			}
-			as.prof.Charge(profile.UpperWalk, 1)
-			if e.Huge() {
-				as.copyHugeEntry(src, dst, i, e)
-				continue
-			}
-			leaf := src.Child(i)
-			if leaf == nil {
-				continue
-			}
-			newLeaf := pagetable.NewTable(as.alloc, addr.PTE)
-			leaf.Lock()
-			for li := 0; li < addr.EntriesPerTable; li++ {
-				le := leaf.Entry(li)
-				if !le.Present() {
-					continue
-				}
-				as.prof.Charge(profile.CopyOnePTE, 1)
-				if le.Writable() {
-					le = le.Without(pagetable.FlagWritable | pagetable.FlagDirty).
-						With(pagetable.FlagCOW)
-					leaf.SetEntry(li, le)
-				}
-				newLeaf.SetEntry(li, le)
-				as.alloc.Get(le.Frame())
-			}
-			leaf.Unlock()
-			dst.SetChild(i, newLeaf, src.Entry(i))
-			makePMDWritable(dst, i)
-		}
+		as.copyPMDRangeClassic(src, dst, 0, addr.EntriesPerTable)
 		return
 	}
 	for i := 0; i < addr.EntriesPerTable; i++ {
@@ -146,6 +189,53 @@ func (as *AddressSpace) copyTreeClassic(src, dst *pagetable.Table) {
 		newTable := pagetable.NewTable(as.alloc, childTable.Level)
 		dst.SetChild(i, newTable, src.Entry(i))
 		as.copyTreeClassic(childTable, newTable)
+	}
+}
+
+// copyPMDRangeClassic copies the PMD slots [lo, hi) from src to dst —
+// the unit of work one parallel-fork task performs. Per-page refcount
+// traffic is batched per leaf table through GetBatch, which preserves
+// per-frame semantics while charging the profiler per batch.
+func (as *AddressSpace) copyPMDRangeClassic(src, dst *pagetable.Table, lo, hi int) {
+	var frames []phys.Frame
+	for i := lo; i < hi; i++ {
+		e := src.Entry(i)
+		if !e.Present() {
+			continue
+		}
+		as.prof.Charge(profile.UpperWalk, 1)
+		if e.Huge() {
+			as.copyHugeEntry(src, dst, i, e)
+			continue
+		}
+		leaf := src.Child(i)
+		if leaf == nil {
+			continue
+		}
+		newLeaf := pagetable.NewTable(as.alloc, addr.PTE)
+		if frames == nil {
+			frames = make([]phys.Frame, 0, addr.EntriesPerTable)
+		}
+		frames = frames[:0]
+		leaf.Lock()
+		for li := 0; li < addr.EntriesPerTable; li++ {
+			le := leaf.Entry(li)
+			if !le.Present() {
+				continue
+			}
+			if le.Writable() {
+				le = le.Without(pagetable.FlagWritable | pagetable.FlagDirty).
+					With(pagetable.FlagCOW)
+				leaf.SetEntry(li, le)
+			}
+			newLeaf.SetEntry(li, le)
+			frames = append(frames, le.Frame())
+		}
+		as.prof.Charge(profile.CopyOnePTE, uint64(len(frames)))
+		as.alloc.GetBatch(frames)
+		leaf.Unlock()
+		dst.SetChild(i, newLeaf, src.Entry(i))
+		makePMDWritable(dst, i)
 	}
 }
 
@@ -181,34 +271,7 @@ func (as *AddressSpace) copyHugeEntry(src, dst *pagetable.Table, i int, e pageta
 // 512 page reference increments.
 func (as *AddressSpace) copyTreeOnDemand(src, dst *pagetable.Table, opts ForkOptions) {
 	if src.Level == addr.PMD {
-		for i := 0; i < addr.EntriesPerTable; i++ {
-			e := src.Entry(i)
-			if !e.Present() {
-				continue
-			}
-			as.prof.Charge(profile.UpperWalk, 1)
-			if e.Huge() {
-				// The implementation supports 4 KiB pages (§4, "Huge Page
-				// Support"); huge mappings fall back to the classic COW of
-				// the PMD entry, which is already table-free.
-				as.copyHugeEntry(src, dst, i, e)
-				continue
-			}
-			leaf := src.Child(i)
-			if leaf == nil {
-				continue
-			}
-			as.alloc.PTShareGet(leaf.Frame)
-			if opts.EagerPageRefs || opts.PerPTEProtect {
-				as.ablationLeafPass(leaf, opts)
-			}
-			// Clear the writable bit in the PMD entries of both parent
-			// and child: one hierarchical-attribute update write-protects
-			// the whole 2 MiB region (§3.2).
-			shared := e.Without(pagetable.FlagWritable)
-			src.SetEntry(i, shared)
-			dst.SetChild(i, leaf, shared)
-		}
+		as.copyPMDRangeOnDemand(src, dst, 0, addr.EntriesPerTable, opts)
 		return
 	}
 	for i := 0; i < addr.EntriesPerTable; i++ {
@@ -218,12 +281,7 @@ func (as *AddressSpace) copyTreeOnDemand(src, dst *pagetable.Table, opts ForkOpt
 		}
 		as.prof.Charge(profile.UpperWalk, 1)
 		if opts.ShareHugePMD && childTable.Level == addr.PMD && hugeOnly(childTable) {
-			// §4 extension: share the whole PMD table describing 2 MiB
-			// pages, write-protecting its 1 GiB region via the PUD entry.
-			as.alloc.PTShareGet(childTable.Frame)
-			shared := src.Entry(i).Without(pagetable.FlagWritable)
-			src.SetEntry(i, shared)
-			dst.SetChild(i, childTable, shared)
+			as.sharePMDTable(src, dst, i, childTable)
 			continue
 		}
 		newTable := pagetable.NewTable(as.alloc, childTable.Level)
@@ -232,22 +290,57 @@ func (as *AddressSpace) copyTreeOnDemand(src, dst *pagetable.Table, opts ForkOpt
 	}
 }
 
-// hugeOnly reports whether every present entry of a PMD table maps a
-// 2 MiB page directly (and at least one does), making the table
-// eligible for whole-table sharing.
-func hugeOnly(t *pagetable.Table) bool {
-	present := 0
-	for i := 0; i < addr.EntriesPerTable; i++ {
-		e := t.Entry(i)
+// copyPMDRangeOnDemand shares the last-level tables of PMD slots
+// [lo, hi) with the child — the unit of work one parallel-fork task
+// performs on the on-demand path.
+func (as *AddressSpace) copyPMDRangeOnDemand(src, dst *pagetable.Table, lo, hi int, opts ForkOptions) {
+	for i := lo; i < hi; i++ {
+		e := src.Entry(i)
 		if !e.Present() {
 			continue
 		}
-		if !e.Huge() || t.Child(i) != nil {
-			return false
+		as.prof.Charge(profile.UpperWalk, 1)
+		if e.Huge() {
+			// The implementation supports 4 KiB pages (§4, "Huge Page
+			// Support"); huge mappings fall back to the classic COW of
+			// the PMD entry, which is already table-free.
+			as.copyHugeEntry(src, dst, i, e)
+			continue
 		}
-		present++
+		leaf := src.Child(i)
+		if leaf == nil {
+			continue
+		}
+		as.alloc.PTShareGet(leaf.Frame)
+		if opts.EagerPageRefs || opts.PerPTEProtect {
+			as.ablationLeafPass(leaf, opts)
+		}
+		// Clear the writable bit in the PMD entries of both parent
+		// and child: one hierarchical-attribute update write-protects
+		// the whole 2 MiB region (§3.2).
+		shared := e.Without(pagetable.FlagWritable)
+		src.SetEntry(i, shared)
+		dst.SetChild(i, leaf, shared)
 	}
-	return present > 0
+}
+
+// sharePMDTable applies the §4 extension at slot i of a PUD table:
+// share the whole PMD table describing 2 MiB pages, write-protecting
+// its 1 GiB region via the PUD entry.
+func (as *AddressSpace) sharePMDTable(src, dst *pagetable.Table, i int, childTable *pagetable.Table) {
+	as.alloc.PTShareGet(childTable.Frame)
+	shared := src.Entry(i).Without(pagetable.FlagWritable)
+	src.SetEntry(i, shared)
+	dst.SetChild(i, childTable, shared)
+}
+
+// hugeOnly reports whether every present entry of a PMD table maps a
+// 2 MiB page directly (and at least one does), making the table
+// eligible for whole-table sharing. It reads the table's maintained
+// present/huge tallies, so it is O(1) instead of a 512-entry rescan.
+func hugeOnly(t *pagetable.Table) bool {
+	present := t.PresentCount()
+	return present > 0 && t.HugeCount() == present
 }
 
 // ablationLeafPass performs the extra per-entry work the ablation

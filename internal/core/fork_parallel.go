@@ -1,0 +1,207 @@
+package core
+
+// Parallel fork engine: fan the tree copy out across present PMD-slot
+// ranges, the way Mitosis parallelizes page-table work across the
+// radix tree's upper levels. The sequential walk of the (tiny) upper
+// levels duplicates PGD/PUD tables and collects one task per chunk of
+// PMD slots; a bounded, reusable worker pool then copies the chunks
+// concurrently.
+//
+// Data-race freedom comes from ownership, not locking: every task
+// writes a disjoint slot range of a freshly allocated destination
+// table nobody else can reach (distinct array indices of private
+// tables), reads of source entries are atomic words, shared leaf
+// tables are taken under their own locks exactly as in the sequential
+// engine, and all profile/refcount traffic is atomic. The WaitGroup in
+// runForkTasks gives the caller a happens-before edge over everything
+// the workers wrote.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mem/addr"
+	"repro/internal/mem/pagetable"
+	"repro/internal/profile"
+)
+
+// forkTask is one unit of fork-time copy work.
+type forkTask func()
+
+// Chunk sizes, in PMD slots per task. Classic fork does 512 PTE copies
+// plus refcount traffic per slot, so modest chunks (16 slots = 32 MiB)
+// balance load without swamping the task list. On-demand fork does one
+// counter increment per slot, so only coarse chunks are worth a
+// handoff.
+const (
+	classicChunkSlots  = 16
+	onDemandChunkSlots = 128
+)
+
+// The worker pool is process-wide, sized to GOMAXPROCS, and reusable
+// across forks — fork latency must not include goroutine spawning.
+// Workers never submit tasks themselves, and submission never blocks
+// (see runForkTasks), so the pool cannot deadlock however many forks
+// run concurrently.
+var (
+	forkPoolOnce sync.Once
+	forkPoolCh   chan func()
+	forkPoolN    int
+)
+
+func forkPoolInit() {
+	forkPoolOnce.Do(func() {
+		forkPoolN = runtime.GOMAXPROCS(0)
+		forkPoolCh = make(chan func())
+		for i := 0; i < forkPoolN; i++ {
+			go func() {
+				for fn := range forkPoolCh {
+					fn()
+				}
+			}()
+		}
+	})
+}
+
+// forkPoolSize returns the number of pool workers available to help a
+// forking goroutine.
+func forkPoolSize() int {
+	forkPoolInit()
+	return forkPoolN
+}
+
+// runForkTasks executes tasks with up to par participants: the caller
+// plus at most par-1 pool workers. Tasks are claimed with an atomic
+// cursor (work stealing), so uneven chunks self-balance. If the pool
+// is saturated by concurrent forks, submission falls through and the
+// caller simply runs the remaining work itself — slower, never stuck.
+func runForkTasks(tasks []forkTask, par int) {
+	if len(tasks) == 0 {
+		return
+	}
+	if par > len(tasks) {
+		par = len(tasks)
+	}
+	if par <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	forkPoolInit()
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(tasks) {
+				return
+			}
+			tasks[i]()
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < par; i++ {
+		wg.Add(1)
+		helper := func() {
+			defer wg.Done()
+			run()
+		}
+		select {
+		case forkPoolCh <- helper:
+		default:
+			wg.Done()
+		}
+	}
+	run()
+	wg.Wait()
+}
+
+// presentPMDSlots counts the present PMD slots (2 MiB regions) of the
+// address space using the O(1) per-table tallies — the quantity the
+// sequential-fallback threshold compares against.
+func (as *AddressSpace) presentPMDSlots() int {
+	total := 0
+	var walk func(t *pagetable.Table)
+	walk = func(t *pagetable.Table) {
+		if t.Level == addr.PMD {
+			total += t.PresentCount()
+			return
+		}
+		for i := 0; i < addr.EntriesPerTable; i++ {
+			if c := t.Child(i); c != nil {
+				walk(c)
+			}
+		}
+	}
+	walk(as.w.Root)
+	return total
+}
+
+// appendRangeTasks splits a PMD table into chunked slot-range tasks,
+// skipping chunks with no present entries.
+func appendRangeTasks(tasks []forkTask, src *pagetable.Table, chunk int, mk func(lo, hi int) forkTask) []forkTask {
+	for lo := 0; lo < addr.EntriesPerTable; lo += chunk {
+		hi := min(lo+chunk, addr.EntriesPerTable)
+		any := false
+		for i := lo; i < hi; i++ {
+			if src.Entry(i).Present() {
+				any = true
+				break
+			}
+		}
+		if any {
+			tasks = append(tasks, mk(lo, hi))
+		}
+	}
+	return tasks
+}
+
+// collectClassicTasks walks the upper levels sequentially (duplicating
+// PGD/PUD tables, as copyTreeClassic does) and appends one task per
+// chunk of PMD slots. Each task owns its destination slot range.
+func (as *AddressSpace) collectClassicTasks(src, dst *pagetable.Table, tasks []forkTask) []forkTask {
+	if src.Level == addr.PMD {
+		return appendRangeTasks(tasks, src, classicChunkSlots, func(lo, hi int) forkTask {
+			return func() { as.copyPMDRangeClassic(src, dst, lo, hi) }
+		})
+	}
+	for i := 0; i < addr.EntriesPerTable; i++ {
+		childTable := src.Child(i)
+		if childTable == nil {
+			continue
+		}
+		as.prof.Charge(profile.UpperWalk, 1)
+		newTable := pagetable.NewTable(as.alloc, childTable.Level)
+		dst.SetChild(i, newTable, src.Entry(i))
+		tasks = as.collectClassicTasks(childTable, newTable, tasks)
+	}
+	return tasks
+}
+
+// collectOnDemandTasks is the on-demand counterpart: upper levels are
+// duplicated (or whole PMD tables shared, under ShareHugePMD) inline —
+// that work is a handful of counter increments — and PMD slot chunks
+// become tasks.
+func (as *AddressSpace) collectOnDemandTasks(src, dst *pagetable.Table, opts ForkOptions, tasks []forkTask) []forkTask {
+	if src.Level == addr.PMD {
+		return appendRangeTasks(tasks, src, onDemandChunkSlots, func(lo, hi int) forkTask {
+			return func() { as.copyPMDRangeOnDemand(src, dst, lo, hi, opts) }
+		})
+	}
+	for i := 0; i < addr.EntriesPerTable; i++ {
+		childTable := src.Child(i)
+		if childTable == nil {
+			continue
+		}
+		as.prof.Charge(profile.UpperWalk, 1)
+		if opts.ShareHugePMD && childTable.Level == addr.PMD && hugeOnly(childTable) {
+			as.sharePMDTable(src, dst, i, childTable)
+			continue
+		}
+		newTable := pagetable.NewTable(as.alloc, childTable.Level)
+		dst.SetChild(i, newTable, src.Entry(i))
+		tasks = as.collectOnDemandTasks(childTable, newTable, opts, tasks)
+	}
+	return tasks
+}

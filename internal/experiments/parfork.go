@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/mem/vm"
+	"repro/internal/profile"
+	"repro/internal/stats"
+)
+
+// The parallel-fork study measures the two scalability mechanisms
+// layered on top of the paper's engines: fanning one fork's tree copy
+// out across PMD-slot ranges (ForkOptions.Parallelism), and the
+// sharded frame allocator that keeps concurrent forks off the global
+// buddy lock. The second table is the Figure 2 concurrent-fork shape
+// with the parallel engine switched on; the shard counter report shows
+// how much allocation traffic the per-CPU-style caches absorbed.
+
+// ParForkRow is one point of the worker sweep.
+type ParForkRow struct {
+	Size                  uint64
+	Workers               int
+	ClassicMS, OnDemandMS float64
+}
+
+// parWorkerSet returns the worker counts to sweep, always starting at
+// the sequential baseline.
+func parWorkerSet(maxWorkers int) []int {
+	if maxWorkers < 1 {
+		maxWorkers = 1
+	}
+	set := []int{1}
+	for _, w := range []int{2, 4, 8} {
+		if w <= maxWorkers {
+			set = append(set, w)
+		}
+	}
+	if last := set[len(set)-1]; maxWorkers > last {
+		set = append(set, maxWorkers)
+	}
+	return set
+}
+
+func measureForkOpts(p *kernel.Process, mode core.ForkMode, opts core.ForkOptions, reps int) (float64, error) {
+	var sample stats.Sample
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		c, err := p.ForkWithOptions(mode, opts)
+		elapsed := time.Since(t0)
+		if err != nil {
+			return 0, err
+		}
+		sample.AddDuration(elapsed)
+		c.Exit()
+		c.Wait()
+	}
+	return sample.Mean(), nil
+}
+
+// RunParFork sweeps fork latency over sizes × worker counts for both
+// engines, then measures 3 concurrent forks sequential-vs-parallel,
+// and reports the allocator shard counters exercised along the way.
+func RunParFork(maxBytes uint64, reps, maxWorkers int) ([]ParForkRow, string, error) {
+	if maxWorkers < 1 {
+		maxWorkers = 1
+	}
+	prof := profile.New()
+	k := kernel.New(kernel.WithProfiler(prof))
+	workers := parWorkerSet(maxWorkers)
+
+	var rows []ParForkRow
+	tb := stats.NewTable("size", "workers", "fork (ms)", "speedup", "odf (ms)", "speedup")
+	for _, size := range SweepSizes(maxBytes) {
+		p := k.NewProcess()
+		if _, err := p.Mmap(size, vm.ProtRead|vm.ProtWrite, vm.MapPrivate|vm.MapPopulate); err != nil {
+			return nil, "", err
+		}
+		var baseClassic, baseODF float64
+		for _, w := range workers {
+			opts := core.ForkOptions{Parallelism: w}
+			classic, err := measureForkOpts(p, core.ForkClassic, opts, reps)
+			if err != nil {
+				return nil, "", err
+			}
+			odf, err := measureForkOpts(p, core.ForkOnDemand, opts, reps)
+			if err != nil {
+				return nil, "", err
+			}
+			if w == 1 {
+				baseClassic, baseODF = classic, odf
+			}
+			rows = append(rows, ParForkRow{Size: size, Workers: w, ClassicMS: classic, OnDemandMS: odf})
+			tb.AddRow(SizeLabel(size), w, classic,
+				fmt.Sprintf("%.2fx", baseClassic/classic),
+				odf, fmt.Sprintf("%.2fx", baseODF/odf))
+		}
+		p.Exit()
+	}
+	out := header("Parallel fork: latency vs worker count") + tb.String()
+
+	// Figure 2 shape under the parallel engine: 3 concurrent forks.
+	concSize := maxBytes / 2
+	if concSize < 128*MiB {
+		concSize = 128 * MiB
+	}
+	const concurrent = 3
+	ctb := stats.NewTable("engine", "workers", "3 concurrent forks, wall (ms)")
+	for _, mode := range []core.ForkMode{core.ForkClassic, core.ForkOnDemand} {
+		for _, w := range []int{1, maxWorkers} {
+			procs := make([]*kernel.Process, concurrent)
+			for i := range procs {
+				procs[i] = k.NewProcess()
+				if _, err := procs[i].Mmap(concSize, vm.ProtRead|vm.ProtWrite, vm.MapPrivate|vm.MapPopulate); err != nil {
+					return nil, "", err
+				}
+			}
+			var sample stats.Sample
+			for r := 0; r < reps; r++ {
+				var wg sync.WaitGroup
+				errs := make([]error, concurrent)
+				kids := make([]*kernel.Process, concurrent)
+				t0 := time.Now()
+				for i, p := range procs {
+					wg.Add(1)
+					go func(i int, p *kernel.Process) {
+						defer wg.Done()
+						kids[i], errs[i] = p.ForkWithOptions(mode, core.ForkOptions{Parallelism: w})
+					}(i, p)
+				}
+				wg.Wait()
+				sample.AddDuration(time.Since(t0))
+				for i := range kids {
+					if errs[i] != nil {
+						return nil, "", errs[i]
+					}
+					kids[i].Exit()
+					kids[i].Wait()
+				}
+			}
+			ctb.AddRow(mode.String(), w, sample.Mean())
+			for _, p := range procs {
+				p.Exit()
+			}
+		}
+	}
+	out += "\n" + header(fmt.Sprintf("Concurrent forks (%s each) with the parallel engine", SizeLabel(concSize))) +
+		ctb.String()
+
+	// The allocator shard counters the runs above exercised.
+	stb := stats.NewTable("allocator shard counter", "events")
+	for _, name := range []string{profile.ShardAllocHit, profile.ShardRefill, profile.ShardDrain} {
+		stb.AddRow(name, int(prof.Count(name)))
+	}
+	out += "\n" + header("Sharded frame allocator: fast-path hits vs buddy-core round trips") + stb.String()
+	return rows, out, nil
+}

@@ -212,6 +212,9 @@ func (p *Process) ForkWithOptions(mode core.ForkMode, opts core.ForkOptions) (*P
 }
 
 func (p *Process) forkInternal(mode core.ForkMode, opts core.ForkOptions) (*Process, error) {
+	// Malformed options panic before p.mu is taken: a caller that
+	// recovers must be left with a usable process, not a locked one.
+	opts.Validate()
 	p.mu.Lock()
 	if p.exited {
 		p.mu.Unlock()

@@ -273,3 +273,36 @@ func TestSyscallWrappers(t *testing.T) {
 		t.Error("Space nil")
 	}
 }
+
+// A malformed ForkOptions value panics by contract, but the panic must
+// fire before any process or kernel lock is taken: a caller that
+// recovers has to be left with a fully usable process.
+func TestForkMisusePanicLeavesProcessUsable(t *testing.T) {
+	k := New()
+	p := k.NewProcess()
+	base, err := p.Mmap(1<<20, rw, vm.MapPrivate|vm.MapPopulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("negative Parallelism did not panic")
+			}
+		}()
+		p.ForkWithOptions(core.ForkClassic, core.ForkOptions{Parallelism: -1})
+	}()
+	// The process must still fork, fault, and exit normally.
+	c, err := p.ForkWithOptions(core.ForkOnDemand, core.ForkOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatalf("fork after recovered panic: %v", err)
+	}
+	if err := c.StoreByte(base, 7); err != nil {
+		t.Fatalf("child write after recovered panic: %v", err)
+	}
+	c.Exit()
+	p.Exit()
+	if got := k.Allocator().Allocated(); got != 0 {
+		t.Errorf("leak: %d frames", got)
+	}
+}

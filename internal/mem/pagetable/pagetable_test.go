@@ -1,6 +1,7 @@
 package pagetable
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -346,4 +347,73 @@ func TestWalkerFindPUDAndEnsurePUD(t *testing.T) {
 	if pi != v.Index(addr.PUD) {
 		t.Errorf("index = %d", pi)
 	}
+}
+
+// TestPresentHugeCounts drives every entry-mutation path and checks
+// the maintained tallies against a full rescan, including a
+// randomized sequence (the counts back the O(1) hugeOnly and the
+// parallel-fork threshold, so drift would silently change fork
+// behaviour).
+func TestPresentHugeCounts(t *testing.T) {
+	rescan := func(tb *Table) (present, huge int) {
+		for i := 0; i < addr.EntriesPerTable; i++ {
+			e := tb.Entry(i)
+			if e.Present() {
+				present++
+			}
+			if e.Huge() {
+				huge++
+			}
+		}
+		return
+	}
+	check := func(tb *Table, what string) {
+		t.Helper()
+		p, h := rescan(tb)
+		if tb.PresentCount() != p || tb.HugeCount() != h {
+			t.Fatalf("%s: counts (%d,%d) != rescan (%d,%d)",
+				what, tb.PresentCount(), tb.HugeCount(), p, h)
+		}
+	}
+
+	alloc := phys.NewAllocator(nil)
+	tb := NewTable(alloc, addr.PMD)
+	tb.SetEntry(0, MakeEntry(100, FlagWritable))
+	check(tb, "set")
+	tb.SetEntry(0, MakeEntry(100, FlagWritable|FlagHuge))
+	check(tb, "set huge over plain")
+	tb.SetEntry(0, 0)
+	check(tb, "clear")
+	tb.SetChild(1, NewTable(alloc, addr.PTE), FlagWritable)
+	check(tb, "set child")
+	tb.SetChild(1, nil, 0)
+	check(tb, "clear child")
+	tb.SetEntry(2, MakeEntry(5, 0))
+	tb.OrEntry(2, FlagAccessed|FlagDirty)
+	check(tb, "or flags")
+	tb.OrEntry(3, FlagHuge) // Or onto an empty slot still tallies
+	check(tb, "or huge on empty")
+
+	src := NewTable(alloc, addr.PMD)
+	for i := 0; i < 40; i++ {
+		src.SetEntry(i*3, MakeEntry(phys.Frame(200+i), FlagHuge))
+	}
+	tb.CopyEntriesFrom(src, nil)
+	check(tb, "copy entries")
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		slot := rng.Intn(addr.EntriesPerTable)
+		switch rng.Intn(4) {
+		case 0:
+			tb.SetEntry(slot, MakeEntry(phys.Frame(rng.Intn(1000)+1), Entry(rng.Intn(1<<10))))
+		case 1:
+			tb.SetEntry(slot, 0)
+		case 2:
+			tb.OrEntry(slot, Entry(rng.Intn(1<<10)))
+		case 3:
+			tb.CopyEntriesFrom(src, nil)
+		}
+	}
+	check(tb, "randomized")
 }

@@ -25,6 +25,13 @@ type Table struct {
 	mu       sync.Mutex
 	entries  [addr.EntriesPerTable]atomic.Uint64
 	children [addr.EntriesPerTable]*Table // non-leaf levels only
+
+	// present and huge count entries carrying FlagPresent / FlagHuge.
+	// They are maintained by every entry mutation so that fork-time
+	// predicates (hugeOnly, the parallel-fork slot threshold) are O(1)
+	// instead of rescanning all 512 slots.
+	present atomic.Int32
+	huge    atomic.Int32
 }
 
 // NewTable allocates a table of the given level, backed by a fresh
@@ -48,12 +55,38 @@ func (t *Table) Unlock() { t.mu.Unlock() }
 // simulated processes, just as hardware PTE reads are atomic words.
 func (t *Table) Entry(i int) Entry { return Entry(t.entries[i].Load()) }
 
-// SetEntry stores the entry at index i atomically.
-func (t *Table) SetEntry(i int, e Entry) { t.entries[i].Store(uint64(e)) }
+// SetEntry stores the entry at index i atomically and keeps the
+// present/huge counts in sync with the old and new entry bits.
+func (t *Table) SetEntry(i int, e Entry) {
+	old := Entry(t.entries[i].Swap(uint64(e)))
+	t.adjustCounts(old, e)
+}
 
 // OrEntry atomically sets flag bits on the entry at index i — the
 // simulated CPU uses it for accessed/dirty bit updates.
-func (t *Table) OrEntry(i int, flags Entry) { t.entries[i].Or(uint64(flags & flagsMask)) }
+func (t *Table) OrEntry(i int, flags Entry) {
+	old := Entry(t.entries[i].Or(uint64(flags & flagsMask)))
+	t.adjustCounts(old, old|(flags&flagsMask))
+}
+
+// adjustCounts updates the present/huge tallies for an old→new entry
+// transition.
+func (t *Table) adjustCounts(old, new Entry) {
+	if old.Present() != new.Present() {
+		if new.Present() {
+			t.present.Add(1)
+		} else {
+			t.present.Add(-1)
+		}
+	}
+	if old.Huge() != new.Huge() {
+		if new.Huge() {
+			t.huge.Add(1)
+		} else {
+			t.huge.Add(-1)
+		}
+	}
+}
 
 // Child returns the child table at index i (nil for leaf tables or
 // empty slots).
@@ -64,10 +97,10 @@ func (t *Table) Child(i int) *Table { return t.children[i] }
 func (t *Table) SetChild(i int, child *Table, flags Entry) {
 	t.children[i] = child
 	if child == nil {
-		t.entries[i].Store(0)
+		t.SetEntry(i, 0)
 		return
 	}
-	t.entries[i].Store(uint64(MakeEntry(child.Frame, flags)))
+	t.SetEntry(i, MakeEntry(child.Frame, flags))
 }
 
 // IsLeaf reports whether this is a last-level (PTE) table.
@@ -79,17 +112,16 @@ func (t *Table) ShareCount(alloc *phys.Allocator) int32 {
 	return alloc.PTShareCount(t.Frame)
 }
 
-// CountPresent returns the number of present entries (diagnostics and
-// invariant checks).
-func (t *Table) CountPresent() int {
-	n := 0
-	for i := range t.entries {
-		if t.Entry(i).Present() {
-			n++
-		}
-	}
-	return n
-}
+// CountPresent returns the number of present entries. It reads the
+// maintained tally, so it is O(1).
+func (t *Table) CountPresent() int { return int(t.present.Load()) }
+
+// PresentCount returns the number of present entries (alias of
+// CountPresent for call sites that read it as a property).
+func (t *Table) PresentCount() int { return int(t.present.Load()) }
+
+// HugeCount returns the number of entries carrying FlagHuge.
+func (t *Table) HugeCount() int { return int(t.huge.Load()) }
 
 // CopyEntriesFrom copies all 512 architectural entries of src into t,
 // preserving accessed bits (§3.2: the accessed bit value is duplicated
@@ -98,7 +130,9 @@ func (t *Table) CountPresent() int {
 func (t *Table) CopyEntriesFrom(src *Table, prof *profile.Profiler) {
 	prof.Charge(profile.PTCopy, 1)
 	for i := range t.entries {
-		t.entries[i].Store(src.entries[i].Load())
+		ne := Entry(src.entries[i].Load())
+		old := Entry(t.entries[i].Swap(uint64(ne)))
+		t.adjustCounts(old, ne)
 	}
 }
 

@@ -139,8 +139,10 @@ func (a *Allocator) freeBlock(f Frame, order uint8) {
 }
 
 // FreeBlocks reports the number of free blocks per order (diagnostics
-// and tests).
+// and tests). Shard caches are drained first so the report — and the
+// coalescing it reflects — is exact.
 func (a *Allocator) FreeBlocks() [MaxOrder + 1]int {
+	a.FlushShards()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	var out [MaxOrder + 1]int

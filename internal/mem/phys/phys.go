@@ -69,13 +69,17 @@ type PageInfo struct {
 // frames, tracks their struct page metadata, and implements the
 // reference counting protocol used by all three fork engines.
 type Allocator struct {
-	mu        sync.Mutex
-	chunks    [][]PageInfo // mem_map, grown in fixed-size chunks
-	next      Frame        // next never-used frame number
+	mu sync.Mutex
+	// chunks is the mem_map, grown in fixed-size chunks. It is a
+	// copy-on-append snapshot: info() loads it without any lock, and
+	// ensure() (under mu) publishes a grown copy atomically.
+	chunks    atomic.Pointer[[][]PageInfo]
+	next      Frame        // next never-used frame number (under mu)
 	buddy     buddy        // power-of-two free lists (buddy.go)
-	limit     int64        // max live base frames (0 = unlimited)
+	shards    []shard      // per-CPU-style frame caches (shard.go)
+	limit     atomic.Int64 // max live base frames (0 = unlimited)
 	allocated atomic.Int64 // currently allocated base frames
-	peak      int64        // high-water mark of allocated (under mu)
+	peak      atomic.Int64 // high-water mark of allocated
 	totalOps  atomic.Uint64
 	prof      *profile.Profiler
 }
@@ -90,24 +94,29 @@ var ErrNoMemory = errors.New("phys: out of memory")
 // TryAlloc fails with ErrNoMemory beyond the cap — the hook for
 // exercising the low-memory robustness behaviour of the paper's §4.
 func (a *Allocator) SetLimit(frames int64) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.limit = frames
+	a.limit.Store(frames)
 }
 
 // NewAllocator returns an empty allocator. The profiler may be nil.
 func NewAllocator(prof *profile.Profiler) *Allocator {
-	return &Allocator{next: 1, prof: prof}
+	a := &Allocator{next: 1, prof: prof, shards: newShards()}
+	empty := make([][]PageInfo, 0)
+	a.chunks.Store(&empty)
+	return a
 }
 
 // Profiler returns the profiler charged by this allocator (may be nil).
 func (a *Allocator) Profiler() *profile.Profiler { return a.prof }
 
 // info returns the PageInfo for f, which must be a frame number this
-// allocator has issued.
+// allocator has issued. It is lock-free: the chunk table snapshot is
+// immutable once published, and any caller holding a valid frame
+// number synchronized (via the lock that handed the frame out) with
+// the ensure() that made it addressable.
 func (a *Allocator) info(f Frame) *PageInfo {
+	chunks := *a.chunks.Load()
 	idx := uint64(f)
-	return &a.chunks[idx/chunkSize][idx%chunkSize]
+	return &chunks[idx/chunkSize][idx%chunkSize]
 }
 
 // Info exposes frame metadata for tests and diagnostics.
@@ -118,12 +127,21 @@ func (a *Allocator) Info(f Frame) *PageInfo {
 	return a.info(f)
 }
 
-// ensure grows the arena so frame f is addressable. Caller holds mu.
+// ensure grows the arena so frame f is addressable, publishing a new
+// chunk-table snapshot. Caller holds mu (growth is serialized; readers
+// never block).
 func (a *Allocator) ensure(f Frame) {
 	need := int(uint64(f)/chunkSize) + 1
-	for len(a.chunks) < need {
-		a.chunks = append(a.chunks, make([]PageInfo, chunkSize))
+	old := *a.chunks.Load()
+	if len(old) >= need {
+		return
 	}
+	grown := make([][]PageInfo, need)
+	copy(grown, old)
+	for i := len(old); i < need; i++ {
+		grown[i] = make([]PageInfo, chunkSize)
+	}
+	a.chunks.Store(&grown)
 }
 
 // Alloc allocates one 4 KiB frame with refcount 1. It panics with
@@ -140,37 +158,56 @@ func (a *Allocator) Alloc() Frame {
 }
 
 // TryAlloc allocates one 4 KiB frame with refcount 1, returning
-// ErrNoMemory when a configured frame limit is exhausted.
+// ErrNoMemory when a configured frame limit is exhausted. The fast
+// path touches only the caller's shard cache; the buddy core is
+// entered once per shardBatch misses.
 func (a *Allocator) TryAlloc() (Frame, error) {
-	a.mu.Lock()
-	if a.limit > 0 && a.allocated.Load()+1 > a.limit {
-		a.mu.Unlock()
-		return NoFrame, ErrNoMemory
+	if err := a.reserve(1); err != nil {
+		return NoFrame, err
 	}
-	f := a.allocBlock(0)
+	f := a.allocFrame()
+	// The frame is exclusively owned here: it left the free state under
+	// the shard (or buddy) lock and has not been published, so its
+	// metadata can be initialized without the allocator lock.
 	pi := a.info(f)
 	pi.flags = flagAllocated
 	pi.order = 0
 	pi.head = NoFrame
-	cur := a.allocated.Add(1)
-	if cur > a.peak {
-		a.peak = cur
-	}
-	a.mu.Unlock()
-
 	pi.refcount.Store(1)
 	pi.ptShared.Store(0)
 	a.totalOps.Add(1)
 	return f, nil
 }
 
+// reserve charges n base frames against the configured limit, exactly:
+// the count is added first and undone on failure, so concurrent
+// reservations can never jointly exceed the cap.
+func (a *Allocator) reserve(n int64) error {
+	cur := a.allocated.Add(n)
+	if l := a.limit.Load(); l > 0 && cur > l {
+		a.allocated.Add(-n)
+		return ErrNoMemory
+	}
+	a.updatePeak(cur)
+	return nil
+}
+
+// updatePeak raises the high-water mark to cur (CAS max).
+func (a *Allocator) updatePeak(cur int64) {
+	for {
+		p := a.peak.Load()
+		if cur <= p || a.peak.CompareAndSwap(p, cur) {
+			return
+		}
+	}
+}
+
 // AllocPageTable allocates a frame to back a page table. Page-table
-// frames are flagged so the ptShared union field is meaningful.
+// frames are flagged so the ptShared union field is meaningful. The
+// flag is set before the frame is published, so no lock is needed.
 func (a *Allocator) AllocPageTable() Frame {
 	f := a.Alloc()
-	a.mu.Lock()
 	a.info(f).flags |= flagPageTable
-	a.mu.Unlock()
 	return f
 }
 
@@ -180,8 +217,11 @@ func (a *Allocator) AllocPageTable() Frame {
 // It returns the head frame.
 func (a *Allocator) AllocHuge() Frame {
 	a.mu.Lock()
-	// An order-9 buddy block is 512 contiguous, naturally aligned frames.
+	// An order-9 buddy block is 512 contiguous, naturally aligned
+	// frames. Huge allocations bypass the shard caches (they hold only
+	// order-0 frames) and go straight to the buddy core.
 	head := a.allocBlock(MaxOrder)
+	a.mu.Unlock()
 	hp := a.info(head)
 	hp.flags = flagAllocated | flagCompoundHead
 	hp.order = HugeOrder
@@ -194,11 +234,7 @@ func (a *Allocator) AllocHuge() Frame {
 		tp.refcount.Store(0)
 		tp.ptShared.Store(0)
 	}
-	cur := a.allocated.Add(1 << HugeOrder)
-	if cur > a.peak {
-		a.peak = cur
-	}
-	a.mu.Unlock()
+	a.updatePeak(a.allocated.Add(1 << HugeOrder))
 
 	hp.refcount.Store(1)
 	hp.ptShared.Store(0)
@@ -238,6 +274,30 @@ func (a *Allocator) Get(f Frame) {
 	a.info(head).refcount.Add(1)
 }
 
+// GetBatch increments the reference count of every page in frames,
+// resolving compound pages, with the profiler charged once per counter
+// per batch instead of once per frame. Classic fork uses it to
+// amortize the per-page accounting of one leaf table into two charges,
+// while keeping eager-ref semantics: every frame still receives its
+// compound-head resolution and its own atomic increment, so the event
+// counts (the Figure 3 quantities) are identical to len(frames) calls
+// of Get.
+func (a *Allocator) GetBatch(frames []Frame) {
+	if len(frames) == 0 {
+		return
+	}
+	n := uint64(len(frames))
+	a.prof.Charge(profile.CompoundHead, n)
+	a.prof.Charge(profile.PageRefInc, n)
+	for _, f := range frames {
+		pi := a.info(f)
+		if pi.flags&flagCompoundTail != 0 {
+			pi = a.info(pi.head)
+		}
+		pi.refcount.Add(1)
+	}
+}
+
 // RefCount returns the current reference count of f's compound head.
 func (a *Allocator) RefCount(f Frame) int32 {
 	pi := a.info(f)
@@ -265,15 +325,16 @@ func (a *Allocator) Put(f Frame) {
 	}
 }
 
-// release returns a zero-referenced page to the free lists.
+// release returns a zero-referenced page to the free lists. The caller
+// just dropped the last reference, so the page's metadata is owned
+// here; order-0 frames go back through the shard caches, compound
+// pages straight to the buddy core.
 func (a *Allocator) release(head Frame, pi *PageInfo) {
 	pi.dataMu.Lock()
 	pi.data = nil
 	pi.dataMu.Unlock()
 
-	a.mu.Lock()
 	if pi.flags&flagAllocated == 0 {
-		a.mu.Unlock()
 		panic(fmt.Sprintf("phys: double free of frame %d", head))
 	}
 	if pi.flags&flagCompoundHead != 0 {
@@ -285,14 +346,15 @@ func (a *Allocator) release(head Frame, pi *PageInfo) {
 			tp.dataMu.Unlock()
 		}
 		pi.flags = 0
+		a.mu.Lock()
 		a.freeBlock(head, MaxOrder)
+		a.mu.Unlock()
 		a.allocated.Add(-(1 << HugeOrder))
 	} else {
 		pi.flags = 0
-		a.freeBlock(head, 0)
+		a.freeFrame(head)
 		a.allocated.Add(-1)
 	}
-	a.mu.Unlock()
 }
 
 // PTShareGet atomically increments the page-table share counter stored
@@ -375,11 +437,7 @@ func (a *Allocator) CopyHugePage(dst, src Frame) {
 func (a *Allocator) Allocated() int64 { return a.allocated.Load() }
 
 // Peak returns the high-water mark of allocated base frames.
-func (a *Allocator) Peak() int64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.peak
-}
+func (a *Allocator) Peak() int64 { return a.peak.Load() }
 
 // Stats summarizes allocator state for reports and leak checks.
 type Stats struct {
@@ -394,7 +452,7 @@ func (a *Allocator) Stats() Stats {
 	defer a.mu.Unlock()
 	return Stats{
 		Allocated: a.allocated.Load(),
-		Peak:      a.peak,
+		Peak:      a.peak.Load(),
 		Extent:    int64(a.next - 1),
 	}
 }

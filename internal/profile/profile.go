@@ -52,6 +52,16 @@ const (
 	// TLBFlush is charged when a process's translations must be
 	// invalidated after a permission downgrade.
 	TLBFlush = "tlb_flush"
+	// ShardAllocHit is charged when a frame allocation is satisfied from
+	// a per-CPU-style allocator shard cache without touching the global
+	// buddy core (the Linux per-CPU pageset fast path).
+	ShardAllocHit = "shard_alloc_hit"
+	// ShardRefill is charged when an empty shard cache pulls a batch of
+	// frames from the buddy core under the global lock.
+	ShardRefill = "shard_refill"
+	// ShardDrain is charged when an overfull shard cache returns a batch
+	// of frames to the buddy core.
+	ShardDrain = "shard_drain"
 )
 
 // Default costs, in abstract units, per event. The ratios are chosen to
@@ -69,6 +79,13 @@ var defaultUnitCost = map[string]uint64{
 	PageCopy:     80,
 	FaultEntry:   20,
 	TLBFlush:     30,
+	// Allocator shard events. A fast-path hit is a couple of
+	// uncontended instructions; refills and drains take the global
+	// buddy lock and move a whole batch, so they cost more but are
+	// amortized over shardBatch allocations.
+	ShardAllocHit: 1,
+	ShardRefill:   20,
+	ShardDrain:    20,
 }
 
 // Profiler accumulates named event counts and their weighted costs.
