@@ -62,7 +62,7 @@ func benchFork(b *testing.B, size uint64, mode core.ForkMode, flags vm.MapFlags)
 	defer p.Exit()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c, err := p.ForkWith(mode)
+		c, err := p.Fork(kernel.WithMode(mode))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -70,6 +70,37 @@ func benchFork(b *testing.B, size uint64, mode core.ForkMode, flags vm.MapFlags)
 		c.Exit()
 		c.Wait()
 		b.StartTimer()
+	}
+}
+
+// BenchmarkForkOnDemand measures the headline operation — an
+// on-demand fork of a 256 MiB process — with telemetry collection on
+// (the default) and off, so the two sub-benchmarks bound the overhead
+// of the metrics layer on the hot path.
+func BenchmarkForkOnDemand(b *testing.B) {
+	for _, mc := range []struct {
+		name string
+		opts []kernel.Option
+	}{
+		{"metrics-on", nil},
+		{"metrics-off", []kernel.Option{kernel.WithMetricsDisabled()}},
+	} {
+		b.Run(mc.name, func(b *testing.B) {
+			k := kernel.New(mc.opts...)
+			p := forkParent(b, k, 256*benchMiB, popFlags)
+			defer p.Exit()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c, err := p.Fork(kernel.WithMode(core.ForkOnDemand))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				c.Exit()
+				c.Wait()
+				b.StartTimer()
+			}
+		})
 	}
 }
 
@@ -97,7 +128,7 @@ func BenchmarkFig2Concurrent(b *testing.B) {
 		done := make(chan error, len(procs))
 		for _, p := range procs {
 			go func(p *kernel.Process) {
-				c, err := p.ForkWith(core.ForkClassic)
+				c, err := p.Fork(kernel.WithMode(core.ForkClassic))
 				if err == nil {
 					c.Exit()
 				}
@@ -128,7 +159,7 @@ func BenchmarkForkParallel(b *testing.B) {
 					opts := core.ForkOptions{Parallelism: workers}
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
-						c, err := p.ForkWithOptions(mode, opts)
+						c, err := p.Fork(kernel.WithMode(mode), kernel.WithForkOptions(opts))
 						if err != nil {
 							b.Fatal(err)
 						}
@@ -152,7 +183,7 @@ func BenchmarkFig3Profile(b *testing.B) {
 	defer p.Exit()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c, err := p.ForkWith(core.ForkClassic)
+		c, err := p.Fork(kernel.WithMode(core.ForkClassic))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -212,7 +243,7 @@ func BenchmarkTab1FaultCost(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				c, err := p.ForkWith(tc.mode)
+				c, err := p.Fork(kernel.WithMode(tc.mode))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -242,7 +273,7 @@ func BenchmarkFig8Overall(b *testing.B) {
 				b.StopTimer()
 				p := forkParent(b, k, size, popFlags)
 				b.StartTimer()
-				c, err := p.ForkWith(mode)
+				c, err := p.Fork(kernel.WithMode(mode))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -317,7 +348,7 @@ func BenchmarkTab3UnitTest(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				ut := tests[i%len(tests)]
-				c, err := proc.ForkWith(mode)
+				c, err := proc.Fork(kernel.WithMode(mode))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -461,7 +492,7 @@ func benchForkOpts(b *testing.B, opts core.ForkOptions) {
 	defer p.Exit()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c, err := p.ForkWithOptions(core.ForkOnDemand, opts)
+		c, err := p.Fork(kernel.WithMode(core.ForkOnDemand), kernel.WithForkOptions(opts))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -486,7 +517,7 @@ func BenchmarkFaultFastPath(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		c, err := p.ForkWith(core.ForkOnDemand)
+		c, err := p.Fork(kernel.WithMode(core.ForkOnDemand))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -499,7 +530,7 @@ func BenchmarkFaultFastPath(b *testing.B) {
 		}
 	}
 	b.StopTimer()
-	if splits := p.Space().TableSplits.Load(); splits != 0 {
+	if splits := k.MetricsSnapshot().Fault.TableSplits; splits != 0 {
 		b.Fatalf("fast path benchmark performed %d splits", splits)
 	}
 }
@@ -539,7 +570,7 @@ func BenchmarkHugeExtSharedPMD(b *testing.B) {
 	defer p.Exit()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c, err := p.ForkWithOptions(core.ForkOnDemand, core.ForkOptions{ShareHugePMD: true})
+		c, err := p.Fork(kernel.WithMode(core.ForkOnDemand), kernel.WithForkOptions(core.ForkOptions{ShareHugePMD: true}))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -6,6 +6,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"repro/odfork"
@@ -31,7 +32,7 @@ func main() {
 	// Compare fork engines on the same process.
 	for _, mode := range []odfork.Mode{odfork.Classic, odfork.OnDemand} {
 		start := time.Now()
-		child, err := p.ForkWith(mode)
+		child, err := p.Fork(odfork.WithMode(mode))
 		elapsed := time.Since(start)
 		if err != nil {
 			log.Fatal(err)
@@ -42,7 +43,10 @@ func main() {
 
 	// Copy-on-write: the child's writes are invisible to the parent,
 	// and only the first write per 2 MiB region copies a page table.
-	child, err := p.ForkWith(odfork.OnDemand)
+	// The system-wide metrics snapshot shows exactly how much work the
+	// write triggered.
+	before := sys.Metrics()
+	child, err := p.Fork(odfork.WithMode(odfork.OnDemand))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,10 +59,23 @@ func main() {
 	child.ReadAt(childView, buf)
 	fmt.Printf("parent sees: %q\n", parentView)
 	fmt.Printf("child sees:  %q\n", childView)
+	delta := sys.Metrics().Sub(before)
 	fmt.Printf("page tables copied on demand in child: %d (of %d shared at fork)\n",
-		child.Space().TableSplits.Load(), size/odfork.HugePageSize)
+		delta.Fault.TableSplits, size/odfork.HugePageSize)
 
 	child.Exit()
 	p.Exit()
 	fmt.Printf("frames leaked after exit: %d\n", sys.AllocatedFrames())
+
+	// The same telemetry, rendered procfs-style.
+	text, err := sys.Procfs("/proc/odf/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n/proc/odf/metrics (excerpt):\n")
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "fork.") && !strings.Contains(line, "bucket") {
+			fmt.Println(line)
+		}
+	}
 }

@@ -12,21 +12,19 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/kernel"
-	"repro/internal/mem/vm"
 	"repro/odfork"
 )
 
 func main() {
-	k := kernel.New()
+	sys := odfork.NewSystem()
 
 	// "Cold start": build the runtime once — map and initialize 512 MiB
 	// of packages, JIT caches, and reference data.
 	coldStart := time.Now()
-	runtime := k.NewProcess()
+	runtime := sys.NewProcess()
 	const runtimeSize = 512 * odfork.MiB
-	base, err := runtime.Mmap(runtimeSize, vm.ProtRead|vm.ProtWrite,
-		vm.MapPrivate|vm.MapPopulate)
+	base, err := runtime.Mmap(runtimeSize, odfork.ProtRead|odfork.ProtWrite,
+		odfork.MapPrivate|odfork.MapPopulate)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,15 +48,15 @@ func main() {
 	defer cp.Release()
 
 	// Compare warm-start mechanisms.
-	warmViaClassic := func() (*kernel.Process, time.Duration) {
+	warmViaClassic := func() (*odfork.Process, time.Duration) {
 		t0 := time.Now()
-		p, err := runtime.ForkWith(odfork.Classic)
+		p, err := runtime.Fork(odfork.WithMode(odfork.Classic))
 		if err != nil {
 			log.Fatal(err)
 		}
 		return p, time.Since(t0)
 	}
-	warmViaCheckpoint := func() (*kernel.Process, time.Duration) {
+	warmViaCheckpoint := func() (*odfork.Process, time.Duration) {
 		t0 := time.Now()
 		p, err := cp.Spawn()
 		if err != nil {

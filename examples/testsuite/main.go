@@ -11,15 +11,14 @@ import (
 	"time"
 
 	"repro/internal/apps/sqlike"
-	"repro/internal/kernel"
 	"repro/odfork"
 )
 
 func main() {
 	const items = 40000
 	for _, mode := range []odfork.Mode{odfork.Classic, odfork.OnDemand} {
-		k := kernel.New()
-		proc := k.NewProcess()
+		sys := odfork.NewSystem()
+		proc := sys.NewProcess()
 		initStart := time.Now()
 		db, err := sqlike.New(proc, sqlike.Config{
 			ArenaBytes: 128 * odfork.MiB,
@@ -36,7 +35,7 @@ func main() {
 
 		for _, ut := range sqlike.StandardTests() {
 			forkStart := time.Now()
-			child, err := proc.ForkWith(mode)
+			child, err := proc.Fork(odfork.WithMode(mode))
 			forkTime := time.Since(forkStart)
 			if err != nil {
 				log.Fatal(err)

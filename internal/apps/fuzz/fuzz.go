@@ -300,7 +300,7 @@ func (f *Fuzzer) mutate(input []byte) []byte {
 func (f *Fuzzer) RunOne() error {
 	input := f.nextInput()
 
-	child, err := f.parent.ForkWith(f.mode)
+	child, err := f.parent.Fork(kernel.WithMode(f.mode))
 	if err != nil {
 		return fmt.Errorf("fuzz: fork: %w", err)
 	}

@@ -99,7 +99,7 @@ func Start(k *kernel.Kernel, cfg Config) (*Server, error) {
 
 // spawnWorker forks a fresh worker from the master.
 func (s *Server) spawnWorker() (*worker, error) {
-	proc, err := s.master.ForkWith(s.mode)
+	proc, err := s.master.Fork(kernel.WithMode(s.mode))
 	if err != nil {
 		return nil, err
 	}

@@ -143,7 +143,7 @@ func (s *Store) Delete(k []byte) (bool, error) {
 // itself. The fork duration is recorded in ForkTimes.
 func (s *Store) Snapshot(out *fs.File) error {
 	start := time.Now()
-	child, err := s.proc.ForkWith(s.mode)
+	child, err := s.proc.Fork(kernel.WithMode(s.mode))
 	elapsed := time.Since(start)
 	if err != nil {
 		return fmt.Errorf("kvstore: snapshot fork: %w", err)

@@ -216,7 +216,7 @@ func TestHashTableSurvivesFork(t *testing.T) {
 		h.Put([]byte(fmt.Sprintf("key%02d", i)), []byte(fmt.Sprintf("val%02d", i)))
 	}
 
-	child, err := p.ForkWith(core.ForkOnDemand)
+	child, err := p.Fork(kernel.WithMode(core.ForkOnDemand))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -106,7 +106,7 @@ func TestForkIsolatedUnitTests(t *testing.T) {
 	before, _ := db.CountItems(func(Row) bool { return true })
 
 	for _, ut := range StandardTests() {
-		child, err := p.ForkWith(core.ForkOnDemand)
+		child, err := p.Fork(kernel.WithMode(core.ForkOnDemand))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -114,7 +114,7 @@ func MeasureSequential(k *kernel.Kernel, cfg SuiteConfig) (PhaseBreakdown, error
 		init.AddDuration(time.Since(t0))
 
 		t1 := time.Now()
-		child, err := proc.ForkWith(cfg.Mode)
+		child, err := proc.Fork(kernel.WithMode(cfg.Mode))
 		if err != nil {
 			proc.Exit()
 			return PhaseBreakdown{}, err
@@ -168,7 +168,7 @@ func MeasureForked(k *kernel.Kernel, cfg SuiteConfig) (ForkedSuiteResult, error)
 	for rep := 0; rep < reps; rep++ {
 		for _, ut := range StandardTests() {
 			t0 := time.Now()
-			child, err := proc.ForkWith(cfg.Mode)
+			child, err := proc.Fork(kernel.WithMode(cfg.Mode))
 			if err != nil {
 				return ForkedSuiteResult{}, err
 			}

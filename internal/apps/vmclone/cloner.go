@@ -50,7 +50,7 @@ const maxCallsPerInput = 1024
 // RunInput clones the VM and replays the input as syscalls inside the
 // clone: every 5 bytes decode to (syscall number, 4-byte argument).
 func (c *Cloner) RunInput(input []byte) error {
-	child, err := c.master.Process().ForkWith(c.mode)
+	child, err := c.master.Process().Fork(kernel.WithMode(c.mode))
 	if err != nil {
 		return fmt.Errorf("vmclone: clone: %w", err)
 	}

@@ -110,7 +110,7 @@ func TestCloneIsolation(t *testing.T) {
 	k, g := testVM(t)
 	defer g.Process().Exit()
 	for _, mode := range []core.ForkMode{core.ForkClassic, core.ForkOnDemand} {
-		child, err := g.Process().ForkWith(mode)
+		child, err := g.Process().Fork(kernel.WithMode(mode))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,13 +1,29 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/mem/addr"
 	"repro/internal/mem/pagetable"
 	"repro/internal/mem/phys"
 	"repro/internal/mem/vm"
 	"repro/internal/profile"
+)
+
+// Sentinel errors for the two address-shaped failure classes. Every
+// error the memory layer returns for a bad address or a forbidden
+// access wraps one of these, so callers branch with errors.Is instead
+// of matching message strings (the odfork facade re-exports them as
+// ErrBadAddr / ErrProtViolation).
+var (
+	// ErrBadAddr marks accesses to unmapped memory and malformed
+	// ranges, hints, or lengths — the EFAULT/EINVAL class.
+	ErrBadAddr = errors.New("bad address")
+	// ErrProtViolation marks accesses a VMA's protection forbids — the
+	// EACCES/SIGSEGV-on-protection class.
+	ErrProtViolation = errors.New("protection violation")
 )
 
 // FaultKind classifies an access violation.
@@ -42,6 +58,16 @@ func (e *SegfaultError) Error() string {
 	return fmt.Sprintf("segfault: %s at %v: %s", op, e.Addr, why)
 }
 
+// Unwrap maps the fault kind onto its sentinel, so
+// errors.Is(err, ErrBadAddr) and errors.Is(err, ErrProtViolation)
+// classify segfaults without inspecting Kind.
+func (e *SegfaultError) Unwrap() error {
+	if e.Kind == FaultProtection {
+		return ErrProtViolation
+	}
+	return ErrBadAddr
+}
+
 // HandleFault resolves a page fault at v. It is exported for tests and
 // benchmarks that drive faults directly; normal accesses go through
 // ReadAt/WriteAt, which fault implicitly.
@@ -52,10 +78,37 @@ func (as *AddressSpace) HandleFault(v addr.V, write bool) (err error) {
 	return as.handleFaultLocked(v, write)
 }
 
-// handleFaultLocked implements the fault flow of §3.4: demand paging
+// handleFaultLocked instruments the fault flow: when metrics are on it
+// times the whole repair and charges the read/write latency histograms
+// and counts; when off it is a tail call into resolveFaultLocked.
+func (as *AddressSpace) handleFaultLocked(v addr.V, write bool) error {
+	m := as.met
+	if !m.Enabled() {
+		return as.resolveFaultLocked(v, write)
+	}
+	t0 := time.Now()
+	err := as.resolveFaultLocked(v, write)
+	d := time.Since(t0)
+	if write {
+		m.Fault.WriteFaults.Inc()
+		m.Fault.WriteLatency.Observe(d)
+	} else {
+		m.Fault.ReadFaults.Inc()
+		m.Fault.ReadLatency.Observe(d)
+	}
+	if err != nil {
+		var seg *SegfaultError
+		if errors.As(err, &seg) {
+			m.Fault.Segfaults.Inc()
+		}
+	}
+	return err
+}
+
+// resolveFaultLocked implements the fault flow of §3.4: demand paging
 // for absent pages, PMD-level share detection, shared-table
 // copy-on-write, the last-sharer fast path, and data-page COW.
-func (as *AddressSpace) handleFaultLocked(v addr.V, write bool) error {
+func (as *AddressSpace) resolveFaultLocked(v addr.V, write bool) error {
 	as.prof.Charge(profile.FaultEntry, 1)
 	as.Faults.Add(1)
 
@@ -124,6 +177,38 @@ func (as *AddressSpace) handleFaultLocked(v addr.V, write bool) error {
 	as.pageCOWLocked(tr)
 	as.tlb.FlushPage(v)
 	return nil
+}
+
+// The note* helpers mirror the per-space statistic atomics into the
+// system-wide metrics registry, so /proc/odf/metrics survives process
+// exit while Space().PageCopies etc. keep their per-process meaning.
+
+func (as *AddressSpace) noteFastDedup() {
+	as.FastDedups.Add(1)
+	if as.met.Enabled() {
+		as.met.Fault.FastDedups.Inc()
+	}
+}
+
+func (as *AddressSpace) notePMDSplit() {
+	as.PMDSplits.Add(1)
+	if as.met.Enabled() {
+		as.met.Fault.PMDSplits.Inc()
+	}
+}
+
+func (as *AddressSpace) notePageCopy() {
+	as.PageCopies.Add(1)
+	if as.met.Enabled() {
+		as.met.Fault.PageCopies.Inc()
+	}
+}
+
+func (as *AddressSpace) noteHugeCopy() {
+	as.HugeCopies.Add(1)
+	if as.met.Enabled() {
+		as.met.Fault.HugeCopies.Inc()
+	}
 }
 
 // demandPageLocked backs a never-touched page (demand-zero for
@@ -196,7 +281,7 @@ func (as *AddressSpace) splitSharedPMDLocked(pud *pagetable.Table, pi int, old *
 		if last {
 			if !pud.Entry(pi).Writable() {
 				pud.SetEntry(pi, pud.Entry(pi).With(pagetable.FlagWritable))
-				as.FastDedups.Add(1)
+				as.noteFastDedup()
 			}
 			return old
 		}
@@ -211,12 +296,12 @@ func (as *AddressSpace) splitSharedPMDLocked(pud *pagetable.Table, pi int, old *
 		as.alloc.Put(newPMD.Frame)
 		if !pud.Entry(pi).Writable() {
 			pud.SetEntry(pi, pud.Entry(pi).With(pagetable.FlagWritable))
-			as.FastDedups.Add(1)
+			as.noteFastDedup()
 		}
 		return old
 	}
 
-	as.PMDSplits.Add(1)
+	as.notePMDSplit()
 	newPMD.CopyEntriesFrom(old, as.prof)
 	for i := 0; i < addr.EntriesPerTable; i++ {
 		e := old.Entry(i)
@@ -275,7 +360,7 @@ func (as *AddressSpace) splitSharedLeafLocked(pmd *pagetable.Table, pi int, old 
 		if last {
 			if !pmd.Entry(pi).Writable() {
 				pmd.SetEntry(pi, pmd.Entry(pi).With(pagetable.FlagWritable))
-				as.FastDedups.Add(1)
+				as.noteFastDedup()
 			}
 			return old
 		}
@@ -292,12 +377,19 @@ func (as *AddressSpace) splitSharedLeafLocked(pmd *pagetable.Table, pi int, old 
 		as.alloc.Put(newLeaf.Frame)
 		if !pmd.Entry(pi).Writable() {
 			pmd.SetEntry(pi, pmd.Entry(pi).With(pagetable.FlagWritable))
-			as.FastDedups.Add(1)
+			as.noteFastDedup()
 		}
 		return old
 	}
 
+	// A genuine split is the deferred table copy of §3.4 — time it for
+	// the fault.table_copy latency histogram alongside the count.
 	as.TableSplits.Add(1)
+	var splitStart time.Time
+	if as.met.Enabled() {
+		as.met.Fault.TableSplits.Inc()
+		splitStart = time.Now()
+	}
 	newLeaf.CopyEntriesFrom(old, as.prof)
 	for i := 0; i < addr.EntriesPerTable; i++ {
 		e := old.Entry(i)
@@ -325,6 +417,9 @@ func (as *AddressSpace) splitSharedLeafLocked(pmd *pagetable.Table, pi int, old 
 	// may hold stale writable translations.
 	as.sd.Broadcast()
 	as.prof.Charge(profile.TLBFlush, 1)
+	if !splitStart.IsZero() && as.met.Enabled() {
+		as.met.Fault.TableCopyLatency.Observe(time.Since(splitStart))
+	}
 	return newLeaf
 }
 
@@ -367,7 +462,7 @@ func (as *AddressSpace) pageCOWLocked(tr pagetable.Translation) {
 	}
 	as.alloc.CopyPage(nf, f)
 	as.alloc.Put(f)
-	as.PageCopies.Add(1)
+	as.notePageCopy()
 	leaf.SetEntry(li, pagetable.MakeEntry(nf,
 		pagetable.FlagWritable|pagetable.FlagUser|pagetable.FlagDirty|pagetable.FlagAccessed))
 }
@@ -389,7 +484,7 @@ func (as *AddressSpace) hugeCOWLocked(tr pagetable.Translation) {
 	nh := as.alloc.AllocHuge()
 	as.alloc.CopyHugePage(nh, head)
 	as.alloc.Put(head)
-	as.HugeCopies.Add(1)
+	as.noteHugeCopy()
 	pmd.SetEntry(pi, pagetable.MakeEntry(nh,
 		pagetable.FlagHuge|pagetable.FlagWritable|pagetable.FlagUser|
 			pagetable.FlagDirty|pagetable.FlagAccessed))

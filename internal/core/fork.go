@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/mem/addr"
 	"repro/internal/mem/pagetable"
 	"repro/internal/mem/phys"
 	"repro/internal/mem/tlb"
+	"repro/internal/metrics"
 	"repro/internal/profile"
 )
 
@@ -133,6 +135,11 @@ func Fork(parent *AddressSpace, mode ForkMode) *AddressSpace {
 // panics when opts.Parallelism is negative.
 func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) *AddressSpace {
 	workers := opts.workers() // validate before taking any lock
+	m := parent.met
+	var forkStart time.Time
+	if m.Enabled() {
+		forkStart = time.Now()
+	}
 
 	parent.mu.Lock()
 	defer parent.mu.Unlock()
@@ -142,6 +149,7 @@ func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) *Add
 		vmas:  parent.vmas.Clone(),
 		alloc: parent.alloc,
 		prof:  parent.prof,
+		met:   parent.met,
 		sd:    parent.sd,
 		tlb:   tlb.New(parent.sd),
 	}
@@ -149,13 +157,17 @@ func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) *Add
 	switch mode {
 	case ForkClassic:
 		if fanOut {
-			runForkTasks(parent.collectClassicTasks(parent.w.Root, child.w.Root, nil), workers)
+			tasks := parent.collectClassicTasks(parent.w.Root, child.w.Root, nil)
+			noteFanOut(m, tasks)
+			runForkTasks(tasks, workers)
 		} else {
 			parent.copyTreeClassic(parent.w.Root, child.w.Root)
 		}
 	case ForkOnDemand:
 		if fanOut {
-			runForkTasks(parent.collectOnDemandTasks(parent.w.Root, child.w.Root, opts, nil), workers)
+			tasks := parent.collectOnDemandTasks(parent.w.Root, child.w.Root, opts, nil)
+			noteFanOut(m, tasks)
+			runForkTasks(tasks, workers)
 		} else {
 			parent.copyTreeOnDemand(parent.w.Root, child.w.Root, opts)
 		}
@@ -167,7 +179,23 @@ func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) *Add
 	// kernel's fork-time TLB flush, broadcast lineage-wide).
 	parent.sd.Broadcast()
 	parent.prof.Charge(profile.TLBFlush, 1)
+	if !forkStart.IsZero() && m.Enabled() {
+		// metrics.ForkEngine values mirror ForkMode, so the cast is the
+		// whole mapping.
+		if e := metrics.ForkEngine(mode); e >= 0 && e < metrics.NumEngines {
+			m.Fork.Forks[e].Inc()
+			m.Fork.Latency[e].Observe(time.Since(forkStart))
+		}
+	}
 	return child
+}
+
+// noteFanOut records one parallel fork and its task count.
+func noteFanOut(m *metrics.Registry, tasks []forkTask) {
+	if m.Enabled() {
+		m.Fork.ParallelForks.Inc()
+		m.Fork.ParallelTasks.Add(uint64(len(tasks)))
+	}
 }
 
 // copyTreeClassic duplicates the paging hierarchy the way Linux's
@@ -236,6 +264,9 @@ func (as *AddressSpace) copyPMDRangeClassic(src, dst *pagetable.Table, lo, hi in
 		leaf.Unlock()
 		dst.SetChild(i, newLeaf, src.Entry(i))
 		makePMDWritable(dst, i)
+		if as.met.Enabled() {
+			as.met.Fork.TablesCopied.Inc()
+		}
 	}
 }
 
@@ -321,6 +352,9 @@ func (as *AddressSpace) copyPMDRangeOnDemand(src, dst *pagetable.Table, lo, hi i
 		shared := e.Without(pagetable.FlagWritable)
 		src.SetEntry(i, shared)
 		dst.SetChild(i, leaf, shared)
+		if as.met.Enabled() {
+			as.met.Fork.TablesShared.Inc()
+		}
 	}
 }
 
@@ -332,6 +366,9 @@ func (as *AddressSpace) sharePMDTable(src, dst *pagetable.Table, i int, childTab
 	shared := src.Entry(i).Without(pagetable.FlagWritable)
 	src.SetEntry(i, shared)
 	dst.SetChild(i, childTable, shared)
+	if as.met.Enabled() {
+		as.met.Fork.PMDTablesShared.Inc()
+	}
 }
 
 // hugeOnly reports whether every present entry of a PMD table maps a

@@ -28,6 +28,7 @@ import (
 	"repro/internal/mem/phys"
 	"repro/internal/mem/tlb"
 	"repro/internal/mem/vm"
+	"repro/internal/metrics"
 	"repro/internal/profile"
 )
 
@@ -46,6 +47,7 @@ type AddressSpace struct {
 	vmas  *vm.Set
 	alloc *phys.Allocator
 	prof  *profile.Profiler
+	met   *metrics.Registry
 
 	// Software TLB and its lineage-wide shootdown domain: processes
 	// related by fork share page tables, so a write-protect downgrade by
@@ -66,7 +68,9 @@ type AddressSpace struct {
 }
 
 // NewAddressSpace returns an empty address space drawing frames from
-// alloc. The profiler may be nil.
+// alloc. The profiler may be nil. The metrics registry is inherited
+// from the allocator (see phys.Allocator.SetMetrics), so the whole
+// memory stack of one kernel instruments into a single tree.
 func NewAddressSpace(alloc *phys.Allocator, prof *profile.Profiler) *AddressSpace {
 	sd := &tlb.Shootdown{}
 	return &AddressSpace{
@@ -74,10 +78,14 @@ func NewAddressSpace(alloc *phys.Allocator, prof *profile.Profiler) *AddressSpac
 		vmas:  &vm.Set{},
 		alloc: alloc,
 		prof:  prof,
+		met:   alloc.Metrics(),
 		sd:    sd,
 		tlb:   tlb.New(sd),
 	}
 }
+
+// Metrics returns the registry this space charges (may be nil).
+func (as *AddressSpace) Metrics() *metrics.Registry { return as.met }
 
 // TLB exposes the space's software TLB (statistics, tests).
 func (as *AddressSpace) TLB() *tlb.TLB { return as.tlb }
@@ -132,11 +140,11 @@ func (as *AddressSpace) Mmap(hint addr.V, size uint64, prot vm.Prot, flags vm.Ma
 		return 0, fmt.Errorf("core: address space torn down")
 	}
 	if size == 0 {
-		return 0, fmt.Errorf("core: zero-size mmap")
+		return 0, fmt.Errorf("core: zero-size mmap: %w", ErrBadAddr)
 	}
 	if flags&vm.MapHuge != 0 {
 		if size%addr.HugePageSize != 0 {
-			return 0, fmt.Errorf("core: huge mmap size %#x not 2MiB-aligned", size)
+			return 0, fmt.Errorf("core: huge mmap size %#x not 2MiB-aligned: %w", size, ErrBadAddr)
 		}
 		if backing != nil {
 			return 0, fmt.Errorf("core: huge file-backed mappings unsupported")
@@ -156,10 +164,10 @@ func (as *AddressSpace) Mmap(hint addr.V, size uint64, prot vm.Prot, flags vm.Ma
 			return 0, fmt.Errorf("core: mmap area exhausted for %d bytes", size)
 		}
 	} else if !start.PageAligned() {
-		return 0, fmt.Errorf("core: unaligned mmap hint %v", start)
+		return 0, fmt.Errorf("core: unaligned mmap hint %v: %w", start, ErrBadAddr)
 	}
 	if flags&vm.MapHuge != 0 && !start.HugeAligned() {
-		return 0, fmt.Errorf("core: huge mmap at unaligned address %v", start)
+		return 0, fmt.Errorf("core: huge mmap at unaligned address %v: %w", start, ErrBadAddr)
 	}
 
 	vma := &vm.VMA{
@@ -251,11 +259,11 @@ func (as *AddressSpace) Munmap(start addr.V, size uint64) error {
 	as.mu.Lock()
 	defer as.mu.Unlock()
 	if !start.PageAligned() {
-		return fmt.Errorf("core: unaligned munmap %v", start)
+		return fmt.Errorf("core: unaligned munmap %v: %w", start, ErrBadAddr)
 	}
 	r := addr.NewRange(start, addr.PageRoundUp(size))
 	if r.Empty() {
-		return fmt.Errorf("core: empty munmap")
+		return fmt.Errorf("core: empty munmap: %w", ErrBadAddr)
 	}
 	removed := as.vmas.RemoveRange(r)
 	for _, piece := range removed {
@@ -278,7 +286,7 @@ func (as *AddressSpace) Munmap(start addr.V, size uint64) error {
 // this).
 func (as *AddressSpace) zapHugeLocked(r addr.Range) error {
 	if !r.Start.HugeAligned() || uint64(r.End)%addr.HugePageSize != 0 {
-		return fmt.Errorf("core: partial huge-page unmap %v", r)
+		return fmt.Errorf("core: partial huge-page unmap %v: %w", r, ErrBadAddr)
 	}
 	// Process one PMD-table coverage (1 GiB) at a time.
 	base := r.Start &^ addr.V(addr.PMDCoverage-1)
@@ -395,13 +403,13 @@ func (as *AddressSpace) Mremap(oldStart addr.V, oldSize uint64) (_ addr.V, err e
 	defer as.mu.Unlock()
 	defer catchOOM(&err)
 	if !oldStart.PageAligned() {
-		return 0, fmt.Errorf("core: unaligned mremap %v", oldStart)
+		return 0, fmt.Errorf("core: unaligned mremap %v: %w", oldStart, ErrBadAddr)
 	}
 	oldSize = addr.PageRoundUp(oldSize)
 	oldR := addr.NewRange(oldStart, oldSize)
 	vma := as.vmas.Find(oldStart)
 	if vma == nil || !vma.Range.ContainsRange(oldR) {
-		return 0, fmt.Errorf("core: mremap of unmapped range %v", oldR)
+		return 0, fmt.Errorf("core: mremap of unmapped range %v: %w", oldR, ErrBadAddr)
 	}
 	if vma.Huge() {
 		return 0, fmt.Errorf("core: mremap of huge mappings unsupported")
@@ -476,11 +484,11 @@ func (as *AddressSpace) Mprotect(start addr.V, size uint64, prot vm.Prot) (err e
 	defer catchOOM(&err)
 	r := addr.NewRange(start, addr.PageRoundUp(size))
 	if !start.PageAligned() || r.Empty() {
-		return fmt.Errorf("core: bad mprotect range %v", r)
+		return fmt.Errorf("core: bad mprotect range %v: %w", r, ErrBadAddr)
 	}
 	overlapping := as.vmas.Overlapping(r)
 	if len(overlapping) == 0 {
-		return fmt.Errorf("core: mprotect of unmapped range %v", r)
+		return fmt.Errorf("core: mprotect of unmapped range %v: %w", r, ErrBadAddr)
 	}
 	// Split VMAs at the boundaries by removing and re-inserting.
 	removed := as.vmas.RemoveRange(r)
@@ -601,11 +609,11 @@ func (as *AddressSpace) MadviseDontneed(start addr.V, size uint64) (err error) {
 	defer as.mu.Unlock()
 	defer catchOOM(&err)
 	if !start.PageAligned() {
-		return fmt.Errorf("core: unaligned madvise %v", start)
+		return fmt.Errorf("core: unaligned madvise %v: %w", start, ErrBadAddr)
 	}
 	r := addr.NewRange(start, addr.PageRoundUp(size))
 	if r.Empty() {
-		return fmt.Errorf("core: empty madvise")
+		return fmt.Errorf("core: empty madvise: %w", ErrBadAddr)
 	}
 	for _, vma := range as.vmas.Overlapping(r) {
 		piece := vma.Range.Intersect(r)

@@ -31,6 +31,7 @@ type AblationRow struct {
 // configurations at the given memory size.
 func RunAblation(size uint64, reps int) ([]AblationRow, string, error) {
 	k := kernel.New()
+	mbase := k.MetricsSnapshot()
 	p := k.NewProcess()
 	defer p.Exit()
 	if _, err := p.Mmap(size, vm.ProtRead|vm.ProtWrite, vm.MapPrivate|vm.MapPopulate); err != nil {
@@ -53,7 +54,7 @@ func RunAblation(size uint64, reps int) ([]AblationRow, string, error) {
 		var sample stats.Sample
 		for i := 0; i < reps; i++ {
 			t0 := time.Now()
-			c, err := p.ForkWithOptions(cfg.mode, cfg.opts)
+			c, err := p.Fork(kernel.WithMode(cfg.mode), kernel.WithForkOptions(cfg.opts))
 			elapsed := time.Since(t0)
 			if err != nil {
 				return nil, "", err
@@ -71,5 +72,5 @@ func RunAblation(size uint64, reps int) ([]AblationRow, string, error) {
 		tb.AddRow(r.Name, r.MeanMS, fmt.Sprintf("%.1fx", r.MeanMS/base))
 	}
 	return rows, header(fmt.Sprintf("Ablation: fork cost of re-adding per-page work (%s)", SizeLabel(size))) +
-		tb.String(), nil
+		tb.String() + metricsFooter(k, mbase), nil
 }

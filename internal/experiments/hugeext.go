@@ -29,6 +29,7 @@ type HugeExtRow struct {
 // sharing.
 func RunHugeExt(size uint64, reps int) ([]HugeExtRow, string, error) {
 	k := kernel.New()
+	base := k.MetricsSnapshot()
 	p := k.NewProcess()
 	defer p.Exit()
 	if _, err := p.Mmap(size, vm.ProtRead|vm.ProtWrite,
@@ -48,14 +49,14 @@ func RunHugeExt(size uint64, reps int) ([]HugeExtRow, string, error) {
 	var rows []HugeExtRow
 	for _, cfg := range configs {
 		// Warmup.
-		if c, err := p.ForkWithOptions(cfg.mode, cfg.opts); err == nil {
+		if c, err := p.Fork(kernel.WithMode(cfg.mode), kernel.WithForkOptions(cfg.opts)); err == nil {
 			c.Exit()
 			c.Wait()
 		}
 		var sample stats.Sample
 		for i := 0; i < reps; i++ {
 			t0 := time.Now()
-			c, err := p.ForkWithOptions(cfg.mode, cfg.opts)
+			c, err := p.Fork(kernel.WithMode(cfg.mode), kernel.WithForkOptions(cfg.opts))
 			elapsed := time.Since(t0)
 			if err != nil {
 				return nil, "", err
@@ -71,5 +72,5 @@ func RunHugeExt(size uint64, reps int) ([]HugeExtRow, string, error) {
 		tb.AddRow(r.Name, r.MeanMS, r.MinMS)
 	}
 	return rows, header("Extension (paper \u00a74): on-demand-fork over huge pages ("+SizeLabel(size)+")") +
-		tb.String(), nil
+		tb.String() + metricsFooter(k, base), nil
 }

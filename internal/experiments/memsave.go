@@ -36,7 +36,7 @@ func RunMemSave(size uint64, maxChildren int) ([]MemSaveRow, string, error) {
 		}
 		before := k.Allocator().Allocated()
 		for i := 0; i < n; i++ {
-			c, err := p.ForkWith(mode)
+			c, err := p.Fork(kernel.WithMode(mode))
 			if err != nil {
 				return 0, err
 			}

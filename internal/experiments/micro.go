@@ -58,6 +58,7 @@ type Fig2Row struct {
 // sequentially and once with three concurrent benchmark instances.
 func RunFig2(maxBytes uint64, reps int) ([]Fig2Row, string, error) {
 	k := kernel.New()
+	base := k.MetricsSnapshot()
 	var rows []Fig2Row
 	cfg := workload.Config{Mode: core.ForkClassic}
 	for _, size := range SweepSizes(maxBytes) {
@@ -81,7 +82,8 @@ func RunFig2(maxBytes uint64, reps int) ([]Fig2Row, string, error) {
 	for _, r := range rows {
 		tb.AddRow(SizeLabel(r.Size), r.SeqMS, r.SeqMinMS, r.ConcMS, r.ConcMinMS)
 	}
-	return rows, header("Figure 2: fork execution time vs allocated memory") + tb.String(), nil
+	return rows, header("Figure 2: fork execution time vs allocated memory") + tb.String() +
+		metricsFooter(k, base), nil
 }
 
 // RunFig3 reproduces the Figure 3 profile: repeated classic forks of a
@@ -97,7 +99,7 @@ func RunFig3(size uint64, reps int) (*profile.Profiler, string, error) {
 	}
 	prof.Reset()
 	for i := 0; i < reps; i++ {
-		c, err := p.ForkWith(core.ForkClassic)
+		c, err := p.Fork(kernel.WithMode(core.ForkClassic))
 		if err != nil {
 			return nil, "", err
 		}
@@ -123,6 +125,7 @@ type Fig7Row struct {
 // sweep (Figure 7; the huge-page column alone is Figure 4).
 func RunFig7(maxBytes uint64, reps int) ([]Fig7Row, string, error) {
 	k := kernel.New()
+	base := k.MetricsSnapshot()
 	var rows []Fig7Row
 	for _, size := range SweepSizes(maxBytes) {
 		row := Fig7Row{Size: size}
@@ -148,7 +151,8 @@ func RunFig7(maxBytes uint64, reps int) ([]Fig7Row, string, error) {
 		tb.AddRow(SizeLabel(r.Size), r.ForkMS, r.HugeMS, r.OnDemandMS,
 			fmt.Sprintf("%.1fx", r.ForkMS/r.OnDemandMS))
 	}
-	return rows, header("Figures 4+7: fork invocation latency by engine") + tb.String(), nil
+	return rows, header("Figures 4+7: fork invocation latency by engine") + tb.String() +
+		metricsFooter(k, base), nil
 }
 
 // Tab1Row is one row of Table 1.
@@ -160,6 +164,7 @@ type Tab1Row struct {
 // RunTab1 measures the worst-case page-fault cost for each engine.
 func RunTab1(size uint64, reps int) ([]Tab1Row, string, error) {
 	k := kernel.New()
+	base := k.MetricsSnapshot()
 	var rows []Tab1Row
 	for _, cfg := range []workload.Config{
 		{Mode: core.ForkClassic},
@@ -177,7 +182,7 @@ func RunTab1(size uint64, reps int) ([]Tab1Row, string, error) {
 		tb.AddRow(r.Name, r.MeanMS)
 	}
 	return rows, header(fmt.Sprintf("Table 1: worst-case page fault cost (%s region)", SizeLabel(size))) +
-		tb.String(), nil
+		tb.String() + metricsFooter(k, base), nil
 }
 
 // RunFig8 sweeps the fraction of memory accessed after fork for the
@@ -185,6 +190,7 @@ func RunTab1(size uint64, reps int) ([]Tab1Row, string, error) {
 // on-demand-fork over classic fork.
 func RunFig8(size uint64, reps int) ([]workload.AccessMixResult, string, error) {
 	k := kernel.New()
+	base := k.MetricsSnapshot()
 	accessed := []int{0, 20, 40, 60, 80, 100}
 	readMixes := []int{0, 25, 50, 75, 100}
 	var rows []workload.AccessMixResult
@@ -200,7 +206,7 @@ func RunFig8(size uint64, reps int) ([]workload.AccessMixResult, string, error) 
 		}
 	}
 	return rows, header(fmt.Sprintf("Figure 8: total cost vs memory accessed (%s region)", SizeLabel(size))) +
-		tb.String(), nil
+		tb.String() + metricsFooter(k, base), nil
 }
 
 func header(title string) string {

@@ -49,7 +49,7 @@ func measureForkOpts(p *kernel.Process, mode core.ForkMode, opts core.ForkOption
 	var sample stats.Sample
 	for i := 0; i < reps; i++ {
 		t0 := time.Now()
-		c, err := p.ForkWithOptions(mode, opts)
+		c, err := p.Fork(kernel.WithMode(mode), kernel.WithForkOptions(opts))
 		elapsed := time.Since(t0)
 		if err != nil {
 			return 0, err
@@ -70,6 +70,7 @@ func RunParFork(maxBytes uint64, reps, maxWorkers int) ([]ParForkRow, string, er
 	}
 	prof := profile.New()
 	k := kernel.New(kernel.WithProfiler(prof))
+	base := k.MetricsSnapshot()
 	workers := parWorkerSet(maxWorkers)
 
 	var rows []ParForkRow
@@ -128,7 +129,7 @@ func RunParFork(maxBytes uint64, reps, maxWorkers int) ([]ParForkRow, string, er
 					wg.Add(1)
 					go func(i int, p *kernel.Process) {
 						defer wg.Done()
-						kids[i], errs[i] = p.ForkWithOptions(mode, core.ForkOptions{Parallelism: w})
+						kids[i], errs[i] = p.Fork(kernel.WithMode(mode), kernel.WithWorkers(w))
 					}(i, p)
 				}
 				wg.Wait()
@@ -150,11 +151,14 @@ func RunParFork(maxBytes uint64, reps, maxWorkers int) ([]ParForkRow, string, er
 	out += "\n" + header(fmt.Sprintf("Concurrent forks (%s each) with the parallel engine", SizeLabel(concSize))) +
 		ctb.String()
 
-	// The allocator shard counters the runs above exercised.
+	// The allocator shard counters the runs above exercised, read from
+	// the system-wide metrics snapshot rather than the profiler.
+	alloc := k.MetricsSnapshot().Alloc
 	stb := stats.NewTable("allocator shard counter", "events")
-	for _, name := range []string{profile.ShardAllocHit, profile.ShardRefill, profile.ShardDrain} {
-		stb.AddRow(name, int(prof.Count(name)))
-	}
+	stb.AddRow("shard fast-path hits", int(alloc.ShardHits))
+	stb.AddRow("shard refills", int(alloc.ShardRefills))
+	stb.AddRow("shard drains", int(alloc.ShardDrains))
 	out += "\n" + header("Sharded frame allocator: fast-path hits vs buddy-core round trips") + stb.String()
+	out += metricsFooter(k, base)
 	return rows, out, nil
 }

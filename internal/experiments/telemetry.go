@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+)
+
+// Every experiment artifact ends with the same compact telemetry
+// block: the delta of the system-wide metrics over the run, so each
+// figure's table is accompanied by what the kernel actually did to
+// produce it (forks per engine with tail latency, table sharing vs
+// copying, fault traffic, allocator shard behaviour, TLB behaviour).
+
+// metricsFooter renders the telemetry accumulated since base.
+func metricsFooter(k *kernel.Kernel, base metrics.Snapshot) string {
+	d := k.MetricsSnapshot().Sub(base)
+	var b strings.Builder
+	b.WriteString("\n" + header("System telemetry for this run"))
+	cl, od := d.Fork.Classic(), d.Fork.OnDemand()
+	fmt.Fprintf(&b, "forks: classic=%d (p50 %v, p99 %v), ondemand=%d (p50 %v, p99 %v)\n",
+		cl.Forks, nsDur(cl.Latency.Quantile(0.5)), nsDur(cl.Latency.Quantile(0.99)),
+		od.Forks, nsDur(od.Latency.Quantile(0.5)), nsDur(od.Latency.Quantile(0.99)))
+	fmt.Fprintf(&b, "page tables: shared=%d copied=%d pmd-shared=%d cow-splits=%d\n",
+		d.Fork.TablesShared, d.Fork.TablesCopied, d.Fork.PMDTablesShared, d.Fault.TableSplits)
+	fmt.Fprintf(&b, "faults: read=%d write=%d page-copies=%d fast-dedups=%d\n",
+		d.Fault.ReadFaults, d.Fault.WriteFaults, d.Fault.PageCopies, d.Fault.FastDedups)
+	fmt.Fprintf(&b, "allocator: shard-hits=%d refills=%d drains=%d\n",
+		d.Alloc.ShardHits, d.Alloc.ShardRefills, d.Alloc.ShardDrains)
+	fmt.Fprintf(&b, "tlb: hits=%d misses=%d shootdowns=%d\n",
+		d.TLB.Hits, d.TLB.Misses, d.TLB.Shootdowns)
+	return b.String()
+}
+
+func nsDur(ns uint64) time.Duration {
+	return time.Duration(ns).Round(100 * time.Nanosecond)
+}

@@ -19,7 +19,7 @@ type Checkpoint struct {
 
 // Checkpoint freezes the current state of p.
 func (p *Process) Checkpoint() (*Checkpoint, error) {
-	frozen, err := p.ForkWith(forkModeForCheckpoint)
+	frozen, err := p.Fork(WithMode(forkModeForCheckpoint))
 	if err != nil {
 		return nil, fmt.Errorf("kernel: checkpoint: %w", err)
 	}
@@ -36,7 +36,7 @@ func (c *Checkpoint) Spawn() (*Process, error) {
 	if c.frozen == nil || c.frozen.Exited() {
 		return nil, fmt.Errorf("kernel: checkpoint released")
 	}
-	return c.frozen.ForkWith(forkModeForCheckpoint)
+	return c.frozen.Fork(WithMode(forkModeForCheckpoint))
 }
 
 // Release frees the checkpoint's frozen state. Processes already

@@ -147,7 +147,7 @@ func TestCoreDumpOfForkChild(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.StoreByte(base, 0x77)
-	c, err := p.ForkWith(core.ForkOnDemand)
+	c, err := p.Fork(WithMode(core.ForkOnDemand))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,13 +6,14 @@
 // MMU).
 //
 // The fork-mode selection mirrors the paper's deployment story (§4,
-// "Flexibility"): on-demand-fork is a separate opt-in entry point
-// (ForkWith), and a procfs-style per-process configuration
+// "Flexibility"): on-demand-fork is opted into per call
+// (Fork(WithMode(...))), and a procfs-style per-process configuration
 // (Kernel.SetForkMode) transparently redirects plain Fork calls, so
 // applications need no source changes.
 package kernel
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -21,16 +22,24 @@ import (
 	"repro/internal/mem/addr"
 	"repro/internal/mem/phys"
 	"repro/internal/mem/vm"
+	"repro/internal/metrics"
 	"repro/internal/profile"
 )
 
 // PID identifies a simulated process.
 type PID int
 
+// ErrExited is the sentinel wrapped by every error caused by
+// addressing a process that is gone — forking from an exited process,
+// or configuring a PID no longer (or never) in the process table.
+// Callers branch with errors.Is(err, ErrExited).
+var ErrExited = errors.New("process has exited")
+
 // Kernel is the simulated operating system instance.
 type Kernel struct {
 	alloc *phys.Allocator
 	prof  *profile.Profiler
+	met   *metrics.Registry
 	fsys  *fs.FileSystem
 
 	mu        sync.Mutex
@@ -54,6 +63,14 @@ func WithDefaultForkMode(m core.ForkMode) Option {
 	return func(k *Kernel) { k.defMode = m }
 }
 
+// WithMetricsDisabled boots the kernel with telemetry collection off.
+// Metrics are on by default (the collection cost is a handful of
+// atomics per fork/fault); this option is for benchmarks quantifying
+// that cost. Collection can be re-enabled later via Metrics().
+func WithMetricsDisabled() Option {
+	return func(k *Kernel) { k.met.SetEnabled(false) }
+}
+
 // New boots a kernel.
 func New(opts ...Option) *Kernel {
 	k := &Kernel{
@@ -61,13 +78,41 @@ func New(opts ...Option) *Kernel {
 		procs:     make(map[PID]*Process),
 		forkModes: make(map[PID]core.ForkMode),
 		defMode:   core.ForkClassic,
+		met:       metrics.New(),
 	}
 	for _, o := range opts {
 		o(k)
 	}
 	k.alloc = phys.NewAllocator(k.prof)
+	k.alloc.SetMetrics(k.met)
 	k.fsys = fs.New()
 	return k
+}
+
+// Metrics returns the kernel's telemetry registry. It is never nil for
+// a kernel built with New.
+func (k *Kernel) Metrics() *metrics.Registry { return k.met }
+
+// MetricsSnapshot captures the system-wide telemetry tree: the
+// registry's counters, the live processes' TLB counters summed on top
+// of the retired ones, and the allocator's frame-level gauges. This is
+// the one read path behind both the public Snapshot API and
+// /proc/odf/metrics, so the two always agree.
+func (k *Kernel) MetricsSnapshot() metrics.Snapshot {
+	snap := k.met.Snapshot()
+	k.mu.Lock()
+	for _, p := range k.procs {
+		st := p.as.TLB().Stats()
+		snap.TLB.Hits += st.Hits
+		snap.TLB.Misses += st.Misses
+		snap.TLB.Flushes += st.Flushes
+		snap.TLB.Shootdowns += st.Shootdowns
+	}
+	k.mu.Unlock()
+	snap.Alloc.FramesInUse = k.alloc.Allocated()
+	snap.Alloc.FramesPeak = k.alloc.Peak()
+	snap.Alloc.ShardCached = int64(k.alloc.ShardCached())
+	return snap
 }
 
 // Allocator exposes the physical memory manager.
@@ -115,8 +160,10 @@ func (k *Kernel) NumProcesses() int {
 func (k *Kernel) SetForkMode(pid PID, mode core.ForkMode) error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
+	// PIDs are never reused, so an unknown PID was either never issued
+	// or belongs to a process that exited; both wrap ErrExited.
 	if _, ok := k.procs[pid]; !ok {
-		return fmt.Errorf("kernel: no process %d", pid)
+		return fmt.Errorf("kernel: no process %d: %w", pid, ErrExited)
 	}
 	k.forkModes[pid] = mode
 	return nil
@@ -194,19 +241,67 @@ func (p *Process) StoreByte(v addr.V, b byte) error { return p.as.StoreByte(v, b
 // Touch performs a minimal access, faulting as needed.
 func (p *Process) Touch(v addr.V, write bool) error { return p.as.Touch(v, write) }
 
-// Fork duplicates the process using the engine configured for it
-// (classic by default; on-demand-fork if procfs says so).
-func (p *Process) Fork() (*Process, error) {
-	return p.ForkWith(p.k.forkModeFor(p.pid))
+// ForkOpt configures a single Fork call. Options apply in order, so a
+// later WithWorkers overrides the Parallelism a WithForkOptions set.
+type ForkOpt func(*forkCfg)
+
+type forkCfg struct {
+	mode     core.ForkMode
+	haveMode bool
+	opts     core.ForkOptions
 }
 
-// ForkWith duplicates the process with an explicit engine — the
-// paper's opt-in on_demand_fork() syscall.
+// WithMode selects the fork engine for this call — the paper's opt-in
+// on_demand_fork() syscall. Without it, Fork resolves the engine from
+// the procfs-style configuration (SetForkMode, then the kernel
+// default).
+func WithMode(mode core.ForkMode) ForkOpt {
+	return func(c *forkCfg) {
+		c.mode = mode
+		c.haveMode = true
+	}
+}
+
+// WithWorkers fans the fork's tree copy out over up to n workers
+// (core.ForkOptions.Parallelism). 0 and 1 select the sequential
+// engine; negative values panic by contract when the fork runs.
+func WithWorkers(n int) ForkOpt {
+	return func(c *forkCfg) { c.opts.Parallelism = n }
+}
+
+// WithForkOptions replaces the full core.ForkOptions — ablation knobs
+// and parallelism thresholds beyond what WithWorkers covers.
+func WithForkOptions(opts core.ForkOptions) ForkOpt {
+	return func(c *forkCfg) { c.opts = opts }
+}
+
+// Fork duplicates the process. With no options it uses the engine
+// configured for the process (classic by default; on-demand-fork if
+// procfs says so); functional options select the engine and tune the
+// copy explicitly. This is the single fork entry point of the v1 API —
+// ForkWith and ForkWithOptions remain as deprecated wrappers.
+func (p *Process) Fork(opts ...ForkOpt) (*Process, error) {
+	var cfg forkCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	mode := cfg.mode
+	if !cfg.haveMode {
+		mode = p.k.forkModeFor(p.pid)
+	}
+	return p.forkInternal(mode, cfg.opts)
+}
+
+// ForkWith duplicates the process with an explicit engine.
+//
+// Deprecated: use Fork(WithMode(mode)).
 func (p *Process) ForkWith(mode core.ForkMode) (*Process, error) {
 	return p.forkInternal(mode, core.ForkOptions{})
 }
 
 // ForkWithOptions exposes the ablation knobs.
+//
+// Deprecated: use Fork(WithMode(mode), WithForkOptions(opts)).
 func (p *Process) ForkWithOptions(mode core.ForkMode, opts core.ForkOptions) (*Process, error) {
 	return p.forkInternal(mode, opts)
 }
@@ -218,7 +313,7 @@ func (p *Process) forkInternal(mode core.ForkMode, opts core.ForkOptions) (*Proc
 	p.mu.Lock()
 	if p.exited {
 		p.mu.Unlock()
-		return nil, fmt.Errorf("kernel: fork from exited process %d", p.pid)
+		return nil, fmt.Errorf("kernel: fork from exited process %d: %w", p.pid, ErrExited)
 	}
 	childAS := core.ForkWithOptions(p.as, mode, opts)
 	p.mu.Unlock()
@@ -252,6 +347,15 @@ func (p *Process) Exit() {
 	}
 	p.exited = true
 	p.as.Teardown()
+	// Fold the dying process's TLB counters into the registry so
+	// system-wide TLB telemetry survives process exit.
+	if m := p.k.met; m.Enabled() {
+		st := p.as.TLB().Stats()
+		m.TLB.Hits.Add(st.Hits)
+		m.TLB.Misses.Add(st.Misses)
+		m.TLB.Flushes.Add(st.Flushes)
+		m.TLB.Shootdowns.Add(st.Shootdowns)
+	}
 	close(p.done)
 	p.mu.Unlock()
 

@@ -54,7 +54,7 @@ func TestForkSemanticsViaSyscalls(t *testing.T) {
 			if err := p.WriteAt(msg, base); err != nil {
 				t.Fatal(err)
 			}
-			c, err := p.ForkWith(mode)
+			c, err := p.Fork(WithMode(mode))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -192,7 +192,7 @@ func TestFileMappingThroughKernel(t *testing.T) {
 		t.Errorf("file map read %q", got)
 	}
 	// The mapping shows through fork too.
-	c, err := p.ForkWith(core.ForkOnDemand)
+	c, err := p.Fork(WithMode(core.ForkOnDemand))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestConcurrentForkInstances(t *testing.T) {
 				if j%2 == 0 {
 					mode = core.ForkOnDemand
 				}
-				c, err := p.ForkWith(mode)
+				c, err := p.Fork(WithMode(mode))
 				if err != nil {
 					t.Error(err)
 					return
@@ -290,10 +290,10 @@ func TestForkMisusePanicLeavesProcessUsable(t *testing.T) {
 				t.Fatal("negative Parallelism did not panic")
 			}
 		}()
-		p.ForkWithOptions(core.ForkClassic, core.ForkOptions{Parallelism: -1})
+		p.Fork(WithMode(core.ForkClassic), WithWorkers(-1))
 	}()
 	// The process must still fork, fault, and exit normally.
-	c, err := p.ForkWithOptions(core.ForkOnDemand, core.ForkOptions{Parallelism: 2})
+	c, err := p.Fork(WithMode(core.ForkOnDemand), WithWorkers(2))
 	if err != nil {
 		t.Fatalf("fork after recovered panic: %v", err)
 	}

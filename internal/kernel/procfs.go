@@ -2,6 +2,8 @@ package kernel
 
 import (
 	"fmt"
+	"io/fs"
+	"strconv"
 	"strings"
 
 	"repro/internal/mem/addr"
@@ -10,7 +12,58 @@ import (
 // procfs-style introspection: the paper configures on-demand-fork
 // through procfs, and its experiments read kernel state the same way.
 // These helpers render the simulated equivalents of /proc/pid/maps and
-// /proc/pid/status.
+// /proc/pid/status, and Kernel.Procfs routes path reads over them.
+
+// Procfs reads one file of the simulated procfs namespace:
+//
+//	/proc/odf/metrics  — system-wide telemetry (MetricsSnapshot rendering)
+//	/proc/odf/profile  — the Figure 3 cost-accounting profile, if a
+//	                     profiler is attached
+//	/proc/<pid>/maps   — the process's mappings
+//	/proc/<pid>/status — the process's memory summary
+//
+// Unknown paths fail with an error wrapping fs.ErrNotExist, so callers
+// distinguish "no such file" with errors.Is like any filesystem read.
+func (k *Kernel) Procfs(path string) (string, error) {
+	notExist := func() (string, error) {
+		return "", fmt.Errorf("procfs: %s: %w", path, fs.ErrNotExist)
+	}
+	rest, ok := strings.CutPrefix(path, "/proc/")
+	if !ok {
+		return notExist()
+	}
+	dir, file, ok := strings.Cut(rest, "/")
+	if !ok || strings.Contains(file, "/") {
+		return notExist()
+	}
+	if dir == "odf" {
+		switch file {
+		case "metrics":
+			return k.MetricsSnapshot().Render(), nil
+		case "profile":
+			if k.prof == nil {
+				return notExist()
+			}
+			return k.prof.String(), nil
+		}
+		return notExist()
+	}
+	pid, err := strconv.Atoi(dir)
+	if err != nil {
+		return notExist()
+	}
+	p := k.Process(PID(pid))
+	if p == nil {
+		return notExist()
+	}
+	switch file {
+	case "maps":
+		return p.Maps(), nil
+	case "status":
+		return p.Status().String(), nil
+	}
+	return notExist()
+}
 
 // Maps renders the process's mappings like /proc/pid/maps.
 func (p *Process) Maps() string {

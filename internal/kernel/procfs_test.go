@@ -52,7 +52,7 @@ func TestStatusCounters(t *testing.T) {
 		t.Errorf("SharedPTs = %d before fork", st.SharedPTs)
 	}
 
-	c, err := p.ForkWith(core.ForkOnDemand)
+	c, err := p.Fork(WithMode(core.ForkOnDemand))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestMadviseSharedTables(t *testing.T) {
 	if err := p.StoreByte(base, 0x42); err != nil {
 		t.Fatal(err)
 	}
-	c, err := p.ForkWith(core.ForkOnDemand)
+	c, err := p.Fork(WithMode(core.ForkOnDemand))
 	if err != nil {
 		t.Fatal(err)
 	}

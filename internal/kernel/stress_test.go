@@ -47,7 +47,7 @@ func TestStressConcurrentLineages(t *testing.T) {
 						if rng.Intn(3) == 0 {
 							mode = core.ForkClassic
 						}
-						c, err := p.ForkWithOptions(mode, opts)
+						c, err := p.Fork(WithMode(mode), WithForkOptions(opts))
 						if err != nil {
 							t.Error(err)
 							return

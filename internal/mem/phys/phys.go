@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/mem/addr"
+	"repro/internal/metrics"
 	"repro/internal/profile"
 )
 
@@ -82,6 +83,7 @@ type Allocator struct {
 	peak      atomic.Int64 // high-water mark of allocated
 	totalOps  atomic.Uint64
 	prof      *profile.Profiler
+	met       atomic.Pointer[metrics.Registry]
 }
 
 const chunkSize = 1 << 16 // PageInfos per arena chunk (64 Ki frames = 256 MiB)
@@ -107,6 +109,16 @@ func NewAllocator(prof *profile.Profiler) *Allocator {
 
 // Profiler returns the profiler charged by this allocator (may be nil).
 func (a *Allocator) Profiler() *profile.Profiler { return a.prof }
+
+// SetMetrics attaches a metrics registry. The kernel calls this once
+// at boot; allocators built bare (unit tests) never pay for it because
+// a nil registry reports disabled.
+func (a *Allocator) SetMetrics(m *metrics.Registry) { a.met.Store(m) }
+
+// Metrics returns the attached registry (may be nil). Layers built on
+// top of the allocator (address spaces) inherit their registry from
+// here, so the whole memory stack shares one instrument tree.
+func (a *Allocator) Metrics() *metrics.Registry { return a.met.Load() }
 
 // info returns the PageInfo for f, which must be a frame number this
 // allocator has issued. It is lock-free: the chunk table snapshot is
@@ -235,6 +247,9 @@ func (a *Allocator) AllocHuge() Frame {
 		tp.ptShared.Store(0)
 	}
 	a.updatePeak(a.allocated.Add(1 << HugeOrder))
+	if m := a.met.Load(); m.Enabled() {
+		m.Alloc.HugeAllocs.Inc()
+	}
 
 	hp.refcount.Store(1)
 	hp.ptShared.Store(0)

@@ -75,6 +75,9 @@ func (a *Allocator) allocFrame() Frame {
 		s.cache = s.cache[:n-1]
 		s.mu.Unlock()
 		a.prof.Charge(profile.ShardAllocHit, 1)
+		if m := a.met.Load(); m.Enabled() {
+			m.Alloc.ShardHits.Inc()
+		}
 		return f
 	}
 	// Miss: pull a batch from the buddy core while still holding the
@@ -88,6 +91,9 @@ func (a *Allocator) allocFrame() Frame {
 	a.mu.Unlock()
 	s.mu.Unlock()
 	a.prof.Charge(profile.ShardRefill, 1)
+	if m := a.met.Load(); m.Enabled() {
+		m.Alloc.ShardRefills.Inc()
+	}
 	return f
 }
 
@@ -112,6 +118,9 @@ func (a *Allocator) freeFrame(f Frame) {
 	s.cache = s.cache[:n]
 	s.mu.Unlock()
 	a.prof.Charge(profile.ShardDrain, 1)
+	if m := a.met.Load(); m.Enabled() {
+		m.Alloc.ShardDrains.Inc()
+	}
 }
 
 // FlushShards drains every shard cache back to the buddy core, making

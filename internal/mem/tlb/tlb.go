@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/mem/addr"
 	"repro/internal/mem/phys"
+	"repro/internal/metrics"
 )
 
 // Geometry of the simulated TLB (64 sets × 4 ways = 256 entries,
@@ -212,6 +213,20 @@ func (t *TLB) Entries() int {
 		}
 	}
 	return n
+}
+
+// Stats returns the TLB's counters in the system-wide metrics shape.
+// The TLB deliberately keeps its own per-process atomics rather than
+// charging a registry on every lookup; the kernel sums live TLBs and
+// folds exited ones into the registry, keeping the hot path free of
+// any instrumentation branches.
+func (t *TLB) Stats() metrics.TLBSnapshot {
+	return metrics.TLBSnapshot{
+		Hits:       t.Hits.Load(),
+		Misses:     t.Misses.Load(),
+		Flushes:    t.Flushes.Load(),
+		Shootdowns: t.Shootdowns.Load(),
+	}
 }
 
 // HitRate returns hits / (hits+misses), or 0 with no lookups.

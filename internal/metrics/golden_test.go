@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSnapshot is a fixed, fully-populated telemetry tree covering
+// every rendered section: both engines, histograms with interior and
+// overflow buckets, gauges, and all counter groups.
+func goldenSnapshot() Snapshot {
+	var s Snapshot
+
+	classic := &s.Fork.Engines[EngineClassic]
+	classic.Forks = 2
+	classic.Latency.Count = 2
+	classic.Latency.SumNS = 3_000_000
+	classic.Latency.MaxNS = 2_000_000
+	classic.Latency.Buckets[20] = 2 // [1.05ms, 2.1ms)
+
+	od := &s.Fork.Engines[EngineOnDemand]
+	od.Forks = 3
+	od.Latency.Count = 3
+	od.Latency.SumNS = 150_000
+	od.Latency.MaxNS = 60_000
+	od.Latency.Buckets[15] = 3 // [32.8µs, 65.5µs)
+
+	s.Fork.TablesShared = 384
+	s.Fork.TablesCopied = 128
+	s.Fork.PMDTablesShared = 2
+	s.Fork.ParallelForks = 1
+	s.Fork.ParallelTasks = 4
+
+	s.Fault.ReadFaults = 10
+	s.Fault.ReadLatency.Count = 10
+	s.Fault.ReadLatency.SumNS = 4_000
+	s.Fault.ReadLatency.MaxNS = 500
+	s.Fault.ReadLatency.Buckets[8] = 10 // [256ns, 512ns)
+	s.Fault.WriteFaults = 7
+	s.Fault.WriteLatency.Count = 7
+	s.Fault.WriteLatency.SumNS = 21_000
+	s.Fault.WriteLatency.MaxNS = 4_000
+	s.Fault.WriteLatency.Buckets[11] = 7 // [2.05µs, 4.1µs)
+	s.Fault.TableCopyLatency.Count = 2
+	s.Fault.TableCopyLatency.SumNS = 6_000_005_000
+	s.Fault.TableCopyLatency.MaxNS = 6_000_000_000
+	s.Fault.TableCopyLatency.Buckets[12] = 1          // interior
+	s.Fault.TableCopyLatency.Buckets[HistBuckets] = 1 // overflow
+	s.Fault.TableSplits = 5
+	s.Fault.PMDSplits = 1
+	s.Fault.FastDedups = 2
+	s.Fault.PageCopies = 9
+	s.Fault.HugeCopies = 1
+	s.Fault.Segfaults = 1
+
+	s.Alloc.ShardHits = 100
+	s.Alloc.ShardRefills = 4
+	s.Alloc.ShardDrains = 3
+	s.Alloc.HugeAllocs = 2
+	s.Alloc.FramesInUse = 5_000
+	s.Alloc.FramesPeak = 9_000
+	s.Alloc.ShardCached = 128
+
+	s.TLB.Hits = 1_000
+	s.TLB.Misses = 50
+	s.TLB.Flushes = 6
+	s.TLB.Shootdowns = 4
+	return s
+}
+
+// TestRenderGolden pins the exact /proc/odf/metrics text format. A
+// deliberate format change regenerates the file with `go test -update`.
+func TestRenderGolden(t *testing.T) {
+	got := goldenSnapshot().Render()
+	path := filepath.Join("testdata", "render.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		gl := strings.Split(got, "\n")
+		wl := strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) || i < len(wl); i++ {
+			var g, w string
+			if i < len(gl) {
+				g = gl[i]
+			}
+			if i < len(wl) {
+				w = wl[i]
+			}
+			if g != w {
+				t.Errorf("line %d:\n  got  %q\n  want %q", i+1, g, w)
+			}
+		}
+		t.Fatalf("rendered metrics differ from %s (use -update after a deliberate format change)", path)
+	}
+}

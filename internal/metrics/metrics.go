@@ -1,0 +1,272 @@
+// Package metrics is the simulated kernel's telemetry subsystem: a
+// registry of atomic counters, gauges, and fixed-bucket latency
+// histograms covering every layer the paper's evaluation measures —
+// fork latency per engine (§5.1, Figure 2), fault-handling cost
+// (§5.2, Table 1), page-table sharing versus copying (§3.1), the
+// physical allocator's shard caches, and the software TLB.
+//
+// Design rules:
+//
+//   - Concurrency-safe: every metric is a plain atomic; readers never
+//     block writers. Snapshot() is a racy-but-coherent read of each
+//     individual metric, the same contract /proc counters give.
+//   - Near-zero cost when disabled: hot paths guard instrumentation
+//     with Registry.Enabled() — one atomic load — and skip the
+//     time.Now() calls entirely. A nil *Registry reports disabled, so
+//     layers built without a registry need no special cases.
+//   - Typed, not stringly: metrics are struct fields, so the compiler
+//     checks every charge site and Snapshot() returns a typed tree
+//     (contrast internal/profile, the deprecated string-keyed cost
+//     model kept for the Figure 3 attribution).
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one event.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n events.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous level that can move both ways.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the level.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the level by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// HistBuckets is the number of finite log₂ latency buckets. Bucket i
+// covers [2^i, 2^(i+1)) nanoseconds (bucket 0 also absorbs
+// sub-nanosecond observations), so the finite range spans 1 ns up to
+// 2^30 ns ≈ 1.07 s — the ns→ms scale the fork and fault paths live on.
+// Observations beyond the last finite bucket land in the overflow
+// bucket, index HistBuckets.
+const HistBuckets = 30
+
+// Histogram is a fixed-bucket log₂ latency histogram. The zero value
+// is ready to use.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // total nanoseconds
+	max     atomic.Uint64 // largest observation, nanoseconds
+	buckets [HistBuckets + 1]atomic.Uint64
+}
+
+// bucketOf maps a nanosecond latency to its bucket index.
+func bucketOf(ns uint64) int {
+	if ns == 0 {
+		return 0
+	}
+	b := bits.Len64(ns) - 1
+	if b >= HistBuckets {
+		return HistBuckets
+	}
+	return b
+}
+
+// BucketBound returns the exclusive upper bound of bucket i in
+// nanoseconds, or 0 for the overflow bucket.
+func BucketBound(i int) uint64 {
+	if i >= HistBuckets {
+		return 0
+	}
+	return uint64(1) << (i + 1)
+}
+
+// Observe records one latency observation.
+func (h *Histogram) Observe(d time.Duration) {
+	var ns uint64
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		m := h.max.Load()
+		if ns <= m || h.max.CompareAndSwap(m, ns) {
+			break
+		}
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+}
+
+// Snapshot returns a point-in-time copy of the histogram. Concurrent
+// Observe calls may be partially included (count, sum, and buckets are
+// read independently); totals are eventually consistent, never torn.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.SumNS = h.sum.Load()
+	s.MaxNS = h.max.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// ForkEngine indexes per-engine fork metrics. The values deliberately
+// match core.ForkMode (Classic=0, OnDemand=1) so layers convert by
+// integer cast without importing core.
+type ForkEngine int
+
+// Fork engines.
+const (
+	EngineClassic ForkEngine = iota
+	EngineOnDemand
+	NumEngines // bound for per-engine arrays
+)
+
+// String names the engine as the paper does.
+func (e ForkEngine) String() string {
+	switch e {
+	case EngineClassic:
+		return "classic"
+	case EngineOnDemand:
+		return "ondemand"
+	default:
+		return "unknown"
+	}
+}
+
+// Registry is the system-wide metric tree. All fields are charged
+// directly by the owning subsystem; hot paths must guard charges with
+// Enabled().
+type Registry struct {
+	enabled atomic.Bool
+
+	// Fork engine metrics (internal/core fork paths).
+	Fork struct {
+		// Forks and Latency are per engine, indexed by ForkEngine.
+		Forks   [NumEngines]Counter
+		Latency [NumEngines]Histogram
+		// TablesShared counts last-level PTE tables shared with a child
+		// at fork time (§3.1); TablesCopied counts leaf tables copied
+		// eagerly by the classic engine. Their ratio is the work
+		// on-demand-fork defers.
+		TablesShared Counter
+		TablesCopied Counter
+		// PMDTablesShared counts whole PMD tables shared by the §4
+		// huge-page extension.
+		PMDTablesShared Counter
+		// ParallelForks counts forks that fanned out to the worker
+		// pool; ParallelTasks counts the PMD-slot-range tasks they
+		// produced (tasks/forks ≈ achieved fan-out width).
+		ParallelForks Counter
+		ParallelTasks Counter
+	}
+
+	// Fault-path metrics (internal/core fault handler).
+	Fault struct {
+		ReadFaults   Counter
+		WriteFaults  Counter
+		ReadLatency  Histogram
+		WriteLatency Histogram
+		// TableCopyLatency times genuine shared-table splits — the
+		// deferred copy of §3.4, the number Table 1 compares.
+		TableCopyLatency Histogram
+		TableSplits      Counter // shared PTE tables copied on demand
+		PMDSplits        Counter // shared huge-page PMD tables copied on demand
+		FastDedups       Counter // last-sharer re-dedications (no copy)
+		PageCopies       Counter // 4 KiB COW data copies
+		HugeCopies       Counter // 2 MiB COW data copies
+		Segfaults        Counter // unrepairable faults
+	}
+
+	// Physical allocator metrics (internal/mem/phys). Frame-level
+	// gauges (frames in use, peak, shard-cached) are filled from
+	// allocator state at snapshot time — see Kernel.MetricsSnapshot.
+	Alloc struct {
+		ShardHits    Counter // order-0 allocations served by a shard cache
+		ShardRefills Counter // batched pulls from the buddy core
+		ShardDrains  Counter // batched returns to the buddy core
+		HugeAllocs   Counter // order-9 compound allocations (buddy direct)
+	}
+
+	// TLB metrics. The live TLBs keep their own per-process atomics;
+	// the kernel folds exited processes' totals in here and sums live
+	// ones at snapshot time, so the hot lookup path pays nothing extra.
+	TLB struct {
+		Hits       Counter
+		Misses     Counter
+		Flushes    Counter
+		Shootdowns Counter
+	}
+}
+
+// New returns an enabled registry.
+func New() *Registry {
+	r := &Registry{}
+	r.enabled.Store(true)
+	return r
+}
+
+// Enabled reports whether instrumentation should run. Nil registries
+// report false, so charge sites need no nil checks beyond this guard.
+func (r *Registry) Enabled() bool { return r != nil && r.enabled.Load() }
+
+// SetEnabled toggles collection. Disabling keeps accumulated values.
+func (r *Registry) SetEnabled(on bool) {
+	if r != nil {
+		r.enabled.Store(on)
+	}
+}
+
+// Snapshot captures the registry's current values as a typed tree.
+// Frame-level allocator gauges are zero here; the kernel overlays them
+// (Kernel.MetricsSnapshot) because they are allocator state, not
+// registry counters.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	for e := ForkEngine(0); e < NumEngines; e++ {
+		s.Fork.Engines[e] = EngineSnapshot{
+			Forks:   r.Fork.Forks[e].Load(),
+			Latency: r.Fork.Latency[e].Snapshot(),
+		}
+	}
+	s.Fork.TablesShared = r.Fork.TablesShared.Load()
+	s.Fork.TablesCopied = r.Fork.TablesCopied.Load()
+	s.Fork.PMDTablesShared = r.Fork.PMDTablesShared.Load()
+	s.Fork.ParallelForks = r.Fork.ParallelForks.Load()
+	s.Fork.ParallelTasks = r.Fork.ParallelTasks.Load()
+
+	s.Fault.ReadFaults = r.Fault.ReadFaults.Load()
+	s.Fault.WriteFaults = r.Fault.WriteFaults.Load()
+	s.Fault.ReadLatency = r.Fault.ReadLatency.Snapshot()
+	s.Fault.WriteLatency = r.Fault.WriteLatency.Snapshot()
+	s.Fault.TableCopyLatency = r.Fault.TableCopyLatency.Snapshot()
+	s.Fault.TableSplits = r.Fault.TableSplits.Load()
+	s.Fault.PMDSplits = r.Fault.PMDSplits.Load()
+	s.Fault.FastDedups = r.Fault.FastDedups.Load()
+	s.Fault.PageCopies = r.Fault.PageCopies.Load()
+	s.Fault.HugeCopies = r.Fault.HugeCopies.Load()
+	s.Fault.Segfaults = r.Fault.Segfaults.Load()
+
+	s.Alloc.ShardHits = r.Alloc.ShardHits.Load()
+	s.Alloc.ShardRefills = r.Alloc.ShardRefills.Load()
+	s.Alloc.ShardDrains = r.Alloc.ShardDrains.Load()
+	s.Alloc.HugeAllocs = r.Alloc.HugeAllocs.Load()
+
+	s.TLB.Hits = r.TLB.Hits.Load()
+	s.TLB.Misses = r.TLB.Misses.Load()
+	s.TLB.Flushes = r.TLB.Flushes.Load()
+	s.TLB.Shootdowns = r.TLB.Shootdowns.Load()
+	return s
+}

@@ -1,0 +1,248 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramZeroObservations(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.SumNS != 0 || s.MaxNS != 0 {
+		t.Fatalf("empty histogram snapshot not zero: %+v", s)
+	}
+	if s.Mean() != 0 {
+		t.Fatalf("empty Mean = %v, want 0", s.Mean())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	for i, n := range s.Buckets {
+		if n != 0 {
+			t.Fatalf("empty histogram has bucket[%d] = %d", i, n)
+		}
+	}
+}
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	var h Histogram
+	// Sub-nanosecond and negative observations clamp into bucket 0.
+	h.Observe(0)
+	h.Observe(-5 * time.Nanosecond)
+	h.Observe(1) // 1ns → bucket 0 ([1,2))
+	h.Observe(1024)
+	h.Observe(1500) // both in bucket 10 ([1024,2048))
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Buckets[0] != 3 {
+		t.Fatalf("bucket 0 = %d, want 3", s.Buckets[0])
+	}
+	if s.Buckets[10] != 2 {
+		t.Fatalf("bucket 10 = %d, want 2", s.Buckets[10])
+	}
+	if s.MaxNS != 1500 {
+		t.Fatalf("max = %d, want 1500", s.MaxNS)
+	}
+	if s.SumNS != 1+1024+1500 {
+		t.Fatalf("sum = %d, want %d", s.SumNS, 1+1024+1500)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	big := 5 * time.Second // far beyond the 2^30 ns finite range
+	h.Observe(big)
+	h.Observe(time.Duration(1) << 62)
+	s := h.Snapshot()
+	if got := s.Buckets[HistBuckets]; got != 2 {
+		t.Fatalf("overflow bucket = %d, want 2", got)
+	}
+	if s.MaxNS != uint64(1)<<62 {
+		t.Fatalf("max = %d, want %d", s.MaxNS, uint64(1)<<62)
+	}
+	// Quantiles landing in the overflow bucket report the recorded max:
+	// the bucket has no finite upper bound to interpolate against.
+	if got := s.Quantile(0.99); got != s.MaxNS {
+		t.Fatalf("overflow quantile = %d, want max %d", got, s.MaxNS)
+	}
+	// Rendering labels the overflow bucket +inf.
+	var snap Snapshot
+	snap.Fault.WriteLatency = s
+	if !strings.Contains(snap.Render(), "fault.write.latency.bucket{le_ns=+inf} 2") {
+		t.Fatalf("render missing +inf bucket:\n%s", snap.Render())
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(1000 + i*10)) // all inside [1024,2048) except a few low ones
+	}
+	s := h.Snapshot()
+	p50 := s.Quantile(0.5)
+	if p50 < 512 || p50 >= 2048 {
+		t.Fatalf("p50 = %d, want within the populated log2 range", p50)
+	}
+	if p99, p50 := s.Quantile(0.99), s.Quantile(0.50); p99 < p50 {
+		t.Fatalf("p99 (%d) < p50 (%d)", p99, p50)
+	}
+}
+
+// TestHistogramConcurrent exercises Observe racing Snapshot; run under
+// -race this proves the atomics cover every field.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const (
+		writers = 4
+		perG    = 2000
+	)
+	var writersWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	readerWG.Add(1)
+	go func() { // concurrent reader
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			var inBuckets uint64
+			for _, n := range s.Buckets {
+				inBuckets += n
+			}
+			// count and buckets are read independently, so they may
+			// skew during concurrent writes, but never go negative or
+			// exceed the final total.
+			if inBuckets > writers*perG {
+				t.Errorf("bucket total %d exceeds writes", inBuckets)
+				return
+			}
+		}
+	}()
+	for g := 0; g < writers; g++ {
+		writersWG.Add(1)
+		go func(g int) {
+			defer writersWG.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(g*1000 + i))
+			}
+		}(g)
+	}
+	writersWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	s := h.Snapshot()
+	if s.Count != writers*perG {
+		t.Fatalf("final count = %d, want %d", s.Count, writers*perG)
+	}
+	var inBuckets uint64
+	for _, n := range s.Buckets {
+		inBuckets += n
+	}
+	if inBuckets != writers*perG {
+		t.Fatalf("final bucket total = %d, want %d", inBuckets, writers*perG)
+	}
+}
+
+func TestRegistryNilAndDisabled(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	r.SetEnabled(true) // must not panic
+	if s := r.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("nil registry snapshot not zero: %+v", s)
+	}
+	live := New()
+	if !live.Enabled() {
+		t.Fatal("fresh registry should be enabled")
+	}
+	live.SetEnabled(false)
+	if live.Enabled() {
+		t.Fatal("disable did not take")
+	}
+	live.SetEnabled(true)
+	if !live.Enabled() {
+		t.Fatal("re-enable did not take")
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	r := New()
+	r.Fork.Forks[EngineOnDemand].Add(3)
+	r.Fork.TablesShared.Add(100)
+	r.Fault.WriteFaults.Add(7)
+	r.Fault.WriteLatency.Observe(2048)
+	prev := r.Snapshot()
+	prev.Alloc.FramesInUse = 10
+
+	r.Fork.Forks[EngineOnDemand].Add(2)
+	r.Fork.TablesShared.Add(50)
+	r.Fault.WriteFaults.Add(1)
+	r.Fault.WriteLatency.Observe(4096)
+	cur := r.Snapshot()
+	cur.Alloc.FramesInUse = 25
+
+	d := cur.Sub(prev)
+	if d.Fork.OnDemand().Forks != 2 {
+		t.Fatalf("delta forks = %d, want 2", d.Fork.OnDemand().Forks)
+	}
+	if d.Fork.TablesShared != 50 {
+		t.Fatalf("delta tables shared = %d, want 50", d.Fork.TablesShared)
+	}
+	if d.Fault.WriteFaults != 1 {
+		t.Fatalf("delta write faults = %d, want 1", d.Fault.WriteFaults)
+	}
+	if d.Fault.WriteLatency.Count != 1 || d.Fault.WriteLatency.SumNS != 4096 {
+		t.Fatalf("delta write latency = %+v", d.Fault.WriteLatency)
+	}
+	if d.Alloc.FramesInUse != 25 {
+		t.Fatalf("gauge should keep current value, got %d", d.Alloc.FramesInUse)
+	}
+	if d.Fork.Classic().Forks != 0 {
+		t.Fatalf("untouched engine delta = %d, want 0", d.Fork.Classic().Forks)
+	}
+}
+
+func TestRenderDeterministicOrder(t *testing.T) {
+	var s Snapshot
+	out1 := s.Render()
+	out2 := s.Render()
+	if out1 != out2 {
+		t.Fatal("Render is not deterministic for identical snapshots")
+	}
+	for _, want := range []string{
+		"fork.classic.forks 0",
+		"fork.ondemand.forks 0",
+		"fault.read.count 0",
+		"alloc.frames_in_use 0",
+		"tlb.hits 0",
+	} {
+		if !strings.Contains(out1, want) {
+			t.Fatalf("render missing %q:\n%s", want, out1)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Count   uint64
+	SumNS   uint64
+	MaxNS   uint64
+	Buckets [HistBuckets + 1]uint64
+}
+
+// Mean returns the mean observation in nanoseconds (0 when empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.SumNS) / float64(h.Count)
+}
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) in nanoseconds by
+// linear interpolation inside the target log₂ bucket. Overflow-bucket
+// hits report the recorded maximum; an empty histogram reports 0.
+func (h HistogramSnapshot) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var seen float64
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		next := seen + float64(n)
+		if rank <= next || i == len(h.Buckets)-1 {
+			if i == HistBuckets {
+				return h.MaxNS
+			}
+			lo := uint64(0)
+			if i > 0 {
+				lo = uint64(1) << i
+			}
+			hi := BucketBound(i)
+			frac := (rank - seen) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			est := lo + uint64(frac*float64(hi-lo))
+			// Interpolation inside a log₂ bucket can overshoot the
+			// largest value actually observed; never report past it.
+			if h.MaxNS > 0 && est > h.MaxNS {
+				est = h.MaxNS
+			}
+			return est
+		}
+		seen = next
+	}
+	return h.MaxNS
+}
+
+// Sub returns the histogram delta h − prev. Count, sum, and buckets
+// subtract; MaxNS keeps the current value, since a maximum cannot be
+// un-observed (exact for deltas taken against a fresh registry).
+func (h HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	d := HistogramSnapshot{
+		Count: h.Count - prev.Count,
+		SumNS: h.SumNS - prev.SumNS,
+		MaxNS: h.MaxNS,
+	}
+	for i := range h.Buckets {
+		d.Buckets[i] = h.Buckets[i] - prev.Buckets[i]
+	}
+	return d
+}
+
+// EngineSnapshot is one fork engine's view.
+type EngineSnapshot struct {
+	Forks   uint64
+	Latency HistogramSnapshot
+}
+
+// ForkSnapshot covers both fork engines and the fan-out machinery.
+type ForkSnapshot struct {
+	Engines         [NumEngines]EngineSnapshot
+	TablesShared    uint64
+	TablesCopied    uint64
+	PMDTablesShared uint64
+	ParallelForks   uint64
+	ParallelTasks   uint64
+}
+
+// Classic returns the eager-copy engine's view.
+func (f ForkSnapshot) Classic() EngineSnapshot { return f.Engines[EngineClassic] }
+
+// OnDemand returns the on-demand-fork engine's view.
+func (f ForkSnapshot) OnDemand() EngineSnapshot { return f.Engines[EngineOnDemand] }
+
+// FaultSnapshot covers the software fault handler.
+type FaultSnapshot struct {
+	ReadFaults       uint64
+	WriteFaults      uint64
+	ReadLatency      HistogramSnapshot
+	WriteLatency     HistogramSnapshot
+	TableCopyLatency HistogramSnapshot
+	TableSplits      uint64
+	PMDSplits        uint64
+	FastDedups       uint64
+	PageCopies       uint64
+	HugeCopies       uint64
+	Segfaults        uint64
+}
+
+// AllocSnapshot covers the physical frame allocator. The three gauges
+// at the bottom describe allocator state at snapshot time rather than
+// cumulative events.
+type AllocSnapshot struct {
+	ShardHits    uint64
+	ShardRefills uint64
+	ShardDrains  uint64
+	HugeAllocs   uint64
+	FramesInUse  int64 // gauge: frames currently allocated
+	FramesPeak   int64 // gauge: high-water mark of FramesInUse
+	ShardCached  int64 // gauge: free frames parked in shard caches
+}
+
+// TLBSnapshot aggregates every process's software TLB.
+type TLBSnapshot struct {
+	Hits       uint64
+	Misses     uint64
+	Flushes    uint64
+	Shootdowns uint64
+}
+
+// Snapshot is the typed telemetry tree the public API returns.
+type Snapshot struct {
+	Fork  ForkSnapshot
+	Fault FaultSnapshot
+	Alloc AllocSnapshot
+	TLB   TLBSnapshot
+}
+
+// Sub returns the delta s − prev: counters and histograms subtract,
+// gauges (frames in use/peak, shard-cached) keep the current value.
+// Experiments use this to report what one run charged.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	var d Snapshot
+	for i := range s.Fork.Engines {
+		d.Fork.Engines[i] = EngineSnapshot{
+			Forks:   s.Fork.Engines[i].Forks - prev.Fork.Engines[i].Forks,
+			Latency: s.Fork.Engines[i].Latency.Sub(prev.Fork.Engines[i].Latency),
+		}
+	}
+	d.Fork.TablesShared = s.Fork.TablesShared - prev.Fork.TablesShared
+	d.Fork.TablesCopied = s.Fork.TablesCopied - prev.Fork.TablesCopied
+	d.Fork.PMDTablesShared = s.Fork.PMDTablesShared - prev.Fork.PMDTablesShared
+	d.Fork.ParallelForks = s.Fork.ParallelForks - prev.Fork.ParallelForks
+	d.Fork.ParallelTasks = s.Fork.ParallelTasks - prev.Fork.ParallelTasks
+
+	d.Fault.ReadFaults = s.Fault.ReadFaults - prev.Fault.ReadFaults
+	d.Fault.WriteFaults = s.Fault.WriteFaults - prev.Fault.WriteFaults
+	d.Fault.ReadLatency = s.Fault.ReadLatency.Sub(prev.Fault.ReadLatency)
+	d.Fault.WriteLatency = s.Fault.WriteLatency.Sub(prev.Fault.WriteLatency)
+	d.Fault.TableCopyLatency = s.Fault.TableCopyLatency.Sub(prev.Fault.TableCopyLatency)
+	d.Fault.TableSplits = s.Fault.TableSplits - prev.Fault.TableSplits
+	d.Fault.PMDSplits = s.Fault.PMDSplits - prev.Fault.PMDSplits
+	d.Fault.FastDedups = s.Fault.FastDedups - prev.Fault.FastDedups
+	d.Fault.PageCopies = s.Fault.PageCopies - prev.Fault.PageCopies
+	d.Fault.HugeCopies = s.Fault.HugeCopies - prev.Fault.HugeCopies
+	d.Fault.Segfaults = s.Fault.Segfaults - prev.Fault.Segfaults
+
+	d.Alloc.ShardHits = s.Alloc.ShardHits - prev.Alloc.ShardHits
+	d.Alloc.ShardRefills = s.Alloc.ShardRefills - prev.Alloc.ShardRefills
+	d.Alloc.ShardDrains = s.Alloc.ShardDrains - prev.Alloc.ShardDrains
+	d.Alloc.HugeAllocs = s.Alloc.HugeAllocs - prev.Alloc.HugeAllocs
+	d.Alloc.FramesInUse = s.Alloc.FramesInUse
+	d.Alloc.FramesPeak = s.Alloc.FramesPeak
+	d.Alloc.ShardCached = s.Alloc.ShardCached
+
+	d.TLB.Hits = s.TLB.Hits - prev.TLB.Hits
+	d.TLB.Misses = s.TLB.Misses - prev.TLB.Misses
+	d.TLB.Flushes = s.TLB.Flushes - prev.TLB.Flushes
+	d.TLB.Shootdowns = s.TLB.Shootdowns - prev.TLB.Shootdowns
+	return d
+}
+
+// Render produces the procfs text form served at /proc/odf/metrics:
+// one `name value` pair per line, flat dotted names, fixed order, all
+// values integers (nanoseconds for latencies). Histograms render
+// count/sum/max plus p50/p99 estimates and their non-zero buckets as
+// `name.bucket{le_ns=N}` lines (`le_ns=+inf` for overflow). The layout
+// is deterministic for a given Snapshot, so it is golden-testable.
+func (s Snapshot) Render() string {
+	var b strings.Builder
+	line := func(name string, v uint64) {
+		fmt.Fprintf(&b, "%s %d\n", name, v)
+	}
+	gauge := func(name string, v int64) {
+		fmt.Fprintf(&b, "%s %d\n", name, v)
+	}
+	hist := func(name string, h HistogramSnapshot) {
+		line(name+".count", h.Count)
+		line(name+".sum_ns", h.SumNS)
+		line(name+".max_ns", h.MaxNS)
+		line(name+".p50_ns", h.Quantile(0.50))
+		line(name+".p99_ns", h.Quantile(0.99))
+		for i, n := range h.Buckets {
+			if n == 0 {
+				continue
+			}
+			if i == HistBuckets {
+				fmt.Fprintf(&b, "%s.bucket{le_ns=+inf} %d\n", name, n)
+			} else {
+				fmt.Fprintf(&b, "%s.bucket{le_ns=%d} %d\n", name, BucketBound(i), n)
+			}
+		}
+	}
+
+	for e := ForkEngine(0); e < NumEngines; e++ {
+		line("fork."+e.String()+".forks", s.Fork.Engines[e].Forks)
+		hist("fork."+e.String()+".latency", s.Fork.Engines[e].Latency)
+	}
+	line("fork.tables_shared", s.Fork.TablesShared)
+	line("fork.tables_copied", s.Fork.TablesCopied)
+	line("fork.pmd_tables_shared", s.Fork.PMDTablesShared)
+	line("fork.parallel.forks", s.Fork.ParallelForks)
+	line("fork.parallel.tasks", s.Fork.ParallelTasks)
+
+	line("fault.read.count", s.Fault.ReadFaults)
+	hist("fault.read.latency", s.Fault.ReadLatency)
+	line("fault.write.count", s.Fault.WriteFaults)
+	hist("fault.write.latency", s.Fault.WriteLatency)
+	hist("fault.table_copy.latency", s.Fault.TableCopyLatency)
+	line("fault.table_splits", s.Fault.TableSplits)
+	line("fault.pmd_splits", s.Fault.PMDSplits)
+	line("fault.fast_dedups", s.Fault.FastDedups)
+	line("fault.page_copies", s.Fault.PageCopies)
+	line("fault.huge_copies", s.Fault.HugeCopies)
+	line("fault.segfaults", s.Fault.Segfaults)
+
+	line("alloc.shard_hits", s.Alloc.ShardHits)
+	line("alloc.shard_refills", s.Alloc.ShardRefills)
+	line("alloc.shard_drains", s.Alloc.ShardDrains)
+	line("alloc.huge_allocs", s.Alloc.HugeAllocs)
+	gauge("alloc.frames_in_use", s.Alloc.FramesInUse)
+	gauge("alloc.frames_peak", s.Alloc.FramesPeak)
+	gauge("alloc.shard_cached", s.Alloc.ShardCached)
+
+	line("tlb.hits", s.TLB.Hits)
+	line("tlb.misses", s.TLB.Misses)
+	line("tlb.flushes", s.TLB.Flushes)
+	line("tlb.shootdowns", s.TLB.Shootdowns)
+	return b.String()
+}

@@ -11,6 +11,11 @@
 // counts of compound-page lookups, atomic reference-count increments,
 // PTE copies, and upper-level walks per fork are identical to the real
 // kernel's.
+//
+// The profiler is kept for Figure 3 attribution only (it is served at
+// /proc/odf/profile when attached). New instrumentation belongs in the
+// metrics package, the always-on system-wide telemetry layer; do not
+// add profile counters for anything that is not a Figure 3 line item.
 package profile
 
 import (

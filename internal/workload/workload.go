@@ -62,14 +62,14 @@ func MeasureForkLatency(k *kernel.Kernel, cfg Config, size uint64, reps int) (Fo
 	// One unmeasured warmup fork stabilizes the first measurement
 	// (cold allocator metadata and Go heap growth otherwise dominate
 	// small-rep means).
-	if warm, err := p.ForkWith(cfg.Mode); err == nil {
+	if warm, err := p.Fork(kernel.WithMode(cfg.Mode)); err == nil {
 		warm.Exit()
 		warm.Wait()
 	}
 	res := ForkLatencyResult{Size: size}
 	for i := 0; i < reps; i++ {
 		start := time.Now()
-		c, err := p.ForkWith(cfg.Mode)
+		c, err := p.Fork(kernel.WithMode(cfg.Mode))
 		elapsed := time.Since(start)
 		if err != nil {
 			return ForkLatencyResult{}, err
@@ -136,7 +136,7 @@ func MeasureFaultCost(k *kernel.Kernel, cfg Config, size uint64, reps int) (stat
 	}
 	var sample stats.Sample
 	for i := 0; i < reps; i++ {
-		c, err := p.ForkWith(cfg.Mode)
+		c, err := p.Fork(kernel.WithMode(cfg.Mode))
 		if err != nil {
 			return stats.Summary{}, err
 		}
@@ -210,7 +210,7 @@ func MeasureAccessMix(k *kernel.Kernel, size uint64, accessedPct, readPct, reps 
 		}
 		runtime.GC()
 		start := time.Now()
-		c, err := p.ForkWith(mode)
+		c, err := p.Fork(kernel.WithMode(mode))
 		if err != nil {
 			return 0, err
 		}

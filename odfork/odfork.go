@@ -11,7 +11,7 @@
 //	p := sys.NewProcess()
 //	buf, _ := p.Mmap(1<<30, odfork.ProtRead|odfork.ProtWrite,
 //	    odfork.MapPrivate|odfork.MapPopulate)
-//	child, _ := p.ForkWith(odfork.OnDemand) // microseconds, not millis
+//	child, _ := p.Fork(odfork.WithMode(odfork.OnDemand)) // microseconds
 //
 // Forked children have full copy-on-write semantics: reads are shared,
 // the first write to a 2 MiB region copies one page table, and the
@@ -26,7 +26,30 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/mem/addr"
 	"repro/internal/mem/vm"
+	"repro/internal/metrics"
 	"repro/internal/profile"
+)
+
+// Sentinel errors of the v1 API. Every error the system returns for
+// one of these conditions wraps the corresponding sentinel, so callers
+// classify failures with errors.Is instead of matching message text:
+//
+//	if errors.Is(err, odfork.ErrNoMem) { ... back off ... }
+//
+// ErrBadAddr and ErrProtViolation also classify segfaults: a
+// *SegfaultError unwraps to whichever of the two applies.
+var (
+	// ErrNoMem reports simulated physical memory exhaustion (only
+	// possible when a frame limit is set; see System.SetFrameLimit).
+	ErrNoMem = core.ErrOutOfMemory
+	// ErrBadAddr reports an access to unmapped memory or a malformed
+	// address, range, or size argument.
+	ErrBadAddr = core.ErrBadAddr
+	// ErrProtViolation reports an access forbidden by a mapping's
+	// protection.
+	ErrProtViolation = core.ErrProtViolation
+	// ErrExited reports an operation on a process that has exited.
+	ErrExited = kernel.ErrExited
 )
 
 // Addr is a virtual address in a simulated process.
@@ -82,6 +105,32 @@ const (
 // of DESIGN.md §5 and the huge-page PMD-table sharing extension of the
 // paper's §4 ("Huge Page Support").
 type ForkOptions = core.ForkOptions
+
+// ForkOpt is a functional option for Process.Fork, the v1 fork entry
+// point:
+//
+//	child, err := p.Fork(odfork.WithMode(odfork.OnDemand),
+//	    odfork.WithWorkers(4))
+type ForkOpt = kernel.ForkOpt
+
+// WithMode selects the fork engine for one Fork call. Without it, the
+// engine comes from the procfs-style per-process configuration
+// (System.SetForkMode), falling back to the system default.
+func WithMode(m Mode) ForkOpt { return kernel.WithMode(m) }
+
+// WithWorkers fans the fork's page-table copy out over up to n
+// workers. 0 and 1 mean sequential.
+func WithWorkers(n int) ForkOpt { return kernel.WithWorkers(n) }
+
+// WithForkOptions applies a full ForkOptions (ablation knobs,
+// parallelism thresholds). Later options override its fields.
+func WithForkOptions(o ForkOptions) ForkOpt { return kernel.WithForkOptions(o) }
+
+// MetricsSnapshot is the typed telemetry tree returned by
+// System.Metrics: per-engine fork latency histograms, fault-path
+// counts and latencies, allocator shard and frame statistics, and TLB
+// behaviour. See the metrics package for field documentation.
+type MetricsSnapshot = metrics.Snapshot
 
 // Process is a simulated task. It exposes the syscall surface the
 // paper's workloads use; all memory access goes through the simulated
@@ -143,8 +192,31 @@ func (s *System) NewProcess() *Process { return s.k.NewProcess() }
 // SetForkMode installs the procfs-style per-process configuration: the
 // process's plain Fork calls transparently use the given engine, with
 // no application changes (paper §4, "Flexibility"). Children inherit
-// the setting.
+// the setting. Prefer Fork(WithMode(...)) when the caller can name the
+// engine itself; SetForkMode exists for the paper's no-source-changes
+// deployment story.
 func (s *System) SetForkMode(pid PID, m Mode) error { return s.k.SetForkMode(pid, m) }
+
+// Metrics returns a snapshot of the system-wide telemetry: fork
+// latency per engine, fault counts and latencies, allocator and TLB
+// counters. Collection is on by default; see SetMetricsEnabled.
+func (s *System) Metrics() MetricsSnapshot { return s.k.MetricsSnapshot() }
+
+// SetMetricsEnabled toggles telemetry collection. Disabling stops
+// counting but keeps accumulated values readable.
+func (s *System) SetMetricsEnabled(on bool) { s.k.Metrics().SetEnabled(on) }
+
+// Procfs reads a file of the simulated procfs namespace:
+// /proc/odf/metrics, /proc/odf/profile, /proc/<pid>/maps and
+// /proc/<pid>/status. Unknown paths fail with an error wrapping
+// fs.ErrNotExist.
+func (s *System) Procfs(path string) (string, error) { return s.k.Procfs(path) }
+
+// SetFrameLimit caps the simulated physical memory at the given number
+// of 4 KiB frames (0 removes the cap). Allocation beyond the cap fails
+// with an error wrapping ErrNoMem — the hook for exercising
+// out-of-memory behaviour.
+func (s *System) SetFrameLimit(frames int64) { s.k.Allocator().SetLimit(frames) }
 
 // CreateFile creates an in-memory file for file-backed mappings.
 func (s *System) CreateFile(name string) *File { return s.k.FS().Create(name) }
@@ -163,6 +235,10 @@ func (s *System) LiveProcesses() int { return s.k.NumProcesses() }
 // observing the memory the fork engines save.
 func (s *System) AllocatedFrames() int64 { return s.k.Allocator().Allocated() }
 
-// Kernel exposes the underlying kernel for advanced use (experiment
-// harnesses, invariant checks in tests).
+// Kernel exposes the underlying kernel.
+//
+// Deprecated: the escape hatch leaks the internal kernel surface.
+// Use the purpose-built accessors instead: Metrics for telemetry,
+// Procfs for procfs-style reads, Profiler, LiveProcesses,
+// AllocatedFrames, and SetFrameLimit for the remaining kernel state.
 func (s *System) Kernel() *kernel.Kernel { return s.k }

@@ -21,7 +21,7 @@ func TestQuickstartFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	child, err := p.ForkWith(odfork.OnDemand)
+	child, err := p.Fork(odfork.WithMode(odfork.OnDemand))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestOnDemandIsFast(t *testing.T) {
 		best := time.Hour
 		for i := 0; i < 5; i++ {
 			t0 := time.Now()
-			c, err := p.ForkWith(m)
+			c, err := p.Fork(odfork.WithMode(m))
 			d := time.Since(t0)
 			if err != nil {
 				t.Fatal(err)
@@ -189,7 +189,7 @@ func TestHugeShareOptionViaPublicAPI(t *testing.T) {
 	if err := p.StoreByte(base, 7); err != nil {
 		t.Fatal(err)
 	}
-	c, err := p.ForkWithOptions(odfork.OnDemand, odfork.ForkOptions{ShareHugePMD: true})
+	c, err := p.Fork(odfork.WithMode(odfork.OnDemand), odfork.WithForkOptions(odfork.ForkOptions{ShareHugePMD: true}))
 	if err != nil {
 		t.Fatal(err)
 	}
