@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench
+.PHONY: all build vet test race bench pressure
 
 all: build test
 
@@ -23,3 +23,12 @@ race:
 # setup per iteration (see bench_test.go).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=20x .
+
+# Memory-pressure gate: the reclaim stress tests under -race (kswapd
+# eviction during concurrent forks, swap round-trips, the serverless
+# 50%-footprint acceptance scenario), the pressure benchmark at a few
+# iterations, and the occupancy sweep experiment at a small scale.
+pressure:
+	$(GO) test -race -run 'Swap|Kswapd|Reclaim|Vmstat|Pressure' ./internal/core ./internal/kernel ./internal/mem/reclaim ./odfork
+	$(GO) test -run '^$$' -bench BenchmarkForkUnderPressure -benchtime 3x .
+	$(GO) run ./cmd/odf-bench -max-gb 0.25 -reps 2 pressure

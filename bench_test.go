@@ -602,3 +602,61 @@ func BenchmarkCheckpointSpawn(b *testing.B) {
 		b.StartTimer()
 	}
 }
+
+// BenchmarkForkUnderPressure measures both fork engines while the
+// parent's dirty working set sits at 90% and 99% of the frame limit
+// with the swap store on (occ=0 is the unlimited baseline). Classic
+// fork must push its page copies through direct reclaim to complete;
+// on-demand fork only needs upper-level tables and barely notices the
+// pressure.
+func BenchmarkForkUnderPressure(b *testing.B) {
+	const pressureMiB = 16
+	for _, mode := range []core.ForkMode{core.ForkClassic, core.ForkOnDemand} {
+		for _, occ := range []int{0, 90, 99} {
+			b.Run(fmt.Sprintf("%s/occ=%d", mode, occ), func(b *testing.B) {
+				k := kernel.New()
+				k.SetSwapEnabled(true)
+				defer k.SetSwapEnabled(false)
+				p := k.NewProcess()
+				defer p.Exit()
+				base, err := p.Mmap(pressureMiB*benchMiB, rwProt, vm.MapPrivate)
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf := make([]byte, addr.PageSize)
+				for i := range buf {
+					buf[i] = byte(i*31 + 7)
+				}
+				pages := int(pressureMiB * benchMiB / uint64(addr.PageSize))
+				for i := 0; i < pages; i++ {
+					buf[0] = byte(i)
+					if err := p.WriteAt(buf, base+addr.V(uint64(i)*uint64(addr.PageSize))); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if occ > 0 {
+					k.Allocator().SetLimit(k.Allocator().Allocated() * 100 / int64(occ))
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c, err := p.Fork(kernel.WithMode(mode))
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					// Unmeasured COW burst: keeps the reclaimer working
+					// between measured forks instead of letting kswapd
+					// settle the system after the first iteration.
+					for j := 0; j < pages; j += 8 {
+						if err := c.WriteAt([]byte{1}, base+addr.V(uint64(j)*uint64(addr.PageSize))); err != nil {
+							b.Fatal(err)
+						}
+					}
+					c.Exit()
+					c.Wait()
+					b.StartTimer()
+				}
+			})
+		}
+	}
+}

@@ -7,7 +7,8 @@
 //
 // Experiments: fig2 fig3 fig4 fig7 fig8 fig9 fig10
 //
-//	tab1 tab2 tab3 tab45 tab67 ablation hugeext memsave all
+//	tab1 tab2 tab3 tab45 tab67 ablation hugeext memsave
+//	parfork pressure all
 //
 // Flags scale the runs; defaults keep a full "all" pass in the minutes
 // range. Absolute numbers differ from the paper's bare-metal testbed;
@@ -178,6 +179,10 @@ func registry() []experiment {
 		}},
 		{"parfork", "parallel fork engine + sharded allocator scaling", func() (string, error) {
 			_, s, err := experiments.RunParFork(maxBytes, *reps, *workers)
+			return s, err
+		}},
+		{"pressure", "fork latency under frame-limit pressure, swap off/on", func() (string, error) {
+			_, s, err := experiments.RunPressure(maxBytes, *reps)
 			return s, err
 		}},
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/mem/addr"
@@ -17,6 +18,31 @@ import (
 // maxFaultRetries bounds fault/retry loops; any repair needs at most a
 // split plus a data COW, so more iterations indicate a kernel bug.
 const maxFaultRetries = 4
+
+// oomRetries bounds unlock-reclaim-retry rounds when an access runs
+// out of frames. Direct reclaim inside the allocator cannot evict
+// pages of the space whose lock the faulting goroutine holds (eviction
+// try-locks the owner and skips it), so a single self-owning process
+// could exhaust its limit with reclaimable cold pages it cannot reach.
+// The retry loop below releases the space lock and reclaims in the
+// open — the simulated equivalent of the kernel putting a faulting
+// task to sleep while reclaim runs against its address space.
+const oomRetries = 3
+
+// faultReserveFrames is how many frames one reclaim stall tries to
+// free: the worst-case fault needs a data page plus a few page tables.
+const faultReserveFrames = 8
+
+// stallReclaim runs direct reclaim with no space lock held. It returns
+// false when reclaim is off or could free nothing, meaning the OOM is
+// final.
+func (as *AddressSpace) stallReclaim() bool {
+	m := as.trk()
+	if m == nil {
+		return false
+	}
+	return m.ReclaimFrames(faultReserveFrames)
+}
 
 // ReadAt copies len(p) bytes of the process's memory starting at v
 // into p. Unwritten pages read as zeroes.
@@ -65,7 +91,16 @@ func (as *AddressSpace) StoreByte(v addr.V, b byte) error {
 
 // Touch performs a minimal one-byte access without moving data, for
 // fault-driven benchmarks.
-func (as *AddressSpace) Touch(v addr.V, write bool) (err error) {
+func (as *AddressSpace) Touch(v addr.V, write bool) error {
+	for tries := 0; ; tries++ {
+		err := as.touchOnce(v, write)
+		if err == nil || !errors.Is(err, ErrOutOfMemory) || tries >= oomRetries || !as.stallReclaim() {
+			return err
+		}
+	}
+}
+
+func (as *AddressSpace) touchOnce(v addr.V, write bool) (err error) {
 	as.mu.Lock()
 	defer as.mu.Unlock()
 	defer catchOOM(&err)
@@ -86,8 +121,18 @@ func (as *AddressSpace) Touch(v addr.V, write bool) (err error) {
 	return fmt.Errorf("core: access at %v not repaired after %d faults", v, maxFaultRetries)
 }
 
-// accessPage performs one intra-page access of len(p) bytes at v.
-func (as *AddressSpace) accessPage(v addr.V, p []byte, write bool) (err error) {
+// accessPage performs one intra-page access of len(p) bytes at v,
+// stalling in direct reclaim (lock released) when frames run out.
+func (as *AddressSpace) accessPage(v addr.V, p []byte, write bool) error {
+	for tries := 0; ; tries++ {
+		err := as.accessPageOnce(v, p, write)
+		if err == nil || !errors.Is(err, ErrOutOfMemory) || tries >= oomRetries || !as.stallReclaim() {
+			return err
+		}
+	}
+}
+
+func (as *AddressSpace) accessPageOnce(v addr.V, p []byte, write bool) (err error) {
 	as.mu.Lock()
 	defer as.mu.Unlock()
 	defer catchOOM(&err)

@@ -212,27 +212,93 @@ func (as *AddressSpace) noteHugeCopy() {
 }
 
 // demandPageLocked backs a never-touched page (demand-zero for
-// anonymous VMAs, page-cache copy for file-backed ones). Installing a
-// new entry into a shared table would leak the page into every sharer,
-// so the leaf is unshared first.
+// anonymous VMAs, page-cache copy for file-backed ones) or faults a
+// swapped-out page back in. Installing a new entry into a shared table
+// would leak the page into every sharer, so the leaf is unshared first
+// — except for swap-in, which restores an entry every sharer already
+// held.
 func (as *AddressSpace) demandPageLocked(vma *vm.VMA, v addr.V) error {
+	if handled, err := as.trySwapInLocked(v); handled || err != nil {
+		return err
+	}
 	if vma.Huge() {
 		pmd, pi := as.ensurePrivatePMDLocked(v)
-		if !pmd.Entry(pi).Present() {
+		e := pmd.Entry(pi)
+		switch {
+		case !e.Present():
 			head := as.alloc.AllocHuge()
 			flags := pagetable.FlagHuge | pagetable.FlagUser
 			if vma.Prot.CanWrite() {
 				flags |= pagetable.FlagWritable
 			}
 			pmd.SetEntry(pi, pagetable.MakeEntry(head, flags))
+			if m := as.trk(); m != nil {
+				m.HugeMapped(head, pmd, pi, as)
+			}
+			return nil
+		case e.Huge():
+			return nil
 		}
-		return nil
+		// Present but not huge: the reclaimer split this huge page into
+		// 4 KiB mappings; fall through to the base-page path.
 	}
 	leaf, li := as.ensurePrivateLeafLocked(v)
-	if !leaf.Entry(li).Present() {
+	if e := leaf.Entry(li); !e.Present() && !e.Swapped() {
 		as.installPageLocked(vma, leaf, li, v)
 	}
 	return nil
+}
+
+// trySwapInLocked resolves a fault on a swapped-out page: allocate a
+// frame (possibly entering direct reclaim itself), read the payload
+// back from the swap store, and restore the PTE with its preserved
+// protection bits. Returns handled=true when the fault address held a
+// swap entry. The re-check under the leaf lock serializes sharers of
+// one swap entry racing to fault it in.
+func (as *AddressSpace) trySwapInLocked(v addr.V) (handled bool, err error) {
+	if as.rec == nil {
+		return false, nil
+	}
+	leaf, li := as.w.FindPTE(v)
+	if leaf == nil {
+		return false, nil
+	}
+	e := leaf.Entry(li)
+	if !e.Swapped() {
+		return false, nil
+	}
+	var t0 time.Time
+	if as.met.Enabled() {
+		t0 = time.Now()
+	}
+	slot := e.SwapSlot()
+	f := as.alloc.Alloc() // may panic ErrNoMemory; caught by catchOOM
+	if slot != 0 {
+		if rerr := as.rec.ReadSlot(slot, as.alloc.Data(f)); rerr != nil {
+			as.alloc.Put(f)
+			return true, fmt.Errorf("core: swap-in at %v: %w", v, rerr)
+		}
+	}
+	leaf.Lock()
+	cur := leaf.Entry(li)
+	if !cur.Swapped() || cur.SwapSlot() != slot {
+		// Another sharer faulted it in (or the mapping changed) while we
+		// were reading; drop our frame and let the access retry.
+		leaf.Unlock()
+		as.alloc.Put(f)
+		return true, nil
+	}
+	leaf.SetEntry(li, cur.SwapRestore(f))
+	leaf.Unlock()
+	if m := as.trk(); m != nil {
+		m.PageMapped(f, leaf, li, as)
+	}
+	as.rec.SwapUnref(slot)
+	if as.met.Enabled() {
+		as.met.Reclaim.PswpIn.Inc()
+		as.met.Reclaim.SwapInLatency.Observe(time.Since(t0))
+	}
+	return true, nil
 }
 
 // ensurePrivateLeafLocked returns the last-level table and index for v,
@@ -316,6 +382,9 @@ func (as *AddressSpace) splitSharedPMDLocked(pud *pagetable.Table, pi int, old *
 				newPMD.SetEntry(i, protected)
 			}
 			as.alloc.Get(e.Frame())
+			if m := as.trk(); m != nil {
+				m.HugeMapped(e.Frame(), newPMD, i, as)
+			}
 			continue
 		}
 		if leaf := old.Child(i); leaf != nil {
@@ -326,6 +395,9 @@ func (as *AddressSpace) splitSharedPMDLocked(pud *pagetable.Table, pi int, old *
 			old.SetEntry(i, shared)
 			newPMD.SetChild(i, leaf, shared)
 			as.alloc.PTShareGet(leaf.Frame)
+			if m := as.trk(); m != nil {
+				m.OwnerAdd(leaf, as)
+			}
 		}
 	}
 	if as.alloc.PTSharePut(old.Frame) == 0 {
@@ -334,6 +406,10 @@ func (as *AddressSpace) splitSharedPMDLocked(pud *pagetable.Table, pi int, old *
 	old.Unlock()
 
 	pud.SetChild(pi, newPMD, pagetable.FlagWritable|pagetable.FlagUser)
+	if m := as.trk(); m != nil {
+		m.OwnerAdd(newPMD, as)
+		m.OwnerRemove(old, as)
+	}
 	as.sd.Broadcast()
 	as.prof.Charge(profile.TLBFlush, 1)
 	return newPMD
@@ -393,6 +469,11 @@ func (as *AddressSpace) splitSharedLeafLocked(pmd *pagetable.Table, pi int, old 
 	newLeaf.CopyEntriesFrom(old, as.prof)
 	for i := 0; i < addr.EntriesPerTable; i++ {
 		e := old.Entry(i)
+		if e.Swapped() {
+			// The copied swap entry is a new reference to its slot.
+			as.rec.SwapRef(e.SwapSlot())
+			continue
+		}
 		if !e.Present() {
 			continue
 		}
@@ -406,6 +487,9 @@ func (as *AddressSpace) splitSharedLeafLocked(pmd *pagetable.Table, pi int, old 
 		// The new table takes its own reference on every page it maps
 		// (§3.6: exactly one page reference per present entry per table).
 		as.alloc.Get(e.Frame())
+		if m := as.trk(); m != nil {
+			m.PageMapped(e.Frame(), newLeaf, i, as)
+		}
 	}
 	if as.alloc.PTSharePut(old.Frame) == 0 {
 		panic("core: shared table refcount reached zero during split")
@@ -413,6 +497,10 @@ func (as *AddressSpace) splitSharedLeafLocked(pmd *pagetable.Table, pi int, old 
 	old.Unlock()
 
 	pmd.SetChild(pi, newLeaf, pagetable.FlagWritable|pagetable.FlagUser)
+	if m := as.trk(); m != nil {
+		m.OwnerAdd(newLeaf, as)
+		m.OwnerRemove(old, as)
+	}
 	// The old table's entries were COW-downgraded: every sharer's TLB
 	// may hold stale writable translations.
 	as.sd.Broadcast()
@@ -461,10 +549,16 @@ func (as *AddressSpace) pageCOWLocked(tr pagetable.Translation) {
 		nf = as.alloc.Alloc()
 	}
 	as.alloc.CopyPage(nf, f)
+	if m := as.trk(); m != nil {
+		m.PageUnmapped(f, leaf, li)
+	}
 	as.alloc.Put(f)
 	as.notePageCopy()
 	leaf.SetEntry(li, pagetable.MakeEntry(nf,
 		pagetable.FlagWritable|pagetable.FlagUser|pagetable.FlagDirty|pagetable.FlagAccessed))
+	if m := as.trk(); m != nil {
+		m.PageMapped(nf, leaf, li, as)
+	}
 }
 
 // hugeCOWLocked resolves a write to a write-protected 2 MiB page: the
@@ -483,9 +577,15 @@ func (as *AddressSpace) hugeCOWLocked(tr pagetable.Translation) {
 	}
 	nh := as.alloc.AllocHuge()
 	as.alloc.CopyHugePage(nh, head)
+	if m := as.trk(); m != nil {
+		m.HugeUnmapped(head, pmd, pi)
+	}
 	as.alloc.Put(head)
 	as.noteHugeCopy()
 	pmd.SetEntry(pi, pagetable.MakeEntry(nh,
 		pagetable.FlagHuge|pagetable.FlagWritable|pagetable.FlagUser|
 			pagetable.FlagDirty|pagetable.FlagAccessed))
+	if m := as.trk(); m != nil {
+		m.HugeMapped(nh, pmd, pi, as)
+	}
 }

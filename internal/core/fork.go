@@ -152,24 +152,26 @@ func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) *Add
 		met:   parent.met,
 		sd:    parent.sd,
 		tlb:   tlb.New(parent.sd),
+		id:    spaceIDs.Add(1),
+		rec:   parent.rec,
 	}
 	fanOut := workers > 1 && parent.presentPMDSlots() >= opts.threshold()
 	switch mode {
 	case ForkClassic:
 		if fanOut {
-			tasks := parent.collectClassicTasks(parent.w.Root, child.w.Root, nil)
+			tasks := parent.collectClassicTasks(parent.w.Root, child.w.Root, child, nil)
 			noteFanOut(m, tasks)
 			runForkTasks(tasks, workers)
 		} else {
-			parent.copyTreeClassic(parent.w.Root, child.w.Root)
+			parent.copyTreeClassic(parent.w.Root, child.w.Root, child)
 		}
 	case ForkOnDemand:
 		if fanOut {
-			tasks := parent.collectOnDemandTasks(parent.w.Root, child.w.Root, opts, nil)
+			tasks := parent.collectOnDemandTasks(parent.w.Root, child.w.Root, child, opts, nil)
 			noteFanOut(m, tasks)
 			runForkTasks(tasks, workers)
 		} else {
-			parent.copyTreeOnDemand(parent.w.Root, child.w.Root, opts)
+			parent.copyTreeOnDemand(parent.w.Root, child.w.Root, child, opts)
 		}
 	default:
 		panic("core: unknown fork mode")
@@ -203,9 +205,9 @@ func noteFanOut(m *metrics.Registry, tasks []forkTask) {
 // present last-level entry a compound-head resolution, an atomic page
 // reference increment, and a COW downgrade in both parent and child.
 // This per-page work is the Figure 3 hot path.
-func (as *AddressSpace) copyTreeClassic(src, dst *pagetable.Table) {
+func (as *AddressSpace) copyTreeClassic(src, dst *pagetable.Table, child *AddressSpace) {
 	if src.Level == addr.PMD {
-		as.copyPMDRangeClassic(src, dst, 0, addr.EntriesPerTable)
+		as.copyPMDRangeClassic(src, dst, 0, addr.EntriesPerTable, child)
 		return
 	}
 	for i := 0; i < addr.EntriesPerTable; i++ {
@@ -216,7 +218,7 @@ func (as *AddressSpace) copyTreeClassic(src, dst *pagetable.Table) {
 		as.prof.Charge(profile.UpperWalk, 1)
 		newTable := pagetable.NewTable(as.alloc, childTable.Level)
 		dst.SetChild(i, newTable, src.Entry(i))
-		as.copyTreeClassic(childTable, newTable)
+		as.copyTreeClassic(childTable, newTable, child)
 	}
 }
 
@@ -224,7 +226,7 @@ func (as *AddressSpace) copyTreeClassic(src, dst *pagetable.Table) {
 // the unit of work one parallel-fork task performs. Per-page refcount
 // traffic is batched per leaf table through GetBatch, which preserves
 // per-frame semantics while charging the profiler per batch.
-func (as *AddressSpace) copyPMDRangeClassic(src, dst *pagetable.Table, lo, hi int) {
+func (as *AddressSpace) copyPMDRangeClassic(src, dst *pagetable.Table, lo, hi int, child *AddressSpace) {
 	var frames []phys.Frame
 	for i := lo; i < hi; i++ {
 		e := src.Entry(i)
@@ -233,7 +235,7 @@ func (as *AddressSpace) copyPMDRangeClassic(src, dst *pagetable.Table, lo, hi in
 		}
 		as.prof.Charge(profile.UpperWalk, 1)
 		if e.Huge() {
-			as.copyHugeEntry(src, dst, i, e)
+			as.copyHugeEntry(src, dst, i, e, child)
 			continue
 		}
 		leaf := src.Child(i)
@@ -248,6 +250,12 @@ func (as *AddressSpace) copyPMDRangeClassic(src, dst *pagetable.Table, lo, hi in
 		leaf.Lock()
 		for li := 0; li < addr.EntriesPerTable; li++ {
 			le := leaf.Entry(li)
+			if le.Swapped() {
+				// The child's copy of a swap PTE is a new slot reference.
+				newLeaf.SetEntry(li, le)
+				as.rec.SwapRef(le.SwapSlot())
+				continue
+			}
 			if !le.Present() {
 				continue
 			}
@@ -258,6 +266,9 @@ func (as *AddressSpace) copyPMDRangeClassic(src, dst *pagetable.Table, lo, hi in
 			}
 			newLeaf.SetEntry(li, le)
 			frames = append(frames, le.Frame())
+			if m := as.trk(); m != nil {
+				m.PageMapped(le.Frame(), newLeaf, li, child)
+			}
 		}
 		as.prof.Charge(profile.CopyOnePTE, uint64(len(frames)))
 		as.alloc.GetBatch(frames)
@@ -279,7 +290,7 @@ func makePMDWritable(dst *pagetable.Table, i int) {
 
 // copyHugeEntry applies COW to a 2 MiB PMD mapping in both parent and
 // child: the "fork with huge pages" configuration of Figures 4 and 7.
-func (as *AddressSpace) copyHugeEntry(src, dst *pagetable.Table, i int, e pagetable.Entry) {
+func (as *AddressSpace) copyHugeEntry(src, dst *pagetable.Table, i int, e pagetable.Entry, child *AddressSpace) {
 	// Copying a huge PMD entry takes the table lock (Linux's
 	// copy_huge_pmd acquires the PMD spinlocks to fence THP
 	// conversions) — one of the costs §5.2.2 notes on-demand-fork
@@ -293,6 +304,9 @@ func (as *AddressSpace) copyHugeEntry(src, dst *pagetable.Table, i int, e pageta
 	}
 	dst.SetEntry(i, e)
 	as.alloc.Get(e.Frame())
+	if m := as.trk(); m != nil {
+		m.HugeMapped(e.Frame(), dst, i, child)
+	}
 }
 
 // copyTreeOnDemand duplicates only the upper levels of the hierarchy
@@ -300,9 +314,9 @@ func (as *AddressSpace) copyHugeEntry(src, dst *pagetable.Table, i int, e pageta
 // last-level table is shared with the child — one share-counter
 // increment and one cleared writable bit replace 512 entry copies and
 // 512 page reference increments.
-func (as *AddressSpace) copyTreeOnDemand(src, dst *pagetable.Table, opts ForkOptions) {
+func (as *AddressSpace) copyTreeOnDemand(src, dst *pagetable.Table, child *AddressSpace, opts ForkOptions) {
 	if src.Level == addr.PMD {
-		as.copyPMDRangeOnDemand(src, dst, 0, addr.EntriesPerTable, opts)
+		as.copyPMDRangeOnDemand(src, dst, 0, addr.EntriesPerTable, child, opts)
 		return
 	}
 	for i := 0; i < addr.EntriesPerTable; i++ {
@@ -312,19 +326,19 @@ func (as *AddressSpace) copyTreeOnDemand(src, dst *pagetable.Table, opts ForkOpt
 		}
 		as.prof.Charge(profile.UpperWalk, 1)
 		if opts.ShareHugePMD && childTable.Level == addr.PMD && hugeOnly(childTable) {
-			as.sharePMDTable(src, dst, i, childTable)
+			as.sharePMDTable(src, dst, i, childTable, child)
 			continue
 		}
 		newTable := pagetable.NewTable(as.alloc, childTable.Level)
 		dst.SetChild(i, newTable, src.Entry(i))
-		as.copyTreeOnDemand(childTable, newTable, opts)
+		as.copyTreeOnDemand(childTable, newTable, child, opts)
 	}
 }
 
 // copyPMDRangeOnDemand shares the last-level tables of PMD slots
 // [lo, hi) with the child — the unit of work one parallel-fork task
 // performs on the on-demand path.
-func (as *AddressSpace) copyPMDRangeOnDemand(src, dst *pagetable.Table, lo, hi int, opts ForkOptions) {
+func (as *AddressSpace) copyPMDRangeOnDemand(src, dst *pagetable.Table, lo, hi int, child *AddressSpace, opts ForkOptions) {
 	for i := lo; i < hi; i++ {
 		e := src.Entry(i)
 		if !e.Present() {
@@ -335,7 +349,7 @@ func (as *AddressSpace) copyPMDRangeOnDemand(src, dst *pagetable.Table, lo, hi i
 			// The implementation supports 4 KiB pages (§4, "Huge Page
 			// Support"); huge mappings fall back to the classic COW of
 			// the PMD entry, which is already table-free.
-			as.copyHugeEntry(src, dst, i, e)
+			as.copyHugeEntry(src, dst, i, e, child)
 			continue
 		}
 		leaf := src.Child(i)
@@ -343,6 +357,11 @@ func (as *AddressSpace) copyPMDRangeOnDemand(src, dst *pagetable.Table, lo, hi i
 			continue
 		}
 		as.alloc.PTShareGet(leaf.Frame)
+		if m := as.trk(); m != nil {
+			// One O(1) ownership record per shared table preserves the
+			// engine's O(#tables) fork cost.
+			m.OwnerAdd(leaf, child)
+		}
 		if opts.EagerPageRefs || opts.PerPTEProtect {
 			as.ablationLeafPass(leaf, opts)
 		}
@@ -361,8 +380,11 @@ func (as *AddressSpace) copyPMDRangeOnDemand(src, dst *pagetable.Table, lo, hi i
 // sharePMDTable applies the §4 extension at slot i of a PUD table:
 // share the whole PMD table describing 2 MiB pages, write-protecting
 // its 1 GiB region via the PUD entry.
-func (as *AddressSpace) sharePMDTable(src, dst *pagetable.Table, i int, childTable *pagetable.Table) {
+func (as *AddressSpace) sharePMDTable(src, dst *pagetable.Table, i int, childTable *pagetable.Table, child *AddressSpace) {
 	as.alloc.PTShareGet(childTable.Frame)
+	if m := as.trk(); m != nil {
+		m.OwnerAdd(childTable, child)
+	}
 	shared := src.Entry(i).Without(pagetable.FlagWritable)
 	src.SetEntry(i, shared)
 	dst.SetChild(i, childTable, shared)

@@ -160,10 +160,10 @@ func appendRangeTasks(tasks []forkTask, src *pagetable.Table, chunk int, mk func
 // collectClassicTasks walks the upper levels sequentially (duplicating
 // PGD/PUD tables, as copyTreeClassic does) and appends one task per
 // chunk of PMD slots. Each task owns its destination slot range.
-func (as *AddressSpace) collectClassicTasks(src, dst *pagetable.Table, tasks []forkTask) []forkTask {
+func (as *AddressSpace) collectClassicTasks(src, dst *pagetable.Table, child *AddressSpace, tasks []forkTask) []forkTask {
 	if src.Level == addr.PMD {
 		return appendRangeTasks(tasks, src, classicChunkSlots, func(lo, hi int) forkTask {
-			return func() { as.copyPMDRangeClassic(src, dst, lo, hi) }
+			return func() { as.copyPMDRangeClassic(src, dst, lo, hi, child) }
 		})
 	}
 	for i := 0; i < addr.EntriesPerTable; i++ {
@@ -174,7 +174,7 @@ func (as *AddressSpace) collectClassicTasks(src, dst *pagetable.Table, tasks []f
 		as.prof.Charge(profile.UpperWalk, 1)
 		newTable := pagetable.NewTable(as.alloc, childTable.Level)
 		dst.SetChild(i, newTable, src.Entry(i))
-		tasks = as.collectClassicTasks(childTable, newTable, tasks)
+		tasks = as.collectClassicTasks(childTable, newTable, child, tasks)
 	}
 	return tasks
 }
@@ -183,10 +183,10 @@ func (as *AddressSpace) collectClassicTasks(src, dst *pagetable.Table, tasks []f
 // duplicated (or whole PMD tables shared, under ShareHugePMD) inline —
 // that work is a handful of counter increments — and PMD slot chunks
 // become tasks.
-func (as *AddressSpace) collectOnDemandTasks(src, dst *pagetable.Table, opts ForkOptions, tasks []forkTask) []forkTask {
+func (as *AddressSpace) collectOnDemandTasks(src, dst *pagetable.Table, child *AddressSpace, opts ForkOptions, tasks []forkTask) []forkTask {
 	if src.Level == addr.PMD {
 		return appendRangeTasks(tasks, src, onDemandChunkSlots, func(lo, hi int) forkTask {
-			return func() { as.copyPMDRangeOnDemand(src, dst, lo, hi, opts) }
+			return func() { as.copyPMDRangeOnDemand(src, dst, lo, hi, child, opts) }
 		})
 	}
 	for i := 0; i < addr.EntriesPerTable; i++ {
@@ -196,12 +196,12 @@ func (as *AddressSpace) collectOnDemandTasks(src, dst *pagetable.Table, opts For
 		}
 		as.prof.Charge(profile.UpperWalk, 1)
 		if opts.ShareHugePMD && childTable.Level == addr.PMD && hugeOnly(childTable) {
-			as.sharePMDTable(src, dst, i, childTable)
+			as.sharePMDTable(src, dst, i, childTable, child)
 			continue
 		}
 		newTable := pagetable.NewTable(as.alloc, childTable.Level)
 		dst.SetChild(i, newTable, src.Entry(i))
-		tasks = as.collectOnDemandTasks(childTable, newTable, opts, tasks)
+		tasks = as.collectOnDemandTasks(childTable, newTable, child, opts, tasks)
 	}
 	return tasks
 }

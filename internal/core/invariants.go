@@ -66,7 +66,12 @@ func (as *AddressSpace) countTables(t *pagetable.Table, st *TableStats) {
 //  2. every data frame's reference count equals the number of distinct
 //     last-level tables (plus huge PMD entries) mapping it — one
 //     reference per table regardless of how many processes share the
-//     table (§3.6).
+//     table (§3.6);
+//  3. when a reclaim manager is attached, every swap slot's reference
+//     count equals the number of distinct leaf tables holding a swap
+//     entry for it, and the manager's rmap/LRU bookkeeping matches the
+//     live page tables (the check covers every space using the
+//     allocator, so pass the whole group).
 //
 // Spaces must be quiescent while the check runs. Tests call this after
 // every interesting mutation sequence.
@@ -87,6 +92,7 @@ func CheckInvariants(spaces ...*AddressSpace) error {
 	leafRefs := make(map[*pagetable.Table]int32)
 	pmdRefs := make(map[*pagetable.Table]int32)
 	frameRefs := make(map[phys.Frame]int32)
+	swapRefs := make(map[uint64]int64)
 	seenLeaf := make(map[*pagetable.Table]bool)
 	seenPMD := make(map[*pagetable.Table]bool)
 
@@ -115,8 +121,11 @@ func CheckInvariants(spaces ...*AddressSpace) error {
 			}
 			seenLeaf[leaf] = true
 			for li := 0; li < addr.EntriesPerTable; li++ {
-				if le := leaf.Entry(li); le.Present() {
+				le := leaf.Entry(li)
+				if le.Present() {
 					frameRefs[le.Frame()]++
+				} else if le.Swapped() {
+					swapRefs[le.SwapSlot()]++
 				}
 			}
 		}
@@ -160,6 +169,11 @@ func CheckInvariants(spaces ...*AddressSpace) error {
 	for f, want := range frameRefs {
 		if got := alloc.RefCount(f); got != want {
 			return fmt.Errorf("core: frame %d refcount = %d, but %d tables map it", f, got, want)
+		}
+	}
+	if rec := spaces[0].rec; rec != nil {
+		if err := rec.VerifyBookkeeping(swapRefs); err != nil {
+			return fmt.Errorf("core: reclaim bookkeeping: %w", err)
 		}
 	}
 	return nil

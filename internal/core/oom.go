@@ -9,10 +9,16 @@ import (
 
 // Out-of-memory handling (paper §4, "Robustness"): PTE tables may need
 // to be allocated inside the page fault handler; under low memory the
-// real kernel sleeps the faulting process and reclaims. The simulated
-// allocator has nothing to reclaim, so a configured frame limit
-// surfaces as ErrOutOfMemory from the syscall or access that needed
-// the frame, leaving the address space consistent.
+// real kernel sleeps the faulting process and reclaims. The simulation
+// mirrors that: when a reclaim manager is registered and swap is
+// enabled, an allocation that would exceed the frame limit first stalls
+// in direct reclaim (internal/mem/reclaim evicting cold LRU pages to
+// the swap store), and only if repeated reclaim passes cannot free
+// enough frames does the failure surface as ErrOutOfMemory from the
+// syscall or access that needed the frame, leaving the address space
+// consistent. With swap disabled — the default — there is nothing to
+// reclaim and the limit surfaces immediately, preserving the historical
+// behavior.
 //
 // Internally the allocator panics with phys.ErrNoMemory (allocation
 // sites are many and deep); the panic is converted back to an error at
@@ -20,7 +26,9 @@ import (
 // standard library's regexp parser uses.
 
 // ErrOutOfMemory is returned when a simulated allocation exceeds the
-// configured physical frame limit.
+// configured physical frame limit after direct reclaim (if enabled)
+// has failed to free enough frames. Callers match it with errors.Is;
+// it wraps phys.ErrNoMemory.
 var ErrOutOfMemory = fmt.Errorf("core: %w", phys.ErrNoMemory)
 
 // catchOOM converts an in-flight phys.ErrNoMemory panic into

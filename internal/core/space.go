@@ -26,6 +26,7 @@ import (
 	"repro/internal/mem/addr"
 	"repro/internal/mem/pagetable"
 	"repro/internal/mem/phys"
+	"repro/internal/mem/reclaim"
 	"repro/internal/mem/tlb"
 	"repro/internal/mem/vm"
 	"repro/internal/metrics"
@@ -56,6 +57,12 @@ type AddressSpace struct {
 	tlb *tlb.TLB
 	sd  *tlb.Shootdown
 
+	// Reclaim integration: id orders lock acquisition across spaces
+	// during eviction; rec is the shared reclaim manager (nil when the
+	// allocator has none attached).
+	id  uint64
+	rec *reclaim.Manager
+
 	dead bool
 
 	// Statistics, exposed for the benchmarks and experiments.
@@ -73,6 +80,10 @@ type AddressSpace struct {
 // memory stack of one kernel instruments into a single tree.
 func NewAddressSpace(alloc *phys.Allocator, prof *profile.Profiler) *AddressSpace {
 	sd := &tlb.Shootdown{}
+	var rec *reclaim.Manager
+	if m, ok := alloc.ReclaimerHook().(*reclaim.Manager); ok {
+		rec = m
+	}
 	return &AddressSpace{
 		w:     pagetable.NewWalker(alloc, prof),
 		vmas:  &vm.Set{},
@@ -81,8 +92,37 @@ func NewAddressSpace(alloc *phys.Allocator, prof *profile.Profiler) *AddressSpac
 		met:   alloc.Metrics(),
 		sd:    sd,
 		tlb:   tlb.New(sd),
+		id:    spaceIDs.Add(1),
+		rec:   rec,
 	}
 }
+
+// spaceIDs issues process-lifetime-unique address-space IDs for
+// reclaim's lock ordering.
+var spaceIDs atomic.Uint64
+
+// trk returns the reclaim manager when LRU/rmap tracking is active,
+// else nil — the one-load guard every bookkeeping hook sits behind.
+func (as *AddressSpace) trk() *reclaim.Manager {
+	if as.rec != nil && as.rec.Enabled() {
+		return as.rec
+	}
+	return nil
+}
+
+// ReclaimID implements reclaim.Space.
+func (as *AddressSpace) ReclaimID() uint64 { return as.id }
+
+// TryLockForReclaim implements reclaim.Space.
+func (as *AddressSpace) TryLockForReclaim() bool { return as.mu.TryLock() }
+
+// UnlockForReclaim implements reclaim.Space.
+func (as *AddressSpace) UnlockForReclaim() { as.mu.Unlock() }
+
+// ReclaimFlushTLB implements reclaim.Space: evicting a page invalidates
+// whole-TLB rather than per-line, because the reverse map is keyed by
+// table, not by virtual address.
+func (as *AddressSpace) ReclaimFlushTLB() { as.tlb.Flush() }
 
 // Metrics returns the registry this space charges (may be nil).
 func (as *AddressSpace) Metrics() *metrics.Registry { return as.met }
@@ -222,6 +262,9 @@ func (as *AddressSpace) populateLocked(vma *vm.VMA, r addr.Range) {
 				flags |= pagetable.FlagWritable
 			}
 			pmd.SetEntry(pi, pagetable.MakeEntry(head, flags))
+			if m := as.trk(); m != nil {
+				m.HugeMapped(head, pmd, pi, as)
+			}
 		}
 		return
 	}
@@ -249,6 +292,9 @@ func (as *AddressSpace) installPageLocked(vma *vm.VMA, leaf *pagetable.Table, li
 		flags |= pagetable.FlagWritable
 	}
 	leaf.SetEntry(li, pagetable.MakeEntry(f, flags))
+	if m := as.trk(); m != nil {
+		m.PageMapped(f, leaf, li, as)
+	}
 }
 
 // Munmap removes all mappings in [start, start+size), tearing down page
@@ -271,6 +317,9 @@ func (as *AddressSpace) Munmap(start addr.V, size uint64) error {
 			if err := as.zapHugeLocked(piece.Range); err != nil {
 				return err
 			}
+			// Reclaim may have split cold huge pages into 4 KiB
+			// mappings under a leaf table; zap those too.
+			as.zapRangeLocked(piece.Range)
 			continue
 		}
 		as.zapRangeLocked(piece.Range)
@@ -317,6 +366,9 @@ func (as *AddressSpace) zapHugeLocked(r addr.Range) error {
 		for a := zap.Start; a < zap.End; a += addr.HugePageSize {
 			idx := a.Index(addr.PMD)
 			if e := pmd.Entry(idx); e.Present() && e.Huge() {
+				if m := as.trk(); m != nil {
+					m.HugeUnmapped(e.Frame(), pmd, idx)
+				}
 				as.alloc.Put(e.Frame())
 				pmd.SetEntry(idx, 0)
 			}
@@ -353,16 +405,23 @@ func (as *AddressSpace) zapRangeLocked(r addr.Range) {
 		}
 
 		// Dedicated table: clear the entries in r, releasing the table's
-		// per-entry page references.
+		// per-entry page references (and swap-slot references for
+		// entries that were swapped out).
 		zap := coverage.Intersect(r)
 		for v := zap.Start; v < zap.End; v += addr.PageSize {
 			li := v.Index(addr.PTE)
 			if e := leaf.Entry(li); e.Present() {
+				if m := as.trk(); m != nil {
+					m.PageUnmapped(e.Frame(), leaf, li)
+				}
 				as.alloc.Put(e.Frame())
+				leaf.SetEntry(li, 0)
+			} else if e.Swapped() {
+				as.rec.SwapUnref(e.SwapSlot())
 				leaf.SetEntry(li, 0)
 			}
 		}
-		empty := leaf.CountPresent() == 0
+		empty := leaf.CountPresent() == 0 && leaf.SwapCount() == 0
 		leaf.Unlock()
 		if empty && !stillNeeded {
 			pmd.SetChild(idx, nil, 0)
@@ -383,15 +442,27 @@ func (as *AddressSpace) releaseLeafRef(leaf *pagetable.Table) {
 	leaf.Lock()
 	if as.alloc.PTSharePut(leaf.Frame) > 0 {
 		leaf.Unlock()
+		if m := as.trk(); m != nil {
+			m.OwnerRemove(leaf, as)
+		}
 		return
 	}
 	for i := 0; i < addr.EntriesPerTable; i++ {
 		if e := leaf.Entry(i); e.Present() {
+			if m := as.trk(); m != nil {
+				m.PageUnmapped(e.Frame(), leaf, i)
+			}
 			as.alloc.Put(e.Frame())
+			leaf.SetEntry(i, 0)
+		} else if e.Swapped() {
+			as.rec.SwapUnref(e.SwapSlot())
 			leaf.SetEntry(i, 0)
 		}
 	}
 	leaf.Unlock()
+	if m := as.trk(); m != nil {
+		m.TableFreed(leaf)
+	}
 	as.alloc.Put(leaf.Frame)
 }
 
@@ -441,12 +512,17 @@ func (as *AddressSpace) Mremap(oldStart addr.V, oldSize uint64) (_ addr.V, err e
 		leaf.Lock()
 		for v := zap.Start; v < zap.End; v += addr.PageSize {
 			li := v.Index(addr.PTE)
-			if e := leaf.Entry(li); e.Present() {
+			if e := leaf.Entry(li); e.Present() || e.Swapped() {
+				if e.Present() {
+					if m := as.trk(); m != nil {
+						m.PageUnmapped(e.Frame(), leaf, li)
+					}
+				}
 				entries = append(entries, moved{off: v - oldStart, e: e})
 				leaf.SetEntry(li, 0)
 			}
 		}
-		empty := leaf.CountPresent() == 0
+		empty := leaf.CountPresent() == 0 && leaf.SwapCount() == 0
 		leaf.Unlock()
 		if empty {
 			pmd.SetChild(idx, nil, 0)
@@ -467,10 +543,16 @@ func (as *AddressSpace) Mremap(oldStart addr.V, oldSize uint64) (_ addr.V, err e
 		return 0, fmt.Errorf("core: mremap insert: %v", err)
 	}
 
-	// Reinstall the moved entries at the new location.
-	for _, m := range entries {
-		leaf, li := as.ensurePrivateLeafLocked(newStart + m.off)
-		leaf.SetEntry(li, m.e)
+	// Reinstall the moved entries at the new location. Swap entries move
+	// verbatim (the slot reference count is unchanged by a move).
+	for _, mv := range entries {
+		leaf, li := as.ensurePrivateLeafLocked(newStart + mv.off)
+		leaf.SetEntry(li, mv.e)
+		if mv.e.Present() {
+			if m := as.trk(); m != nil {
+				m.PageMapped(mv.e.Frame(), leaf, li, as)
+			}
+		}
 	}
 	as.tlb.FlushRange(oldR)
 	return newStart, nil
@@ -523,7 +605,7 @@ func (as *AddressSpace) writeProtectRangeLocked(r addr.Range) {
 		leaf.Lock()
 		for v := zap.Start; v < zap.End; v += addr.PageSize {
 			li := v.Index(addr.PTE)
-			if e := leaf.Entry(li); e.Present() {
+			if e := leaf.Entry(li); e.Present() || e.Swapped() {
 				leaf.SetEntry(li, e.Without(pagetable.FlagWritable))
 			}
 		}
@@ -570,6 +652,9 @@ func (as *AddressSpace) releasePMDRef(t *pagetable.Table) {
 	t.Lock()
 	if as.alloc.PTSharePut(t.Frame) > 0 {
 		t.Unlock()
+		if m := as.trk(); m != nil {
+			m.OwnerRemove(t, as)
+		}
 		return
 	}
 	for i := 0; i < addr.EntriesPerTable; i++ {
@@ -578,6 +663,9 @@ func (as *AddressSpace) releasePMDRef(t *pagetable.Table) {
 			continue
 		}
 		if e.Huge() {
+			if m := as.trk(); m != nil {
+				m.HugeUnmapped(e.Frame(), t, i)
+			}
 			as.alloc.Put(e.Frame())
 			t.SetEntry(i, 0)
 			continue
@@ -588,6 +676,9 @@ func (as *AddressSpace) releasePMDRef(t *pagetable.Table) {
 		}
 	}
 	t.Unlock()
+	if m := as.trk(); m != nil {
+		m.TableFreed(t)
+	}
 	as.alloc.Put(t.Frame)
 }
 
@@ -621,6 +712,8 @@ func (as *AddressSpace) MadviseDontneed(start addr.V, size uint64) (err error) {
 			if err := as.zapHugeLocked(piece); err != nil {
 				return err
 			}
+			// Cold huge pages the reclaimer split live in leaf tables.
+			as.zapRangeLocked(piece)
 			continue
 		}
 		as.zapRangeLocked(piece)
@@ -638,15 +731,36 @@ func (as *AddressSpace) VisitPresentPages(fn func(v addr.V, data []byte) error) 
 	vmas := make([]*vm.VMA, len(as.vmas.All()))
 	copy(vmas, as.vmas.All())
 	as.mu.Unlock()
+	var swapBuf []byte
 	for _, vma := range vmas {
 		for v := vma.Range.Start; v < vma.Range.End; v += addr.PageSize {
 			as.mu.Lock()
 			tr, ok := as.w.Walk(v)
 			var data []byte
+			var readErr error
 			if ok {
 				data = as.alloc.DataIfPresent(tr.Frame)
+			} else if as.rec != nil {
+				// A swapped-out page is still logically present: deliver
+				// its content from the swap store (slot 0 is the zero
+				// page, reported as nil like any untouched frame).
+				if leaf, li := as.w.FindPTE(v); leaf != nil {
+					if e := leaf.Entry(li); e.Swapped() {
+						ok = true
+						if slot := e.SwapSlot(); slot != 0 {
+							if swapBuf == nil {
+								swapBuf = make([]byte, addr.PageSize)
+							}
+							data = swapBuf
+							readErr = as.rec.ReadSlot(slot, swapBuf)
+						}
+					}
+				}
 			}
 			as.mu.Unlock()
+			if readErr != nil {
+				return fmt.Errorf("core: reading swapped page %v: %w", v, readErr)
+			}
 			if !ok {
 				continue
 			}

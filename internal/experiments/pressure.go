@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/mem/addr"
+	"repro/internal/mem/phys"
+	"repro/internal/mem/vm"
+	"repro/internal/stats"
+)
+
+// The memory-pressure study measures what the reclaim subsystem buys
+// the paper's headline operation. A serverless host runs close to its
+// frame budget: we populate a dirty working set, clamp the frame limit
+// so the set occupies 90% / 99% of it, then fork and run an
+// invocation (the child COW-writes a quarter of the footprint). Both
+// engines defer page copying to the fault path, so the bare fork only
+// needs page-table frames and squeezes into either headroom — but the
+// invocation's COW copies do not fit. Without swap they die with
+// ErrOutOfMemory; with swap on, the faulting child stalls in direct
+// reclaim (and kswapd trims ahead of it), pages swap out, and the
+// invocation completes at a latency cost the tables quantify.
+
+// PressureRow is one cell of the occupancy x swap sweep.
+type PressureRow struct {
+	Size      uint64
+	Occupancy int  // percent of the frame limit occupied before forking
+	Swap      bool // swap store available to the reclaimer
+	Mode      core.ForkMode
+	ForkMS    float64 // bare fork latency
+	InvokeMS  float64 // fork + COW-write 1/4 of the footprint + exit
+	ForkOOM   bool    // the fork itself ran out of page-table frames
+	InvokeOOM bool    // the invocation's COW copies hit ErrOutOfMemory
+}
+
+// measureForkPressure times reps bare forks, converting an in-flight
+// phys.ErrNoMemory panic into an OOM cell: fork has no reclaim stall
+// path (a real kernel would invoke the OOM killer here), and the
+// experiment reports that outcome rather than crashing. An OOM'd fork
+// leaves the process half-built, so callers must discard the kernel
+// afterwards.
+func measureForkPressure(p *kernel.Process, mode core.ForkMode, reps int) (ms float64, oom bool) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if e, ok := r.(error); ok && errors.Is(e, phys.ErrNoMemory) {
+			oom = true
+			return
+		}
+		panic(r)
+	}()
+	var sample stats.Sample
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		c, err := p.Fork(kernel.WithMode(mode))
+		elapsed := time.Since(t0)
+		if err != nil {
+			return 0, true
+		}
+		sample.AddDuration(elapsed)
+		c.Exit()
+		c.Wait()
+	}
+	return sample.Mean(), false
+}
+
+// measureInvokePressure times reps of fork + child COW burst + exit:
+// the child dirties every fourth page of the footprint, which under a
+// tight frame limit forces its page copies through the reclaim stall
+// path (or into ErrOutOfMemory with swap off — reported as an OOM
+// cell, not an error).
+func measureInvokePressure(p *kernel.Process, base addr.V, pages int, mode core.ForkMode, reps int) (float64, bool, error) {
+	var sample stats.Sample
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		c, err := p.Fork(kernel.WithMode(mode))
+		if err != nil {
+			return 0, true, nil
+		}
+		for i := 0; i < pages; i += 4 {
+			if err := c.WriteAt([]byte{byte(i)}, base+addr.V(uint64(i)*addr.PageSize)); err != nil {
+				c.Exit()
+				c.Wait()
+				if errors.Is(err, core.ErrOutOfMemory) {
+					return 0, true, nil
+				}
+				return 0, false, err
+			}
+		}
+		c.Exit()
+		c.Wait()
+		sample.AddDuration(time.Since(t0))
+	}
+	return sample.Mean(), false, nil
+}
+
+// pressureCell boots a fresh kernel, populates a dirty footprint, and
+// clamps the frame limit so the footprint occupies occ percent of it.
+// occ == 0 means unlimited (the baseline row).
+func pressureCell(foot uint64, occ int, swap bool) (*kernel.Kernel, *kernel.Process, addr.V, error) {
+	k := kernel.New()
+	if swap {
+		k.SetSwapEnabled(true)
+	}
+	p := k.NewProcess()
+	base, err := p.Mmap(foot, vm.ProtRead|vm.ProtWrite, vm.MapPrivate)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	// Dirty every page with non-zero data so evictions pay the real
+	// compress-and-store cost rather than folding into the zero page.
+	buf := make([]byte, addr.PageSize)
+	for i := range buf {
+		buf[i] = byte(i*31 + 7)
+	}
+	pages := int(foot / addr.PageSize)
+	for i := 0; i < pages; i++ {
+		buf[0] = byte(i)
+		if err := p.WriteAt(buf, base+addr.V(uint64(i)*addr.PageSize)); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	if occ > 0 {
+		// allocated / limit == occ%; the remainder is all the headroom
+		// the fork and its invocation get.
+		allocated := k.Allocator().Allocated()
+		k.Allocator().SetLimit(allocated * 100 / int64(occ))
+	}
+	return k, p, base, nil
+}
+
+// RunPressure sweeps bare-fork and invocation latency over {baseline,
+// 90%, 99%} frame occupancy with the swap store off and on.
+func RunPressure(maxBytes uint64, reps int) ([]PressureRow, string, error) {
+	foot := maxBytes / 8
+	if foot < 16*MiB {
+		foot = 16 * MiB
+	}
+	if foot > 128*MiB {
+		foot = 128 * MiB
+	}
+	pages := int(foot / addr.PageSize)
+
+	var rows []PressureRow
+	tb := stats.NewTable("footprint", "occupancy", "swap",
+		"fork (ms)", "odf (ms)", "invoke fork (ms)", "invoke odf (ms)")
+	cell := func(ms float64, oom bool) any {
+		if oom {
+			return "OOM"
+		}
+		return ms
+	}
+	var lastSwapK *kernel.Kernel
+	for _, swap := range []bool{false, true} {
+		for _, occ := range []int{0, 90, 99} {
+			k, p, base, err := pressureCell(foot, occ, swap)
+			if err != nil {
+				return nil, "", err
+			}
+			type meas struct {
+				fork, invoke       float64
+				forkOOM, invokeOOM bool
+			}
+			var m [2]meas // indexed: 0 = classic, 1 = on-demand
+			abandoned := false
+			for mi, mode := range []core.ForkMode{core.ForkClassic, core.ForkOnDemand} {
+				m[mi].invoke, m[mi].invokeOOM, err = measureInvokePressure(p, base, pages, mode, reps)
+				if err != nil {
+					return nil, "", err
+				}
+				// Bare forks last: a table-allocation OOM panics mid-fork
+				// and leaves the process unusable.
+				m[mi].fork, m[mi].forkOOM = measureForkPressure(p, mode, reps)
+				if m[mi].forkOOM {
+					// The panic left p unusable; nothing further can be
+					// measured on this kernel.
+					abandoned = true
+					for j := mi + 1; j < len(m); j++ {
+						m[j].forkOOM, m[j].invokeOOM = true, true
+					}
+					break
+				}
+				rows = append(rows, PressureRow{foot, occ, swap, mode,
+					m[mi].fork, m[mi].invoke, m[mi].forkOOM, m[mi].invokeOOM})
+			}
+			occLabel := "unlimited"
+			if occ > 0 {
+				occLabel = fmt.Sprintf("%d%%", occ)
+			}
+			swapLabel := "off"
+			if swap {
+				swapLabel = "on"
+			}
+			tb.AddRow(SizeLabel(foot), occLabel, swapLabel,
+				cell(m[0].fork, m[0].forkOOM), cell(m[1].fork, m[1].forkOOM),
+				cell(m[0].invoke, m[0].invokeOOM), cell(m[1].invoke, m[1].invokeOOM))
+			// An OOM'd bare fork leaves p unusable (and un-exitable);
+			// those kernels are simply abandoned to the GC.
+			switch {
+			case swap && occ == 99:
+				lastSwapK = k // telemetry read below; kswapd keeps running
+			case swap:
+				k.SetSwapEnabled(false) // park kswapd on finished kernels
+			case !abandoned:
+				p.Exit()
+			}
+		}
+	}
+	out := header("Fork and invocation latency under memory pressure (swap off/on)") + tb.String()
+
+	// Telemetry from the 99% swap-on kernel: how hard the reclaimer
+	// worked to let the invocations finish inside 1% headroom.
+	if lastSwapK != nil {
+		d := lastSwapK.MetricsSnapshot()
+		rt := stats.NewTable("reclaim counter (99% swap-on cell)", "events")
+		rt.AddRow("direct reclaim stalls", int(d.Reclaim.DirectReclaims))
+		rt.AddRow("pages swapped out", int(d.Reclaim.PswpOut))
+		rt.AddRow("pages swapped in", int(d.Reclaim.PswpIn))
+		rt.AddRow("pages scanned (direct)", int(d.Reclaim.PgScanDirect))
+		rt.AddRow("kswapd wakeups", int(d.Reclaim.KswapdWakeups))
+		out += "\n" + header("Reclaim work behind the swap-on columns") + rt.String()
+	}
+	return rows, out, nil
+}

@@ -32,6 +32,8 @@ func metricsFooter(k *kernel.Kernel, base metrics.Snapshot) string {
 		d.Alloc.ShardHits, d.Alloc.ShardRefills, d.Alloc.ShardDrains)
 	fmt.Fprintf(&b, "tlb: hits=%d misses=%d shootdowns=%d\n",
 		d.TLB.Hits, d.TLB.Misses, d.TLB.Shootdowns)
+	fmt.Fprintf(&b, "reclaim: swapout=%d swapin=%d direct-stalls=%d kswapd-wakeups=%d\n",
+		d.Reclaim.PswpOut, d.Reclaim.PswpIn, d.Reclaim.DirectReclaims, d.Reclaim.KswapdWakeups)
 	return b.String()
 }
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/fs"
 	"repro/internal/mem/addr"
 	"repro/internal/mem/phys"
+	"repro/internal/mem/reclaim"
 	"repro/internal/mem/vm"
 	"repro/internal/metrics"
 	"repro/internal/profile"
@@ -41,6 +42,7 @@ type Kernel struct {
 	prof  *profile.Profiler
 	met   *metrics.Registry
 	fsys  *fs.FileSystem
+	rec   *reclaim.Manager
 
 	mu        sync.Mutex
 	nextPID   PID
@@ -85,6 +87,12 @@ func New(opts ...Option) *Kernel {
 	}
 	k.alloc = phys.NewAllocator(k.prof)
 	k.alloc.SetMetrics(k.met)
+	// The reclaim manager is always attached (so address spaces created
+	// now pick it up) but starts disabled: until SetSwapEnabled(true)
+	// every hook is a no-op and frame-limit pressure fails fast, the
+	// historical behavior.
+	k.rec = reclaim.NewManager(k.alloc, k.met)
+	k.alloc.SetReclaimer(k.rec)
 	k.fsys = fs.New()
 	return k
 }

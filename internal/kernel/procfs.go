@@ -17,6 +17,7 @@ import (
 // Procfs reads one file of the simulated procfs namespace:
 //
 //	/proc/odf/metrics  — system-wide telemetry (MetricsSnapshot rendering)
+//	/proc/odf/vmstat   — reclaim/swap counters in /proc/vmstat style
 //	/proc/odf/profile  — the Figure 3 cost-accounting profile, if a
 //	                     profiler is attached
 //	/proc/<pid>/maps   — the process's mappings
@@ -40,6 +41,8 @@ func (k *Kernel) Procfs(path string) (string, error) {
 		switch file {
 		case "metrics":
 			return k.MetricsSnapshot().Render(), nil
+		case "vmstat":
+			return k.Vmstat(), nil
 		case "profile":
 			if k.prof == nil {
 				return notExist()

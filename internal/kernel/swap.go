@@ -1,0 +1,92 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mem/reclaim"
+)
+
+// Swap control: the kernel-level surface over internal/mem/reclaim.
+// Swap is off by default; enabling it turns the configured frame limit
+// from a hard wall into a working-set bound — cold pages are evicted
+// to the swap store by kswapd (background) or direct reclaim (on
+// allocation stall) instead of failing the allocation.
+
+// Reclaim exposes the memory reclaim manager for stats and tests.
+func (k *Kernel) Reclaim() *reclaim.Manager { return k.rec }
+
+// SetSwapEnabled turns the reclaim subsystem on or off. Enabling
+// starts the kswapd background reclaimer and begins LRU/rmap tracking
+// of pages mapped from now on; disabling stops kswapd and drops the
+// tracking state (already-swapped pages remain swapped and fault back
+// in on access).
+func (k *Kernel) SetSwapEnabled(on bool) { k.rec.SetEnabled(on) }
+
+// SwapEnabled reports whether the reclaim subsystem is active.
+func (k *Kernel) SwapEnabled() bool { return k.rec.Enabled() }
+
+// SetSwapWatermarks pins the kswapd watermarks in frames: below low,
+// kswapd wakes; it reclaims until high frames are free. (0, 0) returns
+// to automatic watermarks derived from the frame limit.
+func (k *Kernel) SetSwapWatermarks(low, high int64) error {
+	return k.rec.SetWatermarks(low, high)
+}
+
+// SetSwapStore replaces the swap backend. Only legal while swap is
+// disabled and no slots are outstanding. The default backend is an
+// in-memory compressed store.
+func (k *Kernel) SetSwapStore(s reclaim.Store) error { return k.rec.SetStore(s) }
+
+// SetSwapStoreFile switches the swap backend to a file-backed store at
+// path — the simulated equivalent of swapon.
+func (k *Kernel) SetSwapStoreFile(path string) error {
+	s, err := reclaim.NewFileStore(path)
+	if err != nil {
+		return err
+	}
+	if err := k.rec.SetStore(s); err != nil {
+		s.Close()
+		return err
+	}
+	return nil
+}
+
+// Vmstat renders the reclaim counters and state in /proc/vmstat style:
+// one "name value" pair per line. Served as /proc/odf/vmstat.
+func (k *Kernel) Vmstat() string {
+	snap := k.met.Snapshot().Reclaim
+	st := k.rec.Stats()
+	limit := k.alloc.Limit()
+	free := int64(0)
+	if limit > 0 {
+		free = limit - k.alloc.Allocated()
+	}
+
+	var b strings.Builder
+	line := func(name string, v int64) { fmt.Fprintf(&b, "%s %d\n", name, v) }
+	line("pgscan_kswapd", int64(snap.PgScanKswapd))
+	line("pgscan_direct", int64(snap.PgScanDirect))
+	line("pgsteal_kswapd", int64(snap.PgStealKswapd))
+	line("pgsteal_direct", int64(snap.PgStealDirect))
+	line("pswpin", int64(snap.PswpIn))
+	line("pswpout", int64(snap.PswpOut))
+	line("thp_split_page", int64(snap.HugeSplits))
+	line("kswapd_wakeups", int64(snap.KswapdWakeups))
+	line("allocstall", int64(snap.DirectReclaims))
+	swapOn := int64(0)
+	if st.Enabled {
+		swapOn = 1
+	}
+	line("swap_enabled", swapOn)
+	line("swap_slots", st.SwapSlots)
+	line("swap_store_slots", st.Store.Slots)
+	line("swap_store_bytes", st.Store.Bytes)
+	line("nr_active", st.ActiveFrames)
+	line("nr_inactive", st.InactiveFrames)
+	line("nr_frames_limit", limit)
+	line("nr_frames_free", free)
+	line("watermark_low", st.Low)
+	line("watermark_high", st.High)
+	return b.String()
+}

@@ -1,0 +1,162 @@
+package kernel
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mem/addr"
+	"repro/internal/mem/vm"
+)
+
+// TestKswapdKeepsFreeAboveLow: under a frame limit with swap on, the
+// background reclaimer must pull free frames back above the low
+// watermark after a burst of allocation, with no allocation failures.
+func TestKswapdKeepsFreeAboveLow(t *testing.T) {
+	k := New()
+	k.SetSwapEnabled(true)
+	defer k.SetSwapEnabled(false)
+
+	const limit = 1024
+	k.Allocator().SetLimit(limit)
+	t.Cleanup(func() { k.Allocator().SetLimit(0) })
+	const low, high = 128, 256
+	if err := k.SetSwapWatermarks(low, high); err != nil {
+		t.Fatal(err)
+	}
+
+	p := k.NewProcess()
+	defer p.Exit()
+	// Working set ~= the whole limit: writing it all pushes free frames
+	// through the low watermark and wakes kswapd repeatedly.
+	const pages = limit
+	base, err := p.Mmap(pages*addr.PageSize, vm.ProtRead|vm.ProtWrite, vm.MapPrivate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, addr.PageSize)
+	for i := range buf {
+		buf[i] = byte(i * 13)
+	}
+	for i := 0; i < pages; i++ {
+		if err := p.WriteAt(buf, base+addr.V(i*addr.PageSize)); err != nil {
+			t.Fatalf("write page %d: %v", i, err)
+		}
+	}
+
+	// Quiesce: kswapd must restore free >= low within its interval.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		free := limit - k.Allocator().Allocated()
+		if free >= low {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("free frames %d still below low watermark %d", free, low)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if out, _ := k.Procfs("/proc/odf/vmstat"); !hasNonzero(out, "pgsteal_kswapd") {
+		t.Errorf("kswapd stole no pages:\n%s", out)
+	}
+}
+
+// TestForkWhileKswapdEvicts is the -race stress test: several
+// processes fork, write, and read concurrently while kswapd evicts
+// under watermark pressure; afterwards the §3.5/§3.6 invariants and
+// the reclaim bookkeeping must hold, and all contents must be intact.
+func TestForkWhileKswapdEvicts(t *testing.T) {
+	k := New()
+	k.SetSwapEnabled(true)
+	defer k.SetSwapEnabled(false)
+
+	// Generous hard limit (forks have no OOM stall path) but aggressive
+	// watermarks, so kswapd evicts continuously while far from OOM.
+	const limit = 16384
+	k.Allocator().SetLimit(limit)
+	t.Cleanup(func() { k.Allocator().SetLimit(0) })
+	if err := k.SetSwapWatermarks(limit/2, (limit*3)/4); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		workers = 4
+		iters   = 20
+		pages   = 256
+	)
+	roots := make([]*Process, workers)
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		roots[w] = k.NewProcess()
+		wg.Add(1)
+		go func(w int, p *Process) {
+			defer wg.Done()
+			base, err := p.Mmap(pages*addr.PageSize, vm.ProtRead|vm.ProtWrite, vm.MapPrivate)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			buf := make([]byte, addr.PageSize)
+			rd := make([]byte, addr.PageSize)
+			for it := 0; it < iters; it++ {
+				for i := range buf {
+					buf[i] = byte(w ^ it ^ i)
+				}
+				for i := 0; i < pages; i += 4 {
+					if err := p.WriteAt(buf, base+addr.V(i*addr.PageSize)); err != nil {
+						errCh <- err
+						return
+					}
+				}
+				mode := core.ForkClassic
+				if it%2 == 1 {
+					mode = core.ForkOnDemand
+				}
+				c, err := p.Fork(WithMode(mode))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				// The child sees the parent's bytes even for pages kswapd
+				// swapped out in between, then COWs a few.
+				if err := c.ReadAt(rd, base); err != nil {
+					errCh <- err
+					return
+				}
+				if !bytes.Equal(rd, buf) {
+					errCh <- fmt.Errorf("worker %d iter %d: child read differs from parent", w, it)
+					return
+				}
+				if err := c.WriteAt([]byte{0xFF}, base+addr.V(8*addr.PageSize)); err != nil {
+					errCh <- err
+					return
+				}
+				c.Exit()
+				c.Wait()
+			}
+		}(w, roots[w])
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("stress worker failed: %v", err)
+	}
+
+	spaces := make([]*core.AddressSpace, 0, workers)
+	for _, p := range roots {
+		spaces = append(spaces, p.Space())
+	}
+	if err := core.CheckInvariants(spaces...); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range roots {
+		p.Exit()
+	}
+	if st := k.Reclaim().Stats(); st.SwapSlots != 0 {
+		t.Fatalf("%d swap slot refs leaked after all exits", st.SwapSlots)
+	}
+}

@@ -1,0 +1,100 @@
+package kernel
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mem/addr"
+	"repro/internal/mem/vm"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestVmstatGolden pins the /proc/odf/vmstat text format on a
+// deterministic kernel state: fixed frame limit, pinned watermarks,
+// swap off, nothing allocated. A deliberate format change regenerates
+// the file with `go test -update`.
+func TestVmstatGolden(t *testing.T) {
+	k := New()
+	k.Allocator().SetLimit(1024)
+	if err := k.SetSwapWatermarks(16, 32); err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.Procfs("/proc/odf/vmstat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "vmstat.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("vmstat differs from %s:\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestVmstatCountersMove drives real swap traffic through the kernel
+// API and checks the counters surface in /proc/odf/vmstat.
+func TestVmstatCountersMove(t *testing.T) {
+	k := New()
+	// Enable before mapping: only pages mapped while tracking is on
+	// enter the LRU (the same rule real kernels apply to pages mapped
+	// before a swap device exists — they are simply never evicted here).
+	k.SetSwapEnabled(true)
+	defer k.SetSwapEnabled(false)
+	p := k.NewProcess()
+	defer p.Exit()
+	const pages = 128
+	base, err := p.Mmap(pages*addr.PageSize, vm.ProtRead|vm.ProtWrite, vm.MapPrivate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, addr.PageSize)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	for i := 0; i < pages; i++ {
+		if err := p.WriteAt(buf, base+addr.V(i*addr.PageSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !k.Reclaim().ReclaimFrames(pages / 2) {
+		t.Fatal("direct reclaim freed nothing")
+	}
+	out, err := k.Procfs("/proc/odf/vmstat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"pgsteal_direct", "pswpout", "swap_slots"} {
+		if !hasNonzero(out, key) {
+			t.Errorf("vmstat %s is zero or missing:\n%s", key, out)
+		}
+	}
+	if !strings.Contains(out, "swap_enabled 1\n") {
+		t.Errorf("vmstat does not report swap enabled:\n%s", out)
+	}
+}
+
+// hasNonzero reports whether the vmstat rendering has a non-zero value
+// for key.
+func hasNonzero(out, key string) bool {
+	for _, line := range strings.Split(out, "\n") {
+		name, val, ok := strings.Cut(line, " ")
+		if ok && name == key {
+			return val != "0"
+		}
+	}
+	return false
+}

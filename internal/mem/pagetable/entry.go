@@ -36,6 +36,12 @@ const (
 	FlagDirty    Entry = 1 << 6 // set by the (simulated) CPU on write
 	FlagHuge     Entry = 1 << 7 // PMD entry maps a 2 MiB page directly
 	FlagCOW      Entry = 1 << 9 // software: write fault must copy the page
+	// FlagSwapped marks a non-present PTE whose frame bits hold a swap
+	// slot number instead of a frame — the swap-entry encoding real
+	// kernels use for reclaimed anonymous pages. A swapped entry keeps
+	// the protection bits (writable/user/COW) of the mapping it
+	// replaced, so swap-in can restore them exactly.
+	FlagSwapped Entry = 1 << 10
 
 	frameShift       = addr.PageShift
 	flagsMask  Entry = (1 << frameShift) - 1
@@ -46,6 +52,29 @@ const (
 // (FlagPresent is implied).
 func MakeEntry(f phys.Frame, flags Entry) Entry {
 	return Entry(uint64(f)<<frameShift) | (flags & flagsMask) | FlagPresent
+}
+
+// MakeSwapEntry encodes a swap-out of the mapping `from`: a non-present
+// entry carrying slot in the frame bits and the protection-relevant
+// flags of the original mapping (accessed/dirty state is deliberately
+// dropped — the page is leaving memory).
+func MakeSwapEntry(slot uint64, from Entry) Entry {
+	keep := from & (FlagWritable | FlagUser | FlagCOW)
+	return Entry(slot<<frameShift) | keep | FlagSwapped
+}
+
+// Swapped reports whether the entry is a swap entry (non-present, frame
+// bits hold a swap slot).
+func (e Entry) Swapped() bool { return e&FlagSwapped != 0 && e&FlagPresent == 0 }
+
+// SwapSlot returns the swap slot number of a swapped entry.
+func (e Entry) SwapSlot() uint64 { return uint64(e) >> frameShift }
+
+// SwapRestore builds the present entry a swap-in installs: frame f with
+// the protection flags the swap entry preserved, marked accessed.
+func (e Entry) SwapRestore(f phys.Frame) Entry {
+	keep := e & (FlagWritable | FlagUser | FlagCOW)
+	return MakeEntry(f, keep|FlagAccessed)
 }
 
 // Present reports whether the entry holds a translation.

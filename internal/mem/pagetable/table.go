@@ -26,12 +26,14 @@ type Table struct {
 	entries  [addr.EntriesPerTable]atomic.Uint64
 	children [addr.EntriesPerTable]*Table // non-leaf levels only
 
-	// present and huge count entries carrying FlagPresent / FlagHuge.
-	// They are maintained by every entry mutation so that fork-time
-	// predicates (hugeOnly, the parallel-fork slot threshold) are O(1)
-	// instead of rescanning all 512 slots.
+	// present, huge, and swapped count entries carrying FlagPresent /
+	// FlagHuge / swap encodings. They are maintained by every entry
+	// mutation so that fork-time predicates (hugeOnly, the parallel-fork
+	// slot threshold) and table-emptiness checks are O(1) instead of
+	// rescanning all 512 slots.
 	present atomic.Int32
 	huge    atomic.Int32
+	swapped atomic.Int32
 }
 
 // NewTable allocates a table of the given level, backed by a fresh
@@ -41,6 +43,19 @@ func NewTable(alloc *phys.Allocator, level addr.Level) *Table {
 	f := alloc.AllocPageTable()
 	alloc.PTShareInit(f, 1)
 	return &Table{Level: level, Frame: f}
+}
+
+// TryNewTableNoReclaim is NewTable without the direct-reclaim retry on
+// allocation failure. The reclaim subsystem uses it to allocate the
+// leaf table of a huge-page split from inside a reclaim pass, where
+// recursing into reclaim would self-deadlock.
+func TryNewTableNoReclaim(alloc *phys.Allocator, level addr.Level) (*Table, error) {
+	f, err := alloc.TryAllocPageTableNoReclaim()
+	if err != nil {
+		return nil, err
+	}
+	alloc.PTShareInit(f, 1)
+	return &Table{Level: level, Frame: f}, nil
 }
 
 // Lock acquires the table's lock (the analogue of the kernel's
@@ -69,8 +84,19 @@ func (t *Table) OrEntry(i int, flags Entry) {
 	t.adjustCounts(old, old|(flags&flagsMask))
 }
 
-// adjustCounts updates the present/huge tallies for an old→new entry
-// transition.
+// ClearEntryFlags atomically clears flag bits on the entry at index i.
+// Only bits that do not participate in the maintained tallies may be
+// cleared this way (accessed/dirty — the second-chance aging bits);
+// clearing present/huge/swap bits must go through SetEntry.
+func (t *Table) ClearEntryFlags(i int, flags Entry) {
+	if flags&(FlagPresent|FlagHuge|FlagSwapped) != 0 {
+		panic("pagetable: ClearEntryFlags on a tallied bit")
+	}
+	t.entries[i].And(uint64(^(flags & flagsMask)))
+}
+
+// adjustCounts updates the present/huge/swapped tallies for an old→new
+// entry transition.
 func (t *Table) adjustCounts(old, new Entry) {
 	if old.Present() != new.Present() {
 		if new.Present() {
@@ -84,6 +110,13 @@ func (t *Table) adjustCounts(old, new Entry) {
 			t.huge.Add(1)
 		} else {
 			t.huge.Add(-1)
+		}
+	}
+	if old.Swapped() != new.Swapped() {
+		if new.Swapped() {
+			t.swapped.Add(1)
+		} else {
+			t.swapped.Add(-1)
 		}
 	}
 }
@@ -122,6 +155,11 @@ func (t *Table) PresentCount() int { return int(t.present.Load()) }
 
 // HugeCount returns the number of entries carrying FlagHuge.
 func (t *Table) HugeCount() int { return int(t.huge.Load()) }
+
+// SwapCount returns the number of swap entries. A table is only truly
+// empty (eligible for teardown) when CountPresent and SwapCount are
+// both zero, since swap entries still hold references to swap slots.
+func (t *Table) SwapCount() int { return int(t.swapped.Load()) }
 
 // CopyEntriesFrom copies all 512 architectural entries of src into t,
 // preserving accessed bits (§3.2: the accessed bit value is duplicated

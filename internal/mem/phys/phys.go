@@ -84,7 +84,52 @@ type Allocator struct {
 	totalOps  atomic.Uint64
 	prof      *profile.Profiler
 	met       atomic.Pointer[metrics.Registry]
+
+	// Reclaim integration. lowWater is the free-frame level below which
+	// successful reservations nudge the background reclaimer awake; the
+	// reclaimer itself (internal/mem/reclaim) also runs synchronously
+	// when a reservation fails, before ErrNoMemory is surfaced.
+	rec      atomic.Pointer[reclaimerHolder]
+	lowWater atomic.Int64
 }
+
+// Reclaimer is the memory-pressure escape valve the reclaim subsystem
+// plugs into the allocator.
+type Reclaimer interface {
+	// ReclaimFrames synchronously tries to free at least need base
+	// frames (direct reclaim). It reports whether any progress was made.
+	ReclaimFrames(need int64) bool
+	// FrameFreed notifies that frame f returned to the free lists, so
+	// reclaim bookkeeping (LRU nodes, reverse mappings) can be purged.
+	FrameFreed(f Frame)
+	// LowMemory notifies that free frames dropped below the configured
+	// low watermark (non-blocking; wakes the background reclaimer).
+	LowMemory()
+}
+
+type reclaimerHolder struct{ r Reclaimer }
+
+// SetReclaimer attaches the reclaim subsystem. Pass nil to detach.
+func (a *Allocator) SetReclaimer(r Reclaimer) {
+	if r == nil {
+		a.rec.Store(nil)
+		return
+	}
+	a.rec.Store(&reclaimerHolder{r: r})
+}
+
+// ReclaimerHook returns the attached reclaimer (nil when none).
+func (a *Allocator) ReclaimerHook() Reclaimer {
+	if h := a.rec.Load(); h != nil {
+		return h.r
+	}
+	return nil
+}
+
+// SetLowWatermark sets the free-frame level (relative to the limit)
+// below which reservations call the reclaimer's LowMemory hook.
+// 0 disables the nudge.
+func (a *Allocator) SetLowWatermark(frames int64) { a.lowWater.Store(frames) }
 
 const chunkSize = 1 << 16 // PageInfos per arena chunk (64 Ki frames = 256 MiB)
 
@@ -191,17 +236,80 @@ func (a *Allocator) TryAlloc() (Frame, error) {
 	return f, nil
 }
 
+// directReclaimRetries bounds how many reclaim-then-retry rounds a
+// failing reservation attempts before surfacing ErrNoMemory.
+const directReclaimRetries = 3
+
 // reserve charges n base frames against the configured limit, exactly:
 // the count is added first and undone on failure, so concurrent
-// reservations can never jointly exceed the cap.
+// reservations can never jointly exceed the cap. On failure, an
+// attached reclaimer runs synchronously (direct reclaim) and the
+// reservation is retried; ErrNoMemory is returned only once reclaim
+// stops making progress. Successful reservations that leave fewer than
+// the low watermark of free frames nudge the background reclaimer.
 func (a *Allocator) reserve(n int64) error {
 	cur := a.allocated.Add(n)
-	if l := a.limit.Load(); l > 0 && cur > l {
+	l := a.limit.Load()
+	if l > 0 && cur > l {
 		a.allocated.Add(-n)
+		if r := a.ReclaimerHook(); r != nil {
+			for attempt := 0; attempt < directReclaimRetries; attempt++ {
+				if !r.ReclaimFrames(n + (cur - l)) {
+					break
+				}
+				cur = a.allocated.Add(n)
+				l = a.limit.Load()
+				if l <= 0 || cur <= l {
+					a.updatePeak(cur)
+					return nil
+				}
+				a.allocated.Add(-n)
+			}
+		}
 		return ErrNoMemory
 	}
 	a.updatePeak(cur)
+	if l > 0 {
+		if lw := a.lowWater.Load(); lw > 0 && l-cur < lw {
+			if r := a.ReclaimerHook(); r != nil {
+				r.LowMemory()
+			}
+		}
+	}
 	return nil
+}
+
+// TryAllocNoReclaim is TryAlloc without the direct-reclaim retry: a
+// limit overrun fails immediately with ErrNoMemory. The reclaim
+// subsystem uses it for allocations made while a reclaim pass is in
+// flight, where recursing into reclaim would self-deadlock.
+func (a *Allocator) TryAllocNoReclaim() (Frame, error) {
+	cur := a.allocated.Add(1)
+	if l := a.limit.Load(); l > 0 && cur > l {
+		a.allocated.Add(-1)
+		return NoFrame, ErrNoMemory
+	}
+	a.updatePeak(cur)
+	f := a.allocFrame()
+	pi := a.info(f)
+	pi.flags = flagAllocated
+	pi.order = 0
+	pi.head = NoFrame
+	pi.refcount.Store(1)
+	pi.ptShared.Store(0)
+	a.totalOps.Add(1)
+	return f, nil
+}
+
+// TryAllocPageTableNoReclaim is TryAllocNoReclaim plus the page-table
+// flag, for tables built inside a reclaim pass.
+func (a *Allocator) TryAllocPageTableNoReclaim() (Frame, error) {
+	f, err := a.TryAllocNoReclaim()
+	if err != nil {
+		return NoFrame, err
+	}
+	a.info(f).flags |= flagPageTable
+	return f, nil
 }
 
 // updatePeak raises the high-water mark to cur (CAS max).
@@ -370,6 +478,39 @@ func (a *Allocator) release(head Frame, pi *PageInfo) {
 		a.freeFrame(head)
 		a.allocated.Add(-1)
 	}
+	if r := a.ReclaimerHook(); r != nil {
+		r.FrameFreed(head)
+	}
+}
+
+// SplitHuge converts a 2 MiB compound page with reference count 1 into
+// 512 independent order-0 frames, metadata only: no data moves, no
+// frames are allocated or freed, and the accounting total is unchanged
+// (the compound already counted as 512 base frames). Every resulting
+// frame — head included — comes out with reference count 1, matching
+// the one-reference-per-present-entry rule for the 512 PTEs the caller
+// installs in its place. The reclaim subsystem uses this to make cold
+// huge pages evictable at 4 KiB granularity.
+func (a *Allocator) SplitHuge(head Frame) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	hp := a.info(head)
+	if hp.flags&flagCompoundHead == 0 || hp.order != HugeOrder {
+		panic(fmt.Sprintf("phys: SplitHuge of non-compound frame %d", head))
+	}
+	if n := hp.refcount.Load(); n != 1 {
+		panic(fmt.Sprintf("phys: SplitHuge of frame %d with refcount %d", head, n))
+	}
+	hp.flags = flagAllocated
+	hp.order = 0
+	for i := Frame(1); i < 1<<HugeOrder; i++ {
+		tp := a.info(head + i)
+		tp.flags = flagAllocated
+		tp.order = 0
+		tp.head = NoFrame
+		tp.refcount.Store(1)
+		tp.ptShared.Store(0)
+	}
 }
 
 // PTShareGet atomically increments the page-table share counter stored
@@ -450,6 +591,9 @@ func (a *Allocator) CopyHugePage(dst, src Frame) {
 
 // Allocated returns the number of base frames currently allocated.
 func (a *Allocator) Allocated() int64 { return a.allocated.Load() }
+
+// Limit returns the configured frame cap (0 = unlimited).
+func (a *Allocator) Limit() int64 { return a.limit.Load() }
 
 // Peak returns the high-water mark of allocated base frames.
 func (a *Allocator) Peak() int64 { return a.peak.Load() }

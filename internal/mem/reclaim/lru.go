@@ -1,0 +1,112 @@
+package reclaim
+
+// Two-list LRU with second-chance aging, the classic active/inactive
+// design: new and recently referenced frames live on the active list,
+// aging moves cold frames to the inactive list, and eviction candidates
+// come off the inactive list's head. The accessed bits of the PTEs that
+// map a frame (read and cleared atomically at scan time) provide the
+// reference signal, exactly like the hardware-assisted aging real
+// kernels do.
+//
+// The lists are intrusive doubly linked rings over frameNode, protected
+// by the manager's mutex.
+
+// Which list a node is on.
+const (
+	onNone = iota
+	onActive
+	onInactive
+)
+
+// lruList is one intrusive doubly linked list of frameNodes.
+type lruList struct {
+	head, tail *frameNode
+	size       int
+}
+
+// pushBack appends n (most recently touched end).
+func (l *lruList) pushBack(n *frameNode) {
+	n.prev, n.next = l.tail, nil
+	if l.tail != nil {
+		l.tail.next = n
+	} else {
+		l.head = n
+	}
+	l.tail = n
+	l.size++
+}
+
+// popFront removes and returns the oldest node (nil when empty).
+func (l *lruList) popFront() *frameNode {
+	n := l.head
+	if n != nil {
+		l.remove(n)
+	}
+	return n
+}
+
+// remove unlinks n, which must be on this list.
+func (l *lruList) remove(n *frameNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+	l.size--
+}
+
+// lru is the two-list aggregate.
+type lru struct {
+	active, inactive lruList
+}
+
+// add inserts a node on the given list's recent end.
+func (q *lru) add(n *frameNode, list int) {
+	switch list {
+	case onActive:
+		q.active.pushBack(n)
+	case onInactive:
+		q.inactive.pushBack(n)
+	default:
+		panic("reclaim: add to no list")
+	}
+	n.list = list
+}
+
+// remove takes n off whichever list holds it.
+func (q *lru) remove(n *frameNode) {
+	switch n.list {
+	case onActive:
+		q.active.remove(n)
+	case onInactive:
+		q.inactive.remove(n)
+	}
+	n.list = onNone
+}
+
+// refill demotes up to batch of the oldest active nodes to the inactive
+// list when the inactive list has shrunk below a third of the total —
+// the aging step that keeps an eviction candidate pool available.
+func (q *lru) refill(batch int) {
+	total := q.active.size + q.inactive.size
+	if total == 0 || q.inactive.size*3 >= total {
+		return
+	}
+	for i := 0; i < batch; i++ {
+		n := q.active.popFront()
+		if n == nil {
+			return
+		}
+		n.list = onInactive
+		q.inactive.pushBack(n)
+		if q.inactive.size*3 >= q.active.size+q.inactive.size {
+			return
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package reclaim
+
+import "testing"
+
+func nodes(n int) []*frameNode {
+	ns := make([]*frameNode, n)
+	for i := range ns {
+		ns[i] = &frameNode{}
+	}
+	return ns
+}
+
+func TestLRUOrder(t *testing.T) {
+	var q lru
+	ns := nodes(3)
+	for _, n := range ns {
+		q.add(n, onInactive)
+	}
+	// FIFO off the inactive head: oldest first.
+	for i := 0; i < 3; i++ {
+		n := q.inactive.popFront()
+		if n != ns[i] {
+			t.Fatalf("pop %d returned wrong node", i)
+		}
+		n.list = onNone
+	}
+	if q.inactive.popFront() != nil {
+		t.Fatal("pop from empty list returned a node")
+	}
+}
+
+func TestLRURemoveMiddleAndNone(t *testing.T) {
+	var q lru
+	ns := nodes(3)
+	for _, n := range ns {
+		q.add(n, onActive)
+	}
+	q.remove(ns[1])
+	if q.active.size != 2 || ns[1].list != onNone {
+		t.Fatalf("middle removal left size=%d list=%d", q.active.size, ns[1].list)
+	}
+	// Removing a node that is on no list (e.g. popped by a concurrent
+	// eviction pass) must be a no-op, not a corruption.
+	q.remove(ns[1])
+	if q.active.size != 2 {
+		t.Fatalf("remove of unlisted node changed size to %d", q.active.size)
+	}
+	if q.active.popFront() != ns[0] || q.active.popFront() != ns[2] {
+		t.Fatal("list order corrupted by middle removal")
+	}
+}
+
+// TestLRURefill pins the aging policy: refill demotes the oldest
+// active nodes until the inactive list reaches a third of the total.
+func TestLRURefill(t *testing.T) {
+	var q lru
+	ns := nodes(9)
+	for _, n := range ns {
+		q.add(n, onActive)
+	}
+	q.refill(100)
+	if q.inactive.size == 0 {
+		t.Fatal("refill demoted nothing")
+	}
+	if q.inactive.size*3 < q.active.size+q.inactive.size {
+		t.Fatalf("inactive %d below a third of %d after refill",
+			q.inactive.size, q.active.size+q.inactive.size)
+	}
+	// The demoted nodes are the oldest actives, preserving order.
+	if q.inactive.head != ns[0] {
+		t.Fatal("refill did not demote the oldest active node first")
+	}
+	// Already balanced: another refill is a no-op.
+	before := q.inactive.size
+	q.refill(100)
+	if q.inactive.size != before {
+		t.Fatal("refill demoted despite balanced lists")
+	}
+	// A batch bound is respected when far out of balance.
+	var q2 lru
+	for _, n := range nodes(90) {
+		q2.add(n, onActive)
+	}
+	q2.refill(5)
+	if q2.inactive.size != 5 {
+		t.Fatalf("refill batch=5 demoted %d", q2.inactive.size)
+	}
+}

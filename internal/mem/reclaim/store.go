@@ -1,0 +1,197 @@
+package reclaim
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/mem/addr"
+)
+
+// Store is the pluggable swap backing device: it persists 4 KiB page
+// payloads under integer slot numbers. Implementations must be safe for
+// concurrent use. Slot numbers returned by Write are always >= 1; slot
+// 0 is reserved by the manager for the implicit zero page (a reclaimed
+// page whose frame was never materialized needs no store I/O at all).
+type Store interface {
+	// Write persists one page and returns its slot number.
+	Write(data []byte) (uint64, error)
+	// Read copies the payload of slot into dst (len(dst) = page size).
+	Read(slot uint64, dst []byte) error
+	// Free releases the slot for reuse.
+	Free(slot uint64)
+	// Stats reports occupancy.
+	Stats() StoreStats
+	// Close releases resources held by the store.
+	Close() error
+}
+
+// StoreStats is a store occupancy snapshot.
+type StoreStats struct {
+	Slots int64 // slots currently holding a page
+	Bytes int64 // bytes of backing occupied (compressed/file size)
+}
+
+// MemStore is the default backing store: pages are held in memory,
+// DEFLATE-compressed individually. It models a zram/zswap-style
+// compressed RAM device — the payloads survive in host memory, but cost
+// far less than a resident simulated frame for the compressible data
+// typical of the paper's workloads.
+type MemStore struct {
+	mu    sync.Mutex
+	slots map[uint64][]byte
+	next  uint64
+	free  []uint64
+	bytes int64
+}
+
+// NewMemStore returns an empty compressed in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{slots: make(map[uint64][]byte), next: 1}
+}
+
+// Write implements Store.
+func (s *MemStore) Write(data []byte) (uint64, error) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(data); err != nil {
+		return 0, err
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	comp := append([]byte(nil), buf.Bytes()...)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var slot uint64
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		slot = s.next
+		s.next++
+	}
+	s.slots[slot] = comp
+	s.bytes += int64(len(comp))
+	return slot, nil
+}
+
+// Read implements Store.
+func (s *MemStore) Read(slot uint64, dst []byte) error {
+	s.mu.Lock()
+	comp, ok := s.slots[slot]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("reclaim: memstore read of empty slot %d", slot)
+	}
+	r := flate.NewReader(bytes.NewReader(comp))
+	defer r.Close()
+	if _, err := io.ReadFull(r, dst); err != nil {
+		return fmt.Errorf("reclaim: memstore slot %d corrupt: %w", slot, err)
+	}
+	return nil
+}
+
+// Free implements Store.
+func (s *MemStore) Free(slot uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if comp, ok := s.slots[slot]; ok {
+		s.bytes -= int64(len(comp))
+		delete(s.slots, slot)
+		s.free = append(s.free, slot)
+	}
+}
+
+// Stats implements Store.
+func (s *MemStore) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{Slots: int64(len(s.slots)), Bytes: s.bytes}
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.slots = make(map[uint64][]byte)
+	s.free = nil
+	s.bytes = 0
+	return nil
+}
+
+// FileStore is the optional file-backed store: a classic swap file with
+// one page-sized extent per slot. Slot n lives at offset (n-1)*4096.
+type FileStore struct {
+	mu    sync.Mutex
+	f     *os.File
+	next  uint64
+	free  []uint64
+	slots int64
+}
+
+// NewFileStore creates (truncating) a swap file at path.
+func NewFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("reclaim: open swap file: %w", err)
+	}
+	return &FileStore{f: f, next: 1}, nil
+}
+
+// Write implements Store.
+func (s *FileStore) Write(data []byte) (uint64, error) {
+	s.mu.Lock()
+	var slot uint64
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		slot = s.next
+		s.next++
+	}
+	s.slots++
+	s.mu.Unlock()
+
+	if _, err := s.f.WriteAt(data, int64(slot-1)*addr.PageSize); err != nil {
+		s.mu.Lock()
+		s.slots--
+		s.free = append(s.free, slot)
+		s.mu.Unlock()
+		return 0, fmt.Errorf("reclaim: swap file write: %w", err)
+	}
+	return slot, nil
+}
+
+// Read implements Store.
+func (s *FileStore) Read(slot uint64, dst []byte) error {
+	if _, err := s.f.ReadAt(dst, int64(slot-1)*addr.PageSize); err != nil {
+		return fmt.Errorf("reclaim: swap file read of slot %d: %w", slot, err)
+	}
+	return nil
+}
+
+// Free implements Store.
+func (s *FileStore) Free(slot uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.slots--
+	s.free = append(s.free, slot)
+}
+
+// Stats implements Store.
+func (s *FileStore) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{Slots: s.slots, Bytes: s.slots * addr.PageSize}
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error { return s.f.Close() }

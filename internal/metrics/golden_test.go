@@ -66,6 +66,29 @@ func goldenSnapshot() Snapshot {
 	s.Alloc.FramesPeak = 9_000
 	s.Alloc.ShardCached = 128
 
+	s.Reclaim.PgScanKswapd = 64
+	s.Reclaim.PgScanDirect = 16
+	s.Reclaim.PgStealKswapd = 48
+	s.Reclaim.PgStealDirect = 12
+	s.Reclaim.PswpIn = 30
+	s.Reclaim.PswpOut = 60
+	s.Reclaim.HugeSplits = 1
+	s.Reclaim.KswapdWakeups = 5
+	s.Reclaim.DirectReclaims = 2
+	s.Reclaim.SwapInLatency.Count = 30
+	s.Reclaim.SwapInLatency.SumNS = 90_000
+	s.Reclaim.SwapInLatency.MaxNS = 5_000
+	s.Reclaim.SwapInLatency.Buckets[11] = 30 // [2.05µs, 4.1µs)
+	s.Reclaim.SwapOutLatency.Count = 60
+	s.Reclaim.SwapOutLatency.SumNS = 300_000
+	s.Reclaim.SwapOutLatency.MaxNS = 9_000
+	s.Reclaim.SwapOutLatency.Buckets[12] = 60 // [4.1µs, 8.2µs)
+	s.Reclaim.DirectStallLatency.Count = 2
+	s.Reclaim.DirectStallLatency.SumNS = 400_000
+	s.Reclaim.DirectStallLatency.MaxNS = 300_000
+	s.Reclaim.DirectStallLatency.Buckets[17] = 1 // [131µs, 262µs)
+	s.Reclaim.DirectStallLatency.Buckets[18] = 1 // [262µs, 524µs)
+
 	s.TLB.Hits = 1_000
 	s.TLB.Misses = 50
 	s.TLB.Flushes = 6

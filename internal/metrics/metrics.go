@@ -197,6 +197,23 @@ type Registry struct {
 		HugeAllocs   Counter // order-9 compound allocations (buddy direct)
 	}
 
+	// Reclaim metrics (internal/mem/reclaim): LRU scanning, eviction,
+	// swap I/O, and huge-page splits. Names follow /proc/vmstat.
+	Reclaim struct {
+		PgScanKswapd       Counter   // LRU pages scanned by the background reclaimer
+		PgScanDirect       Counter   // LRU pages scanned by direct reclaim
+		PgStealKswapd      Counter   // pages evicted by the background reclaimer
+		PgStealDirect      Counter   // pages evicted by direct reclaim
+		PswpIn             Counter   // pages read back from the swap store
+		PswpOut            Counter   // pages written to the swap store
+		HugeSplits         Counter   // 2 MiB mappings split for eviction
+		KswapdWakeups      Counter   // kswapd episodes that found pressure
+		DirectReclaims     Counter   // allocations that entered direct reclaim
+		SwapInLatency      Histogram // fault-path swap-in stall
+		SwapOutLatency     Histogram // store write during eviction
+		DirectStallLatency Histogram // full direct-reclaim stall
+	}
+
 	// TLB metrics. The live TLBs keep their own per-process atomics;
 	// the kernel folds exited processes' totals in here and sums live
 	// ones at snapshot time, so the hot lookup path pays nothing extra.
@@ -263,6 +280,19 @@ func (r *Registry) Snapshot() Snapshot {
 	s.Alloc.ShardRefills = r.Alloc.ShardRefills.Load()
 	s.Alloc.ShardDrains = r.Alloc.ShardDrains.Load()
 	s.Alloc.HugeAllocs = r.Alloc.HugeAllocs.Load()
+
+	s.Reclaim.PgScanKswapd = r.Reclaim.PgScanKswapd.Load()
+	s.Reclaim.PgScanDirect = r.Reclaim.PgScanDirect.Load()
+	s.Reclaim.PgStealKswapd = r.Reclaim.PgStealKswapd.Load()
+	s.Reclaim.PgStealDirect = r.Reclaim.PgStealDirect.Load()
+	s.Reclaim.PswpIn = r.Reclaim.PswpIn.Load()
+	s.Reclaim.PswpOut = r.Reclaim.PswpOut.Load()
+	s.Reclaim.HugeSplits = r.Reclaim.HugeSplits.Load()
+	s.Reclaim.KswapdWakeups = r.Reclaim.KswapdWakeups.Load()
+	s.Reclaim.DirectReclaims = r.Reclaim.DirectReclaims.Load()
+	s.Reclaim.SwapInLatency = r.Reclaim.SwapInLatency.Snapshot()
+	s.Reclaim.SwapOutLatency = r.Reclaim.SwapOutLatency.Snapshot()
+	s.Reclaim.DirectStallLatency = r.Reclaim.DirectStallLatency.Snapshot()
 
 	s.TLB.Hits = r.TLB.Hits.Load()
 	s.TLB.Misses = r.TLB.Misses.Load()

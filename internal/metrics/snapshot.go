@@ -135,6 +135,22 @@ type AllocSnapshot struct {
 	ShardCached  int64 // gauge: free frames parked in shard caches
 }
 
+// ReclaimSnapshot covers the memory reclaim subsystem.
+type ReclaimSnapshot struct {
+	PgScanKswapd       uint64
+	PgScanDirect       uint64
+	PgStealKswapd      uint64
+	PgStealDirect      uint64
+	PswpIn             uint64
+	PswpOut            uint64
+	HugeSplits         uint64
+	KswapdWakeups      uint64
+	DirectReclaims     uint64
+	SwapInLatency      HistogramSnapshot
+	SwapOutLatency     HistogramSnapshot
+	DirectStallLatency HistogramSnapshot
+}
+
 // TLBSnapshot aggregates every process's software TLB.
 type TLBSnapshot struct {
 	Hits       uint64
@@ -145,10 +161,11 @@ type TLBSnapshot struct {
 
 // Snapshot is the typed telemetry tree the public API returns.
 type Snapshot struct {
-	Fork  ForkSnapshot
-	Fault FaultSnapshot
-	Alloc AllocSnapshot
-	TLB   TLBSnapshot
+	Fork    ForkSnapshot
+	Fault   FaultSnapshot
+	Alloc   AllocSnapshot
+	Reclaim ReclaimSnapshot
+	TLB     TLBSnapshot
 }
 
 // Sub returns the delta s − prev: counters and histograms subtract,
@@ -187,6 +204,19 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	d.Alloc.FramesInUse = s.Alloc.FramesInUse
 	d.Alloc.FramesPeak = s.Alloc.FramesPeak
 	d.Alloc.ShardCached = s.Alloc.ShardCached
+
+	d.Reclaim.PgScanKswapd = s.Reclaim.PgScanKswapd - prev.Reclaim.PgScanKswapd
+	d.Reclaim.PgScanDirect = s.Reclaim.PgScanDirect - prev.Reclaim.PgScanDirect
+	d.Reclaim.PgStealKswapd = s.Reclaim.PgStealKswapd - prev.Reclaim.PgStealKswapd
+	d.Reclaim.PgStealDirect = s.Reclaim.PgStealDirect - prev.Reclaim.PgStealDirect
+	d.Reclaim.PswpIn = s.Reclaim.PswpIn - prev.Reclaim.PswpIn
+	d.Reclaim.PswpOut = s.Reclaim.PswpOut - prev.Reclaim.PswpOut
+	d.Reclaim.HugeSplits = s.Reclaim.HugeSplits - prev.Reclaim.HugeSplits
+	d.Reclaim.KswapdWakeups = s.Reclaim.KswapdWakeups - prev.Reclaim.KswapdWakeups
+	d.Reclaim.DirectReclaims = s.Reclaim.DirectReclaims - prev.Reclaim.DirectReclaims
+	d.Reclaim.SwapInLatency = s.Reclaim.SwapInLatency.Sub(prev.Reclaim.SwapInLatency)
+	d.Reclaim.SwapOutLatency = s.Reclaim.SwapOutLatency.Sub(prev.Reclaim.SwapOutLatency)
+	d.Reclaim.DirectStallLatency = s.Reclaim.DirectStallLatency.Sub(prev.Reclaim.DirectStallLatency)
 
 	d.TLB.Hits = s.TLB.Hits - prev.TLB.Hits
 	d.TLB.Misses = s.TLB.Misses - prev.TLB.Misses
@@ -256,6 +286,19 @@ func (s Snapshot) Render() string {
 	gauge("alloc.frames_in_use", s.Alloc.FramesInUse)
 	gauge("alloc.frames_peak", s.Alloc.FramesPeak)
 	gauge("alloc.shard_cached", s.Alloc.ShardCached)
+
+	line("reclaim.pgscan_kswapd", s.Reclaim.PgScanKswapd)
+	line("reclaim.pgscan_direct", s.Reclaim.PgScanDirect)
+	line("reclaim.pgsteal_kswapd", s.Reclaim.PgStealKswapd)
+	line("reclaim.pgsteal_direct", s.Reclaim.PgStealDirect)
+	line("reclaim.pswpin", s.Reclaim.PswpIn)
+	line("reclaim.pswpout", s.Reclaim.PswpOut)
+	line("reclaim.huge_splits", s.Reclaim.HugeSplits)
+	line("reclaim.kswapd_wakeups", s.Reclaim.KswapdWakeups)
+	line("reclaim.direct_reclaims", s.Reclaim.DirectReclaims)
+	hist("reclaim.swapin.latency", s.Reclaim.SwapInLatency)
+	hist("reclaim.swapout.latency", s.Reclaim.SwapOutLatency)
+	hist("reclaim.direct_stall.latency", s.Reclaim.DirectStallLatency)
 
 	line("tlb.hits", s.TLB.Hits)
 	line("tlb.misses", s.TLB.Misses)

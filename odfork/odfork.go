@@ -39,8 +39,10 @@ import (
 // ErrBadAddr and ErrProtViolation also classify segfaults: a
 // *SegfaultError unwraps to whichever of the two applies.
 var (
-	// ErrNoMem reports simulated physical memory exhaustion (only
-	// possible when a frame limit is set; see System.SetFrameLimit).
+	// ErrNoMem reports simulated physical memory exhaustion — only
+	// possible when a frame limit is set (System.SetFrameLimit), and,
+	// when swap is enabled (System.SetSwapEnabled), only after direct
+	// reclaim has failed to free enough frames.
 	ErrNoMem = core.ErrOutOfMemory
 	// ErrBadAddr reports an access to unmapped memory or a malformed
 	// address, range, or size argument.
@@ -207,16 +209,42 @@ func (s *System) Metrics() MetricsSnapshot { return s.k.MetricsSnapshot() }
 func (s *System) SetMetricsEnabled(on bool) { s.k.Metrics().SetEnabled(on) }
 
 // Procfs reads a file of the simulated procfs namespace:
-// /proc/odf/metrics, /proc/odf/profile, /proc/<pid>/maps and
-// /proc/<pid>/status. Unknown paths fail with an error wrapping
-// fs.ErrNotExist.
+// /proc/odf/metrics, /proc/odf/vmstat, /proc/odf/profile,
+// /proc/<pid>/maps and /proc/<pid>/status. Unknown paths fail with an
+// error wrapping fs.ErrNotExist.
 func (s *System) Procfs(path string) (string, error) { return s.k.Procfs(path) }
 
 // SetFrameLimit caps the simulated physical memory at the given number
-// of 4 KiB frames (0 removes the cap). Allocation beyond the cap fails
-// with an error wrapping ErrNoMem — the hook for exercising
-// out-of-memory behaviour.
+// of 4 KiB frames (0 removes the cap). With swap disabled, allocation
+// beyond the cap fails with an error wrapping ErrNoMem. With swap
+// enabled (SetSwapEnabled), the allocator first stalls in direct
+// reclaim, evicting cold pages to the swap store, and only returns
+// ErrNoMem if reclaim cannot free enough frames.
 func (s *System) SetFrameLimit(frames int64) { s.k.Allocator().SetLimit(frames) }
+
+// SetSwapEnabled turns the memory reclaim subsystem on or off. When
+// on, a kswapd-style background goroutine keeps free frames above a
+// low watermark by evicting cold pages (LRU order, second-chance
+// aging) to the swap store, and allocations that still hit the frame
+// limit perform synchronous direct reclaim before failing. Off by
+// default; turning it off stops kswapd and drops LRU tracking, while
+// already-swapped pages keep faulting back in transparently.
+func (s *System) SetSwapEnabled(on bool) { s.k.SetSwapEnabled(on) }
+
+// SwapEnabled reports whether the reclaim subsystem is active.
+func (s *System) SwapEnabled() bool { return s.k.SwapEnabled() }
+
+// SetSwapWatermarks pins kswapd's watermarks in frames: below low free
+// frames kswapd wakes and reclaims until high are free. (0, 0) returns
+// to watermarks derived automatically from the frame limit.
+func (s *System) SetSwapWatermarks(low, high int64) error {
+	return s.k.SetSwapWatermarks(low, high)
+}
+
+// SetSwapStoreFile backs swap with a file at path instead of the
+// default in-memory compressed store — the simulated swapon. Only
+// legal while swap is disabled with no pages swapped out.
+func (s *System) SetSwapStoreFile(path string) error { return s.k.SetSwapStoreFile(path) }
 
 // CreateFile creates an in-memory file for file-backed mappings.
 func (s *System) CreateFile(name string) *File { return s.k.FS().Create(name) }

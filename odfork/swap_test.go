@@ -1,0 +1,209 @@
+package odfork_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/odfork"
+)
+
+// TestErrNoMemSentinel pins the v1 error contract through the public
+// facade: with swap off, exceeding the frame limit returns an error
+// that errors.Is-matches odfork.ErrNoMem, and raising the limit
+// repairs the process.
+func TestErrNoMemSentinel(t *testing.T) {
+	sys := odfork.NewSystem()
+	p := sys.NewProcess()
+	defer p.Exit()
+	base, err := p.Mmap(64*odfork.PageSize, odfork.ProtRead|odfork.ProtWrite, odfork.MapPrivate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetFrameLimit(sys.AllocatedFrames() + 4)
+	var oom error
+	for i := 0; i < 64 && oom == nil; i++ {
+		if err := p.StoreByte(base+odfork.Addr(uint64(i)*odfork.PageSize), 1); err != nil {
+			oom = err
+		}
+	}
+	if oom == nil {
+		t.Fatal("no error under frame limit with swap off")
+	}
+	if !errors.Is(oom, odfork.ErrNoMem) {
+		t.Fatalf("errors.Is(err, ErrNoMem) = false for %v", oom)
+	}
+	sys.SetFrameLimit(0)
+	if err := p.StoreByte(base, 1); err != nil {
+		t.Fatalf("write after limit lifted: %v", err)
+	}
+}
+
+// TestServerlessUnderPressure is the headline acceptance scenario: a
+// serverless-style warm runtime whose footprint is double the frame
+// limit. With swap on, initialization, forked invocations, and
+// verification all complete with zero ErrNoMem, every byte survives
+// the swap round-trip, and the reclaimer has actually run.
+func TestServerlessUnderPressure(t *testing.T) {
+	sys := odfork.NewSystem()
+	sys.SetSwapEnabled(true)
+	defer sys.SetSwapEnabled(false)
+
+	const (
+		runtimePages = 512 // 2 MiB warm runtime state
+		pageSz       = odfork.PageSize
+	)
+	// Frame limit at 50% of the workload footprint (plus table overhead).
+	sys.SetFrameLimit(sys.AllocatedFrames() + runtimePages/2 + 32)
+	defer sys.SetFrameLimit(0)
+
+	runtime := sys.NewProcess()
+	defer runtime.Exit()
+	base, err := runtime.Mmap(runtimePages*pageSz, odfork.ProtRead|odfork.ProtWrite, odfork.MapPrivate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := func(i int) []byte {
+		b := make([]byte, pageSz)
+		for j := range b {
+			b[j] = byte(i*37 + j)
+		}
+		return b
+	}
+	for i := 0; i < runtimePages; i++ {
+		if err := runtime.WriteAt(page(i), base+odfork.Addr(uint64(i)*pageSz)); err != nil {
+			t.Fatalf("runtime init page %d: %v", i, err)
+		}
+	}
+
+	// Warm-start invocations off the over-committed runtime.
+	for inv := 0; inv < 4; inv++ {
+		child, err := runtime.Fork(odfork.WithMode(odfork.OnDemand))
+		if err != nil {
+			t.Fatalf("invocation %d fork: %v", inv, err)
+		}
+		// Each invocation reads scattered runtime state (swapping cold
+		// pages back in) and writes private scratch.
+		buf := make([]byte, pageSz)
+		for i := inv; i < runtimePages; i += 17 {
+			if err := child.ReadAt(buf, base+odfork.Addr(uint64(i)*pageSz)); err != nil {
+				t.Fatalf("invocation %d read page %d: %v", inv, i, err)
+			}
+			if !bytes.Equal(buf, page(i)) {
+				t.Fatalf("invocation %d: page %d corrupted by swap round-trip", inv, i)
+			}
+		}
+		if err := child.WriteAt([]byte("scratch"), base+odfork.Addr(uint64(inv)*pageSz)); err != nil {
+			t.Fatalf("invocation %d scratch write: %v", inv, err)
+		}
+		child.Exit()
+		child.Wait()
+	}
+
+	// The runtime's full state is intact, byte for byte.
+	buf := make([]byte, pageSz)
+	for i := 0; i < runtimePages; i++ {
+		if err := runtime.ReadAt(buf, base+odfork.Addr(uint64(i)*pageSz)); err != nil {
+			t.Fatalf("verify page %d: %v", i, err)
+		}
+		if !bytes.Equal(buf, page(i)) {
+			t.Fatalf("runtime page %d corrupted", i)
+		}
+	}
+
+	// The pressure was real: pages were swapped out and back.
+	vmstat, err := sys.Procfs("/proc/odf/vmstat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pswpout ", "pswpin "} {
+		if !nonzeroLine(vmstat, want) {
+			t.Errorf("vmstat shows no %s traffic:\n%s", want, vmstat)
+		}
+	}
+}
+
+// nonzeroLine reports whether vmstat has line `<prefix><nonzero>`.
+func nonzeroLine(vmstat, prefix string) bool {
+	for len(vmstat) > 0 {
+		line := vmstat
+		if i := bytes.IndexByte([]byte(vmstat), '\n'); i >= 0 {
+			line, vmstat = vmstat[:i], vmstat[i+1:]
+		} else {
+			vmstat = ""
+		}
+		if len(line) > len(prefix) && line[:len(prefix)] == prefix {
+			return line[len(prefix):] != "0"
+		}
+	}
+	return false
+}
+
+// TestSwapOffEquivalence: enabling and then disabling swap returns the
+// system to the fail-fast behavior, and a system that never enables
+// swap behaves identically to one without the subsystem.
+func TestSwapOffEquivalence(t *testing.T) {
+	sys := odfork.NewSystem()
+	if sys.SwapEnabled() {
+		t.Fatal("swap enabled by default")
+	}
+	sys.SetSwapEnabled(true)
+	sys.SetSwapEnabled(false)
+
+	p := sys.NewProcess()
+	defer p.Exit()
+	base, err := p.Mmap(32*odfork.PageSize, odfork.ProtRead|odfork.ProtWrite, odfork.MapPrivate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetFrameLimit(sys.AllocatedFrames() + 2)
+	defer sys.SetFrameLimit(0)
+	var oom bool
+	for i := 0; i < 32; i++ {
+		if err := p.StoreByte(base+odfork.Addr(uint64(i)*odfork.PageSize), 1); err != nil {
+			if !errors.Is(err, odfork.ErrNoMem) {
+				t.Fatalf("err = %v, want ErrNoMem", err)
+			}
+			oom = true
+			break
+		}
+	}
+	if !oom {
+		t.Fatal("frame limit not enforced after swap disable")
+	}
+}
+
+// TestSwapStoreFile exercises the swapon-style file backend end to end.
+func TestSwapStoreFile(t *testing.T) {
+	sys := odfork.NewSystem()
+	if err := sys.SetSwapStoreFile(t.TempDir() + "/swap"); err != nil {
+		t.Fatal(err)
+	}
+	sys.SetSwapEnabled(true)
+	defer sys.SetSwapEnabled(false)
+
+	p := sys.NewProcess()
+	defer p.Exit()
+	const pages = 128
+	sys.SetFrameLimit(sys.AllocatedFrames() + pages/2 + 16)
+	defer sys.SetFrameLimit(0)
+	base, err := p.Mmap(pages*odfork.PageSize, odfork.ProtRead|odfork.ProtWrite, odfork.MapPrivate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := bytes.Repeat([]byte{0x5C}, int(odfork.PageSize))
+	for i := 0; i < pages; i++ {
+		if err := p.WriteAt(pattern, base+odfork.Addr(uint64(i)*odfork.PageSize)); err != nil {
+			t.Fatalf("write page %d: %v", i, err)
+		}
+	}
+	got := make([]byte, odfork.PageSize)
+	for i := 0; i < pages; i++ {
+		if err := p.ReadAt(got, base+odfork.Addr(uint64(i)*odfork.PageSize)); err != nil {
+			t.Fatalf("read page %d: %v", i, err)
+		}
+		if !bytes.Equal(got, pattern) {
+			t.Fatalf("page %d corrupted through file-backed swap", i)
+		}
+	}
+}
