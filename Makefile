@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench pressure
+.PHONY: all build vet test race bench pressure trace
 
 all: build test
 
@@ -15,9 +15,10 @@ test:
 	$(GO) test ./...
 
 # The concurrency-sensitive packages: the parallel fork engine, the
-# sharded allocator, and everything between them.
+# sharded allocator, the lock-free flight recorder, and everything
+# between them.
 race:
-	$(GO) test -race ./internal/core/... ./internal/mem/...
+	$(GO) test -race ./internal/core/... ./internal/mem/... ./internal/trace/...
 
 # Fixed iteration count: several benchmarks do expensive unmeasured
 # setup per iteration (see bench_test.go).
@@ -32,3 +33,10 @@ pressure:
 	$(GO) test -race -run 'Swap|Kswapd|Reclaim|Vmstat|Pressure' ./internal/core ./internal/kernel ./internal/mem/reclaim ./odfork
 	$(GO) test -run '^$$' -bench BenchmarkForkUnderPressure -benchtime 3x .
 	$(GO) run ./cmd/odf-bench -max-gb 0.25 -reps 2 pressure
+
+# Flight-recorder artifact: record a fork/fault/reclaim window, export
+# it as Chrome trace-event JSON (load trace.json in ui.perfetto.dev),
+# and validate the file. CI runs this as the trace gate.
+trace:
+	$(GO) run ./cmd/odf-bench -max-gb 0.25 -reps 2 -trace-out trace.json trace
+	$(GO) run ./cmd/odf-tracecheck trace.json

@@ -75,18 +75,25 @@ func benchFork(b *testing.B, size uint64, mode core.ForkMode, flags vm.MapFlags)
 
 // BenchmarkForkOnDemand measures the headline operation — an
 // on-demand fork of a 256 MiB process — with telemetry collection on
-// (the default) and off, so the two sub-benchmarks bound the overhead
-// of the metrics layer on the hot path.
+// (the default) and off, and with the flight recorder on and off, so
+// the sub-benchmarks bound the overhead of both observability layers
+// on the hot path. trace-off is the shipping configuration (tracing
+// costs one atomic load per instrumentation point); the acceptance
+// bar is trace-off within 2% of metrics-on.
 func BenchmarkForkOnDemand(b *testing.B) {
 	for _, mc := range []struct {
-		name string
-		opts []kernel.Option
+		name  string
+		opts  []kernel.Option
+		trace bool
 	}{
-		{"metrics-on", nil},
-		{"metrics-off", []kernel.Option{kernel.WithMetricsDisabled()}},
+		{"metrics-on", nil, false},
+		{"metrics-off", []kernel.Option{kernel.WithMetricsDisabled()}, false},
+		{"trace-off", nil, false},
+		{"trace-on", nil, true},
 	} {
 		b.Run(mc.name, func(b *testing.B) {
 			k := kernel.New(mc.opts...)
+			k.SetTraceEnabled(mc.trace)
 			p := forkParent(b, k, 256*benchMiB, popFlags)
 			defer p.Exit()
 			b.ResetTimer()

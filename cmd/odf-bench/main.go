@@ -8,7 +8,7 @@
 // Experiments: fig2 fig3 fig4 fig7 fig8 fig9 fig10
 //
 //	tab1 tab2 tab3 tab45 tab67 ablation hugeext memsave
-//	parfork pressure all
+//	parfork pressure trace all
 //
 // Flags scale the runs; defaults keep a full "all" pass in the minutes
 // range. Absolute numbers differ from the paper's bare-metal testbed;
@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/trace"
 )
 
 var (
@@ -34,6 +35,7 @@ var (
 	seconds  = flag.Int("seconds", 10, "wall-clock seconds per fuzzing campaign (fig9/fig10)")
 	scaleArg = flag.String("scale", "default", "application experiment scale: small|default|large")
 	workers  = flag.Int("fork-workers", 4, "max worker count for the parfork sweep (ForkOptions.Parallelism)")
+	traceOut = flag.String("trace-out", "", "write the trace experiment's timeline as Chrome trace-event JSON to this file (load in ui.perfetto.dev)")
 )
 
 type experiment struct {
@@ -183,6 +185,27 @@ func registry() []experiment {
 		}},
 		{"pressure", "fork latency under frame-limit pressure, swap off/on", func() (string, error) {
 			_, s, err := experiments.RunPressure(maxBytes, *reps)
+			return s, err
+		}},
+		{"trace", "flight-recorder timeline of a fork/fault/reclaim window", func() (string, error) {
+			snap, s, err := experiments.RunTrace(maxBytes, *reps)
+			if err != nil {
+				return "", err
+			}
+			if *traceOut != "" {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					return "", err
+				}
+				if err := trace.WriteTo(f, snap, trace.FormatChrome); err != nil {
+					f.Close()
+					return "", err
+				}
+				if err := f.Close(); err != nil {
+					return "", err
+				}
+				s += fmt.Sprintf("\ntrace written to %s (load in ui.perfetto.dev)\n", *traceOut)
+			}
 			return s, err
 		}},
 	}

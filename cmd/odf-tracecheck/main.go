@@ -1,0 +1,47 @@
+// Command odf-tracecheck validates a Chrome trace-event JSON file as
+// produced by odf-bench -trace-out (or System.WriteTrace): well-formed
+// JSON with the expected envelope, non-negative monotonic timestamps,
+// durations on every complete event, and balanced B/E nesting per
+// thread. CI runs it against the `make trace` artifact; run it by hand
+// before loading a trace into ui.perfetto.dev.
+//
+// Usage:
+//
+//	odf-tracecheck <trace.json>
+//
+// Exits 0 and reports the event count when the file validates, 1 with
+// the first violation otherwise.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: odf-tracecheck <trace.json>")
+		os.Exit(2)
+	}
+	path := os.Args[1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "odf-tracecheck: %v\n", err)
+		os.Exit(1)
+	}
+	if err := trace.ValidateChrome(data); err != nil {
+		fmt.Fprintf(os.Stderr, "odf-tracecheck: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "odf-tracecheck: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: valid Chrome trace, %d events\n", path, len(doc.TraceEvents))
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mem/addr"
 	"repro/internal/mem/pagetable"
+	"repro/internal/trace"
 )
 
 // The access layer is the simulated MMU: every application load or
@@ -33,14 +34,16 @@ const oomRetries = 3
 // free: the worst-case fault needs a data page plus a few page tables.
 const faultReserveFrames = 8
 
-// stallReclaim runs direct reclaim with no space lock held. It returns
-// false when reclaim is off or could free nothing, meaning the OOM is
-// final.
-func (as *AddressSpace) stallReclaim() bool {
+// stallReclaim runs direct reclaim with no space lock held, marking
+// the stall on the flight recorder (the reclaim pass itself records
+// its own scan span). It returns false when reclaim is off or could
+// free nothing, meaning the OOM is final.
+func (as *AddressSpace) stallReclaim(try int) bool {
 	m := as.trk()
 	if m == nil {
 		return false
 	}
+	as.trc.Instant(trace.KindOOMStall, trace.StageNone, trace.ActorApp, uint64(try+1), 0)
 	return m.ReclaimFrames(faultReserveFrames)
 }
 
@@ -94,7 +97,7 @@ func (as *AddressSpace) StoreByte(v addr.V, b byte) error {
 func (as *AddressSpace) Touch(v addr.V, write bool) error {
 	for tries := 0; ; tries++ {
 		err := as.touchOnce(v, write)
-		if err == nil || !errors.Is(err, ErrOutOfMemory) || tries >= oomRetries || !as.stallReclaim() {
+		if err == nil || !errors.Is(err, ErrOutOfMemory) || tries >= oomRetries || !as.stallReclaim(tries) {
 			return err
 		}
 	}
@@ -126,7 +129,7 @@ func (as *AddressSpace) touchOnce(v addr.V, write bool) (err error) {
 func (as *AddressSpace) accessPage(v addr.V, p []byte, write bool) error {
 	for tries := 0; ; tries++ {
 		err := as.accessPageOnce(v, p, write)
-		if err == nil || !errors.Is(err, ErrOutOfMemory) || tries >= oomRetries || !as.stallReclaim() {
+		if err == nil || !errors.Is(err, ErrOutOfMemory) || tries >= oomRetries || !as.stallReclaim(tries) {
 			return err
 		}
 	}

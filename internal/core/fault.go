@@ -10,6 +10,7 @@ import (
 	"repro/internal/mem/phys"
 	"repro/internal/mem/vm"
 	"repro/internal/profile"
+	"repro/internal/trace"
 )
 
 // Sentinel errors for the two address-shaped failure classes. Every
@@ -78,31 +79,93 @@ func (as *AddressSpace) HandleFault(v addr.V, write bool) (err error) {
 	return as.handleFaultLocked(v, write)
 }
 
-// handleFaultLocked instruments the fault flow: when metrics are on it
-// times the whole repair and charges the read/write latency histograms
-// and counts; when off it is a tail call into resolveFaultLocked.
+// handleFaultLocked instruments the fault flow: when metrics or
+// tracing are on it times the whole repair, charges the read/write
+// latency histograms and counts, and records one flight-recorder span
+// labelled with how the fault was resolved; when both are off it is a
+// tail call into resolveFaultLocked.
 func (as *AddressSpace) handleFaultLocked(v addr.V, write bool) error {
 	m := as.met
-	if !m.Enabled() {
+	tr := as.trc
+	traceOn := tr.Enabled()
+	if !m.Enabled() && !traceOn {
 		return as.resolveFaultLocked(v, write)
+	}
+	var before faultCounters
+	if traceOn {
+		before = as.faultCounters()
 	}
 	t0 := time.Now()
 	err := as.resolveFaultLocked(v, write)
 	d := time.Since(t0)
-	if write {
-		m.Fault.WriteFaults.Inc()
-		m.Fault.WriteLatency.Observe(d)
-	} else {
-		m.Fault.ReadFaults.Inc()
-		m.Fault.ReadLatency.Observe(d)
+	if m.Enabled() {
+		if write {
+			m.Fault.WriteFaults.Inc()
+			m.Fault.WriteLatency.Observe(d)
+		} else {
+			m.Fault.ReadFaults.Inc()
+			m.Fault.ReadLatency.Observe(d)
+		}
 	}
+	isSeg := false
 	if err != nil {
 		var seg *SegfaultError
 		if errors.As(err, &seg) {
-			m.Fault.Segfaults.Inc()
+			isSeg = true
+			if m.Enabled() {
+				m.Fault.Segfaults.Inc()
+			}
 		}
 	}
+	if traceOn {
+		w := uint64(0)
+		if write {
+			w = 1
+		}
+		tr.Span(trace.KindFault, classifyResolution(before, as.faultCounters(), isSeg),
+			trace.ActorApp, t0, uint64(v), w)
+	}
 	return err
+}
+
+// faultCounters is a snapshot of the per-space resolution statistics;
+// the before/after diff around one resolve attributes the fault.
+type faultCounters struct {
+	tableSplits, pmdSplits, hugeCopies, pageCopies, swapIns, fastDedups uint64
+}
+
+func (as *AddressSpace) faultCounters() faultCounters {
+	return faultCounters{
+		tableSplits: as.TableSplits.Load(),
+		pmdSplits:   as.PMDSplits.Load(),
+		hugeCopies:  as.HugeCopies.Load(),
+		pageCopies:  as.PageCopies.Load(),
+		swapIns:     as.SwapIns.Load(),
+		fastDedups:  as.FastDedups.Load(),
+	}
+}
+
+// classifyResolution names a fault by the most expensive repair that
+// ran during it (a single fault can both copy a shared table and COW a
+// page; the span is labelled by the dominant cost).
+func classifyResolution(before, after faultCounters, seg bool) trace.Stage {
+	switch {
+	case seg:
+		return trace.ResolveSegfault
+	case after.tableSplits > before.tableSplits:
+		return trace.ResolveTableCopy
+	case after.pmdSplits > before.pmdSplits:
+		return trace.ResolvePMDSplit
+	case after.hugeCopies > before.hugeCopies:
+		return trace.ResolveHugeCopy
+	case after.pageCopies > before.pageCopies:
+		return trace.ResolvePageCopy
+	case after.swapIns > before.swapIns:
+		return trace.ResolveSwapIn
+	case after.fastDedups > before.fastDedups:
+		return trace.ResolveDedup
+	}
+	return trace.ResolveMinor
 }
 
 // resolveFaultLocked implements the fault flow of §3.4: demand paging
@@ -268,7 +331,7 @@ func (as *AddressSpace) trySwapInLocked(v addr.V) (handled bool, err error) {
 		return false, nil
 	}
 	var t0 time.Time
-	if as.met.Enabled() {
+	if as.met.Enabled() || as.trc.Enabled() {
 		t0 = time.Now()
 	}
 	slot := e.SwapSlot()
@@ -294,10 +357,12 @@ func (as *AddressSpace) trySwapInLocked(v addr.V) (handled bool, err error) {
 		m.PageMapped(f, leaf, li, as)
 	}
 	as.rec.SwapUnref(slot)
+	as.SwapIns.Add(1)
 	if as.met.Enabled() {
 		as.met.Reclaim.PswpIn.Inc()
 		as.met.Reclaim.SwapInLatency.Observe(time.Since(t0))
 	}
+	as.trc.Span(trace.KindSwapIn, trace.StageNone, trace.ActorApp, t0, uint64(slot), 0)
 	return true, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/mem/tlb"
 	"repro/internal/metrics"
 	"repro/internal/profile"
+	"repro/internal/trace"
 )
 
 // ForkMode selects the fork engine, mirroring the paper's evaluation
@@ -136,8 +137,9 @@ func Fork(parent *AddressSpace, mode ForkMode) *AddressSpace {
 func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) *AddressSpace {
 	workers := opts.workers() // validate before taking any lock
 	m := parent.met
+	tr := parent.trc
 	var forkStart time.Time
-	if m.Enabled() {
+	if m.Enabled() || tr.Enabled() {
 		forkStart = time.Now()
 	}
 
@@ -150,17 +152,24 @@ func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) *Add
 		alloc: parent.alloc,
 		prof:  parent.prof,
 		met:   parent.met,
+		trc:   parent.trc,
 		sd:    parent.sd,
 		tlb:   tlb.New(parent.sd),
 		id:    spaceIDs.Add(1),
 		rec:   parent.rec,
 	}
+	var walkStart time.Time
+	if tr.Enabled() {
+		walkStart = time.Now()
+	}
+	nTasks := 0
 	fanOut := workers > 1 && parent.presentPMDSlots() >= opts.threshold()
 	switch mode {
 	case ForkClassic:
 		if fanOut {
 			tasks := parent.collectClassicTasks(parent.w.Root, child.w.Root, child, nil)
 			noteFanOut(m, tasks)
+			nTasks = len(tasks)
 			runForkTasks(tasks, workers)
 		} else {
 			parent.copyTreeClassic(parent.w.Root, child.w.Root, child)
@@ -169,6 +178,7 @@ func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) *Add
 		if fanOut {
 			tasks := parent.collectOnDemandTasks(parent.w.Root, child.w.Root, child, opts, nil)
 			noteFanOut(m, tasks)
+			nTasks = len(tasks)
 			runForkTasks(tasks, workers)
 		} else {
 			parent.copyTreeOnDemand(parent.w.Root, child.w.Root, child, opts)
@@ -176,11 +186,17 @@ func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) *Add
 	default:
 		panic("core: unknown fork mode")
 	}
+	tr.Span(trace.KindForkStage, trace.StageWalk, trace.ActorApp, walkStart, 0, 0)
 	// The parent's translations were downgraded; every relative that may
 	// cache translations through now-shared tables must drop them (the
 	// kernel's fork-time TLB flush, broadcast lineage-wide).
+	var tlbStart time.Time
+	if tr.Enabled() {
+		tlbStart = time.Now()
+	}
 	parent.sd.Broadcast()
 	parent.prof.Charge(profile.TLBFlush, 1)
+	tr.Span(trace.KindForkStage, trace.StageTLB, trace.ActorApp, tlbStart, 0, 0)
 	if !forkStart.IsZero() && m.Enabled() {
 		// metrics.ForkEngine values mirror ForkMode, so the cast is the
 		// whole mapping.
@@ -189,6 +205,7 @@ func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) *Add
 			m.Fork.Latency[e].Observe(time.Since(forkStart))
 		}
 	}
+	tr.Span(trace.KindFork, trace.StageNone, trace.ActorApp, forkStart, uint64(mode), uint64(nTasks))
 	return child
 }
 
@@ -207,7 +224,7 @@ func noteFanOut(m *metrics.Registry, tasks []forkTask) {
 // This per-page work is the Figure 3 hot path.
 func (as *AddressSpace) copyTreeClassic(src, dst *pagetable.Table, child *AddressSpace) {
 	if src.Level == addr.PMD {
-		as.copyPMDRangeClassic(src, dst, 0, addr.EntriesPerTable, child)
+		as.copyPMDRangeClassic(src, dst, 0, addr.EntriesPerTable, child, trace.ActorApp)
 		return
 	}
 	for i := 0; i < addr.EntriesPerTable; i++ {
@@ -223,10 +240,16 @@ func (as *AddressSpace) copyTreeClassic(src, dst *pagetable.Table, child *Addres
 }
 
 // copyPMDRangeClassic copies the PMD slots [lo, hi) from src to dst —
-// the unit of work one parallel-fork task performs. Per-page refcount
-// traffic is batched per leaf table through GetBatch, which preserves
-// per-frame semantics while charging the profiler per batch.
-func (as *AddressSpace) copyPMDRangeClassic(src, dst *pagetable.Table, lo, hi int, child *AddressSpace) {
+// the unit of work one parallel-fork task performs (actor names the
+// worker running it). Per-page refcount traffic is batched per leaf
+// table through GetBatch, which preserves per-frame semantics while
+// charging the profiler per batch.
+func (as *AddressSpace) copyPMDRangeClassic(src, dst *pagetable.Table, lo, hi int, child *AddressSpace, actor int32) {
+	var rangeStart time.Time
+	if as.trc.Enabled() {
+		rangeStart = time.Now()
+	}
+	defer as.trc.Span(trace.KindForkStage, trace.StageRefcount, actor, rangeStart, uint64(lo), uint64(hi))
 	var frames []phys.Frame
 	for i := lo; i < hi; i++ {
 		e := src.Entry(i)
@@ -316,7 +339,7 @@ func (as *AddressSpace) copyHugeEntry(src, dst *pagetable.Table, i int, e pageta
 // 512 page reference increments.
 func (as *AddressSpace) copyTreeOnDemand(src, dst *pagetable.Table, child *AddressSpace, opts ForkOptions) {
 	if src.Level == addr.PMD {
-		as.copyPMDRangeOnDemand(src, dst, 0, addr.EntriesPerTable, child, opts)
+		as.copyPMDRangeOnDemand(src, dst, 0, addr.EntriesPerTable, child, opts, trace.ActorApp)
 		return
 	}
 	for i := 0; i < addr.EntriesPerTable; i++ {
@@ -337,8 +360,13 @@ func (as *AddressSpace) copyTreeOnDemand(src, dst *pagetable.Table, child *Addre
 
 // copyPMDRangeOnDemand shares the last-level tables of PMD slots
 // [lo, hi) with the child — the unit of work one parallel-fork task
-// performs on the on-demand path.
-func (as *AddressSpace) copyPMDRangeOnDemand(src, dst *pagetable.Table, lo, hi int, child *AddressSpace, opts ForkOptions) {
+// performs on the on-demand path (actor names the worker running it).
+func (as *AddressSpace) copyPMDRangeOnDemand(src, dst *pagetable.Table, lo, hi int, child *AddressSpace, opts ForkOptions, actor int32) {
+	var rangeStart time.Time
+	if as.trc.Enabled() {
+		rangeStart = time.Now()
+	}
+	defer as.trc.Span(trace.KindForkStage, trace.StageShare, actor, rangeStart, uint64(lo), uint64(hi))
 	for i := lo; i < hi; i++ {
 		e := src.Entry(i)
 		if !e.Present() {

@@ -17,17 +17,24 @@ package core
 // the workers wrote.
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/mem/addr"
 	"repro/internal/mem/pagetable"
 	"repro/internal/profile"
+	"repro/internal/trace"
 )
 
-// forkTask is one unit of fork-time copy work.
-type forkTask func()
+// forkTask is one unit of fork-time copy work. The actor argument is
+// the flight-recorder identity of the worker executing it (ActorApp
+// for the forking goroutine, ActorForkWorker(i) for pool helpers), so
+// trace spans land on the track of whoever ran them.
+type forkTask func(actor int32)
 
 // Chunk sizes, in PMD slots per task. Classic fork does 512 PTE copies
 // plus refcount traffic per slot, so modest chunks (16 slots = 32 MiB)
@@ -55,11 +62,16 @@ func forkPoolInit() {
 		forkPoolN = runtime.GOMAXPROCS(0)
 		forkPoolCh = make(chan func())
 		for i := 0; i < forkPoolN; i++ {
-			go func() {
-				for fn := range forkPoolCh {
-					fn()
-				}
-			}()
+			go func(i int) {
+				// The pprof label makes CPU samples of the copy loops
+				// attributable per worker (`go tool pprof` → tag filter).
+				labels := pprof.Labels("odf", "fork-worker", "worker", strconv.Itoa(i))
+				pprof.Do(context.Background(), labels, func(context.Context) {
+					for fn := range forkPoolCh {
+						fn()
+					}
+				})
+			}(i)
 		}
 	})
 }
@@ -85,27 +97,28 @@ func runForkTasks(tasks []forkTask, par int) {
 	}
 	if par <= 1 {
 		for _, t := range tasks {
-			t()
+			t(trace.ActorApp)
 		}
 		return
 	}
 	forkPoolInit()
 	var next atomic.Int64
-	run := func() {
+	run := func(actor int32) {
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= len(tasks) {
 				return
 			}
-			tasks[i]()
+			tasks[i](actor)
 		}
 	}
 	var wg sync.WaitGroup
 	for i := 1; i < par; i++ {
 		wg.Add(1)
+		worker := trace.ActorForkWorker(i)
 		helper := func() {
 			defer wg.Done()
-			run()
+			run(worker)
 		}
 		select {
 		case forkPoolCh <- helper:
@@ -113,7 +126,7 @@ func runForkTasks(tasks []forkTask, par int) {
 			wg.Done()
 		}
 	}
-	run()
+	run(trace.ActorApp)
 	wg.Wait()
 }
 
@@ -163,7 +176,7 @@ func appendRangeTasks(tasks []forkTask, src *pagetable.Table, chunk int, mk func
 func (as *AddressSpace) collectClassicTasks(src, dst *pagetable.Table, child *AddressSpace, tasks []forkTask) []forkTask {
 	if src.Level == addr.PMD {
 		return appendRangeTasks(tasks, src, classicChunkSlots, func(lo, hi int) forkTask {
-			return func() { as.copyPMDRangeClassic(src, dst, lo, hi, child) }
+			return func(actor int32) { as.copyPMDRangeClassic(src, dst, lo, hi, child, actor) }
 		})
 	}
 	for i := 0; i < addr.EntriesPerTable; i++ {
@@ -186,7 +199,7 @@ func (as *AddressSpace) collectClassicTasks(src, dst *pagetable.Table, child *Ad
 func (as *AddressSpace) collectOnDemandTasks(src, dst *pagetable.Table, child *AddressSpace, opts ForkOptions, tasks []forkTask) []forkTask {
 	if src.Level == addr.PMD {
 		return appendRangeTasks(tasks, src, onDemandChunkSlots, func(lo, hi int) forkTask {
-			return func() { as.copyPMDRangeOnDemand(src, dst, lo, hi, child, opts) }
+			return func(actor int32) { as.copyPMDRangeOnDemand(src, dst, lo, hi, child, opts, actor) }
 		})
 	}
 	for i := 0; i < addr.EntriesPerTable; i++ {

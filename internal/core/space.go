@@ -31,6 +31,7 @@ import (
 	"repro/internal/mem/vm"
 	"repro/internal/metrics"
 	"repro/internal/profile"
+	"repro/internal/trace"
 )
 
 // Mapping area managed for NULL-hint mmaps, mirroring the x86-64 mmap
@@ -49,6 +50,7 @@ type AddressSpace struct {
 	alloc *phys.Allocator
 	prof  *profile.Profiler
 	met   *metrics.Registry
+	trc   *trace.Tracer
 
 	// Software TLB and its lineage-wide shootdown domain: processes
 	// related by fork share page tables, so a write-protect downgrade by
@@ -72,6 +74,7 @@ type AddressSpace struct {
 	PageCopies  atomic.Uint64 // 4 KiB data pages copied for COW
 	HugeCopies  atomic.Uint64 // 2 MiB pages copied for COW
 	FastDedups  atomic.Uint64 // faults resolved by re-enabling PMD writable
+	SwapIns     atomic.Uint64 // faults resolved by reading a page back from swap
 }
 
 // NewAddressSpace returns an empty address space drawing frames from
@@ -90,6 +93,7 @@ func NewAddressSpace(alloc *phys.Allocator, prof *profile.Profiler) *AddressSpac
 		alloc: alloc,
 		prof:  prof,
 		met:   alloc.Metrics(),
+		trc:   alloc.Tracer(),
 		sd:    sd,
 		tlb:   tlb.New(sd),
 		id:    spaceIDs.Add(1),

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Every experiment artifact ends with the same compact telemetry
@@ -14,10 +15,24 @@ import (
 // figure's table is accompanied by what the kernel actually did to
 // produce it (forks per engine with tail latency, table sharing vs
 // copying, fault traffic, allocator shard behaviour, TLB behaviour).
+// When the flight recorder was on during the run, a final line breaks
+// fork time down by stage (the paper's Figure 3 attribution).
 
-// metricsFooter renders the telemetry accumulated since base.
+// metricsFooter renders the telemetry accumulated since base, plus the
+// trace-derived fork-stage attribution when the recorder is on.
 func metricsFooter(k *kernel.Kernel, base metrics.Snapshot) string {
-	d := k.MetricsSnapshot().Sub(base)
+	var att *trace.Attribution
+	if k.TraceEnabled() {
+		a := trace.Attribute(k.TraceSnapshot())
+		att = &a
+	}
+	return RenderFooter(k.MetricsSnapshot().Sub(base), att)
+}
+
+// RenderFooter renders the telemetry footer for a metrics delta. att
+// is the optional fork-stage attribution line (nil when tracing was
+// off). Pure so the format is golden-testable.
+func RenderFooter(d metrics.Snapshot, att *trace.Attribution) string {
 	var b strings.Builder
 	b.WriteString("\n" + header("System telemetry for this run"))
 	cl, od := d.Fork.Classic(), d.Fork.OnDemand()
@@ -34,6 +49,9 @@ func metricsFooter(k *kernel.Kernel, base metrics.Snapshot) string {
 		d.TLB.Hits, d.TLB.Misses, d.TLB.Shootdowns)
 	fmt.Fprintf(&b, "reclaim: swapout=%d swapin=%d direct-stalls=%d kswapd-wakeups=%d\n",
 		d.Reclaim.PswpOut, d.Reclaim.PswpIn, d.Reclaim.DirectReclaims, d.Reclaim.KswapdWakeups)
+	if att != nil {
+		fmt.Fprintf(&b, "%s\n", att)
+	}
 	return b.String()
 }
 

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureDelta builds a deterministic metrics delta covering every
+// footer line, with histogram values that survive Quantile exactly
+// (single observations report themselves).
+func fixtureDelta() metrics.Snapshot {
+	var d metrics.Snapshot
+	var cl, od metrics.Histogram
+	cl.Observe(250 * time.Microsecond)
+	od.Observe(4 * time.Microsecond)
+	d.Fork.Engines[metrics.EngineClassic] = metrics.EngineSnapshot{Forks: 1, Latency: cl.Snapshot()}
+	d.Fork.Engines[metrics.EngineOnDemand] = metrics.EngineSnapshot{Forks: 1, Latency: od.Snapshot()}
+	d.Fork.TablesShared = 512
+	d.Fork.TablesCopied = 3
+	d.Fork.PMDTablesShared = 2
+	d.Fault.TableSplits = 7
+	d.Fault.ReadFaults = 100
+	d.Fault.WriteFaults = 40
+	d.Fault.PageCopies = 33
+	d.Fault.FastDedups = 5
+	d.Alloc.ShardHits = 900
+	d.Alloc.ShardRefills = 30
+	d.Alloc.ShardDrains = 28
+	d.TLB.Hits = 5000
+	d.TLB.Misses = 140
+	d.TLB.Shootdowns = 2
+	d.Reclaim.PswpOut = 64
+	d.Reclaim.PswpIn = 16
+	d.Reclaim.DirectReclaims = 3
+	d.Reclaim.KswapdWakeups = 1
+	return d
+}
+
+// TestRenderFooterGolden pins the telemetry footer format, including
+// the trace-attribution line, on a fixed metrics delta.
+func TestRenderFooterGolden(t *testing.T) {
+	att := &trace.Attribution{
+		Forks:    8,
+		Walk:     2 * time.Microsecond,
+		Share:    10 * time.Microsecond,
+		Refcount: 6 * time.Microsecond,
+		TLB:      2 * time.Microsecond,
+	}
+	got := RenderFooter(fixtureDelta(), att)
+	path := filepath.Join("testdata", "footer.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("footer differs from %s:\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestRenderFooterNoAttribution checks the footer without tracing is
+// byte-identical except for the missing attribution line.
+func TestRenderFooterNoAttribution(t *testing.T) {
+	withAtt := RenderFooter(fixtureDelta(), &trace.Attribution{Forks: 1, Share: time.Microsecond})
+	without := RenderFooter(fixtureDelta(), nil)
+	attLine := "fork stages: walk=0.0% share=100.0% refcount=0.0% tlb=0.0% (1 forks traced)\n"
+	if withAtt != without+attLine {
+		t.Errorf("attribution line mismatch:\nwith:\n%s\nwithout:\n%s", withAtt, without)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/mem/vm"
 	"repro/internal/metrics"
 	"repro/internal/profile"
+	"repro/internal/trace"
 )
 
 // PID identifies a simulated process.
@@ -41,8 +42,13 @@ type Kernel struct {
 	alloc *phys.Allocator
 	prof  *profile.Profiler
 	met   *metrics.Registry
+	trc   *trace.Tracer
 	fsys  *fs.FileSystem
 	rec   *reclaim.Manager
+
+	// procEndpoints is the /proc/odf file registry, in the fixed order
+	// New builds it; the root listing and path dispatch both walk it.
+	procEndpoints []procEndpoint
 
 	mu        sync.Mutex
 	nextPID   PID
@@ -87,6 +93,11 @@ func New(opts ...Option) *Kernel {
 	}
 	k.alloc = phys.NewAllocator(k.prof)
 	k.alloc.SetMetrics(k.met)
+	// The flight recorder boots disabled (recording is opt-in via
+	// SetTraceEnabled) and must be attached before the reclaim manager
+	// and any address space, which inherit it from the allocator.
+	k.trc = trace.New(trace.DefaultCapacity)
+	k.alloc.SetTracer(k.trc)
 	// The reclaim manager is always attached (so address spaces created
 	// now pick it up) but starts disabled: until SetSwapEnabled(true)
 	// every hook is a no-op and frame-limit pressure fails fast, the
@@ -94,6 +105,7 @@ func New(opts ...Option) *Kernel {
 	k.rec = reclaim.NewManager(k.alloc, k.met)
 	k.alloc.SetReclaimer(k.rec)
 	k.fsys = fs.New()
+	k.procEndpoints = k.buildProcEndpoints()
 	return k
 }
 

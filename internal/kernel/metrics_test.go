@@ -256,7 +256,7 @@ func TestProcfsRouter(t *testing.T) {
 	}
 
 	for _, path := range []string{
-		"", "/", "/proc", "/proc/", "/proc/odf", "/proc/odf/nope",
+		"", "/", "/proc", "/proc/", "/proc/odf/nope",
 		"/proc/999/maps", "/proc/abc/maps", "/proc/1/nope", "/proc/1/maps/extra",
 		"/sys/kernel", "proc/1/maps",
 	} {

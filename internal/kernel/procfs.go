@@ -16,15 +16,21 @@ import (
 
 // Procfs reads one file of the simulated procfs namespace:
 //
+//	/proc/odf          — lists the registered odf endpoints, one per line
 //	/proc/odf/metrics  — system-wide telemetry (MetricsSnapshot rendering)
-//	/proc/odf/vmstat   — reclaim/swap counters in /proc/vmstat style
 //	/proc/odf/profile  — the Figure 3 cost-accounting profile, if a
 //	                     profiler is attached
+//	/proc/odf/trace    — the flight-recorder timeline (human-readable)
+//	/proc/odf/vmstat   — reclaim/swap counters in /proc/vmstat style
 //	/proc/<pid>/maps   — the process's mappings
 //	/proc/<pid>/status — the process's memory summary
 //
-// Unknown paths fail with an error wrapping fs.ErrNotExist, so callers
-// distinguish "no such file" with errors.Is like any filesystem read.
+// The odf endpoints are dispatched through a registry built once at
+// boot, so the set and its order are deterministic: the root listing
+// always names them alphabetically, and matches what the per-file
+// paths serve. Unknown paths fail with an error wrapping
+// fs.ErrNotExist, so callers distinguish "no such file" with errors.Is
+// like any filesystem read.
 func (k *Kernel) Procfs(path string) (string, error) {
 	notExist := func() (string, error) {
 		return "", fmt.Errorf("procfs: %s: %w", path, fs.ErrNotExist)
@@ -34,21 +40,35 @@ func (k *Kernel) Procfs(path string) (string, error) {
 		return notExist()
 	}
 	dir, file, ok := strings.Cut(rest, "/")
-	if !ok || strings.Contains(file, "/") {
+	if !ok {
+		dir, file = rest, ""
+	} else if strings.Contains(file, "/") {
 		return notExist()
 	}
 	if dir == "odf" {
-		switch file {
-		case "metrics":
-			return k.MetricsSnapshot().Render(), nil
-		case "vmstat":
-			return k.Vmstat(), nil
-		case "profile":
-			if k.prof == nil {
+		if file == "" {
+			// Directory read: list the endpoints that currently resolve.
+			var b strings.Builder
+			for _, ep := range k.procEndpoints {
+				if _, backed := ep.read(); backed {
+					b.WriteString(ep.name + "\n")
+				}
+			}
+			return b.String(), nil
+		}
+		for _, ep := range k.procEndpoints {
+			if ep.name != file {
+				continue
+			}
+			content, backed := ep.read()
+			if !backed {
 				return notExist()
 			}
-			return k.prof.String(), nil
+			return content, nil
 		}
+		return notExist()
+	}
+	if file == "" {
 		return notExist()
 	}
 	pid, err := strconv.Atoi(dir)

@@ -1,0 +1,66 @@
+package kernel
+
+import (
+	"io"
+
+	"repro/internal/trace"
+)
+
+// The kernel-level view of the flight recorder (internal/trace): one
+// tracer per kernel, created disabled at boot and inherited by every
+// subsystem through the allocator. These methods are the substrate of
+// the odfork v1 tracing API and of /proc/odf/trace.
+
+// Tracer returns the kernel's flight recorder. It is never nil for a
+// kernel built with New.
+func (k *Kernel) Tracer() *trace.Tracer { return k.trc }
+
+// SetTraceEnabled switches flight recording on or off. Enabling starts
+// from a clean timeline (the ring and timebase reset), so a
+// trace covers exactly the window between enable and snapshot;
+// disabling freezes the recorded events for inspection.
+func (k *Kernel) SetTraceEnabled(on bool) {
+	if on && !k.trc.Enabled() {
+		k.trc.Reset()
+	}
+	k.trc.SetEnabled(on)
+}
+
+// TraceEnabled reports whether the flight recorder is recording.
+func (k *Kernel) TraceEnabled() bool { return k.trc.Enabled() }
+
+// TraceSnapshot captures the recorded timeline: events sorted by time
+// plus the count dropped to ring overwrite.
+func (k *Kernel) TraceSnapshot() trace.Snapshot { return k.trc.Snapshot() }
+
+// WriteTrace renders the current timeline to w in the given format
+// (trace.FormatChrome loads in Perfetto; trace.FormatText matches
+// /proc/odf/trace).
+func (k *Kernel) WriteTrace(w io.Writer, f trace.Format) error {
+	return trace.WriteTo(w, k.trc.Snapshot(), f)
+}
+
+// procEndpoint is one file under /proc/odf. read returns the content,
+// or ok=false when the endpoint is not backed right now (the profile
+// endpoint without an attached profiler).
+type procEndpoint struct {
+	name string
+	read func() (string, bool)
+}
+
+// buildProcEndpoints returns the /proc/odf registry in its fixed
+// (alphabetical) order — the order the root listing shows and tests
+// pin down.
+func (k *Kernel) buildProcEndpoints() []procEndpoint {
+	return []procEndpoint{
+		{"metrics", func() (string, bool) { return k.MetricsSnapshot().Render(), true }},
+		{"profile", func() (string, bool) {
+			if k.prof == nil {
+				return "", false
+			}
+			return k.prof.String(), true
+		}},
+		{"trace", func() (string, bool) { return trace.RenderText(k.trc.Snapshot()), true }},
+		{"vmstat", func() (string, bool) { return k.Vmstat(), true }},
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/mem/addr"
 	"repro/internal/metrics"
 	"repro/internal/profile"
+	"repro/internal/trace"
 )
 
 // Frame identifies a physical 4 KiB frame. Frame 0 is never allocated,
@@ -84,6 +85,7 @@ type Allocator struct {
 	totalOps  atomic.Uint64
 	prof      *profile.Profiler
 	met       atomic.Pointer[metrics.Registry]
+	trc       atomic.Pointer[trace.Tracer]
 
 	// Reclaim integration. lowWater is the free-frame level below which
 	// successful reservations nudge the background reclaimer awake; the
@@ -164,6 +166,16 @@ func (a *Allocator) SetMetrics(m *metrics.Registry) { a.met.Store(m) }
 // top of the allocator (address spaces) inherit their registry from
 // here, so the whole memory stack shares one instrument tree.
 func (a *Allocator) Metrics() *metrics.Registry { return a.met.Load() }
+
+// SetTracer attaches the flight recorder, mirroring SetMetrics: the
+// kernel calls it once at boot, and bare allocators never pay for it
+// because the nil tracer reports disabled.
+func (a *Allocator) SetTracer(t *trace.Tracer) { a.trc.Store(t) }
+
+// Tracer returns the attached flight recorder (may be nil). Address
+// spaces and the reclaimer inherit their tracer from here, like the
+// metrics registry.
+func (a *Allocator) Tracer() *trace.Tracer { return a.trc.Load() }
 
 // info returns the PageInfo for f, which must be a frame number this
 // allocator has issued. It is lock-free: the chunk table snapshot is

@@ -23,6 +23,7 @@ import (
 	"unsafe"
 
 	"repro/internal/profile"
+	"repro/internal/trace"
 )
 
 const (
@@ -94,6 +95,9 @@ func (a *Allocator) allocFrame() Frame {
 	if m := a.met.Load(); m.Enabled() {
 		m.Alloc.ShardRefills.Inc()
 	}
+	if t := a.trc.Load(); t.Enabled() {
+		t.Instant(trace.KindAllocRefill, trace.StageNone, trace.ActorApp, shardBatch, 0)
+	}
 	return f
 }
 
@@ -120,6 +124,9 @@ func (a *Allocator) freeFrame(f Frame) {
 	a.prof.Charge(profile.ShardDrain, 1)
 	if m := a.met.Load(); m.Enabled() {
 		m.Alloc.ShardDrains.Inc()
+	}
+	if t := a.trc.Load(); t.Enabled() {
+		t.Instant(trace.KindAllocDrain, trace.StageNone, trace.ActorApp, shardBatch, 0)
 	}
 }
 

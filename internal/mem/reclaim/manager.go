@@ -28,8 +28,10 @@
 package reclaim
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -39,6 +41,7 @@ import (
 	"repro/internal/mem/pagetable"
 	"repro/internal/mem/phys"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Space is the view the reclaimer has of an address space: just enough
@@ -100,6 +103,7 @@ const (
 type Manager struct {
 	alloc *phys.Allocator
 	met   *metrics.Registry
+	trc   *trace.Tracer
 
 	// tracking gates the bookkeeping hooks and eviction. Swap-slot
 	// reference counts are NOT gated: once a swap entry exists in a page
@@ -131,11 +135,14 @@ type Manager struct {
 
 // NewManager builds a reclaim manager over alloc, initially disabled,
 // with a compressed in-memory store. The registry may be shared with
-// the rest of the kernel (it is only consulted when enabled).
+// the rest of the kernel (it is only consulted when enabled); the
+// flight recorder is inherited from the allocator, so the kernel must
+// attach it (phys.Allocator.SetTracer) before building the manager.
 func NewManager(alloc *phys.Allocator, met *metrics.Registry) *Manager {
 	return &Manager{
 		alloc:  alloc,
 		met:    met,
+		trc:    alloc.Tracer(),
 		frames: make(map[phys.Frame]*frameNode),
 		owners: make(map[*pagetable.Table]map[Space]struct{}),
 		slots:  make(map[uint64]int64),
@@ -467,17 +474,21 @@ func (m *Manager) LowMemory() {
 // restored, mirroring its kernel namesake.
 func (m *Manager) kswapd(stop, done chan struct{}) {
 	defer close(done)
-	ticker := time.NewTicker(kswapdInterval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-stop:
-			return
-		case <-m.wake:
-		case <-ticker.C:
+	// The pprof label attributes CPU samples of eviction, writeback and
+	// huge-split work to the background reclaimer in profiles.
+	pprof.Do(context.Background(), pprof.Labels("odf", "kswapd"), func(context.Context) {
+		ticker := time.NewTicker(kswapdInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-m.wake:
+			case <-ticker.C:
+			}
+			m.balance()
 		}
-		m.balance()
-	}
+	})
 }
 
 // balance runs one kswapd episode: if free frames are below the low
@@ -498,6 +509,7 @@ func (m *Manager) balance() {
 	if m.met.Enabled() {
 		m.met.Reclaim.KswapdWakeups.Inc()
 	}
+	m.trc.Instant(trace.KindKswapdWake, trace.StageNone, trace.ActorKswapd, uint64(free), 0)
 	m.shrink(m.high.Load()-free, false)
 }
 
@@ -517,10 +529,20 @@ func (m *Manager) shrink(target int64, direct bool) int64 {
 	}
 	on := m.met.Enabled()
 	pgscan, pgsteal := &m.met.Reclaim.PgScanKswapd, &m.met.Reclaim.PgStealKswapd
+	actor := trace.ActorKswapd
 	if direct {
 		pgscan, pgsteal = &m.met.Reclaim.PgScanDirect, &m.met.Reclaim.PgStealDirect
+		actor = trace.ActorApp
+	}
+	var scanned int64
+	var scanStart time.Time
+	if m.trc.Enabled() {
+		scanStart = time.Now()
 	}
 	var freed int64
+	defer func() {
+		m.trc.Span(trace.KindReclaimScan, trace.StageNone, actor, scanStart, uint64(scanned), uint64(freed))
+	}()
 	// The scan budget must cover second-chancing the whole population
 	// twice (clear accessed bits on the first lap, evict on the second)
 	// — the moral equivalent of the kernel escalating scan priority
@@ -552,6 +574,7 @@ func (m *Manager) shrink(target int64, direct bool) int64 {
 			}
 		}
 		n.list = onNone
+		scanned++
 		if on {
 			pgscan.Inc()
 		}
@@ -564,8 +587,8 @@ func (m *Manager) shrink(target int64, direct bool) int64 {
 		}
 		// m.mu is released inside evictLocked/splitHugeLocked.
 		if n.huge {
-			m.splitHugeLocked(n)
-		} else if m.evictLocked(n) {
+			m.splitHugeLocked(n, actor)
+		} else if m.evictLocked(n, actor) {
 			freed++
 			if on {
 				pgsteal.Inc()
@@ -689,8 +712,9 @@ func (m *Manager) revalidateLocked(n *frameNode, snap []mapping, locked []Space)
 
 // evictLocked swaps out one cold 4 KiB frame. Called with m.mu held and
 // n popped off the LRU; returns with m.mu released. Reports whether the
-// frame was freed.
-func (m *Manager) evictLocked(n *frameNode) bool {
+// frame was freed. actor attributes the trace events to the reclaiming
+// context (kswapd or a direct-reclaiming app goroutine).
+func (m *Manager) evictLocked(n *frameNode, actor int32) bool {
 	snap := append([]mapping(nil), n.mappings...)
 	owners := m.lockOwnersLocked(n) // releases m.mu
 	if owners == nil {
@@ -719,7 +743,7 @@ func (m *Manager) evictLocked(n *frameNode) bool {
 	if data := m.alloc.DataIfPresent(f); data != nil {
 		on := m.met.Enabled()
 		var t0 time.Time
-		if on {
+		if on || m.trc.Enabled() {
 			t0 = time.Now()
 		}
 		s, err := m.store.Write(data)
@@ -734,6 +758,7 @@ func (m *Manager) evictLocked(n *frameNode) bool {
 			m.met.Reclaim.PswpOut.Inc()
 			m.met.Reclaim.SwapOutLatency.Observe(time.Since(t0))
 		}
+		m.trc.Span(trace.KindWriteback, trace.StageNone, actor, t0, s, uint64(len(data)))
 		slot = s
 	}
 
@@ -759,6 +784,7 @@ func (m *Manager) evictLocked(n *frameNode) bool {
 		m.alloc.Put(f)
 	}
 	unlockAll()
+	m.trc.Instant(trace.KindReclaimEvict, trace.StageNone, actor, uint64(f), slot)
 	return true
 }
 
@@ -766,8 +792,9 @@ func (m *Manager) evictLocked(n *frameNode) bool {
 // through a freshly built leaf table, making the individual frames
 // evictable. Called with m.mu held and n popped; returns with m.mu
 // released. The split is transparent: the PMD entry becomes a table
-// pointer, content and protections are unchanged.
-func (m *Manager) splitHugeLocked(n *frameNode) {
+// pointer, content and protections are unchanged. actor attributes the
+// trace event to the reclaiming context.
+func (m *Manager) splitHugeLocked(n *frameNode, actor int32) {
 	snap := append([]mapping(nil), n.mappings...)
 	owners := m.lockOwnersLocked(n) // releases m.mu
 	if owners == nil {
@@ -840,6 +867,7 @@ func (m *Manager) splitHugeLocked(n *frameNode) {
 		s.ReclaimFlushTLB()
 	}
 	unlockAll()
+	m.trc.Instant(trace.KindHugeSplit, trace.StageNone, actor, uint64(head), 0)
 }
 
 // ---------------------------------------------------------------------

@@ -94,6 +94,43 @@ func TestHistogramOverflowBucket(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileSingleObservation pins the Count==1 fast path:
+// with one observation every quantile is exactly that observation, not
+// a mid-bucket interpolation (which could report up to 2× the value).
+func TestHistogramQuantileSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(1500 * time.Nanosecond) // bucket [1024,2048)
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 1500 {
+			t.Fatalf("single-observation Quantile(%v) = %d, want 1500", q, got)
+		}
+	}
+}
+
+// TestHistogramQuantileMaxClamp pins the unconditional MaxNS clamp: no
+// quantile reports past the largest observation, including when every
+// observation was 0 ns (MaxNS == 0).
+func TestHistogramQuantileMaxClamp(t *testing.T) {
+	var h Histogram
+	// Two observations at the very bottom of bucket 10: interpolation
+	// across [1024,2048) would overshoot without the clamp.
+	h.Observe(1024)
+	h.Observe(1025)
+	s := h.Snapshot()
+	if got := s.Quantile(0.99); got > s.MaxNS {
+		t.Fatalf("p99 = %d exceeds max %d", got, s.MaxNS)
+	}
+
+	var z Histogram
+	z.Observe(0)
+	z.Observe(0)
+	zs := z.Snapshot()
+	if got := zs.Quantile(0.99); got != 0 {
+		t.Fatalf("all-zero p99 = %d, want 0", got)
+	}
+}
+
 func TestHistogramQuantileInterpolation(t *testing.T) {
 	var h Histogram
 	for i := 0; i < 100; i++ {

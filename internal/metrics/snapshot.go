@@ -28,6 +28,11 @@ func (h HistogramSnapshot) Quantile(q float64) uint64 {
 	if h.Count == 0 {
 		return 0
 	}
+	// With one observation every quantile IS that observation; bucket
+	// interpolation would report a mid-bucket estimate up to 2× off.
+	if h.Count == 1 {
+		return h.MaxNS
+	}
 	if q < 0 {
 		q = 0
 	}
@@ -60,7 +65,9 @@ func (h HistogramSnapshot) Quantile(q float64) uint64 {
 			est := lo + uint64(frac*float64(hi-lo))
 			// Interpolation inside a log₂ bucket can overshoot the
 			// largest value actually observed; never report past it.
-			if h.MaxNS > 0 && est > h.MaxNS {
+			// (MaxNS == 0 means every observation was 0 ns, so the
+			// clamp is right then too.)
+			if est > h.MaxNS {
 				est = h.MaxNS
 			}
 			return est

@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Format selects a WriteTrace encoding.
+type Format int
+
+const (
+	// FormatChrome is the Chrome trace-event JSON object format,
+	// loadable in Perfetto (ui.perfetto.dev) and chrome://tracing.
+	FormatChrome Format = iota
+	// FormatText is the human-readable timeline of RenderText.
+	FormatText
+)
+
+// The synthetic process every track belongs to.
+const chromePID = 1
+
+// actorTID maps an actor to a stable Chrome thread id so Perfetto
+// shows one track per worker: the app on tid 1, fork helper n on
+// tid 1+n, kswapd parked at the bottom on tid 999.
+func actorTID(actor int32) int {
+	switch {
+	case actor == ActorKswapd:
+		return 999
+	case actor > 0:
+		return 1 + int(actor)
+	}
+	return 1
+}
+
+// chromeEvent is one entry of the trace-event array. Timestamps and
+// durations are microseconds (floats carry the nanosecond fraction).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	Metadata        map[string]any `json:"metadata,omitempty"`
+}
+
+// WriteChrome encodes the snapshot as a Chrome trace-event JSON
+// document. Spans become complete events (ph "X"), instants become
+// thread-scoped instant events (ph "i"), and each actor gets a
+// thread_name metadata record, so begin/end balance holds trivially
+// and every actor renders as its own Perfetto track.
+func WriteChrome(w io.Writer, s Snapshot) error {
+	evs := append([]Event(nil), s.Events...)
+	sortEvents(evs)
+
+	seen := map[int32]bool{}
+	var actors []int32
+	for _, e := range evs {
+		if !seen[e.Actor] {
+			seen[e.Actor] = true
+			actors = append(actors, e.Actor)
+		}
+	}
+	sort.Slice(actors, func(i, j int) bool { return actorTID(actors[i]) < actorTID(actors[j]) })
+
+	doc := chromeDoc{
+		DisplayTimeUnit: "ns",
+		Metadata:        map[string]any{"source": "odf flight recorder", "dropped_events": s.Dropped},
+	}
+	for _, a := range actors {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			PID:  chromePID,
+			TID:  actorTID(a),
+			Args: map[string]any{"name": ActorName(a)},
+		})
+	}
+	for _, e := range evs {
+		ce := chromeEvent{
+			Name: e.Name(),
+			Cat:  "odf",
+			TS:   float64(e.TS) / 1e3,
+			PID:  chromePID,
+			TID:  actorTID(e.Actor),
+		}
+		if d := e.Detail(); d != "" {
+			ce.Args = map[string]any{"detail": d}
+		}
+		if e.Kind.Span() {
+			ce.Ph = "X"
+			dur := float64(e.Dur) / 1e3
+			ce.Dur = &dur
+		} else {
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// WriteTo encodes the snapshot in the requested format.
+func WriteTo(w io.Writer, s Snapshot, f Format) error {
+	switch f {
+	case FormatChrome:
+		return WriteChrome(w, s)
+	case FormatText:
+		_, err := io.WriteString(w, RenderText(s))
+		return err
+	}
+	return fmt.Errorf("trace: unknown format %d", f)
+}
+
+// ValidateChrome checks that data is a well-formed Chrome trace-event
+// JSON document: parseable, at least one event, every event carrying a
+// phase and placement, non-negative monotonic timestamps (metadata
+// records excepted), non-negative durations on complete events, and
+// balanced begin/end pairs per track. It is the CI gate behind
+// `make trace`.
+func ValidateChrome(data []byte) error {
+	var doc struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			TS   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			PID  *int     `json:"pid"`
+			TID  *int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("trace: invalid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return errors.New("trace: no events")
+	}
+	lastTS := 0.0
+	sawTS := false
+	type track struct{ pid, tid int }
+	stacks := map[track][]string{}
+	for i, e := range doc.TraceEvents {
+		if e.Ph == "" {
+			return fmt.Errorf("trace: event %d (%q) missing ph", i, e.Name)
+		}
+		if e.PID == nil || e.TID == nil {
+			return fmt.Errorf("trace: event %d (%q) missing pid/tid", i, e.Name)
+		}
+		if e.Ph == "M" {
+			continue
+		}
+		if e.TS == nil || *e.TS < 0 {
+			return fmt.Errorf("trace: event %d (%q) has missing or negative ts", i, e.Name)
+		}
+		if sawTS && *e.TS < lastTS {
+			return fmt.Errorf("trace: timestamps not monotonic at event %d (%q): %v < %v", i, e.Name, *e.TS, lastTS)
+		}
+		lastTS, sawTS = *e.TS, true
+		tr := track{*e.PID, *e.TID}
+		switch e.Ph {
+		case "X":
+			if e.Dur == nil || *e.Dur < 0 {
+				return fmt.Errorf("trace: complete event %d (%q) has missing or negative dur", i, e.Name)
+			}
+		case "B":
+			stacks[tr] = append(stacks[tr], e.Name)
+		case "E":
+			st := stacks[tr]
+			if len(st) == 0 {
+				return fmt.Errorf("trace: end event %d (%q) with no matching begin on pid=%d tid=%d", i, e.Name, tr.pid, tr.tid)
+			}
+			stacks[tr] = st[:len(st)-1]
+		}
+	}
+	for tr, st := range stacks {
+		if len(st) > 0 {
+			return fmt.Errorf("trace: %d unclosed begin event(s) on pid=%d tid=%d (innermost %q)", len(st), tr.pid, tr.tid, st[len(st)-1])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Name is the dotted event name used by both the text rendering and
+// the Chrome exporter: the kind, refined by the stage where one
+// applies ("fork.walk", "fault.table_copy", "reclaim.evict", ...).
+func (e Event) Name() string {
+	switch e.Kind {
+	case KindFork:
+		return "fork"
+	case KindForkStage:
+		switch e.Stage {
+		case StageWalk:
+			return "fork.walk"
+		case StageShare:
+			return "fork.share"
+		case StageRefcount:
+			return "fork.refcount"
+		case StageTLB:
+			return "fork.tlb"
+		}
+		return "fork.stage"
+	case KindFault:
+		switch e.Stage {
+		case ResolveSegfault:
+			return "fault.segfault"
+		case ResolveTableCopy:
+			return "fault.table_copy"
+		case ResolvePMDSplit:
+			return "fault.pmd_split"
+		case ResolveHugeCopy:
+			return "fault.huge_copy"
+		case ResolvePageCopy:
+			return "fault.page_copy"
+		case ResolveSwapIn:
+			return "fault.swap_in"
+		case ResolveDedup:
+			return "fault.dedup"
+		case ResolveMinor:
+			return "fault.minor"
+		}
+		return "fault"
+	case KindSwapIn:
+		return "swap.in"
+	case KindOOMStall:
+		return "fault.oom_stall"
+	case KindReclaimScan:
+		return "reclaim.scan"
+	case KindReclaimEvict:
+		return "reclaim.evict"
+	case KindWriteback:
+		return "reclaim.writeback"
+	case KindHugeSplit:
+		return "reclaim.huge_split"
+	case KindKswapdWake:
+		return "kswapd.wake"
+	case KindAllocRefill:
+		return "alloc.refill"
+	case KindAllocDrain:
+		return "alloc.drain"
+	}
+	return fmt.Sprintf("kind%d", e.Kind)
+}
+
+// Detail renders the event's arguments with kind-appropriate labels.
+func (e Event) Detail() string {
+	switch e.Kind {
+	case KindFork:
+		eng := "classic"
+		if e.Arg1 == 1 {
+			eng = "ondemand"
+		}
+		if e.Arg2 > 0 {
+			return fmt.Sprintf("engine=%s tasks=%d", eng, e.Arg2)
+		}
+		return fmt.Sprintf("engine=%s", eng)
+	case KindForkStage:
+		switch e.Stage {
+		case StageShare, StageRefcount:
+			return fmt.Sprintf("slots=[%d,%d)", e.Arg1, e.Arg2)
+		}
+		return ""
+	case KindFault:
+		rw := "read"
+		if e.Arg2 == 1 {
+			rw = "write"
+		}
+		return fmt.Sprintf("addr=0x%x %s", e.Arg1, rw)
+	case KindSwapIn, KindWriteback:
+		if e.Kind == KindWriteback {
+			return fmt.Sprintf("slot=%d bytes=%d", e.Arg1, e.Arg2)
+		}
+		return fmt.Sprintf("slot=%d", e.Arg1)
+	case KindOOMStall:
+		return fmt.Sprintf("retry=%d", e.Arg1)
+	case KindReclaimScan:
+		return fmt.Sprintf("scanned=%d freed=%d", e.Arg1, e.Arg2)
+	case KindReclaimEvict:
+		return fmt.Sprintf("frame=%d slot=%d", e.Arg1, e.Arg2)
+	case KindHugeSplit:
+		return fmt.Sprintf("head=%d", e.Arg1)
+	case KindKswapdWake:
+		return fmt.Sprintf("free=%d", e.Arg1)
+	case KindAllocRefill, KindAllocDrain:
+		return fmt.Sprintf("batch=%d", e.Arg1)
+	}
+	return ""
+}
+
+// ActorName names a track: the app, kswapd, or a parallel-fork helper.
+func ActorName(actor int32) string {
+	switch {
+	case actor == ActorApp:
+		return "app"
+	case actor == ActorKswapd:
+		return "kswapd"
+	case actor > 0:
+		return fmt.Sprintf("fork-worker-%d", actor)
+	}
+	return fmt.Sprintf("actor%d", actor)
+}
+
+// sortEvents orders a timeline by timestamp, breaking ties by actor
+// then kind then stage so renderings are deterministic.
+func sortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.Actor != b.Actor {
+			return a.Actor < b.Actor
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Stage < b.Stage
+	})
+}
+
+// RenderText renders the snapshot as the human-readable timeline
+// served at /proc/odf/trace: one line per event — timestamp, actor,
+// name, duration for spans, then the argument detail.
+func RenderText(s Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# odf flight recorder: %d events, %d dropped\n", len(s.Events), s.Dropped)
+	for _, e := range s.Events {
+		fmt.Fprintf(&b, "%12.3fus %-14s %-18s", float64(e.TS)/1e3, ActorName(e.Actor), e.Name())
+		if e.Kind.Span() {
+			fmt.Fprintf(&b, " dur=%-10v", time.Duration(e.Dur))
+		} else {
+			fmt.Fprintf(&b, " %-14s", "-")
+		}
+		if d := e.Detail(); d != "" {
+			b.WriteString(" " + d)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Attribution is the Fig. 3-style stage breakdown of fork time: how
+// much of the traced forks' wall-clock went to each stage. Walk is the
+// stage's *exclusive* time — the upper-level tree traversal with the
+// nested per-range share/refcount spans subtracted out.
+type Attribution struct {
+	Forks    int           // whole-fork spans seen
+	Walk     time.Duration // tree walk, exclusive of nested stages
+	Share    time.Duration // PTE-table share counters + PMD write-protect
+	Refcount time.Duration // PTE copies + per-page refcount increments
+	TLB      time.Duration // fork-time shootdown broadcast
+}
+
+// Total is the summed stage time (the percentage denominator).
+func (a Attribution) Total() time.Duration {
+	return a.Walk + a.Share + a.Refcount + a.TLB
+}
+
+// Attribute computes the per-stage fork breakdown from a snapshot.
+// Parallel fan-out can make the nested share/refcount spans sum past
+// the enclosing walk span (they run concurrently on several workers),
+// so the exclusive walk time clamps at zero rather than going negative.
+func Attribute(s Snapshot) Attribution {
+	var a Attribution
+	var walkRaw time.Duration
+	for _, e := range s.Events {
+		switch e.Kind {
+		case KindFork:
+			a.Forks++
+		case KindForkStage:
+			d := time.Duration(e.Dur)
+			switch e.Stage {
+			case StageWalk:
+				walkRaw += d
+			case StageShare:
+				a.Share += d
+			case StageRefcount:
+				a.Refcount += d
+			case StageTLB:
+				a.TLB += d
+			}
+		}
+	}
+	a.Walk = walkRaw - a.Share - a.Refcount
+	if a.Walk < 0 {
+		a.Walk = 0
+	}
+	return a
+}
+
+// String renders the attribution as the one-line telemetry footer
+// entry, e.g.:
+//
+//	fork stages: walk=12.3% share=71.0% refcount=0.0% tlb=16.7% (5 forks traced)
+func (a Attribution) String() string {
+	if a.Forks == 0 || a.Total() == 0 {
+		return "fork stages: no forks traced"
+	}
+	pct := func(d time.Duration) float64 {
+		return 100 * float64(d) / float64(a.Total())
+	}
+	return fmt.Sprintf("fork stages: walk=%.1f%% share=%.1f%% refcount=%.1f%% tlb=%.1f%% (%d forks traced)",
+		pct(a.Walk), pct(a.Share), pct(a.Refcount), pct(a.TLB), a.Forks)
+}

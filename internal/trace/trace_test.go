@@ -1,0 +1,353 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSnapshot is a fixed timeline exercising every event kind and
+// every actor flavour: a parallel on-demand fork (walk + two worker
+// share ranges + TLB), a classic refcount range, each fault
+// resolution, a reclaim episode, and allocator shard traffic.
+func goldenSnapshot() Snapshot {
+	us := func(n int64) int64 { return n * 1000 }
+	return Snapshot{
+		Dropped: 3,
+		Events: []Event{
+			{TS: us(1), Dur: us(9), Kind: KindFork, Stage: StageNone, Actor: ActorApp, Arg1: 1, Arg2: 4},
+			{TS: us(1), Dur: us(7), Kind: KindForkStage, Stage: StageWalk, Actor: ActorApp},
+			{TS: us(2), Dur: us(3), Kind: KindForkStage, Stage: StageShare, Actor: ActorApp, Arg1: 0, Arg2: 128},
+			{TS: us(2), Dur: us(4), Kind: KindForkStage, Stage: StageShare, Actor: ActorForkWorker(1), Arg1: 128, Arg2: 256},
+			{TS: us(8), Dur: us(2), Kind: KindForkStage, Stage: StageTLB, Actor: ActorApp},
+			{TS: us(12), Dur: us(5), Kind: KindForkStage, Stage: StageRefcount, Actor: ActorForkWorker(2), Arg1: 0, Arg2: 16},
+			{TS: us(20), Dur: us(2), Kind: KindFault, Stage: ResolveTableCopy, Actor: ActorApp, Arg1: 0x7f0000001000, Arg2: 1},
+			{TS: us(23), Dur: us(1), Kind: KindFault, Stage: ResolveDedup, Actor: ActorApp, Arg1: 0x7f0000002000, Arg2: 1},
+			{TS: us(25), Dur: us(1), Kind: KindFault, Stage: ResolvePageCopy, Actor: ActorApp, Arg1: 0x7f0000003000, Arg2: 1},
+			{TS: us(27), Dur: us(3), Kind: KindFault, Stage: ResolvePMDSplit, Actor: ActorApp, Arg1: 0x7f0000200000, Arg2: 1},
+			{TS: us(31), Dur: us(4), Kind: KindFault, Stage: ResolveHugeCopy, Actor: ActorApp, Arg1: 0x7f0000400000, Arg2: 1},
+			{TS: us(36), Dur: us(6), Kind: KindFault, Stage: ResolveSwapIn, Actor: ActorApp, Arg1: 0x7f0000004000, Arg2: 0},
+			{TS: us(37), Dur: us(4), Kind: KindSwapIn, Stage: StageNone, Actor: ActorApp, Arg1: 7},
+			{TS: us(43), Dur: 0, Kind: KindOOMStall, Stage: StageNone, Actor: ActorApp, Arg1: 1},
+			{TS: us(44), Dur: us(1), Kind: KindFault, Stage: ResolveMinor, Actor: ActorApp, Arg1: 0x7f0000005000, Arg2: 0},
+			{TS: us(46), Dur: 0, Kind: KindFault, Stage: ResolveSegfault, Actor: ActorApp, Arg1: 0xdead000, Arg2: 1},
+			{TS: us(50), Dur: 0, Kind: KindKswapdWake, Stage: StageNone, Actor: ActorKswapd, Arg1: 12},
+			{TS: us(51), Dur: us(20), Kind: KindReclaimScan, Stage: StageNone, Actor: ActorKswapd, Arg1: 64, Arg2: 32},
+			{TS: us(52), Dur: 0, Kind: KindHugeSplit, Stage: StageNone, Actor: ActorKswapd, Arg1: 512},
+			{TS: us(55), Dur: us(8), Kind: KindWriteback, Stage: StageNone, Actor: ActorKswapd, Arg1: 9, Arg2: 4096},
+			{TS: us(64), Dur: 0, Kind: KindReclaimEvict, Stage: StageNone, Actor: ActorKswapd, Arg1: 33, Arg2: 9},
+			{TS: us(70), Dur: 0, Kind: KindAllocRefill, Stage: StageNone, Actor: ActorApp, Arg1: 32},
+			{TS: us(72), Dur: 0, Kind: KindAllocDrain, Stage: StageNone, Actor: ActorApp, Arg1: 32},
+		},
+	}
+}
+
+// TestRenderTextGolden pins the /proc/odf/trace text format.
+func TestRenderTextGolden(t *testing.T) {
+	got := RenderText(goldenSnapshot())
+	path := filepath.Join("testdata", "trace.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		gl := strings.Split(got, "\n")
+		wl := strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) || i < len(wl); i++ {
+			var g, w string
+			if i < len(gl) {
+				g = gl[i]
+			}
+			if i < len(wl) {
+				w = wl[i]
+			}
+			if g != w {
+				t.Errorf("line %d:\n  got  %q\n  want %q", i+1, g, w)
+			}
+		}
+		t.Fatalf("rendered trace differs from %s (use -update after a deliberate format change)", path)
+	}
+}
+
+// TestEventNames: every kind and every stage refinement renders a
+// distinct dotted name, and no kind falls into the fallback.
+func TestEventNames(t *testing.T) {
+	seen := map[string]Event{}
+	add := func(e Event) {
+		n := e.Name()
+		if strings.HasPrefix(n, "kind") {
+			t.Errorf("kind %d has no name", e.Kind)
+		}
+		if prev, dup := seen[n]; dup && (prev.Kind != e.Kind || prev.Stage != e.Stage) {
+			t.Errorf("name %q used by %+v and %+v", n, prev, e)
+		}
+		seen[n] = e
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		switch k {
+		case KindForkStage:
+			for _, st := range []Stage{StageWalk, StageShare, StageRefcount, StageTLB} {
+				add(Event{Kind: k, Stage: st})
+			}
+		case KindFault:
+			for st := ResolveSegfault; st < numStages; st++ {
+				add(Event{Kind: k, Stage: st})
+			}
+		default:
+			add(Event{Kind: k})
+		}
+	}
+}
+
+func TestNilAndDisabledTracer(t *testing.T) {
+	var nilT *Tracer
+	if nilT.Enabled() {
+		t.Fatal("nil tracer enabled")
+	}
+	nilT.SetEnabled(true) // no-op, must not panic
+	nilT.Reset()
+	nilT.Span(KindFork, StageNone, ActorApp, time.Now(), 0, 0)
+	nilT.Instant(KindKswapdWake, StageNone, ActorKswapd, 0, 0)
+	if s := nilT.Snapshot(); len(s.Events) != 0 || s.Dropped != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+
+	tr := New(256)
+	tr.Instant(KindKswapdWake, StageNone, ActorKswapd, 0, 0)
+	tr.Span(KindFork, StageNone, ActorApp, time.Now(), 0, 0)
+	tr.Emit(Event{Kind: KindFork})
+	if s := tr.Snapshot(); len(s.Events) != 0 {
+		t.Fatalf("disabled tracer recorded %d events", len(s.Events))
+	}
+}
+
+func TestEnableRecordReset(t *testing.T) {
+	tr := New(1024)
+	tr.SetEnabled(true)
+	if !tr.Enabled() {
+		t.Fatal("not enabled")
+	}
+	start := time.Now()
+	tr.Span(KindFork, StageNone, ActorApp, start, 1, 4)
+	tr.Instant(KindReclaimEvict, StageNone, ActorKswapd, 33, 9)
+	s := tr.Snapshot()
+	if len(s.Events) != 2 {
+		t.Fatalf("events = %d, want 2", len(s.Events))
+	}
+	for _, e := range s.Events {
+		if e.TS < 0 {
+			t.Errorf("negative TS %d", e.TS)
+		}
+	}
+	tr.Reset()
+	if s := tr.Snapshot(); len(s.Events) != 0 || s.Dropped != 0 {
+		t.Fatalf("after reset: %d events, %d dropped", len(s.Events), s.Dropped)
+	}
+	// Still enabled and recording after reset.
+	tr.Instant(KindKswapdWake, StageNone, ActorKswapd, 1, 0)
+	if s := tr.Snapshot(); len(s.Events) != 1 {
+		t.Fatalf("after reset events = %d", len(s.Events))
+	}
+}
+
+// TestDropOldest: overfilling rings keeps memory bounded and counts
+// the overwritten events.
+func TestDropOldest(t *testing.T) {
+	tr := New(64) // small capacity; per-ring minimum is 64 slots
+	tr.SetEnabled(true)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		tr.Emit(Event{TS: int64(i), Kind: KindFault, Stage: ResolveMinor})
+	}
+	s := tr.Snapshot()
+	var capTotal int
+	for i := range tr.rings {
+		capTotal += len(tr.rings[i].slots)
+	}
+	if len(s.Events) > capTotal {
+		t.Fatalf("snapshot has %d events, capacity %d", len(s.Events), capTotal)
+	}
+	// This goroutine emitted everything into one ring, so exactly
+	// ringSize events survive and the rest are counted dropped.
+	if got := len(s.Events) + int(s.Dropped); got != n {
+		t.Fatalf("events(%d) + dropped(%d) = %d, want %d", len(s.Events), s.Dropped, got, n)
+	}
+	if s.Dropped == 0 {
+		t.Fatal("expected drops")
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	tr := New(1024)
+	tr.SetEnabled(true)
+	for _, ts := range []int64{500, 100, 300, 200, 400} {
+		tr.Emit(Event{TS: ts, Kind: KindFault, Stage: ResolveMinor})
+	}
+	s := tr.Snapshot()
+	for i := 1; i < len(s.Events); i++ {
+		if s.Events[i].TS < s.Events[i-1].TS {
+			t.Fatalf("events out of order at %d: %d < %d", i, s.Events[i].TS, s.Events[i-1].TS)
+		}
+	}
+}
+
+// TestConcurrentEmit hammers the tracer from many goroutines while a
+// reader snapshots and a toggler flips enablement — the -race gate for
+// the lock-free ring.
+func TestConcurrentEmit(t *testing.T) {
+	tr := New(512)
+	tr.SetEnabled(true)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5_000; i++ {
+				tr.Span(KindFault, ResolvePageCopy, int32(g), time.Now(), uint64(i), 1)
+				tr.Instant(KindAllocRefill, StageNone, int32(g), 32, 0)
+			}
+		}(g)
+	}
+	togglerDone := make(chan struct{})
+	go func() {
+		defer close(togglerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = tr.Snapshot()
+			tr.SetEnabled(false)
+			tr.SetEnabled(true)
+			tr.Reset()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-togglerDone
+	_ = tr.Snapshot()
+}
+
+func TestWriteChromeValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, goldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatalf("exporter output fails validator: %v", err)
+	}
+	// One thread_name metadata record per actor (app, two workers,
+	// kswapd), and the dropped count surfaces in metadata.
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	evs := doc["traceEvents"].([]any)
+	names := 0
+	for _, raw := range evs {
+		e := raw.(map[string]any)
+		if e["ph"] == "M" && e["name"] == "thread_name" {
+			names++
+		}
+	}
+	if names != 4 {
+		t.Fatalf("thread_name records = %d, want 4", names)
+	}
+	meta := doc["metadata"].(map[string]any)
+	if meta["dropped_events"].(float64) != 3 {
+		t.Fatalf("dropped_events = %v", meta["dropped_events"])
+	}
+}
+
+func TestWriteToText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTo(&buf, goldenSnapshot(), FormatText); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fork.share") {
+		t.Fatalf("text output missing events:\n%s", buf.String())
+	}
+	if err := WriteTo(&buf, Snapshot{}, Format(99)); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestValidateChromeRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `{"traceEvents": [`,
+		"empty":         `{"traceEvents": []}`,
+		"missing ph":    `{"traceEvents": [{"name":"x","ts":1,"pid":1,"tid":1}]}`,
+		"missing pid":   `{"traceEvents": [{"name":"x","ph":"i","ts":1,"tid":1}]}`,
+		"negative ts":   `{"traceEvents": [{"name":"x","ph":"i","ts":-1,"pid":1,"tid":1}]}`,
+		"non-monotonic": `{"traceEvents": [{"name":"a","ph":"i","ts":5,"pid":1,"tid":1},{"name":"b","ph":"i","ts":4,"pid":1,"tid":1}]}`,
+		"negative dur":  `{"traceEvents": [{"name":"x","ph":"X","ts":1,"dur":-2,"pid":1,"tid":1}]}`,
+		"unbalanced E":  `{"traceEvents": [{"name":"x","ph":"E","ts":1,"pid":1,"tid":1}]}`,
+		"unclosed B":    `{"traceEvents": [{"name":"x","ph":"B","ts":1,"pid":1,"tid":1}]}`,
+	}
+	for name, data := range cases {
+		if err := ValidateChrome([]byte(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	ok := `{"traceEvents": [
+		{"name":"m","ph":"M","pid":1,"tid":1},
+		{"name":"x","ph":"B","ts":1,"pid":1,"tid":1},
+		{"name":"x","ph":"E","ts":2,"pid":1,"tid":1},
+		{"name":"y","ph":"X","ts":3,"dur":1,"pid":1,"tid":1},
+		{"name":"z","ph":"i","ts":4,"pid":1,"tid":1}
+	]}`
+	if err := ValidateChrome([]byte(ok)); err != nil {
+		t.Errorf("valid document rejected: %v", err)
+	}
+}
+
+func TestAttribute(t *testing.T) {
+	a := Attribute(goldenSnapshot())
+	if a.Forks != 1 {
+		t.Fatalf("forks = %d", a.Forks)
+	}
+	// walkRaw 7µs − share (3+4)µs − refcount 5µs clamps at 0.
+	if a.Walk != 0 {
+		t.Errorf("exclusive walk = %v, want 0 (clamped)", a.Walk)
+	}
+	if a.Share != 7*time.Microsecond || a.Refcount != 5*time.Microsecond || a.TLB != 2*time.Microsecond {
+		t.Errorf("share=%v refcount=%v tlb=%v", a.Share, a.Refcount, a.TLB)
+	}
+	s := a.String()
+	if !strings.Contains(s, "share=50.0%") || !strings.Contains(s, "1 forks traced") {
+		t.Errorf("attribution line = %q", s)
+	}
+	if got := (Attribution{}).String(); got != "fork stages: no forks traced" {
+		t.Errorf("empty attribution = %q", got)
+	}
+}
+
+func TestNewCapacity(t *testing.T) {
+	for _, c := range []int{0, -5, 1, 100, DefaultCapacity} {
+		tr := New(c)
+		if len(tr.rings) == 0 {
+			t.Fatalf("New(%d): no rings", c)
+		}
+		for i := range tr.rings {
+			n := len(tr.rings[i].slots)
+			if n < 64 || n&(n-1) != 0 {
+				t.Fatalf("New(%d): ring %d has %d slots", c, i, n)
+			}
+		}
+	}
+}

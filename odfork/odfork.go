@@ -21,6 +21,8 @@
 package odfork
 
 import (
+	"io"
+
 	"repro/internal/core"
 	"repro/internal/fs"
 	"repro/internal/kernel"
@@ -28,6 +30,7 @@ import (
 	"repro/internal/mem/vm"
 	"repro/internal/metrics"
 	"repro/internal/profile"
+	"repro/internal/trace"
 )
 
 // Sentinel errors of the v1 API. Every error the system returns for
@@ -208,8 +211,46 @@ func (s *System) Metrics() MetricsSnapshot { return s.k.MetricsSnapshot() }
 // counting but keeps accumulated values readable.
 func (s *System) SetMetricsEnabled(on bool) { s.k.Metrics().SetEnabled(on) }
 
+// TraceSnapshot is a captured flight-recorder timeline: events sorted
+// by start time plus a count of events lost to ring-buffer overwrite.
+type TraceSnapshot = trace.Snapshot
+
+// TraceEvent is one recorded span or instant on the timeline.
+type TraceEvent = trace.Event
+
+// TraceFormat selects a WriteTrace output encoding.
+type TraceFormat = trace.Format
+
+// WriteTrace output formats.
+const (
+	// TraceChrome is Chrome trace-event JSON — load the file in
+	// https://ui.perfetto.dev or chrome://tracing.
+	TraceChrome = trace.FormatChrome
+	// TraceText is the human-readable rendering that /proc/odf/trace
+	// serves.
+	TraceText = trace.FormatText
+)
+
+// SetTraceEnabled switches the flight recorder on or off. Tracing is
+// off by default and costs a single atomic load per instrumentation
+// point while disabled. Enabling starts a fresh timeline; disabling
+// freezes it for TraceSnapshot and WriteTrace. Recording is bounded:
+// the ring keeps the most recent events and counts the overwritten
+// ones in TraceSnapshot.Dropped.
+func (s *System) SetTraceEnabled(on bool) { s.k.SetTraceEnabled(on) }
+
+// TraceEnabled reports whether the flight recorder is recording.
+func (s *System) TraceEnabled() bool { return s.k.TraceEnabled() }
+
+// TraceSnapshot captures the recorded timeline.
+func (s *System) TraceSnapshot() TraceSnapshot { return s.k.TraceSnapshot() }
+
+// WriteTrace renders the recorded timeline to w in the given format.
+func (s *System) WriteTrace(w io.Writer, f TraceFormat) error { return s.k.WriteTrace(w, f) }
+
 // Procfs reads a file of the simulated procfs namespace:
-// /proc/odf/metrics, /proc/odf/vmstat, /proc/odf/profile,
+// /proc/odf (a listing of the odf endpoints), /proc/odf/metrics,
+// /proc/odf/profile, /proc/odf/trace, /proc/odf/vmstat,
 // /proc/<pid>/maps and /proc/<pid>/status. Unknown paths fail with an
 // error wrapping fs.ErrNotExist.
 func (s *System) Procfs(path string) (string, error) { return s.k.Procfs(path) }

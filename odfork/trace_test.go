@@ -1,0 +1,82 @@
+package odfork_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/odfork"
+)
+
+// TestTraceFacade exercises the v1 tracing surface end to end: enable,
+// fork + CoW write, snapshot, both export formats, the procfs routes,
+// and the disable/re-enable reset contract.
+func TestTraceFacade(t *testing.T) {
+	sys := odfork.NewSystem()
+	if sys.TraceEnabled() {
+		t.Fatal("tracing on by default")
+	}
+	sys.SetTraceEnabled(true)
+	p := sys.NewProcess()
+	defer p.Exit()
+	base, err := p.Mmap(4*odfork.MiB, odfork.ProtRead|odfork.ProtWrite,
+		odfork.MapPrivate|odfork.MapPopulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.Fork(odfork.WithMode(odfork.OnDemand))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Exit()
+	if err := c.StoreByte(base, 7); err != nil {
+		t.Fatal(err)
+	}
+	sys.SetTraceEnabled(false)
+
+	snap := sys.TraceSnapshot()
+	if len(snap.Events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	var hasFork bool
+	for _, e := range snap.Events {
+		if e.Name() == "fork" {
+			hasFork = true
+		}
+	}
+	if !hasFork {
+		t.Errorf("no fork span in %d events", len(snap.Events))
+	}
+
+	var chrome, text bytes.Buffer
+	if err := sys.WriteTrace(&chrome, odfork.TraceChrome); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(chrome.Bytes(), []byte(`"traceEvents"`)) {
+		t.Error("chrome export missing traceEvents envelope")
+	}
+	if err := sys.WriteTrace(&text, odfork.TraceText); err != nil {
+		t.Fatal(err)
+	}
+	proc, err := sys.Procfs("/proc/odf/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proc != text.String() {
+		t.Error("/proc/odf/trace differs from WriteTrace(TraceText)")
+	}
+	listing, err := sys.Procfs("/proc/odf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(listing, "trace\n") {
+		t.Errorf("/proc/odf listing missing trace:\n%s", listing)
+	}
+
+	// Re-enabling starts fresh.
+	sys.SetTraceEnabled(true)
+	defer sys.SetTraceEnabled(false)
+	if s := sys.TraceSnapshot(); len(s.Events) != 0 {
+		t.Errorf("re-enable kept %d stale events", len(s.Events))
+	}
+}
