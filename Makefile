@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench pressure trace
+.PHONY: all build vet test race bench pressure trace chaos
 
 all: build test
 
@@ -33,6 +33,16 @@ pressure:
 	$(GO) test -race -run 'Swap|Kswapd|Reclaim|Vmstat|Pressure' ./internal/core ./internal/kernel ./internal/mem/reclaim ./odfork
 	$(GO) test -run '^$$' -bench BenchmarkForkUnderPressure -benchtime 3x .
 	$(GO) run ./cmd/odf-bench -max-gb 0.25 -reps 2 pressure
+
+# Chaos gate: the fault-injection soak (cmd/odf-chaos) under -race
+# with a pinned seed matrix — alloc, swap I/O, and fork failpoints at
+# p=0.01 (the harness default). Seed 1 runs the full 10,000-op
+# acceptance schedule; the other seeds replay shorter schedules for
+# breadth. Fixed seeds make any failure replayable with the same line.
+chaos:
+	$(GO) run -race ./cmd/odf-chaos -seed 1 -ops 10000 -p 0.01
+	$(GO) run -race ./cmd/odf-chaos -seed 2 -ops 2500 -p 0.01
+	$(GO) run -race ./cmd/odf-chaos -seed 3 -ops 2500 -p 0.01
 
 # Flight-recorder artifact: record a fork/fault/reclaim window, export
 # it as Chrome trace-event JSON (load trace.json in ui.perfetto.dev),

@@ -34,6 +34,7 @@ import (
 	"repro/internal/apps/sqlike"
 	"repro/internal/apps/vmclone"
 	"repro/internal/core"
+	"repro/internal/failpoint"
 	"repro/internal/kernel"
 	"repro/internal/mem/addr"
 	"repro/internal/mem/vm"
@@ -79,21 +80,37 @@ func benchFork(b *testing.B, size uint64, mode core.ForkMode, flags vm.MapFlags)
 // the sub-benchmarks bound the overhead of both observability layers
 // on the hot path. trace-off is the shipping configuration (tracing
 // costs one atomic load per instrumentation point); the acceptance
-// bar is trace-off within 2% of metrics-on.
+// bar is trace-off within 2% of metrics-on. Every row runs with the
+// failpoint registry attached but disarmed (the shipping state, one
+// atomic load per site); failpoints-armed bounds the cost of arming a
+// point elsewhere in the system, which upgrades the fork sites to a
+// name lookup plus a per-point mode load without firing anything.
 func BenchmarkForkOnDemand(b *testing.B) {
 	for _, mc := range []struct {
 		name  string
 		opts  []kernel.Option
 		trace bool
+		setup func(*kernel.Kernel)
 	}{
-		{"metrics-on", nil, false},
-		{"metrics-off", []kernel.Option{kernel.WithMetricsDisabled()}, false},
-		{"trace-off", nil, false},
-		{"trace-on", nil, true},
+		{"metrics-on", nil, false, nil},
+		{"metrics-off", []kernel.Option{kernel.WithMetricsDisabled()}, false, nil},
+		{"trace-off", nil, false, nil},
+		{"trace-on", nil, true, nil},
+		{"failpoints-armed", nil, false, func(k *kernel.Kernel) {
+			// kswapd never runs here, so the point never fires; its
+			// being armed is what flips the fork sites onto the
+			// armed-registry path.
+			if err := k.SetFailpoint(failpoint.KswapdPanic, "every:1000000"); err != nil {
+				b.Fatal(err)
+			}
+		}},
 	} {
 		b.Run(mc.name, func(b *testing.B) {
 			k := kernel.New(mc.opts...)
 			k.SetTraceEnabled(mc.trace)
+			if mc.setup != nil {
+				mc.setup(k)
+			}
 			p := forkParent(b, k, 256*benchMiB, popFlags)
 			defer p.Exit()
 			b.ResetTimer()

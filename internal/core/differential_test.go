@@ -47,7 +47,7 @@ func (l *lineage) step(rng *rand.Rand) error {
 	case pick < 2: // fork
 		if len(l.procs) < 5 {
 			src := l.procs[rng.Intn(len(l.procs))]
-			l.procs = append(l.procs, ForkWithOptions(src, l.mode, l.opts))
+			l.procs = append(l.procs, mustForkOpts(src, l.mode, l.opts))
 		} else {
 			rng.Intn(len(l.procs)) // keep streams aligned
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/mem/addr"
 	"repro/internal/mem/pagetable"
 	"repro/internal/mem/phys"
@@ -419,7 +420,10 @@ func (as *AddressSpace) splitSharedPMDLocked(pud *pagetable.Table, pi int, old *
 	}
 
 	// Pre-allocate so an OOM unwind cannot strand the shared table's
-	// lock (see splitSharedLeafLocked).
+	// lock (see splitSharedLeafLocked). The failpoint models that
+	// allocation failing: nothing has been mutated yet, so the shared
+	// PMD table and the huge mappings beneath it stay intact.
+	as.failInject(as.alloc.Failpoints(), failpoint.FaultPMDSplit)
 	newPMD := pagetable.NewTable(as.alloc, addr.PMD)
 	old.Lock()
 	if old.ShareCount(as.alloc) == 1 {
@@ -509,7 +513,9 @@ func (as *AddressSpace) splitSharedLeafLocked(pmd *pagetable.Table, pi int, old 
 
 	// Allocate the new table before taking the shared table's lock, so
 	// an out-of-memory unwind cannot leave the lock held or the split
-	// half-applied.
+	// half-applied. The failpoint fires at the same point for the same
+	// reason.
+	as.failInject(as.alloc.Failpoints(), failpoint.FaultTableCopy)
 	newLeaf := pagetable.NewTable(as.alloc, addr.PTE)
 	old.Lock()
 	if old.ShareCount(as.alloc) == 1 {
@@ -586,6 +592,7 @@ func (as *AddressSpace) pageCOWLocked(tr pagetable.Translation) {
 		return // resolved concurrently
 	}
 	f := e.Frame()
+	as.failInject(as.alloc.Failpoints(), failpoint.FaultPageCopy)
 	var nf phys.Frame
 	if as.alloc.RefCount(f) > 1 {
 		// Allocate outside the table lock so OOM cannot strand it.
@@ -640,6 +647,7 @@ func (as *AddressSpace) hugeCOWLocked(tr pagetable.Translation) {
 			pagetable.FlagWritable|pagetable.FlagDirty|pagetable.FlagAccessed))
 		return
 	}
+	as.failInject(as.alloc.Failpoints(), failpoint.FaultHugeCopy)
 	nh := as.alloc.AllocHuge()
 	as.alloc.CopyHugePage(nh, head)
 	if m := as.trk(); m != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/mem/addr"
 	"repro/internal/mem/pagetable"
 	"repro/internal/mem/phys"
@@ -128,13 +129,33 @@ func (o ForkOptions) threshold() int {
 // The child sees a byte-identical copy of the parent's memory with full
 // copy-on-write semantics; the parent's writable pages are
 // write-protected as required by the engine.
+//
+// Fork keeps the historical single-value signature: when the frame
+// budget runs out mid-copy it first unwinds the partial child (see
+// ForkWithOptions), then panics with ErrOutOfMemory, which callers
+// under a catchOOM boundary observe as an ordinary OOM error.
 func Fork(parent *AddressSpace, mode ForkMode) *AddressSpace {
-	return ForkWithOptions(parent, mode, ForkOptions{})
+	child, err := ForkWithOptions(parent, mode, ForkOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return child
 }
 
 // ForkWithOptions is Fork with ablation and parallelism options. It
 // panics when opts.Parallelism is negative.
-func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) *AddressSpace {
+//
+// The copy is transactional with respect to allocation failure: if any
+// table allocation fails mid-fork (frame limit, or an injected
+// failpoint), every reference the partial child took — page refcounts,
+// PTE-table share counts, swap-slot references, ownership records — is
+// released, its partially built tables are freed, and the parent is
+// left passing CheckInvariants with its frame budget intact.
+// ErrOutOfMemory is returned in that case. The parent's entries may
+// remain COW-downgraded; the first write fault per region re-dedicates
+// them through the engine's fast path, so only latent re-promotion
+// work survives an abort, never lost memory.
+func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) (*AddressSpace, error) {
 	workers := opts.workers() // validate before taking any lock
 	m := parent.met
 	tr := parent.trc
@@ -146,67 +167,115 @@ func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) *Add
 	parent.mu.Lock()
 	defer parent.mu.Unlock()
 
-	child := &AddressSpace{
-		w:     pagetable.NewWalker(parent.alloc, parent.prof),
-		vmas:  parent.vmas.Clone(),
-		alloc: parent.alloc,
-		prof:  parent.prof,
-		met:   parent.met,
-		trc:   parent.trc,
-		sd:    parent.sd,
-		tlb:   tlb.New(parent.sd),
-		id:    spaceIDs.Add(1),
-		rec:   parent.rec,
-	}
-	var walkStart time.Time
-	if tr.Enabled() {
-		walkStart = time.Now()
-	}
-	nTasks := 0
-	fanOut := workers > 1 && parent.presentPMDSlots() >= opts.threshold()
-	switch mode {
-	case ForkClassic:
-		if fanOut {
-			tasks := parent.collectClassicTasks(parent.w.Root, child.w.Root, child, nil)
-			noteFanOut(m, tasks)
-			nTasks = len(tasks)
-			runForkTasks(tasks, workers)
-		} else {
-			parent.copyTreeClassic(parent.w.Root, child.w.Root, child)
+	var child *AddressSpace
+	var forkErr error
+	func() {
+		// The rollback boundary. Every fallible operation inside —
+		// NewTable at any level, the per-range copies, the fan-out
+		// tasks — sits at a slot boundary: a slot is either untouched
+		// or fully committed (entries set AND references taken) when
+		// the allocation panic unwinds, so freeing the child's tree
+		// releases exactly what the partial fork acquired.
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			if !isOOM(r) {
+				panic(r)
+			}
+			if child != nil {
+				parent.abortFork(child, mode)
+				child = nil
+			}
+			forkErr = ErrOutOfMemory
+		}()
+		child = &AddressSpace{
+			w:     pagetable.NewWalker(parent.alloc, parent.prof),
+			vmas:  parent.vmas.Clone(),
+			alloc: parent.alloc,
+			prof:  parent.prof,
+			met:   parent.met,
+			trc:   parent.trc,
+			sd:    parent.sd,
+			tlb:   tlb.New(parent.sd),
+			id:    spaceIDs.Add(1),
+			rec:   parent.rec,
 		}
-	case ForkOnDemand:
-		if fanOut {
-			tasks := parent.collectOnDemandTasks(parent.w.Root, child.w.Root, child, opts, nil)
-			noteFanOut(m, tasks)
-			nTasks = len(tasks)
-			runForkTasks(tasks, workers)
-		} else {
-			parent.copyTreeOnDemand(parent.w.Root, child.w.Root, child, opts)
+		var walkStart time.Time
+		if tr.Enabled() {
+			walkStart = time.Now()
 		}
-	default:
-		panic("core: unknown fork mode")
-	}
-	tr.Span(trace.KindForkStage, trace.StageWalk, trace.ActorApp, walkStart, 0, 0)
-	// The parent's translations were downgraded; every relative that may
-	// cache translations through now-shared tables must drop them (the
-	// kernel's fork-time TLB flush, broadcast lineage-wide).
-	var tlbStart time.Time
-	if tr.Enabled() {
-		tlbStart = time.Now()
+		nTasks := 0
+		fanOut := workers > 1 && parent.presentPMDSlots() >= opts.threshold()
+		switch mode {
+		case ForkClassic:
+			if fanOut {
+				tasks := parent.collectClassicTasks(parent.w.Root, child.w.Root, child, nil)
+				noteFanOut(m, tasks)
+				nTasks = len(tasks)
+				runForkTasks(tasks, workers)
+			} else {
+				parent.copyTreeClassic(parent.w.Root, child.w.Root, child)
+			}
+		case ForkOnDemand:
+			if fanOut {
+				tasks := parent.collectOnDemandTasks(parent.w.Root, child.w.Root, child, opts, nil)
+				noteFanOut(m, tasks)
+				nTasks = len(tasks)
+				runForkTasks(tasks, workers)
+			} else {
+				parent.copyTreeOnDemand(parent.w.Root, child.w.Root, child, opts)
+			}
+		default:
+			panic("core: unknown fork mode")
+		}
+		tr.Span(trace.KindForkStage, trace.StageWalk, trace.ActorApp, walkStart, 0, 0)
+		// The parent's translations were downgraded; every relative that may
+		// cache translations through now-shared tables must drop them (the
+		// kernel's fork-time TLB flush, broadcast lineage-wide).
+		var tlbStart time.Time
+		if tr.Enabled() {
+			tlbStart = time.Now()
+		}
+		parent.sd.Broadcast()
+		parent.prof.Charge(profile.TLBFlush, 1)
+		tr.Span(trace.KindForkStage, trace.StageTLB, trace.ActorApp, tlbStart, 0, 0)
+		if !forkStart.IsZero() && m.Enabled() {
+			// metrics.ForkEngine values mirror ForkMode, so the cast is the
+			// whole mapping.
+			if e := metrics.ForkEngine(mode); e >= 0 && e < metrics.NumEngines {
+				m.Fork.Forks[e].Inc()
+				m.Fork.Latency[e].Observe(time.Since(forkStart))
+			}
+		}
+		tr.Span(trace.KindFork, trace.StageNone, trace.ActorApp, forkStart, uint64(mode), uint64(nTasks))
+	}()
+	return child, forkErr
+}
+
+// abortFork rolls back a partially built child after a mid-fork
+// allocation failure, with parent.mu held. The child was never
+// published, so freeing its tree — which drops page refcounts, leaf and
+// PMD share counts, swap-slot references, and reclaim ownership records
+// through the same release paths Teardown uses — restores every counter
+// the partial copy bumped. Parent entries already downgraded for COW
+// stay downgraded (write-protecting is always safe); the shootdown
+// broadcast makes every cached translation notice.
+func (parent *AddressSpace) abortFork(child *AddressSpace, mode ForkMode) {
+	child.dead = true
+	child.vmas.Clear()
+	if child.w != nil && child.w.Root != nil {
+		child.freeTree(child.w.Root)
+		child.w.Root = nil
 	}
 	parent.sd.Broadcast()
-	parent.prof.Charge(profile.TLBFlush, 1)
-	tr.Span(trace.KindForkStage, trace.StageTLB, trace.ActorApp, tlbStart, 0, 0)
-	if !forkStart.IsZero() && m.Enabled() {
-		// metrics.ForkEngine values mirror ForkMode, so the cast is the
-		// whole mapping.
-		if e := metrics.ForkEngine(mode); e >= 0 && e < metrics.NumEngines {
-			m.Fork.Forks[e].Inc()
-			m.Fork.Latency[e].Observe(time.Since(forkStart))
-		}
+	if parent.met.Enabled() {
+		parent.met.Robust.ForkAborts.Inc()
 	}
-	tr.Span(trace.KindFork, trace.StageNone, trace.ActorApp, forkStart, uint64(mode), uint64(nTasks))
-	return child
+	if parent.trc.Enabled() {
+		parent.trc.Instant(trace.KindForkAbort, trace.StageNone, trace.ActorApp, uint64(mode), 0)
+	}
 }
 
 // noteFanOut records one parallel fork and its task count.
@@ -214,6 +283,18 @@ func noteFanOut(m *metrics.Registry, tasks []forkTask) {
 	if m.Enabled() {
 		m.Fork.ParallelForks.Inc()
 		m.Fork.ParallelTasks.Add(uint64(len(tasks)))
+	}
+}
+
+// failFork panics with an injected OOM when the named fork-stage
+// failpoint fires. Sites sit strictly at slot boundaries — before the
+// slot's table allocation, never between taking references and
+// committing them — so the rollback invariant (every committed slot is
+// fully consistent) holds for injected failures exactly as for real
+// ones.
+func (as *AddressSpace) failInject(fp *failpoint.Registry, name string) {
+	if fp.Enabled() && fp.Fire(name) {
+		panic(errInjected)
 	}
 }
 
@@ -227,12 +308,14 @@ func (as *AddressSpace) copyTreeClassic(src, dst *pagetable.Table, child *Addres
 		as.copyPMDRangeClassic(src, dst, 0, addr.EntriesPerTable, child, trace.ActorApp)
 		return
 	}
+	fp := as.alloc.Failpoints()
 	for i := 0; i < addr.EntriesPerTable; i++ {
 		childTable := src.Child(i)
 		if childTable == nil {
 			continue
 		}
 		as.prof.Charge(profile.UpperWalk, 1)
+		as.failInject(fp, failpoint.ForkWalk)
 		newTable := pagetable.NewTable(as.alloc, childTable.Level)
 		dst.SetChild(i, newTable, src.Entry(i))
 		as.copyTreeClassic(childTable, newTable, child)
@@ -250,6 +333,7 @@ func (as *AddressSpace) copyPMDRangeClassic(src, dst *pagetable.Table, lo, hi in
 		rangeStart = time.Now()
 	}
 	defer as.trc.Span(trace.KindForkStage, trace.StageRefcount, actor, rangeStart, uint64(lo), uint64(hi))
+	fp := as.alloc.Failpoints()
 	var frames []phys.Frame
 	for i := lo; i < hi; i++ {
 		e := src.Entry(i)
@@ -265,6 +349,7 @@ func (as *AddressSpace) copyPMDRangeClassic(src, dst *pagetable.Table, lo, hi in
 		if leaf == nil {
 			continue
 		}
+		as.failInject(fp, failpoint.ForkRefcount)
 		newLeaf := pagetable.NewTable(as.alloc, addr.PTE)
 		if frames == nil {
 			frames = make([]phys.Frame, 0, addr.EntriesPerTable)
@@ -342,6 +427,7 @@ func (as *AddressSpace) copyTreeOnDemand(src, dst *pagetable.Table, child *Addre
 		as.copyPMDRangeOnDemand(src, dst, 0, addr.EntriesPerTable, child, opts, trace.ActorApp)
 		return
 	}
+	fp := as.alloc.Failpoints()
 	for i := 0; i < addr.EntriesPerTable; i++ {
 		childTable := src.Child(i)
 		if childTable == nil {
@@ -352,6 +438,7 @@ func (as *AddressSpace) copyTreeOnDemand(src, dst *pagetable.Table, child *Addre
 			as.sharePMDTable(src, dst, i, childTable, child)
 			continue
 		}
+		as.failInject(fp, failpoint.ForkWalk)
 		newTable := pagetable.NewTable(as.alloc, childTable.Level)
 		dst.SetChild(i, newTable, src.Entry(i))
 		as.copyTreeOnDemand(childTable, newTable, child, opts)
@@ -367,12 +454,14 @@ func (as *AddressSpace) copyPMDRangeOnDemand(src, dst *pagetable.Table, lo, hi i
 		rangeStart = time.Now()
 	}
 	defer as.trc.Span(trace.KindForkStage, trace.StageShare, actor, rangeStart, uint64(lo), uint64(hi))
+	fp := as.alloc.Failpoints()
 	for i := lo; i < hi; i++ {
 		e := src.Entry(i)
 		if !e.Present() {
 			continue
 		}
 		as.prof.Charge(profile.UpperWalk, 1)
+		as.failInject(fp, failpoint.ForkShare)
 		if e.Huge() {
 			// The implementation supports 4 KiB pages (§4, "Huge Page
 			// Support"); huge mappings fall back to the classic COW of

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/failpoint"
 	"repro/internal/mem/addr"
 	"repro/internal/mem/pagetable"
 	"repro/internal/profile"
@@ -88,6 +89,15 @@ func forkPoolSize() int {
 // cursor (work stealing), so uneven chunks self-balance. If the pool
 // is saturated by concurrent forks, submission falls through and the
 // caller simply runs the remaining work itself — slower, never stuck.
+//
+// A task that panics (a mid-copy allocation failure, real or injected)
+// must not crash a pool worker or leave the fork half-joined: every
+// participant traps its panic, the remaining participants stop
+// claiming tasks, and after ALL of them have quiesced — the WaitGroup
+// join is unconditional, so no worker can still be writing into the
+// child when the rollback starts — the first panic value is re-raised
+// on the forking goroutine, where ForkWithOptions' transaction
+// boundary unwinds the partial child.
 func runForkTasks(tasks []forkTask, par int) {
 	if len(tasks) == 0 {
 		return
@@ -103,8 +113,17 @@ func runForkTasks(tasks []forkTask, par int) {
 	}
 	forkPoolInit()
 	var next atomic.Int64
+	var aborted atomic.Bool
+	var firstPanic atomic.Pointer[any]
 	run := func(actor int32) {
-		for {
+		defer func() {
+			if r := recover(); r != nil {
+				v := r
+				firstPanic.CompareAndSwap(nil, &v)
+				aborted.Store(true)
+			}
+		}()
+		for !aborted.Load() {
 			i := int(next.Add(1)) - 1
 			if i >= len(tasks) {
 				return
@@ -128,6 +147,9 @@ func runForkTasks(tasks []forkTask, par int) {
 	}
 	run(trace.ActorApp)
 	wg.Wait()
+	if p := firstPanic.Load(); p != nil {
+		panic(*p)
+	}
 }
 
 // presentPMDSlots counts the present PMD slots (2 MiB regions) of the
@@ -179,12 +201,14 @@ func (as *AddressSpace) collectClassicTasks(src, dst *pagetable.Table, child *Ad
 			return func(actor int32) { as.copyPMDRangeClassic(src, dst, lo, hi, child, actor) }
 		})
 	}
+	fp := as.alloc.Failpoints()
 	for i := 0; i < addr.EntriesPerTable; i++ {
 		childTable := src.Child(i)
 		if childTable == nil {
 			continue
 		}
 		as.prof.Charge(profile.UpperWalk, 1)
+		as.failInject(fp, failpoint.ForkWalk)
 		newTable := pagetable.NewTable(as.alloc, childTable.Level)
 		dst.SetChild(i, newTable, src.Entry(i))
 		tasks = as.collectClassicTasks(childTable, newTable, child, tasks)
@@ -202,6 +226,7 @@ func (as *AddressSpace) collectOnDemandTasks(src, dst *pagetable.Table, child *A
 			return func(actor int32) { as.copyPMDRangeOnDemand(src, dst, lo, hi, child, opts, actor) }
 		})
 	}
+	fp := as.alloc.Failpoints()
 	for i := 0; i < addr.EntriesPerTable; i++ {
 		childTable := src.Child(i)
 		if childTable == nil {
@@ -212,6 +237,7 @@ func (as *AddressSpace) collectOnDemandTasks(src, dst *pagetable.Table, child *A
 			as.sharePMDTable(src, dst, i, childTable, child)
 			continue
 		}
+		as.failInject(fp, failpoint.ForkWalk)
 		newTable := pagetable.NewTable(as.alloc, childTable.Level)
 		dst.SetChild(i, newTable, src.Entry(i))
 		tasks = as.collectOnDemandTasks(childTable, newTable, child, opts, tasks)

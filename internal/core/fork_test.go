@@ -552,7 +552,7 @@ func TestForkAblationOptions(t *testing.T) {
 			as := newSpace()
 			base := mustMmap(t, as, addr.PTECoverage, rw, vm.MapPrivate|vm.MapPopulate)
 			fillPattern(t, as, base, addr.PTECoverage, 0x13)
-			child := ForkWithOptions(as, ForkOnDemand, opts)
+			child := mustForkOpts(as, ForkOnDemand, opts)
 			if err := EqualMemory(as, child, addr.NewRange(base, addr.PTECoverage)); err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,14 @@
+package core
+
+// mustForkOpts is the test-side shim over ForkWithOptions for the many
+// call sites that want the historical single-value shape: a fork that
+// fails (frame limit, injected fault) panics instead of returning an
+// error, which the few tests that exercise failure paths catch
+// explicitly.
+func mustForkOpts(parent *AddressSpace, mode ForkMode, opts ForkOptions) *AddressSpace {
+	child, err := ForkWithOptions(parent, mode, opts)
+	if err != nil {
+		panic(err)
+	}
+	return child
+}

@@ -31,7 +31,7 @@ func TestHugeShareForkSharesPMDTable(t *testing.T) {
 	as, base := hugeParent(t, 3)
 	defer as.Teardown()
 
-	child := ForkWithOptions(as, ForkOnDemand, shareHuge)
+	child := mustForkOpts(as, ForkOnDemand, shareHuge)
 	defer child.Teardown()
 
 	pp, pi := as.w.FindPUD(base)
@@ -60,7 +60,7 @@ func TestHugeShareForkSharesPMDTable(t *testing.T) {
 
 func TestHugeShareMemoryIdentical(t *testing.T) {
 	as, base := hugeParent(t, 2)
-	child := ForkWithOptions(as, ForkOnDemand, shareHuge)
+	child := mustForkOpts(as, ForkOnDemand, shareHuge)
 	if err := EqualMemory(as, child, addr.NewRange(base, 2*addr.HugePageSize)); err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestHugeShareMemoryIdentical(t *testing.T) {
 func TestHugeShareReadsDoNotFault(t *testing.T) {
 	as, base := hugeParent(t, 2)
 	defer as.Teardown()
-	child := ForkWithOptions(as, ForkOnDemand, shareHuge)
+	child := mustForkOpts(as, ForkOnDemand, shareHuge)
 	defer child.Teardown()
 
 	buf := make([]byte, addr.PageSize)
@@ -94,7 +94,7 @@ func TestHugeShareReadsDoNotFault(t *testing.T) {
 func TestHugeShareWriteSplitsOnce(t *testing.T) {
 	as, base := hugeParent(t, 2)
 	defer as.Teardown()
-	child := ForkWithOptions(as, ForkOnDemand, shareHuge)
+	child := mustForkOpts(as, ForkOnDemand, shareHuge)
 	defer child.Teardown()
 
 	// First write: split the PMD table, then 2 MiB COW.
@@ -136,7 +136,7 @@ func TestHugeShareWriteSplitsOnce(t *testing.T) {
 func TestHugeShareParentWrite(t *testing.T) {
 	as, base := hugeParent(t, 1)
 	defer as.Teardown()
-	child := ForkWithOptions(as, ForkOnDemand, shareHuge)
+	child := mustForkOpts(as, ForkOnDemand, shareHuge)
 	defer child.Teardown()
 
 	if err := as.StoreByte(base, 0x99); err != nil {
@@ -153,7 +153,7 @@ func TestHugeShareParentWrite(t *testing.T) {
 func TestHugeShareFastDedup(t *testing.T) {
 	as, base := hugeParent(t, 1)
 	defer as.Teardown()
-	child := ForkWithOptions(as, ForkOnDemand, shareHuge)
+	child := mustForkOpts(as, ForkOnDemand, shareHuge)
 	child.Teardown()
 
 	if err := as.StoreByte(base, 1); err != nil {
@@ -177,7 +177,7 @@ func TestHugeShareManyChildren(t *testing.T) {
 	as, base := hugeParent(t, 1)
 	var children []*AddressSpace
 	for i := 0; i < 4; i++ {
-		children = append(children, ForkWithOptions(as, ForkOnDemand, shareHuge))
+		children = append(children, mustForkOpts(as, ForkOnDemand, shareHuge))
 	}
 	pp, pi := as.w.FindPUD(base)
 	if got := pp.Child(pi).ShareCount(as.alloc); got != 5 {
@@ -218,7 +218,7 @@ func TestHugeShareManyChildren(t *testing.T) {
 func TestHugeShareMunmapWholeCoverage(t *testing.T) {
 	as, base := hugeParent(t, 2)
 	defer as.Teardown()
-	child := ForkWithOptions(as, ForkOnDemand, shareHuge)
+	child := mustForkOpts(as, ForkOnDemand, shareHuge)
 
 	pp, pi := as.w.FindPUD(base)
 	pmd := pp.Child(pi)
@@ -253,7 +253,7 @@ func TestHugeShareMunmapPartialCoverage(t *testing.T) {
 	if err := as.StoreByte(base+2*addr.HugePageSize, 0x22); err != nil {
 		t.Fatal(err)
 	}
-	child := ForkWithOptions(as, ForkOnDemand, shareHuge)
+	child := mustForkOpts(as, ForkOnDemand, shareHuge)
 	defer child.Teardown()
 
 	if err := child.Munmap(base, 2*addr.HugePageSize); err != nil {
@@ -292,7 +292,7 @@ func TestHugeShareMixedRegionNotShared(t *testing.T) {
 	if err := as.StoreByte(small, 0x77); err != nil {
 		t.Fatal(err)
 	}
-	child := ForkWithOptions(as, ForkOnDemand, shareHuge)
+	child := mustForkOpts(as, ForkOnDemand, shareHuge)
 	defer child.Teardown()
 
 	pp, pi := as.w.FindPUD(hbase)
@@ -313,8 +313,8 @@ func TestHugeShareMixedRegionNotShared(t *testing.T) {
 
 func TestHugeShareGrandchild(t *testing.T) {
 	as, base := hugeParent(t, 1)
-	child := ForkWithOptions(as, ForkOnDemand, shareHuge)
-	grand := ForkWithOptions(child, ForkOnDemand, shareHuge)
+	child := mustForkOpts(as, ForkOnDemand, shareHuge)
+	grand := mustForkOpts(child, ForkOnDemand, shareHuge)
 
 	pp, pi := as.w.FindPUD(base)
 	if got := pp.Child(pi).ShareCount(as.alloc); got != 3 {
@@ -345,7 +345,7 @@ func TestHugeShareDemandPagingSplits(t *testing.T) {
 	if err := as.StoreByte(base, 0x31); err != nil {
 		t.Fatal(err)
 	}
-	child := ForkWithOptions(as, ForkOnDemand, shareHuge)
+	child := mustForkOpts(as, ForkOnDemand, shareHuge)
 	defer child.Teardown()
 
 	// Touch the second (absent) huge page in the child.
@@ -370,7 +370,7 @@ func TestHugeShareForkLatencyAdvantage(t *testing.T) {
 	defer as.Teardown()
 
 	before := as.alloc.Allocated()
-	childShared := ForkWithOptions(as, ForkOnDemand, shareHuge)
+	childShared := mustForkOpts(as, ForkOnDemand, shareHuge)
 	sharedDelta := as.alloc.Allocated() - before
 	pp, pi := as.w.FindPUD(base)
 	cp, ci := childShared.w.FindPUD(base)

@@ -31,6 +31,20 @@ import (
 // it wraps phys.ErrNoMemory.
 var ErrOutOfMemory = fmt.Errorf("core: %w", phys.ErrNoMemory)
 
+// errInjected is the panic value for failpoint-injected allocation
+// failures on the fork and fault paths. It wraps phys.ErrNoMemory so
+// the injected fault unwinds through catchOOM and the fork rollback
+// exactly like a real frame-limit failure, while remaining
+// distinguishable in panic messages during debugging.
+var errInjected = fmt.Errorf("core: injected fault: %w", phys.ErrNoMemory)
+
+// isOOM reports whether a recovered panic value is an out-of-memory
+// unwind (anything wrapping phys.ErrNoMemory).
+func isOOM(r any) bool {
+	e, ok := r.(error)
+	return ok && errors.Is(e, phys.ErrNoMemory)
+}
+
 // catchOOM converts an in-flight phys.ErrNoMemory panic into
 // ErrOutOfMemory on *err; all other panics propagate.
 func catchOOM(err *error) {

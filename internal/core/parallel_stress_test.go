@@ -29,7 +29,7 @@ func TestForkParallelMatchesSequential(t *testing.T) {
 				fillPattern(t, as, base, size, 0xC3)
 
 				seq := Fork(as, mode)
-				par := ForkWithOptions(as, mode, parOpts(workers))
+				par := mustForkOpts(as, mode, parOpts(workers))
 				r := addr.NewRange(base, size)
 				if err := EqualMemory(as, par, r); err != nil {
 					t.Fatalf("parallel child diverges from parent: %v", err)
@@ -62,7 +62,7 @@ func TestForkParallelProfileCounts(t *testing.T) {
 				base := mustMmap(t, as, size, rw, vm.MapPrivate|vm.MapPopulate)
 				fillPattern(t, as, base, size, 0x11)
 				prof.Reset()
-				child := ForkWithOptions(as, mode, parOpts(workers))
+				child := mustForkOpts(as, mode, parOpts(workers))
 				defer child.Teardown()
 				out := map[string]uint64{}
 				for _, name := range []string{
@@ -100,11 +100,11 @@ func TestForkParallelismValidation(t *testing.T) {
 				t.Errorf("panic message %q does not name the knob", msg)
 			}
 		}()
-		ForkWithOptions(as, ForkClassic, ForkOptions{Parallelism: -1})
+		mustForkOpts(as, ForkClassic, ForkOptions{Parallelism: -1})
 	})
 
 	t.Run("zero is sequential default", func(t *testing.T) {
-		child := ForkWithOptions(as, ForkClassic, ForkOptions{})
+		child := mustForkOpts(as, ForkClassic, ForkOptions{})
 		defer child.Teardown()
 		if err := CheckInvariants(as, child); err != nil {
 			t.Fatal(err)
@@ -112,7 +112,7 @@ func TestForkParallelismValidation(t *testing.T) {
 	})
 
 	t.Run("huge values clamp", func(t *testing.T) {
-		child := ForkWithOptions(as, ForkClassic, ForkOptions{Parallelism: 1 << 20, ParallelThreshold: -1})
+		child := mustForkOpts(as, ForkClassic, ForkOptions{Parallelism: 1 << 20, ParallelThreshold: -1})
 		defer child.Teardown()
 		if err := CheckInvariants(as, child); err != nil {
 			t.Fatal(err)
@@ -131,7 +131,7 @@ func TestForkParallelBelowThreshold(t *testing.T) {
 			size := uint64(2 * addr.PTECoverage) // 2 slots << DefaultParallelThreshold
 			base := mustMmap(t, as, size, rw, vm.MapPrivate|vm.MapPopulate)
 			fillPattern(t, as, base, size, 0x77)
-			child := ForkWithOptions(as, mode, ForkOptions{Parallelism: 8})
+			child := mustForkOpts(as, mode, ForkOptions{Parallelism: 8})
 			defer child.Teardown()
 			if err := EqualMemory(as, child, addr.NewRange(base, size)); err != nil {
 				t.Fatal(err)
@@ -164,7 +164,7 @@ func TestConcurrentForkFaultStress(t *testing.T) {
 			const siblings = 3
 			sibs := make([]*AddressSpace, siblings)
 			for i := range sibs {
-				sibs[i] = ForkWithOptions(as, mode, parOpts(2))
+				sibs[i] = mustForkOpts(as, mode, parOpts(2))
 			}
 
 			const forkers = 4
@@ -176,7 +176,7 @@ func TestConcurrentForkFaultStress(t *testing.T) {
 				go func(g int) {
 					defer wg.Done()
 					for it := 0; it < forksEach; it++ {
-						kids[g] = append(kids[g], ForkWithOptions(as, mode, parOpts(2)))
+						kids[g] = append(kids[g], mustForkOpts(as, mode, parOpts(2)))
 					}
 				}(g)
 			}

@@ -49,6 +49,14 @@ func RenderFooter(d metrics.Snapshot, att *trace.Attribution) string {
 		d.TLB.Hits, d.TLB.Misses, d.TLB.Shootdowns)
 	fmt.Fprintf(&b, "reclaim: swapout=%d swapin=%d direct-stalls=%d kswapd-wakeups=%d\n",
 		d.Reclaim.PswpOut, d.Reclaim.PswpIn, d.Reclaim.DirectReclaims, d.Reclaim.KswapdWakeups)
+	// The robustness line only appears when something robustness-worthy
+	// happened — for the common healthy run the footer stays unchanged.
+	if r := d.Robust; r.InjectedFaults+r.ForkAborts+r.SwapReadRetries+r.SwapWriteRetries+
+		r.SwapReadErrors+r.SwapWriteErrors+r.SwapCorruptions+r.SwapDegrades+r.KswapdErrors > 0 {
+		fmt.Fprintf(&b, "robustness: injected=%d fork-aborts=%d swap-retries=%d swap-errors=%d corruptions=%d degrades=%d kswapd-errors=%d\n",
+			r.InjectedFaults, r.ForkAborts, r.SwapReadRetries+r.SwapWriteRetries,
+			r.SwapReadErrors+r.SwapWriteErrors, r.SwapCorruptions, r.SwapDegrades, r.KswapdErrors)
+	}
 	if att != nil {
 		fmt.Fprintf(&b, "%s\n", att)
 	}

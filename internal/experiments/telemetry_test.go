@@ -41,6 +41,14 @@ func fixtureDelta() metrics.Snapshot {
 	d.Reclaim.PswpIn = 16
 	d.Reclaim.DirectReclaims = 3
 	d.Reclaim.KswapdWakeups = 1
+	d.Robust.InjectedFaults = 25
+	d.Robust.ForkAborts = 3
+	d.Robust.SwapReadRetries = 4
+	d.Robust.SwapWriteRetries = 2
+	d.Robust.SwapReadErrors = 1
+	d.Robust.SwapCorruptions = 1
+	d.Robust.SwapDegrades = 1
+	d.Robust.KswapdErrors = 1
 	return d
 }
 

@@ -1,0 +1,357 @@
+// Package failpoint is a deterministic fault-injection registry for
+// the simulated kernel's fallible paths: frame allocation, shard
+// refill, the fork stages, fault resolution, and swap-store I/O.
+//
+// The design follows the trace-layer rule: when nothing is armed the
+// per-site cost is a single atomic load (plus the nil-safe pointer
+// load at the owning subsystem), so failpoints stay compiled into
+// production paths. Sites guard with
+//
+//	if fp.Enabled() && fp.Fire(failpoint.PhysAlloc) { ...fail... }
+//
+// Every trigger draws from a per-point splitmix64 stream seeded from
+// the registry seed, so a chaos run with a fixed seed reproduces the
+// exact same fault schedule (the driver is sequential; concurrent
+// callers still get a well-defined, race-free — if interleaving-
+// dependent — stream).
+package failpoint
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// The catalog of failpoints. Set rejects names outside this list so a
+// typo in a chaos schedule fails loudly instead of silently injecting
+// nothing.
+const (
+	PhysAlloc       = "phys.alloc"        // TryAlloc returns ErrNoMemory
+	PhysAllocHuge   = "phys.alloc-huge"   // AllocHuge fails with ErrNoMemory
+	PhysShardRefill = "phys.shard-refill" // batched shard refill degrades to a single frame
+	ForkWalk        = "fork.walk"         // upper-level table allocation during the fork walk
+	ForkShare       = "fork.share"        // per-slot PTE-table share (on-demand engine)
+	ForkRefcount    = "fork.refcount"     // per-slot PTE-table copy/refcount (classic engine)
+	FaultTableCopy  = "fault.table-copy"  // COW split of a shared PTE table
+	FaultPMDSplit   = "fault.pmd-split"   // private copy of a shared PMD table (§4)
+	FaultHugeCopy   = "fault.huge-copy"   // 2 MiB COW copy
+	FaultPageCopy   = "fault.page-copy"   // 4 KiB COW copy
+	SwapRead        = "swap.read"         // swap-store Read fails with an I/O error
+	SwapWrite       = "swap.write"        // swap-store Write fails with an I/O error
+	SwapFree        = "swap.free"         // swap-store Free needs retries
+	SwapCorrupt     = "swap.corrupt"      // swap-out records a poisoned checksum
+	KswapdPanic     = "kswapd.panic"      // kswapd balance pass panics
+)
+
+// catalog fixes the order used by indices, Status, and trace events.
+var catalog = []string{
+	PhysAlloc, PhysAllocHuge, PhysShardRefill,
+	ForkWalk, ForkShare, ForkRefcount,
+	FaultTableCopy, FaultPMDSplit, FaultHugeCopy, FaultPageCopy,
+	SwapRead, SwapWrite, SwapFree, SwapCorrupt,
+	KswapdPanic,
+}
+
+// Catalog returns the full failpoint name list in index order.
+func Catalog() []string {
+	out := make([]string, len(catalog))
+	copy(out, catalog)
+	return out
+}
+
+// Index returns the catalog index for name, or -1 if unknown.
+func Index(name string) int {
+	for i, n := range catalog {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// PointName returns the catalog name for an index (e.g. from a trace
+// event argument), or "?" if out of range.
+func PointName(idx int) string {
+	if idx < 0 || idx >= len(catalog) {
+		return "?"
+	}
+	return catalog[idx]
+}
+
+type triggerMode int32
+
+const (
+	modeOff triggerMode = iota
+	modeOnce
+	modeEvery
+	modeProb
+)
+
+type point struct {
+	mode   atomic.Int32
+	arg    atomic.Uint64 // every: period; prob: threshold on a uint64 draw
+	evals  atomic.Uint64 // evaluation counter for every-N
+	prng   atomic.Uint64 // splitmix64 state
+	checks atomic.Uint64
+	fires  atomic.Uint64
+}
+
+type observer struct{ fn func(name string, index int) }
+
+// Registry holds the process-wide failpoint state. The zero value is
+// not usable; construct with New. All methods are safe on a nil
+// receiver (Enabled reports false, Fire never fires) so subsystems can
+// hold an unset atomic pointer exactly like the tracer and metrics
+// hooks.
+type Registry struct {
+	armed  atomic.Int64 // number of points whose mode != off
+	seed   atomic.Uint64
+	total  atomic.Uint64
+	obs    atomic.Pointer[observer]
+	mu     sync.Mutex // serializes Set/Reseed/Reset (not Fire)
+	points []point    // len(catalog), indexed by catalog order
+}
+
+// New builds a registry with every point off, seeded for
+// reproducibility. The same seed and the same sequence of Fire calls
+// produce the same fault schedule.
+func New(seed uint64) *Registry {
+	r := &Registry{points: make([]point, len(catalog))}
+	r.reseedLocked(seed)
+	return r
+}
+
+// Enabled reports whether any failpoint is armed. One atomic load;
+// nil-safe.
+func (r *Registry) Enabled() bool {
+	return r != nil && r.armed.Load() > 0
+}
+
+// Seed returns the current PRNG seed.
+func (r *Registry) Seed() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seed.Load()
+}
+
+// TotalFires returns the number of faults injected since the last
+// Reset/Reseed.
+func (r *Registry) TotalFires() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total.Load()
+}
+
+// Fires returns the fire count for one point.
+func (r *Registry) Fires(name string) uint64 {
+	if r == nil {
+		return 0
+	}
+	if i := Index(name); i >= 0 {
+		return r.points[i].fires.Load()
+	}
+	return 0
+}
+
+// SetObserver installs fn to be called on every injected fault (after
+// the counters are updated). Used by the kernel to emit trace events;
+// fn must not call back into the registry's Set methods.
+func (r *Registry) SetObserver(fn func(name string, index int)) {
+	if fn == nil {
+		r.obs.Store(nil)
+		return
+	}
+	r.obs.Store(&observer{fn: fn})
+}
+
+// Fire evaluates the named failpoint and reports whether the site
+// should fail. Unknown names never fire. Cheap when the point is off;
+// callers gate on Enabled() first so the disabled-registry cost stays
+// at one atomic load.
+func (r *Registry) Fire(name string) bool {
+	if r == nil {
+		return false
+	}
+	i := Index(name)
+	if i < 0 {
+		return false
+	}
+	p := &r.points[i]
+	m := triggerMode(p.mode.Load())
+	if m == modeOff {
+		return false
+	}
+	p.checks.Add(1)
+	hit := false
+	switch m {
+	case modeOnce:
+		// CAS the mode back to off so exactly one caller wins.
+		if p.mode.CompareAndSwap(int32(modeOnce), int32(modeOff)) {
+			r.armed.Add(-1)
+			hit = true
+		}
+	case modeEvery:
+		n := p.arg.Load()
+		if n > 0 && p.evals.Add(1)%n == 0 {
+			hit = true
+		}
+	case modeProb:
+		hit = splitmix64(&p.prng) < p.arg.Load()
+	}
+	if hit {
+		p.fires.Add(1)
+		r.total.Add(1)
+		if o := r.obs.Load(); o != nil {
+			o.fn(name, i)
+		}
+	}
+	return hit
+}
+
+// Set arms or disarms a failpoint. Specs:
+//
+//	off       — disarm
+//	once      — fire on the next evaluation, then disarm
+//	every:N   — fire on every N-th evaluation (N ≥ 1)
+//	prob:P    — fire with probability P per evaluation (0 < P ≤ 1)
+func (r *Registry) Set(name, spec string) error {
+	if r == nil {
+		return fmt.Errorf("failpoint: nil registry")
+	}
+	i := Index(name)
+	if i < 0 {
+		return fmt.Errorf("failpoint: unknown point %q", name)
+	}
+	m, arg, err := parseSpec(spec)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := &r.points[i]
+	was := triggerMode(p.mode.Load())
+	p.arg.Store(arg)
+	p.evals.Store(0)
+	p.mode.Store(int32(m))
+	switch {
+	case was == modeOff && m != modeOff:
+		r.armed.Add(1)
+	case was != modeOff && m == modeOff:
+		r.armed.Add(-1)
+	}
+	return nil
+}
+
+func parseSpec(spec string) (triggerMode, uint64, error) {
+	switch {
+	case spec == "off":
+		return modeOff, 0, nil
+	case spec == "once":
+		return modeOnce, 0, nil
+	case strings.HasPrefix(spec, "every:"):
+		n, err := strconv.ParseUint(spec[len("every:"):], 10, 64)
+		if err != nil || n == 0 {
+			return 0, 0, fmt.Errorf("failpoint: bad spec %q (want every:N, N ≥ 1)", spec)
+		}
+		return modeEvery, n, nil
+	case strings.HasPrefix(spec, "prob:"):
+		p, err := strconv.ParseFloat(spec[len("prob:"):], 64)
+		if err != nil || p <= 0 || p > 1 {
+			return 0, 0, fmt.Errorf("failpoint: bad spec %q (want prob:P, 0 < P ≤ 1)", spec)
+		}
+		if p == 1 {
+			return modeProb, math.MaxUint64, nil
+		}
+		return modeProb, uint64(p * float64(1<<63) * 2), nil
+	default:
+		return 0, 0, fmt.Errorf("failpoint: bad spec %q (want off|once|every:N|prob:P)", spec)
+	}
+}
+
+// Reseed resets every PRNG stream and counter to a fresh seed, keeping
+// the armed specs. Use before a reproducible chaos phase.
+func (r *Registry) Reseed(seed uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.reseedLocked(seed)
+}
+
+func (r *Registry) reseedLocked(seed uint64) {
+	r.seed.Store(seed)
+	r.total.Store(0)
+	for i := range r.points {
+		p := &r.points[i]
+		// Decorrelate the per-point streams: golden-ratio offsets
+		// through the seed space, then one mix round.
+		s := seed + uint64(i+1)*0x9E3779B97F4A7C15
+		p.prng.Store(s)
+		p.evals.Store(0)
+		p.checks.Store(0)
+		p.fires.Store(0)
+	}
+}
+
+// Reset disarms every point and zeroes all counters (seed preserved).
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.points {
+		p := &r.points[i]
+		if triggerMode(p.mode.Load()) != modeOff {
+			r.armed.Add(-1)
+		}
+		p.mode.Store(int32(modeOff))
+		p.arg.Store(0)
+	}
+	r.reseedLocked(r.seed.Load())
+}
+
+// Status renders the registry in /proc style: a header with the seed
+// and armed count, then one line per catalog point.
+func (r *Registry) Status() string {
+	var b strings.Builder
+	if r == nil {
+		b.WriteString("# odf failpoints: registry detached\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "# odf failpoints: seed=%d armed=%d injected=%d\n",
+		r.seed.Load(), r.armed.Load(), r.total.Load())
+	for i, name := range catalog {
+		p := &r.points[i]
+		fmt.Fprintf(&b, "%-17s %-12s checks=%d fires=%d\n",
+			name, specString(triggerMode(p.mode.Load()), p.arg.Load()),
+			p.checks.Load(), p.fires.Load())
+	}
+	return b.String()
+}
+
+func specString(m triggerMode, arg uint64) string {
+	switch m {
+	case modeOnce:
+		return "once"
+	case modeEvery:
+		return fmt.Sprintf("every:%d", arg)
+	case modeProb:
+		return fmt.Sprintf("prob:%.4g", float64(arg)/(float64(1<<63)*2))
+	default:
+		return "off"
+	}
+}
+
+// splitmix64 advances the state atomically and returns the next draw.
+// The atomic add means concurrent callers each see a distinct state;
+// under a sequential driver the stream is fully deterministic.
+func splitmix64(state *atomic.Uint64) uint64 {
+	z := state.Add(0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,265 @@
+package failpoint
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDisabledByDefault(t *testing.T) {
+	r := New(1)
+	if r.Enabled() {
+		t.Fatal("fresh registry reports Enabled")
+	}
+	if r.Fire(PhysAlloc) {
+		t.Fatal("unarmed point fired")
+	}
+	var nilReg *Registry
+	if nilReg.Enabled() || nilReg.Fire(PhysAlloc) {
+		t.Fatal("nil registry enabled or fired")
+	}
+	if nilReg.TotalFires() != 0 || nilReg.Seed() != 0 || nilReg.Fires(PhysAlloc) != 0 {
+		t.Fatal("nil registry counters non-zero")
+	}
+	nilReg.Reset() // must not panic
+}
+
+func TestOnceFiresExactlyOnce(t *testing.T) {
+	r := New(1)
+	if err := r.Set(SwapRead, "once"); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Enabled() {
+		t.Fatal("armed registry reports disabled")
+	}
+	fires := 0
+	for i := 0; i < 10; i++ {
+		if r.Fire(SwapRead) {
+			fires++
+		}
+	}
+	if fires != 1 {
+		t.Fatalf("once fired %d times", fires)
+	}
+	if r.Enabled() {
+		t.Fatal("once did not disarm after firing")
+	}
+	if r.TotalFires() != 1 || r.Fires(SwapRead) != 1 {
+		t.Fatalf("counters: total=%d point=%d", r.TotalFires(), r.Fires(SwapRead))
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	r := New(1)
+	if err := r.Set(ForkShare, "every:3"); err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	for i := 1; i <= 9; i++ {
+		if r.Fire(ForkShare) {
+			got = append(got, i)
+		}
+	}
+	want := []int{3, 6, 9}
+	if len(got) != len(want) {
+		t.Fatalf("every:3 fired at %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("every:3 fired at %v, want %v", got, want)
+		}
+	}
+	// every:1 fires always.
+	if err := r.Set(ForkShare, "every:1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if !r.Fire(ForkShare) {
+			t.Fatal("every:1 missed")
+		}
+	}
+}
+
+func TestProbabilityDeterministicAndCalibrated(t *testing.T) {
+	const n = 100000
+	run := func(seed uint64) int {
+		r := New(seed)
+		if err := r.Set(PhysAlloc, "prob:0.01"); err != nil {
+			t.Fatal(err)
+		}
+		fires := 0
+		for i := 0; i < n; i++ {
+			if r.Fire(PhysAlloc) {
+				fires++
+			}
+		}
+		return fires
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("same seed, different schedules: %d vs %d", a, b)
+	}
+	// ~1000 expected; allow a wide band.
+	if a < 700 || a > 1300 {
+		t.Fatalf("prob:0.01 fired %d/%d times", a, n)
+	}
+	if c := run(43); c == a {
+		t.Fatalf("different seeds produced identical fire count %d (suspicious)", c)
+	}
+	// prob:1 always fires.
+	r := New(1)
+	if err := r.Set(PhysAlloc, "prob:1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !r.Fire(PhysAlloc) {
+			t.Fatal("prob:1 missed")
+		}
+	}
+}
+
+func TestSetValidation(t *testing.T) {
+	r := New(1)
+	for _, bad := range []struct{ name, spec string }{
+		{"no.such.point", "once"},
+		{PhysAlloc, "sometimes"},
+		{PhysAlloc, "every:0"},
+		{PhysAlloc, "every:x"},
+		{PhysAlloc, "prob:0"},
+		{PhysAlloc, "prob:1.5"},
+		{PhysAlloc, "prob:x"},
+		{PhysAlloc, ""},
+	} {
+		if err := r.Set(bad.name, bad.spec); err == nil {
+			t.Errorf("Set(%q, %q) accepted", bad.name, bad.spec)
+		}
+	}
+	if r.Enabled() {
+		t.Fatal("failed Sets armed the registry")
+	}
+	var nilReg *Registry
+	if err := nilReg.Set(PhysAlloc, "once"); err == nil {
+		t.Fatal("nil registry Set succeeded")
+	}
+}
+
+func TestResetAndReseed(t *testing.T) {
+	r := New(7)
+	if err := r.Set(SwapWrite, "every:1"); err != nil {
+		t.Fatal(err)
+	}
+	r.Fire(SwapWrite)
+	r.Reset()
+	if r.Enabled() || r.TotalFires() != 0 || r.Fires(SwapWrite) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	if r.Seed() != 7 {
+		t.Fatalf("Reset changed seed to %d", r.Seed())
+	}
+	r.Reseed(9)
+	if r.Seed() != 9 {
+		t.Fatalf("Reseed: seed = %d", r.Seed())
+	}
+}
+
+func TestObserver(t *testing.T) {
+	r := New(1)
+	var mu sync.Mutex
+	var names []string
+	var idxs []int
+	r.SetObserver(func(name string, index int) {
+		mu.Lock()
+		names = append(names, name)
+		idxs = append(idxs, index)
+		mu.Unlock()
+	})
+	if err := r.Set(KswapdPanic, "once"); err != nil {
+		t.Fatal(err)
+	}
+	r.Fire(KswapdPanic)
+	r.Fire(KswapdPanic)
+	if len(names) != 1 || names[0] != KswapdPanic {
+		t.Fatalf("observer saw %v", names)
+	}
+	if PointName(idxs[0]) != KswapdPanic {
+		t.Fatalf("index %d does not map back to %s", idxs[0], KswapdPanic)
+	}
+	r.SetObserver(nil) // must not panic on later fires
+	if err := r.Set(KswapdPanic, "once"); err != nil {
+		t.Fatal(err)
+	}
+	r.Fire(KswapdPanic)
+}
+
+func TestCatalogAndStatus(t *testing.T) {
+	names := Catalog()
+	if len(names) == 0 {
+		t.Fatal("empty catalog")
+	}
+	seen := map[string]bool{}
+	for i, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate catalog entry %q", n)
+		}
+		seen[n] = true
+		if Index(n) != i {
+			t.Fatalf("Index(%q) = %d, want %d", n, Index(n), i)
+		}
+		if PointName(i) != n {
+			t.Fatalf("PointName(%d) = %q, want %q", i, PointName(i), n)
+		}
+	}
+	if Index("nope") != -1 || PointName(-1) != "?" || PointName(len(names)) != "?" {
+		t.Fatal("unknown lookups not rejected")
+	}
+
+	r := New(5)
+	if err := r.Set(FaultPageCopy, "prob:0.25"); err != nil {
+		t.Fatal(err)
+	}
+	r.Fire(FaultPageCopy)
+	s := r.Status()
+	if !strings.Contains(s, "seed=5") || !strings.Contains(s, "armed=1") {
+		t.Fatalf("status header:\n%s", s)
+	}
+	if !strings.Contains(s, "prob:0.25") {
+		t.Fatalf("status missing armed spec:\n%s", s)
+	}
+	for _, n := range names {
+		if !strings.Contains(s, n) {
+			t.Fatalf("status missing %s:\n%s", n, s)
+		}
+	}
+	var nilReg *Registry
+	if !strings.Contains(nilReg.Status(), "detached") {
+		t.Fatal("nil status")
+	}
+}
+
+func TestConcurrentFireOnce(t *testing.T) {
+	r := New(1)
+	if err := r.Set(PhysAlloc, "once"); err != nil {
+		t.Fatal(err)
+	}
+	var fires, wg = make(chan bool, 64), sync.WaitGroup{}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if r.Fire(PhysAlloc) {
+					fires <- true
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(fires)
+	n := 0
+	for range fires {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("once fired %d times under concurrency", n)
+	}
+}

@@ -1,0 +1,57 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/failpoint"
+	"repro/internal/trace"
+)
+
+// Kernel-level fault injection: one failpoint registry per kernel,
+// created disarmed at boot and inherited by every subsystem through
+// the allocator (the same attach pattern as the flight recorder).
+// Arming a point is test/chaos-harness territory — the registry stays
+// a single atomic load on every production hot path until then.
+
+// defaultFailpointSeed makes two kernels with the same armed schedule
+// draw identical probability sequences unless a seed is chosen
+// explicitly — reproducibility by default.
+const defaultFailpointSeed = 1
+
+// Failpoints returns the kernel's fault-injection registry. It is
+// never nil for a kernel built with New.
+func (k *Kernel) Failpoints() *failpoint.Registry { return k.fail }
+
+// SetFailpoint arms or disarms one named failpoint. Spec is one of
+// "off", "once", "every:N", or "prob:P" (0 < P <= 1).
+func (k *Kernel) SetFailpoint(name, spec string) error {
+	return k.fail.Set(name, spec)
+}
+
+// SetFailpointSeed reseeds the registry's deterministic PRNG, fixing
+// the probability-trigger schedule for a reproducible run.
+func (k *Kernel) SetFailpointSeed(seed uint64) { k.fail.Reseed(seed) }
+
+// CheckInvariants runs the full cross-space accounting audit (share
+// counters, frame refcounts, swap-slot refcounts, reclaim rmap/LRU
+// bookkeeping) over every live process. Processes must be quiescent.
+func (k *Kernel) CheckInvariants() error {
+	k.mu.Lock()
+	spaces := make([]*core.AddressSpace, 0, len(k.procs))
+	for _, p := range k.procs {
+		spaces = append(spaces, p.as)
+	}
+	k.mu.Unlock()
+	if err := core.CheckInvariants(spaces...); err != nil {
+		return fmt.Errorf("kernel: %w", err)
+	}
+	return nil
+}
+
+// failpointObserver forwards every injected fault into the flight
+// recorder, so a chaos run's timeline shows exactly where the faults
+// landed relative to the forks and evictions they perturbed.
+func (k *Kernel) failpointObserver(_ string, index int) {
+	k.trc.Instant(trace.KindFailpoint, trace.StageNone, trace.ActorApp, uint64(index), 0)
+}

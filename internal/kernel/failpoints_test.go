@@ -1,0 +1,144 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/failpoint"
+	"repro/internal/mem/addr"
+	"repro/internal/mem/vm"
+)
+
+// TestKswapdSurvivesPanics is the kswapd resilience test (run under
+// -race in CI): with the kswapd.panic failpoint firing on every other
+// balance episode, the background reclaimer must keep running —
+// abandoned episodes are counted in kswapd_errors and the surviving
+// episodes still service the watermarks.
+func TestKswapdSurvivesPanics(t *testing.T) {
+	k := New()
+	k.SetSwapEnabled(true)
+	defer k.SetSwapEnabled(false)
+
+	const limit = 1024
+	k.Allocator().SetLimit(limit)
+	t.Cleanup(func() { k.Allocator().SetLimit(0) })
+	const low, high = 128, 256
+	if err := k.SetSwapWatermarks(low, high); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetFailpoint(failpoint.KswapdPanic, "every:2"); err != nil {
+		t.Fatal(err)
+	}
+
+	p := k.NewProcess()
+	defer p.Exit()
+	base, err := p.Mmap(limit*addr.PageSize, vm.ProtRead|vm.ProtWrite, vm.MapPrivate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, addr.PageSize)
+	for i := range buf {
+		buf[i] = byte(i * 31)
+	}
+	for i := 0; i < limit; i++ {
+		if err := p.WriteAt(buf, base+addr.V(i*addr.PageSize)); err != nil {
+			t.Fatalf("write page %d: %v", i, err)
+		}
+	}
+
+	// Half the balance episodes die; the other half must still pull
+	// free frames back over the low watermark. Wait for both the
+	// recovery and at least one counted panic (the poll ticker keeps
+	// evaluating the failpoint even once the watermarks are happy).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		free := limit - k.Allocator().Allocated()
+		out, err := k.Procfs("/proc/odf/vmstat")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if free >= low && hasNonzero(out, "kswapd_errors") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("free=%d (low=%d) with kswapd panics armed; vmstat:\n%s", free, low, out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The goroutine survived its panics: with the failpoint off, a
+	// second burst of pressure is serviced normally.
+	if err := k.SetFailpoint(failpoint.KswapdPanic, "off"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < limit; i++ {
+		if err := p.WriteAt(buf, base+addr.V(i*addr.PageSize)); err != nil {
+			t.Fatalf("post-panic write page %d: %v", i, err)
+		}
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if free := limit - k.Allocator().Allocated(); free >= low {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("free frames %d still below low watermark %d after panics disarmed",
+				limit-k.Allocator().Allocated(), low)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if out, _ := k.Procfs("/proc/odf/vmstat"); !hasNonzero(out, "pswpout") {
+		t.Errorf("nothing was ever swapped out:\n%s", out)
+	}
+}
+
+// TestProcOdfFailpoints pins the /proc/odf/failpoints surface: the
+// full catalog listed in index order, with armed specs and fire counts
+// reflected live.
+func TestProcOdfFailpoints(t *testing.T) {
+	k := New()
+	out, err := k.Procfs("/proc/odf/failpoints")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "# odf failpoints: seed=1 armed=0 injected=0\n") {
+		t.Fatalf("unexpected header:\n%s", out)
+	}
+	for _, name := range failpoint.Catalog() {
+		if !strings.Contains(out, name) {
+			t.Errorf("catalog point %s missing from listing", name)
+		}
+	}
+
+	if err := k.SetFailpoint(failpoint.PhysAlloc, "prob:0.5"); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = k.Procfs("/proc/odf/failpoints")
+	if !strings.Contains(out, "armed=1") || !strings.Contains(out, "prob:0.5") {
+		t.Errorf("armed point not reflected:\n%s", out)
+	}
+}
+
+// TestFailpointTraceEvents: every injected fault lands in the flight
+// recorder as a failpoint instant carrying the catalog index.
+func TestFailpointTraceEvents(t *testing.T) {
+	k := New()
+	k.SetTraceEnabled(true)
+	p := k.NewProcess()
+	defer p.Exit()
+	if err := k.SetFailpoint(failpoint.PhysAlloc, "once"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Mmap(4*addr.PageSize, vm.ProtRead|vm.ProtWrite,
+		vm.MapPrivate|vm.MapPopulate); err == nil {
+		t.Fatal("populate succeeded with phys.alloc armed once")
+	}
+	out, err := k.Procfs("/proc/odf/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "failpoint") {
+		t.Errorf("no failpoint event in trace:\n%s", out)
+	}
+}

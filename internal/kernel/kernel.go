@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/failpoint"
 	"repro/internal/fs"
 	"repro/internal/mem/addr"
 	"repro/internal/mem/phys"
@@ -45,6 +46,7 @@ type Kernel struct {
 	trc   *trace.Tracer
 	fsys  *fs.FileSystem
 	rec   *reclaim.Manager
+	fail  *failpoint.Registry
 
 	// procEndpoints is the /proc/odf file registry, in the fixed order
 	// New builds it; the root listing and path dispatch both walk it.
@@ -98,6 +100,12 @@ func New(opts ...Option) *Kernel {
 	// and any address space, which inherit it from the allocator.
 	k.trc = trace.New(trace.DefaultCapacity)
 	k.alloc.SetTracer(k.trc)
+	// The failpoint registry boots with every point disarmed; arming is
+	// the chaos harness's / tests' job. Attached before the reclaim
+	// manager and any address space so injection reaches every layer.
+	k.fail = failpoint.New(defaultFailpointSeed)
+	k.fail.SetObserver(k.failpointObserver)
+	k.alloc.SetFailpoints(k.fail)
 	// The reclaim manager is always attached (so address spaces created
 	// now pick it up) but starts disabled: until SetSwapEnabled(true)
 	// every hook is a no-op and frame-limit pressure fails fast, the
@@ -132,6 +140,7 @@ func (k *Kernel) MetricsSnapshot() metrics.Snapshot {
 	snap.Alloc.FramesInUse = k.alloc.Allocated()
 	snap.Alloc.FramesPeak = k.alloc.Peak()
 	snap.Alloc.ShardCached = int64(k.alloc.ShardCached())
+	snap.Robust.InjectedFaults = k.fail.TotalFires()
 	return snap
 }
 
@@ -335,8 +344,11 @@ func (p *Process) forkInternal(mode core.ForkMode, opts core.ForkOptions) (*Proc
 		p.mu.Unlock()
 		return nil, fmt.Errorf("kernel: fork from exited process %d: %w", p.pid, ErrExited)
 	}
-	childAS := core.ForkWithOptions(p.as, mode, opts)
+	childAS, err := core.ForkWithOptions(p.as, mode, opts)
 	p.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
 
 	k := p.k
 	k.mu.Lock()

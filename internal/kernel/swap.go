@@ -55,7 +55,8 @@ func (k *Kernel) SetSwapStoreFile(path string) error {
 // Vmstat renders the reclaim counters and state in /proc/vmstat style:
 // one "name value" pair per line. Served as /proc/odf/vmstat.
 func (k *Kernel) Vmstat() string {
-	snap := k.met.Snapshot().Reclaim
+	full := k.met.Snapshot()
+	snap := full.Reclaim
 	st := k.rec.Stats()
 	limit := k.alloc.Limit()
 	free := int64(0)
@@ -79,6 +80,11 @@ func (k *Kernel) Vmstat() string {
 		swapOn = 1
 	}
 	line("swap_enabled", swapOn)
+	degraded := int64(0)
+	if st.Degraded {
+		degraded = 1
+	}
+	line("swap_degraded", degraded)
 	line("swap_slots", st.SwapSlots)
 	line("swap_store_slots", st.Store.Slots)
 	line("swap_store_bytes", st.Store.Bytes)
@@ -88,5 +94,6 @@ func (k *Kernel) Vmstat() string {
 	line("nr_frames_free", free)
 	line("watermark_low", st.Low)
 	line("watermark_high", st.High)
+	line("kswapd_errors", int64(full.Robust.KswapdErrors))
 	return b.String()
 }

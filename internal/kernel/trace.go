@@ -53,6 +53,7 @@ type procEndpoint struct {
 // pin down.
 func (k *Kernel) buildProcEndpoints() []procEndpoint {
 	return []procEndpoint{
+		{"failpoints", func() (string, bool) { return k.fail.Status(), true }},
 		{"metrics", func() (string, bool) { return k.MetricsSnapshot().Render(), true }},
 		{"profile", func() (string, bool) {
 			if k.prof == nil {

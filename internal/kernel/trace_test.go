@@ -26,7 +26,7 @@ func TestProcOdfRootListing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := "metrics\ntrace\nvmstat\n"; got != want {
+	if want := "failpoints\nmetrics\ntrace\nvmstat\n"; got != want {
 		t.Errorf("/proc/odf without profiler = %q, want %q", got, want)
 	}
 	// A trailing slash reads the same directory.
@@ -43,12 +43,12 @@ func TestProcOdfRootListing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := "metrics\nprofile\ntrace\nvmstat\n"; got != want {
+	if want := "failpoints\nmetrics\nprofile\ntrace\nvmstat\n"; got != want {
 		t.Errorf("/proc/odf with profiler = %q, want %q", got, want)
 	}
 
 	// Every listed name must itself resolve.
-	for _, name := range []string{"metrics", "profile", "trace", "vmstat"} {
+	for _, name := range []string{"failpoints", "metrics", "profile", "trace", "vmstat"} {
 		if _, err := profiled.Procfs("/proc/odf/" + name); err != nil {
 			t.Errorf("listed endpoint %s does not read: %v", name, err)
 		}

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/failpoint"
 	"repro/internal/mem/addr"
 	"repro/internal/metrics"
 	"repro/internal/profile"
@@ -86,6 +87,7 @@ type Allocator struct {
 	prof      *profile.Profiler
 	met       atomic.Pointer[metrics.Registry]
 	trc       atomic.Pointer[trace.Tracer]
+	fail      atomic.Pointer[failpoint.Registry]
 
 	// Reclaim integration. lowWater is the free-frame level below which
 	// successful reservations nudge the background reclaimer awake; the
@@ -177,6 +179,16 @@ func (a *Allocator) SetTracer(t *trace.Tracer) { a.trc.Store(t) }
 // metrics registry.
 func (a *Allocator) Tracer() *trace.Tracer { return a.trc.Load() }
 
+// SetFailpoints attaches the fault-injection registry, following the
+// same pattern as SetMetrics/SetTracer: one atomic pointer, attached
+// once at kernel boot, and a detached (nil) registry costs nothing on
+// the hot paths because Enabled() on nil reports false.
+func (a *Allocator) SetFailpoints(r *failpoint.Registry) { a.fail.Store(r) }
+
+// Failpoints returns the attached fault-injection registry (may be
+// nil). Address spaces and the reclaimer inherit it from here.
+func (a *Allocator) Failpoints() *failpoint.Registry { return a.fail.Load() }
+
 // info returns the PageInfo for f, which must be a frame number this
 // allocator has issued. It is lock-free: the chunk table snapshot is
 // immutable once published, and any caller holding a valid frame
@@ -231,6 +243,9 @@ func (a *Allocator) Alloc() Frame {
 // path touches only the caller's shard cache; the buddy core is
 // entered once per shardBatch misses.
 func (a *Allocator) TryAlloc() (Frame, error) {
+	if fp := a.fail.Load(); fp.Enabled() && fp.Fire(failpoint.PhysAlloc) {
+		return NoFrame, ErrNoMemory
+	}
 	if err := a.reserve(1); err != nil {
 		return NoFrame, err
 	}
@@ -296,6 +311,9 @@ func (a *Allocator) reserve(n int64) error {
 // subsystem uses it for allocations made while a reclaim pass is in
 // flight, where recursing into reclaim would self-deadlock.
 func (a *Allocator) TryAllocNoReclaim() (Frame, error) {
+	if fp := a.fail.Load(); fp.Enabled() && fp.Fire(failpoint.PhysAlloc) {
+		return NoFrame, ErrNoMemory
+	}
 	cur := a.allocated.Add(1)
 	if l := a.limit.Load(); l > 0 && cur > l {
 		a.allocated.Add(-1)
@@ -348,6 +366,12 @@ func (a *Allocator) AllocPageTable() Frame {
 // tails pointing back at the head (mirroring Linux compound pages).
 // It returns the head frame.
 func (a *Allocator) AllocHuge() Frame {
+	// Huge allocations have no TryAllocHuge counterpart; every call site
+	// sits under a catchOOM boundary, so an injected failure surfaces the
+	// same way a real one would — as an ErrNoMemory panic.
+	if fp := a.fail.Load(); fp.Enabled() && fp.Fire(failpoint.PhysAllocHuge) {
+		panic(ErrNoMemory)
+	}
 	a.mu.Lock()
 	// An order-9 buddy block is 512 contiguous, naturally aligned
 	// frames. Huge allocations bypass the shard caches (they hold only

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"unsafe"
 
+	"repro/internal/failpoint"
 	"repro/internal/profile"
 	"repro/internal/trace"
 )
@@ -83,10 +84,18 @@ func (a *Allocator) allocFrame() Frame {
 	}
 	// Miss: pull a batch from the buddy core while still holding the
 	// shard lock (lock order shard → core), so the whole refill is one
-	// critical section per shardBatch allocations.
+	// critical section per shardBatch allocations. An injected refill
+	// failure degrades to a single-frame pull — the allocation itself
+	// still succeeds (its frame was already reserved against the limit),
+	// the cache just stays cold, exactly like a pageset refill that
+	// found the free lists fragmented.
+	batch := shardBatch
+	if fp := a.fail.Load(); fp.Enabled() && fp.Fire(failpoint.PhysShardRefill) {
+		batch = 1
+	}
 	a.mu.Lock()
 	f := a.allocBlock(0)
-	for i := 0; i < shardBatch-1; i++ {
+	for i := 0; i < batch-1; i++ {
 		s.cache = append(s.cache, a.allocBlock(0))
 	}
 	a.mu.Unlock()

@@ -31,17 +31,38 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/mem/addr"
 	"repro/internal/mem/pagetable"
 	"repro/internal/mem/phys"
 	"repro/internal/metrics"
 	"repro/internal/trace"
+)
+
+// Swap I/O failure classes. A store operation that keeps failing after
+// the bounded retries surfaces as ErrSwapIO from the faulting access
+// and flips the manager into degraded mode (no further swap-out); a
+// payload whose checksum no longer matches what was written surfaces
+// as ErrSwapCorrupt. Both are matched with errors.Is.
+var (
+	ErrSwapIO      = errors.New("reclaim: swap I/O failure")
+	ErrSwapCorrupt = errors.New("reclaim: swap payload corrupt")
+)
+
+// Swap I/O retry tuning: a failing store operation is retried a few
+// times with doubling backoff (50µs, 100µs, 200µs) before the failure
+// is surfaced — transient device hiccups resolve, persistent faults
+// degrade quickly.
+const (
+	swapIOAttempts  = 4
+	swapBackoffBase = 50 * time.Microsecond
 )
 
 // Space is the view the reclaimer has of an address space: just enough
@@ -110,15 +131,22 @@ type Manager struct {
 	// table it must stay consistent even if tracking is later disabled.
 	tracking atomic.Bool
 
+	// degraded latches after a swap I/O failure exhausts its retries:
+	// eviction and kswapd balancing stop (no new pages are put at
+	// risk), reads of already-swapped pages are still attempted, and
+	// re-enabling the subsystem clears the latch.
+	degraded atomic.Bool
+
 	// mu guards frames, owners, q, slots, and the watermark fields.
 	// It is the innermost lock of the whole memory stack.
 	mu     sync.Mutex
 	frames map[phys.Frame]*frameNode
 	owners map[*pagetable.Table]map[Space]struct{}
 	q      lru
-	// slots holds swap-slot reference counts (one per swap PTE). Slot 0
-	// is the implicit zero page: refcounted here, never stored.
-	slots map[uint64]int64
+	// slots holds per-swap-slot bookkeeping: the reference count (one
+	// per swap PTE) and the payload checksum recorded at swap-out.
+	// Slot 0 is the implicit zero page: refcounted here, never stored.
+	slots map[uint64]slotInfo
 
 	// reclaimMu serializes shrink passes (kswapd and direct reclaim).
 	reclaimMu sync.Mutex
@@ -145,7 +173,7 @@ func NewManager(alloc *phys.Allocator, met *metrics.Registry) *Manager {
 		trc:    alloc.Tracer(),
 		frames: make(map[phys.Frame]*frameNode),
 		owners: make(map[*pagetable.Table]map[Space]struct{}),
-		slots:  make(map[uint64]int64),
+		slots:  make(map[uint64]slotInfo),
 		store:  NewMemStore(),
 		wake:   make(chan struct{}, 1),
 	}
@@ -239,6 +267,9 @@ func (m *Manager) SetEnabled(on bool) {
 		} else {
 			m.alloc.SetLowWatermark(m.low.Load())
 		}
+		// A fresh enable forgives past swap I/O failures — the operator
+		// re-enabling swap is the "device replaced" signal.
+		m.degraded.Store(false)
 		m.tracking.Store(true)
 		m.stopCh = make(chan struct{})
 		m.doneCh = make(chan struct{})
@@ -401,12 +432,24 @@ func (m *Manager) FrameFreed(f phys.Frame) {
 // ---------------------------------------------------------------------
 // Swap slots.
 
+// slotInfo is the per-swap-slot bookkeeping: the reference count (one
+// per swap PTE holding the slot) and the CRC32 of the payload recorded
+// at swap-out, verified on swap-in. Slot 0 (the zero page) carries no
+// checksum.
+type slotInfo struct {
+	refs   int64
+	crc    uint32
+	hasCRC bool
+}
+
 // SwapRef adds one reference to a swap slot (a fork duplicated a swap
 // PTE into a new table). Not gated on tracking: slot accounting must
 // stay exact for as long as swap entries exist.
 func (m *Manager) SwapRef(slot uint64) {
 	m.mu.Lock()
-	m.slots[slot]++
+	si := m.slots[slot]
+	si.refs++
+	m.slots[slot] = si
 	m.mu.Unlock()
 }
 
@@ -415,29 +458,145 @@ func (m *Manager) SwapRef(slot uint64) {
 func (m *Manager) SwapUnref(slot uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	c, ok := m.slots[slot]
+	si, ok := m.slots[slot]
 	if !ok {
 		panic(fmt.Sprintf("reclaim: unref of untracked swap slot %d", slot))
 	}
-	if c--; c > 0 {
-		m.slots[slot] = c
+	if si.refs--; si.refs > 0 {
+		m.slots[slot] = si
 		return
 	}
 	delete(m.slots, slot)
 	if slot != 0 {
-		m.store.Free(slot)
+		m.freeSlotLocked(slot)
 	}
 }
 
+// freeSlotLocked releases a store slot, honoring the swap.free
+// failpoint: a failed free is simply retried — the store's Free is
+// idempotent bookkeeping, and a leaked slot would fail the chaos
+// harness's zero-leak audit, so the failure mode here is extra
+// attempts, never a leak.
+func (m *Manager) freeSlotLocked(slot uint64) {
+	fp := m.alloc.Failpoints()
+	for attempt := 0; attempt < swapIOAttempts; attempt++ {
+		if fp.Enabled() && fp.Fire(failpoint.SwapFree) {
+			continue
+		}
+		break
+	}
+	m.store.Free(slot)
+}
+
 // ReadSlot copies the page content of a swap slot into dst without
-// consuming a reference. Slot 0 is the implicit zero page.
+// consuming a reference. Slot 0 is the implicit zero page. Transient
+// store failures (injected or real) are retried with capped
+// exponential backoff; a persistent failure degrades the subsystem and
+// surfaces as ErrSwapIO, and a payload that no longer matches its
+// recorded checksum surfaces as ErrSwapCorrupt.
 func (m *Manager) ReadSlot(slot uint64, dst []byte) error {
 	if slot == 0 {
 		clear(dst)
 		return nil
 	}
-	return m.store.Read(slot, dst)
+	fp := m.alloc.Failpoints()
+	on := m.met.Enabled()
+	var err error
+	for attempt := 0; attempt < swapIOAttempts; attempt++ {
+		if attempt > 0 {
+			if on {
+				m.met.Robust.SwapReadRetries.Inc()
+			}
+			time.Sleep(swapBackoffBase << (attempt - 1))
+		}
+		if fp.Enabled() && fp.Fire(failpoint.SwapRead) {
+			err = fmt.Errorf("%w: injected read fault on slot %d", ErrSwapIO, slot)
+			continue
+		}
+		if err = m.store.Read(slot, dst); err == nil {
+			break
+		}
+	}
+	if err != nil {
+		if on {
+			m.met.Robust.SwapReadErrors.Inc()
+		}
+		m.degrade(true)
+		if !errors.Is(err, ErrSwapIO) {
+			err = fmt.Errorf("%w: %v", ErrSwapIO, err)
+		}
+		return err
+	}
+	m.mu.Lock()
+	si := m.slots[slot]
+	m.mu.Unlock()
+	if si.hasCRC && crc32.ChecksumIEEE(dst) != si.crc {
+		if on {
+			m.met.Robust.SwapCorruptions.Inc()
+		}
+		return fmt.Errorf("%w: slot %d checksum mismatch", ErrSwapCorrupt, slot)
+	}
+	return nil
 }
+
+// writeSlot persists one page payload with the same retry/backoff
+// policy as ReadSlot and returns the slot plus the checksum to record.
+// The swap.corrupt failpoint poisons the recorded checksum (the model
+// of a device that acknowledged a write it mangled), so the corruption
+// is only discovered at swap-in.
+func (m *Manager) writeSlot(data []byte) (uint64, uint32, error) {
+	fp := m.alloc.Failpoints()
+	on := m.met.Enabled()
+	var slot uint64
+	var err error
+	for attempt := 0; attempt < swapIOAttempts; attempt++ {
+		if attempt > 0 {
+			if on {
+				m.met.Robust.SwapWriteRetries.Inc()
+			}
+			time.Sleep(swapBackoffBase << (attempt - 1))
+		}
+		if fp.Enabled() && fp.Fire(failpoint.SwapWrite) {
+			err = fmt.Errorf("%w: injected write fault", ErrSwapIO)
+			continue
+		}
+		if slot, err = m.store.Write(data); err == nil {
+			break
+		}
+	}
+	if err != nil {
+		if on {
+			m.met.Robust.SwapWriteErrors.Inc()
+		}
+		m.degrade(false)
+		return 0, 0, err
+	}
+	crc := crc32.ChecksumIEEE(data)
+	if fp.Enabled() && fp.Fire(failpoint.SwapCorrupt) {
+		crc ^= 0xDEADBEEF
+	}
+	return slot, crc, nil
+}
+
+// degrade latches the manager into degraded-swap mode after a
+// persistent I/O failure: no further eviction, a one-shot metric and
+// trace event, reads still attempted. read attributes the trigger.
+func (m *Manager) degrade(read bool) {
+	if m.degraded.Swap(true) {
+		return
+	}
+	if m.met.Enabled() {
+		m.met.Robust.SwapDegrades.Inc()
+	}
+	arg := uint64(0)
+	if read {
+		arg = 1
+	}
+	m.trc.Instant(trace.KindSwapDegrade, trace.StageNone, trace.ActorApp, arg, 0)
+}
+
+// Degraded reports whether swap has been disabled by an I/O failure.
+func (m *Manager) Degraded() bool { return m.degraded.Load() }
 
 // ---------------------------------------------------------------------
 // Reclaim passes.
@@ -486,9 +645,29 @@ func (m *Manager) kswapd(stop, done chan struct{}) {
 			case <-m.wake:
 			case <-ticker.C:
 			}
-			m.balance()
+			m.balanceGuarded()
 		}
 	})
+}
+
+// balanceGuarded runs one balance episode behind a recover barrier: a
+// panicking reclaim pass (a bug, or the kswapd.panic failpoint) must
+// not kill the background reclaimer — the episode is abandoned,
+// counted, and the next wakeup services the watermarks normally.
+// reclaimMu is acquired and released inside shrink, so an unwound
+// episode leaves no lock held.
+func (m *Manager) balanceGuarded() {
+	defer func() {
+		if r := recover(); r != nil {
+			if m.met.Enabled() {
+				m.met.Robust.KswapdErrors.Inc()
+			}
+		}
+	}()
+	if fp := m.alloc.Failpoints(); fp.Enabled() && fp.Fire(failpoint.KswapdPanic) {
+		panic("reclaim: injected kswapd panic")
+	}
+	m.balance()
 }
 
 // balance runs one kswapd episode: if free frames are below the low
@@ -524,7 +703,9 @@ func (m *Manager) shrink(target int64, direct bool) int64 {
 	}
 	m.reclaimMu.Lock()
 	defer m.reclaimMu.Unlock()
-	if !m.tracking.Load() {
+	// Degraded swap means eviction would hand more pages to a failing
+	// device; stop reclaiming and let the frame limit surface as OOM.
+	if !m.tracking.Load() || m.degraded.Load() {
 		return 0
 	}
 	on := m.met.Enabled()
@@ -740,13 +921,15 @@ func (m *Manager) evictLocked(n *frameNode, actor int32) bool {
 	// Write the payload out. A never-materialized (all-zero) page takes
 	// the reserved zero slot and costs no store I/O at all.
 	var slot uint64
+	var crc uint32
+	var hasCRC bool
 	if data := m.alloc.DataIfPresent(f); data != nil {
 		on := m.met.Enabled()
 		var t0 time.Time
 		if on || m.trc.Enabled() {
 			t0 = time.Now()
 		}
-		s, err := m.store.Write(data)
+		s, c, err := m.writeSlot(data)
 		if err != nil {
 			m.mu.Lock()
 			m.requeueLocked(n)
@@ -759,7 +942,7 @@ func (m *Manager) evictLocked(n *frameNode, actor int32) bool {
 			m.met.Reclaim.SwapOutLatency.Observe(time.Since(t0))
 		}
 		m.trc.Span(trace.KindWriteback, trace.StageNone, actor, t0, s, uint64(len(data)))
-		slot = s
+		slot, crc, hasCRC = s, c, true
 	}
 
 	// Replace every PTE with the swap entry. The owners' mutexes exclude
@@ -771,7 +954,12 @@ func (m *Manager) evictLocked(n *frameNode, actor int32) bool {
 	}
 
 	m.mu.Lock()
-	m.slots[slot] += int64(len(snap))
+	si := m.slots[slot]
+	si.refs += int64(len(snap))
+	if hasCRC {
+		si.crc, si.hasCRC = crc, true
+	}
+	m.slots[slot] = si
 	delete(m.frames, f)
 	m.mu.Unlock()
 
@@ -876,6 +1064,7 @@ func (m *Manager) splitHugeLocked(n *frameNode, actor int32) {
 // ManagerStats is a point-in-time view of reclaim state for vmstat.
 type ManagerStats struct {
 	Enabled        bool
+	Degraded       bool  // swap disabled by a persistent I/O failure
 	Low, High      int64 // watermarks (frames)
 	ActiveFrames   int64 // LRU active list length
 	InactiveFrames int64 // LRU inactive list length
@@ -888,6 +1077,7 @@ func (m *Manager) Stats() ManagerStats {
 	m.mu.Lock()
 	st := ManagerStats{
 		Enabled:        m.tracking.Load(),
+		Degraded:       m.degraded.Load(),
 		Low:            m.low.Load(),
 		High:           m.high.Load(),
 		ActiveFrames:   int64(m.q.active.size),
@@ -914,13 +1104,13 @@ func (m *Manager) VerifyBookkeeping(wantSlots map[uint64]int64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for slot, want := range wantSlots {
-		if got := m.slots[slot]; got != want {
+		if got := m.slots[slot].refs; got != want {
 			return fmt.Errorf("reclaim: slot %d refcount %d, page tables hold %d entries", slot, got, want)
 		}
 	}
-	for slot, got := range m.slots {
-		if want := wantSlots[slot]; want != got {
-			return fmt.Errorf("reclaim: slot %d refcount %d, page tables hold %d entries", slot, got, want)
+	for slot, si := range m.slots {
+		if want := wantSlots[slot]; want != si.refs {
+			return fmt.Errorf("reclaim: slot %d refcount %d, page tables hold %d entries", slot, si.refs, want)
 		}
 	}
 	if !m.tracking.Load() {

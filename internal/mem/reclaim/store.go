@@ -3,6 +3,7 @@ package reclaim
 import (
 	"bytes"
 	"compress/flate"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -129,12 +130,16 @@ func (s *MemStore) Close() error {
 
 // FileStore is the optional file-backed store: a classic swap file with
 // one page-sized extent per slot. Slot n lives at offset (n-1)*4096.
+// Freed slots are reused LIFO, and a run of free slots at the end of
+// the file is truncated away so the file shrinks with its contents
+// instead of growing monotonically.
 type FileStore struct {
-	mu    sync.Mutex
-	f     *os.File
-	next  uint64
-	free  []uint64
-	slots int64
+	mu      sync.Mutex
+	f       *os.File
+	next    uint64 // lowest never-used slot; file length is (next-1) pages
+	free    []uint64
+	freeSet map[uint64]struct{}
+	slots   int64
 }
 
 // NewFileStore creates (truncating) a swap file at path.
@@ -143,7 +148,7 @@ func NewFileStore(path string) (*FileStore, error) {
 	if err != nil {
 		return nil, fmt.Errorf("reclaim: open swap file: %w", err)
 	}
-	return &FileStore{f: f, next: 1}, nil
+	return &FileStore{f: f, next: 1, freeSet: make(map[uint64]struct{})}, nil
 }
 
 // Write implements Store.
@@ -153,6 +158,7 @@ func (s *FileStore) Write(data []byte) (uint64, error) {
 	if n := len(s.free); n > 0 {
 		slot = s.free[n-1]
 		s.free = s.free[:n-1]
+		delete(s.freeSet, slot)
 	} else {
 		slot = s.next
 		s.next++
@@ -164,6 +170,7 @@ func (s *FileStore) Write(data []byte) (uint64, error) {
 		s.mu.Lock()
 		s.slots--
 		s.free = append(s.free, slot)
+		s.freeSet[slot] = struct{}{}
 		s.mu.Unlock()
 		return 0, fmt.Errorf("reclaim: swap file write: %w", err)
 	}
@@ -172,25 +179,56 @@ func (s *FileStore) Write(data []byte) (uint64, error) {
 
 // Read implements Store.
 func (s *FileStore) Read(slot uint64, dst []byte) error {
-	if _, err := s.f.ReadAt(dst, int64(slot-1)*addr.PageSize); err != nil {
+	n, err := s.f.ReadAt(dst, int64(slot-1)*addr.PageSize)
+	if err != nil {
+		// A short read of a slot that should hold a full page is a
+		// truncated payload, not an end-of-file condition; report it as
+		// such so callers do not mistake it for a benign EOF.
+		if n > 0 && errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
 		return fmt.Errorf("reclaim: swap file read of slot %d: %w", slot, err)
 	}
 	return nil
 }
 
-// Free implements Store.
+// Free implements Store. Freeing the highest in-use slot truncates it
+// — and any free run below it — off the end of the file, actually
+// returning the space to the filesystem.
 func (s *FileStore) Free(slot uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.slots--
 	s.free = append(s.free, slot)
+	s.freeSet[slot] = struct{}{}
+	if slot != s.next-1 {
+		return
+	}
+	for s.next > 1 {
+		if _, ok := s.freeSet[s.next-1]; !ok {
+			break
+		}
+		delete(s.freeSet, s.next-1)
+		s.next--
+	}
+	keep := s.free[:0]
+	for _, sl := range s.free {
+		if _, ok := s.freeSet[sl]; ok {
+			keep = append(keep, sl)
+		}
+	}
+	s.free = keep
+	// Best effort: a failed truncate leaves a longer file but fully
+	// consistent slot bookkeeping.
+	_ = s.f.Truncate(int64(s.next-1) * addr.PageSize)
 }
 
-// Stats implements Store.
+// Stats implements Store. Bytes reports the real file extent — in-use
+// slots plus interior free holes not yet truncated.
 func (s *FileStore) Stats() StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return StoreStats{Slots: s.slots, Bytes: s.slots * addr.PageSize}
+	return StoreStats{Slots: s.slots, Bytes: int64(s.next-1) * addr.PageSize}
 }
 
 // Close implements Store.

@@ -2,6 +2,9 @@ package reclaim
 
 import (
 	"bytes"
+	"errors"
+	"io"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -102,5 +105,146 @@ func TestMemStoreReadEmptySlot(t *testing.T) {
 	defer s.Close()
 	if err := s.Read(42, make([]byte, addr.PageSize)); err == nil {
 		t.Fatal("read of never-written slot succeeded")
+	}
+}
+
+// TestFileStoreTruncatesTail pins that Free actually reclaims file
+// space: freeing the top slot — and any free run directly below it —
+// shrinks the file, both as Stats sees it and on disk.
+func TestFileStoreTruncatesTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "swapfile")
+	s, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const n = 8
+	slots := make([]uint64, n)
+	for i := range slots {
+		if slots[i], err = s.Write(page(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fileSize := func() int64 {
+		t.Helper()
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.Size()
+	}
+	if got := fileSize(); got != n*addr.PageSize {
+		t.Fatalf("file size = %d, want %d", got, n*addr.PageSize)
+	}
+
+	// Free an interior slot: a hole, no shrink.
+	s.Free(slots[5])
+	if got := fileSize(); got != n*addr.PageSize {
+		t.Fatalf("file size after interior free = %d, want %d", got, n*addr.PageSize)
+	}
+	if st := s.Stats(); st.Bytes != n*addr.PageSize {
+		t.Fatalf("Stats.Bytes after interior free = %d, want %d (extent, not usage)",
+			st.Bytes, n*addr.PageSize)
+	}
+
+	// Free the top two slots: the trailing run 6..8 (5 is already free)
+	// truncates away down to slot 4.
+	s.Free(slots[7])
+	s.Free(slots[6])
+	if got, want := fileSize(), int64(5*addr.PageSize); got != want {
+		t.Fatalf("file size after tail frees = %d, want %d", got, want)
+	}
+	if st := s.Stats(); st.Bytes != 5*addr.PageSize || st.Slots != 5 {
+		t.Fatalf("Stats after tail frees = %+v, want 5 slots / %d bytes", st, 5*addr.PageSize)
+	}
+
+	// The survivors are intact and a new write grows the file again
+	// from the truncated end.
+	buf := make([]byte, addr.PageSize)
+	for i := 0; i < 5; i++ {
+		if err := s.Read(slots[i], buf); err != nil {
+			t.Fatalf("read survivor %d: %v", i, err)
+		}
+		if !bytes.Equal(buf, page(i)) {
+			t.Fatalf("survivor slot %d corrupted by truncation", slots[i])
+		}
+	}
+	slot, err := s.Write(page(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot != 6 {
+		t.Fatalf("post-truncate write landed in slot %d, want 6", slot)
+	}
+	if got := fileSize(); got != 6*addr.PageSize {
+		t.Fatalf("file size after regrow = %d, want %d", got, 6*addr.PageSize)
+	}
+}
+
+// TestFileStoreDrainTruncatesToZero frees everything (top-down and
+// bottom-up interleaved) and expects an empty file back.
+func TestFileStoreDrainTruncatesToZero(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "swapfile")
+	s, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var slots []uint64
+	for i := 0; i < 6; i++ {
+		slot, err := s.Write(page(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, slot)
+	}
+	// Free the bottom half first (holes only), then the top half (the
+	// final free sweeps the whole tail run away).
+	for _, i := range []int{0, 1, 2, 4, 3, 5} {
+		s.Free(slots[i])
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 0 {
+		t.Fatalf("drained swap file still %d bytes", fi.Size())
+	}
+	if st := s.Stats(); st.Slots != 0 || st.Bytes != 0 {
+		t.Fatalf("drained stats = %+v, want zero", st)
+	}
+}
+
+// TestFileStoreShortRead pins the error contract: a slot whose extent
+// was truncated out from under the store reports io.ErrUnexpectedEOF,
+// not a bare EOF.
+func TestFileStoreShortRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "swapfile")
+	s, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	slot, err := s.Write(page(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the file mid-slot: the payload is now half a page.
+	if err := os.Truncate(path, addr.PageSize/2); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Read(slot, make([]byte, addr.PageSize))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("short read err = %v, want io.ErrUnexpectedEOF", err)
+	}
+
+	// A read past the end entirely is a plain EOF — nothing was there.
+	if err := os.Truncate(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Read(slot, make([]byte, addr.PageSize))
+	if err == nil || errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("empty-extent read err = %v, want plain EOF-ish failure", err)
 	}
 }

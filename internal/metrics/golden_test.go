@@ -93,6 +93,16 @@ func goldenSnapshot() Snapshot {
 	s.TLB.Misses = 50
 	s.TLB.Flushes = 6
 	s.TLB.Shootdowns = 4
+
+	s.Robust.InjectedFaults = 25
+	s.Robust.ForkAborts = 3
+	s.Robust.SwapReadRetries = 6
+	s.Robust.SwapWriteRetries = 4
+	s.Robust.SwapReadErrors = 2
+	s.Robust.SwapWriteErrors = 1
+	s.Robust.SwapCorruptions = 1
+	s.Robust.SwapDegrades = 1
+	s.Robust.KswapdErrors = 2
 	return s
 }
 

@@ -223,6 +223,22 @@ type Registry struct {
 		Flushes    Counter
 		Shootdowns Counter
 	}
+
+	// Robustness metrics: what the error paths actually did. Injected
+	// fault totals live in the failpoint registry (kernel overlays them
+	// at snapshot time, like the allocator gauges); everything here is
+	// observed behaviour — rollbacks taken, retries spent, degradations
+	// entered — so a chaos run can assert the recovery machinery ran.
+	Robust struct {
+		ForkAborts       Counter // forks unwound after a mid-copy ErrNoMem
+		SwapReadRetries  Counter // swap-store reads retried after an I/O error
+		SwapWriteRetries Counter // swap-store writes retried after an I/O error
+		SwapReadErrors   Counter // swap-ins abandoned after exhausting retries
+		SwapWriteErrors  Counter // evictions abandoned after exhausting retries
+		SwapCorruptions  Counter // swap-in checksum mismatches (ErrSwapCorrupt)
+		SwapDegrades     Counter // transitions into degraded (auto-disabled) swap
+		KswapdErrors     Counter // kswapd passes that panicked and were recovered
+	}
 }
 
 // New returns an enabled registry.
@@ -298,5 +314,14 @@ func (r *Registry) Snapshot() Snapshot {
 	s.TLB.Misses = r.TLB.Misses.Load()
 	s.TLB.Flushes = r.TLB.Flushes.Load()
 	s.TLB.Shootdowns = r.TLB.Shootdowns.Load()
+
+	s.Robust.ForkAborts = r.Robust.ForkAborts.Load()
+	s.Robust.SwapReadRetries = r.Robust.SwapReadRetries.Load()
+	s.Robust.SwapWriteRetries = r.Robust.SwapWriteRetries.Load()
+	s.Robust.SwapReadErrors = r.Robust.SwapReadErrors.Load()
+	s.Robust.SwapWriteErrors = r.Robust.SwapWriteErrors.Load()
+	s.Robust.SwapCorruptions = r.Robust.SwapCorruptions.Load()
+	s.Robust.SwapDegrades = r.Robust.SwapDegrades.Load()
+	s.Robust.KswapdErrors = r.Robust.KswapdErrors.Load()
 	return s
 }

@@ -166,6 +166,22 @@ type TLBSnapshot struct {
 	Shootdowns uint64
 }
 
+// RobustSnapshot covers the error-path machinery: faults injected by
+// the failpoint registry (InjectedFaults is registry state overlaid by
+// the kernel at snapshot time, like the allocator gauges) and the
+// recoveries, retries, and degradations the system actually performed.
+type RobustSnapshot struct {
+	InjectedFaults   uint64 // overlay: failpoint registry fire total
+	ForkAborts       uint64
+	SwapReadRetries  uint64
+	SwapWriteRetries uint64
+	SwapReadErrors   uint64
+	SwapWriteErrors  uint64
+	SwapCorruptions  uint64
+	SwapDegrades     uint64
+	KswapdErrors     uint64
+}
+
 // Snapshot is the typed telemetry tree the public API returns.
 type Snapshot struct {
 	Fork    ForkSnapshot
@@ -173,6 +189,7 @@ type Snapshot struct {
 	Alloc   AllocSnapshot
 	Reclaim ReclaimSnapshot
 	TLB     TLBSnapshot
+	Robust  RobustSnapshot
 }
 
 // Sub returns the delta s − prev: counters and histograms subtract,
@@ -229,6 +246,16 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	d.TLB.Misses = s.TLB.Misses - prev.TLB.Misses
 	d.TLB.Flushes = s.TLB.Flushes - prev.TLB.Flushes
 	d.TLB.Shootdowns = s.TLB.Shootdowns - prev.TLB.Shootdowns
+
+	d.Robust.InjectedFaults = s.Robust.InjectedFaults - prev.Robust.InjectedFaults
+	d.Robust.ForkAborts = s.Robust.ForkAborts - prev.Robust.ForkAborts
+	d.Robust.SwapReadRetries = s.Robust.SwapReadRetries - prev.Robust.SwapReadRetries
+	d.Robust.SwapWriteRetries = s.Robust.SwapWriteRetries - prev.Robust.SwapWriteRetries
+	d.Robust.SwapReadErrors = s.Robust.SwapReadErrors - prev.Robust.SwapReadErrors
+	d.Robust.SwapWriteErrors = s.Robust.SwapWriteErrors - prev.Robust.SwapWriteErrors
+	d.Robust.SwapCorruptions = s.Robust.SwapCorruptions - prev.Robust.SwapCorruptions
+	d.Robust.SwapDegrades = s.Robust.SwapDegrades - prev.Robust.SwapDegrades
+	d.Robust.KswapdErrors = s.Robust.KswapdErrors - prev.Robust.KswapdErrors
 	return d
 }
 
@@ -311,5 +338,15 @@ func (s Snapshot) Render() string {
 	line("tlb.misses", s.TLB.Misses)
 	line("tlb.flushes", s.TLB.Flushes)
 	line("tlb.shootdowns", s.TLB.Shootdowns)
+
+	line("robust.injected_faults", s.Robust.InjectedFaults)
+	line("robust.fork_aborts", s.Robust.ForkAborts)
+	line("robust.swap_read_retries", s.Robust.SwapReadRetries)
+	line("robust.swap_write_retries", s.Robust.SwapWriteRetries)
+	line("robust.swap_read_errors", s.Robust.SwapReadErrors)
+	line("robust.swap_write_errors", s.Robust.SwapWriteErrors)
+	line("robust.swap_corruptions", s.Robust.SwapCorruptions)
+	line("robust.swap_degrades", s.Robust.SwapDegrades)
+	line("robust.kswapd_errors", s.Robust.KswapdErrors)
 	return b.String()
 }

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/failpoint"
 )
 
 // Name is the dotted event name used by both the text rendering and
@@ -64,6 +66,12 @@ func (e Event) Name() string {
 		return "alloc.refill"
 	case KindAllocDrain:
 		return "alloc.drain"
+	case KindFailpoint:
+		return "failpoint"
+	case KindForkAbort:
+		return "fork.abort"
+	case KindSwapDegrade:
+		return "swap.degraded"
 	}
 	return fmt.Sprintf("kind%d", e.Kind)
 }
@@ -107,6 +115,20 @@ func (e Event) Detail() string {
 		return fmt.Sprintf("head=%d", e.Arg1)
 	case KindKswapdWake:
 		return fmt.Sprintf("free=%d", e.Arg1)
+	case KindFailpoint:
+		return fmt.Sprintf("point=%s", failpoint.PointName(int(e.Arg1)))
+	case KindForkAbort:
+		eng := "classic"
+		if e.Arg1 == 1 {
+			eng = "ondemand"
+		}
+		return fmt.Sprintf("engine=%s", eng)
+	case KindSwapDegrade:
+		op := "write"
+		if e.Arg1 == 1 {
+			op = "read"
+		}
+		return fmt.Sprintf("failed_op=%s", op)
 	case KindAllocRefill, KindAllocDrain:
 		return fmt.Sprintf("batch=%d", e.Arg1)
 	}

@@ -78,6 +78,16 @@ const (
 	// KindAllocDrain marks a shard cache draining to the buddy core;
 	// Arg1 is the batch size.
 	KindAllocDrain
+	// KindFailpoint marks an injected fault firing; Arg1 is the
+	// failpoint's catalog index (failpoint.PointName resolves it).
+	KindFailpoint
+	// KindForkAbort marks a fork unwound after a mid-copy allocation
+	// failure; Arg1 is the engine (0 classic, 1 on-demand).
+	KindForkAbort
+	// KindSwapDegrade marks the swap store auto-disabling after
+	// exhausting I/O retries; Arg1 is 1 for a read failure, 0 for a
+	// write failure.
+	KindSwapDegrade
 
 	numKinds
 )

@@ -1,0 +1,210 @@
+package odfork_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/odfork"
+)
+
+// TestFailpointGuard pins the test-only gate on the v1 injection
+// surface: SetFailpoint refuses until SetFailpointsEnabled(true), and
+// disabling disarms everything and zeroes the counters.
+func TestFailpointGuard(t *testing.T) {
+	sys := odfork.NewSystem()
+	if err := sys.SetFailpoint("phys.alloc", "once"); err == nil {
+		t.Fatal("SetFailpoint succeeded while failpoints are disabled")
+	}
+	sys.SetFailpointsEnabled(true)
+	if err := sys.SetFailpoint("phys.alloc", "prob:0.5"); err != nil {
+		t.Fatalf("SetFailpoint after enable: %v", err)
+	}
+	if err := sys.SetFailpoint("no.such.point", "once"); err == nil {
+		t.Fatal("unknown point accepted")
+	}
+	out, err := sys.Procfs("/proc/odf/failpoints")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "armed=1") {
+		t.Fatalf("armed point not visible in /proc/odf/failpoints:\n%s", out)
+	}
+
+	// Disabling is a full reset: nothing armed, nothing counted, and
+	// the guard is back.
+	sys.SetFailpointsEnabled(false)
+	out, _ = sys.Procfs("/proc/odf/failpoints")
+	if !strings.Contains(out, "armed=0") || !strings.Contains(out, "injected=0") {
+		t.Fatalf("disable did not reset the registry:\n%s", out)
+	}
+	if err := sys.SetFailpoint("phys.alloc", "once"); err == nil {
+		t.Fatal("SetFailpoint succeeded after re-disable")
+	}
+}
+
+// degradeSystem builds a system under memory pressure with every
+// swap-store write failing, and pushes it until swap degrades.
+func degradeSystem(t *testing.T) (*odfork.System, *odfork.Process, odfork.Addr) {
+	t.Helper()
+	sys := odfork.NewSystem()
+	sys.SetSwapEnabled(true)
+	p := sys.NewProcess()
+	const pages = 256
+	base, err := p.Mmap(pages*odfork.PageSize, odfork.ProtRead|odfork.ProtWrite, odfork.MapPrivate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetFrameLimit(sys.AllocatedFrames() + pages/4)
+	sys.SetFailpointsEnabled(true)
+	if err := sys.SetFailpoint("swap.write", "every:1"); err != nil {
+		t.Fatal(err)
+	}
+	// Writing past the frame limit forces eviction; with the store
+	// refusing every write the retries exhaust and the subsystem
+	// latches degraded, surfacing ErrNoMem instead of losing data.
+	var opErr error
+	for i := 0; i < pages && opErr == nil; i++ {
+		opErr = p.StoreByte(base+odfork.Addr(uint64(i)*odfork.PageSize), byte(i))
+	}
+	if opErr == nil {
+		t.Fatal("writes kept succeeding past the limit with swap I/O dead")
+	}
+	if !errors.Is(opErr, odfork.ErrNoMem) {
+		t.Fatalf("pressure error = %v, want ErrNoMem", opErr)
+	}
+	return sys, p, base
+}
+
+// TestSwapDegradeOnWriteFailure: persistent swap-out I/O failure must
+// degrade swap (gauge + metric + vmstat), never corrupt memory, and a
+// swap re-enable ("device replaced") must clear the latch.
+func TestSwapDegradeOnWriteFailure(t *testing.T) {
+	sys, p, base := degradeSystem(t)
+	defer sys.SetSwapEnabled(false)
+
+	if !sys.SwapDegraded() {
+		t.Fatal("SwapDegraded() = false after exhausted swap-out retries")
+	}
+	out, _ := sys.Procfs("/proc/odf/vmstat")
+	if !strings.Contains(out, "swap_degraded 1") {
+		t.Errorf("vmstat does not show swap_degraded 1:\n%s", out)
+	}
+	snap := sys.Metrics()
+	if snap.Robust.SwapDegrades != 1 {
+		t.Errorf("SwapDegrades = %d, want exactly 1 (one-shot latch)", snap.Robust.SwapDegrades)
+	}
+	if snap.Robust.SwapWriteErrors == 0 || snap.Robust.SwapWriteRetries == 0 {
+		t.Errorf("write errors/retries not counted: %+v", snap.Robust)
+	}
+
+	// Already-resident memory is intact and writable within the budget.
+	if err := p.StoreByte(base, 0xEE); err != nil {
+		t.Fatalf("resident write after degrade: %v", err)
+	}
+	if b, err := p.LoadByte(base); err != nil || b != 0xEE {
+		t.Fatalf("resident read after degrade = %#x, %v", b, err)
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The operator replaces the device: disarm the failpoint and cycle
+	// swap. The latch clears, and a fresh workload (cycling swap drops
+	// LRU tracking of pre-existing pages, so recovery is demonstrated
+	// on a new process) is absorbed under the same frame budget.
+	if err := sys.SetFailpoint("swap.write", "off"); err != nil {
+		t.Fatal(err)
+	}
+	p.Exit()
+	sys.SetSwapEnabled(false)
+	sys.SetSwapEnabled(true)
+	if sys.SwapDegraded() {
+		t.Fatal("degraded latch survived a swap re-enable")
+	}
+	p2 := sys.NewProcess()
+	defer p2.Exit()
+	base2, err := p2.Mmap(256*odfork.PageSize, odfork.ProtRead|odfork.ProtWrite, odfork.MapPrivate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		if err := p2.StoreByte(base2+odfork.Addr(uint64(i)*odfork.PageSize), byte(i)); err != nil {
+			t.Fatalf("write still failing after swap recovery: %v", err)
+		}
+	}
+}
+
+// TestSwapCorruptSurfaces: a swap-out whose checksum was poisoned (the
+// swap.corrupt failpoint models a device that mangled an acknowledged
+// write) must surface as ErrSwapCorrupt on swap-in — loud, attributed
+// data loss instead of silently handing back garbage.
+func TestSwapCorruptSurfaces(t *testing.T) {
+	sys := odfork.NewSystem()
+	sys.SetSwapEnabled(true)
+	defer sys.SetSwapEnabled(false)
+	p := sys.NewProcess()
+	defer p.Exit()
+	const pages = 256
+	base, err := p.Mmap(pages*odfork.PageSize, odfork.ProtRead|odfork.ProtWrite, odfork.MapPrivate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate half the arena, cap the budget there, then write the
+	// other half: every new frame forces an eviction of a cold page,
+	// and the first swap-out after arming records the poisoned CRC.
+	for i := 0; i < pages/2; i++ {
+		if err := p.StoreByte(base+odfork.Addr(uint64(i)*odfork.PageSize), byte(i+1)); err != nil {
+			t.Fatalf("populate page %d: %v", i, err)
+		}
+	}
+	sys.SetFrameLimit(sys.AllocatedFrames())
+	sys.SetFailpointsEnabled(true)
+	if err := sys.SetFailpoint("swap.corrupt", "once"); err != nil {
+		t.Fatal(err)
+	}
+	poisoned := -1
+	for i := pages / 2; i < pages; i++ {
+		err := p.StoreByte(base+odfork.Addr(uint64(i)*odfork.PageSize), byte(i+1))
+		if err == nil {
+			continue
+		}
+		// A write can land on a page whose own slot was the poisoned
+		// one (fault-in precedes the store); that page stays lost.
+		if !errors.Is(err, odfork.ErrSwapCorrupt) || poisoned >= 0 {
+			t.Fatalf("pressure write page %d: %v (poisoned=%d)", i, err, poisoned)
+		}
+		poisoned = i
+	}
+
+	// Sweep every page back in: exactly the poisoned slot must report
+	// ErrSwapCorrupt; everything else round-trips.
+	for i := 0; i < pages; i++ {
+		b, err := p.LoadByte(base + odfork.Addr(uint64(i)*odfork.PageSize))
+		if err != nil {
+			if !errors.Is(err, odfork.ErrSwapCorrupt) {
+				t.Fatalf("page %d: err = %v, want ErrSwapCorrupt", i, err)
+			}
+			if poisoned >= 0 && poisoned != i {
+				t.Fatalf("pages %d and %d both corrupt; failpoint fired once", poisoned, i)
+			}
+			poisoned = i
+			continue
+		}
+		if poisoned == i {
+			t.Fatalf("page %d read %#x after reporting corruption", i, b)
+		}
+		if b != byte(i+1) {
+			t.Fatalf("page %d read %#x, want %#x", i, b, byte(i+1))
+		}
+	}
+	if poisoned < 0 {
+		t.Fatal("no page surfaced ErrSwapCorrupt")
+	}
+	if snap := sys.Metrics(); snap.Robust.SwapCorruptions == 0 {
+		t.Error("SwapCorruptions not counted")
+	}
+	if sys.SwapDegraded() {
+		t.Error("checksum mismatch degraded swap; only I/O exhaustion should")
+	}
+}

@@ -21,12 +21,15 @@
 package odfork
 
 import (
+	"errors"
 	"io"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/fs"
 	"repro/internal/kernel"
 	"repro/internal/mem/addr"
+	"repro/internal/mem/reclaim"
 	"repro/internal/mem/vm"
 	"repro/internal/metrics"
 	"repro/internal/profile"
@@ -55,6 +58,13 @@ var (
 	ErrProtViolation = core.ErrProtViolation
 	// ErrExited reports an operation on a process that has exited.
 	ErrExited = kernel.ErrExited
+	// ErrSwapIO reports a swap store operation that kept failing after
+	// its bounded retries; the system has switched into degraded-swap
+	// mode (SwapDegraded) and performs no further eviction.
+	ErrSwapIO = reclaim.ErrSwapIO
+	// ErrSwapCorrupt reports a swapped-out page whose content read back
+	// with a checksum different from the one recorded at swap-out.
+	ErrSwapCorrupt = reclaim.ErrSwapCorrupt
 )
 
 // Addr is a virtual address in a simulated process.
@@ -156,6 +166,9 @@ type SegfaultError = core.SegfaultError
 // a filesystem, and a process table.
 type System struct {
 	k *kernel.Kernel
+	// failpointsOn gates SetFailpoint: fault injection is a test and
+	// chaos-harness facility, armed only after an explicit opt-in.
+	failpointsOn atomic.Bool
 }
 
 // Option configures a System.
@@ -249,10 +262,10 @@ func (s *System) TraceSnapshot() TraceSnapshot { return s.k.TraceSnapshot() }
 func (s *System) WriteTrace(w io.Writer, f TraceFormat) error { return s.k.WriteTrace(w, f) }
 
 // Procfs reads a file of the simulated procfs namespace:
-// /proc/odf (a listing of the odf endpoints), /proc/odf/metrics,
-// /proc/odf/profile, /proc/odf/trace, /proc/odf/vmstat,
-// /proc/<pid>/maps and /proc/<pid>/status. Unknown paths fail with an
-// error wrapping fs.ErrNotExist.
+// /proc/odf (a listing of the odf endpoints), /proc/odf/failpoints,
+// /proc/odf/metrics, /proc/odf/profile, /proc/odf/trace,
+// /proc/odf/vmstat, /proc/<pid>/maps and /proc/<pid>/status. Unknown
+// paths fail with an error wrapping fs.ErrNotExist.
 func (s *System) Procfs(path string) (string, error) { return s.k.Procfs(path) }
 
 // SetFrameLimit caps the simulated physical memory at the given number
@@ -286,6 +299,44 @@ func (s *System) SetSwapWatermarks(low, high int64) error {
 // default in-memory compressed store — the simulated swapon. Only
 // legal while swap is disabled with no pages swapped out.
 func (s *System) SetSwapStoreFile(path string) error { return s.k.SetSwapStoreFile(path) }
+
+// SwapDegraded reports whether swap has latched into degraded mode
+// after a persistent store I/O failure: eviction has stopped, faults
+// that need a failing slot surface ErrSwapIO, and re-enabling swap
+// (SetSwapEnabled) clears the latch.
+func (s *System) SwapDegraded() bool { return s.k.Reclaim().Degraded() }
+
+// SetFailpointsEnabled opts the system into deterministic fault
+// injection. This is a test and chaos-harness facility, never a
+// production switch: until it is called with true, SetFailpoint
+// refuses to arm anything, and disabling again disarms every point.
+// Disabled failpoints cost one atomic load on the paths they guard.
+func (s *System) SetFailpointsEnabled(on bool) {
+	s.failpointsOn.Store(on)
+	if !on {
+		s.k.Failpoints().Reset()
+	}
+}
+
+// SetFailpoint arms or disarms one named failpoint (the catalog is
+// served at /proc/odf/failpoints). Spec is "off", "once", "every:N",
+// or "prob:P" with 0 < P <= 1. Requires SetFailpointsEnabled(true).
+func (s *System) SetFailpoint(name, spec string) error {
+	if !s.failpointsOn.Load() {
+		return errors.New("odfork: failpoints are disabled; call SetFailpointsEnabled(true) first (test-only facility)")
+	}
+	return s.k.SetFailpoint(name, spec)
+}
+
+// SetFailpointSeed reseeds the injection PRNG so probabilistic
+// failpoint schedules replay identically across runs.
+func (s *System) SetFailpointSeed(seed uint64) { s.k.SetFailpointSeed(seed) }
+
+// CheckInvariants audits the whole system's memory accounting: table
+// share counters, frame reference counts, swap-slot reference counts,
+// and the reclaim subsystem's rmap/LRU bookkeeping. Processes must be
+// quiescent. Intended for tests and the chaos harness.
+func (s *System) CheckInvariants() error { return s.k.CheckInvariants() }
 
 // CreateFile creates an in-memory file for file-backed mappings.
 func (s *System) CreateFile(name string) *File { return s.k.FS().Create(name) }
