@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build vet test race bench pressure trace chaos
+.PHONY: all build vet test race bench bench-json bench-gate pressure trace chaos
+
+# Newest committed curated baseline (BENCH_<date>.json sorts by date).
+# *_pre.json files are point-in-time "before" records kept for the
+# history, never the gate's reference.
+BENCH_BASELINE ?= $(lastword $(sort $(filter-out %_pre.json,$(wildcard BENCH_*.json))))
 
 all: build test
 
@@ -24,6 +29,26 @@ race:
 # setup per iteration (see bench_test.go).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=20x .
+
+# Emit the odf-bench/v1 JSON record (fork p50/p99 by mode and size,
+# fault fast-path latency, COW faults/sec, allocs/op). Curated
+# baselines are committed as BENCH_<date>.json; bench_out.json is
+# transient output and gitignored. GOMAXPROCS is pinned to 1 so the
+# record measures single-core hot-path cost: classic fork switches to
+# its parallel engine above one proc, which makes the numbers a
+# function of the machine's core count rather than of the code.
+bench-json:
+	GOMAXPROCS=1 $(GO) run ./cmd/odf-benchjson -out bench_out.json
+
+# Regression gate: a small-size measurement compared against the
+# newest committed baseline at the 5% threshold (latencies normalized
+# by the per-machine calibration constant). Fails when fork p50/p99,
+# fault fast-path latency, COW faults/sec, or allocs/op regress in
+# every one of the gate's measurement attempts. GOMAXPROCS must match
+# bench-json's pin — the baselines were measured single-core.
+bench-gate:
+	GOMAXPROCS=1 $(GO) run ./cmd/odf-benchjson -short -out bench_out.json \
+		-compare $(BENCH_BASELINE) -threshold 0.05
 
 # Memory-pressure gate: the reclaim stress tests under -race (kswapd
 # eviction during concurrent forks, swap round-trips, the serverless

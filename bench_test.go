@@ -58,6 +58,7 @@ func forkParent(b *testing.B, k *kernel.Kernel, size uint64, flags vm.MapFlags) 
 }
 
 func benchFork(b *testing.B, size uint64, mode core.ForkMode, flags vm.MapFlags) {
+	b.ReportAllocs()
 	k := kernel.New()
 	p := forkParent(b, k, size, flags)
 	defer p.Exit()
@@ -86,6 +87,7 @@ func benchFork(b *testing.B, size uint64, mode core.ForkMode, flags vm.MapFlags)
 // point elsewhere in the system, which upgrades the fork sites to a
 // name lookup plus a per-point mode load without firing anything.
 func BenchmarkForkOnDemand(b *testing.B) {
+	b.ReportAllocs()
 	for _, mc := range []struct {
 		name  string
 		opts  []kernel.Option
@@ -106,6 +108,7 @@ func BenchmarkForkOnDemand(b *testing.B) {
 		}},
 	} {
 		b.Run(mc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			k := kernel.New(mc.opts...)
 			k.SetTraceEnabled(mc.trace)
 			if mc.setup != nil {
@@ -131,8 +134,10 @@ func BenchmarkForkOnDemand(b *testing.B) {
 // BenchmarkFig2ForkLatency is the Figure 2 sequential line: classic
 // fork latency at increasing memory sizes.
 func BenchmarkFig2ForkLatency(b *testing.B) {
+	b.ReportAllocs()
 	for _, mb := range []uint64{64, 128, 256, 512} {
 		b.Run(fmt.Sprintf("%dMB", mb), func(b *testing.B) {
+			b.ReportAllocs()
 			benchFork(b, mb*benchMiB, core.ForkClassic, popFlags)
 		})
 	}
@@ -141,6 +146,7 @@ func BenchmarkFig2ForkLatency(b *testing.B) {
 // BenchmarkFig2Concurrent is the Figure 2 concurrent line: three
 // benchmark instances forking in parallel on one kernel.
 func BenchmarkFig2Concurrent(b *testing.B) {
+	b.ReportAllocs()
 	k := kernel.New()
 	procs := make([]*kernel.Process, 3)
 	for i := range procs {
@@ -173,10 +179,12 @@ func BenchmarkFig2Concurrent(b *testing.B) {
 // the sequential code path); speedup at 4 workers on a ≥ 1 GiB classic
 // fork is the headline number on a multi-core runner.
 func BenchmarkForkParallel(b *testing.B) {
+	b.ReportAllocs()
 	for _, mode := range []core.ForkMode{core.ForkClassic, core.ForkOnDemand} {
 		for _, mb := range []uint64{128, 256, 512, 1024} {
 			for _, workers := range []int{1, 2, 4, 8} {
 				b.Run(fmt.Sprintf("%s/%dMB/workers=%d", mode, mb, workers), func(b *testing.B) {
+					b.ReportAllocs()
 					k := kernel.New()
 					p := forkParent(b, k, mb*benchMiB, popFlags)
 					defer p.Exit()
@@ -201,6 +209,7 @@ func BenchmarkForkParallel(b *testing.B) {
 // BenchmarkFig3Profile reproduces the profile attribution; the rendered
 // report is printed once.
 func BenchmarkFig3Profile(b *testing.B) {
+	b.ReportAllocs()
 	prof := profile.New()
 	k := kernel.New(kernel.WithProfiler(prof))
 	p := forkParent(b, k, 128*benchMiB, popFlags)
@@ -224,8 +233,10 @@ func BenchmarkFig3Profile(b *testing.B) {
 // BenchmarkFig4HugeFork is the Figure 4 curve: classic fork over 2 MiB
 // pages.
 func BenchmarkFig4HugeFork(b *testing.B) {
+	b.ReportAllocs()
 	for _, mb := range []uint64{128, 512} {
 		b.Run(fmt.Sprintf("%dMB", mb), func(b *testing.B) {
+			b.ReportAllocs()
 			benchFork(b, mb*benchMiB, core.ForkClassic, popFlags|vm.MapHuge)
 		})
 	}
@@ -234,9 +245,11 @@ func BenchmarkFig4HugeFork(b *testing.B) {
 // BenchmarkFig7Invocation compares the three engines at one size — the
 // Figure 7 cross-section.
 func BenchmarkFig7Invocation(b *testing.B) {
+	b.ReportAllocs()
 	const size = 256 * benchMiB
 	b.Run("fork", func(b *testing.B) { benchFork(b, size, core.ForkClassic, popFlags) })
 	b.Run("fork-huge-pages", func(b *testing.B) {
+		b.ReportAllocs()
 		benchFork(b, size, core.ForkClassic, popFlags|vm.MapHuge)
 	})
 	b.Run("on-demand-fork", func(b *testing.B) { benchFork(b, size, core.ForkOnDemand, popFlags) })
@@ -245,6 +258,7 @@ func BenchmarkFig7Invocation(b *testing.B) {
 // BenchmarkTab1FaultCost measures the worst-case fault: the child's
 // first write to the middle of the region after fork.
 func BenchmarkTab1FaultCost(b *testing.B) {
+	b.ReportAllocs()
 	const size = 64 * benchMiB
 	cases := []struct {
 		name  string
@@ -257,6 +271,7 @@ func BenchmarkTab1FaultCost(b *testing.B) {
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			k := kernel.New()
 			p := k.NewProcess()
 			base, err := p.Mmap(size, rwProt, tc.flags)
@@ -287,9 +302,11 @@ func BenchmarkTab1FaultCost(b *testing.B) {
 // BenchmarkFig8Overall measures fork + sequential access of half the
 // region (50/50 read-write), per engine — one cell of Figure 8.
 func BenchmarkFig8Overall(b *testing.B) {
+	b.ReportAllocs()
 	const size = 64 * benchMiB
 	for _, mode := range []core.ForkMode{core.ForkClassic, core.ForkOnDemand} {
 		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			k := kernel.New()
 			buf := make([]byte, 256*1024)
 			b.ResetTimer()
@@ -325,8 +342,10 @@ func BenchmarkFig8Overall(b *testing.B) {
 // BenchmarkFig9Fuzzing measures one fuzzing execution (fork + target +
 // teardown) per engine over a loaded database.
 func BenchmarkFig9Fuzzing(b *testing.B) {
+	b.ReportAllocs()
 	for _, mode := range []core.ForkMode{core.ForkClassic, core.ForkOnDemand} {
 		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			k := kernel.New()
 			f, err := fuzz.NewFuzzer(k, fuzz.Config{
 				DB:       sqlike.Config{ArenaBytes: 64 * benchMiB, MaxItems: 40000, MaxTags: 1000},
@@ -354,8 +373,10 @@ func BenchmarkFig9Fuzzing(b *testing.B) {
 // loaded database (the Table 3 flow; Table 2's init phase is the
 // fuzzer/database Load, measured by BenchmarkDatabaseLoad).
 func BenchmarkTab3UnitTest(b *testing.B) {
+	b.ReportAllocs()
 	for _, mode := range []core.ForkMode{core.ForkClassic, core.ForkOnDemand} {
 		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			k := kernel.New()
 			proc := k.NewProcess()
 			defer proc.Exit()
@@ -390,6 +411,7 @@ func BenchmarkTab3UnitTest(b *testing.B) {
 
 // BenchmarkDatabaseLoad is the Table 2 initialization phase.
 func BenchmarkDatabaseLoad(b *testing.B) {
+	b.ReportAllocs()
 	k := kernel.New()
 	for i := 0; i < b.N; i++ {
 		proc := k.NewProcess()
@@ -412,8 +434,10 @@ func BenchmarkDatabaseLoad(b *testing.B) {
 // Redis-like store per engine (the Table 5 metric; Table 4's latency
 // distribution is produced by `odf-bench tab45`).
 func BenchmarkTab5RedisFork(b *testing.B) {
+	b.ReportAllocs()
 	for _, mode := range []core.ForkMode{core.ForkClassic, core.ForkOnDemand} {
 		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			k := kernel.New()
 			st, err := kvstore.New(k, kvstore.Config{
 				ArenaBytes: 128 * benchMiB,
@@ -443,8 +467,10 @@ func BenchmarkTab5RedisFork(b *testing.B) {
 // BenchmarkFig10VMClone measures one VM-clone fuzzing execution per
 // engine.
 func BenchmarkFig10VMClone(b *testing.B) {
+	b.ReportAllocs()
 	for _, mode := range []core.ForkMode{core.ForkClassic, core.ForkOnDemand} {
 		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			k := kernel.New()
 			c, err := vmclone.NewCloner(k, vmclone.Config{
 				RAMBytes: 64 * benchMiB,
@@ -467,8 +493,10 @@ func BenchmarkFig10VMClone(b *testing.B) {
 // BenchmarkTab6Httpd measures per-request latency of the prefork server
 // per engine (the negative result: both should be equal).
 func BenchmarkTab6Httpd(b *testing.B) {
+	b.ReportAllocs()
 	for _, mode := range []core.ForkMode{core.ForkClassic, core.ForkOnDemand} {
 		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			k := kernel.New()
 			s, err := httpd.Start(k, httpd.Config{
 				ConfigBytes: 7 * benchMiB,
@@ -493,12 +521,14 @@ func BenchmarkTab6Httpd(b *testing.B) {
 // BenchmarkAblationEagerRefcount prices re-adding per-page reference
 // counting to on-demand-fork (DESIGN.md §5).
 func BenchmarkAblationEagerRefcount(b *testing.B) {
+	b.ReportAllocs()
 	benchForkOpts(b, core.ForkOptions{EagerPageRefs: true})
 }
 
 // BenchmarkAblationPerPTEProtect prices per-PTE write protection versus
 // the single PMD-entry downgrade.
 func BenchmarkAblationPerPTEProtect(b *testing.B) {
+	b.ReportAllocs()
 	benchForkOpts(b, core.ForkOptions{PerPTEProtect: true})
 }
 
@@ -507,10 +537,12 @@ func BenchmarkAblationPerPTEProtect(b *testing.B) {
 // leaves are fully shared (the measured work is almost entirely
 // upper-table duplication).
 func BenchmarkAblationUpperLevels(b *testing.B) {
+	b.ReportAllocs()
 	benchForkOpts(b, core.ForkOptions{})
 }
 
 func benchForkOpts(b *testing.B, opts core.ForkOptions) {
+	b.ReportAllocs()
 	k := kernel.New()
 	p := forkParent(b, k, 256*benchMiB, popFlags)
 	defer p.Exit()
@@ -531,6 +563,7 @@ func benchForkOpts(b *testing.B, opts core.ForkOptions) {
 // only other sharer exits, the parent's first write re-dedicates the
 // table by flipping one PMD bit instead of copying 512 entries.
 func BenchmarkFaultFastPath(b *testing.B) {
+	b.ReportAllocs()
 	k := kernel.New()
 	p := k.NewProcess()
 	defer p.Exit()
@@ -562,6 +595,7 @@ func BenchmarkFaultFastPath(b *testing.B) {
 // BenchmarkTLBHitPath measures the access fast path: repeated loads of
 // a cached translation versus walks of an always-cold TLB.
 func BenchmarkTLBHitPath(b *testing.B) {
+	b.ReportAllocs()
 	k := kernel.New()
 	p := forkParent(b, k, 4*benchMiB, popFlags)
 	defer p.Exit()
@@ -570,6 +604,7 @@ func BenchmarkTLBHitPath(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := p.LoadByte(base); err != nil {
 				b.Fatal(err)
@@ -577,6 +612,7 @@ func BenchmarkTLBHitPath(b *testing.B) {
 		}
 	})
 	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			p.Space().TLB().Flush()
 			if _, err := p.LoadByte(base); err != nil {
@@ -589,6 +625,7 @@ func BenchmarkTLBHitPath(b *testing.B) {
 // BenchmarkHugeExtSharedPMD measures the §4 extension: on-demand-fork
 // of a huge-mapped process with whole-PMD-table sharing.
 func BenchmarkHugeExtSharedPMD(b *testing.B) {
+	b.ReportAllocs()
 	k := kernel.New()
 	p := forkParent(b, k, 256*benchMiB, popFlags|vm.MapHuge)
 	defer p.Exit()
@@ -607,6 +644,7 @@ func BenchmarkHugeExtSharedPMD(b *testing.B) {
 
 // BenchmarkCheckpointSpawn measures the serverless warm-start primitive.
 func BenchmarkCheckpointSpawn(b *testing.B) {
+	b.ReportAllocs()
 	k := kernel.New()
 	p := forkParent(b, k, 256*benchMiB, popFlags)
 	defer p.Exit()
@@ -634,10 +672,12 @@ func BenchmarkCheckpointSpawn(b *testing.B) {
 // on-demand fork only needs upper-level tables and barely notices the
 // pressure.
 func BenchmarkForkUnderPressure(b *testing.B) {
+	b.ReportAllocs()
 	const pressureMiB = 16
 	for _, mode := range []core.ForkMode{core.ForkClassic, core.ForkOnDemand} {
 		for _, occ := range []int{0, 90, 99} {
 			b.Run(fmt.Sprintf("%s/occ=%d", mode, occ), func(b *testing.B) {
+				b.ReportAllocs()
 				k := kernel.New()
 				k.SetSwapEnabled(true)
 				defer k.SetSwapEnabled(false)

@@ -1,0 +1,115 @@
+// Command odf-benchjson runs the hot-path benchmark matrix and emits
+// the stable odf-bench/v1 JSON record, optionally comparing the fresh
+// numbers against a committed baseline and failing on regression.
+//
+// Usage:
+//
+//	odf-benchjson -out bench_out.json                 # measure only
+//	odf-benchjson -out bench_out.json \
+//	    -compare BENCH_2026-08-08.json -threshold 0.05  # CI gate
+//
+// The gate exits 1 when any guarded metric (fork p50/p99, fault
+// fast-path latency, COW faults/sec, allocs/op) regresses past the
+// threshold after cross-machine calibration. See internal/bench.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "bench_out.json", "path for the JSON result")
+		iters     = flag.Int("iters", bench.DefaultIters, "fork invocations per (mode,size) cell")
+		short     = flag.Bool("short", false, "small sizes only (64 MB), for quick CI runs")
+		compare   = flag.String("compare", "", "baseline BENCH_*.json to gate against")
+		threshold = flag.Float64("threshold", 0.05, "relative regression threshold")
+		attempts  = flag.Int("attempts", 3, "gate measurement attempts before failing")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		Iters: *iters,
+		Date:  time.Now().UTC().Format("2006-01-02"),
+	}
+	if *short {
+		cfg.SizesMB = []int{64}
+	}
+
+	fmt.Fprintf(os.Stderr, "odf-benchjson: measuring (iters=%d, GOMAXPROCS=%d)...\n",
+		cfg.Iters, runtime.GOMAXPROCS(0))
+	res, err := bench.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "odf-benchjson: %v\n", err)
+		os.Exit(2)
+	}
+	if err := res.Save(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "odf-benchjson: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range res.Fork {
+		fmt.Printf("fork %-8s %4d MB  p50 %10.0f ns  p99 %10.0f ns  %7.1f allocs/op\n",
+			f.Mode, f.SizeMB, f.P50NS, f.P99NS, f.AllocsPerOp)
+	}
+	fmt.Printf("fault fastpath %.1f ns/op (%.2f allocs/op), COW %.0f faults/sec\n",
+		res.Fault.FastPathNS, res.Fault.FaultAllocsPerOp, res.Fault.COWFaultsPerSec)
+	fmt.Printf("calibration %.0f ns, result written to %s\n", res.CalibNS, *out)
+
+	if *compare == "" {
+		return
+	}
+	base, err := bench.Load(*compare)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "odf-benchjson: %v\n", err)
+		os.Exit(2)
+	}
+	if *short {
+		// A -short gate deliberately measures a size subset; restrict
+		// the baseline to the same cells so Compare's missing-cell
+		// check flags lost coverage, not the configured scope.
+		kept := base.Fork[:0]
+		for _, f := range base.Fork {
+			for _, size := range cfg.SizesMB {
+				if f.SizeMB == size {
+					kept = append(kept, f)
+					break
+				}
+			}
+		}
+		base.Fork = kept
+	}
+	// A genuine regression fails every attempt; a scheduler hiccup in
+	// one measurement run does not. Only an all-attempts failure gates.
+	var regs []bench.Regression
+	for attempt := 1; ; attempt++ {
+		regs = bench.Compare(base, res, *threshold)
+		if len(regs) == 0 {
+			fmt.Printf("gate PASS: no metric regressed more than %.0f%% vs %s\n", *threshold*100, *compare)
+			return
+		}
+		if attempt >= *attempts {
+			break
+		}
+		fmt.Fprintf(os.Stderr, "odf-benchjson: gate attempt %d/%d failed (%s), remeasuring...\n",
+			attempt, *attempts, regs[0].Metric)
+		if res, err = bench.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "odf-benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		if err := res.Save(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "odf-benchjson: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "gate FAIL vs %s (all %d attempts):\n", *compare, *attempts)
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "  %s\n", r)
+	}
+	os.Exit(1)
+}

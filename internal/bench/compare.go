@@ -1,0 +1,80 @@
+package bench
+
+import "fmt"
+
+// Regression is one metric that moved past the threshold in the bad
+// direction, with values already normalized to the baseline machine's
+// speed.
+type Regression struct {
+	Metric string  // e.g. "fork.ondemand/256MB.p50_ns"
+	Base   float64 // baseline value
+	Cur    float64 // current value, calibration-normalized
+	Limit  float64 // the threshold the current value crossed
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.1f -> %.1f (limit %.1f)", r.Metric, r.Base, r.Cur, r.Limit)
+}
+
+// allocSlack is the absolute allocs/op slack added on top of the
+// relative threshold. Pool-warm paths sit at or near zero allocs/op,
+// where a pure ratio test would flag 0 -> 0.5 measurement noise; a
+// genuine regression (a new per-op allocation) moves the count by at
+// least 1 per op.
+const allocSlack = 2.0
+
+// Compare checks cur against base with the given relative threshold
+// (0.05 = 5%) and returns every regression found. Latency metrics
+// (fork p50/p99, fault fast path) regress when the normalized current
+// value exceeds base*(1+threshold); throughput (COW faults/sec)
+// regresses when it falls below base*(1-threshold); allocs/op regress
+// when they exceed base*(1+threshold)+allocSlack. Fork entries are
+// matched by mode and size; an entry present in base but missing from
+// cur is itself a regression (the gate must not pass by measuring
+// less).
+func Compare(base, cur *Result, threshold float64) []Regression {
+	// speed is how much slower the current machine is than the
+	// baseline machine; >1 means slower. Latencies are divided by it,
+	// throughput multiplied, before thresholding.
+	speed := 1.0
+	if base.CalibNS > 0 && cur.CalibNS > 0 {
+		speed = cur.CalibNS / base.CalibNS
+	}
+
+	var regs []Regression
+	slower := func(metric string, b, c float64) {
+		c /= speed
+		if limit := b * (1 + threshold); c > limit {
+			regs = append(regs, Regression{Metric: metric, Base: b, Cur: c, Limit: limit})
+		}
+	}
+	allocs := func(metric string, b, c float64) {
+		if limit := b*(1+threshold) + allocSlack; c > limit {
+			regs = append(regs, Regression{Metric: metric, Base: b, Cur: c, Limit: limit})
+		}
+	}
+
+	curFork := make(map[string]ForkResult, len(cur.Fork))
+	for _, f := range cur.Fork {
+		curFork[f.forkKey()] = f
+	}
+	for _, b := range base.Fork {
+		c, ok := curFork[b.forkKey()]
+		if !ok {
+			regs = append(regs, Regression{Metric: "fork." + b.forkKey() + ".missing", Base: 1, Cur: 0, Limit: 1})
+			continue
+		}
+		slower("fork."+b.forkKey()+".p50_ns", b.P50NS, c.P50NS)
+		slower("fork."+b.forkKey()+".p99_ns", b.P99NS, c.P99NS)
+		allocs("fork."+b.forkKey()+".allocs_per_op", b.AllocsPerOp, c.AllocsPerOp)
+	}
+
+	slower("fault.fastpath_ns", base.Fault.FastPathNS, cur.Fault.FastPathNS)
+	allocs("fault.allocs_per_op", base.Fault.FaultAllocsPerOp, cur.Fault.FaultAllocsPerOp)
+	if b, c := base.Fault.COWFaultsPerSec, cur.Fault.COWFaultsPerSec*speed; b > 0 {
+		if limit := b * (1 - threshold); c < limit {
+			regs = append(regs, Regression{Metric: "fault.cow_faults_per_sec", Base: b, Cur: c, Limit: limit})
+		}
+	}
+	return regs
+}

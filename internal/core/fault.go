@@ -275,6 +275,18 @@ func (as *AddressSpace) noteHugeCopy() {
 	}
 }
 
+// noteZeroElides records n COW copies that were skipped because the
+// source pages were all-zero (phys.CopyPage's elision).
+func (as *AddressSpace) noteZeroElides(n uint64) {
+	if n == 0 {
+		return
+	}
+	as.ZeroElides.Add(n)
+	if as.met.Enabled() {
+		as.met.Fault.ZeroElides.Add(n)
+	}
+}
+
 // demandPageLocked backs a never-touched page (demand-zero for
 // anonymous VMAs, page-cache copy for file-backed ones) or faults a
 // swapped-out page back in. Installing a new entry into a shared table
@@ -429,6 +441,7 @@ func (as *AddressSpace) splitSharedPMDLocked(pud *pagetable.Table, pi int, old *
 	if old.ShareCount(as.alloc) == 1 {
 		old.Unlock()
 		as.alloc.Put(newPMD.Frame)
+		newPMD.Recycle()
 		if !pud.Entry(pi).Writable() {
 			pud.SetEntry(pi, pud.Entry(pi).With(pagetable.FlagWritable))
 			as.noteFastDedup()
@@ -522,6 +535,7 @@ func (as *AddressSpace) splitSharedLeafLocked(pmd *pagetable.Table, pi int, old 
 		// Raced with another sharer's split/exit: dedicate instead.
 		old.Unlock()
 		as.alloc.Put(newLeaf.Frame)
+		newLeaf.Recycle()
 		if !pmd.Entry(pi).Writable() {
 			pmd.SetEntry(pi, pmd.Entry(pi).With(pagetable.FlagWritable))
 			as.noteFastDedup()
@@ -620,7 +634,9 @@ func (as *AddressSpace) pageCOWLocked(tr pagetable.Translation) {
 	if !nf.Valid() {
 		nf = as.alloc.Alloc()
 	}
-	as.alloc.CopyPage(nf, f)
+	if !as.alloc.CopyPage(nf, f) {
+		as.noteZeroElides(1)
+	}
 	if m := as.trk(); m != nil {
 		m.PageUnmapped(f, leaf, li)
 	}
@@ -649,7 +665,8 @@ func (as *AddressSpace) hugeCOWLocked(tr pagetable.Translation) {
 	}
 	as.failInject(as.alloc.Failpoints(), failpoint.FaultHugeCopy)
 	nh := as.alloc.AllocHuge()
-	as.alloc.CopyHugePage(nh, head)
+	copied := as.alloc.CopyHugePage(nh, head)
+	as.noteZeroElides(uint64(addr.EntriesPerTable - copied))
 	if m := as.trk(); m != nil {
 		m.HugeUnmapped(head, pmd, pi)
 	}

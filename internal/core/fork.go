@@ -2,13 +2,13 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/failpoint"
 	"repro/internal/mem/addr"
 	"repro/internal/mem/pagetable"
 	"repro/internal/mem/phys"
-	"repro/internal/mem/tlb"
 	"repro/internal/metrics"
 	"repro/internal/profile"
 	"repro/internal/trace"
@@ -190,18 +190,8 @@ func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) (*Ad
 			}
 			forkErr = ErrOutOfMemory
 		}()
-		child = &AddressSpace{
-			w:     pagetable.NewWalker(parent.alloc, parent.prof),
-			vmas:  parent.vmas.Clone(),
-			alloc: parent.alloc,
-			prof:  parent.prof,
-			met:   parent.met,
-			trc:   parent.trc,
-			sd:    parent.sd,
-			tlb:   tlb.New(parent.sd),
-			id:    spaceIDs.Add(1),
-			rec:   parent.rec,
-		}
+		child = getSpace(parent.alloc, parent.prof, parent.sd, parent.rec)
+		parent.vmas.CloneInto(child.vmas)
 		var walkStart time.Time
 		if tr.Enabled() {
 			walkStart = time.Now()
@@ -211,19 +201,23 @@ func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) (*Ad
 		switch mode {
 		case ForkClassic:
 			if fanOut {
-				tasks := parent.collectClassicTasks(parent.w.Root, child.w.Root, child, nil)
-				noteFanOut(m, tasks)
-				nTasks = len(tasks)
-				runForkTasks(tasks, workers)
+				run := getForkRun(parent, child, mode, opts)
+				run.tasks = parent.collectClassicTasks(parent.w.Root, child.w.Root, child, run.tasks)
+				noteFanOut(m, len(run.tasks))
+				nTasks = len(run.tasks)
+				run.execute(workers)
+				run.release()
 			} else {
 				parent.copyTreeClassic(parent.w.Root, child.w.Root, child)
 			}
 		case ForkOnDemand:
 			if fanOut {
-				tasks := parent.collectOnDemandTasks(parent.w.Root, child.w.Root, child, opts, nil)
-				noteFanOut(m, tasks)
-				nTasks = len(tasks)
-				runForkTasks(tasks, workers)
+				run := getForkRun(parent, child, mode, opts)
+				run.tasks = parent.collectOnDemandTasks(parent.w.Root, child.w.Root, child, opts, run.tasks)
+				noteFanOut(m, len(run.tasks))
+				nTasks = len(run.tasks)
+				run.execute(workers)
+				run.release()
 			} else {
 				parent.copyTreeOnDemand(parent.w.Root, child.w.Root, child, opts)
 			}
@@ -264,8 +258,8 @@ func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) (*Ad
 // broadcast makes every cached translation notice.
 func (parent *AddressSpace) abortFork(child *AddressSpace, mode ForkMode) {
 	child.dead = true
-	child.vmas.Clear()
-	if child.w != nil && child.w.Root != nil {
+	child.vmas.Reset()
+	if child.w.Root != nil {
 		child.freeTree(child.w.Root)
 		child.w.Root = nil
 	}
@@ -279,10 +273,10 @@ func (parent *AddressSpace) abortFork(child *AddressSpace, mode ForkMode) {
 }
 
 // noteFanOut records one parallel fork and its task count.
-func noteFanOut(m *metrics.Registry, tasks []forkTask) {
+func noteFanOut(m *metrics.Registry, nTasks int) {
 	if m.Enabled() {
 		m.Fork.ParallelForks.Inc()
-		m.Fork.ParallelTasks.Add(uint64(len(tasks)))
+		m.Fork.ParallelTasks.Add(uint64(nTasks))
 	}
 }
 
@@ -322,11 +316,23 @@ func (as *AddressSpace) copyTreeClassic(src, dst *pagetable.Table, child *Addres
 	}
 }
 
+// framePool recycles the per-range scratch slice that batches page
+// reference increments through GetBatch, so a warm fork range takes no
+// allocation for it.
+var framePool = sync.Pool{New: func() any {
+	s := make([]phys.Frame, 0, addr.EntriesPerTable)
+	return &s
+}}
+
 // copyPMDRangeClassic copies the PMD slots [lo, hi) from src to dst —
 // the unit of work one parallel-fork task performs (actor names the
 // worker running it). Per-page refcount traffic is batched per leaf
 // table through GetBatch, which preserves per-frame semantics while
-// charging the profiler per batch.
+// charging the profiler per batch. The destination table's tallies,
+// the tables-copied metric, and the upper-walk profile charge are
+// likewise applied once per range instead of once per slot; the flush
+// runs deferred so a mid-range allocation panic still leaves dst's
+// tallies consistent for the rollback's teardown.
 func (as *AddressSpace) copyPMDRangeClassic(src, dst *pagetable.Table, lo, hi int, child *AddressSpace, actor int32) {
 	var rangeStart time.Time
 	if as.trc.Enabled() {
@@ -334,13 +340,27 @@ func (as *AddressSpace) copyPMDRangeClassic(src, dst *pagetable.Table, lo, hi in
 	}
 	defer as.trc.Span(trace.KindForkStage, trace.StageRefcount, actor, rangeStart, uint64(lo), uint64(hi))
 	fp := as.alloc.Failpoints()
-	var frames []phys.Frame
+	framesP := framePool.Get().(*[]phys.Frame)
+	frames := (*framesP)[:0]
+	var d pagetable.TallyDelta
+	var copied, walked uint64
+	defer func() {
+		dst.FlushTally(d)
+		if walked != 0 {
+			as.prof.Charge(profile.UpperWalk, walked)
+		}
+		if copied != 0 && as.met.Enabled() {
+			as.met.Fork.TablesCopied.Add(copied)
+		}
+		*framesP = frames[:0]
+		framePool.Put(framesP)
+	}()
 	for i := lo; i < hi; i++ {
 		e := src.Entry(i)
 		if !e.Present() {
 			continue
 		}
-		as.prof.Charge(profile.UpperWalk, 1)
+		walked++
 		if e.Huge() {
 			as.copyHugeEntry(src, dst, i, e, child)
 			continue
@@ -351,9 +371,6 @@ func (as *AddressSpace) copyPMDRangeClassic(src, dst *pagetable.Table, lo, hi in
 		}
 		as.failInject(fp, failpoint.ForkRefcount)
 		newLeaf := pagetable.NewTable(as.alloc, addr.PTE)
-		if frames == nil {
-			frames = make([]phys.Frame, 0, addr.EntriesPerTable)
-		}
 		frames = frames[:0]
 		leaf.Lock()
 		for li := 0; li < addr.EntriesPerTable; li++ {
@@ -381,19 +398,13 @@ func (as *AddressSpace) copyPMDRangeClassic(src, dst *pagetable.Table, lo, hi in
 		as.prof.Charge(profile.CopyOnePTE, uint64(len(frames)))
 		as.alloc.GetBatch(frames)
 		leaf.Unlock()
-		dst.SetChild(i, newLeaf, src.Entry(i))
-		makePMDWritable(dst, i)
-		if as.met.Enabled() {
-			as.met.Fork.TablesCopied.Inc()
-		}
+		// Install the child slot writable at the PMD level in one entry
+		// store: under classic fork per-PTE bits govern permissions, so
+		// the upper levels must not mask them.
+		dst.SetChildDeferTally(i, newLeaf,
+			src.Entry(i).With(pagetable.FlagWritable|pagetable.FlagUser), &d)
+		copied++
 	}
-}
-
-// makePMDWritable normalizes a copied PMD slot to be writable at the
-// PMD level: under classic fork, per-PTE bits govern permissions, so
-// the upper levels must not mask them.
-func makePMDWritable(dst *pagetable.Table, i int) {
-	dst.SetEntry(i, dst.Entry(i).With(pagetable.FlagWritable|pagetable.FlagUser))
 }
 
 // copyHugeEntry applies COW to a 2 MiB PMD mapping in both parent and
@@ -448,6 +459,9 @@ func (as *AddressSpace) copyTreeOnDemand(src, dst *pagetable.Table, child *Addre
 // copyPMDRangeOnDemand shares the last-level tables of PMD slots
 // [lo, hi) with the child — the unit of work one parallel-fork task
 // performs on the on-demand path (actor names the worker running it).
+// Like the classic range, it batches the child table's tallies, the
+// tables-shared metric, and the upper-walk profile charge per range;
+// the deferred flush keeps dst consistent across a mid-range abort.
 func (as *AddressSpace) copyPMDRangeOnDemand(src, dst *pagetable.Table, lo, hi int, child *AddressSpace, opts ForkOptions, actor int32) {
 	var rangeStart time.Time
 	if as.trc.Enabled() {
@@ -455,12 +469,23 @@ func (as *AddressSpace) copyPMDRangeOnDemand(src, dst *pagetable.Table, lo, hi i
 	}
 	defer as.trc.Span(trace.KindForkStage, trace.StageShare, actor, rangeStart, uint64(lo), uint64(hi))
 	fp := as.alloc.Failpoints()
+	var d pagetable.TallyDelta
+	var nShared, walked uint64
+	defer func() {
+		dst.FlushTally(d)
+		if walked != 0 {
+			as.prof.Charge(profile.UpperWalk, walked)
+		}
+		if nShared != 0 && as.met.Enabled() {
+			as.met.Fork.TablesShared.Add(nShared)
+		}
+	}()
 	for i := lo; i < hi; i++ {
 		e := src.Entry(i)
 		if !e.Present() {
 			continue
 		}
-		as.prof.Charge(profile.UpperWalk, 1)
+		walked++
 		as.failInject(fp, failpoint.ForkShare)
 		if e.Huge() {
 			// The implementation supports 4 KiB pages (§4, "Huge Page
@@ -487,10 +512,8 @@ func (as *AddressSpace) copyPMDRangeOnDemand(src, dst *pagetable.Table, lo, hi i
 		// the whole 2 MiB region (§3.2).
 		shared := e.Without(pagetable.FlagWritable)
 		src.SetEntry(i, shared)
-		dst.SetChild(i, leaf, shared)
-		if as.met.Enabled() {
-			as.met.Fork.TablesShared.Inc()
-		}
+		dst.SetChildDeferTally(i, leaf, shared, &d)
+		nShared++
 	}
 }
 

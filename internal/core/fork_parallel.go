@@ -13,8 +13,8 @@ package core
 // tables), reads of source entries are atomic words, shared leaf
 // tables are taken under their own locks exactly as in the sequential
 // engine, and all profile/refcount traffic is atomic. The WaitGroup in
-// runForkTasks gives the caller a happens-before edge over everything
-// the workers wrote.
+// forkRun.execute gives the caller a happens-before edge over
+// everything the workers wrote.
 
 import (
 	"context"
@@ -31,11 +31,57 @@ import (
 	"repro/internal/trace"
 )
 
-// forkTask is one unit of fork-time copy work. The actor argument is
-// the flight-recorder identity of the worker executing it (ActorApp
-// for the forking goroutine, ActorForkWorker(i) for pool helpers), so
-// trace spans land on the track of whoever ran them.
-type forkTask func(actor int32)
+// forkTask is one unit of fork-time copy work: a chunked slot range of
+// one source PMD table, copied into the corresponding slots of the
+// destination table. Tasks are plain values inside a pooled run — no
+// per-task closure — so fanning a fork out allocates nothing once the
+// run pool is warm.
+type forkTask struct {
+	src, dst *pagetable.Table
+	lo, hi   int
+}
+
+// forkRun is the shared state of one parallel fork: the engine
+// selection, the task list, the work-stealing cursor, and the
+// abort/join machinery. Pool workers receive the run itself and pull
+// tasks from it, so a fork hands one pointer per helper to the pool
+// instead of one closure per task.
+type forkRun struct {
+	as    *AddressSpace
+	child *AddressSpace
+	mode  ForkMode
+	opts  ForkOptions
+	tasks []forkTask
+
+	next       atomic.Int64
+	aborted    atomic.Bool
+	firstPanic atomic.Pointer[any]
+	wg         sync.WaitGroup
+}
+
+// forkRunPool recycles runs (and their task slices) across forks.
+var forkRunPool = sync.Pool{New: func() any { return new(forkRun) }}
+
+// getForkRun returns a reset run for one fork invocation.
+func getForkRun(as, child *AddressSpace, mode ForkMode, opts ForkOptions) *forkRun {
+	r := forkRunPool.Get().(*forkRun)
+	r.as, r.child = as, child
+	r.mode, r.opts = mode, opts
+	r.tasks = r.tasks[:0]
+	r.next.Store(0)
+	r.aborted.Store(false)
+	r.firstPanic.Store(nil)
+	return r
+}
+
+// release drops the run's space references and parks it for reuse. Not
+// called when execute re-raises a task panic — an aborted fork's run is
+// left to the garbage collector rather than threading cleanup through
+// the unwind.
+func (r *forkRun) release() {
+	r.as, r.child = nil, nil
+	forkRunPool.Put(r)
+}
 
 // Chunk sizes, in PMD slots per task. Classic fork does 512 PTE copies
 // plus refcount traffic per slot, so modest chunks (16 slots = 32 MiB)
@@ -49,27 +95,29 @@ const (
 
 // The worker pool is process-wide, sized to GOMAXPROCS, and reusable
 // across forks — fork latency must not include goroutine spawning.
-// Workers never submit tasks themselves, and submission never blocks
-// (see runForkTasks), so the pool cannot deadlock however many forks
-// run concurrently.
+// Workers never submit runs themselves, and submission never blocks
+// (see forkRun.execute), so the pool cannot deadlock however many
+// forks run concurrently.
 var (
 	forkPoolOnce sync.Once
-	forkPoolCh   chan func()
+	forkPoolCh   chan *forkRun
 	forkPoolN    int
 )
 
 func forkPoolInit() {
 	forkPoolOnce.Do(func() {
 		forkPoolN = runtime.GOMAXPROCS(0)
-		forkPoolCh = make(chan func())
+		forkPoolCh = make(chan *forkRun)
 		for i := 0; i < forkPoolN; i++ {
 			go func(i int) {
 				// The pprof label makes CPU samples of the copy loops
 				// attributable per worker (`go tool pprof` → tag filter).
 				labels := pprof.Labels("odf", "fork-worker", "worker", strconv.Itoa(i))
+				actor := trace.ActorForkWorker(i + 1)
 				pprof.Do(context.Background(), labels, func(context.Context) {
-					for fn := range forkPoolCh {
-						fn()
+					for r := range forkPoolCh {
+						r.participate(actor)
+						r.wg.Done()
 					}
 				})
 			}(i)
@@ -84,70 +132,75 @@ func forkPoolSize() int {
 	return forkPoolN
 }
 
-// runForkTasks executes tasks with up to par participants: the caller
-// plus at most par-1 pool workers. Tasks are claimed with an atomic
-// cursor (work stealing), so uneven chunks self-balance. If the pool
-// is saturated by concurrent forks, submission falls through and the
-// caller simply runs the remaining work itself — slower, never stuck.
-//
-// A task that panics (a mid-copy allocation failure, real or injected)
-// must not crash a pool worker or leave the fork half-joined: every
-// participant traps its panic, the remaining participants stop
-// claiming tasks, and after ALL of them have quiesced — the WaitGroup
-// join is unconditional, so no worker can still be writing into the
-// child when the rollback starts — the first panic value is re-raised
-// on the forking goroutine, where ForkWithOptions' transaction
-// boundary unwinds the partial child.
-func runForkTasks(tasks []forkTask, par int) {
-	if len(tasks) == 0 {
+// participate claims and runs tasks until the list is drained or the
+// run aborts. A task that panics (a mid-copy allocation failure, real
+// or injected) must not crash a pool worker: the panic is trapped, the
+// remaining participants stop claiming tasks, and execute re-raises
+// the first panic value on the forking goroutine after the join.
+func (r *forkRun) participate(actor int32) {
+	defer func() {
+		if p := recover(); p != nil {
+			v := p
+			r.firstPanic.CompareAndSwap(nil, &v)
+			r.aborted.Store(true)
+		}
+	}()
+	for !r.aborted.Load() {
+		i := int(r.next.Add(1)) - 1
+		if i >= len(r.tasks) {
+			return
+		}
+		t := &r.tasks[i]
+		switch r.mode {
+		case ForkClassic:
+			r.as.copyPMDRangeClassic(t.src, t.dst, t.lo, t.hi, r.child, actor)
+		default:
+			r.as.copyPMDRangeOnDemand(t.src, t.dst, t.lo, t.hi, r.child, r.opts, actor)
+		}
+	}
+}
+
+// execute runs the collected tasks with up to par participants: the
+// caller plus at most par-1 pool workers. Tasks are claimed with an
+// atomic cursor (work stealing), so uneven chunks self-balance. If the
+// pool is saturated by concurrent forks, submission falls through and
+// the caller simply runs the remaining work itself — slower, never
+// stuck. The WaitGroup join is unconditional, so no worker can still
+// be writing into the child when a rollback starts; only after ALL
+// participants have quiesced is the first panic re-raised on the
+// forking goroutine, where ForkWithOptions' transaction boundary
+// unwinds the partial child.
+func (r *forkRun) execute(par int) {
+	if len(r.tasks) == 0 {
 		return
 	}
-	if par > len(tasks) {
-		par = len(tasks)
+	if par > len(r.tasks) {
+		par = len(r.tasks)
 	}
 	if par <= 1 {
-		for _, t := range tasks {
-			t(trace.ActorApp)
+		for i := range r.tasks {
+			t := &r.tasks[i]
+			switch r.mode {
+			case ForkClassic:
+				r.as.copyPMDRangeClassic(t.src, t.dst, t.lo, t.hi, r.child, trace.ActorApp)
+			default:
+				r.as.copyPMDRangeOnDemand(t.src, t.dst, t.lo, t.hi, r.child, r.opts, trace.ActorApp)
+			}
 		}
 		return
 	}
 	forkPoolInit()
-	var next atomic.Int64
-	var aborted atomic.Bool
-	var firstPanic atomic.Pointer[any]
-	run := func(actor int32) {
-		defer func() {
-			if r := recover(); r != nil {
-				v := r
-				firstPanic.CompareAndSwap(nil, &v)
-				aborted.Store(true)
-			}
-		}()
-		for !aborted.Load() {
-			i := int(next.Add(1)) - 1
-			if i >= len(tasks) {
-				return
-			}
-			tasks[i](actor)
-		}
-	}
-	var wg sync.WaitGroup
 	for i := 1; i < par; i++ {
-		wg.Add(1)
-		worker := trace.ActorForkWorker(i)
-		helper := func() {
-			defer wg.Done()
-			run(worker)
-		}
+		r.wg.Add(1)
 		select {
-		case forkPoolCh <- helper:
+		case forkPoolCh <- r:
 		default:
-			wg.Done()
+			r.wg.Done()
 		}
 	}
-	run(trace.ActorApp)
-	wg.Wait()
-	if p := firstPanic.Load(); p != nil {
+	r.participate(trace.ActorApp)
+	r.wg.Wait()
+	if p := r.firstPanic.Load(); p != nil {
 		panic(*p)
 	}
 }
@@ -175,7 +228,10 @@ func (as *AddressSpace) presentPMDSlots() int {
 
 // appendRangeTasks splits a PMD table into chunked slot-range tasks,
 // skipping chunks with no present entries.
-func appendRangeTasks(tasks []forkTask, src *pagetable.Table, chunk int, mk func(lo, hi int) forkTask) []forkTask {
+func appendRangeTasks(tasks []forkTask, src, dst *pagetable.Table, chunk int) []forkTask {
+	if src.PresentCount() == 0 {
+		return tasks
+	}
 	for lo := 0; lo < addr.EntriesPerTable; lo += chunk {
 		hi := min(lo+chunk, addr.EntriesPerTable)
 		any := false
@@ -186,7 +242,7 @@ func appendRangeTasks(tasks []forkTask, src *pagetable.Table, chunk int, mk func
 			}
 		}
 		if any {
-			tasks = append(tasks, mk(lo, hi))
+			tasks = append(tasks, forkTask{src: src, dst: dst, lo: lo, hi: hi})
 		}
 	}
 	return tasks
@@ -197,9 +253,7 @@ func appendRangeTasks(tasks []forkTask, src *pagetable.Table, chunk int, mk func
 // chunk of PMD slots. Each task owns its destination slot range.
 func (as *AddressSpace) collectClassicTasks(src, dst *pagetable.Table, child *AddressSpace, tasks []forkTask) []forkTask {
 	if src.Level == addr.PMD {
-		return appendRangeTasks(tasks, src, classicChunkSlots, func(lo, hi int) forkTask {
-			return func(actor int32) { as.copyPMDRangeClassic(src, dst, lo, hi, child, actor) }
-		})
+		return appendRangeTasks(tasks, src, dst, classicChunkSlots)
 	}
 	fp := as.alloc.Failpoints()
 	for i := 0; i < addr.EntriesPerTable; i++ {
@@ -222,9 +276,7 @@ func (as *AddressSpace) collectClassicTasks(src, dst *pagetable.Table, child *Ad
 // become tasks.
 func (as *AddressSpace) collectOnDemandTasks(src, dst *pagetable.Table, child *AddressSpace, opts ForkOptions, tasks []forkTask) []forkTask {
 	if src.Level == addr.PMD {
-		return appendRangeTasks(tasks, src, onDemandChunkSlots, func(lo, hi int) forkTask {
-			return func(actor int32) { as.copyPMDRangeOnDemand(src, dst, lo, hi, child, opts, actor) }
-		})
+		return appendRangeTasks(tasks, src, dst, onDemandChunkSlots)
 	}
 	fp := as.alloc.Failpoints()
 	for i := 0; i < addr.EntriesPerTable; i++ {

@@ -42,7 +42,7 @@ func (as *AddressSpace) countTables(t *pagetable.Table, st *TableStats) {
 			}
 			if leaf := t.Child(i); leaf != nil {
 				st.Leaves++
-				st.PresentPTEs += leaf.CountPresent()
+				st.PresentPTEs += leaf.PresentCount()
 				if leaf.ShareCount(as.alloc) > 1 {
 					st.SharedLeaves++
 				}

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that the race detector is active. Race builds
+// instrument every allocation and make sync.Pool drop items randomly
+// (to widen interleavings), so allocation-count assertions are
+// meaningless there.
+const raceEnabled = true

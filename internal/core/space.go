@@ -45,7 +45,7 @@ const (
 // the VMA set of one process.
 type AddressSpace struct {
 	mu    sync.Mutex
-	w     *pagetable.Walker
+	w     pagetable.Walker // by value: one less pointer chase and alloc per fork
 	vmas  *vm.Set
 	alloc *phys.Allocator
 	prof  *profile.Profiler
@@ -75,6 +75,60 @@ type AddressSpace struct {
 	HugeCopies  atomic.Uint64 // 2 MiB pages copied for COW
 	FastDedups  atomic.Uint64 // faults resolved by re-enabling PMD writable
 	SwapIns     atomic.Uint64 // faults resolved by reading a page back from swap
+	ZeroElides  atomic.Uint64 // COW copies skipped because the source was all-zero
+}
+
+// spacePool recycles AddressSpace shells — the struct, its TLB, and
+// its VMA set's backing storage — across fork/teardown cycles, so a
+// steady-state fork loop allocates nothing for the child's bookkeeping.
+// Spaces enter the pool only through Recycle, an explicit opt-in: the
+// kernel's Process objects outlive Exit (Space() stays readable after
+// teardown), so they never recycle.
+var spacePool = sync.Pool{New: func() any { return new(AddressSpace) }}
+
+// getSpace returns a clean AddressSpace shell for the given kernel
+// attachments, reusing a pooled shell when one is available.
+func getSpace(alloc *phys.Allocator, prof *profile.Profiler, sd *tlb.Shootdown, rec *reclaim.Manager) *AddressSpace {
+	as := spacePool.Get().(*AddressSpace)
+	as.w.Root = pagetable.NewTable(alloc, addr.PGD)
+	as.w.Alloc = alloc
+	as.w.Prof = prof
+	if as.vmas == nil {
+		as.vmas = &vm.Set{}
+	}
+	as.alloc = alloc
+	as.prof = prof
+	as.met = alloc.Metrics()
+	as.trc = alloc.Tracer()
+	as.sd = sd
+	if as.tlb == nil {
+		as.tlb = tlb.New(sd)
+	} else {
+		as.tlb.Reuse(sd)
+	}
+	as.id = spaceIDs.Add(1)
+	as.rec = rec
+	as.dead = false
+	as.Faults.Store(0)
+	as.TableSplits.Store(0)
+	as.PMDSplits.Store(0)
+	as.PageCopies.Store(0)
+	as.HugeCopies.Store(0)
+	as.FastDedups.Store(0)
+	as.SwapIns.Store(0)
+	as.ZeroElides.Store(0)
+	return as
+}
+
+// Recycle tears the space down and returns its shell to the space
+// pool. Only callers that own the last reference may use it — after
+// Recycle the struct may be reinitialized for an unrelated process at
+// any time. Fork-per-request loops (and the zero-alloc benchmarks)
+// pair each fork with a Recycle to run allocation-free once warm;
+// everything else just calls Teardown and lets GC take the shell.
+func (as *AddressSpace) Recycle() {
+	as.Teardown()
+	spacePool.Put(as)
 }
 
 // NewAddressSpace returns an empty address space drawing frames from
@@ -82,23 +136,11 @@ type AddressSpace struct {
 // from the allocator (see phys.Allocator.SetMetrics), so the whole
 // memory stack of one kernel instruments into a single tree.
 func NewAddressSpace(alloc *phys.Allocator, prof *profile.Profiler) *AddressSpace {
-	sd := &tlb.Shootdown{}
 	var rec *reclaim.Manager
 	if m, ok := alloc.ReclaimerHook().(*reclaim.Manager); ok {
 		rec = m
 	}
-	return &AddressSpace{
-		w:     pagetable.NewWalker(alloc, prof),
-		vmas:  &vm.Set{},
-		alloc: alloc,
-		prof:  prof,
-		met:   alloc.Metrics(),
-		trc:   alloc.Tracer(),
-		sd:    sd,
-		tlb:   tlb.New(sd),
-		id:    spaceIDs.Add(1),
-		rec:   rec,
-	}
+	return getSpace(alloc, prof, &tlb.Shootdown{}, rec)
 }
 
 // spaceIDs issues process-lifetime-unique address-space IDs for
@@ -138,7 +180,7 @@ func (as *AddressSpace) TLB() *tlb.TLB { return as.tlb }
 func (as *AddressSpace) Allocator() *phys.Allocator { return as.alloc }
 
 // Walker exposes the paging hierarchy for tests and invariant checks.
-func (as *AddressSpace) Walker() *pagetable.Walker { return as.w }
+func (as *AddressSpace) Walker() *pagetable.Walker { return &as.w }
 
 // MappedBytes returns the total size of all VMAs.
 func (as *AddressSpace) MappedBytes() uint64 {
@@ -425,7 +467,7 @@ func (as *AddressSpace) zapRangeLocked(r addr.Range) {
 				leaf.SetEntry(li, 0)
 			}
 		}
-		empty := leaf.CountPresent() == 0 && leaf.SwapCount() == 0
+		empty := leaf.PresentCount() == 0 && leaf.SwapCount() == 0
 		leaf.Unlock()
 		if empty && !stillNeeded {
 			pmd.SetChild(idx, nil, 0)
@@ -468,6 +510,7 @@ func (as *AddressSpace) releaseLeafRef(leaf *pagetable.Table) {
 		m.TableFreed(leaf)
 	}
 	as.alloc.Put(leaf.Frame)
+	leaf.Recycle()
 }
 
 // Mremap moves the mapping at oldStart (oldSize bytes) to a new
@@ -526,7 +569,7 @@ func (as *AddressSpace) Mremap(oldStart addr.V, oldSize uint64) (_ addr.V, err e
 				leaf.SetEntry(li, 0)
 			}
 		}
-		empty := leaf.CountPresent() == 0 && leaf.SwapCount() == 0
+		empty := leaf.PresentCount() == 0 && leaf.SwapCount() == 0
 		leaf.Unlock()
 		if empty {
 			pmd.SetChild(idx, nil, 0)
@@ -626,7 +669,7 @@ func (as *AddressSpace) Teardown() {
 		return
 	}
 	as.dead = true
-	as.vmas.Clear()
+	as.vmas.Reset()
 	as.freeTree(as.w.Root)
 	as.w.Root = nil
 }
@@ -646,6 +689,7 @@ func (as *AddressSpace) freeTree(t *pagetable.Table) {
 		}
 	}
 	as.alloc.Put(t.Frame)
+	t.Recycle()
 }
 
 // releasePMDRef drops one share reference on a PMD table, releasing
@@ -684,6 +728,7 @@ func (as *AddressSpace) releasePMDRef(t *pagetable.Table) {
 		m.TableFreed(t)
 	}
 	as.alloc.Put(t.Frame)
+	t.Recycle()
 }
 
 // Dead reports whether the space has been torn down.

@@ -1,0 +1,105 @@
+package core
+
+// Zero-allocation assertions for the two hot paths the paper's latency
+// claims rest on: the on-demand fork itself and the write-fault fast
+// path. Both run through the pooled allocation paths (space pool,
+// table pool, fork-run pool), so once the pools are warm a
+// fork/recycle cycle and a fault must not touch the Go heap — any
+// regression here shows up as GC pressure and tail latency in the
+// fork-per-request workloads.
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/mem/addr"
+	"repro/internal/mem/phys"
+	"repro/internal/mem/vm"
+)
+
+const zeroAllocMapBytes = 64 << 20
+
+// zeroAllocParent builds a populated 64 MiB parent space.
+func zeroAllocParent(t *testing.T) (*AddressSpace, addr.V) {
+	t.Helper()
+	alloc := phys.NewAllocator(nil)
+	parent := NewAddressSpace(alloc, nil)
+	base, err := parent.Mmap(0, zeroAllocMapBytes, vm.ProtRead|vm.ProtWrite,
+		vm.MapPrivate|vm.MapPopulate, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parent, base
+}
+
+// TestForkOnDemandZeroAlloc asserts that a warm fork+recycle cycle of
+// the on-demand engine performs zero heap allocations.
+func TestForkOnDemandZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instruments allocations and drops pool items")
+	}
+	// GC off for the duration: a collection mid-measurement could both
+	// empty the sync.Pools (forcing real allocations) and skew the
+	// mallocs accounting.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	parent, _ := zeroAllocParent(t)
+	defer parent.Teardown()
+
+	cycle := func() {
+		child, err := ForkWithOptions(parent, ForkOnDemand, ForkOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		child.Recycle()
+	}
+	for i := 0; i < 5; i++ {
+		cycle() // warm the space/table pools
+	}
+	if allocs := testing.AllocsPerRun(50, cycle); allocs != 0 {
+		t.Errorf("on-demand fork+recycle allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestFaultFastPathZeroAlloc asserts that the last-sharer fast dedup
+// fault (one PMD writable-bit restore) and the TLB-hit store behind it
+// perform zero heap allocations in steady state.
+func TestFaultFastPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instruments allocations and drops pool items")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	parent, base := zeroAllocParent(t)
+	defer parent.Teardown()
+
+	// Each cycle: share tables with a child, drop the child, then write —
+	// the parent is the last sharer, so the fault takes the fast path.
+	cycle := func() {
+		child, err := ForkWithOptions(parent, ForkOnDemand, ForkOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		child.Recycle()
+		if err := parent.StoreByte(base, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		cycle()
+	}
+	splitsBefore := parent.TableSplits.Load()
+	if allocs := testing.AllocsPerRun(50, cycle); allocs != 0 {
+		t.Errorf("fast-path fault cycle allocated %.1f objects/op, want 0", allocs)
+	}
+	if got := parent.TableSplits.Load(); got != splitsBefore {
+		t.Fatalf("fast-path cycles performed %d table splits, want 0", got-splitsBefore)
+	}
+
+	// The pure TLB-hit store must be allocation-free as well.
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if err := parent.StoreByte(base, 2); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("TLB-hit store allocated %.1f objects/op, want 0", allocs)
+	}
+}

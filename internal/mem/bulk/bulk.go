@@ -1,0 +1,62 @@
+// Package bulk provides the page-granular data kernels of the
+// simulated kernel: copy, zero-detection, and comparison over 4 KiB
+// base pages and 2 MiB huge pages.
+//
+// Two implementations exist, selected at build time in the spirit of
+// the assembly/pure-Go split used by performance-sensitive Go
+// libraries (parquet-go's `_amd64.s` + `_purego.go` pattern). The
+// default build uses word-at-a-time loops over 8-byte lanes; building
+// with `-tags purego` selects the byte-at-a-time reference
+// implementations instead. The reference implementations are always
+// compiled (as Ref*) so equivalence and fuzz tests can compare the two
+// on every build.
+//
+// All kernels accept arbitrary slice lengths — page-table code calls
+// them with exactly addr.PageSize bytes, but reclaim and tests use
+// shorter runs — and make no alignment assumptions, since Go slices
+// provide none.
+package bulk
+
+// CopyPage copies min(len(dst), len(src)) bytes from src to dst and
+// returns the number of bytes copied. The built-in copy lowers to
+// runtime.memmove, which is already the fastest bulk copy available
+// without assembly; the function exists so every page-data move goes
+// through one auditable kernel.
+func CopyPage(dst, src []byte) int {
+	return copy(dst, src)
+}
+
+// RefCopyPage is the byte-at-a-time reference for CopyPage.
+func RefCopyPage(dst, src []byte) int {
+	n := len(src)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = src[i]
+	}
+	return n
+}
+
+// RefIsZeroPage is the byte-at-a-time reference for IsZeroPage.
+func RefIsZeroPage(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RefPagesEqual is the byte-at-a-time reference for PagesEqual.
+func RefPagesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,49 @@
+//go:build !purego
+
+package bulk
+
+import "encoding/binary"
+
+// The optimized kernels walk 8-byte lanes through encoding/binary's
+// little-endian loads, which the compiler recognizes and lowers to
+// single unaligned machine loads on amd64/arm64. ORing lanes together
+// (zero check) and XORing pairs (equality) keeps the loop body
+// branch-free; only the accumulated result is tested per lane.
+
+// IsZeroPage reports whether every byte of p is zero. A nil or empty
+// slice is zero by definition — phys represents never-written pages as
+// nil data, and the two must classify identically.
+func IsZeroPage(p []byte) bool {
+	for len(p) >= 8 {
+		if binary.LittleEndian.Uint64(p) != 0 {
+			return false
+		}
+		p = p[8:]
+	}
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PagesEqual reports whether a and b have identical length and
+// contents.
+func PagesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for len(a) >= 8 {
+		if binary.LittleEndian.Uint64(a) != binary.LittleEndian.Uint64(b) {
+			return false
+		}
+		a, b = a[8:], b[8:]
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+//go:build purego
+
+package bulk
+
+// IsZeroPage reports whether every byte of p is zero (reference
+// implementation selected by the purego build tag).
+func IsZeroPage(p []byte) bool { return RefIsZeroPage(p) }
+
+// PagesEqual reports whether a and b have identical length and
+// contents (reference implementation selected by the purego build
+// tag).
+func PagesEqual(a, b []byte) bool { return RefPagesEqual(a, b) }

@@ -1,0 +1,139 @@
+package bulk
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem/addr"
+)
+
+// randPage builds a page-like buffer with a mix of contents chosen to
+// stress the word-lane loops: all-zero, single set byte at a random
+// offset (including lane boundaries), and fully random.
+func randPage(rng *rand.Rand, n int) []byte {
+	p := make([]byte, n)
+	switch rng.Intn(3) {
+	case 0:
+		// all zero
+	case 1:
+		if n > 0 {
+			p[rng.Intn(n)] = byte(1 + rng.Intn(255))
+		}
+	default:
+		rng.Read(p)
+	}
+	return p
+}
+
+func TestIsZeroPageEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sizes := []int{0, 1, 7, 8, 9, 15, 16, 63, 64, 4095, addr.PageSize, addr.PageSize + 3}
+	for _, n := range sizes {
+		for trial := 0; trial < 64; trial++ {
+			p := randPage(rng, n)
+			// Random sub-slices exercise every alignment of the
+			// underlying array.
+			lo := 0
+			if n > 0 {
+				lo = rng.Intn(n)
+			}
+			q := p[lo:]
+			if got, want := IsZeroPage(q), RefIsZeroPage(q); got != want {
+				t.Fatalf("IsZeroPage(len=%d, off=%d) = %v, reference = %v", n, lo, got, want)
+			}
+		}
+	}
+	if !IsZeroPage(nil) {
+		t.Error("IsZeroPage(nil) = false, want true (nil data is a logical zero page)")
+	}
+}
+
+func TestPagesEqualEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 256; trial++ {
+		n := rng.Intn(addr.PageSize + 1)
+		a := randPage(rng, n)
+		var b []byte
+		switch rng.Intn(3) {
+		case 0:
+			b = append([]byte(nil), a...)
+		case 1:
+			b = append([]byte(nil), a...)
+			if n > 0 {
+				b[rng.Intn(n)] ^= byte(1 + rng.Intn(255))
+			}
+		default:
+			b = randPage(rng, rng.Intn(addr.PageSize+1))
+		}
+		got, want := PagesEqual(a, b), RefPagesEqual(a, b)
+		if got != want {
+			t.Fatalf("PagesEqual(len %d vs %d) = %v, reference = %v", len(a), len(b), got, want)
+		}
+		if want != bytes.Equal(a, b) {
+			t.Fatalf("reference PagesEqual disagrees with bytes.Equal")
+		}
+	}
+}
+
+func TestCopyPageEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 256; trial++ {
+		src := randPage(rng, rng.Intn(addr.PageSize+1))
+		dstLen := rng.Intn(addr.PageSize + 1)
+		d1 := randPage(rng, dstLen)
+		d2 := append([]byte(nil), d1...)
+		n1 := CopyPage(d1, src)
+		n2 := RefCopyPage(d2, src)
+		if n1 != n2 {
+			t.Fatalf("CopyPage returned %d, reference %d", n1, n2)
+		}
+		if !bytes.Equal(d1, d2) {
+			t.Fatalf("CopyPage result differs from reference (src %d, dst %d)", len(src), dstLen)
+		}
+	}
+}
+
+func TestHugePageSizes(t *testing.T) {
+	// The kernels must handle full 2 MiB huge-page runs; exercise one
+	// with the dirty byte in the final lane.
+	p := make([]byte, addr.HugePageSize)
+	if !IsZeroPage(p) {
+		t.Fatal("zero huge page not detected")
+	}
+	p[addr.HugePageSize-1] = 0xfe
+	if IsZeroPage(p) {
+		t.Fatal("dirty huge page reported zero")
+	}
+	q := make([]byte, addr.HugePageSize)
+	CopyPage(q, p)
+	if !PagesEqual(p, q) || !RefPagesEqual(p, q) {
+		t.Fatal("huge page copy+compare round trip failed")
+	}
+}
+
+func FuzzKernelsEquivalence(f *testing.F) {
+	f.Add([]byte{}, []byte{}, uint8(0))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, []byte{0, 0, 0, 0, 0, 0, 0, 1}, uint8(3))
+	f.Add(bytes.Repeat([]byte{0xab}, 4096), bytes.Repeat([]byte{0xab}, 4096), uint8(7))
+	f.Fuzz(func(t *testing.T, a, b []byte, off uint8) {
+		// Offset the slices to fuzz alignment against the allocation.
+		if int(off) < len(a) {
+			a = a[off:]
+		}
+		if int(off) < len(b) {
+			b = b[off:]
+		}
+		if got, want := IsZeroPage(a), RefIsZeroPage(a); got != want {
+			t.Errorf("IsZeroPage mismatch on %d bytes: %v vs %v", len(a), got, want)
+		}
+		if got, want := PagesEqual(a, b), RefPagesEqual(a, b); got != want {
+			t.Errorf("PagesEqual mismatch (%d vs %d bytes): %v vs %v", len(a), len(b), got, want)
+		}
+		d1 := make([]byte, len(b))
+		d2 := make([]byte, len(b))
+		if n1, n2 := CopyPage(d1, a), RefCopyPage(d2, a); n1 != n2 || !bytes.Equal(d1, d2) {
+			t.Errorf("CopyPage mismatch: n=%d vs %d", n1, n2)
+		}
+	})
+}

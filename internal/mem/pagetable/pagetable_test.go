@@ -213,13 +213,13 @@ func TestCopyEntriesPreservesAccessed(t *testing.T) {
 func TestCountPresent(t *testing.T) {
 	alloc := phys.NewAllocator(nil)
 	tbl := NewTable(alloc, addr.PTE)
-	if got := tbl.CountPresent(); got != 0 {
-		t.Errorf("fresh CountPresent = %d", got)
+	if got := tbl.PresentCount(); got != 0 {
+		t.Errorf("fresh PresentCount = %d", got)
 	}
 	tbl.SetEntry(0, MakeEntry(1, 0))
 	tbl.SetEntry(511, MakeEntry(2, 0))
-	if got := tbl.CountPresent(); got != 2 {
-		t.Errorf("CountPresent = %d, want 2", got)
+	if got := tbl.PresentCount(); got != 2 {
+		t.Errorf("PresentCount = %d, want 2", got)
 	}
 }
 

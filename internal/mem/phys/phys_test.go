@@ -111,16 +111,34 @@ func TestCopyPage(t *testing.T) {
 	a := NewAllocator(nil)
 	src, dst := a.Alloc(), a.Alloc()
 	a.Data(src)[100] = 7
-	a.CopyPage(dst, src)
+	if !a.CopyPage(dst, src) {
+		t.Error("nonzero copy reported elided")
+	}
 	if got := a.Data(dst)[100]; got != 7 {
 		t.Errorf("copied byte = %d, want 7", got)
 	}
-	// Copy from a zero (unmaterialized) source clears the destination.
+	// Copy from a zero (unmaterialized) source is elided: it reports
+	// false and leaves the destination logically zero without
+	// materializing it.
 	zsrc, zdst := a.Alloc(), a.Alloc()
 	a.Data(zdst)[5] = 9
-	a.CopyPage(zdst, zsrc)
+	if a.CopyPage(zdst, zsrc) {
+		t.Error("zero copy not elided")
+	}
+	if a.DataIfPresent(zdst) != nil {
+		t.Error("elided copy left destination materialized")
+	}
 	if got := a.Data(zdst)[5]; got != 0 {
 		t.Errorf("zero-copy dest byte = %d, want 0", got)
+	}
+	// A materialized-but-all-zero source elides too.
+	msrc, mdst := a.Alloc(), a.Alloc()
+	a.Data(msrc) // materialize zeroes
+	if a.CopyPage(mdst, msrc) {
+		t.Error("all-zero materialized source not elided")
+	}
+	if !a.PageIsZero(mdst) || !a.PageIsZero(msrc) {
+		t.Error("PageIsZero disagrees with elision")
 	}
 }
 

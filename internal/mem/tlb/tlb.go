@@ -72,6 +72,31 @@ func New(sd *Shootdown) *TLB {
 	return &TLB{sd: sd}
 }
 
+// Reuse reinitializes a retired TLB for a new process in the given
+// shootdown domain: every entry is dropped (without counting a flush),
+// statistics and the LRU clock restart from zero, and the observed
+// shootdown generation resyncs to the new domain. The address-space
+// pool calls this instead of allocating a fresh TLB per fork.
+func (t *TLB) Reuse(sd *Shootdown) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for s := range t.sets {
+		for w := range t.sets[s] {
+			t.sets[s][w] = entry{}
+		}
+	}
+	t.tick = 0
+	t.sd = sd
+	t.seen = 0
+	if sd != nil {
+		t.seen = sd.Gen()
+	}
+	t.Hits.Store(0)
+	t.Misses.Store(0)
+	t.Flushes.Store(0)
+	t.Shootdowns.Store(0)
+}
+
 func vpnOf(v addr.V) uint64 { return uint64(v) >> addr.PageShift }
 
 func setOf(vpn uint64) int { return int(vpn % numSets) }

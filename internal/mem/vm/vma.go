@@ -207,6 +207,15 @@ func (s *Set) Clear() []*VMA {
 	return out
 }
 
+// Reset empties the set while keeping its slice capacity and the VMA
+// structs parked in the backing array, so a recycled set's next
+// CloneInto can refill without allocating. Callers of All()/VMAs()
+// must not retain the structs across a Reset — they may be
+// overwritten by the set's next fill.
+func (s *Set) Reset() {
+	s.vmas = s.vmas[:0]
+}
+
 // Clone returns a deep copy of the set (fork duplicates the VMA list).
 func (s *Set) Clone() *Set {
 	out := &Set{vmas: make([]*VMA, len(s.vmas))}
@@ -215,6 +224,25 @@ func (s *Set) Clone() *Set {
 		out.vmas[i] = &nv
 	}
 	return out
+}
+
+// CloneInto deep-copies the set into dst, reusing dst's slice capacity
+// and any VMA structs parked there by a previous Reset. The
+// pool-recycled fork path uses it to duplicate the VMA list with zero
+// allocations once warm.
+func (s *Set) CloneInto(dst *Set) {
+	n := len(s.vmas)
+	if cap(dst.vmas) < n {
+		dst.vmas = make([]*VMA, n)
+	} else {
+		dst.vmas = dst.vmas[:n]
+	}
+	for i, v := range s.vmas {
+		if dst.vmas[i] == nil {
+			dst.vmas[i] = new(VMA)
+		}
+		*dst.vmas[i] = *v
+	}
 }
 
 // TotalBytes returns the sum of all mapped region sizes.

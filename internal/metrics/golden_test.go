@@ -56,6 +56,7 @@ func goldenSnapshot() Snapshot {
 	s.Fault.FastDedups = 2
 	s.Fault.PageCopies = 9
 	s.Fault.HugeCopies = 1
+	s.Fault.ZeroElides = 4
 	s.Fault.Segfaults = 1
 
 	s.Alloc.ShardHits = 100

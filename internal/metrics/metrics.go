@@ -184,6 +184,7 @@ type Registry struct {
 		FastDedups       Counter // last-sharer re-dedications (no copy)
 		PageCopies       Counter // 4 KiB COW data copies
 		HugeCopies       Counter // 2 MiB COW data copies
+		ZeroElides       Counter // COW copies skipped: source page all-zero
 		Segfaults        Counter // unrepairable faults
 	}
 
@@ -290,6 +291,7 @@ func (r *Registry) Snapshot() Snapshot {
 	s.Fault.FastDedups = r.Fault.FastDedups.Load()
 	s.Fault.PageCopies = r.Fault.PageCopies.Load()
 	s.Fault.HugeCopies = r.Fault.HugeCopies.Load()
+	s.Fault.ZeroElides = r.Fault.ZeroElides.Load()
 	s.Fault.Segfaults = r.Fault.Segfaults.Load()
 
 	s.Alloc.ShardHits = r.Alloc.ShardHits.Load()

@@ -126,6 +126,7 @@ type FaultSnapshot struct {
 	FastDedups       uint64
 	PageCopies       uint64
 	HugeCopies       uint64
+	ZeroElides       uint64
 	Segfaults        uint64
 }
 
@@ -219,6 +220,7 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	d.Fault.FastDedups = s.Fault.FastDedups - prev.Fault.FastDedups
 	d.Fault.PageCopies = s.Fault.PageCopies - prev.Fault.PageCopies
 	d.Fault.HugeCopies = s.Fault.HugeCopies - prev.Fault.HugeCopies
+	d.Fault.ZeroElides = s.Fault.ZeroElides - prev.Fault.ZeroElides
 	d.Fault.Segfaults = s.Fault.Segfaults - prev.Fault.Segfaults
 
 	d.Alloc.ShardHits = s.Alloc.ShardHits - prev.Alloc.ShardHits
@@ -311,6 +313,7 @@ func (s Snapshot) Render() string {
 	line("fault.fast_dedups", s.Fault.FastDedups)
 	line("fault.page_copies", s.Fault.PageCopies)
 	line("fault.huge_copies", s.Fault.HugeCopies)
+	line("fault.zero_elides", s.Fault.ZeroElides)
 	line("fault.segfaults", s.Fault.Segfaults)
 
 	line("alloc.shard_hits", s.Alloc.ShardHits)

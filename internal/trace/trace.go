@@ -181,14 +181,24 @@ const DefaultCapacity = 1 << 14
 
 const maxRings = 64
 
+// slot is one seqlock-guarded event cell: seq is even when the event
+// is stable (0 = never written), odd while a writer is mid-update.
+// Storing events by value keeps the hot emit path allocation-free —
+// the previous pointer-slot design boxed every event on the heap.
+type slot struct {
+	seq atomic.Uint64
+	ev  Event
+}
+
 // ring is one shard of the recorder. The cursor counts every claim
 // ever made; slot i of an event stream lives at i mod len(slots), so a
 // full ring overwrites its oldest entry (drop-oldest). The pad keeps
 // neighbouring cursors off one cache line.
 type ring struct {
-	cur   atomic.Uint64
-	slots []atomic.Pointer[Event]
-	_     [64]byte
+	cur       atomic.Uint64
+	contended atomic.Uint64 // events dropped to same-slot writer collisions
+	slots     []slot
+	_         [64]byte
 }
 
 // Tracer is the flight recorder. The zero value and the nil pointer
@@ -218,7 +228,7 @@ func New(capacity int) *Tracer {
 	}
 	t := &Tracer{rings: make([]ring, nrings)}
 	for i := range t.rings {
-		t.rings[i].slots = make([]atomic.Pointer[Event], per)
+		t.rings[i].slots = make([]slot, per)
 	}
 	now := time.Now()
 	t.epoch.Store(&now)
@@ -247,8 +257,9 @@ func (t *Tracer) Reset() {
 	for i := range t.rings {
 		r := &t.rings[i]
 		r.cur.Store(0)
+		r.contended.Store(0)
 		for j := range r.slots {
-			r.slots[j].Store(nil)
+			r.slots[j].seq.Store(0)
 		}
 	}
 	now := time.Now()
@@ -307,13 +318,22 @@ func (t *Tracer) since(at time.Time) int64 {
 	return ns
 }
 
-// emit claims a slot in the caller's shard and publishes the event.
-// One atomic add plus one atomic pointer store: last-writer-wins on a
-// wrapped slot implements drop-oldest without any lock.
+// emit claims a slot in the caller's shard and publishes the event
+// under the slot's seqlock: CAS the sequence even→odd, write the value,
+// store seq+2. A failed CAS means another writer lapped the ring onto
+// the same slot at the same instant; the event is dropped (and counted)
+// rather than spinning — the recorder must never stall a fork path.
 func (t *Tracer) emit(e Event) {
 	r := t.shard()
 	i := r.cur.Add(1) - 1
-	r.slots[i&uint64(len(r.slots)-1)].Store(&e)
+	s := &r.slots[i&uint64(len(r.slots)-1)]
+	seq := s.seq.Load()
+	if seq&1 != 0 || !s.seq.CompareAndSwap(seq, seq+1) {
+		r.contended.Add(1)
+		return
+	}
+	s.ev = e
+	s.seq.Store(seq + 2)
 }
 
 // shard picks a ring for the calling goroutine by hashing its stack
@@ -351,10 +371,20 @@ func (t *Tracer) Snapshot() Snapshot {
 		if n := uint64(len(r.slots)); cur > n {
 			s.Dropped += cur - n
 		}
+		s.Dropped += r.contended.Load()
 		for j := range r.slots {
-			if e := r.slots[j].Load(); e != nil {
-				s.Events = append(s.Events, *e)
+			sl := &r.slots[j]
+			// Seqlock read: take a copy only when the sequence is a
+			// nonzero even value and unchanged across the read.
+			s1 := sl.seq.Load()
+			if s1 == 0 || s1&1 != 0 {
+				continue
 			}
+			e := sl.ev
+			if sl.seq.Load() != s1 {
+				continue
+			}
+			s.Events = append(s.Events, e)
 		}
 	}
 	sortEvents(s.Events)
