@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-gate pressure trace chaos
+.PHONY: all build vet test race bench bench-json bench-gate pressure trace chaos slo
 
 # Newest committed curated baseline (BENCH_<date>.json sorts by date).
 # *_pre.json files are point-in-time "before" records kept for the
@@ -20,10 +20,11 @@ test:
 	$(GO) test ./...
 
 # The concurrency-sensitive packages: the parallel fork engine, the
-# sharded allocator, the lock-free flight recorder, and everything
-# between them.
+# sharded allocator, the lock-free flight recorder, the socket serving
+# tier (concurrent clients + snapshotter forks + reclaim), and
+# everything between them.
 race:
-	$(GO) test -race ./internal/core/... ./internal/mem/... ./internal/trace/...
+	$(GO) test -race ./internal/core/... ./internal/mem/... ./internal/trace/... ./internal/apps/serve/... ./internal/slo/...
 
 # Fixed iteration count: several benchmarks do expensive unmeasured
 # setup per iteration (see bench_test.go).
@@ -68,6 +69,18 @@ chaos:
 	$(GO) run -race ./cmd/odf-chaos -seed 1 -ops 10000 -p 0.01
 	$(GO) run -race ./cmd/odf-chaos -seed 2 -ops 2500 -p 0.01
 	$(GO) run -race ./cmd/odf-chaos -seed 3 -ops 2500 -p 0.01
+
+# Tail-latency SLO sweep over real TCP sockets: the kv app serves
+# fixed isochronous load while periodic snapshots fork the serving
+# process; p50/p99/p999/max are reported split into fork-coincident
+# and quiescent samples. Writes the odf-slo/v1 JSON (transient,
+# gitignored — curated records are committed as SLO_<date>.json) and
+# validates it. The headline is the classic-vs-on-demand contrast in
+# fork-coincident p99 at the SAME offered rate; -trials 5 rejects
+# shared-runner stall windows (see internal/slo.HarnessConfig.Trials).
+slo:
+	$(GO) run ./cmd/odf-slo -short -trials 5 -out slo_out.json
+	$(GO) run ./cmd/odf-slo -check slo_out.json
 
 # Flight-recorder artifact: record a fork/fault/reclaim window, export
 # it as Chrome trace-event JSON (load trace.json in ui.perfetto.dev),

@@ -453,7 +453,7 @@ func BenchmarkTab5RedisFork(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := st.Snapshot(nil); err != nil {
+				if err := st.SnapshotNow(nil); err != nil {
 					b.Fatal(err)
 				}
 				b.StopTimer()

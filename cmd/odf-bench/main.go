@@ -8,7 +8,7 @@
 // Experiments: fig2 fig3 fig4 fig7 fig8 fig9 fig10
 //
 //	tab1 tab2 tab3 tab45 tab67 ablation hugeext memsave
-//	parfork pressure trace all
+//	parfork slo pressure trace all
 //
 // Flags scale the runs; defaults keep a full "all" pass in the minutes
 // range. Absolute numbers differ from the paper's bare-metal testbed;
@@ -181,6 +181,10 @@ func registry() []experiment {
 		}},
 		{"parfork", "parallel fork engine + sharded allocator scaling", func() (string, error) {
 			_, s, err := experiments.RunParFork(maxBytes, *reps, *workers)
+			return s, err
+		}},
+		{"slo", "tail latency under snapshot-while-serving over real TCP", func() (string, error) {
+			_, s, err := experiments.RunSLO(scale())
 			return s, err
 		}},
 		{"pressure", "fork latency under frame-limit pressure, swap off/on", func() (string, error) {

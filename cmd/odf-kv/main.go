@@ -6,6 +6,12 @@
 // Usage:
 //
 //	odf-kv [-mode classic|ondemand] [-mem MiB] [-keys N]
+//	odf-kv -listen 127.0.0.1:6380 [-snap-every dur]
+//
+// With -listen the store serves the length-prefixed binary protocol
+// over a real TCP socket (the serve tier the SLO harness drives), with
+// an optional background snapshotter; without it, an interactive
+// Redis-style shell runs on stdin.
 //
 // Commands (stdin):
 //
@@ -23,18 +29,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"repro/internal/apps/kvstore"
+	"repro/internal/apps/serve"
 	"repro/internal/core"
 	"repro/internal/kernel"
 )
 
 var (
-	modeArg = flag.String("mode", "ondemand", "snapshot fork engine: classic|ondemand")
-	memMiB  = flag.Uint64("mem", 128, "store arena size in MiB")
-	keys    = flag.Int("keys", 10000, "keys preloaded at startup")
+	modeArg   = flag.String("mode", "ondemand", "snapshot fork engine: classic|ondemand")
+	memMiB    = flag.Uint64("mem", 128, "store arena size in MiB")
+	keys      = flag.Int("keys", 10000, "keys preloaded at startup")
+	listen    = flag.String("listen", "", "serve the binary kv protocol on this TCP address instead of the stdin shell")
+	snapEvery = flag.Duration("snap-every", 0, "with -listen: background snapshot cadence (0 = on demand only)")
 )
 
 func main() {
@@ -48,6 +58,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "odf-kv: unknown -mode %q\n", *modeArg)
 		os.Exit(2)
+	}
+
+	if *listen != "" {
+		if err := serveTCP(mode); err != nil {
+			fmt.Fprintln(os.Stderr, "odf-kv:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	k := kernel.New()
@@ -115,7 +133,7 @@ func main() {
 			dumps++
 			out := k.FS().Create(fmt.Sprintf("dump-%d.rdb", dumps))
 			t0 := time.Now()
-			if err := store.Snapshot(out); err != nil {
+			if err := store.SnapshotNow(out); err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
@@ -133,6 +151,46 @@ func main() {
 			fmt.Println("commands: set get del bgsave info maps quit")
 		}
 	}
+}
+
+// serveTCP runs the store behind a real TCP listener speaking the
+// length-prefixed binary protocol, with an optional background
+// snapshotter, until interrupted.
+func serveTCP(mode core.ForkMode) error {
+	k := kernel.New()
+	app, err := serve.NewKV(k, serve.KVConfig{
+		Config: kvstore.Config{
+			ArenaBytes:      *memMiB << 20,
+			TableCap:        tableCap(*keys),
+			Mode:            mode,
+			SnapshotEvery:   *snapEvery,
+			SnapshotIODelay: time.Millisecond,
+		},
+		Keys:     *keys,
+		ValueLen: 64,
+	})
+	if err != nil {
+		return err
+	}
+	defer app.Close()
+	if err := app.Warm(); err != nil {
+		return err
+	}
+	srv, err := serve.Listen(app, serve.BinaryCodec{}, *listen)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("odf-kv listening on %s: %d keys preloaded, snapshot engine %s\n",
+		srv.Addr(), *keys, mode)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	tot := app.Snapshotter().Totals()
+	fmt.Printf("\nserved %d requests; %d snapshots, fork mean %v\n",
+		srv.Served(), tot.Snapshots, tot.ForkMean.Round(time.Microsecond))
+	return nil
 }
 
 func tableCap(keys int) uint64 {

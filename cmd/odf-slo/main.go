@@ -1,0 +1,127 @@
+// Command odf-slo runs the tail-latency SLO harness: it boots an app
+// (kvstore or httpd) behind a real TCP listener, calibrates socket
+// capacity, then offers fixed isochronous load while periodic
+// snapshots fork the serving process, and reports p50/p99/p999/max
+// split into fork-coincident and quiescent samples — the paper's
+// Redis snapshot-while-serving figure as a reproducible experiment.
+//
+// Usage:
+//
+//	odf-slo [-app kv|httpd] [-mode both|classic|ondemand]
+//	        [-conns N] [-ratios 0.3,0.6] [-n reqs] [-snap-every dur]
+//	        [-short] [-out file.json]
+//	odf-slo -check file.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/slo"
+)
+
+var (
+	appArg    = flag.String("app", "kv", "serving app: kv|httpd")
+	modeArg   = flag.String("mode", "both", "fork engines to sweep: both|classic|ondemand")
+	conns     = flag.Int("conns", 4, "concurrent client connections")
+	ratiosArg = flag.String("ratios", "0.6", "offered load as comma-separated fractions of calibrated capacity")
+	requests  = flag.Int("n", 4000, "measured requests per run")
+	snapEvery = flag.Duration("snap-every", 40*time.Millisecond, "snapshot fork cadence during measured runs")
+	trials    = flag.Int("trials", 3, "measured phases per cell; lowest fork-coincident p99 is reported")
+	arenaMiB  = flag.Int("mem", 256, "kv arena MiB")
+	short     = flag.Bool("short", false, "small fast sweep (CI preset)")
+	out       = flag.String("out", "", "write odf-slo/v1 JSON here")
+	checkArg  = flag.String("check", "", "validate an odf-slo/v1 JSON file and exit")
+)
+
+func main() {
+	flag.Parse()
+	if *checkArg != "" {
+		res, err := slo.Load(*checkArg)
+		if err == nil {
+			err = slo.Check(res)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "odf-slo: check %s: %v\n", *checkArg, err)
+			os.Exit(1)
+		}
+		fmt.Printf("odf-slo: %s: %d runs OK\n", *checkArg, len(res.Runs))
+		return
+	}
+
+	var modes []core.ForkMode
+	switch *modeArg {
+	case "both":
+		modes = []core.ForkMode{core.ForkClassic, core.ForkOnDemand}
+	case "classic":
+		modes = []core.ForkMode{core.ForkClassic}
+	case "ondemand":
+		modes = []core.ForkMode{core.ForkOnDemand}
+	default:
+		fmt.Fprintf(os.Stderr, "odf-slo: unknown -mode %q\n", *modeArg)
+		os.Exit(2)
+	}
+	var ratios []float64
+	for _, f := range strings.Split(*ratiosArg, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "odf-slo: bad -ratios entry %q\n", f)
+			os.Exit(2)
+		}
+		ratios = append(ratios, v)
+	}
+
+	cfg := slo.HarnessConfig{
+		App:           *appArg,
+		Modes:         modes,
+		Conns:         *conns,
+		LoadRatios:    ratios,
+		Requests:      *requests,
+		Trials:        *trials,
+		SnapshotEvery: *snapEvery,
+		ArenaMiB:      *arenaMiB,
+	}
+	// The arena is NOT shrunk in -short: the classic fork pause scales
+	// with it, and that pause over the noise floor is the experiment.
+	if *short {
+		cfg.Conns = 2
+		cfg.Requests = 4000
+		cfg.CalibrateN = 1000
+	}
+
+	res, err := slo.RunHarness(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "odf-slo: %v\n", err)
+		os.Exit(1)
+	}
+	if err := slo.Check(res); err != nil {
+		fmt.Fprintf(os.Stderr, "odf-slo: self-check failed: %v\n", err)
+		os.Exit(1)
+	}
+	printResult(res)
+	if *out != "" {
+		if err := res.Save(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "odf-slo: save: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+}
+
+func printResult(r *slo.Result) {
+	fmt.Printf("SLO sweep · app=%s protocol=%s conns=%d\n\n", r.App, r.Protocol, r.Conns)
+	fmt.Printf("%-16s %8s %8s %9s %9s %9s %10s %7s %16s %13s\n",
+		"mode", "offered", "achieved", "p50us", "p99us", "p999us", "maxus", "forks", "fork-coinc p99", "quiesc p99")
+	for _, run := range r.Runs {
+		fmt.Printf("%-16s %8.0f %8.0f %9.1f %9.1f %9.1f %10.1f %7d %13.1fus(%d) %10.1fus\n",
+			run.Mode, run.OfferedRPS, run.AchievedRPS,
+			run.Latency.P50US, run.Latency.P99US, run.Latency.P999US, run.Latency.MaxUS,
+			run.Snapshots, run.ForkCoincident.P99US, run.ForkCoincident.Count,
+			run.Quiescent.P99US)
+	}
+}

@@ -41,6 +41,12 @@ func main() {
 		}
 		fmt.Printf("[%s] %d executions in 3s (%.0f execs/s), %d edges, corpus %d\n",
 			mode, execs, f.Throughput.MeanRate(), f.GlobalEdges(), f.CorpusSize())
+		// Per-execution fork pauses, aggregated by the snapshotter that
+		// drives the fork server.
+		tot := f.Snapshotter().Totals()
+		fmt.Printf("[%s] fork pause: mean %v, max %v over %d forks\n",
+			mode, tot.ForkMean.Round(time.Microsecond),
+			tot.ForkMax.Round(time.Microsecond), tot.Snapshots)
 		f.Close()
 	}
 }

@@ -47,15 +47,15 @@ func main() {
 	}
 	defer cp.Release()
 
-	// Compare warm-start mechanisms.
-	warmViaClassic := func() (*odfork.Process, time.Duration) {
-		t0 := time.Now()
-		p, err := runtime.Fork(odfork.WithMode(odfork.Classic))
-		if err != nil {
-			log.Fatal(err)
-		}
-		return p, time.Since(t0)
+	// Compare warm-start mechanisms. The classic side goes through the
+	// typed snapshot-serving API: an on-demand Snapshotter pinned to the
+	// classic engine, whose per-fork stats are the warm-start cost.
+	classic, err := runtime.StartSnapshotter(0,
+		odfork.WithSnapshotMode(odfork.Classic))
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer classic.Stop()
 	warmViaCheckpoint := func() (*odfork.Process, time.Duration) {
 		t0 := time.Now()
 		p, err := cp.Spawn()
@@ -67,10 +67,21 @@ func main() {
 
 	fmt.Println("\ninvocation  classic-fork  odf-checkpoint")
 	for i := 0; i < 5; i++ {
-		pc, dc := warmViaClassic()
+		// The classic invocation runs as snapshot-child work; the child
+		// exits when the closure returns.
+		st, err := classic.SnapshotSync(func(p *odfork.Process) error {
+			var buf [64]byte
+			if err := p.ReadAt(buf[:], base); err != nil {
+				return err
+			}
+			return p.WriteAt([]byte("invocation-private state"), base)
+		})
+		if err != nil || st.Err != nil {
+			log.Fatal(err, st.Err)
+		}
 		po, do := warmViaCheckpoint()
-		// Each invocation reads some runtime state and writes its own
-		// scratch — isolated from every other invocation.
+		// The checkpoint invocation does the same work, isolated from
+		// every other invocation.
 		var buf [64]byte
 		if err := po.ReadAt(buf[:], base); err != nil {
 			log.Fatal(err)
@@ -78,10 +89,14 @@ func main() {
 		if err := po.WriteAt([]byte("invocation-private state"), base); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%10d  %12v  %14v\n", i, dc.Round(time.Microsecond), do.Round(time.Microsecond))
-		pc.Exit()
+		fmt.Printf("%10d  %12v  %14v\n", i,
+			st.ForkLatency.Round(time.Microsecond), do.Round(time.Microsecond))
 		po.Exit()
 	}
+	tot := classic.Totals()
+	fmt.Printf("\nclassic warm starts: mean %v, max %v over %d forks\n",
+		tot.ForkMean.Round(time.Microsecond), tot.ForkMax.Round(time.Microsecond),
+		tot.Snapshots)
 
 	// The runtime itself is untouched by invocations.
 	var check [1]byte

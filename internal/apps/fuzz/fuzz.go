@@ -177,6 +177,7 @@ type Config struct {
 type Fuzzer struct {
 	kern   *kernel.Kernel
 	parent *kernel.Process
+	snap   *kernel.Snapshotter
 	db     *sqlike.DB
 	mode   core.ForkMode
 	rng    *rand.Rand
@@ -216,9 +217,18 @@ func NewFuzzer(k *kernel.Kernel, cfg Config) (*Fuzzer, error) {
 		parent.Exit()
 		return nil, err
 	}
+	// Every execution forks through a Snapshotter handle: the typed
+	// fork-serving API replaces the hand-rolled Fork/Exit/Wait loop and
+	// aggregates the fork-pause telemetry Figure 9 narrates.
+	snap, err := parent.StartSnapshotter(0, kernel.WithSnapshotMode(cfg.Mode))
+	if err != nil {
+		parent.Exit()
+		return nil, err
+	}
 	f := &Fuzzer{
 		kern:       k,
 		parent:     parent,
+		snap:       snap,
 		db:         db,
 		mode:       cfg.Mode,
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
@@ -262,7 +272,14 @@ func (f *Fuzzer) nextInput() []byte {
 }
 
 // Close shuts the fork server down.
-func (f *Fuzzer) Close() { f.parent.Exit() }
+func (f *Fuzzer) Close() {
+	f.snap.Stop()
+	f.parent.Exit()
+}
+
+// Snapshotter exposes the per-execution fork engine's telemetry
+// (pause mean/stddev/max across the whole campaign).
+func (f *Fuzzer) Snapshotter() *kernel.Snapshotter { return f.snap }
 
 // CorpusSize returns the number of interesting inputs retained.
 func (f *Fuzzer) CorpusSize() int { return len(f.corpus) }
@@ -300,17 +317,15 @@ func (f *Fuzzer) mutate(input []byte) []byte {
 func (f *Fuzzer) RunOne() error {
 	input := f.nextInput()
 
-	child, err := f.parent.Fork(kernel.WithMode(f.mode))
+	var cov Coverage
+	st, err := f.snap.SnapshotSync(func(child *kernel.Process) error {
+		return RunTarget(f.db.Clone(child), input, &cov)
+	})
 	if err != nil {
 		return fmt.Errorf("fuzz: fork: %w", err)
 	}
-	cdb := f.db.Clone(child)
-	var cov Coverage
-	runErr := RunTarget(cdb, input, &cov)
-	child.Exit()
-	child.Wait()
-	if runErr != nil {
-		return fmt.Errorf("fuzz: target: %w", runErr)
+	if st.Err != nil {
+		return fmt.Errorf("fuzz: target: %w", st.Err)
 	}
 
 	f.Execs++

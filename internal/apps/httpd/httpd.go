@@ -114,6 +114,11 @@ func (s *Server) spawnWorker() (*worker, error) {
 // Workers returns the pool size.
 func (s *Server) Workers() int { return len(s.workers) }
 
+// Master returns the control process — the fork source for workers and
+// the natural target for a Snapshotter (a periodic scoreboard dump or
+// graceful-restart probe).
+func (s *Server) Master() *kernel.Process { return s.master }
+
 // Stop terminates the pool and the master.
 func (s *Server) Stop() {
 	for _, w := range s.workers {

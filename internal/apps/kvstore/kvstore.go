@@ -23,6 +23,7 @@ type Store struct {
 	proc  *kernel.Process
 	arena *simalloc.Arena
 	table *simalloc.HashTable
+	snap  *kernel.Snapshotter
 
 	mode core.ForkMode
 	// SnapshotThreshold is the "save after N changed keys" config
@@ -30,10 +31,12 @@ type Store struct {
 	SnapshotThreshold int
 	dirty             int
 
-	// ForkTimes records the duration of each snapshot fork — the Redis
-	// latest_fork_usec metric of Table 5.
+	// ForkTimes records the duration of each snapshot fork taken from
+	// the serving path (SnapshotNow and threshold-triggered saves) — the
+	// Redis latest_fork_usec metric of Table 5. Timer-driven snapshots
+	// are aggregated in Snapshotter().Totals() instead, since this
+	// sample is not safe to append from a background goroutine.
 	ForkTimes stats.Sample
-	snapshots int
 	ioDelay   time.Duration
 }
 
@@ -43,6 +46,11 @@ type Config struct {
 	TableCap   uint64        // hash buckets (power of two)
 	Mode       core.ForkMode // fork engine used for snapshots
 	Threshold  int           // changed keys per snapshot (<=0: never)
+	// SnapshotEvery runs a background BGSAVE-style snapshot on this
+	// period, the "periodic snapshots under steady load" setup of the
+	// paper's Redis experiment. Zero means snapshots happen only on
+	// demand (SnapshotNow) or via Threshold.
+	SnapshotEvery time.Duration
 	// SnapshotIODelay throttles the child serializer: after each batch
 	// of buckets it sleeps this long, modelling the disk-bound child
 	// Redis runs on a spare core. Without it the child's memory scan
@@ -62,7 +70,7 @@ func New(k *kernel.Kernel, cfg Config) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{
+	s := &Store{
 		kern:              k,
 		proc:              proc,
 		arena:             arena,
@@ -70,20 +78,41 @@ func New(k *kernel.Kernel, cfg Config) (*Store, error) {
 		mode:              cfg.Mode,
 		SnapshotThreshold: cfg.Threshold,
 		ioDelay:           cfg.SnapshotIODelay,
-	}, nil
+	}
+	snap, err := proc.StartSnapshotter(cfg.SnapshotEvery,
+		kernel.WithSnapshotMode(cfg.Mode),
+		kernel.WithSnapshotChild(s.serializer(nil)))
+	if err != nil {
+		proc.Exit()
+		return nil, err
+	}
+	s.snap = snap
+	return s, nil
 }
 
 // Process returns the server process.
 func (s *Store) Process() *kernel.Process { return s.proc }
 
+// Snapshotter returns the store's snapshot engine — the fork epoch it
+// exposes is how the serving tier tags requests as fork-coincident.
+func (s *Store) Snapshotter() *kernel.Snapshotter { return s.snap }
+
+// Mode returns the fork engine used for snapshots.
+func (s *Store) Mode() core.ForkMode { return s.mode }
+
 // Len returns the number of keys.
 func (s *Store) Len() uint64 { return s.table.Len() }
 
-// Snapshots returns how many snapshots have been taken.
-func (s *Store) Snapshots() int { return s.snapshots }
+// Snapshots returns how many snapshots have been taken (on-demand,
+// threshold-triggered, and timer-driven alike).
+func (s *Store) Snapshots() int { return int(s.snap.Snapshots()) }
 
-// Close terminates the server process.
-func (s *Store) Close() { s.proc.Exit() }
+// Close stops the snapshotter (waiting out in-flight serializer
+// children) and terminates the server process.
+func (s *Store) Close() {
+	s.snap.Stop()
+	s.proc.Exit()
+}
 
 // Populate loads n keys with valSize-byte values, the pre-experiment
 // data load (the paper uses 996 MB).
@@ -115,7 +144,7 @@ func (s *Store) Set(k, v []byte) (bool, error) {
 	s.dirty++
 	if s.SnapshotThreshold > 0 && s.dirty >= s.SnapshotThreshold {
 		s.dirty = 0
-		if err := s.Snapshot(nil); err != nil {
+		if err := s.SnapshotNow(nil); err != nil {
 			return false, err
 		}
 		return true, nil
@@ -137,28 +166,32 @@ func (s *Store) Delete(k []byte) (bool, error) {
 	return ok, err
 }
 
-// Snapshot forks the server and has the child serialize the table into
-// out (discarded when nil) on a background goroutine, so the parent —
-// like Redis — is blocked only for the duration of the fork call
-// itself. The fork duration is recorded in ForkTimes.
-func (s *Store) Snapshot(out *fs.File) error {
-	start := time.Now()
-	child, err := s.proc.Fork(kernel.WithMode(s.mode))
-	elapsed := time.Since(start)
+// SnapshotNow forks the server through its Snapshotter and has the
+// child serialize the table into out (discarded when nil) on a
+// background goroutine, so the parent — like Redis — is blocked only
+// for the duration of the fork call itself. The fork duration is
+// recorded in ForkTimes.
+func (s *Store) SnapshotNow(out *fs.File) error {
+	st, err := s.snap.SnapshotWith(s.serializer(out))
 	if err != nil {
 		return fmt.Errorf("kvstore: snapshot fork: %w", err)
 	}
-	s.ForkTimes.AddDuration(elapsed)
-	s.snapshots++
+	s.ForkTimes.AddDuration(st.ForkLatency)
+	return nil
+}
 
-	childArena := s.arena.Clone(child)
-	childTable := s.table.Clone(childArena)
+// serializer builds the child-side dump routine for one snapshot. It
+// binds the table layout to the child only through View handles —
+// immutable layout fields plus the child's frozen copy-on-write memory
+// — because the routine runs on a background goroutine while the
+// parent keeps allocating and inserting.
+func (s *Store) serializer(out *fs.File) func(*kernel.Process) error {
 	ioDelay := s.ioDelay
-	go func() {
-		defer child.Exit()
+	return func(child *kernel.Process) error {
+		table := s.table.View(s.arena.View(child))
 		var off uint64
 		entries := 0
-		_ = childTable.Range(func(k, v []byte) bool {
+		return table.Range(func(k, v []byte) bool {
 			if out != nil {
 				if _, err := out.WriteAt(k, off); err != nil {
 					return false
@@ -174,9 +207,16 @@ func (s *Store) Snapshot(out *fs.File) error {
 			}
 			return true
 		})
-	}()
-	return nil
+	}
 }
+
+// Snapshot forks the server and serializes the table into out on a
+// background goroutine.
+//
+// Deprecated: Use SnapshotNow, which routes the snapshot through the
+// store's Snapshotter so fork pauses, epochs and totals are tracked in
+// one place. Snapshot remains as a thin equivalent wrapper.
+func (s *Store) Snapshot(out *fs.File) error { return s.SnapshotNow(out) }
 
 // WaitSnapshots blocks until all snapshot children have exited, so
 // tests and experiments can check for leaks.

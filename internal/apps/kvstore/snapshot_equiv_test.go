@@ -1,0 +1,71 @@
+package kvstore
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/kernel"
+)
+
+// readAll drains a simulated file.
+func readAll(t *testing.T, f *fs.File) []byte {
+	t.Helper()
+	data := make([]byte, f.Size())
+	if _, err := f.ReadAt(data, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestSnapshotEquivalence pins the deprecation contract: the legacy
+// Snapshot entry point must produce byte-identical dumps and identical
+// fork bookkeeping to SnapshotNow, its replacement.
+func TestSnapshotEquivalence(t *testing.T) {
+	mk := func() (*kernel.Kernel, *Store) {
+		k := kernel.New()
+		s, err := New(k, testConfig(core.ForkOnDemand))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Populate(200, 48); err != nil {
+			t.Fatal(err)
+		}
+		return k, s
+	}
+	oldKern, oldStore := mk()
+	newKern, newStore := mk()
+	defer oldStore.Close()
+	defer newStore.Close()
+
+	oldOut := oldKern.FS().Create("old.rdb")
+	newOut := newKern.FS().Create("new.rdb")
+	if err := oldStore.Snapshot(oldOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := newStore.SnapshotNow(newOut); err != nil {
+		t.Fatal(err)
+	}
+	oldStore.WaitSnapshots()
+	newStore.WaitSnapshots()
+
+	oldDump, newDump := readAll(t, oldOut), readAll(t, newOut)
+	if len(oldDump) == 0 {
+		t.Fatal("legacy Snapshot produced an empty dump")
+	}
+	if !bytes.Equal(oldDump, newDump) {
+		t.Errorf("dumps differ: legacy %d bytes, SnapshotNow %d bytes",
+			len(oldDump), len(newDump))
+	}
+	for name, s := range map[string]*Store{"legacy": oldStore, "new": newStore} {
+		if s.Snapshots() != 1 || s.ForkTimes.N() != 1 {
+			t.Errorf("%s: snapshots=%d forks=%d, want 1/1",
+				name, s.Snapshots(), s.ForkTimes.N())
+		}
+		if last, ok := s.Snapshotter().LastSnapshot(); !ok || last.Err != nil {
+			t.Errorf("%s: LastSnapshot = %+v ok=%v", name, last, ok)
+		}
+	}
+}

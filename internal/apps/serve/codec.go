@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ResponseFlags ride on every response, whichever wire protocol
+// carries them.
+type ResponseFlags uint8
+
+const (
+	// FlagForkCoincident marks a response whose handling overlapped a
+	// snapshot fork — the server-side half of the SLO harness's
+	// tail-latency attribution.
+	FlagForkCoincident ResponseFlags = 1 << 0
+	// FlagAppError marks an application-level failure; the payload is
+	// the error text.
+	FlagAppError ResponseFlags = 1 << 1
+)
+
+// Codec frames request and response payloads on a connection. One
+// codec value serves both roles: the server reads requests and writes
+// responses; the load generator writes requests and reads responses.
+// Implementations must be stateless (value receivers shared across
+// connections).
+type Codec interface {
+	Name() string
+	// Server side.
+	ReadRequest(r *bufio.Reader) ([]byte, error)
+	WriteResponse(w *bufio.Writer, payload []byte, flags ResponseFlags) error
+	// Client side.
+	WriteRequest(w *bufio.Writer, payload []byte) error
+	ReadResponse(r *bufio.Reader) ([]byte, ResponseFlags, error)
+}
+
+// NewReader and NewWriter size the buffered connection endpoints the
+// way the server does; clients (tests, the SLO generator) use them so
+// both sides agree on framing-friendly buffer sizes.
+func NewReader(r io.Reader) *bufio.Reader { return bufio.NewReaderSize(r, 16<<10) }
+
+// NewWriter is NewReader's write-side counterpart.
+func NewWriter(w io.Writer) *bufio.Writer { return bufio.NewWriterSize(w, 16<<10) }
+
+func newReader(r io.Reader) *bufio.Reader { return NewReader(r) }
+func newWriter(w io.Writer) *bufio.Writer { return NewWriter(w) }
+
+// maxFrame bounds a single framed payload; larger lengths indicate a
+// corrupt or hostile stream.
+const maxFrame = 1 << 24
+
+// BinaryCodec is the kv store's wire protocol:
+//
+//	request:  u32le payload length | payload
+//	response: u32le frame length   | flags u8 | payload
+//
+// (the response frame length counts the flags byte, so it is
+// 1+len(payload)).
+type BinaryCodec struct{}
+
+// Name identifies the protocol in schemas and flags.
+func (BinaryCodec) Name() string { return "binary" }
+
+// WriteRequest frames one request payload.
+func (BinaryCodec) WriteRequest(w *bufio.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadRequest reads one framed request payload; io.EOF at a frame
+// boundary is a clean end of stream.
+func (BinaryCodec) ReadRequest(r *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("serve: request frame of %d bytes", n)
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(r, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// WriteResponse frames one response payload with its flags.
+func (BinaryCodec) WriteResponse(w *bufio.Writer, payload []byte, flags ResponseFlags) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = byte(flags)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadResponse reads one framed response, returning its payload and
+// flags.
+func (BinaryCodec) ReadResponse(r *bufio.Reader) ([]byte, ResponseFlags, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 || n > maxFrame {
+		return nil, 0, fmt.Errorf("serve: response frame of %d bytes", n)
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(r, p); err != nil {
+		return nil, 0, err
+	}
+	return p[1:], ResponseFlags(p[0]), nil
+}
+
+// HTTPCodec speaks keep-alive HTTP/1.1 for the httpd app. A request
+// payload is the URL path (it must be CRLF- and space-free); the
+// response body is the raw payload, with the fork-coincidence flag in
+// the X-Odf-Fork-Coincident header and application errors mapped to
+// status 500.
+type HTTPCodec struct{}
+
+// Name identifies the protocol in schemas and flags.
+func (HTTPCodec) Name() string { return "http" }
+
+// WriteRequest emits one GET with the payload as its path.
+func (HTTPCodec) WriteRequest(w *bufio.Writer, payload []byte) error {
+	if _, err := fmt.Fprintf(w, "GET %s HTTP/1.1\r\nHost: odf\r\n\r\n", payload); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ReadRequest parses one request, returning the path as the payload.
+func (HTTPCodec) ReadRequest(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	if err := discardHeaders(r); err != nil {
+		return nil, err
+	}
+	parts := strings.Fields(strings.TrimRight(line, "\r\n"))
+	if len(parts) != 3 || parts[0] != "GET" {
+		return nil, fmt.Errorf("serve: malformed request line %q", line)
+	}
+	return []byte(parts[1]), nil
+}
+
+// WriteResponse emits one HTTP/1.1 response carrying the payload.
+func (HTTPCodec) WriteResponse(w *bufio.Writer, payload []byte, flags ResponseFlags) error {
+	status := "200 OK"
+	if flags&FlagAppError != 0 {
+		status = "500 Internal Server Error"
+	}
+	fork := 0
+	if flags&FlagForkCoincident != 0 {
+		fork = 1
+	}
+	if _, err := fmt.Fprintf(w,
+		"HTTP/1.1 %s\r\nX-Odf-Fork-Coincident: %d\r\nContent-Length: %d\r\n\r\n",
+		status, fork, len(payload)); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadResponse parses one response into payload and flags.
+func (HTTPCodec) ReadResponse(r *bufio.Reader) ([]byte, ResponseFlags, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return nil, 0, err
+	}
+	var flags ResponseFlags
+	if !strings.HasPrefix(line, "HTTP/1.1 ") {
+		return nil, 0, fmt.Errorf("serve: malformed status line %q", line)
+	}
+	if !strings.HasPrefix(line[9:], "200") {
+		flags |= FlagAppError
+	}
+	length := -1
+	for {
+		h, err := r.ReadString('\n')
+		if err != nil {
+			return nil, 0, err
+		}
+		h = strings.TrimRight(h, "\r\n")
+		if h == "" {
+			break
+		}
+		name, val, ok := strings.Cut(h, ":")
+		if !ok {
+			return nil, 0, fmt.Errorf("serve: malformed header %q", h)
+		}
+		val = strings.TrimSpace(val)
+		switch strings.ToLower(name) {
+		case "content-length":
+			if length, err = strconv.Atoi(val); err != nil {
+				return nil, 0, fmt.Errorf("serve: content-length %q", val)
+			}
+		case "x-odf-fork-coincident":
+			if val == "1" {
+				flags |= FlagForkCoincident
+			}
+		}
+	}
+	if length < 0 || length > maxFrame {
+		return nil, 0, fmt.Errorf("serve: response without a sane Content-Length (%d)", length)
+	}
+	p := make([]byte, length)
+	if _, err := io.ReadFull(r, p); err != nil {
+		return nil, 0, err
+	}
+	return p, flags, nil
+}
+
+// discardHeaders consumes header lines up to and including the blank
+// line that ends them.
+func discardHeaders(r *bufio.Reader) error {
+	for {
+		h, err := r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		if h == "\r\n" || h == "\n" {
+			return nil
+		}
+	}
+}

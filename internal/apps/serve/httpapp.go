@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/apps/httpd"
+	"repro/internal/kernel"
+)
+
+// HTTPConfig sizes the Apache-prefork app.
+type HTTPConfig struct {
+	httpd.Config
+	// SnapshotEvery forks the master on this period — a periodic
+	// scoreboard-dump / graceful-restart probe. Zero leaves snapshots
+	// on-demand only. Master forks pause only the master (workers have
+	// their own address spaces), so httpd keeps the paper's negative
+	// result: mode barely matters once the pool is up.
+	SnapshotEvery time.Duration
+}
+
+// HTTPApp serves the prefork httpd through the App interface. Request
+// payloads are URL paths; the worker's synthesized document is the
+// response payload.
+type HTTPApp struct {
+	srv  *httpd.Server
+	snap *kernel.Snapshotter
+}
+
+// NewHTTP boots the master and its worker pool in k.
+func NewHTTP(k *kernel.Kernel, cfg HTTPConfig) (*HTTPApp, error) {
+	srv, err := httpd.Start(k, cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := srv.Master().StartSnapshotter(cfg.SnapshotEvery,
+		kernel.WithSnapshotMode(cfg.Mode))
+	if err != nil {
+		srv.Stop()
+		return nil, err
+	}
+	return &HTTPApp{srv: srv, snap: snap}, nil
+}
+
+// Name identifies the app.
+func (a *HTTPApp) Name() string { return "httpd" }
+
+// Server exposes the underlying prefork server (startup fork times,
+// recycle counts).
+func (a *HTTPApp) Server() *httpd.Server { return a.srv }
+
+// Warm is a no-op: the prefork pool is fully booted by NewHTTP.
+func (a *HTTPApp) Warm() error { return nil }
+
+// Handle serves one request on the next worker.
+func (a *HTTPApp) Handle(req []byte) ([]byte, error) { return a.srv.Handle(req) }
+
+// Snapshot forks the master once as a pure pause-time probe.
+func (a *HTTPApp) Snapshot() error {
+	_, err := a.snap.Snapshot()
+	return err
+}
+
+// Snapshotter exposes the master's snapshot engine.
+func (a *HTTPApp) Snapshotter() *kernel.Snapshotter { return a.snap }
+
+// Close stops snapshotting, the pool, and the master.
+func (a *HTTPApp) Close() error {
+	a.snap.Stop()
+	a.srv.Stop()
+	return nil
+}

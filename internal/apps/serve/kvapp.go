@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/apps/kvstore"
+	"repro/internal/kernel"
+)
+
+// The kv request payload is op-framed:
+//
+//	op u8 ('S' set, 'G' get, 'D' del) | klen u32le | key | value (set)
+//
+// and the response payload starts with a status byte (statusOK,
+// statusMiss) followed by the value on a GET hit. Protocol errors
+// (unknown op, truncated frame) surface as FlagAppError responses.
+const (
+	opSet = 'S'
+	opGet = 'G'
+	opDel = 'D'
+
+	// StatusOK is the response status for a successful SET/DEL or a
+	// GET hit.
+	StatusOK = 0
+	// StatusMiss is the response status for a GET/DEL on an absent key.
+	StatusMiss = 1
+)
+
+// EncodeSet builds a SET request payload.
+func EncodeSet(key, val []byte) []byte { return encodeKV(opSet, key, val) }
+
+// EncodeGet builds a GET request payload.
+func EncodeGet(key []byte) []byte { return encodeKV(opGet, key, nil) }
+
+// EncodeDel builds a DEL request payload.
+func EncodeDel(key []byte) []byte { return encodeKV(opDel, key, nil) }
+
+func encodeKV(op byte, key, val []byte) []byte {
+	p := make([]byte, 5+len(key)+len(val))
+	p[0] = op
+	binary.LittleEndian.PutUint32(p[1:], uint32(len(key)))
+	copy(p[5:], key)
+	copy(p[5+len(key):], val)
+	return p
+}
+
+// DecodeKVResponse splits a kv response payload into status and value.
+func DecodeKVResponse(p []byte) (status byte, val []byte, err error) {
+	if len(p) < 1 {
+		return 0, nil, fmt.Errorf("serve: empty kv response")
+	}
+	return p[0], p[1:], nil
+}
+
+// KVConfig sizes the Redis-like app.
+type KVConfig struct {
+	kvstore.Config
+	Keys     int // Warm preloads this many keys
+	ValueLen int // bytes per preloaded value
+}
+
+// KVApp serves the Redis-like store through the App interface.
+type KVApp struct {
+	st  *kvstore.Store
+	cfg KVConfig
+}
+
+// NewKV builds the store inside a fresh process of k. The store's
+// snapshotter (periodic when cfg.SnapshotEvery is set, threshold-
+// triggered via cfg.Threshold, on-demand always) is the app's.
+func NewKV(k *kernel.Kernel, cfg KVConfig) (*KVApp, error) {
+	st, err := kvstore.New(k, cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	return &KVApp{st: st, cfg: cfg}, nil
+}
+
+// Name identifies the app.
+func (a *KVApp) Name() string { return "kv" }
+
+// Store exposes the underlying kvstore for drivers that tune snapshot
+// policy mid-run (e.g. disabling the threshold during calibration).
+func (a *KVApp) Store() *kvstore.Store { return a.st }
+
+// Warm preloads Keys keys of ValueLen bytes.
+func (a *KVApp) Warm() error { return a.st.Populate(a.cfg.Keys, a.cfg.ValueLen) }
+
+// Handle serves one op-framed request.
+func (a *KVApp) Handle(req []byte) ([]byte, error) {
+	if len(req) < 5 {
+		return nil, fmt.Errorf("kv: truncated request (%d bytes)", len(req))
+	}
+	klen := binary.LittleEndian.Uint32(req[1:])
+	if uint64(5)+uint64(klen) > uint64(len(req)) {
+		return nil, fmt.Errorf("kv: key length %d exceeds frame", klen)
+	}
+	key := req[5 : 5+klen]
+	rest := req[5+klen:]
+	switch req[0] {
+	case opSet:
+		if _, err := a.st.Set(key, rest); err != nil {
+			return nil, err
+		}
+		return []byte{StatusOK}, nil
+	case opGet:
+		val, ok, err := a.st.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return []byte{StatusMiss}, nil
+		}
+		return append([]byte{StatusOK}, val...), nil
+	case opDel:
+		ok, err := a.st.Delete(key)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return []byte{StatusMiss}, nil
+		}
+		return []byte{StatusOK}, nil
+	default:
+		return nil, fmt.Errorf("kv: unknown op %#x", req[0])
+	}
+}
+
+// Snapshot takes one on-demand snapshot, discarding the dump.
+func (a *KVApp) Snapshot() error { return a.st.SnapshotNow(nil) }
+
+// Snapshotter exposes the store's snapshot engine.
+func (a *KVApp) Snapshotter() *kernel.Snapshotter { return a.st.Snapshotter() }
+
+// Close stops snapshotting and the store process.
+func (a *KVApp) Close() error {
+	a.st.Close()
+	return nil
+}

@@ -1,0 +1,349 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/apps/httpd"
+	"repro/internal/apps/kvstore"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/mem/addr"
+	"repro/internal/mem/vm"
+	"repro/internal/stats"
+)
+
+func testKVConfig(mode core.ForkMode) KVConfig {
+	return KVConfig{
+		Config: kvstore.Config{
+			ArenaBytes: 1 << 24,
+			TableCap:   1 << 12,
+			Mode:       mode,
+		},
+		Keys:     500,
+		ValueLen: 32,
+	}
+}
+
+// client is a test-side connection speaking the given codec.
+type client struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+	cd Codec
+}
+
+func dial(t *testing.T, srv *Server, cd Codec) *client {
+	t.Helper()
+	c, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return &client{c: c, br: newReader(c), bw: newWriter(c), cd: cd}
+}
+
+func (cl *client) roundTrip(t *testing.T, payload []byte) ([]byte, ResponseFlags) {
+	t.Helper()
+	if err := cl.cd.WriteRequest(cl.bw, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	resp, flags, err := cl.cd.ReadResponse(cl.br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, flags
+}
+
+func TestKVOverTCP(t *testing.T) {
+	k := kernel.New()
+	app, err := NewKV(k, testKVConfig(core.ForkOnDemand))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if err := app.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Listen(app, BinaryCodec{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := dial(t, srv, BinaryCodec{})
+	resp, flags := cl.roundTrip(t, EncodeSet([]byte("alpha"), []byte("beta")))
+	if flags&FlagAppError != 0 || len(resp) != 1 || resp[0] != StatusOK {
+		t.Fatalf("SET -> %v %q", flags, resp)
+	}
+	resp, _ = cl.roundTrip(t, EncodeGet([]byte("alpha")))
+	st, val, err := DecodeKVResponse(resp)
+	if err != nil || st != StatusOK || string(val) != "beta" {
+		t.Fatalf("GET -> %d %q %v", st, val, err)
+	}
+	// A warmed key is readable over the wire.
+	resp, _ = cl.roundTrip(t, EncodeGet(kvstore.Key(42)))
+	if st, val, _ := DecodeKVResponse(resp); st != StatusOK || len(val) != 32 {
+		t.Fatalf("GET warm key -> %d, %d bytes", st, len(val))
+	}
+	resp, _ = cl.roundTrip(t, EncodeDel([]byte("alpha")))
+	if resp[0] != StatusOK {
+		t.Fatalf("DEL -> %q", resp)
+	}
+	resp, _ = cl.roundTrip(t, EncodeGet([]byte("alpha")))
+	if resp[0] != StatusMiss {
+		t.Fatalf("GET after DEL -> %q", resp)
+	}
+	// Protocol errors are app-level failures, not connection teardowns.
+	resp, flags = cl.roundTrip(t, []byte{0xFF, 0, 0, 0, 0})
+	if flags&FlagAppError == 0 {
+		t.Fatalf("bad op accepted: %q", resp)
+	}
+	if _, flags = cl.roundTrip(t, EncodeGet([]byte("alpha"))); flags&FlagAppError != 0 {
+		t.Fatal("connection unusable after app error")
+	}
+	if srv.Served() < 6 {
+		t.Errorf("served = %d", srv.Served())
+	}
+}
+
+func TestHTTPOverTCP(t *testing.T) {
+	k := kernel.New()
+	app, err := NewHTTP(k, HTTPConfig{Config: httpd.Config{
+		ConfigBytes: 64 * addr.PageSize,
+		Workers:     2,
+		Mode:        core.ForkOnDemand,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	srv, err := Listen(app, HTTPCodec{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := dial(t, srv, HTTPCodec{})
+	// Keep-alive: several requests on one connection.
+	for i := 0; i < 3; i++ {
+		resp, flags := cl.roundTrip(t, []byte("/doc-000042"))
+		if flags&FlagAppError != 0 {
+			t.Fatalf("request %d failed: %q", i, resp)
+		}
+		if len(resp) == 0 || !bytes.Contains(resp, []byte("/doc-000042")) {
+			t.Fatalf("request %d: body %q does not echo path", i, resp)
+		}
+	}
+}
+
+// pausingApp is a stub App whose Handle blocks long enough for the
+// timer-driven snapshotter to fork mid-request — the deterministic way
+// to exercise the server's epoch probe (on a single CPU a fast Handle
+// essentially never overlaps a fork, because the CPU-bound fork only
+// starts while the server waits for the next request).
+type pausingApp struct {
+	p    *kernel.Process
+	snap *kernel.Snapshotter
+	wait time.Duration
+}
+
+func newPausingApp(t *testing.T, interval, wait time.Duration) *pausingApp {
+	t.Helper()
+	k := kernel.New()
+	p := k.NewProcess()
+	if _, err := p.Mmap(addr.PageSize*16, rwProt, vm.MapPrivate|vm.MapPopulate); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := p.StartSnapshotter(interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &pausingApp{p: p, snap: snap, wait: wait}
+}
+
+func (a *pausingApp) Name() string { return "pause" }
+func (a *pausingApp) Warm() error  { return nil }
+func (a *pausingApp) Handle(req []byte) ([]byte, error) {
+	time.Sleep(a.wait)
+	return req, nil
+}
+func (a *pausingApp) Snapshot() error {
+	_, err := a.snap.Snapshot()
+	return err
+}
+func (a *pausingApp) Snapshotter() *kernel.Snapshotter { return a.snap }
+func (a *pausingApp) Close() error {
+	a.snap.Stop()
+	a.p.Exit()
+	return nil
+}
+
+const rwProt = vm.ProtRead | vm.ProtWrite
+
+// TestForkCoincidenceTagging pins the epoch probe: a request whose
+// handling overlaps a snapshot fork comes back tagged, one that
+// doesn't stays clean.
+func TestForkCoincidenceTagging(t *testing.T) {
+	// Snapshots every 2ms, Handle blocks 20ms: every handled request
+	// spans several forks.
+	app := newPausingApp(t, 2*time.Millisecond, 20*time.Millisecond)
+	defer app.Close()
+	srv, err := Listen(app, BinaryCodec{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := dial(t, srv, BinaryCodec{})
+
+	tagged := 0
+	for i := 0; i < 10; i++ {
+		resp, flags := cl.roundTrip(t, []byte("ping"))
+		if string(resp) != "ping" {
+			t.Fatalf("echo = %q", resp)
+		}
+		if flags&FlagForkCoincident != 0 {
+			tagged++
+		}
+	}
+	if tagged < 8 { // first iterations can race the timer's first fire
+		t.Errorf("only %d/10 requests tagged across %d forks",
+			tagged, app.Snapshotter().Snapshots())
+	}
+	if app.Snapshotter().Snapshots() == 0 {
+		t.Fatal("timer snapshotter never forked")
+	}
+
+	// Control: no timer, no on-demand snapshots — the tag must stay
+	// clear.
+	quiet := newPausingApp(t, 0, 0)
+	defer quiet.Close()
+	qsrv, err := Listen(quiet, BinaryCodec{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qsrv.Close()
+	qcl := dial(t, qsrv, BinaryCodec{})
+	for i := 0; i < 50; i++ {
+		if _, flags := qcl.roundTrip(t, []byte("q")); flags&FlagForkCoincident != 0 {
+			t.Fatal("request tagged with no fork in flight")
+		}
+	}
+}
+
+// TestServerCloseDrains pins shutdown: Close unblocks connections
+// mid-read and waits for every goroutine.
+func TestServerCloseDrains(t *testing.T) {
+	k := kernel.New()
+	app, err := NewKV(k, testKVConfig(core.ForkOnDemand))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	srv, err := Listen(app, BinaryCodec{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park a few idle connections (blocked in ReadRequest).
+	for i := 0; i < 4; i++ {
+		dial(t, srv, BinaryCodec{})
+	}
+	time.Sleep(10 * time.Millisecond)
+	fin := make(chan error, 1)
+	go func() { fin <- srv.Close() }()
+	select {
+	case err := <-fin:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not drain idle connections")
+	}
+	if err := srv.Close(); err != ErrServerClosed {
+		t.Errorf("second Close = %v", err)
+	}
+}
+
+// TestRunLoopClosed exercises the closed-loop driver over the httpd
+// app (the Tables 6–7 regime).
+func TestRunLoopClosed(t *testing.T) {
+	res, err := RunLoop(LoopConfig{
+		New: func() (App, error) {
+			return NewHTTP(kernel.New(), HTTPConfig{Config: httpd.Config{
+				ConfigBytes: 64 * addr.PageSize,
+				Workers:     2,
+				Mode:        core.ForkOnDemand,
+			}})
+		},
+		NewRequest: func(rng *rand.Rand) func(i int) []byte {
+			return func(i int) []byte { return []byte(fmt.Sprintf("/doc-%08d", i)) }
+		},
+		Requests:    500,
+		Seed:        1,
+		Runs:        1,
+		Percentiles: []float64{50, 99},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.App != "httpd" || res.MeanRate <= 0 || res.Percentiles[50] <= 0 {
+		t.Fatalf("implausible closed-loop result: %+v", res)
+	}
+	if res.Percentiles[99] < res.Percentiles[50] {
+		t.Fatalf("p99 < p50: %+v", res.Percentiles)
+	}
+}
+
+// TestRunLoopOpen exercises the open-loop driver over the kv app with
+// threshold snapshots gated during calibration (the Tables 4–5 regime).
+func TestRunLoopOpen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency loop in -short mode")
+	}
+	cfg := testKVConfig(core.ForkOnDemand)
+	cfg.Threshold = 300
+	cfg.Keys = 2000
+	res, err := RunLoop(LoopConfig{
+		New: func() (App, error) { return NewKV(kernel.New(), cfg) },
+		NewRequest: func(rng *rand.Rand) func(i int) []byte {
+			val := make([]byte, 32)
+			return func(i int) []byte {
+				return EncodeSet(kvstore.Key(rng.Intn(cfg.Keys)), val)
+			}
+		},
+		Requests:    3000,
+		LoadRatio:   0.4,
+		Seed:        1,
+		Runs:        1,
+		Percentiles: kvstore.LatencyPercentiles,
+		Gate: func(app App, measuring bool) {
+			st := app.(*KVApp).Store()
+			if measuring {
+				st.SnapshotThreshold = cfg.Threshold
+				st.ForkTimes = stats.Sample{}
+			} else {
+				st.SnapshotThreshold = 0
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshots == 0 {
+		t.Error("no snapshots in measured phase")
+	}
+	if res.ForkMean <= 0 {
+		t.Errorf("fork mean = %f", res.ForkMean)
+	}
+	if res.Percentiles[50] <= 0 || res.Percentiles[99.99] < res.Percentiles[50] {
+		t.Errorf("implausible percentiles: %+v", res.Percentiles)
+	}
+}

@@ -42,9 +42,21 @@ func NewArena(proc *kernel.Process, size uint64) (*Arena, error) {
 
 // Clone returns a handle on the same arena layout bound to another
 // process — the Go-side state duplication that fork performs implicitly
-// for a real process.
+// for a real process. The bump cursor is copied, so Clone must run on
+// a goroutine that is not racing the parent's allocations.
 func (a *Arena) Clone(proc *kernel.Process) *Arena {
 	return &Arena{proc: proc, base: a.base, size: a.size, off: a.off}
+}
+
+// View returns a read-only handle on the arena bound to another
+// process. Unlike Clone it copies only fields that never change after
+// NewArena (base, size), so it is safe to call from a snapshot child's
+// goroutine while the parent keeps allocating: the authoritative data
+// lives in simulated memory, frozen at the fork instant, and reads
+// through the view need no cursor. Allocating through a view fails as
+// if the arena were already full.
+func (a *Arena) View(proc *kernel.Process) *Arena {
+	return &Arena{proc: proc, base: a.base, size: a.size, off: a.size}
 }
 
 // Process returns the owning process.

@@ -47,9 +47,20 @@ func NewHashTable(a *Arena, capacity uint64) (*HashTable, error) {
 }
 
 // Clone binds the table layout to another process's view of the same
-// memory (used by forked children).
+// memory (used by forked children). The live-entry mirror is copied, so
+// Clone must not race the parent's Put/Delete calls.
 func (h *HashTable) Clone(a *Arena) *HashTable {
 	return &HashTable{arena: a, buckets: h.buckets, capCnt: h.capCnt, live: h.live}
+}
+
+// View binds the table layout to another process's view of the same
+// memory, copying only fields fixed at NewHashTable time (bucket base
+// and capacity). Safe to call from a snapshot child's goroutine while
+// the parent keeps mutating: lookups and Range read the bucket array
+// through a (frozen, copy-on-write) memory view and never consult the
+// live counter. Len reports 0 on a view.
+func (h *HashTable) View(a *Arena) *HashTable {
+	return &HashTable{arena: a, buckets: h.buckets, capCnt: h.capCnt}
 }
 
 // Len returns the number of live entries.

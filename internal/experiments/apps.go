@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/apps/fuzz"
 	"repro/internal/apps/httpd"
 	"repro/internal/apps/kvstore"
+	"repro/internal/apps/serve"
 	"repro/internal/apps/sqlike"
 	"repro/internal/apps/vmclone"
 	"repro/internal/core"
@@ -162,32 +165,65 @@ func pct(part, total float64) string {
 
 // RunTab45 runs the Redis-like latency benchmark under both engines,
 // producing Table 4 (request percentiles) and Table 5 (fork times).
+// The workload drives the store through the unified serve.App door —
+// the same app (and wire encoding) the TCP tier and SLO harness use.
 func RunTab45(scale AppScale) ([]kvstore.LatencyResult, string, error) {
+	const threshold = 10000 // the Redis save-threshold default the paper uses
 	var out []kvstore.LatencyResult
 	for _, mode := range []core.ForkMode{core.ForkClassic, core.ForkOnDemand} {
-		res, err := kvstore.RunLatency(kvstore.LatencyConfig{
-			Store: kvstore.Config{
-				ArenaBytes: scale.ArenaBytes,
-				TableCap:   tableCapFor(scale.KVKeys),
-				Mode:       mode,
-				Threshold:  10000, // the Redis default the paper uses
+		mode := mode
+		res, err := serve.RunLoop(serve.LoopConfig{
+			New: func() (serve.App, error) {
+				return serve.NewKV(kernel.New(), serve.KVConfig{
+					Config: kvstore.Config{
+						ArenaBytes:      scale.ArenaBytes,
+						TableCap:        tableCapFor(scale.KVKeys),
+						Mode:            mode,
+						Threshold:       threshold,
+						SnapshotIODelay: time.Millisecond,
+					},
+					Keys:     scale.KVKeys,
+					ValueLen: scale.KVValueLen,
+				})
 			},
-			Keys:      scale.KVKeys,
-			ValueSize: scale.KVValueLen,
-			Requests:  scale.Requests,
+			NewRequest: func(rng *rand.Rand) func(i int) []byte {
+				val := make([]byte, scale.KVValueLen)
+				return func(i int) []byte {
+					return serve.EncodeSet(kvstore.Key(rng.Intn(scale.KVKeys)), val)
+				}
+			},
+			Requests: scale.Requests,
 			// Calibration runs without snapshot pressure; post-snapshot
 			// copy-on-write roughly doubles service times, so the offered
 			// load is kept well below raw capacity to avoid saturating
 			// both engines (the paper's memtier run is likewise below
 			// Redis's saturation point).
-			LoadRatio: 0.2,
-			Seed:      7,
-			Runs:      5,
+			LoadRatio:   0.2,
+			Seed:        7,
+			Runs:        5,
+			Percentiles: kvstore.LatencyPercentiles,
+			// The gate holds threshold-triggered snapshots off while raw
+			// capacity is measured.
+			Gate: func(app serve.App, measuring bool) {
+				st := app.(*serve.KVApp).Store()
+				if measuring {
+					st.SnapshotThreshold = threshold
+				} else {
+					st.SnapshotThreshold = 0
+				}
+			},
 		})
 		if err != nil {
 			return nil, "", err
 		}
-		out = append(out, res)
+		out = append(out, kvstore.LatencyResult{
+			Mode:        mode,
+			Percentiles: res.Percentiles,
+			ForkMean:    res.ForkMean,
+			ForkStdDev:  res.ForkStdDev,
+			Snapshots:   res.Snapshots,
+			MeanRate:    res.MeanRate,
+		})
 	}
 
 	t4 := stats.NewTable("percentile", "fork (ms)", "on-demand-fork (ms)", "reduction")
@@ -242,20 +278,53 @@ func RunFig10(scale AppScale) ([]Fig9Result, string, error) {
 	return out, text, nil
 }
 
-// RunTab67 runs the Apache-prefork benchmark under both engines.
+// RunTab67 runs the Apache-prefork benchmark under both engines,
+// driving the worker pool through the serve.App door in the httpd
+// bench's closed-loop (wrk-style) regime.
 func RunTab67(scale AppScale) ([]httpd.BenchResult, string, error) {
 	var out []httpd.BenchResult
 	for _, mode := range []core.ForkMode{core.ForkClassic, core.ForkOnDemand} {
-		k := kernel.New()
-		res, err := httpd.RunBench(k, httpd.Config{
-			ConfigBytes: 7 * MiB,
-			Workers:     8,
-			Mode:        mode,
-		}, scale.Requests/4)
+		mode := mode
+		var startupMS float64
+		res, err := serve.RunLoop(serve.LoopConfig{
+			New: func() (serve.App, error) {
+				app, err := serve.NewHTTP(kernel.New(), serve.HTTPConfig{Config: httpd.Config{
+					ConfigBytes: 7 * MiB,
+					Workers:     8,
+					Mode:        mode,
+				}})
+				if err != nil {
+					return nil, err
+				}
+				s := app.Server()
+				startupMS = s.StartupForkTimes.Mean() * float64(s.StartupForkTimes.N())
+				return app, nil
+			},
+			NewRequest: func(rng *rand.Rand) func(i int) []byte {
+				req := make([]byte, 64)
+				return func(i int) []byte {
+					binary.LittleEndian.PutUint64(req, uint64(i))
+					return req
+				}
+			},
+			Requests:    scale.Requests / 4,
+			Runs:        1, // the paper's wrk pass is a single run
+			Percentiles: httpd.BenchPercentiles,
+		})
 		if err != nil {
 			return nil, "", err
 		}
-		out = append(out, res)
+		br := httpd.BenchResult{
+			Mode:        mode,
+			MeanUS:      res.MeanMS * 1e3,
+			MaxUS:       res.MaxMS * 1e3,
+			Percentiles: make(map[float64]float64, len(res.Percentiles)),
+			StartupMS:   startupMS,
+		}
+		for p, v := range res.Percentiles {
+			br.Percentiles[p] = v * 1e3
+		}
+		out = append(out, br)
 	}
 	t6 := stats.NewTable("", "fork", "on-demand-fork", "difference")
 	t6.AddRow("Mean (us)", out[0].MeanUS, out[1].MeanUS, pct(out[1].MeanUS-out[0].MeanUS, out[0].MeanUS))

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/slo"
+	"repro/internal/stats"
+)
+
+// RunSLO reproduces the paper's Redis snapshot-while-serving result
+// over real TCP sockets: the kv app serves steady isochronous load
+// while periodic snapshots fork the serving process, and the tail is
+// split into fork-coincident and quiescent samples. Classic fork's
+// pause scales with the arena and lands on every fork-coincident
+// request; on-demand-fork's does not.
+func RunSLO(scale AppScale) (*slo.Result, string, error) {
+	requests := scale.Requests
+	if requests > 4000 {
+		// The sweep is wall-clock bound by offered rate, not service
+		// time; 4000 requests per trial is minutes of sockets already.
+		requests = 4000
+	}
+	res, err := slo.RunHarness(slo.HarnessConfig{
+		App:        "kv",
+		Conns:      2,
+		Requests:   requests,
+		CalibrateN: 1000,
+		Trials:     2,
+		ArenaMiB:   int(scale.ArenaBytes >> 20),
+		ValueLen:   scale.KVValueLen,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	if err := slo.Check(res); err != nil {
+		return nil, "", fmt.Errorf("slo: self-check: %w", err)
+	}
+
+	tb := stats.NewTable("engine", "offered rps", "p50 (us)", "p99 (us)",
+		"fork-coinc p99 (us)", "quiescent p99 (us)", "snapshots")
+	for _, run := range res.Runs {
+		tb.AddRow(run.Mode, run.OfferedRPS, run.Latency.P50US, run.Latency.P99US,
+			fmt.Sprintf("%.1f (n=%d)", run.ForkCoincident.P99US, run.ForkCoincident.Count),
+			fmt.Sprintf("%.1f", run.Quiescent.P99US), run.Snapshots)
+	}
+	text := header("SLO: tail latency under snapshot-while-serving, real TCP sockets") +
+		tb.String()
+	return res, text, nil
+}

@@ -47,6 +47,7 @@ type Kernel struct {
 	fsys  *fs.FileSystem
 	rec   *reclaim.Manager
 	fail  *failpoint.Registry
+	slo   sloSlot
 
 	// procEndpoints is the /proc/odf file registry, in the fixed order
 	// New builds it; the root listing and path dispatch both walk it.

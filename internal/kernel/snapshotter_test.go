@@ -1,0 +1,191 @@
+package kernel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mem/addr"
+	"repro/internal/mem/vm"
+)
+
+func snapProc(t *testing.T, k *Kernel, bytes uint64) *Process {
+	t.Helper()
+	p := k.NewProcess()
+	if _, err := p.Mmap(bytes, rw, vm.MapPrivate|vm.MapPopulate); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSnapshotterOnDemand(t *testing.T) {
+	k := New()
+	p := snapProc(t, k, 4*addr.PTECoverage)
+	defer p.Exit()
+	s, err := p.StartSnapshotter(0, WithSnapshotMode(core.ForkOnDemand))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	st, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Seq != 1 || st.Mode != core.ForkOnDemand || st.ForkLatency <= 0 {
+		t.Errorf("bad stats: %+v", st)
+	}
+	if _, err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Snapshots(); got != 2 {
+		t.Errorf("Snapshots() = %d, want 2", got)
+	}
+	last, ok := s.LastSnapshot()
+	if !ok || last.Seq != 2 {
+		t.Errorf("LastSnapshot = %+v ok=%v", last, ok)
+	}
+	tot := s.Totals()
+	if tot.Snapshots != 2 || tot.ForkMean <= 0 || tot.ForkMax < tot.ForkMean {
+		t.Errorf("totals: %+v", tot)
+	}
+	s.Stop()
+	// Children are retired by Stop's wait.
+	if n := k.NumProcesses(); n != 1 {
+		t.Errorf("leaked snapshot children: %d live processes", n)
+	}
+	if _, err := s.Snapshot(); !errors.Is(err, ErrSnapshotterStopped) {
+		t.Errorf("Snapshot after Stop: %v", err)
+	}
+	s.Stop() // idempotent
+}
+
+func TestSnapshotterChildFuncAndSync(t *testing.T) {
+	k := New()
+	p := snapProc(t, k, addr.PTECoverage)
+	defer p.Exit()
+	var ran atomic.Uint64
+	boom := errors.New("boom")
+	s, err := p.StartSnapshotter(0,
+		WithSnapshotMode(core.ForkOnDemand),
+		WithSnapshotChild(func(c *Process) error {
+			ran.Add(1)
+			if c.Exited() {
+				t.Error("child already exited in child func")
+			}
+			return boom
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	st, err := s.SnapshotSync(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(st.Err, boom) {
+		t.Errorf("sync stats err = %v, want boom", st.Err)
+	}
+	if ran.Load() != 1 {
+		t.Errorf("child func ran %d times", ran.Load())
+	}
+	// Per-call override wins over the configured child func.
+	if _, err := s.SnapshotSync(func(c *Process) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 1 {
+		t.Error("override did not replace configured child func")
+	}
+	if tot := s.Totals(); tot.ChildErrs != 1 {
+		t.Errorf("ChildErrs = %d, want 1", tot.ChildErrs)
+	}
+	last, _ := s.LastSnapshot()
+	if last.Err != nil {
+		t.Errorf("last snapshot err = %v, want nil", last.Err)
+	}
+}
+
+func TestSnapshotterTimer(t *testing.T) {
+	k := New()
+	p := snapProc(t, k, addr.PTECoverage)
+	defer p.Exit()
+	var notified atomic.Uint64
+	s, err := p.StartSnapshotter(2*time.Millisecond,
+		WithSnapshotMode(core.ForkOnDemand),
+		WithSnapshotNotify(func(SnapshotStats) { notified.Add(1) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Snapshots() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	if got := s.Snapshots(); got < 3 {
+		t.Fatalf("timer took %d snapshots", got)
+	}
+	if notified.Load() != s.Snapshots() {
+		t.Errorf("notify ran %d times for %d snapshots", notified.Load(), s.Snapshots())
+	}
+	if n := k.NumProcesses(); n != 1 {
+		t.Errorf("leaked children: %d live", n)
+	}
+}
+
+func TestSnapshotterEpochTagging(t *testing.T) {
+	k := New()
+	p := snapProc(t, k, addr.PTECoverage)
+	defer p.Exit()
+	s, err := p.StartSnapshotter(0, WithSnapshotMode(core.ForkClassic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	if s.ForkInFlight() {
+		t.Error("fork in flight before any snapshot")
+	}
+	e1 := s.Epoch()
+	if _, err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	e2 := s.Epoch()
+	if e1 == e2 {
+		t.Error("epoch did not advance across a snapshot")
+	}
+	if e2&1 != 0 {
+		t.Errorf("epoch odd (%d) after fork completed", e2)
+	}
+}
+
+func TestSnapshotterInheritsProcessMode(t *testing.T) {
+	k := New()
+	p := snapProc(t, k, addr.PTECoverage)
+	defer p.Exit()
+	if err := k.SetForkMode(p.PID(), core.ForkOnDemand); err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.StartSnapshotter(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	st, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != core.ForkOnDemand {
+		t.Errorf("snapshot used %v, want procfs-configured on-demand", st.Mode)
+	}
+}
+
+func TestSnapshotterExitedProcess(t *testing.T) {
+	k := New()
+	p := k.NewProcess()
+	p.Exit()
+	if _, err := p.StartSnapshotter(0); !errors.Is(err, ErrExited) {
+		t.Errorf("StartSnapshotter on exited process: %v", err)
+	}
+}

@@ -61,6 +61,13 @@ func (k *Kernel) buildProcEndpoints() []procEndpoint {
 			}
 			return k.prof.String(), true
 		}},
+		{"slo", func() (string, bool) {
+			st, ok := k.SLO()
+			if !ok {
+				return "", false
+			}
+			return renderSLO(st), true
+		}},
 		{"trace", func() (string, bool) { return trace.RenderText(k.trc.Snapshot()), true }},
 		{"vmstat", func() (string, bool) { return k.Vmstat(), true }},
 	}

@@ -1,0 +1,94 @@
+package slo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Check validates a Result's self-consistency — the guard `odf-slo
+// -check` applies so malformed or truncated runs fail fast instead of
+// being compared. It verifies the schema tag, monotone percentiles,
+// sample-count arithmetic (fork-coincident + quiescent = total), and
+// worst-N ordering against the recorded maxima.
+func Check(r *Result) error {
+	if r.Schema != SchemaV1 {
+		return fmt.Errorf("schema %q, want %q", r.Schema, SchemaV1)
+	}
+	if len(r.Runs) == 0 {
+		return fmt.Errorf("no runs")
+	}
+	if r.Conns <= 0 {
+		return fmt.Errorf("conns = %d", r.Conns)
+	}
+	for i, run := range r.Runs {
+		tag := fmt.Sprintf("run %d (%s @ %.0f rps)", i, run.Mode, run.OfferedRPS)
+		if run.Mode == "" {
+			return fmt.Errorf("%s: empty mode", tag)
+		}
+		if err := checkSummary(run.Latency); err != nil {
+			return fmt.Errorf("%s: latency: %w", tag, err)
+		}
+		if err := checkSummary(run.ForkCoincident); err != nil {
+			return fmt.Errorf("%s: fork_coincident: %w", tag, err)
+		}
+		if err := checkSummary(run.Quiescent); err != nil {
+			return fmt.Errorf("%s: quiescent: %w", tag, err)
+		}
+		if got := run.ForkCoincident.Count + run.Quiescent.Count; got != run.Latency.Count {
+			return fmt.Errorf("%s: fork_coincident %d + quiescent %d != total %d",
+				tag, run.ForkCoincident.Count, run.Quiescent.Count, run.Latency.Count)
+		}
+		if run.Requests != run.Latency.Count {
+			return fmt.Errorf("%s: requests %d != recorded samples %d",
+				tag, run.Requests, run.Latency.Count)
+		}
+		if run.Requests == 0 {
+			return fmt.Errorf("%s: zero requests", tag)
+		}
+		if run.AchievedRPS <= 0 {
+			return fmt.Errorf("%s: achieved_rps = %f", tag, run.AchievedRPS)
+		}
+		if run.Snapshots == 0 {
+			return fmt.Errorf("%s: no snapshots fired during the run", tag)
+		}
+		if !sort.SliceIsSorted(run.WorstUS, func(a, b int) bool {
+			return run.WorstUS[a].LatencyUS > run.WorstUS[b].LatencyUS
+		}) {
+			return fmt.Errorf("%s: worst_us not latency-descending", tag)
+		}
+		if len(run.WorstUS) > 0 {
+			// The worst sample is the population max up to the
+			// microsecond rounding both sides went through.
+			if d := run.WorstUS[0].LatencyUS - run.Latency.MaxUS; d > 0.5 || d < -0.5 {
+				return fmt.Errorf("%s: worst sample %.1fus != max %.1fus",
+					tag, run.WorstUS[0].LatencyUS, run.Latency.MaxUS)
+			}
+		}
+	}
+	return nil
+}
+
+func checkSummary(s LatencySummary) error {
+	if s.Count == 0 {
+		if s.MaxUS != 0 {
+			return fmt.Errorf("empty summary with max %.1fus", s.MaxUS)
+		}
+		return nil
+	}
+	ps := []struct {
+		name string
+		v    float64
+	}{
+		{"p50", s.P50US}, {"p90", s.P90US}, {"p99", s.P99US},
+		{"p999", s.P999US}, {"max", s.MaxUS},
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].v < ps[i-1].v {
+			return fmt.Errorf("%s %.1fus < %s %.1fus", ps[i].name, ps[i].v, ps[i-1].name, ps[i-1].v)
+		}
+	}
+	if s.MeanUS <= 0 || s.MeanUS > s.MaxUS {
+		return fmt.Errorf("mean %.1fus outside (0, max %.1fus]", s.MeanUS, s.MaxUS)
+	}
+	return nil
+}

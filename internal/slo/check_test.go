@@ -1,0 +1,105 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func validResult() *Result {
+	sum := LatencySummary{Count: 80, MeanUS: 30, P50US: 25, P90US: 40, P99US: 60, P999US: 80, MaxUS: 100}
+	quiet := LatencySummary{Count: 20, MeanUS: 20, P50US: 18, P90US: 25, P99US: 30, P999US: 35, MaxUS: 40}
+	return &Result{
+		Schema: SchemaV1,
+		Date:   "2026-08-08",
+		App:    "kv",
+		Conns:  4,
+		Runs: []RunResult{{
+			Mode:        "on-demand-fork",
+			OfferedRPS:  1000,
+			AchievedRPS: 990,
+			Requests:    100,
+			Snapshots:   5,
+			Latency: LatencySummary{Count: 100, MeanUS: 28, P50US: 24,
+				P90US: 38, P99US: 58, P999US: 78, MaxUS: 100},
+			ForkCoincident: sum,
+			Quiescent:      quiet,
+			WorstUS: []WorstSample{
+				{LatencyUS: 100, ForkCoincident: true},
+				{LatencyUS: 90},
+			},
+		}},
+	}
+}
+
+func TestCheckValid(t *testing.T) {
+	if err := Check(validResult()); err != nil {
+		t.Fatalf("valid result rejected: %v", err)
+	}
+}
+
+func TestCheckCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Result)
+		want   string
+	}{
+		{"schema", func(r *Result) { r.Schema = "odf-slo/v0" }, "schema"},
+		{"no runs", func(r *Result) { r.Runs = nil }, "no runs"},
+		{"non-monotone", func(r *Result) { r.Runs[0].Latency.P99US = 5 }, "p99"},
+		{"count split", func(r *Result) { r.Runs[0].Quiescent.Count = 3 }, "quiescent"},
+		{"requests mismatch", func(r *Result) { r.Runs[0].Requests = 7 }, "requests"},
+		{"no snapshots", func(r *Result) { r.Runs[0].Snapshots = 0 }, "snapshots"},
+		{"worst order", func(r *Result) {
+			r.Runs[0].WorstUS[0], r.Runs[0].WorstUS[1] = r.Runs[0].WorstUS[1], r.Runs[0].WorstUS[0]
+		}, "worst"},
+		{"worst vs max", func(r *Result) { r.Runs[0].WorstUS[0].LatencyUS = 250 }, "worst"},
+		{"mean above max", func(r *Result) { r.Runs[0].Quiescent.MeanUS = 500 }, "mean"},
+	}
+	for _, tc := range cases {
+		r := validResult()
+		tc.mutate(r)
+		err := Check(r)
+		if err == nil {
+			t.Errorf("%s: corruption not caught", tc.name)
+			continue
+		}
+		if !strings.Contains(strings.ToLower(err.Error()), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestForkLogOverlap pins the window intersection logic.
+func TestForkLogOverlap(t *testing.T) {
+	l := &ForkLog{}
+	l.Begin()
+	l.End()
+	if l.Len() != 1 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	s := l.spans[0]
+	if !l.Overlaps(s.start, s.end) {
+		t.Error("exact span does not overlap itself")
+	}
+	if !l.Overlaps(s.start.Add(-time.Millisecond), s.start) {
+		t.Error("window ending at span start should overlap")
+	}
+	if l.Overlaps(s.end.Add(time.Millisecond), s.end.Add(2*time.Millisecond)) {
+		t.Error("window after span should not overlap")
+	}
+	l.Band = 3 * time.Millisecond
+	if !l.Overlaps(s.end.Add(time.Millisecond), s.end.Add(2*time.Millisecond)) {
+		t.Error("guard band should extend the span")
+	}
+	if l.Overlaps(s.end.Add(4*time.Millisecond), s.end.Add(5*time.Millisecond)) {
+		t.Error("window past the guard band should not overlap")
+	}
+	l.Band = 0
+	// An in-flight fork tags windows that reach it.
+	l.Begin()
+	if !l.Overlaps(time.Now().Add(-time.Millisecond), time.Now()) {
+		t.Error("in-flight fork not visible")
+	}
+	l.End()
+}

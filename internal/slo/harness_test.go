@@ -1,0 +1,84 @@
+package slo
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestHarnessKV runs a miniature sweep over real TCP sockets and pins
+// the properties the committed artifact relies on: the result passes
+// Check, snapshots fired during every run, and fork-coincident samples
+// are distinguished from quiescent ones.
+func TestHarnessKV(t *testing.T) {
+	res, err := RunHarness(HarnessConfig{
+		App:           "kv",
+		Conns:         2,
+		LoadRatios:    []float64{0.5},
+		Trials:        1,
+		Requests:      1200,
+		CalibrateN:    400,
+		Warmup:        20,
+		SnapshotEvery: 5 * time.Millisecond,
+		ArenaMiB:      16,
+		Keys:          2000,
+		ValueLen:      32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(res); err != nil {
+		t.Fatalf("harness result fails its own checker: %v", err)
+	}
+	if len(res.Runs) != 2 {
+		t.Fatalf("got %d runs, want one per mode", len(res.Runs))
+	}
+	modes := map[string]bool{}
+	for _, run := range res.Runs {
+		modes[run.Mode] = true
+		if run.Snapshots == 0 {
+			t.Errorf("%s: no snapshots", run.Mode)
+		}
+		if run.ForkCoincident.Count == 0 {
+			t.Errorf("%s: no fork-coincident samples across %d snapshots",
+				run.Mode, run.Snapshots)
+		}
+		if run.Quiescent.Count == 0 {
+			t.Errorf("%s: every sample fork-coincident", run.Mode)
+		}
+		if run.ForkMeanUS <= 0 {
+			t.Errorf("%s: fork mean %.1fus", run.Mode, run.ForkMeanUS)
+		}
+	}
+	if !modes[core.ForkClassic.String()] || !modes[core.ForkOnDemand.String()] {
+		t.Errorf("modes covered: %v", modes)
+	}
+}
+
+// TestHarnessHTTPD smoke-tests the httpd leg of the harness.
+func TestHarnessHTTPD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("httpd sweep in -short mode")
+	}
+	res, err := RunHarness(HarnessConfig{
+		App:           "httpd",
+		Modes:         []core.ForkMode{core.ForkOnDemand},
+		Conns:         2,
+		LoadRatios:    []float64{0.5},
+		Trials:        1,
+		Requests:      800,
+		CalibrateN:    300,
+		Warmup:        20,
+		SnapshotEvery: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(res); err != nil {
+		t.Fatalf("harness result fails its own checker: %v", err)
+	}
+	if res.App != "httpd" || res.Protocol != "http" {
+		t.Errorf("app %q protocol %q", res.App, res.Protocol)
+	}
+}

@@ -1,0 +1,136 @@
+// Package slo is the tail-latency harness: an irtt-style isochronous
+// load generator that drives the serve layer's TCP servers, records
+// per-request latency in HDR-style histograms with exact worst-N
+// tracking, and tags every sample with whether a snapshot fork was in
+// flight during its scheduled-send→receive window — the instrument
+// that measures the paper's "snapshot while serving" claim end to end.
+package slo
+
+import (
+	"math/bits"
+	"time"
+)
+
+// The histogram is log₂-bucketed with linear sub-buckets, the
+// hdrhistogram layout: values up to 2^subBits land in an exact bucket,
+// larger values keep subBits significant bits, bounding relative error
+// at 2^-subBits (≈3.1%). Percentiles are resolved against the upper
+// edge of the matching sub-bucket and clamped to the exact observed
+// min/max so reported tails never exceed reality.
+const (
+	subBits  = 5
+	subCount = 1 << subBits         // sub-buckets per power of two
+	nBuckets = 64 - subBits         // log₂ range
+	histLen  = nBuckets * subCount  // total slots
+)
+
+// Hist is a fixed-size latency histogram over int64 nanoseconds.
+// The zero value is ready to use. Not goroutine-safe.
+type Hist struct {
+	counts [histLen]uint64
+	n      uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+func histIndex(v int64) int {
+	u := uint64(v)
+	if u < subCount {
+		return int(u)
+	}
+	shift := bits.Len64(u) - subBits - 1
+	return (shift+1)<<subBits + int((u>>shift)&(subCount-1))
+}
+
+// histUpper is the inclusive upper edge of slot idx.
+func histUpper(idx int) int64 {
+	bucket := idx >> subBits
+	sub := int64(idx & (subCount - 1))
+	if bucket == 0 {
+		return sub
+	}
+	return (subCount+sub+1)<<(bucket-1) - 1
+}
+
+// Record adds one sample. Negative values clamp to zero.
+func (h *Hist) Record(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[histIndex(ns)]++
+	h.sum += ns
+	if h.n == 0 || ns < h.min {
+		h.min = ns
+	}
+	if ns > h.max {
+		h.max = ns
+	}
+	h.n++
+}
+
+// RecordDuration adds one sample from a duration.
+func (h *Hist) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() uint64 { return h.n }
+
+// Max returns the exact maximum sample in nanoseconds.
+func (h *Hist) Max() int64 { return h.max }
+
+// Mean returns the exact mean in nanoseconds.
+func (h *Hist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) in
+// nanoseconds: the upper edge of the sub-bucket holding the rank,
+// clamped to the exact observed extrema.
+func (h *Hist) Percentile(p float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(p / 100 * float64(h.n))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := histUpper(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge folds o into h.
+func (h *Hist) Merge(o *Hist) {
+	if o.n == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
+}

@@ -1,0 +1,111 @@
+package slo
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestHistIndexing pins the HDR layout: every value lands in a slot
+// whose upper edge is >= the value and within the 2^-subBits relative
+// error bound.
+func TestHistIndexing(t *testing.T) {
+	vals := []int64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, 1<<40 + 12345}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		vals = append(vals, rng.Int63n(1<<50))
+	}
+	for _, v := range vals {
+		idx := histIndex(v)
+		up := histUpper(idx)
+		if up < v {
+			t.Fatalf("value %d: slot %d upper edge %d < value", v, idx, up)
+		}
+		if v >= subCount && float64(up-v) > float64(v)/float64(subCount) {
+			t.Fatalf("value %d: upper edge %d exceeds error bound", v, up)
+		}
+		if idx > 0 && histUpper(idx-1) >= v {
+			t.Fatalf("value %d: previous slot %d upper edge %d >= value", v, idx-1, histUpper(idx-1))
+		}
+	}
+}
+
+// TestHistPercentiles cross-checks histogram percentiles against the
+// exact sorted population.
+func TestHistPercentiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var h Hist
+	exact := make([]int64, 0, 50000)
+	for i := 0; i < 50000; i++ {
+		// Log-uniform-ish latencies from 1us to ~100ms.
+		v := int64(1000) << uint(rng.Intn(17))
+		v += rng.Int63n(v)
+		h.Record(v)
+		exact = append(exact, v)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	for _, p := range []float64{50, 90, 99, 99.9, 100} {
+		rank := int(p / 100 * float64(len(exact)))
+		if rank >= len(exact) {
+			rank = len(exact) - 1
+		}
+		want := exact[rank]
+		got := h.Percentile(p)
+		lo, hi := float64(want)*0.96, float64(want)*1.04
+		if float64(got) < lo || float64(got) > hi {
+			t.Errorf("p%v = %d, exact %d (outside ±4%%)", p, got, want)
+		}
+	}
+	if h.Max() != exact[len(exact)-1] {
+		t.Errorf("max = %d, want %d", h.Max(), exact[len(exact)-1])
+	}
+	if h.Percentile(100) != h.Max() {
+		t.Errorf("p100 = %d != max %d", h.Percentile(100), h.Max())
+	}
+}
+
+// TestHistMerge pins that merged histograms equal one histogram fed
+// everything.
+func TestHistMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var whole, a, b Hist
+	for i := 0; i < 20000; i++ {
+		v := rng.Int63n(1 << 30)
+		whole.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Max() != whole.Max() || a.Mean() != whole.Mean() {
+		t.Fatalf("merge mismatch: count %d/%d max %d/%d", a.Count(), whole.Count(), a.Max(), whole.Max())
+	}
+	for _, p := range []float64{50, 99, 99.9} {
+		if a.Percentile(p) != whole.Percentile(p) {
+			t.Errorf("p%v: merged %d != whole %d", p, a.Percentile(p), whole.Percentile(p))
+		}
+	}
+}
+
+// TestWorstInsert pins the exact worst-N tracker.
+func TestWorstInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var ws []WorstSample
+	all := make([]float64, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		v := rng.Float64() * 1e6
+		ws = insertWorst(ws, WorstSample{LatencyUS: v, Seq: i})
+		all = append(all, v)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(all)))
+	if len(ws) != WorstN {
+		t.Fatalf("kept %d, want %d", len(ws), WorstN)
+	}
+	for i, w := range ws {
+		if w.LatencyUS != all[i] {
+			t.Fatalf("worst[%d] = %f, want %f", i, w.LatencyUS, all[i])
+		}
+	}
+}

@@ -141,6 +141,55 @@ func WithWorkers(n int) ForkOpt { return kernel.WithWorkers(n) }
 // parallelism thresholds). Later options override its fields.
 func WithForkOptions(o ForkOptions) ForkOpt { return kernel.WithForkOptions(o) }
 
+// Snapshotter is the typed snapshot-serving API: it forks a process
+// on a timer, on demand, or both, replacing hand-rolled fork loops.
+// Start one with Process.StartSnapshotter:
+//
+//	snap, _ := p.StartSnapshotter(200*time.Millisecond,
+//	    odfork.WithSnapshotMode(odfork.OnDemand))
+//	defer snap.Stop()
+//	...
+//	last, _ := snap.LastSnapshot() // per-snapshot fork stats
+//
+// The handle exposes LastSnapshot and Totals for pause-time telemetry
+// and an Epoch seqlock (odd while a fork is in flight) that serving
+// layers use to tag requests that overlapped a snapshot fork.
+type Snapshotter = kernel.Snapshotter
+
+// SnapshotStats describes one snapshot fork (see Snapshotter).
+type SnapshotStats = kernel.SnapshotStats
+
+// SnapshotterTotals aggregates a Snapshotter's lifetime statistics.
+type SnapshotterTotals = kernel.SnapshotterTotals
+
+// SnapshotterOpt configures Process.StartSnapshotter.
+type SnapshotterOpt = kernel.SnapshotterOpt
+
+// ErrSnapshotterStopped reports a Snapshot call on a stopped
+// Snapshotter.
+var ErrSnapshotterStopped = kernel.ErrSnapshotterStopped
+
+// WithSnapshotMode pins the fork engine snapshots use. Without it,
+// snapshots resolve the engine like a plain Fork call (SetForkMode,
+// then the system default).
+func WithSnapshotMode(m Mode) SnapshotterOpt { return kernel.WithSnapshotMode(m) }
+
+// WithSnapshotWorkers fans each snapshot fork out over up to n workers.
+func WithSnapshotWorkers(n int) SnapshotterOpt { return kernel.WithSnapshotWorkers(n) }
+
+// WithSnapshotChild installs the child-side work run after each
+// snapshot fork (serialization, verification); the child exits when fn
+// returns. Without it the child exits immediately.
+func WithSnapshotChild(fn func(*Process) error) SnapshotterOpt {
+	return kernel.WithSnapshotChild(fn)
+}
+
+// WithSnapshotNotify calls fn after each snapshot's child work
+// completes.
+func WithSnapshotNotify(fn func(SnapshotStats)) SnapshotterOpt {
+	return kernel.WithSnapshotNotify(fn)
+}
+
 // MetricsSnapshot is the typed telemetry tree returned by
 // System.Metrics: per-engine fork latency histograms, fault-path
 // counts and latencies, allocator shard and frame statistics, and TLB
@@ -263,9 +312,10 @@ func (s *System) WriteTrace(w io.Writer, f TraceFormat) error { return s.k.Write
 
 // Procfs reads a file of the simulated procfs namespace:
 // /proc/odf (a listing of the odf endpoints), /proc/odf/failpoints,
-// /proc/odf/metrics, /proc/odf/profile, /proc/odf/trace,
-// /proc/odf/vmstat, /proc/<pid>/maps and /proc/<pid>/status. Unknown
-// paths fail with an error wrapping fs.ErrNotExist.
+// /proc/odf/metrics, /proc/odf/profile, /proc/odf/slo,
+// /proc/odf/trace, /proc/odf/vmstat, /proc/<pid>/maps and
+// /proc/<pid>/status. Unknown paths fail with an error wrapping
+// fs.ErrNotExist.
 func (s *System) Procfs(path string) (string, error) { return s.k.Procfs(path) }
 
 // SetFrameLimit caps the simulated physical memory at the given number
