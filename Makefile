@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-gate pressure trace chaos slo
+.PHONY: all build vet test race bench bench-json bench-gate pressure trace chaos slo serverless
 
 # Newest committed curated baseline (BENCH_<date>.json sorts by date).
 # *_pre.json files are point-in-time "before" records kept for the
@@ -24,7 +24,7 @@ test:
 # tier (concurrent clients + snapshotter forks + reclaim), and
 # everything between them.
 race:
-	$(GO) test -race ./internal/core/... ./internal/mem/... ./internal/trace/... ./internal/apps/serve/... ./internal/slo/...
+	$(GO) test -race ./internal/core/... ./internal/mem/... ./internal/trace/... ./internal/apps/serve/... ./internal/slo/... ./internal/tenant/... ./internal/kernel/...
 
 # Fixed iteration count: several benchmarks do expensive unmeasured
 # setup per iteration (see bench_test.go).
@@ -69,6 +69,7 @@ chaos:
 	$(GO) run -race ./cmd/odf-chaos -seed 1 -ops 10000 -p 0.01
 	$(GO) run -race ./cmd/odf-chaos -seed 2 -ops 2500 -p 0.01
 	$(GO) run -race ./cmd/odf-chaos -seed 3 -ops 2500 -p 0.01
+	$(GO) run -race ./cmd/odf-chaos -seed 4 -ops 2500 -p 0.01 -tenants 2
 
 # Tail-latency SLO sweep over real TCP sockets: the kv app serves
 # fixed isochronous load while periodic snapshots fork the serving
@@ -81,6 +82,18 @@ chaos:
 slo:
 	$(GO) run ./cmd/odf-slo -short -trials 5 -out slo_out.json
 	$(GO) run ./cmd/odf-slo -check slo_out.json
+
+# Multi-tenant serverless soak: the odf-serverless daemon boots 8
+# tenants whose quotas sum to 50% of the machine's frames, makes one a
+# noisy neighbor, and drives skewed load over real TCP. Gates: the
+# noisy tenant's forks queue and its frames are reclaimed first, the
+# well-behaved tenants see zero ErrNoMem, and their clone fork p99
+# stays within 2x a single-tenant baseline. Writes the
+# odf-serverless/v1 JSON (transient, gitignored — curated records are
+# committed as SERVERLESS_<date>.json) and re-validates it.
+serverless:
+	$(GO) run ./cmd/odf-serverless -mode soak -out serverless_out.json
+	$(GO) run ./cmd/odf-serverless -check serverless_out.json
 
 # Flight-recorder artifact: record a fork/fault/reclaim window, export
 # it as Chrome trace-event JSON (load trace.json in ui.perfetto.dev),

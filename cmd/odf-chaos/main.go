@@ -32,11 +32,13 @@ import (
 )
 
 var (
-	seed   = flag.Uint64("seed", 1, "op schedule and injection PRNG seed")
-	ops    = flag.Int("ops", 10000, "chaos operations to run")
-	prob   = flag.Float64("p", 0.01, "per-check injection probability")
-	points = flag.String("points", defaultPoints, "comma-separated failpoints to arm")
-	frames = flag.Int64("frames", 8192, "physical frame limit (0 = none)")
+	seed     = flag.Uint64("seed", 1, "op schedule and injection PRNG seed")
+	ops      = flag.Int("ops", 10000, "chaos operations to run")
+	prob     = flag.Float64("p", 0.01, "per-check injection probability")
+	points   = flag.String("points", defaultPoints, "comma-separated failpoints to arm")
+	frames   = flag.Int64("frames", 8192, "physical frame limit (0 = none)")
+	tenantsN = flag.Int("tenants", 0, "0 = single-domain chaos; 2 = blast-radius mode "+
+		"(injection scoped to tenant A, tenant B is an untouched control)")
 )
 
 // The default schedule arms the alloc, swap I/O, and fork stages — the
@@ -83,6 +85,9 @@ func tolerable(err error) bool {
 
 func main() {
 	flag.Parse()
+	if *tenantsN != 0 && *tenantsN != 2 {
+		fail("-tenants must be 0 or 2")
+	}
 	rng := rand.New(rand.NewSource(int64(*seed)))
 
 	sys := odfork.NewSystem()
@@ -91,8 +96,27 @@ func main() {
 	}
 	sys.SetSwapEnabled(true)
 
-	root := spawn(sys, rng)
+	// Blast-radius mode: the chaos pool belongs to tenant A and all
+	// injection is scoped to A's work; tenant B runs a quiet control
+	// lineage through the same kernel. Any corruption of B is a
+	// containment failure, not bad luck.
+	var tenantA, tenantB *odfork.Tenant
+	var broot *proc
+	if *tenantsN == 2 {
+		var err error
+		if tenantA, err = sys.NewTenant("chaos-a", 0); err != nil {
+			fail("tenant A: %v", err)
+		}
+		if tenantB, err = sys.NewTenant("control-b", 0); err != nil {
+			fail("tenant B: %v", err)
+		}
+	}
+
+	root := spawn(sys, rng, tenantA)
 	procs := []*proc{root}
+	if tenantB != nil {
+		broot = spawn(sys, rng, tenantB)
+	}
 
 	// Warm the parallel-fork pool before the goroutine baseline.
 	warm, err := root.p.Fork(odfork.WithMode(odfork.OnDemand), odfork.WithWorkers(4))
@@ -106,6 +130,9 @@ func main() {
 	// deterministic regardless of the armed set.
 	sys.SetFailpointSeed(*seed)
 	sys.SetFailpointsEnabled(true)
+	if tenantA != nil {
+		sys.SetFailpointScope(tenantA)
+	}
 	armed := strings.Split(*points, ",")
 	for _, name := range armed {
 		name = strings.TrimSpace(name)
@@ -116,8 +143,12 @@ func main() {
 			fail("arming %s: %v", name, err)
 		}
 	}
-	fmt.Printf("odf-chaos: seed=%d ops=%d p=%g frames=%d points=%d\n",
-		*seed, *ops, *prob, *frames, len(armed))
+	mode := ""
+	if tenantA != nil {
+		mode = " tenants=2 (scope: chaos-a)"
+	}
+	fmt.Printf("odf-chaos: seed=%d ops=%d p=%g frames=%d points=%d%s\n",
+		*seed, *ops, *prob, *frames, len(armed), mode)
 
 	start := time.Now()
 	var forks, aborts, writes, reads, exits int
@@ -198,6 +229,30 @@ func main() {
 				exits++
 			}
 		}
+		// The control tenant keeps working through the storm: its
+		// writes and reads must never see an injected fault (scope
+		// excludes B) and must never observe corrupt data.
+		if broot != nil && (op+1)%100 == 0 {
+			for i := 0; i < 8; i++ {
+				off := rng.Intn(len(broot.shadow))
+				b := byte(rng.Intn(256))
+				if err := broot.p.StoreByte(broot.addrOf(off), b); err != nil {
+					fail("op %d: control tenant write: %v (injection leaked across the scope?)", op, err)
+				}
+				broot.shadow[off] = b
+			}
+			for i := 0; i < 8; i++ {
+				off := rng.Intn(len(broot.shadow))
+				got, err := broot.p.LoadByte(broot.addrOf(off))
+				if err != nil {
+					fail("op %d: control tenant read: %v (injection leaked across the scope?)", op, err)
+				}
+				if got != broot.shadow[off] {
+					fail("op %d: CROSS-TENANT CORRUPTION: control offset %d read %#x, shadow %#x",
+						op, off, got, broot.shadow[off])
+				}
+			}
+		}
 		if (op+1)%1000 == 0 {
 			if err := sys.CheckInvariants(); err != nil {
 				fail("op %d: invariants: %v", op, err)
@@ -214,6 +269,11 @@ func main() {
 	sys.SetFailpointsEnabled(false)
 	if err := sys.CheckInvariants(); err != nil {
 		fail("final invariants: %v", err)
+	}
+	// The control lineage is audited with the same byte-exactness bar
+	// as the chaos pool; its account must also balance.
+	if broot != nil {
+		procs = append(procs, broot)
 	}
 	buf := make([]byte, len(procs[0].shadow))
 	for _, pr := range procs {
@@ -236,6 +296,11 @@ func main() {
 	}
 	if n := sys.LiveProcesses(); n != 0 {
 		fail("%d processes survived the drain", n)
+	}
+	for _, ts := range sys.TenantStats() {
+		if ts.UsageFrames != 0 {
+			fail("tenant %s: %d frames still charged after the drain", ts.Name, ts.UsageFrames)
+		}
 	}
 	if n := sys.AllocatedFrames(); n != 0 {
 		fail("%d frames leaked", n)
@@ -260,10 +325,11 @@ func main() {
 		snap.Robust.SwapReadRetries, snap.Robust.SwapWriteRetries, sys.SwapDegraded())
 }
 
-// spawn creates the root process: both arenas mapped, populated with a
-// deterministic pattern, and mirrored into the shadow.
-func spawn(sys *odfork.System, rng *rand.Rand) *proc {
-	p := sys.NewProcess()
+// spawn creates a root process (owned by tn when non-nil): both arenas
+// mapped, populated with a deterministic pattern, and mirrored into
+// the shadow.
+func spawn(sys *odfork.System, rng *rand.Rand, tn *odfork.Tenant) *proc {
+	p := sys.NewTenantProcess(tn)
 	base, err := p.Mmap(baseBytes, odfork.ProtRead|odfork.ProtWrite, odfork.MapPrivate)
 	if err != nil {
 		fail("mmap base arena: %v", err)

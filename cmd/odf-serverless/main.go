@@ -1,0 +1,493 @@
+// Command odf-serverless is the multi-tenant serverless daemon: one
+// simulated kernel hosts N tenants, each with a frame quota and a warm
+// kv lineage, and every request forks the tenant's warm process and is
+// served from the clone — the paper's microsecond fork as the cold
+// start, multiplexed across isolation domains over the TCP serving
+// tier (TenantBinaryCodec carries the tenant id on the wire).
+//
+// The headline experiment boots 8 tenants whose quotas sum to 50% of
+// the machine's frames and makes one of them a noisy neighbor with a
+// working set far over its quota. The control plane must contain the
+// blast radius: the noisy tenant's forks queue (and time out with
+// ErrQuotaExceeded), its frames are reclaimed first (fair-share
+// victim selection), and the well-behaved tenants see zero ErrNoMem
+// with clone fork p99 within 2x of a single-tenant baseline.
+//
+// Usage:
+//
+//	odf-serverless [-mode experiment|soak|serve] [-tenants N]
+//	               [-quota frames] [-noisy-mult M] [-n reqs]
+//	               [-noisy-n reqs] [-fork classic|ondemand]
+//	               [-listen addr] [-out file.json]
+//	odf-serverless -check file.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/apps/kvstore"
+	"repro/internal/apps/serve"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/tenant"
+)
+
+var (
+	modeArg    = flag.String("mode", "experiment", "experiment|soak|serve")
+	tenants    = flag.Int("tenants", 8, "tenant count (tenant 0 is the noisy neighbor)")
+	quota      = flag.Int64("quota", 512, "per-tenant frame quota")
+	noisyMult  = flag.Int64("noisy-mult", 8, "noisy tenant's working set as a multiple of its quota")
+	nReqs      = flag.Int("n", 150, "invocations per well-behaved tenant")
+	noisyReqs  = flag.Int("noisy-n", 30, "invocations by the noisy tenant")
+	forkArg    = flag.String("fork", "ondemand", "fork engine for clones: classic|ondemand")
+	listenArg  = flag.String("listen", "", "serve mode: listen address (default ephemeral)")
+	admitT     = flag.Duration("admit-timeout", 5*time.Millisecond, "fork admission timeout")
+	seed       = flag.Int64("seed", 1, "request-generator seed")
+	out        = flag.String("out", "", "write the odf-serverless/v1 JSON record here")
+	checkArg   = flag.String("check", "", "validate an odf-serverless/v1 JSON file and exit")
+	keysPerTen = flag.Int("keys", 256, "warm keys per tenant")
+)
+
+// Result is the odf-serverless/v1 JSON record.
+type Result struct {
+	Schema            string       `json:"schema"`
+	Mode              string       `json:"fork_mode"`
+	FrameLimit        int64        `json:"frame_limit"`
+	QuotaFrames       int64        `json:"quota_frames"`
+	Tenants           int          `json:"tenants"`
+	BaselineForkP99MS float64      `json:"baseline_fork_p99_ms"`
+	TenantRows        []TenantRow  `json:"tenant_rows"`
+	Checks            []CheckEntry `json:"checks"`
+}
+
+// TenantRow is one tenant's outcome.
+type TenantRow struct {
+	Name            string  `json:"name"`
+	Noisy           bool    `json:"noisy"`
+	QuotaFrames     int64   `json:"quota_frames"`
+	PeakFrames      int64   `json:"peak_frames"`
+	ReclaimedFrames uint64  `json:"reclaimed_frames"`
+	ForksAdmitted   uint64  `json:"forks_admitted"`
+	ForksQueued     uint64  `json:"forks_queued"`
+	ForksTimedOut   uint64  `json:"forks_timedout"`
+	Invocations     uint64  `json:"invocations"`
+	OKResponses     uint64  `json:"ok_responses"`
+	QuotaErrs       uint64  `json:"quota_errs"`
+	NoMemErrs       uint64  `json:"nomem_errs"`
+	OtherErrs       uint64  `json:"other_errs"`
+	ForkP50MS       float64 `json:"fork_p50_ms"`
+	ForkP99MS       float64 `json:"fork_p99_ms"`
+}
+
+// CheckEntry is one acceptance check's outcome.
+type CheckEntry struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail"`
+}
+
+// forkP99Floor absorbs host-scheduler noise in the p99 comparison:
+// sub-millisecond clone forks can jitter past 2x baseline on a busy
+// runner without any real regression.
+const forkP99FloorMS = 2.0
+
+func main() {
+	flag.Parse()
+	if *checkArg != "" {
+		if err := checkFile(*checkArg); err != nil {
+			fmt.Fprintf(os.Stderr, "odf-serverless: check %s: %v\n", *checkArg, err)
+			os.Exit(1)
+		}
+		fmt.Printf("odf-serverless: %s OK\n", *checkArg)
+		return
+	}
+	var mode core.ForkMode
+	switch *forkArg {
+	case "classic":
+		mode = core.ForkClassic
+	case "ondemand":
+		mode = core.ForkOnDemand
+	default:
+		fmt.Fprintf(os.Stderr, "odf-serverless: unknown -fork %q\n", *forkArg)
+		os.Exit(2)
+	}
+
+	switch *modeArg {
+	case "serve":
+		if err := runServe(mode); err != nil {
+			fmt.Fprintf(os.Stderr, "odf-serverless: %v\n", err)
+			os.Exit(1)
+		}
+	case "soak", "experiment":
+		if err := runExperiment(mode, *modeArg == "soak"); err != nil {
+			fmt.Fprintf(os.Stderr, "odf-serverless: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "odf-serverless: unknown -mode %q\n", *modeArg)
+		os.Exit(2)
+	}
+}
+
+// cluster is one booted multi-tenant kernel behind a TCP listener.
+type cluster struct {
+	k    *kernel.Kernel
+	d    *serve.Dispatcher
+	srv  *serve.Server
+	tens []*tenant.Tenant
+	ids  []uint32
+}
+
+const frameSize = 4096
+
+// boot builds nTenants warm kv lineages (tenant 0 noisy when
+// noisyMult > 1) under a frame limit of 2*nTenants*quota — the 50%
+// aggregate budget — and starts the TCP tier.
+func boot(mode core.ForkMode, nTenants int, quotaFrames, noisyMult int64, addr string) (*cluster, error) {
+	k := kernel.New()
+	k.SetSwapEnabled(true)
+	limit := 2 * int64(nTenants) * quotaFrames
+	k.Allocator().SetLimit(limit)
+	// Aggressive watermarks: the noisy working set pushes free frames
+	// below low, so kswapd must pick victims while the machine is far
+	// from OOM.
+	if err := k.SetSwapWatermarks(3*limit/8, limit/2); err != nil {
+		return nil, err
+	}
+	k.Tenants().SetAdmitTimeout(*admitT)
+
+	c := &cluster{k: k, d: serve.NewDispatcher()}
+	for i := 0; i < nTenants; i++ {
+		name := fmt.Sprintf("fn-%02d", i)
+		tn, err := k.Tenants().Create(name, quotaFrames)
+		if err != nil {
+			return nil, err
+		}
+		arenaFrames := quotaFrames / 2
+		if i == 0 && noisyMult > 1 {
+			arenaFrames = noisyMult * quotaFrames
+			// The arena is fully populated at creation; cap it at half
+			// the machine so small -tenants configurations don't OOM
+			// before reclaim can engage. Still far over quota — noisy.
+			if arenaFrames > limit/2 {
+				arenaFrames = limit / 2
+			}
+		}
+		app, err := serve.NewKV(k, serve.KVConfig{
+			Config: kvstore.Config{
+				ArenaBytes: uint64(arenaFrames) * frameSize,
+				TableCap:   1 << 12,
+				Mode:       mode,
+				Tenant:     tn,
+			},
+			Keys:     *keysPerTen,
+			ValueLen: 64,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := app.Warm(); err != nil {
+			return nil, err
+		}
+		c.tens = append(c.tens, tn)
+		c.ids = append(c.ids, uint32(tn.TenantID()))
+		c.d.AddLane(uint32(tn.TenantID()), app, true)
+	}
+	srv, err := serve.Listen(c.d, serve.TenantBinaryCodec{}, addr)
+	if err != nil {
+		return nil, err
+	}
+	c.srv = srv
+	return c, nil
+}
+
+func (c *cluster) close() {
+	c.srv.Close()
+	c.d.Close()
+	c.k.SetSwapEnabled(false)
+	c.k.Allocator().SetLimit(0)
+}
+
+func runServe(mode core.ForkMode) error {
+	c, err := boot(mode, *tenants, *quota, *noisyMult, *listenArg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("odf-serverless: %d tenants warm, quota %d frames each, listening on %s\n",
+		len(c.tens), *quota, c.srv.Addr())
+	fmt.Printf("odf-serverless: wire protocol tenant-binary (u32le len | u32le tenant | payload); tenant ids %v\n", c.ids)
+	select {} // serve until killed
+}
+
+// drive sends n GET invocations for tenant id over its own connection,
+// classifying every response.
+type driveStats struct {
+	ok, quotaErrs, noMemErrs, otherErrs uint64
+}
+
+func drive(addrStr string, id uint32, n int, rng *rand.Rand) (driveStats, error) {
+	var st driveStats
+	conn, err := net.Dial("tcp", addrStr)
+	if err != nil {
+		return st, err
+	}
+	defer conn.Close()
+	br := serve.NewReader(conn)
+	bw := serve.NewWriter(conn)
+	cd := serve.TenantBinaryCodec{Tenant: id}
+	for i := 0; i < n; i++ {
+		req := serve.EncodeGet(kvstore.Key(rng.Intn(*keysPerTen)))
+		if err := cd.WriteRequest(bw, req); err != nil {
+			return st, err
+		}
+		if err := bw.Flush(); err != nil {
+			return st, err
+		}
+		resp, flags, err := cd.ReadResponse(br)
+		if err != nil {
+			return st, err
+		}
+		switch {
+		case flags&serve.FlagAppError == 0:
+			st.ok++
+		case strings.Contains(string(resp), "quota"):
+			st.quotaErrs++
+		case strings.Contains(string(resp), "out of memory"):
+			st.noMemErrs++
+		default:
+			st.otherErrs++
+		}
+	}
+	return st, nil
+}
+
+// baselineForkP99 measures the clone fork p99 of one tenant running
+// alone on an identical machine — the contention-free reference the
+// noisy-neighbor run is gated against.
+func baselineForkP99(mode core.ForkMode) (float64, error) {
+	c, err := boot(mode, 1, *quota, 1, "")
+	if err != nil {
+		return 0, err
+	}
+	defer c.close()
+	rng := rand.New(rand.NewSource(*seed))
+	if _, err := drive(c.srv.Addr(), c.ids[0], *nReqs, rng); err != nil {
+		return 0, err
+	}
+	return c.d.Lane(c.ids[0]).ForkTimes.Percentile(99), nil
+}
+
+func runExperiment(mode core.ForkMode, soak bool) error {
+	label := "experiment"
+	wellN, noisyN := *nReqs, *noisyReqs
+	if soak {
+		label = "soak"
+		wellN *= 4
+		noisyN *= 4
+	}
+	baseP99, err := baselineForkP99(mode)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	fmt.Printf("odf-serverless %s: baseline clone fork p99 %.3f ms\n", label, baseP99)
+
+	c, err := boot(mode, *tenants, *quota, *noisyMult, "")
+	if err != nil {
+		return err
+	}
+	limit := 2 * int64(*tenants) * (*quota)
+	fmt.Printf("odf-serverless %s: %d tenants x %d-frame quota on %d frames (50%% aggregate budget), noisy x%d\n",
+		label, *tenants, *quota, limit, *noisyMult)
+
+	// Let fair-share reclaim catch up with the noisy warm set before
+	// offering load, so admission decisions see steady-state accounting.
+	waitUntil := time.Now().Add(10 * time.Second)
+	for c.tens[0].Stats().ReclaimedFrames == 0 && time.Now().Before(waitUntil) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Skewed offered load: every tenant drives its own connection
+	// concurrently; the noisy tenant's invocations mostly bounce off
+	// admission control, which is the point.
+	type res struct {
+		i  int
+		st driveStats
+		e  error
+	}
+	ch := make(chan res, len(c.ids))
+	for i, id := range c.ids {
+		n := wellN
+		if i == 0 {
+			n = noisyN
+		}
+		go func(i int, id uint32, n int) {
+			rng := rand.New(rand.NewSource(*seed + int64(i)))
+			st, err := drive(c.srv.Addr(), id, n, rng)
+			ch <- res{i, st, err}
+		}(i, id, n)
+	}
+	stats := make([]driveStats, len(c.ids))
+	for range c.ids {
+		r := <-ch
+		if r.e != nil {
+			return fmt.Errorf("driver %d: %w", r.i, r.e)
+		}
+		stats[r.i] = r.st
+	}
+
+	result := Result{
+		Schema:            "odf-serverless/v1",
+		Mode:              mode.String(),
+		FrameLimit:        limit,
+		QuotaFrames:       *quota,
+		Tenants:           *tenants,
+		BaselineForkP99MS: baseP99,
+	}
+	for i, tn := range c.tens {
+		ts := tn.Stats()
+		l := c.d.Lane(c.ids[i])
+		result.TenantRows = append(result.TenantRows, TenantRow{
+			Name:            ts.Name,
+			Noisy:           i == 0,
+			QuotaFrames:     ts.QuotaFrames,
+			PeakFrames:      ts.PeakFrames,
+			ReclaimedFrames: ts.ReclaimedFrames,
+			ForksAdmitted:   ts.ForksAdmitted,
+			ForksQueued:     ts.ForksQueued,
+			ForksTimedOut:   ts.ForksTimedOut,
+			Invocations:     l.Invocations(),
+			OKResponses:     stats[i].ok,
+			QuotaErrs:       stats[i].quotaErrs,
+			NoMemErrs:       stats[i].noMemErrs,
+			OtherErrs:       stats[i].otherErrs,
+			ForkP50MS:       l.ForkTimes.Percentile(50),
+			ForkP99MS:       l.ForkTimes.Percentile(99),
+		})
+	}
+	result.Checks = evaluate(&result)
+
+	// Quiesce and audit: stop traffic and kswapd, then the invariant
+	// sweep including the per-tenant accounting cross-check.
+	c.srv.Close()
+	c.k.SetSwapEnabled(false)
+	if err := c.k.CheckInvariants(); err != nil {
+		return fmt.Errorf("final audit: %w", err)
+	}
+	c.d.Close()
+	c.k.Allocator().SetLimit(0)
+
+	for _, row := range result.TenantRows {
+		fmt.Printf("  %-6s noisy=%-5v ok=%-4d quota_errs=%-4d nomem=%-2d queued=%-3d reclaimed=%-5d fork_p99=%.3fms\n",
+			row.Name, row.Noisy, row.OKResponses, row.QuotaErrs, row.NoMemErrs,
+			row.ForksQueued, row.ReclaimedFrames, row.ForkP99MS)
+	}
+	failed := false
+	for _, chk := range result.Checks {
+		status := "ok"
+		if !chk.OK {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("  check %-28s %-4s %s\n", chk.Name, status, chk.Detail)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&result); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("odf-serverless: wrote %s\n", *out)
+	}
+	if failed {
+		return fmt.Errorf("%s checks failed", label)
+	}
+	fmt.Printf("odf-serverless %s: all checks passed\n", label)
+	return nil
+}
+
+// evaluate runs the acceptance checks over a result record. It is
+// shared by the live run and -check, so a committed record is
+// re-validated from its own numbers.
+func evaluate(r *Result) []CheckEntry {
+	var cs []CheckEntry
+	add := func(name string, ok bool, detail string, args ...any) {
+		cs = append(cs, CheckEntry{Name: name, OK: ok, Detail: fmt.Sprintf(detail, args...)})
+	}
+	if r.Schema != "odf-serverless/v1" {
+		add("schema", false, "schema %q, want odf-serverless/v1", r.Schema)
+		return cs
+	}
+	var noisy *TenantRow
+	wellNoMem, wellOther := uint64(0), uint64(0)
+	worstWellP99 := 0.0
+	for i := range r.TenantRows {
+		row := &r.TenantRows[i]
+		if row.Noisy {
+			noisy = row
+			continue
+		}
+		wellNoMem += row.NoMemErrs
+		wellOther += row.OtherErrs + row.QuotaErrs
+		if row.ForkP99MS > worstWellP99 {
+			worstWellP99 = row.ForkP99MS
+		}
+	}
+	if noisy == nil {
+		add("noisy-present", false, "no noisy tenant row")
+		return cs
+	}
+	add("noisy-forks-queue", noisy.ForksQueued > 0,
+		"noisy tenant queued %d forks (timed out %d)", noisy.ForksQueued, noisy.ForksTimedOut)
+	add("noisy-reclaimed-first", noisy.ReclaimedFrames > 0,
+		"fair-share reclaim evicted %d frames from the noisy tenant", noisy.ReclaimedFrames)
+	wellReclaimed := uint64(0)
+	for _, row := range r.TenantRows {
+		if !row.Noisy {
+			wellReclaimed += row.ReclaimedFrames
+		}
+	}
+	add("well-behaved-not-victims", wellReclaimed == 0,
+		"%d frames reclaimed from well-behaved tenants", wellReclaimed)
+	add("zero-cross-tenant-errors", wellNoMem == 0 && wellOther == 0,
+		"well-behaved tenants saw %d ErrNoMem and %d other failures", wellNoMem, wellOther)
+	bound := 2 * r.BaselineForkP99MS
+	if bound < forkP99FloorMS {
+		bound = forkP99FloorMS
+	}
+	add("fork-p99-within-2x-baseline", worstWellP99 <= bound,
+		"worst well-behaved clone fork p99 %.3f ms vs bound %.3f ms (baseline %.3f ms)",
+		worstWellP99, bound, r.BaselineForkP99MS)
+	return cs
+}
+
+func checkFile(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r Result
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return err
+	}
+	for _, chk := range evaluate(&r) {
+		if !chk.OK {
+			return fmt.Errorf("check %s: %s", chk.Name, chk.Detail)
+		}
+	}
+	return nil
+}

@@ -5,9 +5,17 @@
 // initialization. With classic fork, warm starts still cost
 // milliseconds on a large runtime; with on-demand-fork they are
 // microseconds.
+//
+// The platform is multi-tenant: the warm runtime belongs to a Tenant
+// with a frame quota, every invocation's memory is charged to that
+// account, and a function that outgrows its share has its warm starts
+// queued by admission control (ErrQuotaExceeded) instead of starving
+// the other tenants with ErrNoMem. The odf-serverless daemon serves
+// this same model over TCP.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -18,10 +26,18 @@ import (
 func main() {
 	sys := odfork.NewSystem()
 
+	// Every function runs inside a tenant: an isolation domain with a
+	// frame quota. The quota is sized to fit the warm runtime with room
+	// for invocation-private COW pages.
+	tn, err := sys.NewTenant("lambda-py", 160<<10) // frames: ~640 MiB
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// "Cold start": build the runtime once — map and initialize 512 MiB
 	// of packages, JIT caches, and reference data.
 	coldStart := time.Now()
-	runtime := sys.NewProcess()
+	runtime := sys.NewTenantProcess(tn)
 	const runtimeSize = 512 * odfork.MiB
 	base, err := runtime.Mmap(runtimeSize, odfork.ProtRead|odfork.ProtWrite,
 		odfork.MapPrivate|odfork.MapPopulate)
@@ -104,4 +120,27 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nruntime state intact: first byte %#x (want %#x)\n", check[0], blob[0])
+
+	// The tenant's account has every frame the function family touched.
+	for _, ts := range sys.TenantStats() {
+		fmt.Printf("tenant %s: quota %d frames, usage %d, peak %d\n",
+			ts.Name, ts.QuotaFrames, ts.UsageFrames, ts.PeakFrames)
+	}
+
+	// A function that outgrows its share is throttled, not the machine:
+	// shrink the quota below the runtime's footprint and the next warm
+	// start bounces off admission control with ErrQuotaExceeded — the
+	// neighbors never see ErrNoMem.
+	sys.SetAdmitTimeout(5 * time.Millisecond)
+	tn.SetQuota(1024)
+	if _, err := classic.SnapshotSync(func(p *odfork.Process) error { return nil }); errors.Is(err, odfork.ErrQuotaExceeded) {
+		fmt.Println("\nover quota: warm start refused with ErrQuotaExceeded (queued, timed out)")
+	} else {
+		log.Fatalf("over-quota warm start = %v, want ErrQuotaExceeded", err)
+	}
+	tn.SetQuota(0) // lift the quota; queued forks are readmitted
+	if _, err := classic.SnapshotSync(func(p *odfork.Process) error { return nil }); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("quota lifted: warm starts flow again")
 }

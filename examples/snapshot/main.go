@@ -35,7 +35,7 @@ func main() {
 		fmt.Printf("[%s] store loaded: %d keys\n", mode, store.Len())
 
 		dump := k.FS().Create("dump.rdb")
-		if err := store.Snapshot(dump); err != nil {
+		if err := store.SnapshotNow(dump); err != nil {
 			log.Fatal(err)
 		}
 		// Keep serving writes while the child serializes.

@@ -15,6 +15,7 @@ import (
 	"repro/internal/fs"
 	"repro/internal/kernel"
 	"repro/internal/stats"
+	"repro/internal/tenant"
 )
 
 // Store is the simulated Redis instance.
@@ -57,11 +58,17 @@ type Config struct {
 	// competes for the CPU with the serving loop, which the paper's
 	// 16-core testbed does not exhibit. Zero disables throttling.
 	SnapshotIODelay time.Duration
+	// Tenant, when set, makes the store's process — and so every frame
+	// of its arena and snapshot lineage — belong to that tenant: frames
+	// are charged against its quota and snapshot forks pass its
+	// admission control.
+	Tenant *tenant.Tenant
 }
 
-// New creates a store inside a fresh process of k.
+// New creates a store inside a fresh process of k (owned by cfg.Tenant
+// when set).
 func New(k *kernel.Kernel, cfg Config) (*Store, error) {
-	proc := k.NewProcess()
+	proc := k.NewTenantProcess(cfg.Tenant)
 	arena, err := simalloc.NewArena(proc, cfg.ArenaBytes)
 	if err != nil {
 		return nil, err
@@ -210,13 +217,14 @@ func (s *Store) serializer(out *fs.File) func(*kernel.Process) error {
 	}
 }
 
-// Snapshot forks the server and serializes the table into out on a
-// background goroutine.
-//
-// Deprecated: Use SnapshotNow, which routes the snapshot through the
-// store's Snapshotter so fork pauses, epochs and totals are tracked in
-// one place. Snapshot remains as a thin equivalent wrapper.
-func (s *Store) Snapshot(out *fs.File) error { return s.SnapshotNow(out) }
+// GetIn fetches a key through proc's view of the table. proc is
+// typically a freshly forked snapshot child: the lookup is served from
+// its frozen copy-on-write memory, giving the caller a consistent
+// point-in-time read while the parent keeps mutating — the serverless
+// invocation path of the serving tier.
+func (s *Store) GetIn(proc *kernel.Process, k []byte) ([]byte, bool, error) {
+	return s.table.View(s.arena.View(proc)).Get(k)
+}
 
 // WaitSnapshots blocks until all snapshot children have exited, so
 // tests and experiments can check for leaks.

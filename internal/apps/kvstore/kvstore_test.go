@@ -69,7 +69,7 @@ func TestSnapshotConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := k.FS().Create("dump.rdb")
-	if err := s.Snapshot(out); err != nil {
+	if err := s.SnapshotNow(out); err != nil {
 		t.Fatal(err)
 	}
 	// Mutate immediately after the fork returns; the child serializer

@@ -127,6 +127,29 @@ func (a *KVApp) Handle(req []byte) ([]byte, error) {
 	}
 }
 
+// HandleClone serves one op-framed request from a freshly forked
+// clone of the store (the serverless invocation path): GETs read the
+// clone's frozen copy-on-write memory, a consistent point-in-time
+// view; SETs and DELs mutate the warm store — they are the state the
+// next clone inherits.
+func (a *KVApp) HandleClone(child *kernel.Process, req []byte) ([]byte, error) {
+	if len(req) >= 5 && req[0] == opGet {
+		klen := binary.LittleEndian.Uint32(req[1:])
+		if uint64(5)+uint64(klen) > uint64(len(req)) {
+			return nil, fmt.Errorf("kv: key length %d exceeds frame", klen)
+		}
+		val, ok, err := a.st.GetIn(child, req[5:5+klen])
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return []byte{StatusMiss}, nil
+		}
+		return append([]byte{StatusOK}, val...), nil
+	}
+	return a.Handle(req)
+}
+
 // Snapshot takes one on-demand snapshot, discarding the dump.
 func (a *KVApp) Snapshot() error { return a.st.SnapshotNow(nil) }
 

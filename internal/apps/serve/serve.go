@@ -36,8 +36,10 @@ import (
 //
 // Handle is not required to be safe for concurrent use (the paper's
 // servers are single-threaded); Server serializes calls. Snapshotter
-// must return a non-nil engine for the lifetime of the app — its fork
-// epoch is how responses are tagged fork-coincident.
+// returns the app's snapshot engine — its fork epoch is how responses
+// are tagged fork-coincident. An app multiplexing several lineages
+// (Dispatcher) may return nil, in which case responses are never
+// tagged.
 type App interface {
 	// Name identifies the app ("kv", "httpd") in results and schemas.
 	Name() string
@@ -162,11 +164,16 @@ func (s *Server) serveConn(c net.Conn) {
 		// Seqlock-style fork-coincidence probe: the epoch is odd while a
 		// snapshot fork is in flight, and changes across one. Either
 		// signal means this request overlapped a fork pause.
-		e1 := snap.Epoch()
+		var e1, e2 uint64
+		if snap != nil {
+			e1 = snap.Epoch()
+		}
 		s.handleMu.Lock()
 		resp, herr := s.app.Handle(req)
 		s.handleMu.Unlock()
-		e2 := snap.Epoch()
+		if snap != nil {
+			e2 = snap.Epoch()
+		}
 
 		var flags ResponseFlags
 		if e1&1 == 1 || e1 != e2 {

@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/kernel"
+	"repro/internal/stats"
+)
+
+// The multi-tenant serving tier: a TenantBinaryCodec that carries a
+// tenant id on every request, and a Dispatcher app that routes each
+// request to the matching tenant's warm snapshot lineage. Together
+// they are the wire side of the odf-serverless daemon — one listener,
+// N tenants, each invocation optionally served from a microsecond
+// clone of the tenant's warm process (the paper's fork-as-cold-start
+// elimination, multiplexed across isolation domains).
+
+// TenantBinaryCodec is BinaryCodec with a tenant id on every request:
+//
+//	request:  u32le frame length | u32le tenant id | payload
+//	response: u32le frame length | flags u8 | payload
+//
+// (the request frame length counts the tenant field, so it is
+// 4+len(payload); responses are identical to BinaryCodec's). The
+// zero value reads any tenant's requests server-side; clients set
+// Tenant to stamp theirs.
+type TenantBinaryCodec struct {
+	// Tenant is the id stamped on requests this codec value writes.
+	Tenant uint32
+}
+
+// Name identifies the protocol in schemas and flags.
+func (TenantBinaryCodec) Name() string { return "tenant-binary" }
+
+// WriteRequest frames one request payload under the codec's tenant id.
+func (c TenantBinaryCodec) WriteRequest(w *bufio.Writer, payload []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+4))
+	binary.LittleEndian.PutUint32(hdr[4:], c.Tenant)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadRequest reads one framed request. The returned payload keeps the
+// 4-byte tenant id at the front — SplitTenant recovers it — so the
+// routing key travels with the request through the App interface.
+func (TenantBinaryCodec) ReadRequest(r *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 4 || n > maxFrame {
+		return nil, fmt.Errorf("serve: tenant request frame of %d bytes", n)
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(r, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// WriteResponse frames one response; the tenant protocol's responses
+// are plain BinaryCodec responses.
+func (TenantBinaryCodec) WriteResponse(w *bufio.Writer, payload []byte, flags ResponseFlags) error {
+	return BinaryCodec{}.WriteResponse(w, payload, flags)
+}
+
+// ReadResponse reads one framed response.
+func (TenantBinaryCodec) ReadResponse(r *bufio.Reader) ([]byte, ResponseFlags, error) {
+	return BinaryCodec{}.ReadResponse(r)
+}
+
+// SplitTenant splits a tenant-framed request payload (as returned by
+// TenantBinaryCodec.ReadRequest) into the tenant id and the inner
+// payload.
+func SplitTenant(req []byte) (uint32, []byte, error) {
+	if len(req) < 4 {
+		return 0, nil, fmt.Errorf("serve: tenant request of %d bytes", len(req))
+	}
+	return binary.LittleEndian.Uint32(req), req[4:], nil
+}
+
+// EncodeTenant prefixes payload with a tenant id, producing the request
+// form Dispatcher.Handle expects (what TenantBinaryCodec.ReadRequest
+// yields on the wire path). In-process drivers use it to call the
+// dispatcher directly.
+func EncodeTenant(tenantID uint32, payload []byte) []byte {
+	p := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint32(p, tenantID)
+	copy(p[4:], payload)
+	return p
+}
+
+// CloneHandler is the serverless invocation surface: an app that can
+// serve a request from a freshly forked clone of its warm process.
+// child is the snapshot fork, already materialized when the handler
+// runs; reads through it see the warm state frozen at the fork
+// instant.
+type CloneHandler interface {
+	HandleClone(child *kernel.Process, req []byte) ([]byte, error)
+}
+
+// Lane is one tenant's entry in a Dispatcher: the tenant's warm app
+// plus its invocation policy.
+type Lane struct {
+	id    uint32
+	app   App
+	clone bool
+
+	invocations atomic.Uint64
+	cloneErrs   atomic.Uint64
+
+	// ForkTimes records each clone invocation's fork pause. Serve
+	// appends to it without locking: lanes rely on the server tier's
+	// request serialization, like every other App.
+	ForkTimes stats.Sample
+}
+
+// App returns the lane's warm application.
+func (l *Lane) App() App { return l.app }
+
+// Invocations returns how many requests the lane has served.
+func (l *Lane) Invocations() uint64 { return l.invocations.Load() }
+
+// CloneErrs returns how many invocations failed to fork a clone —
+// under tenant admission control these are the lane's quota
+// rejections.
+func (l *Lane) CloneErrs() uint64 { return l.cloneErrs.Load() }
+
+// Serve handles one request payload (tenant prefix already stripped).
+// On a clone-per-request lane backed by a CloneHandler, the warm
+// process is forked, the request is served from the clone's frozen
+// memory, and the clone exits — a full serverless invocation whose
+// cold start is one on-demand fork. A fork refused by admission
+// control (tenant over quota, queue full or timed out) surfaces here
+// as the fork error.
+func (l *Lane) Serve(payload []byte) ([]byte, error) {
+	l.invocations.Add(1)
+	ch, ok := l.app.(CloneHandler)
+	if !l.clone || !ok {
+		return l.app.Handle(payload)
+	}
+	var resp []byte
+	var herr error
+	st, err := l.app.Snapshotter().SnapshotSync(func(child *kernel.Process) error {
+		resp, herr = ch.HandleClone(child, payload)
+		return herr
+	})
+	if err != nil {
+		l.cloneErrs.Add(1)
+		return nil, fmt.Errorf("serve: tenant %d clone: %w", l.id, err)
+	}
+	l.ForkTimes.AddDuration(st.ForkLatency)
+	return resp, herr
+}
+
+// Dispatcher is the multi-tenant front door of the serving tier: an
+// App whose Handle routes each tenant-framed request (TenantBinaryCodec
+// framing) to the matching tenant's Lane. It is what odf-serverless
+// listens with.
+type Dispatcher struct {
+	mu    sync.RWMutex
+	lanes map[uint32]*Lane
+	order []*Lane
+}
+
+// NewDispatcher returns an empty dispatcher; add tenants with AddLane.
+func NewDispatcher() *Dispatcher {
+	return &Dispatcher{lanes: make(map[uint32]*Lane)}
+}
+
+// AddLane registers app as tenant tenantID's lane. With clonePerRequest
+// set (and app implementing CloneHandler), every request forks the warm
+// process and is served from the clone — the serverless invocation
+// model; otherwise requests go to the warm app directly.
+func (d *Dispatcher) AddLane(tenantID uint32, app App, clonePerRequest bool) *Lane {
+	l := &Lane{id: tenantID, app: app, clone: clonePerRequest}
+	d.mu.Lock()
+	d.lanes[tenantID] = l
+	d.order = append(d.order, l)
+	d.mu.Unlock()
+	return l
+}
+
+// Lane returns tenant tenantID's lane (nil when absent).
+func (d *Dispatcher) Lane(tenantID uint32) *Lane {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.lanes[tenantID]
+}
+
+// Lanes returns the lanes in registration order.
+func (d *Dispatcher) Lanes() []*Lane {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]*Lane, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// Name identifies the app.
+func (d *Dispatcher) Name() string { return "dispatch" }
+
+// Warm warms every lane.
+func (d *Dispatcher) Warm() error {
+	for _, l := range d.Lanes() {
+		if err := l.app.Warm(); err != nil {
+			return fmt.Errorf("serve: tenant %d warm: %w", l.id, err)
+		}
+	}
+	return nil
+}
+
+// Handle routes one tenant-framed request to its lane.
+func (d *Dispatcher) Handle(req []byte) ([]byte, error) {
+	id, payload, err := SplitTenant(req)
+	if err != nil {
+		return nil, err
+	}
+	l := d.Lane(id)
+	if l == nil {
+		return nil, fmt.Errorf("serve: no lane for tenant %d", id)
+	}
+	return l.Serve(payload)
+}
+
+// Snapshot snapshots every lane's warm process.
+func (d *Dispatcher) Snapshot() error {
+	for _, l := range d.Lanes() {
+		if err := l.app.Snapshot(); err != nil {
+			return fmt.Errorf("serve: tenant %d snapshot: %w", l.id, err)
+		}
+	}
+	return nil
+}
+
+// Snapshotter returns nil: a dispatcher multiplexes many lineages and
+// has no single fork epoch. Per-request fork coincidence is meaningless
+// on clone-per-request lanes anyway — every invocation is a fork.
+func (d *Dispatcher) Snapshotter() *kernel.Snapshotter { return nil }
+
+// Close closes every lane's app.
+func (d *Dispatcher) Close() error {
+	var first error
+	for _, l := range d.Lanes() {
+		if err := l.app.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -302,7 +302,7 @@ func (as *AddressSpace) demandPageLocked(vma *vm.VMA, v addr.V) error {
 		e := pmd.Entry(pi)
 		switch {
 		case !e.Present():
-			head := as.alloc.AllocHuge()
+			head := as.alloc.AllocHugeFor(as.charger)
 			flags := pagetable.FlagHuge | pagetable.FlagUser
 			if vma.Prot.CanWrite() {
 				flags |= pagetable.FlagWritable
@@ -348,7 +348,7 @@ func (as *AddressSpace) trySwapInLocked(v addr.V) (handled bool, err error) {
 		t0 = time.Now()
 	}
 	slot := e.SwapSlot()
-	f := as.alloc.Alloc() // may panic ErrNoMemory; caught by catchOOM
+	f := as.alloc.AllocFor(as.charger) // may panic ErrNoMemory; caught by catchOOM
 	if slot != 0 {
 		if rerr := as.rec.ReadSlot(slot, as.alloc.Data(f)); rerr != nil {
 			as.alloc.Put(f)
@@ -386,7 +386,7 @@ func (as *AddressSpace) ensurePrivateLeafLocked(v addr.V) (*pagetable.Table, int
 	pmd, pi := as.ensurePrivatePMDLocked(v)
 	leaf := pmd.Child(pi)
 	if leaf == nil {
-		leaf = pagetable.NewTable(as.alloc, addr.PTE)
+		leaf = pagetable.NewTableFor(as.alloc, addr.PTE, as.charger)
 		pmd.SetChild(pi, leaf, pagetable.FlagWritable|pagetable.FlagUser)
 		return leaf, v.Index(addr.PTE)
 	}
@@ -403,7 +403,7 @@ func (as *AddressSpace) ensurePrivatePMDLocked(v addr.V) (*pagetable.Table, int)
 	pud, pi := as.w.EnsurePUD(v)
 	pmd := pud.Child(pi)
 	if pmd == nil {
-		pmd = pagetable.NewTable(as.alloc, addr.PMD)
+		pmd = pagetable.NewTableFor(as.alloc, addr.PMD, as.charger)
 		pud.SetChild(pi, pmd, pagetable.FlagWritable|pagetable.FlagUser)
 		return pmd, v.Index(addr.PMD)
 	}
@@ -436,7 +436,7 @@ func (as *AddressSpace) splitSharedPMDLocked(pud *pagetable.Table, pi int, old *
 	// allocation failing: nothing has been mutated yet, so the shared
 	// PMD table and the huge mappings beneath it stay intact.
 	as.failInject(as.alloc.Failpoints(), failpoint.FaultPMDSplit)
-	newPMD := pagetable.NewTable(as.alloc, addr.PMD)
+	newPMD := pagetable.NewTableFor(as.alloc, addr.PMD, as.charger)
 	old.Lock()
 	if old.ShareCount(as.alloc) == 1 {
 		old.Unlock()
@@ -529,7 +529,7 @@ func (as *AddressSpace) splitSharedLeafLocked(pmd *pagetable.Table, pi int, old 
 	// half-applied. The failpoint fires at the same point for the same
 	// reason.
 	as.failInject(as.alloc.Failpoints(), failpoint.FaultTableCopy)
-	newLeaf := pagetable.NewTable(as.alloc, addr.PTE)
+	newLeaf := pagetable.NewTableFor(as.alloc, addr.PTE, as.charger)
 	old.Lock()
 	if old.ShareCount(as.alloc) == 1 {
 		// Raced with another sharer's split/exit: dedicate instead.
@@ -610,7 +610,7 @@ func (as *AddressSpace) pageCOWLocked(tr pagetable.Translation) {
 	var nf phys.Frame
 	if as.alloc.RefCount(f) > 1 {
 		// Allocate outside the table lock so OOM cannot strand it.
-		nf = as.alloc.Alloc()
+		nf = as.alloc.AllocFor(as.charger)
 	}
 	leaf.Lock()
 	defer leaf.Unlock()
@@ -632,7 +632,7 @@ func (as *AddressSpace) pageCOWLocked(tr pagetable.Translation) {
 		return
 	}
 	if !nf.Valid() {
-		nf = as.alloc.Alloc()
+		nf = as.alloc.AllocFor(as.charger)
 	}
 	if !as.alloc.CopyPage(nf, f) {
 		as.noteZeroElides(1)
@@ -664,7 +664,7 @@ func (as *AddressSpace) hugeCOWLocked(tr pagetable.Translation) {
 		return
 	}
 	as.failInject(as.alloc.Failpoints(), failpoint.FaultHugeCopy)
-	nh := as.alloc.AllocHuge()
+	nh := as.alloc.AllocHugeFor(as.charger)
 	copied := as.alloc.CopyHugePage(nh, head)
 	as.noteZeroElides(uint64(addr.EntriesPerTable - copied))
 	if m := as.trk(); m != nil {

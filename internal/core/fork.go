@@ -191,6 +191,12 @@ func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) (*Ad
 			forkErr = ErrOutOfMemory
 		}()
 		child = getSpace(parent.alloc, parent.prof, parent.sd, parent.rec)
+		// The child belongs to the parent's tenant: its bookkeeping
+		// tables and every frame it faults in are charged to the same
+		// account, and scoped failpoints target its lineage too.
+		child.tenantID = parent.tenantID
+		child.charger = parent.charger
+		child.w.Charger = parent.charger
 		parent.vmas.CloneInto(child.vmas)
 		var walkStart time.Time
 		if tr.Enabled() {
@@ -287,7 +293,7 @@ func noteFanOut(m *metrics.Registry, nTasks int) {
 // fully consistent) holds for injected failures exactly as for real
 // ones.
 func (as *AddressSpace) failInject(fp *failpoint.Registry, name string) {
-	if fp.Enabled() && fp.Fire(name) {
+	if fp.Enabled() && fp.FireAs(name, as.tenantID) {
 		panic(errInjected)
 	}
 }
@@ -310,7 +316,7 @@ func (as *AddressSpace) copyTreeClassic(src, dst *pagetable.Table, child *Addres
 		}
 		as.prof.Charge(profile.UpperWalk, 1)
 		as.failInject(fp, failpoint.ForkWalk)
-		newTable := pagetable.NewTable(as.alloc, childTable.Level)
+		newTable := pagetable.NewTableFor(as.alloc, childTable.Level, child.charger)
 		dst.SetChild(i, newTable, src.Entry(i))
 		as.copyTreeClassic(childTable, newTable, child)
 	}
@@ -370,7 +376,7 @@ func (as *AddressSpace) copyPMDRangeClassic(src, dst *pagetable.Table, lo, hi in
 			continue
 		}
 		as.failInject(fp, failpoint.ForkRefcount)
-		newLeaf := pagetable.NewTable(as.alloc, addr.PTE)
+		newLeaf := pagetable.NewTableFor(as.alloc, addr.PTE, child.charger)
 		frames = frames[:0]
 		leaf.Lock()
 		for li := 0; li < addr.EntriesPerTable; li++ {
@@ -450,7 +456,7 @@ func (as *AddressSpace) copyTreeOnDemand(src, dst *pagetable.Table, child *Addre
 			continue
 		}
 		as.failInject(fp, failpoint.ForkWalk)
-		newTable := pagetable.NewTable(as.alloc, childTable.Level)
+		newTable := pagetable.NewTableFor(as.alloc, childTable.Level, child.charger)
 		dst.SetChild(i, newTable, src.Entry(i))
 		as.copyTreeOnDemand(childTable, newTable, child, opts)
 	}

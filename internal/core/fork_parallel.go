@@ -263,7 +263,7 @@ func (as *AddressSpace) collectClassicTasks(src, dst *pagetable.Table, child *Ad
 		}
 		as.prof.Charge(profile.UpperWalk, 1)
 		as.failInject(fp, failpoint.ForkWalk)
-		newTable := pagetable.NewTable(as.alloc, childTable.Level)
+		newTable := pagetable.NewTableFor(as.alloc, childTable.Level, child.charger)
 		dst.SetChild(i, newTable, src.Entry(i))
 		tasks = as.collectClassicTasks(childTable, newTable, child, tasks)
 	}
@@ -290,7 +290,7 @@ func (as *AddressSpace) collectOnDemandTasks(src, dst *pagetable.Table, child *A
 			continue
 		}
 		as.failInject(fp, failpoint.ForkWalk)
-		newTable := pagetable.NewTable(as.alloc, childTable.Level)
+		newTable := pagetable.NewTableFor(as.alloc, childTable.Level, child.charger)
 		dst.SetChild(i, newTable, src.Entry(i))
 		tasks = as.collectOnDemandTasks(childTable, newTable, child, opts, tasks)
 	}

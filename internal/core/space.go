@@ -65,6 +65,13 @@ type AddressSpace struct {
 	id  uint64
 	rec *reclaim.Manager
 
+	// Tenant attribution: every frame this space allocates is charged
+	// to charger (nil = unowned), and failpoint injection is filtered by
+	// tenantID when the registry has a scope set. Children inherit both
+	// at fork.
+	tenantID uint64
+	charger  phys.FrameCharger
+
 	dead bool
 
 	// Statistics, exposed for the benchmarks and experiments.
@@ -93,6 +100,7 @@ func getSpace(alloc *phys.Allocator, prof *profile.Profiler, sd *tlb.Shootdown, 
 	as.w.Root = pagetable.NewTable(alloc, addr.PGD)
 	as.w.Alloc = alloc
 	as.w.Prof = prof
+	as.w.Charger = nil
 	if as.vmas == nil {
 		as.vmas = &vm.Set{}
 	}
@@ -108,6 +116,8 @@ func getSpace(alloc *phys.Allocator, prof *profile.Profiler, sd *tlb.Shootdown, 
 	}
 	as.id = spaceIDs.Add(1)
 	as.rec = rec
+	as.tenantID = 0
+	as.charger = nil
 	as.dead = false
 	as.Faults.Store(0)
 	as.TableSplits.Store(0)
@@ -154,6 +164,27 @@ func (as *AddressSpace) trk() *reclaim.Manager {
 		return as.rec
 	}
 	return nil
+}
+
+// SetTenant attributes the space to a tenant account: every frame
+// allocated from here on — data pages, COW copies, page tables grown
+// by Ensure* walks — is charged to c, and failpoint injection sites
+// report id for scope filtering. Children inherit the attribution at
+// fork. Call before the first mapping; frames allocated earlier stay
+// uncharged. A nil c with id 0 detaches the space.
+func (as *AddressSpace) SetTenant(id uint64, c phys.FrameCharger) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	as.tenantID = id
+	as.charger = c
+	as.w.Charger = c
+}
+
+// TenantID returns the tenant the space is attributed to (0 = none).
+func (as *AddressSpace) TenantID() uint64 {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return as.tenantID
 }
 
 // ReclaimID implements reclaim.Space.
@@ -302,7 +333,7 @@ func (as *AddressSpace) populateLocked(vma *vm.VMA, r addr.Range) {
 			if pmd.Entry(pi).Present() {
 				continue
 			}
-			head := as.alloc.AllocHuge()
+			head := as.alloc.AllocHugeFor(as.charger)
 			flags := pagetable.FlagHuge | pagetable.FlagUser
 			if vma.Prot.CanWrite() {
 				flags |= pagetable.FlagWritable
@@ -326,7 +357,7 @@ func (as *AddressSpace) populateLocked(vma *vm.VMA, r addr.Range) {
 // installPageLocked backs one 4 KiB page, copying file content for
 // file-backed VMAs.
 func (as *AddressSpace) installPageLocked(vma *vm.VMA, leaf *pagetable.Table, li int, v addr.V) {
-	f := as.alloc.Alloc()
+	f := as.alloc.AllocFor(as.charger)
 	if vma.Backing != nil {
 		off := vma.FileOff + uint64(v.PageBase()-vma.Range.Start)
 		if src := vma.Backing.PageAt(off); src != nil {

@@ -110,6 +110,7 @@ type Registry struct {
 	armed  atomic.Int64 // number of points whose mode != off
 	seed   atomic.Uint64
 	total  atomic.Uint64
+	scope  atomic.Uint64 // tenant id injection is restricted to (0 = everywhere)
 	obs    atomic.Pointer[observer]
 	mu     sync.Mutex // serializes Set/Reseed/Reset (not Fire)
 	points []point    // len(catalog), indexed by catalog order
@@ -173,7 +174,38 @@ func (r *Registry) SetObserver(fn func(name string, index int)) {
 // should fail. Unknown names never fire. Cheap when the point is off;
 // callers gate on Enabled() first so the disabled-registry cost stays
 // at one atomic load.
+//
+// Fire is the unattributed form: the site does not know which tenant's
+// work it is doing. When a tenant scope is set, unattributed sites
+// never fire.
 func (r *Registry) Fire(name string) bool {
+	return r.FireAs(name, 0)
+}
+
+// SetScope restricts injection to sites attributed to the given tenant
+// id. 0 restores the default: every armed site fires. Out-of-scope
+// evaluations return before touching the point's counters or PRNG
+// stream, so the in-scope fault schedule for a fixed seed is identical
+// whether or not other tenants are running.
+func (r *Registry) SetScope(tenant uint64) {
+	if r == nil {
+		return
+	}
+	r.scope.Store(tenant)
+}
+
+// Scope returns the tenant id injection is restricted to (0 = none).
+func (r *Registry) Scope() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.scope.Load()
+}
+
+// FireAs evaluates the named failpoint on behalf of the given tenant
+// (0 = unattributed). When a scope is set, only matching tenants can
+// fire.
+func (r *Registry) FireAs(name string, tenant uint64) bool {
 	if r == nil {
 		return false
 	}
@@ -184,6 +216,9 @@ func (r *Registry) Fire(name string) bool {
 	p := &r.points[i]
 	m := triggerMode(p.mode.Load())
 	if m == modeOff {
+		return false
+	}
+	if s := r.scope.Load(); s != 0 && tenant != s {
 		return false
 	}
 	p.checks.Add(1)
@@ -311,6 +346,7 @@ func (r *Registry) Reset() {
 		p.mode.Store(int32(modeOff))
 		p.arg.Store(0)
 	}
+	r.scope.Store(0)
 	r.reseedLocked(r.seed.Load())
 }
 
@@ -324,6 +360,9 @@ func (r *Registry) Status() string {
 	}
 	fmt.Fprintf(&b, "# odf failpoints: seed=%d armed=%d injected=%d\n",
 		r.seed.Load(), r.armed.Load(), r.total.Load())
+	if s := r.scope.Load(); s != 0 {
+		fmt.Fprintf(&b, "# scope: tenant %d\n", s)
+	}
 	for i, name := range catalog {
 		p := &r.points[i]
 		fmt.Fprintf(&b, "%-17s %-12s checks=%d fires=%d\n",

@@ -46,7 +46,9 @@ func (k *Kernel) CheckInvariants() error {
 	if err := core.CheckInvariants(spaces...); err != nil {
 		return fmt.Errorf("kernel: %w", err)
 	}
-	return nil
+	// Per-tenant charge counters must agree with the allocator's
+	// per-frame tags (the same quiescence contract as above).
+	return k.checkTenantAccounting()
 }
 
 // failpointObserver forwards every injected fault into the flight

@@ -26,6 +26,7 @@ import (
 	"repro/internal/mem/vm"
 	"repro/internal/metrics"
 	"repro/internal/profile"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 )
 
@@ -40,14 +41,15 @@ var ErrExited = errors.New("process has exited")
 
 // Kernel is the simulated operating system instance.
 type Kernel struct {
-	alloc *phys.Allocator
-	prof  *profile.Profiler
-	met   *metrics.Registry
-	trc   *trace.Tracer
-	fsys  *fs.FileSystem
-	rec   *reclaim.Manager
-	fail  *failpoint.Registry
-	slo   sloSlot
+	alloc   *phys.Allocator
+	prof    *profile.Profiler
+	met     *metrics.Registry
+	trc     *trace.Tracer
+	fsys    *fs.FileSystem
+	rec     *reclaim.Manager
+	fail    *failpoint.Registry
+	tenants *tenant.Manager
+	slo     sloSlot
 
 	// procEndpoints is the /proc/odf file registry, in the fixed order
 	// New builds it; the root listing and path dispatch both walk it.
@@ -113,6 +115,11 @@ func New(opts ...Option) *Kernel {
 	// historical behavior.
 	k.rec = reclaim.NewManager(k.alloc, k.met)
 	k.alloc.SetReclaimer(k.rec)
+	// The tenant control plane is always present (an empty registry
+	// costs one nil-tenant check per fork); forks queue machine-wide
+	// only when the allocator is limited and nearly exhausted.
+	k.tenants = tenant.NewManager(k.met)
+	k.tenants.SetPressure(k.memoryPressure)
 	k.fsys = fs.New()
 	k.procEndpoints = k.buildProcEndpoints()
 	return k
@@ -218,6 +225,7 @@ type Process struct {
 	mu     sync.Mutex
 	as     *core.AddressSpace
 	parent PID
+	tenant *tenant.Tenant // owning tenant account (nil = untenanted)
 	exited bool
 	done   chan struct{}
 }
@@ -340,6 +348,13 @@ func (p *Process) forkInternal(mode core.ForkMode, opts core.ForkOptions) (*Proc
 	// Malformed options panic before p.mu is taken: a caller that
 	// recovers must be left with a usable process, not a locked one.
 	opts.Validate()
+	// Tenant admission runs before p.mu so a queued fork blocks only
+	// its caller, not the process's other syscalls. Over-quota and
+	// memory-pressured forks wait here (bounded) and surface
+	// tenant.ErrQuotaExceeded, never ErrNoMem.
+	if err := p.admitFork(); err != nil {
+		return nil, err
+	}
 	p.mu.Lock()
 	if p.exited {
 		p.mu.Unlock()
@@ -358,6 +373,7 @@ func (p *Process) forkInternal(mode core.ForkMode, opts core.ForkOptions) (*Proc
 		pid:    k.nextPID,
 		as:     childAS,
 		parent: p.pid,
+		tenant: p.tenant,
 		done:   make(chan struct{}),
 	}
 	k.nextPID++

@@ -1,0 +1,98 @@
+package kernel
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/tenant"
+	"repro/internal/trace"
+)
+
+// Multi-tenant control plane wiring: the kernel owns one
+// tenant.Manager, processes created through NewTenantProcess charge
+// every frame they allocate to their tenant's account, and forkInternal
+// consults the admission controller before entering the fork engine.
+
+// Tenants returns the kernel's tenant registry. It is never nil for a
+// kernel built with New.
+func (k *Kernel) Tenants() *tenant.Manager { return k.tenants }
+
+// NewTenantProcess creates a fresh process owned by tenant t: every
+// frame its lineage allocates — data pages, COW copies, page tables —
+// is charged to t's account, its forks pass admission control, and
+// scoped failpoint injection can target its lineage by tenant id. A nil
+// t behaves exactly like NewProcess.
+func (k *Kernel) NewTenantProcess(t *tenant.Tenant) *Process {
+	p := k.NewProcess()
+	if t != nil {
+		p.tenant = t
+		p.as.SetTenant(t.TenantID(), t)
+	}
+	return p
+}
+
+// Tenant returns the tenant owning the process (nil for untenanted
+// processes).
+func (p *Process) Tenant() *tenant.Tenant { return p.tenant }
+
+// memoryPressure is the machine-wide predicate behind fork admission:
+// true when free frames have fallen into the last slice of the
+// configured budget, the band where admitting more forks would turn
+// quota overshoot into global ErrNoMem. Unlimited allocators are never
+// under pressure.
+func (k *Kernel) memoryPressure() bool {
+	limit := k.alloc.Limit()
+	if limit <= 0 {
+		return false
+	}
+	head := limit / 64
+	if head < 8 {
+		head = 8
+	}
+	return limit-k.alloc.Allocated() < head
+}
+
+// admitFork runs the tenant admission gate for p, tracing queued waits.
+// Returns nil immediately for untenanted processes.
+func (p *Process) admitFork() error {
+	t := p.tenant
+	if t == nil {
+		return nil
+	}
+	k := p.k
+	var start time.Time
+	if k.trc.Enabled() {
+		start = time.Now()
+	}
+	wait, err := k.tenants.AdmitFork(t)
+	if wait > 0 && k.trc.Enabled() {
+		rejected := uint64(0)
+		if err != nil {
+			rejected = 1
+		}
+		k.trc.Span(trace.KindAdmitWait, trace.StageNone, trace.ActorApp, start, t.TenantID(), rejected)
+	}
+	return err
+}
+
+// checkTenantAccounting cross-checks every live tenant's usage counter
+// against ground truth: a walk of the allocator's frame metadata
+// counting the frames actually charged to each account. The caller must
+// be quiescent (no concurrent allocation, free, or fork), the same
+// contract as CheckInvariants.
+func (k *Kernel) checkTenantAccounting() error {
+	tenants := k.tenants.List()
+	if len(tenants) == 0 {
+		return nil
+	}
+	counts := k.alloc.ChargedCounts()
+	for _, t := range tenants {
+		want := counts[t]
+		if got := t.Usage(); got != want {
+			return fmt.Errorf(
+				"kernel: tenant %q usage counter %d, allocator holds %d frames charged to it",
+				t.Name(), got, want)
+		}
+	}
+	return nil
+}

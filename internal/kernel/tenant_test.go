@@ -1,0 +1,303 @@
+package kernel
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mem/addr"
+	"repro/internal/mem/vm"
+	"repro/internal/tenant"
+)
+
+// TestProcTenantsGolden pins the /proc/odf/tenants text format.
+// Regenerate deliberately with `go test -update`.
+func TestProcTenantsGolden(t *testing.T) {
+	k := New()
+	a, err := k.Tenants().Create("alpha", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.ChargeFrames(1500)
+	a.ChargeFrames(200)
+	a.UnchargeFrames(300)
+	a.AdjustShared(64)
+	if _, err := k.Tenants().Create("beta", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := k.Procfs("/proc/odf/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "proc_tenants.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("/proc/odf/tenants differs from %s:\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestTenantProcessCharging checks end-to-end charging: every frame a
+// tenant's process touches lands on the tenant's account, the
+// cross-check against the allocator's per-frame tags passes, and exit
+// returns the account to zero.
+func TestTenantProcessCharging(t *testing.T) {
+	k := New()
+	tn, err := k.Tenants().Create("alpha", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := k.NewTenantProcess(tn)
+	if p.Tenant() != tn {
+		t.Fatal("process does not report its tenant")
+	}
+
+	const pages = 64
+	base, err := p.Mmap(pages*addr.PageSize, vm.ProtRead|vm.ProtWrite, vm.MapPrivate|vm.MapPopulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = base
+	if u := tn.Usage(); u < pages {
+		t.Fatalf("Usage = %d frames after touching %d pages", u, pages)
+	}
+	// The kernel invariant audit includes the per-tenant cross-check.
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fork inherits the tenant: the child's page tables are charged
+	// to the same account.
+	before := tn.Usage()
+	c, err := p.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Tenant() != tn {
+		t.Fatal("forked child does not inherit the tenant")
+	}
+	if u := tn.Usage(); u <= before {
+		t.Fatalf("Usage = %d after fork, want > %d (child tables charged)", u, before)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Exit()
+	p.Exit()
+	if u := tn.Usage(); u != 0 {
+		t.Fatalf("Usage = %d after all exits, want 0", u)
+	}
+	if tn.Peak() < before {
+		t.Fatalf("Peak = %d, want >= %d", tn.Peak(), before)
+	}
+}
+
+// TestTenantForkAdmission: an over-quota tenant's forks queue and time
+// out with ErrQuotaExceeded; raising the quota readmits them. The wait
+// shows up in the flight recorder as a tenant.admit_wait span.
+func TestTenantForkAdmission(t *testing.T) {
+	k := New()
+	k.Tenants().SetAdmitTimeout(30 * time.Millisecond)
+	tn, err := k.Tenants().Create("alpha", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := k.NewTenantProcess(tn)
+	defer p.Exit()
+	const pages = 64 // well over the 16-frame quota
+	if _, err := p.Mmap(pages*addr.PageSize, vm.ProtRead|vm.ProtWrite, vm.MapPrivate|vm.MapPopulate); err != nil {
+		t.Fatal(err)
+	}
+	if tn.ReclaimOvershoot() == 0 {
+		t.Fatal("tenant not over quota; test setup broken")
+	}
+
+	k.SetTraceEnabled(true)
+	if _, err := p.Fork(); !errors.Is(err, tenant.ErrQuotaExceeded) {
+		t.Fatalf("over-quota fork = %v, want ErrQuotaExceeded", err)
+	}
+	k.SetTraceEnabled(false)
+	if st := tn.Stats(); st.ForksTimedOut != 1 {
+		t.Fatalf("stats = %+v, want 1 timed-out fork", st)
+	}
+	trc, err := k.Procfs("/proc/odf/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(trc, "tenant.admit_wait") {
+		t.Fatalf("trace has no tenant.admit_wait span:\n%s", trc)
+	}
+
+	tn.SetQuota(0) // lift the quota; SetQuota kicks the queue
+	c, err := p.Fork()
+	if err != nil {
+		t.Fatalf("fork after quota lift: %v", err)
+	}
+	c.Exit()
+}
+
+// TestFairShareReclaimPrefersOvershoot: with two tenants under a frame
+// limit, kswapd must take its victims from the over-quota tenant's LRU
+// partition, leaving the well-behaved tenant's pages resident.
+func TestFairShareReclaimPrefersOvershoot(t *testing.T) {
+	k := New()
+	k.SetSwapEnabled(true)
+	defer k.SetSwapEnabled(false)
+	const limit = 1024
+	k.Allocator().SetLimit(limit)
+	t.Cleanup(func() { k.Allocator().SetLimit(0) })
+	if err := k.SetSwapWatermarks(128, 256); err != nil {
+		t.Fatal(err)
+	}
+
+	noisyT, err := k.Tenants().Create("noisy", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quietT, err := k.Tenants().Create("quiet", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := k.NewTenantProcess(noisyT)
+	defer noisy.Exit()
+	quiet := k.NewTenantProcess(quietT)
+	defer quiet.Exit()
+
+	buf := make([]byte, addr.PageSize)
+	for i := range buf {
+		buf[i] = byte(i * 7)
+	}
+	write := func(p *Process, pages int) addr.V {
+		t.Helper()
+		base, err := p.Mmap(uint64(pages)*addr.PageSize, vm.ProtRead|vm.ProtWrite, vm.MapPrivate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < pages; i++ {
+			if err := p.WriteAt(buf, base+addr.V(i*addr.PageSize)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return base
+	}
+	// Quiet stays at an eighth of its quota; noisy blows through the
+	// whole machine, pushing free frames below the low watermark so
+	// kswapd wakes and must pick eviction victims.
+	write(quiet, 32)
+	write(noisy, 920)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for limit-k.Allocator().Allocated() < 256 {
+		if time.Now().After(deadline) {
+			t.Fatal("kswapd never restored the high watermark")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := noisyT.Stats().ReclaimedFrames; got == 0 {
+		t.Fatal("no frames reclaimed from the over-quota tenant")
+	}
+	if got := quietT.Stats().ReclaimedFrames; got != 0 {
+		t.Fatalf("%d frames reclaimed from the under-quota tenant", got)
+	}
+}
+
+// TestTenantConcurrentStress races forks, faults, reclaim, and tenant
+// create/destroy, then checks the full invariant audit including the
+// per-tenant accounting cross-check. Run with -race.
+func TestTenantConcurrentStress(t *testing.T) {
+	k := New()
+	k.SetSwapEnabled(true)
+	const limit = 8192
+	k.Allocator().SetLimit(limit)
+	t.Cleanup(func() { k.Allocator().SetLimit(0) })
+	if err := k.SetSwapWatermarks(limit/4, limit/2); err != nil {
+		t.Fatal(err)
+	}
+	k.Tenants().SetAdmitTimeout(50 * time.Millisecond)
+
+	const (
+		workers = 4
+		iters   = 8
+		pages   = 128
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w + 1)))
+			for it := 0; it < iters; it++ {
+				tn, err := k.Tenants().Create(
+					"w"+string(rune('a'+w))+"-"+string(rune('0'+it)), int64(64+rng.Intn(256)))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				p := k.NewTenantProcess(tn)
+				base, err := p.Mmap(pages*addr.PageSize, vm.ProtRead|vm.ProtWrite, vm.MapPrivate)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				buf := make([]byte, addr.PageSize)
+				for i := range buf {
+					buf[i] = byte(w ^ it ^ i)
+				}
+				for i := 0; i < pages; i += 2 {
+					if err := p.WriteAt(buf, base+addr.V(i*addr.PageSize)); err != nil {
+						errCh <- err
+						return
+					}
+				}
+				// Forks may bounce off admission control under pressure —
+				// that is the feature, not a failure.
+				if c, err := p.Fork(); err == nil {
+					if err := c.WriteAt([]byte{0xAB}, base); err != nil {
+						errCh <- err
+						return
+					}
+					c.Exit()
+				} else if !errors.Is(err, tenant.ErrQuotaExceeded) {
+					errCh <- err
+					return
+				}
+				p.Exit()
+				if it%2 == 1 {
+					k.Tenants().Destroy(tn)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Quiesce (stop kswapd) before the audit; live tenants must still
+	// cross-check — their processes have exited, so usage must be 0.
+	k.SetSwapEnabled(false)
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tn := range k.Tenants().List() {
+		if u := tn.Usage(); u != 0 {
+			t.Fatalf("tenant %s: %d frames still charged after exits", tn.Name(), u)
+		}
+	}
+}

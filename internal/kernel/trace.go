@@ -68,6 +68,7 @@ func (k *Kernel) buildProcEndpoints() []procEndpoint {
 			}
 			return renderSLO(st), true
 		}},
+		{"tenants", func() (string, bool) { return k.tenants.Render(), true }},
 		{"trace", func() (string, bool) { return trace.RenderText(k.trc.Snapshot()), true }},
 		{"vmstat", func() (string, bool) { return k.Vmstat(), true }},
 	}

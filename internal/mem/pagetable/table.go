@@ -49,7 +49,13 @@ var tablePool = sync.Pool{New: func() any { return new(Table) }}
 // reference counter ... is initialized to one in the constructor").
 // The node itself comes from the table pool.
 func NewTable(alloc *phys.Allocator, level addr.Level) *Table {
-	f := alloc.AllocPageTable()
+	return NewTableFor(alloc, level, nil)
+}
+
+// NewTableFor is NewTable charging the backing frame to c — the tenant
+// account of the address space growing its hierarchy (nil = none).
+func NewTableFor(alloc *phys.Allocator, level addr.Level, c phys.FrameCharger) *Table {
+	f := alloc.AllocPageTableFor(c)
 	alloc.PTShareInit(f, 1)
 	t := tablePool.Get().(*Table)
 	t.Level = level
@@ -288,6 +294,9 @@ type Walker struct {
 	Root  *Table
 	Alloc *phys.Allocator
 	Prof  *profile.Profiler
+	// Charger is the tenant account tables allocated by the Ensure*
+	// walks are charged to (nil = unaccounted).
+	Charger phys.FrameCharger
 }
 
 // NewWalker returns a walker over a fresh 4-level hierarchy.
@@ -307,7 +316,7 @@ func (w *Walker) EnsurePMD(v addr.V) (*Table, int) {
 		i := v.Index(lvl)
 		child := t.Child(i)
 		if child == nil {
-			child = NewTable(w.Alloc, lvl+1)
+			child = NewTableFor(w.Alloc, lvl+1, w.Charger)
 			t.SetChild(i, child, FlagWritable|FlagUser)
 		}
 		w.Prof.Charge(profile.UpperWalk, 1)
@@ -326,7 +335,7 @@ func (w *Walker) EnsurePTE(v addr.V) (*Table, int) {
 		if pmd.Entry(pi).Huge() {
 			panic("pagetable: EnsurePTE under a huge mapping")
 		}
-		leaf = NewTable(w.Alloc, addr.PTE)
+		leaf = NewTableFor(w.Alloc, addr.PTE, w.Charger)
 		pmd.SetChild(pi, leaf, FlagWritable|FlagUser)
 	}
 	w.Prof.Charge(profile.UpperWalk, 1)
@@ -339,7 +348,7 @@ func (w *Walker) EnsurePUD(v addr.V) (*Table, int) {
 	i := v.Index(addr.PGD)
 	child := w.Root.Child(i)
 	if child == nil {
-		child = NewTable(w.Alloc, addr.PUD)
+		child = NewTableFor(w.Alloc, addr.PUD, w.Charger)
 		w.Root.SetChild(i, child, FlagWritable|FlagUser)
 	}
 	w.Prof.Charge(profile.UpperWalk, 1)

@@ -1,0 +1,154 @@
+package phys
+
+import "repro/internal/failpoint"
+
+// FrameCharger is the accounting hook the multi-tenant control plane
+// (internal/tenant) plugs into the allocator. Every allocation entry
+// point has a *For variant taking a charger; the frame is tagged with
+// it in its struct page, charged at allocation, and uncharged when the
+// last reference drops and the frame returns to the free lists — so
+// teardown, fork rollback, and reclaim eviction all uncharge through
+// the one release path.
+//
+// Charging is soft: it never fails. Quota enforcement happens above
+// the allocator (fork admission control, fair-share reclaim victim
+// selection), which is what lets an over-quota tenant's faults still
+// complete while its frames become the preferred eviction victims.
+type FrameCharger interface {
+	// ChargeFrames records n base frames allocated on the charger's
+	// account (n is 512 for a huge page).
+	ChargeFrames(n int64)
+	// UnchargeFrames returns n base frames to the charger's account.
+	UnchargeFrames(n int64)
+	// AdjustShared tracks frames whose reference count crossed the
+	// shared boundary: +1 when a charged frame becomes shared
+	// (refcount 1→2), -1 when it becomes exclusive again (2→1). The
+	// frame stays charged to its first toucher either way.
+	AdjustShared(n int64)
+}
+
+// tenantTagged is implemented by chargers that belong to a tenant, so
+// allocator failpoint sites can attribute their evaluation for scoped
+// injection (failpoint.Registry.SetScope).
+type tenantTagged interface{ TenantID() uint64 }
+
+// chargerTenant resolves the tenant id a charger is attributed to
+// (0 = unattributed).
+func chargerTenant(c FrameCharger) uint64 {
+	if t, ok := c.(tenantTagged); ok {
+		return t.TenantID()
+	}
+	return 0
+}
+
+// AllocFor is Alloc charging the frame to c (nil = unaccounted).
+func (a *Allocator) AllocFor(c FrameCharger) Frame {
+	f, err := a.TryAllocFor(c)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// TryAllocFor is TryAlloc charging the frame to c (nil = unaccounted).
+func (a *Allocator) TryAllocFor(c FrameCharger) (Frame, error) {
+	if fp := a.fail.Load(); fp.Enabled() && fp.FireAs(failpoint.PhysAlloc, chargerTenant(c)) {
+		return NoFrame, ErrNoMemory
+	}
+	if err := a.reserve(1); err != nil {
+		return NoFrame, err
+	}
+	f := a.allocFrame()
+	a.initFrame(f, c)
+	return f, nil
+}
+
+// TryAllocNoReclaimFor is TryAllocNoReclaim charging the frame to c.
+func (a *Allocator) TryAllocNoReclaimFor(c FrameCharger) (Frame, error) {
+	if fp := a.fail.Load(); fp.Enabled() && fp.FireAs(failpoint.PhysAlloc, chargerTenant(c)) {
+		return NoFrame, ErrNoMemory
+	}
+	cur := a.allocated.Add(1)
+	if l := a.limit.Load(); l > 0 && cur > l {
+		a.allocated.Add(-1)
+		return NoFrame, ErrNoMemory
+	}
+	a.updatePeak(cur)
+	f := a.allocFrame()
+	a.initFrame(f, c)
+	return f, nil
+}
+
+// TryAllocPageTableNoReclaimFor is TryAllocPageTableNoReclaim charging
+// the frame to c.
+func (a *Allocator) TryAllocPageTableNoReclaimFor(c FrameCharger) (Frame, error) {
+	f, err := a.TryAllocNoReclaimFor(c)
+	if err != nil {
+		return NoFrame, err
+	}
+	a.info(f).flags |= flagPageTable
+	return f, nil
+}
+
+// AllocPageTableFor is AllocPageTable charging the frame to c.
+func (a *Allocator) AllocPageTableFor(c FrameCharger) Frame {
+	f := a.AllocFor(c)
+	a.info(f).flags |= flagPageTable
+	return f
+}
+
+// initFrame initializes the metadata of a freshly allocated order-0
+// frame. The frame is exclusively owned here: it left the free state
+// under the shard (or buddy) lock and has not been published.
+func (a *Allocator) initFrame(f Frame, c FrameCharger) {
+	pi := a.info(f)
+	pi.flags = flagAllocated
+	pi.order = 0
+	pi.head = NoFrame
+	pi.charger = c
+	pi.refcount.Store(1)
+	pi.ptShared.Store(0)
+	if c != nil {
+		c.ChargeFrames(1)
+	}
+	a.totalOps.Add(1)
+}
+
+// ChargerOf returns the charger a frame (or its compound head) was
+// allocated against, nil for unaccounted frames. The reclaim subsystem
+// uses it to place frames on per-tenant LRU partitions.
+func (a *Allocator) ChargerOf(f Frame) FrameCharger {
+	pi := a.info(f)
+	if pi.flags&flagCompoundTail != 0 {
+		pi = a.info(pi.head)
+	}
+	return pi.charger
+}
+
+// ChargedCounts tallies live base frames per charger by walking the
+// mem_map — the ground truth the per-tenant usage counters are checked
+// against in CheckInvariants. Callers must be quiescent (no concurrent
+// allocation or free): frame alloc-state flags are owned by whoever
+// holds the frame, not by a lock this walk could take.
+func (a *Allocator) ChargedCounts() map[FrameCharger]int64 {
+	a.mu.Lock()
+	next := a.next
+	a.mu.Unlock()
+	chunks := *a.chunks.Load()
+	counts := make(map[FrameCharger]int64)
+	for f := Frame(1); f < next; f++ {
+		pi := &chunks[uint64(f)/chunkSize][uint64(f)%chunkSize]
+		if pi.flags&flagAllocated == 0 || pi.flags&flagCompoundTail != 0 {
+			continue
+		}
+		if pi.charger == nil {
+			continue
+		}
+		n := int64(1)
+		if pi.flags&flagCompoundHead != 0 {
+			n = 1 << pi.order
+		}
+		counts[pi.charger] += n
+	}
+	return counts
+}

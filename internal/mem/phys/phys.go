@@ -65,6 +65,7 @@ type PageInfo struct {
 	order     uint8        // compound order (head pages only)
 	freeOrder int8         // buddy state: 0 = not free, else block order+1
 	head      Frame        // compound head (tail pages only)
+	charger   FrameCharger // tenant account the frame is charged to (nil = none)
 	data      []byte       // lazily materialized 4 KiB payload; nil = zeroes
 	dataMu    sync.Mutex   // guards lazy materialization of data
 }
@@ -244,24 +245,7 @@ func (a *Allocator) Alloc() Frame {
 // path touches only the caller's shard cache; the buddy core is
 // entered once per shardBatch misses.
 func (a *Allocator) TryAlloc() (Frame, error) {
-	if fp := a.fail.Load(); fp.Enabled() && fp.Fire(failpoint.PhysAlloc) {
-		return NoFrame, ErrNoMemory
-	}
-	if err := a.reserve(1); err != nil {
-		return NoFrame, err
-	}
-	f := a.allocFrame()
-	// The frame is exclusively owned here: it left the free state under
-	// the shard (or buddy) lock and has not been published, so its
-	// metadata can be initialized without the allocator lock.
-	pi := a.info(f)
-	pi.flags = flagAllocated
-	pi.order = 0
-	pi.head = NoFrame
-	pi.refcount.Store(1)
-	pi.ptShared.Store(0)
-	a.totalOps.Add(1)
-	return f, nil
+	return a.TryAllocFor(nil)
 }
 
 // directReclaimRetries bounds how many reclaim-then-retry rounds a
@@ -312,24 +296,7 @@ func (a *Allocator) reserve(n int64) error {
 // subsystem uses it for allocations made while a reclaim pass is in
 // flight, where recursing into reclaim would self-deadlock.
 func (a *Allocator) TryAllocNoReclaim() (Frame, error) {
-	if fp := a.fail.Load(); fp.Enabled() && fp.Fire(failpoint.PhysAlloc) {
-		return NoFrame, ErrNoMemory
-	}
-	cur := a.allocated.Add(1)
-	if l := a.limit.Load(); l > 0 && cur > l {
-		a.allocated.Add(-1)
-		return NoFrame, ErrNoMemory
-	}
-	a.updatePeak(cur)
-	f := a.allocFrame()
-	pi := a.info(f)
-	pi.flags = flagAllocated
-	pi.order = 0
-	pi.head = NoFrame
-	pi.refcount.Store(1)
-	pi.ptShared.Store(0)
-	a.totalOps.Add(1)
-	return f, nil
+	return a.TryAllocNoReclaimFor(nil)
 }
 
 // TryAllocPageTableNoReclaim is TryAllocNoReclaim plus the page-table
@@ -367,10 +334,17 @@ func (a *Allocator) AllocPageTable() Frame {
 // tails pointing back at the head (mirroring Linux compound pages).
 // It returns the head frame.
 func (a *Allocator) AllocHuge() Frame {
+	return a.AllocHugeFor(nil)
+}
+
+// AllocHugeFor is AllocHuge charging all 512 base frames to c
+// (nil = unaccounted). The charge rides on the compound head; SplitHuge
+// spreads it across the resulting order-0 frames.
+func (a *Allocator) AllocHugeFor(c FrameCharger) Frame {
 	// Huge allocations have no TryAllocHuge counterpart; every call site
 	// sits under a catchOOM boundary, so an injected failure surfaces the
 	// same way a real one would — as an ErrNoMemory panic.
-	if fp := a.fail.Load(); fp.Enabled() && fp.Fire(failpoint.PhysAllocHuge) {
+	if fp := a.fail.Load(); fp.Enabled() && fp.FireAs(failpoint.PhysAllocHuge, chargerTenant(c)) {
 		panic(ErrNoMemory)
 	}
 	a.mu.Lock()
@@ -383,15 +357,20 @@ func (a *Allocator) AllocHuge() Frame {
 	hp.flags = flagAllocated | flagCompoundHead
 	hp.order = HugeOrder
 	hp.head = NoFrame
+	hp.charger = c
 	for i := Frame(1); i < 1<<HugeOrder; i++ {
 		tp := a.info(head + i)
 		tp.flags = flagAllocated | flagCompoundTail
 		tp.order = 0
 		tp.head = head
+		tp.charger = nil
 		tp.refcount.Store(0)
 		tp.ptShared.Store(0)
 	}
 	a.updatePeak(a.allocated.Add(1 << HugeOrder))
+	if c != nil {
+		c.ChargeFrames(1 << HugeOrder)
+	}
 	if m := a.met.Load(); m.Enabled() {
 		m.Alloc.HugeAllocs.Inc()
 	}
@@ -431,7 +410,10 @@ func (a *Allocator) IsPageTable(f Frame) bool {
 func (a *Allocator) Get(f Frame) {
 	head := a.CompoundHead(f)
 	a.prof.Charge(profile.PageRefInc, 1)
-	a.info(head).refcount.Add(1)
+	pi := a.info(head)
+	if pi.refcount.Add(1) == 2 && pi.charger != nil {
+		pi.charger.AdjustShared(1)
+	}
 }
 
 // GetBatch increments the reference count of every page in frames,
@@ -457,7 +439,9 @@ func (a *Allocator) GetBatch(frames []Frame) {
 		if pi.flags&flagCompoundTail != 0 {
 			pi = &chunks[uint64(pi.head)/chunkSize][uint64(pi.head)%chunkSize]
 		}
-		pi.refcount.Add(1)
+		if pi.refcount.Add(1) == 2 && pi.charger != nil {
+			pi.charger.AdjustShared(1)
+		}
 	}
 }
 
@@ -485,6 +469,10 @@ func (a *Allocator) Put(f Frame) {
 		a.release(head, pi)
 	case n < 0:
 		panic(fmt.Sprintf("phys: refcount of frame %d went negative", head))
+	case n == 1:
+		if pi.charger != nil {
+			pi.charger.AdjustShared(-1)
+		}
 	}
 }
 
@@ -500,10 +488,13 @@ func (a *Allocator) release(head Frame, pi *PageInfo) {
 	if pi.flags&flagAllocated == 0 {
 		panic(fmt.Sprintf("phys: double free of frame %d", head))
 	}
+	charger := pi.charger
+	pi.charger = nil
 	if pi.flags&flagCompoundHead != 0 {
 		for i := Frame(1); i < 1<<HugeOrder; i++ {
 			tp := a.info(head + i)
 			tp.flags = 0
+			tp.charger = nil
 			tp.dataMu.Lock()
 			tp.data = nil
 			tp.dataMu.Unlock()
@@ -513,10 +504,16 @@ func (a *Allocator) release(head Frame, pi *PageInfo) {
 		a.freeBlock(head, MaxOrder)
 		a.mu.Unlock()
 		a.allocated.Add(-(1 << HugeOrder))
+		if charger != nil {
+			charger.UnchargeFrames(1 << HugeOrder)
+		}
 	} else {
 		pi.flags = 0
 		a.freeFrame(head)
 		a.allocated.Add(-1)
+		if charger != nil {
+			charger.UnchargeFrames(1)
+		}
 	}
 	if r := a.ReclaimerHook(); r != nil {
 		r.FrameFreed(head)
@@ -548,6 +545,10 @@ func (a *Allocator) SplitHuge(head Frame) {
 		tp.flags = flagAllocated
 		tp.order = 0
 		tp.head = NoFrame
+		// Each resulting frame keeps the compound's tenant account: the
+		// head was charged for all 512, and from here on each frame
+		// uncharges one when it is released.
+		tp.charger = hp.charger
 		tp.refcount.Store(1)
 		tp.ptShared.Store(0)
 	}

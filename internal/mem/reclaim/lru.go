@@ -66,6 +66,9 @@ type lru struct {
 	active, inactive lruList
 }
 
+// len returns the total number of nodes across both lists.
+func (q *lru) len() int { return q.active.size + q.inactive.size }
+
 // add inserts a node on the given list's recent end.
 func (q *lru) add(n *frameNode, list int) {
 	switch list {

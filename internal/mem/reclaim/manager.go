@@ -100,7 +100,26 @@ type frameNode struct {
 
 	prev, next *frameNode
 	list       int
+	part       *partition // LRU partition the node lives on
 }
+
+// partition is one tenant's slice of the LRU: frames charged to the
+// same account age together, so eviction can target a specific tenant
+// without scanning everyone else's pages. The default partition
+// (c == nil) holds uncharged frames.
+type partition struct {
+	lru
+	c phys.FrameCharger
+}
+
+// overshooter is implemented by tenant accounts (tenant.Tenant) that
+// expose how many frames they currently hold beyond their quota.
+// Partitions whose account overshoots are reclaim's preferred victims.
+type overshooter interface{ ReclaimOvershoot() int64 }
+
+// reclaimNoter, when implemented by a tenant account, receives the
+// count of frames stolen from it by fair-share eviction.
+type reclaimNoter interface{ NoteReclaimed(n int64) }
 
 // Watermark and scan tuning.
 const (
@@ -137,12 +156,18 @@ type Manager struct {
 	// re-enabling the subsystem clears the latch.
 	degraded atomic.Bool
 
-	// mu guards frames, owners, q, slots, and the watermark fields.
-	// It is the innermost lock of the whole memory stack.
+	// mu guards frames, owners, the LRU partitions, slots, and the
+	// watermark fields. It is the innermost lock of the whole memory
+	// stack.
 	mu     sync.Mutex
 	frames map[phys.Frame]*frameNode
 	owners map[*pagetable.Table]map[Space]struct{}
-	q      lru
+	// defq holds frames charged to no tenant; parts holds one LRU
+	// partition per tenant account with tracked frames. Victim
+	// selection walks parts for quota overshoot before falling back to
+	// defq (see pickPartitionLocked).
+	defq  partition
+	parts map[phys.FrameCharger]*partition
 	// slots holds per-swap-slot bookkeeping: the reference count (one
 	// per swap PTE) and the payload checksum recorded at swap-out.
 	// Slot 0 is the implicit zero page: refcounted here, never stored.
@@ -173,6 +198,7 @@ func NewManager(alloc *phys.Allocator, met *metrics.Registry) *Manager {
 		trc:    alloc.Tracer(),
 		frames: make(map[phys.Frame]*frameNode),
 		owners: make(map[*pagetable.Table]map[Space]struct{}),
+		parts:  make(map[phys.FrameCharger]*partition),
 		slots:  make(map[uint64]slotInfo),
 		store:  NewMemStore(),
 		wake:   make(chan struct{}, 1),
@@ -284,7 +310,8 @@ func (m *Manager) SetEnabled(on bool) {
 	m.mu.Lock()
 	m.frames = make(map[phys.Frame]*frameNode)
 	m.owners = make(map[*pagetable.Table]map[Space]struct{})
-	m.q = lru{}
+	m.defq = partition{}
+	m.parts = make(map[phys.FrameCharger]*partition)
 	m.mu.Unlock()
 }
 
@@ -306,7 +333,8 @@ func (m *Manager) PageMapped(f phys.Frame, t *pagetable.Table, idx int, owner Sp
 	if n == nil {
 		n = &frameNode{frame: f}
 		m.frames[f] = n
-		m.q.add(n, onActive)
+		n.part = m.partForLocked(f)
+		n.part.add(n, onActive)
 	}
 	for _, mp := range n.mappings {
 		if mp.table == t && mp.idx == idx {
@@ -314,6 +342,31 @@ func (m *Manager) PageMapped(f phys.Frame, t *pagetable.Table, idx int, owner Sp
 		}
 	}
 	n.mappings = append(n.mappings, mapping{table: t, idx: idx})
+}
+
+// partForLocked returns the LRU partition for frame f, resolving the
+// frame's charger through the allocator and materializing the tenant's
+// partition on first use. Called with m.mu held.
+func (m *Manager) partForLocked(f phys.Frame) *partition {
+	c := m.alloc.ChargerOf(f)
+	if c == nil {
+		return &m.defq
+	}
+	p := m.parts[c]
+	if p == nil {
+		p = &partition{c: c}
+		m.parts[c] = p
+	}
+	return p
+}
+
+// releaseIfEmptyLocked drops a tenant partition from the map once it
+// holds no frames, so destroyed tenants are not pinned by the reclaim
+// state. Called with m.mu held.
+func (m *Manager) releaseIfEmptyLocked(p *partition) {
+	if p != nil && p.c != nil && p.len() == 0 && m.parts[p.c] == p {
+		delete(m.parts, p.c)
+	}
 }
 
 // PageUnmapped records that entry idx of t no longer maps f.
@@ -334,8 +387,9 @@ func (m *Manager) PageUnmapped(f phys.Frame, t *pagetable.Table, idx int) {
 		}
 	}
 	if len(n.mappings) == 0 {
-		m.q.remove(n)
+		n.part.remove(n)
 		delete(m.frames, f)
+		m.releaseIfEmptyLocked(n.part)
 	}
 }
 
@@ -352,7 +406,8 @@ func (m *Manager) HugeMapped(head phys.Frame, pmd *pagetable.Table, idx int, own
 	if n == nil {
 		n = &frameNode{frame: head, huge: true}
 		m.frames[head] = n
-		m.q.add(n, onActive)
+		n.part = m.partForLocked(head)
+		n.part.add(n, onActive)
 	}
 	for _, mp := range n.mappings {
 		if mp.table == pmd && mp.idx == idx {
@@ -423,8 +478,9 @@ func (m *Manager) FrameFreed(f phys.Frame) {
 	}
 	m.mu.Lock()
 	if n, ok := m.frames[f]; ok {
-		m.q.remove(n)
+		n.part.remove(n)
 		delete(m.frames, f)
+		m.releaseIfEmptyLocked(n.part)
 	}
 	m.mu.Unlock()
 }
@@ -730,25 +786,32 @@ func (m *Manager) shrink(target int64, direct bool) int64 {
 	// until the target is met — plus slack for requeues.
 	budget := target*scanBudgetFactor + 64
 	m.mu.Lock()
-	if b := 2*int64(m.q.active.size+m.q.inactive.size) + target; b > budget {
+	active, inactive := m.lruSizesLocked()
+	if b := 2*(active+inactive) + target; b > budget {
 		budget = b
 	}
 	m.mu.Unlock()
 	for freed < target && budget > 0 {
 		budget--
 		m.mu.Lock()
-		m.q.refill(refillBatch)
-		n := m.q.inactive.popFront()
+		p, fair := m.pickPartitionLocked()
+		if p == nil {
+			m.mu.Unlock()
+			break
+		}
+		victim := p.c
+		p.refill(refillBatch)
+		n := p.inactive.popFront()
 		if n == nil {
 			// No inactive candidates: force-age the active list once,
 			// then give up if there is still nothing.
 			for i := 0; i < refillBatch; i++ {
-				if a := m.q.active.popFront(); a != nil {
+				if a := p.active.popFront(); a != nil {
 					a.list = onInactive
-					m.q.inactive.pushBack(a)
+					p.inactive.pushBack(a)
 				}
 			}
-			n = m.q.inactive.popFront()
+			n = p.inactive.popFront()
 			if n == nil {
 				m.mu.Unlock()
 				break
@@ -762,7 +825,7 @@ func (m *Manager) shrink(target int64, direct bool) int64 {
 		if m.referencedLocked(n) {
 			// Second chance: accessed since last scan. Clear the bits
 			// (done inside referencedLocked) and promote.
-			m.q.add(n, onActive)
+			n.part.add(n, onActive)
 			m.mu.Unlock()
 			continue
 		}
@@ -774,9 +837,69 @@ func (m *Manager) shrink(target int64, direct bool) int64 {
 			if on {
 				pgsteal.Inc()
 			}
+			if fair {
+				// The frame came off an over-quota tenant's partition:
+				// record the steal against its account.
+				if nr, ok := victim.(reclaimNoter); ok {
+					nr.NoteReclaimed(1)
+				}
+				if on {
+					m.met.Tenant.FairEvictions.Inc()
+				}
+			}
 		}
 	}
 	return freed
+}
+
+// lruSizesLocked sums the active/inactive list lengths across every
+// partition. Called with m.mu held.
+func (m *Manager) lruSizesLocked() (active, inactive int64) {
+	active = int64(m.defq.active.size)
+	inactive = int64(m.defq.inactive.size)
+	for _, p := range m.parts {
+		active += int64(p.active.size)
+		inactive += int64(p.inactive.size)
+	}
+	return active, inactive
+}
+
+// pickPartitionLocked selects the LRU partition the next eviction
+// candidate comes from — the fair-share policy. Tenant partitions
+// whose account is over its frame quota are preferred, worst overshoot
+// first, so a noisy tenant's pages are stolen before anyone else's;
+// repeated picks re-read the overshoot, so eviction pressure tracks
+// each account as its usage falls (proportional over a pass). With no
+// overshoot anywhere the default partition (uncharged frames) is
+// scanned, then any non-empty tenant partition — approximately the old
+// global LRU order. Reports whether the pick was a fair-share
+// (over-quota) one. Called with m.mu held; returns nil when every
+// partition is empty.
+func (m *Manager) pickPartitionLocked() (*partition, bool) {
+	var best *partition
+	var bestOver int64
+	for _, p := range m.parts {
+		if p.len() == 0 {
+			continue
+		}
+		if o, ok := p.c.(overshooter); ok {
+			if ov := o.ReclaimOvershoot(); ov > bestOver {
+				bestOver, best = ov, p
+			}
+		}
+	}
+	if best != nil {
+		return best, true
+	}
+	if m.defq.len() > 0 {
+		return &m.defq, false
+	}
+	for _, p := range m.parts {
+		if p.len() > 0 {
+			return p, false
+		}
+	}
+	return nil, false
 }
 
 // referencedLocked performs the second-chance test: it reads and clears
@@ -807,7 +930,7 @@ func (m *Manager) lockOwnersLocked(n *frameNode) []Space {
 		if len(os) == 0 {
 			// A mapped table with no registered owner is unevictable
 			// (bookkeeping raced); try again later.
-			m.q.add(n, onActive)
+			n.part.add(n, onActive)
 			m.mu.Unlock()
 			return nil
 		}
@@ -839,10 +962,13 @@ func (m *Manager) lockOwnersLocked(n *frameNode) []Space {
 }
 
 // requeueLocked puts a popped node back on the active list if it is
-// still tracked (a concurrent unmap may have dropped it).
+// still tracked (a concurrent unmap may have dropped it). The
+// partition is re-resolved: while the node was off-list its partition
+// may have emptied and been released from the map.
 func (m *Manager) requeueLocked(n *frameNode) {
 	if m.frames[n.frame] == n && n.list == onNone {
-		m.q.add(n, onActive)
+		n.part = m.partForLocked(n.frame)
+		n.part.add(n, onActive)
 	}
 }
 
@@ -961,6 +1087,7 @@ func (m *Manager) evictLocked(n *frameNode, actor int32) bool {
 	}
 	m.slots[slot] = si
 	delete(m.frames, f)
+	m.releaseIfEmptyLocked(n.part)
 	m.mu.Unlock()
 
 	// Invalidate stale translations, then drop the page references the
@@ -1044,7 +1171,8 @@ func (m *Manager) splitHugeLocked(n *frameNode, actor int32) {
 		f := head + phys.Frame(i)
 		nn := &frameNode{frame: f, mappings: []mapping{{table: leaf, idx: i}}}
 		m.frames[f] = nn
-		m.q.add(nn, onInactive)
+		nn.part = m.partForLocked(f)
+		nn.part.add(nn, onInactive)
 	}
 	if m.met.Enabled() {
 		m.met.Reclaim.HugeSplits.Inc()
@@ -1075,13 +1203,14 @@ type ManagerStats struct {
 // Stats returns current reclaim statistics.
 func (m *Manager) Stats() ManagerStats {
 	m.mu.Lock()
+	active, inactive := m.lruSizesLocked()
 	st := ManagerStats{
 		Enabled:        m.tracking.Load(),
 		Degraded:       m.degraded.Load(),
 		Low:            m.low.Load(),
 		High:           m.high.Load(),
-		ActiveFrames:   int64(m.q.active.size),
-		InactiveFrames: int64(m.q.inactive.size),
+		ActiveFrames:   active,
+		InactiveFrames: inactive,
 		SwapSlots:      int64(len(m.slots)),
 	}
 	store := m.store
@@ -1130,6 +1259,20 @@ func (m *Manager) VerifyBookkeeping(wantSlots map[uint64]int64) error {
 			}
 			if len(m.owners[mp.table]) == 0 {
 				return fmt.Errorf("reclaim: frame %d mapped by ownerless table", f)
+			}
+		}
+		// Partition membership must agree with the frame's charger, or
+		// fair-share eviction would steal one tenant's pages while
+		// charging another.
+		if n.list != onNone {
+			c := m.alloc.ChargerOf(f)
+			switch {
+			case n.part == nil:
+				return fmt.Errorf("reclaim: listed frame %d has no partition", f)
+			case c == nil && n.part != &m.defq:
+				return fmt.Errorf("reclaim: uncharged frame %d on a tenant partition", f)
+			case c != nil && n.part.c != c:
+				return fmt.Errorf("reclaim: frame %d on partition of wrong tenant", f)
 			}
 		}
 	}

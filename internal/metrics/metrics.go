@@ -240,6 +240,18 @@ type Registry struct {
 		SwapDegrades     Counter // transitions into degraded (auto-disabled) swap
 		KswapdErrors     Counter // kswapd passes that panicked and were recovered
 	}
+
+	// Multi-tenant control-plane metrics (internal/tenant): system-wide
+	// fork admission outcomes plus the fair-share reclaim pressure
+	// exerted on over-quota tenants. Per-tenant quota/usage counters
+	// live on the Tenant objects and are served by /proc/odf/tenants.
+	Tenant struct {
+		ForksAdmitted Counter   // forks admitted without queueing
+		ForksQueued   Counter   // forks that waited in an admission queue
+		ForksRejected Counter   // forks refused: queue full or wait timed out
+		QueueWait     Histogram // admission queue wait (queued forks only)
+		FairEvictions Counter   // pages stolen from over-quota tenant LRU partitions
+	}
 }
 
 // New returns an enabled registry.
@@ -325,5 +337,11 @@ func (r *Registry) Snapshot() Snapshot {
 	s.Robust.SwapCorruptions = r.Robust.SwapCorruptions.Load()
 	s.Robust.SwapDegrades = r.Robust.SwapDegrades.Load()
 	s.Robust.KswapdErrors = r.Robust.KswapdErrors.Load()
+
+	s.Tenant.ForksAdmitted = r.Tenant.ForksAdmitted.Load()
+	s.Tenant.ForksQueued = r.Tenant.ForksQueued.Load()
+	s.Tenant.ForksRejected = r.Tenant.ForksRejected.Load()
+	s.Tenant.QueueWait = r.Tenant.QueueWait.Snapshot()
+	s.Tenant.FairEvictions = r.Tenant.FairEvictions.Load()
 	return s
 }

@@ -183,6 +183,17 @@ type RobustSnapshot struct {
 	KswapdErrors     uint64
 }
 
+// TenantSnapshot covers the multi-tenant control plane's system-wide
+// admission and fair-share reclaim counters. Per-tenant breakdowns are
+// served by /proc/odf/tenants.
+type TenantSnapshot struct {
+	ForksAdmitted uint64
+	ForksQueued   uint64
+	ForksRejected uint64
+	QueueWait     HistogramSnapshot
+	FairEvictions uint64
+}
+
 // Snapshot is the typed telemetry tree the public API returns.
 type Snapshot struct {
 	Fork    ForkSnapshot
@@ -191,6 +202,7 @@ type Snapshot struct {
 	Reclaim ReclaimSnapshot
 	TLB     TLBSnapshot
 	Robust  RobustSnapshot
+	Tenant  TenantSnapshot
 }
 
 // Sub returns the delta s − prev: counters and histograms subtract,
@@ -258,6 +270,12 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	d.Robust.SwapCorruptions = s.Robust.SwapCorruptions - prev.Robust.SwapCorruptions
 	d.Robust.SwapDegrades = s.Robust.SwapDegrades - prev.Robust.SwapDegrades
 	d.Robust.KswapdErrors = s.Robust.KswapdErrors - prev.Robust.KswapdErrors
+
+	d.Tenant.ForksAdmitted = s.Tenant.ForksAdmitted - prev.Tenant.ForksAdmitted
+	d.Tenant.ForksQueued = s.Tenant.ForksQueued - prev.Tenant.ForksQueued
+	d.Tenant.ForksRejected = s.Tenant.ForksRejected - prev.Tenant.ForksRejected
+	d.Tenant.QueueWait = s.Tenant.QueueWait.Sub(prev.Tenant.QueueWait)
+	d.Tenant.FairEvictions = s.Tenant.FairEvictions - prev.Tenant.FairEvictions
 	return d
 }
 
@@ -351,5 +369,11 @@ func (s Snapshot) Render() string {
 	line("robust.swap_corruptions", s.Robust.SwapCorruptions)
 	line("robust.swap_degrades", s.Robust.SwapDegrades)
 	line("robust.kswapd_errors", s.Robust.KswapdErrors)
+
+	line("tenant.forks_admitted", s.Tenant.ForksAdmitted)
+	line("tenant.forks_queued", s.Tenant.ForksQueued)
+	line("tenant.forks_rejected", s.Tenant.ForksRejected)
+	hist("tenant.queue_wait", s.Tenant.QueueWait)
+	line("tenant.fair_evictions", s.Tenant.FairEvictions)
 	return b.String()
 }

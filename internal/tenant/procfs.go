@@ -1,0 +1,38 @@
+package tenant
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render produces the /proc/odf/tenants text: a header with the
+// registry-wide state, then one flat dotted-name block per tenant in
+// creation order, in the same `name value` shape /proc/odf/metrics
+// uses. The layout is deterministic for a given state, so it is
+// golden-testable.
+func (m *Manager) Render() string {
+	var b strings.Builder
+	if m == nil {
+		b.WriteString("# odf tenants: control plane detached\n")
+		return b.String()
+	}
+	stats := m.StatsAll()
+	fmt.Fprintf(&b, "# odf tenants: active=%d waiting=%d\n", len(stats), m.Waiting())
+	for _, s := range stats {
+		p := fmt.Sprintf("tenant.%d.", s.ID)
+		fmt.Fprintf(&b, "%sname %s\n", p, s.Name)
+		fmt.Fprintf(&b, "%squota_frames %d\n", p, s.QuotaFrames)
+		fmt.Fprintf(&b, "%susage_frames %d\n", p, s.UsageFrames)
+		fmt.Fprintf(&b, "%speak_frames %d\n", p, s.PeakFrames)
+		fmt.Fprintf(&b, "%sshared_frames %d\n", p, s.SharedFrames)
+		fmt.Fprintf(&b, "%sreclaimed_frames %d\n", p, s.ReclaimedFrames)
+		fmt.Fprintf(&b, "%sforks_admitted %d\n", p, s.ForksAdmitted)
+		fmt.Fprintf(&b, "%sforks_queued %d\n", p, s.ForksQueued)
+		fmt.Fprintf(&b, "%sforks_rejected %d\n", p, s.ForksRejected)
+		fmt.Fprintf(&b, "%sforks_timedout %d\n", p, s.ForksTimedOut)
+		fmt.Fprintf(&b, "%squeue_waiting %d\n", p, s.QueueWaiting)
+		fmt.Fprintf(&b, "%squeue_wait_p50_ns %d\n", p, s.QueueWait.Quantile(0.50))
+		fmt.Fprintf(&b, "%squeue_wait_p99_ns %d\n", p, s.QueueWait.Quantile(0.99))
+	}
+	return b.String()
+}

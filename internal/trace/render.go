@@ -72,6 +72,8 @@ func (e Event) Name() string {
 		return "fork.abort"
 	case KindSwapDegrade:
 		return "swap.degraded"
+	case KindAdmitWait:
+		return "tenant.admit_wait"
 	}
 	return fmt.Sprintf("kind%d", e.Kind)
 }
@@ -131,6 +133,11 @@ func (e Event) Detail() string {
 		return fmt.Sprintf("failed_op=%s", op)
 	case KindAllocRefill, KindAllocDrain:
 		return fmt.Sprintf("batch=%d", e.Arg1)
+	case KindAdmitWait:
+		if e.Arg2 == 1 {
+			return fmt.Sprintf("tenant=%d rejected", e.Arg1)
+		}
+		return fmt.Sprintf("tenant=%d", e.Arg1)
 	}
 	return ""
 }

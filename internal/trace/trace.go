@@ -88,6 +88,10 @@ const (
 	// exhausting I/O retries; Arg1 is 1 for a read failure, 0 for a
 	// write failure.
 	KindSwapDegrade
+	// KindAdmitWait spans a fork's wait in a tenant admission queue;
+	// Arg1 is the tenant id, Arg2 is 1 when the fork was ultimately
+	// rejected (queue full or wait timed out).
+	KindAdmitWait
 
 	numKinds
 )
@@ -95,7 +99,7 @@ const (
 // Span reports whether events of this kind carry a duration.
 func (k Kind) Span() bool {
 	switch k {
-	case KindFork, KindForkStage, KindFault, KindSwapIn, KindReclaimScan, KindWriteback:
+	case KindFork, KindForkStage, KindFault, KindSwapIn, KindReclaimScan, KindWriteback, KindAdmitWait:
 		return true
 	}
 	return false

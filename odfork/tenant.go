@@ -1,0 +1,70 @@
+package odfork
+
+import (
+	"time"
+
+	"repro/internal/tenant"
+)
+
+// Multi-tenancy. A Tenant is an isolation domain with a frame quota:
+// every frame its processes allocate is charged to its account, reclaim
+// prefers over-quota tenants' pages as eviction victims, and forks by
+// over-quota (or memory-pressured) tenants queue in a bounded admission
+// queue instead of failing with ErrNoMem. See /proc/odf/tenants for the
+// live accounting.
+
+// Tenant is one isolation domain: quota, usage accounting, and the
+// admission-controller state for its forks.
+type Tenant = tenant.Tenant
+
+// TenantStats is a point-in-time copy of one tenant's accounting.
+type TenantStats = tenant.Stats
+
+// ErrQuotaExceeded reports a fork refused by tenant admission control:
+// the tenant's queue was full, or the fork waited out the admission
+// timeout while the tenant stayed over quota. Distinct from ErrNoMem —
+// the machine has memory, this tenant has used its share.
+var ErrQuotaExceeded = tenant.ErrQuotaExceeded
+
+// NewTenant registers a tenant with a frame quota (0 = unlimited).
+// Names must be unique among live tenants.
+func (s *System) NewTenant(name string, quotaFrames int64) (*Tenant, error) {
+	return s.k.Tenants().Create(name, quotaFrames)
+}
+
+// DestroyTenant unregisters a tenant, admitting any forks still queued
+// on it. Its processes keep running; frames still charged to it uncharge
+// harmlessly as they exit.
+func (s *System) DestroyTenant(t *Tenant) { s.k.Tenants().Destroy(t) }
+
+// NewTenantProcess creates a process owned by tenant t: its lineage's
+// frames are charged to t and its forks pass admission control. A nil t
+// behaves exactly like NewProcess.
+func (s *System) NewTenantProcess(t *Tenant) *Process {
+	return s.k.NewTenantProcess(t)
+}
+
+// TenantStats returns every live tenant's accounting in creation order.
+func (s *System) TenantStats() []TenantStats { return s.k.Tenants().StatsAll() }
+
+// SetAdmitTimeout bounds how long a queued fork waits for its tenant to
+// come back under quota before failing with ErrQuotaExceeded.
+func (s *System) SetAdmitTimeout(d time.Duration) { s.k.Tenants().SetAdmitTimeout(d) }
+
+// SetAdmissionQueueBound caps each tenant's queued forks (minimum 1);
+// forks beyond the cap fail immediately with ErrQuotaExceeded.
+func (s *System) SetAdmissionQueueBound(n int) { s.k.Tenants().SetQueueBound(n) }
+
+// SetFailpointScope restricts fault injection to sites doing tenant
+// t's work: allocations against t's account and fork/fault stages of
+// t's address spaces. Unattributed sites (shared machinery such as
+// swap I/O) never fire while a scope is set. A nil t clears the scope
+// so every armed site fires again. Blast-radius testing uses this to
+// prove an injected storm in one tenant cannot corrupt another.
+func (s *System) SetFailpointScope(t *Tenant) {
+	if t == nil {
+		s.k.Failpoints().SetScope(0)
+		return
+	}
+	s.k.Failpoints().SetScope(t.TenantID())
+}
