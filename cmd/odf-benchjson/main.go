@@ -6,11 +6,20 @@
 //
 //	odf-benchjson -out bench_out.json                 # measure only
 //	odf-benchjson -out bench_out.json \
-//	    -compare BENCH_2026-08-08.json -threshold 0.05  # CI gate
+//	    -compare BENCH_2026-08-08.json -threshold 0.05  # baseline gate
+//	odf-benchjson -short -ab -out bench_out.json \
+//	    -compare BENCH_2026-08-08.json -threshold 0.05  # drift-proof CI gate
 //
-// The gate exits 1 when any guarded metric (fork p50/p99, fault
+// Baseline mode exits 1 when any guarded metric (fork p50/p99, fault
 // fast-path latency, COW faults/sec, allocs/op) regresses past the
-// threshold after cross-machine calibration. See internal/bench.
+// threshold after cross-machine calibration. -ab instead measures the
+// matrix as an interleaved split-half experiment on HEAD: rounds
+// alternate between two cells A and B, and the gate requires A and B
+// to agree within the threshold in both directions — proof the runner
+// can resolve a regression of that size. Host drift cannot fail an -ab
+// gate because both halves drift together; any -compare baseline is
+// reported advisorily (deltas printed, exit status unaffected). See
+// internal/bench.
 package main
 
 import (
@@ -28,9 +37,10 @@ func main() {
 		out       = flag.String("out", "bench_out.json", "path for the JSON result")
 		iters     = flag.Int("iters", bench.DefaultIters, "fork invocations per (mode,size) cell")
 		short     = flag.Bool("short", false, "small sizes only (64 MB), for quick CI runs")
-		compare   = flag.String("compare", "", "baseline BENCH_*.json to gate against")
+		compare   = flag.String("compare", "", "baseline BENCH_*.json to gate against (advisory with -ab)")
 		threshold = flag.Float64("threshold", 0.05, "relative regression threshold")
 		attempts  = flag.Int("attempts", 3, "gate measurement attempts before failing")
+		ab        = flag.Bool("ab", false, "interleaved A/B split-half self-gate instead of the baseline gate")
 	)
 	flag.Parse()
 
@@ -40,6 +50,11 @@ func main() {
 	}
 	if *short {
 		cfg.SizesMB = []int{64}
+	}
+
+	if *ab {
+		runAB(cfg, *out, *compare, *threshold, *attempts)
+		return
 	}
 
 	fmt.Fprintf(os.Stderr, "odf-benchjson: measuring (iters=%d, GOMAXPROCS=%d)...\n",
@@ -53,37 +68,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "odf-benchjson: %v\n", err)
 		os.Exit(2)
 	}
-	for _, f := range res.Fork {
-		fmt.Printf("fork %-8s %4d MB  p50 %10.0f ns  p99 %10.0f ns  %7.1f allocs/op\n",
-			f.Mode, f.SizeMB, f.P50NS, f.P99NS, f.AllocsPerOp)
-	}
-	fmt.Printf("fault fastpath %.1f ns/op (%.2f allocs/op), COW %.0f faults/sec\n",
-		res.Fault.FastPathNS, res.Fault.FaultAllocsPerOp, res.Fault.COWFaultsPerSec)
-	fmt.Printf("calibration %.0f ns, result written to %s\n", res.CalibNS, *out)
+	report(res, *out)
 
 	if *compare == "" {
 		return
 	}
-	base, err := bench.Load(*compare)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "odf-benchjson: %v\n", err)
-		os.Exit(2)
-	}
-	if *short {
-		// A -short gate deliberately measures a size subset; restrict
-		// the baseline to the same cells so Compare's missing-cell
-		// check flags lost coverage, not the configured scope.
-		kept := base.Fork[:0]
-		for _, f := range base.Fork {
-			for _, size := range cfg.SizesMB {
-				if f.SizeMB == size {
-					kept = append(kept, f)
-					break
-				}
-			}
-		}
-		base.Fork = kept
-	}
+	base := loadBaseline(*compare, cfg)
 	// A genuine regression fails every attempt; a scheduler hiccup in
 	// one measurement run does not. Only an all-attempts failure gates.
 	var regs []bench.Regression
@@ -112,4 +102,95 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  %s\n", r)
 	}
 	os.Exit(1)
+}
+
+// runAB is the drift-proof gate: interleaved split-half measurement of
+// HEAD, requiring the two halves to agree within the threshold in both
+// directions. The A half (the fresh same-host baseline) is what gets
+// written to -out.
+func runAB(cfg bench.Config, out, compare string, threshold float64, attempts int) {
+	fmt.Fprintf(os.Stderr, "odf-benchjson: A/B split-half measurement (iters=%d per half-round, GOMAXPROCS=%d)...\n",
+		cfg.Iters, runtime.GOMAXPROCS(0))
+	var a, b *bench.Result
+	var regs []bench.Regression
+	for attempt := 1; ; attempt++ {
+		var err error
+		if a, b, err = bench.RunAB(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "odf-benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		if err := a.Save(out); err != nil {
+			fmt.Fprintf(os.Stderr, "odf-benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		// Symmetric comparison: a half that "improved" past the
+		// threshold is the same measurement instability as one that
+		// regressed.
+		regs = append(bench.Compare(a, b, threshold), bench.Compare(b, a, threshold)...)
+		if len(regs) == 0 {
+			break
+		}
+		if attempt >= attempts {
+			fmt.Fprintf(os.Stderr, "gate FAIL: A/B halves of the same HEAD disagree past %.0f%% (all %d attempts):\n",
+				threshold*100, attempts)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "odf-benchjson: A/B attempt %d/%d unstable (%s), remeasuring...\n",
+			attempt, attempts, regs[0].Metric)
+	}
+	report(a, out)
+	fmt.Printf("gate PASS: A/B halves agree within %.0f%% on every guarded metric\n", threshold*100)
+
+	if compare == "" {
+		return
+	}
+	// Advisory only: committed baselines were measured on other
+	// hardware; their drift must not fail the build.
+	base := loadBaseline(compare, cfg)
+	if adv := bench.Compare(base, a, threshold); len(adv) == 0 {
+		fmt.Printf("advisory: no drift vs committed %s\n", compare)
+	} else {
+		fmt.Printf("advisory: %d metric(s) drifted vs committed %s (not gating):\n", len(adv), compare)
+		for _, r := range adv {
+			fmt.Printf("  %s\n", r)
+		}
+	}
+}
+
+// loadBaseline reads a committed baseline, restricted to the cells the
+// current config measures so Compare's missing-cell check flags lost
+// coverage rather than the configured scope.
+func loadBaseline(path string, cfg bench.Config) *bench.Result {
+	base, err := bench.Load(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "odf-benchjson: %v\n", err)
+		os.Exit(2)
+	}
+	if len(cfg.SizesMB) == 0 {
+		return base
+	}
+	kept := base.Fork[:0]
+	for _, f := range base.Fork {
+		for _, size := range cfg.SizesMB {
+			if f.SizeMB == size {
+				kept = append(kept, f)
+				break
+			}
+		}
+	}
+	base.Fork = kept
+	return base
+}
+
+func report(res *bench.Result, out string) {
+	for _, f := range res.Fork {
+		fmt.Printf("fork %-8s %4d MB  p50 %10.0f ns  p99 %10.0f ns  %7.1f allocs/op\n",
+			f.Mode, f.SizeMB, f.P50NS, f.P99NS, f.AllocsPerOp)
+	}
+	fmt.Printf("fault fastpath %.1f ns/op (%.2f allocs/op), COW %.0f faults/sec\n",
+		res.Fault.FastPathNS, res.Fault.FaultAllocsPerOp, res.Fault.COWFaultsPerSec)
+	fmt.Printf("calibration %.0f ns, result written to %s\n", res.CalibNS, out)
 }

@@ -37,6 +37,7 @@ import (
 	"repro/internal/apps/serve"
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 )
 
 var (
@@ -45,6 +46,7 @@ var (
 	keys      = flag.Int("keys", 10000, "keys preloaded at startup")
 	listen    = flag.String("listen", "", "serve the binary kv protocol on this TCP address instead of the stdin shell")
 	snapEvery = flag.Duration("snap-every", 0, "with -listen: background snapshot cadence (0 = on demand only)")
+	obsArg    = flag.String("obs", "", "with -listen: observability HTTP listen address (empty = off)")
 )
 
 func main() {
@@ -181,6 +183,19 @@ func serveTCP(mode core.ForkMode) error {
 		return err
 	}
 	defer srv.Close()
+	if *obsArg != "" {
+		// Opt-in observability: flight recording on, request ids minted
+		// per connection-handled request, HTTP introspection alongside
+		// the serving port.
+		k.SetTraceEnabled(true)
+		srv.SetObserver(serve.NewObs(k.Tracer()))
+		osrv, err := obs.Listen(k, *obsArg, obs.WatchdogConfig{})
+		if err != nil {
+			return err
+		}
+		defer osrv.Close()
+		fmt.Printf("odf-kv observability on http://%s (/metrics /metrics.json /trace /health)\n", osrv.Addr())
+	}
 	fmt.Printf("odf-kv listening on %s: %d keys preloaded, snapshot engine %s\n",
 		srv.Addr(), *keys, mode)
 

@@ -36,6 +36,7 @@ import (
 	"repro/internal/apps/serve"
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/tenant"
 )
 
@@ -53,6 +54,7 @@ var (
 	out        = flag.String("out", "", "write the odf-serverless/v1 JSON record here")
 	checkArg   = flag.String("check", "", "validate an odf-serverless/v1 JSON file and exit")
 	keysPerTen = flag.Int("keys", 256, "warm keys per tenant")
+	obsArg     = flag.String("obs", "", "observability HTTP listen address (empty = off; e.g. 127.0.0.1:9180)")
 )
 
 // Result is the odf-serverless/v1 JSON record.
@@ -215,9 +217,30 @@ func (c *cluster) close() {
 	c.k.Allocator().SetLimit(0)
 }
 
+// startObs optionally starts the observability listener for c: the
+// flight recorder turns on, the dispatcher starts minting request
+// correlation ids, and the HTTP endpoint serves OpenMetrics, trace
+// downloads, health, and pprof.
+func startObs(c *cluster, addr string) (*obs.Server, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	c.k.SetTraceEnabled(true)
+	c.d.SetObserver(serve.NewObs(c.k.Tracer()))
+	srv, err := obs.Listen(c.k, addr, obs.WatchdogConfig{})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("odf-serverless: observability on http://%s (/metrics /metrics.json /trace /health /procfs/* /debug/pprof/)\n", srv.Addr())
+	return srv, nil
+}
+
 func runServe(mode core.ForkMode) error {
 	c, err := boot(mode, *tenants, *quota, *noisyMult, *listenArg)
 	if err != nil {
+		return err
+	}
+	if _, err := startObs(c, *obsArg); err != nil {
 		return err
 	}
 	fmt.Printf("odf-serverless: %d tenants warm, quota %d frames each, listening on %s\n",
@@ -302,6 +325,10 @@ func runExperiment(mode core.ForkMode, soak bool) error {
 	if err != nil {
 		return err
 	}
+	obsSrv, err := startObs(c, *obsArg)
+	if err != nil {
+		return err
+	}
 	limit := 2 * int64(*tenants) * (*quota)
 	fmt.Printf("odf-serverless %s: %d tenants x %d-frame quota on %d frames (50%% aggregate budget), noisy x%d\n",
 		label, *tenants, *quota, limit, *noisyMult)
@@ -375,6 +402,9 @@ func runExperiment(mode core.ForkMode, soak bool) error {
 
 	// Quiesce and audit: stop traffic and kswapd, then the invariant
 	// sweep including the per-tenant accounting cross-check.
+	if obsSrv != nil {
+		obsSrv.Close()
+	}
 	c.srv.Close()
 	c.k.SetSwapEnabled(false)
 	if err := c.k.CheckInvariants(); err != nil {

@@ -1,0 +1,256 @@
+// Command odf-top is a live terminal view of an odf daemon's
+// observability endpoint: it polls /metrics.json and renders a
+// top-style screen — system-wide fork/fault rates, health, and one row
+// per tenant with interval rates for forks, faults, queue waits,
+// reclaim evictions, and quota rejections.
+//
+// Usage:
+//
+//	odf-top -url http://127.0.0.1:9180 [-interval 1s] [-n rounds]
+//	odf-top -url http://127.0.0.1:9180 -once
+//	odf-top -url http://127.0.0.1:9180 -check \
+//	        [-wait 120s] [-require-tenant-forks] [-scrape obs_scrape.txt]
+//
+// -once prints a single snapshot without clearing the screen (useful
+// in transcripts and CI); -check fetches a snapshot plus the
+// OpenMetrics scrape, validates both with the in-tree parser, and
+// exits 0/1 — the smoke probe the CI scrape step uses. -wait retries
+// until a daemon still booting (or not yet loaded) passes, and
+// -require-tenant-forks insists a per-tenant fork histogram counted
+// real forks before declaring victory.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+var (
+	urlArg   = flag.String("url", "http://127.0.0.1:9180", "observability endpoint base URL")
+	interval = flag.Duration("interval", time.Second, "poll interval")
+	rounds   = flag.Int("n", 0, "rounds to render before exiting (0 = forever)")
+	once     = flag.Bool("once", false, "render one snapshot without clearing the screen, then exit")
+	check    = flag.Bool("check", false, "fetch one snapshot, validate it, and exit")
+	wait     = flag.Duration("wait", 0, "with -check: keep retrying for this long before failing (mid-run scrapes)")
+	reqForks = flag.Bool("require-tenant-forks", false, "with -check: fail unless a per-tenant fork histogram is non-empty")
+	scrape   = flag.String("scrape", "", "with -check: save the validated OpenMetrics scrape to this file")
+)
+
+// doc mirrors obs.MetricsJSON with the snapshot typed for decoding.
+type doc struct {
+	UnixNano int64              `json:"unix_nano"`
+	Snapshot metrics.Snapshot   `json:"snapshot"`
+	Health   kernel.HealthStats `json:"health"`
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "odf-top:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if *check {
+		deadline := time.Now().Add(*wait)
+		for {
+			err := checkOnce()
+			if err == nil {
+				return nil
+			}
+			if !time.Now().Before(deadline) {
+				return err
+			}
+			time.Sleep(500 * time.Millisecond)
+		}
+	}
+	if *once {
+		d, err := fetch()
+		if err != nil {
+			return err
+		}
+		fmt.Print(render(nil, &d))
+		return nil
+	}
+	var prev *doc
+	for i := 0; *rounds == 0 || i < *rounds; i++ {
+		d, err := fetch()
+		if err != nil {
+			return err
+		}
+		// ANSI clear + home, the classic top repaint.
+		fmt.Print("\x1b[2J\x1b[H")
+		fmt.Print(render(prev, &d))
+		prev = &d
+		if *rounds == 0 || i < *rounds-1 {
+			time.Sleep(*interval)
+		}
+	}
+	return nil
+}
+
+// checkOnce is one validation attempt: the JSON snapshot decodes with
+// a timestamp, the OpenMetrics scrape parses with the in-tree parser,
+// and (with -require-tenant-forks) at least one per-tenant fork
+// histogram counted a fork — proof the correlation pipeline is live,
+// not just the listener. The validated scrape is saved to -scrape.
+func checkOnce() error {
+	d, err := fetch()
+	if err != nil {
+		return err
+	}
+	if d.UnixNano == 0 {
+		return fmt.Errorf("snapshot carries no timestamp")
+	}
+	resp, err := (&http.Client{Timeout: 5 * time.Second}).Get(strings.TrimSuffix(*urlArg, "/") + "/metrics")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	exp, err := obs.ParseOpenMetrics(bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("scrape does not parse: %w", err)
+	}
+	tenantForks := 0.0
+	if fam := exp.Family("odf_tenant_fork_latency_ns"); fam != nil {
+		for _, s := range fam.Samples {
+			if strings.HasSuffix(s.Name, "_count") {
+				tenantForks += s.Value
+			}
+		}
+	}
+	if *reqForks && tenantForks == 0 {
+		return fmt.Errorf("per-tenant fork histograms are empty")
+	}
+	if *scrape != "" {
+		if err := os.WriteFile(*scrape, body, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("odf-top: endpoint OK, %d tenants (%g tenant forks), %d metric families, health %q\n",
+		len(d.Snapshot.Tenants), tenantForks, len(exp.Families), orUnpublished(d.Health.Status))
+	return nil
+}
+
+func fetch() (doc, error) {
+	var d doc
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(strings.TrimSuffix(*urlArg, "/") + "/metrics.json")
+	if err != nil {
+		return d, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return d, fmt.Errorf("GET /metrics.json: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return d, fmt.Errorf("decode /metrics.json: %w", err)
+	}
+	return d, nil
+}
+
+func orUnpublished(s string) string {
+	if s == "" {
+		return "unpublished"
+	}
+	return s
+}
+
+// render draws one screen. With a previous sample, counters render as
+// per-second rates over the elapsed interval; without one, as totals.
+func render(prev, cur *doc) string {
+	var b strings.Builder
+	s := cur.Snapshot
+	secs := 0.0
+	unit := "total"
+	if prev != nil && cur.UnixNano > prev.UnixNano {
+		secs = float64(cur.UnixNano-prev.UnixNano) / 1e9
+		s = cur.Snapshot.Sub(prev.Snapshot)
+		unit = "/s"
+	}
+	rate := func(v uint64) string {
+		if secs > 0 {
+			return fmt.Sprintf("%.1f", float64(v)/secs)
+		}
+		return fmt.Sprintf("%d", v)
+	}
+
+	fmt.Fprintf(&b, "odf-top  %s  health=%s  frames=%d (peak %d)\n",
+		time.Unix(0, cur.UnixNano).Format("15:04:05"),
+		orUnpublished(cur.Health.Status),
+		cur.Snapshot.Alloc.FramesInUse, cur.Snapshot.Alloc.FramesPeak)
+	for _, c := range cur.Health.Checks {
+		if c.Firing {
+			fmt.Fprintf(&b, "  ALERT %s observed=%d threshold=%d fires=%d\n",
+				c.Name, c.Observed, c.Threshold, c.Fires)
+		}
+	}
+
+	forks := s.Fork.Classic().Forks + s.Fork.OnDemand().Forks
+	faults := s.Fault.ReadFaults + s.Fault.WriteFaults
+	fmt.Fprintf(&b, "forks%s %s (ondemand %s)  faults%s %s  fork_p99 %s  fault_p99(w) %s\n",
+		unit, rate(forks), rate(s.Fork.OnDemand().Forks),
+		unit, rate(faults),
+		ns(s.Fork.OnDemand().Latency.Quantile(0.99)),
+		ns(s.Fault.WriteLatency.Quantile(0.99)))
+
+	if len(s.Tenants) == 0 {
+		b.WriteString("(no tenants registered)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-4s %-10s %9s %9s %9s %11s %9s %9s\n",
+		"ID", "NAME", "FORKS"+unit, "FAULTS"+unit, "QWAIT_P99", "FORK_P99", "EVICT"+unit, "REJ"+unit)
+	rows := append([]metrics.TenantSlotSnapshot(nil), s.Tenants...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+	for _, t := range rows {
+		var tf, tflt uint64
+		var p99 uint64
+		for e := range t.Forks {
+			tf += t.Forks[e]
+			if p := t.ForkLatency[e].Quantile(0.99); p > p99 {
+				p99 = p
+			}
+		}
+		tflt = t.TableSplits + t.PMDSplits + t.FastDedups + t.PageCopies + t.HugeCopies + t.SwapIns
+		fmt.Fprintf(&b, "%-4d %-10s %9s %9s %9s %11s %9s %9s\n",
+			t.ID, t.Name, rate(tf), rate(tflt),
+			ns(t.QueueWait.Quantile(0.99)), ns(p99),
+			rate(t.ReclaimEvictions), rate(t.QuotaRejections))
+	}
+	return b.String()
+}
+
+// ns renders a nanosecond figure human-readably.
+func ns(v uint64) string {
+	d := time.Duration(v)
+	switch {
+	case d == 0:
+		return "-"
+	case d < 10*time.Microsecond:
+		return fmt.Sprintf("%dns", v)
+	case d < 10*time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%.1fms", float64(v)/1e6)
+	}
+}

@@ -2,24 +2,146 @@
 // produced by odf-bench -trace-out (or System.WriteTrace): well-formed
 // JSON with the expected envelope, non-negative monotonic timestamps,
 // durations on every complete event, and balanced B/E nesting per
-// thread. CI runs it against the `make trace` artifact; run it by hand
-// before loading a trace into ui.perfetto.dev.
+// thread. On top of the structural pass it cross-checks the
+// observability layer: request spans ("request") must be complete
+// events carrying a request id, alert instants ("alert.*") must name a
+// known watchdog rule, every request id shared by two or more events
+// must be bound by exactly one flow (ph "s" ... "f" with id = the
+// request id), and every exemplar under metadata.exemplars must
+// resolve to an event tagged with its request id. CI runs it against
+// the `make trace` artifact; run it by hand before loading a trace
+// into ui.perfetto.dev.
 //
 // Usage:
 //
 //	odf-tracecheck <trace.json>
 //
-// Exits 0 and reports the event count when the file validates, 1 with
-// the first violation otherwise.
+// Exits 0 and reports event/flow/exemplar counts when the file
+// validates, 1 with the first violation otherwise.
 package main
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/trace"
 )
+
+// checkEvent is the slice of a trace event the observability
+// cross-check needs.
+type checkEvent struct {
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	Dur  *float64 `json:"dur"`
+	ID   *uint64  `json:"id"`
+	Args struct {
+		Req uint64 `json:"req"`
+	} `json:"args"`
+}
+
+type checkDoc struct {
+	TraceEvents []checkEvent `json:"traceEvents"`
+	Metadata    struct {
+		Exemplars []trace.ExemplarRef `json:"exemplars"`
+	} `json:"metadata"`
+}
+
+// knownAlerts mirrors trace.AlertName's range so a renamed or bogus
+// alert code shows up here before it confuses a dashboard.
+var knownAlerts = map[string]bool{
+	"fork_p99_breach":  true,
+	"admit_wait_spike": true,
+	"swap_degraded":    true,
+	"oom_stall":        true,
+}
+
+// stats is what a clean run reports.
+type stats struct {
+	events, requests, flows, alerts, exemplars int
+}
+
+// checkObservability runs the request/flow/alert/exemplar
+// cross-checks on an already structurally-valid document.
+func checkObservability(doc *checkDoc) (stats, error) {
+	var st stats
+	st.events = len(doc.TraceEvents)
+
+	// Pass 1: request ids on events, flow endpoints, span/instant shape.
+	reqEvents := map[uint64]int{} // request id -> tagged event count
+	flowStarts := map[uint64]int{}
+	flowEnds := map[uint64]int{}
+	for i, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "s":
+			flowStarts[*e.ID]++
+			continue
+		case "f":
+			flowEnds[*e.ID]++
+			continue
+		case "t", "M":
+			continue
+		}
+		if e.Args.Req != 0 {
+			reqEvents[e.Args.Req]++
+		}
+		if e.Name == "request" {
+			st.requests++
+			if e.Ph != "X" || e.Dur == nil {
+				return st, fmt.Errorf("event %d: request span is ph %q, want a complete event", i, e.Ph)
+			}
+			if e.Args.Req == 0 {
+				return st, fmt.Errorf("event %d: request span carries no request id", i)
+			}
+		}
+		if rest, ok := strings.CutPrefix(e.Name, "alert."); ok {
+			st.alerts++
+			if e.Ph != "i" {
+				return st, fmt.Errorf("event %d: alert %q is ph %q, want an instant", i, e.Name, e.Ph)
+			}
+			if !knownAlerts[rest] {
+				return st, fmt.Errorf("event %d: unknown alert rule %q", i, rest)
+			}
+		}
+	}
+
+	// Pass 2: every multi-event request chain is bound by exactly one
+	// flow, and no flow exists without a chain to bind.
+	for req, n := range reqEvents {
+		if n < 2 {
+			continue
+		}
+		if flowStarts[req] != 1 || flowEnds[req] != 1 {
+			return st, fmt.Errorf("request %d spans %d events but has %d flow start(s) and %d finish(es), want 1 each",
+				req, n, flowStarts[req], flowEnds[req])
+		}
+		st.flows++
+	}
+	for id := range flowStarts {
+		if reqEvents[id] < 2 {
+			return st, fmt.Errorf("flow id %d binds %d tagged event(s); flows require a chain of at least 2", id, reqEvents[id])
+		}
+	}
+
+	// Pass 3: exemplars point into the trace. A worst-N observation
+	// that references a request id absent from the window means the
+	// exposition and the flight recorder have drifted apart.
+	for i, ex := range doc.Metadata.Exemplars {
+		if ex.Series == "" {
+			return st, fmt.Errorf("exemplar %d: empty series name", i)
+		}
+		if ex.Req == 0 {
+			return st, fmt.Errorf("exemplar %d (%s): zero request id", i, ex.Series)
+		}
+		if reqEvents[ex.Req] == 0 {
+			return st, fmt.Errorf("exemplar %d (%s, req %d): request id resolves to no trace event",
+				i, ex.Series, ex.Req)
+		}
+		st.exemplars++
+	}
+	return st, nil
+}
 
 func main() {
 	if len(os.Args) != 2 {
@@ -36,12 +158,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "odf-tracecheck: %s: %v\n", path, err)
 		os.Exit(1)
 	}
-	var doc struct {
-		TraceEvents []json.RawMessage `json:"traceEvents"`
-	}
+	var doc checkDoc
 	if err := json.Unmarshal(data, &doc); err != nil {
 		fmt.Fprintf(os.Stderr, "odf-tracecheck: %s: %v\n", path, err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s: valid Chrome trace, %d events\n", path, len(doc.TraceEvents))
+	st, err := checkObservability(&doc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "odf-tracecheck: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: valid Chrome trace, %d events (%d request spans, %d flows, %d alerts, %d exemplars resolved)\n",
+		path, st.events, st.requests, st.flows, st.alerts, st.exemplars)
 }

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// emit builds a real flight-recorder document: a request span, a fork
+// and a fault on the same request id, plus an alert instant, exported
+// with exemplar metadata.
+func emit(t *testing.T, exemplars []trace.ExemplarRef) []byte {
+	t.Helper()
+	tr := trace.New(64)
+	tr.SetEnabled(true)
+	start := time.Now()
+	tr.SpanReq(trace.KindFork, trace.StageNone, trace.ActorApp, start, 0, 0, 7)
+	tr.SpanReq(trace.KindFault, trace.StageNone, trace.ActorApp, start, 0, 0, 7)
+	tr.SpanReq(trace.KindRequest, trace.StageNone, trace.ActorApp, start, 1, 0, 7)
+	tr.Instant(trace.KindAlert, trace.StageNone, trace.ActorApp, trace.AlertForkP99, 123)
+	var buf bytes.Buffer
+	extra := trace.ChromeExtra{Exemplars: exemplars}
+	if err := trace.WriteChromeExtra(&buf, tr.Snapshot(), &extra); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func check(t *testing.T, data []byte) (stats, error) {
+	t.Helper()
+	if err := trace.ValidateChrome(data); err != nil {
+		t.Fatalf("structurally invalid fixture: %v", err)
+	}
+	var doc checkDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	return checkObservability(&doc)
+}
+
+func TestCheckObservabilityClean(t *testing.T) {
+	data := emit(t, []trace.ExemplarRef{{Series: "fork.ondemand.latency", NS: 55_000, Req: 7}})
+	st, err := check(t, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.requests != 1 || st.flows != 1 || st.alerts != 1 || st.exemplars != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCheckObservabilityUnresolvedExemplar(t *testing.T) {
+	data := emit(t, []trace.ExemplarRef{{Series: "fork.ondemand.latency", NS: 55_000, Req: 999}})
+	if _, err := check(t, data); err == nil || !strings.Contains(err.Error(), "resolves to no trace event") {
+		t.Fatalf("unresolved exemplar accepted: %v", err)
+	}
+}
+
+func TestCheckObservabilityUnknownAlert(t *testing.T) {
+	data := emit(t, nil)
+	data = bytes.Replace(data, []byte("alert.fork_p99_breach"), []byte("alert.mystery_rule"), 1)
+	if _, err := check(t, data); err == nil || !strings.Contains(err.Error(), "unknown alert rule") {
+		t.Fatalf("unknown alert accepted: %v", err)
+	}
+}
+
+func TestCheckObservabilityOrphanFlow(t *testing.T) {
+	// A hand-built doc with a flow whose id tags only one event.
+	doc := `{"traceEvents":[
+	 {"name":"request","ph":"X","ts":1,"dur":2,"pid":1,"tid":1,"args":{"req":5}},
+	 {"name":"req","ph":"s","ts":1,"pid":1,"tid":1,"id":5,"bp":"e"},
+	 {"name":"req","ph":"f","ts":2,"pid":1,"tid":1,"id":5,"bp":"e"}
+	]}`
+	var d checkDoc
+	if err := json.Unmarshal([]byte(doc), &d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := checkObservability(&d); err == nil || !strings.Contains(err.Error(), "flows require a chain") {
+		t.Fatalf("orphan flow accepted: %v", err)
+	}
+}

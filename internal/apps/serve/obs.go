@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Obs is the serving tier's request-observability hook. It mints the
+// request correlation ids the rest of the system propagates: the
+// serving path stamps the id onto the tenant lineage's address space
+// for the duration of one invocation, so the admission wait, the
+// snapshot fork's stages, and every fault the clone resolves carry the
+// id into the flight recorder and the latency-histogram exemplars.
+// When the invocation completes, Obs emits the enclosing request span
+// — the root slice the Chrome exporter threads the flow chain through.
+//
+// A nil *Obs is inert, and an Obs whose tracer is disabled only pays
+// the id increment; ids keep being minted while tracing is off so a
+// trace window opened mid-run still sees unique ids.
+type Obs struct {
+	trc  *trace.Tracer
+	next atomic.Uint64
+}
+
+// NewObs returns an observer emitting request spans to trc (which may
+// be nil or disabled; ids are minted regardless).
+func NewObs(trc *trace.Tracer) *Obs { return &Obs{trc: trc} }
+
+// Begin mints the next request correlation id. Ids are never zero —
+// zero is the "outside any request" sentinel on the address space.
+func (o *Obs) Begin() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.next.Add(1)
+}
+
+// End emits the request's enclosing span: tenant in Arg1, a nonzero
+// Arg2 when the invocation failed.
+func (o *Obs) End(req, tenantID uint64, start time.Time, failed bool) {
+	if o == nil || req == 0 || !o.trc.Enabled() {
+		return
+	}
+	var errFlag uint64
+	if failed {
+		errFlag = 1
+	}
+	o.trc.SpanReq(trace.KindRequest, trace.StageNone, trace.ActorApp, start, tenantID, errFlag, req)
+}
+
+// Minted returns how many request ids have been issued.
+func (o *Obs) Minted() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.next.Load()
+}

@@ -28,6 +28,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/kernel"
 )
@@ -74,7 +75,15 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	closed   atomic.Bool
 	served   atomic.Uint64
+
+	// obs, when set, tags every request with a correlation id stamped
+	// onto the app's serving address space for the handling window.
+	obs atomic.Pointer[Obs]
 }
+
+// SetObserver installs the request-observability hook. Safe to call
+// while serving; nil detaches.
+func (s *Server) SetObserver(o *Obs) { s.obs.Store(o) }
 
 // Listen starts serving app with the given codec on addr ("" means an
 // ephemeral localhost port). The returned server is accepting; stop it
@@ -161,6 +170,21 @@ func (s *Server) serveConn(c net.Conn) {
 		if err != nil {
 			return // clean EOF and read errors both end the connection
 		}
+		// Request correlation: mint an id at codec receive and stamp it
+		// onto the serving address space for the handling window, so
+		// the forks and faults this request triggers carry it into the
+		// trace and the exemplars. Apps without a single snapshotter
+		// (Dispatcher) run their own per-lane observer instead.
+		obs := s.obs.Load()
+		var rid uint64
+		var ridStart time.Time
+		if obs != nil {
+			rid = obs.Begin()
+			ridStart = time.Now()
+			if snap != nil {
+				snap.Process().Space().SetRequest(rid)
+			}
+		}
 		// Seqlock-style fork-coincidence probe: the epoch is odd while a
 		// snapshot fork is in flight, and changes across one. Either
 		// signal means this request overlapped a fork pause.
@@ -173,6 +197,12 @@ func (s *Server) serveConn(c net.Conn) {
 		s.handleMu.Unlock()
 		if snap != nil {
 			e2 = snap.Epoch()
+		}
+		if rid != 0 {
+			if snap != nil {
+				snap.Process().Space().SetRequest(0)
+			}
+			obs.End(rid, 0, ridStart, herr != nil)
 		}
 
 		var flags ResponseFlags

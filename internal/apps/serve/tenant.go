@@ -7,6 +7,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/kernel"
 	"repro/internal/stats"
@@ -144,7 +145,22 @@ func (l *Lane) CloneErrs() uint64 { return l.cloneErrs.Load() }
 // control (tenant over quota, queue full or timed out) surfaces here
 // as the fork error.
 func (l *Lane) Serve(payload []byte) ([]byte, error) {
+	return l.ServeTagged(payload, 0)
+}
+
+// ServeTagged is Serve with a request correlation id: a nonzero rid is
+// stamped onto the lane's warm address space for the invocation, so
+// the admission wait, the snapshot fork, and the clone's faults all
+// trace back to this request (the clone inherits the id at fork).
+func (l *Lane) ServeTagged(payload []byte, rid uint64) ([]byte, error) {
 	l.invocations.Add(1)
+	if rid != 0 {
+		if snap := l.app.Snapshotter(); snap != nil {
+			sp := snap.Process().Space()
+			sp.SetRequest(rid)
+			defer sp.SetRequest(0)
+		}
+	}
 	ch, ok := l.app.(CloneHandler)
 	if !l.clone || !ok {
 		return l.app.Handle(payload)
@@ -171,7 +187,16 @@ type Dispatcher struct {
 	mu    sync.RWMutex
 	lanes map[uint32]*Lane
 	order []*Lane
+
+	// obs, when set, mints a correlation id per dispatched request and
+	// emits the enclosing request span; lanes stamp the id onto their
+	// warm lineage for the invocation window.
+	obs atomic.Pointer[Obs]
 }
+
+// SetObserver installs the request-observability hook. Safe to call
+// while serving; nil detaches.
+func (d *Dispatcher) SetObserver(o *Obs) { d.obs.Store(o) }
 
 // NewDispatcher returns an empty dispatcher; add tenants with AddLane.
 func NewDispatcher() *Dispatcher {
@@ -230,7 +255,15 @@ func (d *Dispatcher) Handle(req []byte) ([]byte, error) {
 	if l == nil {
 		return nil, fmt.Errorf("serve: no lane for tenant %d", id)
 	}
-	return l.Serve(payload)
+	obs := d.obs.Load()
+	if obs == nil {
+		return l.Serve(payload)
+	}
+	rid := obs.Begin()
+	start := time.Now()
+	resp, herr := l.ServeTagged(payload, rid)
+	obs.End(rid, uint64(id), start, herr != nil)
+	return resp, herr
 }
 
 // Snapshot snapshots every lane's warm process.

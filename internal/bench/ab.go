@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"runtime"
+	"runtime/debug"
+
+	"repro/internal/core"
+)
+
+// RunAB executes the measurement matrix as an interleaved split-half
+// experiment: every cell's rounds alternate between two accumulators A
+// and B (A-first on even rounds, B-first on odd, cancelling linear
+// host drift), so A and B sample the runner's noise over the same
+// minutes of wall clock. Both halves run the same HEAD code, which
+// makes |A-B| a measured bound on what the host can resolve: a gate
+// that compares A against B at the regression threshold fails only
+// when the machine cannot reproduce its own numbers — never because a
+// committed baseline was measured on different hardware. Both results
+// share one calibration constant (same process, same machine), so
+// Compare's cross-machine normalization is the identity.
+func RunAB(cfg Config) (a, b *Result, err error) {
+	if cfg.Iters <= 0 {
+		cfg.Iters = DefaultIters
+	}
+	if len(cfg.SizesMB) == 0 {
+		cfg.SizesMB = []int{64, 256}
+	}
+	calib := calibrate()
+	mk := func() *Result {
+		return &Result{
+			Schema:     SchemaV1,
+			Date:       cfg.Date,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Iters:      cfg.Iters,
+			CalibNS:    calib,
+		}
+	}
+	a, b = mk(), mk()
+
+	for _, mode := range []core.ForkMode{core.ForkClassic, core.ForkOnDemand} {
+		for _, sizeMB := range cfg.SizesMB {
+			fa, fb, err := measureForkAB(mode, sizeMB, cfg.Iters)
+			if err != nil {
+				return nil, nil, err
+			}
+			a.Fork = append(a.Fork, fa)
+			b.Fork = append(b.Fork, fb)
+		}
+	}
+	if a.Fault, b.Fault, err = measureFaultAB(); err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}
+
+// halfOrder returns the two accumulators in this round's measurement
+// order: A-first on even rounds, B-first on odd.
+func halfOrder[T any](round int, a, b *T) [2]*T {
+	if round%2 == 1 {
+		return [2]*T{b, a}
+	}
+	return [2]*T{a, b}
+}
+
+// measureForkAB is measureFork with the rounds split across two
+// best-of accumulators, interleaved at round granularity.
+func measureForkAB(mode core.ForkMode, sizeMB, iters int) (ForkResult, ForkResult, error) {
+	cell, err := newForkCell(mode, sizeMB, iters)
+	if err != nil {
+		return ForkResult{}, ForkResult{}, err
+	}
+	defer cell.close()
+
+	fa := ForkResult{Mode: modeName(mode), SizeMB: sizeMB}
+	fb := fa
+	first := map[*ForkResult]bool{&fa: true, &fb: true}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	for round := 0; round < forkRounds; round++ {
+		for _, half := range halfOrder(round, &fa, &fb) {
+			p50, p99, allocs, err := cell.round(iters)
+			if err != nil {
+				return ForkResult{}, ForkResult{}, err
+			}
+			mergeForkRound(half, first[half], p50, p99, allocs)
+			first[half] = false
+		}
+	}
+	return fa, fb, nil
+}
+
+// measureFaultAB is measureFault split-half: fast-path rounds and COW
+// rounds alternate between the two accumulators.
+func measureFaultAB() (FaultResult, FaultResult, error) {
+	var fa, fb FaultResult
+
+	cell, err := newFastPathCell()
+	if err != nil {
+		return fa, fb, err
+	}
+	first := map[*FaultResult]bool{&fa: true, &fb: true}
+	err = func() error {
+		defer debug.SetGCPercent(debug.SetGCPercent(-1))
+		for round := 0; round < fastPathRounds; round++ {
+			for _, half := range halfOrder(round, &fa, &fb) {
+				ns, allocs, err := cell.round()
+				if err != nil {
+					return err
+				}
+				if first[half] || ns < half.FastPathNS {
+					half.FastPathNS = ns
+				}
+				if first[half] || allocs < half.FaultAllocsPerOp {
+					half.FaultAllocsPerOp = allocs
+				}
+				first[half] = false
+			}
+		}
+		return nil
+	}()
+	cell.close()
+	if err != nil {
+		return fa, fb, err
+	}
+
+	// COW throughput is a best-of starting from zero; no seed needed.
+	for round := 0; round < cowRounds; round++ {
+		for _, half := range halfOrder(round, &fa, &fb) {
+			rate, err := cowRound()
+			if err != nil {
+				return fa, fb, err
+			}
+			if rate > half.COWFaultsPerSec {
+				half.COWFaultsPerSec = rate
+			}
+		}
+	}
+	return fa, fb, nil
+}

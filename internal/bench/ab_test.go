@@ -1,0 +1,44 @@
+package bench
+
+import "testing"
+
+// TestRunABShape runs a miniature split-half measurement and checks
+// the two halves are structurally comparable: same cells, one shared
+// calibration constant (so Compare's normalization is the identity),
+// and every metric populated in both halves.
+func TestRunABShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement test")
+	}
+	a, b, err := RunAB(Config{Iters: 4, SizesMB: []int{1}, Date: "2026-01-01"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CalibNS != b.CalibNS || a.CalibNS <= 0 {
+		t.Fatalf("halves have different or empty calibration: %v vs %v", a.CalibNS, b.CalibNS)
+	}
+	if len(a.Fork) != 2 || len(b.Fork) != 2 {
+		t.Fatalf("fork cells: %d vs %d, want 2 each", len(a.Fork), len(b.Fork))
+	}
+	for i := range a.Fork {
+		if a.Fork[i].forkKey() != b.Fork[i].forkKey() {
+			t.Fatalf("cell %d keys differ: %s vs %s", i, a.Fork[i].forkKey(), b.Fork[i].forkKey())
+		}
+		for _, h := range []*Result{a, b} {
+			f := h.Fork[i]
+			if f.P50NS <= 0 || f.P99NS <= 0 {
+				t.Fatalf("unpopulated cell %s: %+v", f.forkKey(), f)
+			}
+		}
+	}
+	for _, h := range []*Result{a, b} {
+		if h.Fault.FastPathNS <= 0 || h.Fault.COWFaultsPerSec <= 0 {
+			t.Fatalf("unpopulated fault half: %+v", h.Fault)
+		}
+	}
+	// At a wide-open threshold the halves always agree: the gate logic
+	// itself, not the machine, is what this asserts.
+	if regs := Compare(a, b, 100); len(regs) != 0 {
+		t.Fatalf("identical-code halves flagged at 100x threshold: %v", regs)
+	}
+}

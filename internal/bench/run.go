@@ -124,67 +124,189 @@ func modeName(mode core.ForkMode) string {
 	return "classic"
 }
 
+// forkCell is one warm (mode, size) measurement cell: a populated
+// parent whose fork+recycle cycle can be timed one round at a time, so
+// callers choose the round schedule (sequential best-of for Run,
+// interleaved A/B for RunAB).
+type forkCell struct {
+	parent *core.AddressSpace
+	mode   core.ForkMode
+	sizeMB int
+	lats   []time.Duration
+}
+
+func newForkCell(mode core.ForkMode, sizeMB, iters int) (*forkCell, error) {
+	parent, err := newParent(sizeMB)
+	if err != nil {
+		return nil, err
+	}
+	c := &forkCell{parent: parent, mode: mode, sizeMB: sizeMB, lats: make([]time.Duration, 0, iters)}
+	for i := 0; i < warmupForks; i++ {
+		if _, err := c.forkOnce(); err != nil {
+			c.close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *forkCell) close() { c.parent.Teardown() }
+
+func (c *forkCell) forkOnce() (time.Duration, error) {
+	start := time.Now()
+	child, err := core.ForkWithOptions(c.parent, c.mode, core.ForkOptions{})
+	lat := time.Since(start)
+	if err != nil {
+		return 0, fmt.Errorf("bench: %s fork of %d MB: %w", modeName(c.mode), c.sizeMB, err)
+	}
+	// Recycle, not Teardown: the steady-state fork loop a server
+	// pays runs pool-warm, which is what the allocs/op cell gates.
+	child.Recycle()
+	return lat, nil
+}
+
+// round measures one round of iters forks and returns its p50/p99
+// latencies and allocs/op. The caller is expected to have GC disabled.
+func (c *forkCell) round(iters int) (p50, p99, allocs float64, err error) {
+	c.lats = c.lats[:0]
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < iters; i++ {
+		lat, ferr := c.forkOnce()
+		if ferr != nil {
+			return 0, 0, 0, ferr
+		}
+		c.lats = append(c.lats, lat)
+	}
+	runtime.ReadMemStats(&after)
+	sort.Slice(c.lats, func(i, j int) bool { return c.lats[i] < c.lats[j] })
+	p50 = float64(c.lats[iters/2].Nanoseconds())
+	p99 = float64(c.lats[min(iters-1, iters*99/100)].Nanoseconds())
+	allocs = float64(after.Mallocs-before.Mallocs) / float64(iters)
+	return p50, p99, allocs, nil
+}
+
+// mergeRound folds one round's figures into out best-of.
+func mergeForkRound(out *ForkResult, first bool, p50, p99, allocs float64) {
+	if first || p50 < out.P50NS {
+		out.P50NS = p50
+	}
+	if first || p99 < out.P99NS {
+		out.P99NS = p99
+	}
+	if first || allocs < out.AllocsPerOp {
+		out.AllocsPerOp = allocs
+	}
+}
+
 // measureFork times iters fork+teardown cycles of a sizeMB space and
 // reports the latency distribution of the fork call alone plus the Go
 // heap allocations of the full cycle (the steady-state cost a server
 // forking in a loop pays).
 func measureFork(mode core.ForkMode, sizeMB, iters int) (ForkResult, error) {
-	parent, err := newParent(sizeMB)
+	cell, err := newForkCell(mode, sizeMB, iters)
 	if err != nil {
 		return ForkResult{}, err
 	}
-	defer parent.Teardown()
-
-	forkOnce := func() (time.Duration, error) {
-		start := time.Now()
-		child, err := core.ForkWithOptions(parent, mode, core.ForkOptions{})
-		lat := time.Since(start)
-		if err != nil {
-			return 0, fmt.Errorf("bench: %s fork of %d MB: %w", modeName(mode), sizeMB, err)
-		}
-		// Recycle, not Teardown: the steady-state fork loop a server
-		// pays runs pool-warm, which is what the allocs/op cell gates.
-		child.Recycle()
-		return lat, nil
-	}
-	for i := 0; i < warmupForks; i++ {
-		if _, err := forkOnce(); err != nil {
-			return ForkResult{}, err
-		}
-	}
+	defer cell.close()
 
 	out := ForkResult{Mode: modeName(mode), SizeMB: sizeMB}
-	lats := make([]time.Duration, 0, iters)
 	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 	for round := 0; round < forkRounds; round++ {
-		lats = lats[:0]
-		runtime.GC()
-		var before, after runtime.MemStats
-		runtime.ReadMemStats(&before)
-		for i := 0; i < iters; i++ {
-			lat, err := forkOnce()
-			if err != nil {
-				return ForkResult{}, err
-			}
-			lats = append(lats, lat)
+		p50, p99, allocs, err := cell.round(iters)
+		if err != nil {
+			return ForkResult{}, err
 		}
-		runtime.ReadMemStats(&after)
-
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		p50 := float64(lats[iters/2].Nanoseconds())
-		p99 := float64(lats[min(iters-1, iters*99/100)].Nanoseconds())
-		allocs := float64(after.Mallocs-before.Mallocs) / float64(iters)
-		if round == 0 || p50 < out.P50NS {
-			out.P50NS = p50
-		}
-		if round == 0 || p99 < out.P99NS {
-			out.P99NS = p99
-		}
-		if round == 0 || allocs < out.AllocsPerOp {
-			out.AllocsPerOp = allocs
-		}
+		mergeForkRound(&out, round == 0, p50, p99, allocs)
 	}
 	return out, nil
+}
+
+// fastPathCell is the warm write-fast-path cell: a parent that already
+// privatized one page, ready to be hammered one round at a time.
+type fastPathCell struct {
+	parent *core.AddressSpace
+	child  *core.AddressSpace
+	base   addr.V
+}
+
+func newFastPathCell() (*fastPathCell, error) {
+	parent, err := newParent(cowSizeMB)
+	if err != nil {
+		return nil, err
+	}
+	child, err := core.ForkWithOptions(parent, core.ForkOnDemand, core.ForkOptions{})
+	if err != nil {
+		parent.Teardown()
+		return nil, fmt.Errorf("bench: fault-path fork: %w", err)
+	}
+	base := parent.VMAs()[0].Range.Start
+	if err := parent.StoreByte(base, 1); err != nil {
+		child.Recycle()
+		parent.Teardown()
+		return nil, err
+	}
+	return &fastPathCell{parent: parent, child: child, base: base}, nil
+}
+
+func (c *fastPathCell) close() {
+	c.child.Recycle()
+	c.parent.Recycle()
+}
+
+// round hammers the privatized byte fastPathOps times and returns
+// ns/op and allocs/op. The caller is expected to have GC disabled.
+func (c *fastPathCell) round() (ns, allocs float64, err error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < fastPathOps; i++ {
+		if err = c.parent.StoreByte(c.base, byte(i)); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return float64(elapsed.Nanoseconds()) / fastPathOps,
+		float64(after.Mallocs-before.Mallocs) / fastPathOps, nil
+}
+
+// cowRound forks a fresh on-demand child of a cowSizeMB parent and
+// writes one byte to every 4 KiB page, returning the fault rate. The
+// first write per 2 MiB region splits the shared leaf table; every
+// write pays a data-page COW.
+func cowRound() (float64, error) {
+	parent, err := newParent(cowSizeMB)
+	if err != nil {
+		return 0, err
+	}
+	child, err := core.ForkWithOptions(parent, core.ForkOnDemand, core.ForkOptions{})
+	if err != nil {
+		parent.Teardown()
+		return 0, fmt.Errorf("bench: cow fork: %w", err)
+	}
+	pages := (cowSizeMB << 20) / addr.PageSize
+	base := parent.VMAs()[0].Range.Start
+	var elapsed time.Duration
+	func() {
+		defer debug.SetGCPercent(debug.SetGCPercent(-1))
+		runtime.GC()
+		start := time.Now()
+		for p := 0; p < pages; p++ {
+			if err = parent.StoreByte(base+addr.V(p*addr.PageSize), 1); err != nil {
+				return
+			}
+		}
+		elapsed = time.Since(start)
+	}()
+	child.Recycle()
+	parent.Recycle()
+	if err != nil {
+		return 0, err
+	}
+	return float64(pages) / elapsed.Seconds(), nil
 }
 
 // measureFault measures the two fault-side paths: the write fast path
@@ -196,35 +318,17 @@ func measureFault() (FaultResult, error) {
 
 	// Fast path: fork once, take the first write fault, then hammer
 	// the same byte. Steady state is a pool-warm TLB hit.
-	parent, err := newParent(cowSizeMB)
+	cell, err := newFastPathCell()
 	if err != nil {
 		return out, err
 	}
-	child, err := core.ForkWithOptions(parent, core.ForkOnDemand, core.ForkOptions{})
-	if err != nil {
-		parent.Teardown()
-		return out, fmt.Errorf("bench: fault-path fork: %w", err)
-	}
-	base := parent.VMAs()[0].Range.Start
-	if err := parent.StoreByte(base, 1); err != nil {
-		return out, err
-	}
-	func() {
+	err = func() error {
 		defer debug.SetGCPercent(debug.SetGCPercent(-1))
 		for round := 0; round < fastPathRounds; round++ {
-			runtime.GC()
-			var before, after runtime.MemStats
-			runtime.ReadMemStats(&before)
-			start := time.Now()
-			for i := 0; i < fastPathOps; i++ {
-				if err = parent.StoreByte(base, byte(i)); err != nil {
-					return
-				}
+			ns, allocs, err := cell.round()
+			if err != nil {
+				return err
 			}
-			elapsed := time.Since(start)
-			runtime.ReadMemStats(&after)
-			ns := float64(elapsed.Nanoseconds()) / fastPathOps
-			allocs := float64(after.Mallocs-before.Mallocs) / fastPathOps
 			if round == 0 || ns < out.FastPathNS {
 				out.FastPathNS = ns
 			}
@@ -232,48 +336,21 @@ func measureFault() (FaultResult, error) {
 				out.FaultAllocsPerOp = allocs
 			}
 		}
+		return nil
 	}()
-	child.Recycle()
-	parent.Recycle()
+	cell.close()
 	if err != nil {
 		return out, err
 	}
 
-	// COW throughput: per round, fork fresh and write one byte to
-	// every 4 KiB page. The first write per 2 MiB region splits the
-	// shared leaf table; every write pays a data-page COW. Best round
-	// wins (later rounds are pool-warm).
-	pages := (cowSizeMB << 20) / addr.PageSize
+	// COW throughput: best round wins (later rounds are pool-warm).
 	best := 0.0
 	for round := 0; round < cowRounds; round++ {
-		parent, err := newParent(cowSizeMB)
+		rate, err := cowRound()
 		if err != nil {
 			return out, err
 		}
-		child, err := core.ForkWithOptions(parent, core.ForkOnDemand, core.ForkOptions{})
-		if err != nil {
-			parent.Teardown()
-			return out, fmt.Errorf("bench: cow fork: %w", err)
-		}
-		base := parent.VMAs()[0].Range.Start
-		var elapsed time.Duration
-		func() {
-			defer debug.SetGCPercent(debug.SetGCPercent(-1))
-			runtime.GC()
-			start := time.Now()
-			for p := 0; p < pages; p++ {
-				if err = parent.StoreByte(base+addr.V(p*addr.PageSize), 1); err != nil {
-					return
-				}
-			}
-			elapsed = time.Since(start)
-		}()
-		child.Recycle()
-		parent.Recycle()
-		if err != nil {
-			return out, err
-		}
-		if rate := float64(pages) / elapsed.Seconds(); rate > best {
+		if rate > best {
 			best = rate
 		}
 	}

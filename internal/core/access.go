@@ -43,7 +43,7 @@ func (as *AddressSpace) stallReclaim(try int) bool {
 	if m == nil {
 		return false
 	}
-	as.trc.Instant(trace.KindOOMStall, trace.StageNone, trace.ActorApp, uint64(try+1), 0)
+	as.trc.InstantReq(trace.KindOOMStall, trace.StageNone, trace.ActorApp, uint64(try+1), 0, as.curReq.Load())
 	return m.ReclaimFrames(faultReserveFrames)
 }
 

@@ -96,16 +96,17 @@ func (as *AddressSpace) handleFaultLocked(v addr.V, write bool) error {
 	if traceOn {
 		before = as.faultCounters()
 	}
+	req := as.curReq.Load()
 	t0 := time.Now()
 	err := as.resolveFaultLocked(v, write)
 	d := time.Since(t0)
 	if m.Enabled() {
 		if write {
 			m.Fault.WriteFaults.Inc()
-			m.Fault.WriteLatency.Observe(d)
+			m.Fault.WriteLatency.ObserveTagged(d, req)
 		} else {
 			m.Fault.ReadFaults.Inc()
-			m.Fault.ReadLatency.Observe(d)
+			m.Fault.ReadLatency.ObserveTagged(d, req)
 		}
 	}
 	isSeg := false
@@ -123,8 +124,8 @@ func (as *AddressSpace) handleFaultLocked(v addr.V, write bool) error {
 		if write {
 			w = 1
 		}
-		tr.Span(trace.KindFault, classifyResolution(before, as.faultCounters(), isSeg),
-			trace.ActorApp, t0, uint64(v), w)
+		tr.SpanReq(trace.KindFault, classifyResolution(before, as.faultCounters(), isSeg),
+			trace.ActorApp, t0, uint64(v), w, req)
 	}
 	return err
 }
@@ -251,6 +252,9 @@ func (as *AddressSpace) noteFastDedup() {
 	as.FastDedups.Add(1)
 	if as.met.Enabled() {
 		as.met.Fault.FastDedups.Inc()
+		if ts := as.tslot; ts != nil {
+			ts.Fault.FastDedups.Inc()
+		}
 	}
 }
 
@@ -258,6 +262,9 @@ func (as *AddressSpace) notePMDSplit() {
 	as.PMDSplits.Add(1)
 	if as.met.Enabled() {
 		as.met.Fault.PMDSplits.Inc()
+		if ts := as.tslot; ts != nil {
+			ts.Fault.PMDSplits.Inc()
+		}
 	}
 }
 
@@ -265,6 +272,9 @@ func (as *AddressSpace) notePageCopy() {
 	as.PageCopies.Add(1)
 	if as.met.Enabled() {
 		as.met.Fault.PageCopies.Inc()
+		if ts := as.tslot; ts != nil {
+			ts.Fault.PageCopies.Inc()
+		}
 	}
 }
 
@@ -272,6 +282,9 @@ func (as *AddressSpace) noteHugeCopy() {
 	as.HugeCopies.Add(1)
 	if as.met.Enabled() {
 		as.met.Fault.HugeCopies.Inc()
+		if ts := as.tslot; ts != nil {
+			ts.Fault.HugeCopies.Inc()
+		}
 	}
 }
 
@@ -371,11 +384,15 @@ func (as *AddressSpace) trySwapInLocked(v addr.V) (handled bool, err error) {
 	}
 	as.rec.SwapUnref(slot)
 	as.SwapIns.Add(1)
+	req := as.curReq.Load()
 	if as.met.Enabled() {
 		as.met.Reclaim.PswpIn.Inc()
-		as.met.Reclaim.SwapInLatency.Observe(time.Since(t0))
+		as.met.Reclaim.SwapInLatency.ObserveTagged(time.Since(t0), req)
+		if ts := as.tslot; ts != nil {
+			ts.Fault.SwapIns.Inc()
+		}
 	}
-	as.trc.Span(trace.KindSwapIn, trace.StageNone, trace.ActorApp, t0, uint64(slot), 0)
+	as.trc.SpanReq(trace.KindSwapIn, trace.StageNone, trace.ActorApp, t0, uint64(slot), 0, req)
 	return true, nil
 }
 
@@ -549,6 +566,9 @@ func (as *AddressSpace) splitSharedLeafLocked(pmd *pagetable.Table, pi int, old 
 	var splitStart time.Time
 	if as.met.Enabled() {
 		as.met.Fault.TableSplits.Inc()
+		if ts := as.tslot; ts != nil {
+			ts.Fault.TableSplits.Inc()
+		}
 		splitStart = time.Now()
 	}
 	newLeaf.CopyEntriesFrom(old, as.prof)
@@ -591,7 +611,7 @@ func (as *AddressSpace) splitSharedLeafLocked(pmd *pagetable.Table, pi int, old 
 	as.sd.Broadcast()
 	as.prof.Charge(profile.TLBFlush, 1)
 	if !splitStart.IsZero() && as.met.Enabled() {
-		as.met.Fault.TableCopyLatency.Observe(time.Since(splitStart))
+		as.met.Fault.TableCopyLatency.ObserveTagged(time.Since(splitStart), as.curReq.Load())
 	}
 	return newLeaf
 }

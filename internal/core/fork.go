@@ -160,8 +160,10 @@ func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) (*Ad
 	m := parent.met
 	tr := parent.trc
 	var forkStart time.Time
+	var req uint64
 	if m.Enabled() || tr.Enabled() {
 		forkStart = time.Now()
+		req = parent.curReq.Load()
 	}
 
 	parent.mu.Lock()
@@ -197,6 +199,11 @@ func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) (*Ad
 		child.tenantID = parent.tenantID
 		child.charger = parent.charger
 		child.w.Charger = parent.charger
+		child.tslot = parent.tslot
+		// The clone keeps serving the request that forked it: its COW
+		// fault storm carries the same correlation id until the serving
+		// tier re-tags or recycles the space.
+		child.curReq.Store(parent.curReq.Load())
 		parent.vmas.CloneInto(child.vmas)
 		var walkStart time.Time
 		if tr.Enabled() {
@@ -230,7 +237,7 @@ func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) (*Ad
 		default:
 			panic("core: unknown fork mode")
 		}
-		tr.Span(trace.KindForkStage, trace.StageWalk, trace.ActorApp, walkStart, 0, 0)
+		tr.SpanReq(trace.KindForkStage, trace.StageWalk, trace.ActorApp, walkStart, 0, 0, req)
 		// The parent's translations were downgraded; every relative that may
 		// cache translations through now-shared tables must drop them (the
 		// kernel's fork-time TLB flush, broadcast lineage-wide).
@@ -240,16 +247,21 @@ func ForkWithOptions(parent *AddressSpace, mode ForkMode, opts ForkOptions) (*Ad
 		}
 		parent.sd.Broadcast()
 		parent.prof.Charge(profile.TLBFlush, 1)
-		tr.Span(trace.KindForkStage, trace.StageTLB, trace.ActorApp, tlbStart, 0, 0)
+		tr.SpanReq(trace.KindForkStage, trace.StageTLB, trace.ActorApp, tlbStart, 0, 0, req)
 		if !forkStart.IsZero() && m.Enabled() {
 			// metrics.ForkEngine values mirror ForkMode, so the cast is the
 			// whole mapping.
 			if e := metrics.ForkEngine(mode); e >= 0 && e < metrics.NumEngines {
+				d := time.Since(forkStart)
 				m.Fork.Forks[e].Inc()
-				m.Fork.Latency[e].Observe(time.Since(forkStart))
+				m.Fork.Latency[e].ObserveTagged(d, req)
+				if ts := parent.tslot; ts != nil {
+					ts.Forks[e].Inc()
+					ts.ForkLatency[e].ObserveTagged(d, req)
+				}
 			}
 		}
-		tr.Span(trace.KindFork, trace.StageNone, trace.ActorApp, forkStart, uint64(mode), uint64(nTasks))
+		tr.SpanReq(trace.KindFork, trace.StageNone, trace.ActorApp, forkStart, uint64(mode), uint64(nTasks), req)
 	}()
 	return child, forkErr
 }
@@ -341,10 +353,12 @@ var framePool = sync.Pool{New: func() any {
 // tallies consistent for the rollback's teardown.
 func (as *AddressSpace) copyPMDRangeClassic(src, dst *pagetable.Table, lo, hi int, child *AddressSpace, actor int32) {
 	var rangeStart time.Time
+	var req uint64
 	if as.trc.Enabled() {
 		rangeStart = time.Now()
+		req = as.curReq.Load()
 	}
-	defer as.trc.Span(trace.KindForkStage, trace.StageRefcount, actor, rangeStart, uint64(lo), uint64(hi))
+	defer as.trc.SpanReq(trace.KindForkStage, trace.StageRefcount, actor, rangeStart, uint64(lo), uint64(hi), req)
 	fp := as.alloc.Failpoints()
 	framesP := framePool.Get().(*[]phys.Frame)
 	frames := (*framesP)[:0]
@@ -470,10 +484,12 @@ func (as *AddressSpace) copyTreeOnDemand(src, dst *pagetable.Table, child *Addre
 // the deferred flush keeps dst consistent across a mid-range abort.
 func (as *AddressSpace) copyPMDRangeOnDemand(src, dst *pagetable.Table, lo, hi int, child *AddressSpace, opts ForkOptions, actor int32) {
 	var rangeStart time.Time
+	var req uint64
 	if as.trc.Enabled() {
 		rangeStart = time.Now()
+		req = as.curReq.Load()
 	}
-	defer as.trc.Span(trace.KindForkStage, trace.StageShare, actor, rangeStart, uint64(lo), uint64(hi))
+	defer as.trc.SpanReq(trace.KindForkStage, trace.StageShare, actor, rangeStart, uint64(lo), uint64(hi), req)
 	fp := as.alloc.Failpoints()
 	var d pagetable.TallyDelta
 	var nShared, walked uint64

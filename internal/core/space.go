@@ -68,9 +68,20 @@ type AddressSpace struct {
 	// Tenant attribution: every frame this space allocates is charged
 	// to charger (nil = unowned), and failpoint injection is filtered by
 	// tenantID when the registry has a scope set. Children inherit both
-	// at fork.
+	// at fork. tslot is the tenant's metric partition (nil = untenanted
+	// or metrics off at registration); fork/fault paths charge it with
+	// one pointer check after the usual Enabled() guard.
 	tenantID uint64
 	charger  phys.FrameCharger
+	tslot    *metrics.TenantSlot
+
+	// curReq is the correlation id of the serving-tier request this
+	// space is currently working for (0 = none). The serving tier tags
+	// it around each handled request; fork stamps the parent's value
+	// into the child so the clone's fault storm stays attributed. Read
+	// only on already-instrumented paths — the disabled fast paths
+	// never touch it.
+	curReq atomic.Uint64
 
 	dead bool
 
@@ -118,6 +129,8 @@ func getSpace(alloc *phys.Allocator, prof *profile.Profiler, sd *tlb.Shootdown, 
 	as.rec = rec
 	as.tenantID = 0
 	as.charger = nil
+	as.tslot = nil
+	as.curReq.Store(0)
 	as.dead = false
 	as.Faults.Store(0)
 	as.TableSplits.Store(0)
@@ -178,6 +191,18 @@ func (as *AddressSpace) SetTenant(id uint64, c phys.FrameCharger) {
 	as.tenantID = id
 	as.charger = c
 	as.w.Charger = c
+	if c == nil && id == 0 {
+		as.tslot = nil
+	}
+}
+
+// SetTenantSlot attaches the tenant's metric partition so fork/fault
+// paths can charge per-tenant counters without a lookup. Children
+// inherit the slot at fork, like the charger.
+func (as *AddressSpace) SetTenantSlot(slot *metrics.TenantSlot) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	as.tslot = slot
 }
 
 // TenantID returns the tenant the space is attributed to (0 = none).
@@ -186,6 +211,14 @@ func (as *AddressSpace) TenantID() uint64 {
 	defer as.mu.Unlock()
 	return as.tenantID
 }
+
+// SetRequest tags the space with the correlation id of the request it
+// is serving (0 clears the tag). The serving tier brackets each
+// handled request with this; forks propagate the tag to the clone.
+func (as *AddressSpace) SetRequest(req uint64) { as.curReq.Store(req) }
+
+// Request returns the current request correlation id (0 = none).
+func (as *AddressSpace) Request() uint64 { return as.curReq.Load() }
 
 // ReclaimID implements reclaim.Space.
 func (as *AddressSpace) ReclaimID() uint64 { return as.id }

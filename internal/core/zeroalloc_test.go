@@ -15,6 +15,7 @@ import (
 	"repro/internal/mem/addr"
 	"repro/internal/mem/phys"
 	"repro/internal/mem/vm"
+	"repro/internal/metrics"
 )
 
 const zeroAllocMapBytes = 64 << 20
@@ -22,7 +23,15 @@ const zeroAllocMapBytes = 64 << 20
 // zeroAllocParent builds a populated 64 MiB parent space.
 func zeroAllocParent(t *testing.T) (*AddressSpace, addr.V) {
 	t.Helper()
+	return zeroAllocParentWith(t, nil)
+}
+
+// zeroAllocParentWith is zeroAllocParent with a metrics registry
+// attached to the allocator (nil = uninstrumented).
+func zeroAllocParentWith(t *testing.T, met *metrics.Registry) (*AddressSpace, addr.V) {
+	t.Helper()
 	alloc := phys.NewAllocator(nil)
+	alloc.SetMetrics(met)
 	parent := NewAddressSpace(alloc, nil)
 	base, err := parent.Mmap(0, zeroAllocMapBytes, vm.ProtRead|vm.ProtWrite,
 		vm.MapPrivate|vm.MapPopulate, nil, 0)
@@ -101,5 +110,54 @@ func TestFaultFastPathZeroAlloc(t *testing.T) {
 		}
 	}); allocs != 0 {
 		t.Errorf("TLB-hit store allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestCorrelationContextZeroAlloc asserts that the request
+// observability layer — metrics armed, a per-tenant slot attached, and
+// a request id stamped on the space — adds zero heap allocations to
+// the fast fault path and the fork+recycle cycle. Exemplar recording
+// (CAS min-replacement over fixed slots) and tenant-slot charges
+// (plain atomics) must stay off the heap, or a tagged request would
+// pay GC pressure an untagged one does not.
+func TestCorrelationContextZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instruments allocations and drops pool items")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	met := metrics.New()
+	parent, base := zeroAllocParentWith(t, met)
+	defer parent.Teardown()
+	parent.SetTenantSlot(met.RegisterTenant(1, "alpha"))
+	parent.SetRequest(42)
+
+	// Fast-dedup fault cycle, fully tagged and instrumented.
+	cycle := func() {
+		child, err := ForkWithOptions(parent, ForkOnDemand, ForkOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		child.Recycle()
+		if err := parent.StoreByte(base, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(50, cycle); allocs != 0 {
+		t.Errorf("tagged fast-path fault cycle allocated %.1f objects/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if err := parent.StoreByte(base, 2); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("tagged TLB-hit store allocated %.1f objects/op, want 0", allocs)
+	}
+
+	// The tagged metrics did land in the tenant partition.
+	if s := met.Snapshot(); len(s.Tenants) != 1 || s.Tenants[0].Forks[metrics.EngineOnDemand] == 0 {
+		t.Fatalf("tenant slot uncharged after tagged cycles: %+v", s.Tenants)
 	}
 }

@@ -1,0 +1,66 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// The kernel-side health publication slot: the observability watchdog
+// (internal/obs) evaluates its stall rules against successive metric
+// snapshots and pushes the latest verdict here, so liveness is readable
+// through the same procfs namespace as the rest of the telemetry
+// (/proc/odf/health). Like /proc/odf/slo, the endpoint is unbacked
+// until a verdict is published.
+
+// CheckState is one watchdog rule's latest evaluation.
+type CheckState struct {
+	Name      string // stable rule name (trace.AlertName of the code)
+	Firing    bool
+	Observed  uint64 // last observed value (ns for latency rules, count otherwise)
+	Threshold uint64 // the rule's trip point, same unit as Observed
+	Fires     uint64 // cumulative ok→firing transitions since boot
+}
+
+// HealthStats is the published watchdog verdict: an overall status plus
+// the per-rule states in the watchdog's fixed rule order.
+type HealthStats struct {
+	Status string // "ok" | "degraded"
+	Checks []CheckState
+}
+
+type healthSlot struct {
+	mu  sync.Mutex
+	st  HealthStats
+	set bool
+}
+
+// SetHealth publishes the latest watchdog verdict, backing
+// /proc/odf/health.
+func (k *Kernel) SetHealth(st HealthStats) {
+	k.health.mu.Lock()
+	k.health.st, k.health.set = st, true
+	k.health.mu.Unlock()
+}
+
+// Health returns the published watchdog verdict and whether one exists.
+func (k *Kernel) Health() (HealthStats, bool) {
+	k.health.mu.Lock()
+	defer k.health.mu.Unlock()
+	return k.health.st, k.health.set
+}
+
+// RenderHealth renders the /proc/odf/health content.
+func RenderHealth(st HealthStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "status:\t%s\n", st.Status)
+	for _, c := range st.Checks {
+		state := "ok"
+		if c.Firing {
+			state = "FIRING"
+		}
+		fmt.Fprintf(&b, "check.%s:\t%s observed=%d threshold=%d fires=%d\n",
+			c.Name, state, c.Observed, c.Threshold, c.Fires)
+	}
+	return b.String()
+}

@@ -50,6 +50,7 @@ type Kernel struct {
 	fail    *failpoint.Registry
 	tenants *tenant.Manager
 	slo     sloSlot
+	health  healthSlot
 
 	// procEndpoints is the /proc/odf file registry, in the fixed order
 	// New builds it; the root listing and path dispatch both walk it.

@@ -302,6 +302,12 @@ func (s *Snapshotter) LastSnapshot() (SnapshotStats, bool) {
 	return s.last, s.hasLast
 }
 
+// Process returns the process this snapshotter forks. The serving tier
+// uses it to stamp the request correlation id onto the address space
+// before a snapshot fork, so the fork and its COW faults trace back to
+// the request that triggered them.
+func (s *Snapshotter) Process() *Process { return s.p }
+
 // ForkInFlight reports whether a snapshot fork is in progress right
 // now.
 func (s *Snapshotter) ForkInFlight() bool { return s.epoch.Load()&1 == 1 }

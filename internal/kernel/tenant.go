@@ -27,6 +27,7 @@ func (k *Kernel) NewTenantProcess(t *tenant.Tenant) *Process {
 	if t != nil {
 		p.tenant = t
 		p.as.SetTenant(t.TenantID(), t)
+		p.as.SetTenantSlot(t.Slot())
 	}
 	return p
 }
@@ -70,7 +71,7 @@ func (p *Process) admitFork() error {
 		if err != nil {
 			rejected = 1
 		}
-		k.trc.Span(trace.KindAdmitWait, trace.StageNone, trace.ActorApp, start, t.TenantID(), rejected)
+		k.trc.SpanReq(trace.KindAdmitWait, trace.StageNone, trace.ActorApp, start, t.TenantID(), rejected, p.as.Request())
 	}
 	return err
 }

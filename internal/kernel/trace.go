@@ -1,8 +1,10 @@
 package kernel
 
 import (
+	"fmt"
 	"io"
 
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -35,9 +37,44 @@ func (k *Kernel) TraceSnapshot() trace.Snapshot { return k.trc.Snapshot() }
 
 // WriteTrace renders the current timeline to w in the given format
 // (trace.FormatChrome loads in Perfetto; trace.FormatText matches
-// /proc/odf/trace).
+// /proc/odf/trace). Chrome exports carry the latency-histogram
+// exemplars in the document metadata, so a p99 bucket's worst
+// observations link back to their request flows in the same file.
 func (k *Kernel) WriteTrace(w io.Writer, f trace.Format) error {
+	if f == trace.FormatChrome {
+		extra := k.traceExtra()
+		return trace.WriteChromeExtra(w, k.trc.Snapshot(), &extra)
+	}
 	return trace.WriteTo(w, k.trc.Snapshot(), f)
+}
+
+// traceExtra gathers the exemplar references a Chrome export embeds:
+// every worst-N observation the global and per-tenant latency
+// histograms currently hold, named by the metric series it came from.
+func (k *Kernel) traceExtra() trace.ChromeExtra {
+	var extra trace.ChromeExtra
+	add := func(series string, hs metrics.HistogramSnapshot) {
+		for _, e := range hs.Exemplars {
+			extra.Exemplars = append(extra.Exemplars,
+				trace.ExemplarRef{Series: series, NS: e.NS, Req: e.Req})
+		}
+	}
+	s := k.met.Snapshot()
+	for e := metrics.ForkEngine(0); e < metrics.NumEngines; e++ {
+		add(fmt.Sprintf("fork.%s.latency", e), s.Fork.Engines[e].Latency)
+	}
+	add("fault.read.latency", s.Fault.ReadLatency)
+	add("fault.write.latency", s.Fault.WriteLatency)
+	add("fault.table_copy.latency", s.Fault.TableCopyLatency)
+	add("reclaim.swap_in.latency", s.Reclaim.SwapInLatency)
+	for _, t := range s.Tenants {
+		p := fmt.Sprintf("tenant.%d.", t.ID)
+		for e := metrics.ForkEngine(0); e < metrics.NumEngines; e++ {
+			add(fmt.Sprintf("%sfork.%s.latency", p, e), t.ForkLatency[e])
+		}
+		add(p+"queue_wait", t.QueueWait)
+	}
+	return extra
 }
 
 // procEndpoint is one file under /proc/odf. read returns the content,
@@ -54,6 +91,13 @@ type procEndpoint struct {
 func (k *Kernel) buildProcEndpoints() []procEndpoint {
 	return []procEndpoint{
 		{"failpoints", func() (string, bool) { return k.fail.Status(), true }},
+		{"health", func() (string, bool) {
+			st, ok := k.Health()
+			if !ok {
+				return "", false
+			}
+			return RenderHealth(st), true
+		}},
 		{"metrics", func() (string, bool) { return k.MetricsSnapshot().Render(), true }},
 		{"profile", func() (string, bool) {
 			if k.prof == nil {

@@ -21,7 +21,10 @@
 package metrics
 
 import (
+	"math"
 	"math/bits"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -58,6 +61,11 @@ func (g *Gauge) Load() int64 { return g.v.Load() }
 // bucket, index HistBuckets.
 const HistBuckets = 30
 
+// ExemplarSlots is how many worst-case observations a histogram keeps
+// request ids for: enough to chase a handful of tail samples from a
+// p99 bucket back to their traces without growing the struct much.
+const ExemplarSlots = 4
+
 // Histogram is a fixed-bucket log₂ latency histogram. The zero value
 // is ready to use.
 type Histogram struct {
@@ -65,6 +73,14 @@ type Histogram struct {
 	sum     atomic.Uint64 // total nanoseconds
 	max     atomic.Uint64 // largest observation, nanoseconds
 	buckets [HistBuckets + 1]atomic.Uint64
+	// Exemplar slots: the worst ExemplarSlots tagged observations seen
+	// so far, each pairing a latency with the request id that produced
+	// it. exNS is the admission gate (CAS min-replacement); exReq is
+	// stored plainly after winning the CAS, so a racing reader can pair
+	// a latency with the slot's previous request id — an acceptable
+	// approximation for a debugging aid, never a torn value.
+	exNS  [ExemplarSlots]atomic.Uint64
+	exReq [ExemplarSlots]atomic.Uint64
 }
 
 // bucketOf maps a nanosecond latency to its bucket index.
@@ -105,6 +121,44 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[bucketOf(ns)].Add(1)
 }
 
+// ObserveTagged records one latency observation carrying the request
+// id that produced it. The observation lands in the buckets exactly as
+// Observe's would; additionally, if it is among the worst ExemplarSlots
+// tagged observations so far, it claims an exemplar slot so the tail of
+// the distribution stays traceable. req == 0 degrades to plain Observe.
+func (h *Histogram) ObserveTagged(d time.Duration, req uint64) {
+	h.Observe(d)
+	if req == 0 {
+		return
+	}
+	var ns uint64
+	if d > 0 {
+		ns = uint64(d)
+	}
+	if ns == 0 {
+		return
+	}
+	// Min-replacement: claim the smallest slot if this observation
+	// beats it. Two CAS attempts bound the cost on the hot path; a
+	// lost race means a concurrent equal-or-worse observation already
+	// took the slot, which serves the same purpose.
+	for attempt := 0; attempt < 2; attempt++ {
+		minI, minV := 0, uint64(math.MaxUint64)
+		for i := range h.exNS {
+			if v := h.exNS[i].Load(); v < minV {
+				minI, minV = i, v
+			}
+		}
+		if ns <= minV {
+			return
+		}
+		if h.exNS[minI].CompareAndSwap(minV, ns) {
+			h.exReq[minI].Store(req)
+			return
+		}
+	}
+}
+
 // Snapshot returns a point-in-time copy of the histogram. Concurrent
 // Observe calls may be partially included (count, sum, and buckets are
 // read independently); totals are eventually consistent, never torn.
@@ -116,6 +170,12 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	for i := range h.buckets {
 		s.Buckets[i] = h.buckets[i].Load()
 	}
+	for i := range h.exNS {
+		if ns := h.exNS[i].Load(); ns != 0 {
+			s.Exemplars = append(s.Exemplars, Exemplar{NS: ns, Req: h.exReq[i].Load()})
+		}
+	}
+	sort.Slice(s.Exemplars, func(i, j int) bool { return s.Exemplars[i].NS > s.Exemplars[j].NS })
 	return s
 }
 
@@ -143,11 +203,63 @@ func (e ForkEngine) String() string {
 	}
 }
 
+// TenantSlot partitions the hot-path metrics for one tenant: fork
+// latency per engine, fault resolution classes, admission queue wait,
+// fair-share evictions, and quota rejections. Slots are registered
+// once per tenant (Registry.RegisterTenant) and owners keep the
+// pointer, so charge sites pay a nil check plus the same atomics as
+// the global registry — no map lookups on a fork or fault path.
+type TenantSlot struct {
+	ID   uint64
+	Name string
+
+	Forks       [NumEngines]Counter
+	ForkLatency [NumEngines]Histogram
+
+	Fault struct {
+		TableSplits Counter
+		PMDSplits   Counter
+		FastDedups  Counter
+		PageCopies  Counter
+		HugeCopies  Counter
+		SwapIns     Counter
+	}
+
+	QueueWait        Histogram
+	ReclaimEvictions Counter
+	QuotaRejections  Counter
+}
+
+// Snapshot captures the slot's current values.
+func (t *TenantSlot) Snapshot() TenantSlotSnapshot {
+	s := TenantSlotSnapshot{ID: t.ID, Name: t.Name}
+	for e := ForkEngine(0); e < NumEngines; e++ {
+		s.Forks[e] = t.Forks[e].Load()
+		s.ForkLatency[e] = t.ForkLatency[e].Snapshot()
+	}
+	s.TableSplits = t.Fault.TableSplits.Load()
+	s.PMDSplits = t.Fault.PMDSplits.Load()
+	s.FastDedups = t.Fault.FastDedups.Load()
+	s.PageCopies = t.Fault.PageCopies.Load()
+	s.HugeCopies = t.Fault.HugeCopies.Load()
+	s.SwapIns = t.Fault.SwapIns.Load()
+	s.QueueWait = t.QueueWait.Snapshot()
+	s.ReclaimEvictions = t.ReclaimEvictions.Load()
+	s.QuotaRejections = t.QuotaRejections.Load()
+	return s
+}
+
 // Registry is the system-wide metric tree. All fields are charged
 // directly by the owning subsystem; hot paths must guard charges with
 // Enabled().
 type Registry struct {
 	enabled atomic.Bool
+
+	// Per-tenant metric slots, append-only under tmu. Hot paths never
+	// touch this list — they hold direct *TenantSlot pointers handed
+	// out at registration.
+	tmu    sync.Mutex
+	tslots []*TenantSlot
 
 	// Fork engine metrics (internal/core fork paths).
 	Fork struct {
@@ -272,6 +384,37 @@ func (r *Registry) SetEnabled(on bool) {
 	}
 }
 
+// RegisterTenant creates (or returns the existing) metric slot for a
+// tenant id. The returned pointer is what fork/fault paths charge; a
+// nil registry returns nil, and charge sites treat a nil slot as
+// "untenanted" with one pointer check.
+func (r *Registry) RegisterTenant(id uint64, name string) *TenantSlot {
+	if r == nil {
+		return nil
+	}
+	r.tmu.Lock()
+	defer r.tmu.Unlock()
+	for _, t := range r.tslots {
+		if t.ID == id {
+			return t
+		}
+	}
+	t := &TenantSlot{ID: id, Name: name}
+	r.tslots = append(r.tslots, t)
+	sort.Slice(r.tslots, func(i, j int) bool { return r.tslots[i].ID < r.tslots[j].ID })
+	return t
+}
+
+// TenantSlots returns the registered per-tenant slots, sorted by id.
+func (r *Registry) TenantSlots() []*TenantSlot {
+	if r == nil {
+		return nil
+	}
+	r.tmu.Lock()
+	defer r.tmu.Unlock()
+	return append([]*TenantSlot(nil), r.tslots...)
+}
+
 // Snapshot captures the registry's current values as a typed tree.
 // Frame-level allocator gauges are zero here; the kernel overlays them
 // (Kernel.MetricsSnapshot) because they are allocator state, not
@@ -343,5 +486,9 @@ func (r *Registry) Snapshot() Snapshot {
 	s.Tenant.ForksRejected = r.Tenant.ForksRejected.Load()
 	s.Tenant.QueueWait = r.Tenant.QueueWait.Snapshot()
 	s.Tenant.FairEvictions = r.Tenant.FairEvictions.Load()
+
+	for _, t := range r.TenantSlots() {
+		s.Tenants = append(s.Tenants, t.Snapshot())
+	}
 	return s
 }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -210,7 +211,7 @@ func TestRegistryNilAndDisabled(t *testing.T) {
 		t.Fatal("nil registry reports enabled")
 	}
 	r.SetEnabled(true) // must not panic
-	if s := r.Snapshot(); s != (Snapshot{}) {
+	if s := r.Snapshot(); !reflect.DeepEqual(s, Snapshot{}) {
 		t.Fatalf("nil registry snapshot not zero: %+v", s)
 	}
 	live := New()

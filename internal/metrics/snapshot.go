@@ -5,12 +5,22 @@ import (
 	"strings"
 )
 
+// Exemplar is one worst-case observation with the request id that
+// produced it — the link from a histogram's tail to a trace flow.
+type Exemplar struct {
+	NS  uint64
+	Req uint64
+}
+
 // HistogramSnapshot is a point-in-time copy of a Histogram.
 type HistogramSnapshot struct {
 	Count   uint64
 	SumNS   uint64
 	MaxNS   uint64
 	Buckets [HistBuckets + 1]uint64
+	// Exemplars are the worst tagged observations, largest first
+	// (empty unless ObserveTagged ran with nonzero request ids).
+	Exemplars []Exemplar
 }
 
 // Mean returns the mean observation in nanoseconds (0 when empty).
@@ -78,13 +88,15 @@ func (h HistogramSnapshot) Quantile(q float64) uint64 {
 }
 
 // Sub returns the histogram delta h − prev. Count, sum, and buckets
-// subtract; MaxNS keeps the current value, since a maximum cannot be
-// un-observed (exact for deltas taken against a fresh registry).
+// subtract; MaxNS and the exemplars keep the current values, since a
+// maximum cannot be un-observed (exact for deltas taken against a
+// fresh registry).
 func (h HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
 	d := HistogramSnapshot{
-		Count: h.Count - prev.Count,
-		SumNS: h.SumNS - prev.SumNS,
-		MaxNS: h.MaxNS,
+		Count:     h.Count - prev.Count,
+		SumNS:     h.SumNS - prev.SumNS,
+		MaxNS:     h.MaxNS,
+		Exemplars: h.Exemplars,
 	}
 	for i := range h.Buckets {
 		d.Buckets[i] = h.Buckets[i] - prev.Buckets[i]
@@ -194,6 +206,45 @@ type TenantSnapshot struct {
 	FairEvictions uint64
 }
 
+// TenantSlotSnapshot is one tenant's partition of the hot metrics.
+type TenantSlotSnapshot struct {
+	ID   uint64
+	Name string
+
+	Forks       [NumEngines]uint64
+	ForkLatency [NumEngines]HistogramSnapshot
+
+	TableSplits uint64
+	PMDSplits   uint64
+	FastDedups  uint64
+	PageCopies  uint64
+	HugeCopies  uint64
+	SwapIns     uint64
+
+	QueueWait        HistogramSnapshot
+	ReclaimEvictions uint64
+	QuotaRejections  uint64
+}
+
+// Sub returns the per-tenant delta t − prev.
+func (t TenantSlotSnapshot) Sub(prev TenantSlotSnapshot) TenantSlotSnapshot {
+	d := TenantSlotSnapshot{ID: t.ID, Name: t.Name}
+	for e := range t.Forks {
+		d.Forks[e] = t.Forks[e] - prev.Forks[e]
+		d.ForkLatency[e] = t.ForkLatency[e].Sub(prev.ForkLatency[e])
+	}
+	d.TableSplits = t.TableSplits - prev.TableSplits
+	d.PMDSplits = t.PMDSplits - prev.PMDSplits
+	d.FastDedups = t.FastDedups - prev.FastDedups
+	d.PageCopies = t.PageCopies - prev.PageCopies
+	d.HugeCopies = t.HugeCopies - prev.HugeCopies
+	d.SwapIns = t.SwapIns - prev.SwapIns
+	d.QueueWait = t.QueueWait.Sub(prev.QueueWait)
+	d.ReclaimEvictions = t.ReclaimEvictions - prev.ReclaimEvictions
+	d.QuotaRejections = t.QuotaRejections - prev.QuotaRejections
+	return d
+}
+
 // Snapshot is the typed telemetry tree the public API returns.
 type Snapshot struct {
 	Fork    ForkSnapshot
@@ -203,6 +254,9 @@ type Snapshot struct {
 	TLB     TLBSnapshot
 	Robust  RobustSnapshot
 	Tenant  TenantSnapshot
+	// Tenants are the per-tenant metric partitions, sorted by id
+	// (empty when no tenants are registered).
+	Tenants []TenantSlotSnapshot
 }
 
 // Sub returns the delta s − prev: counters and histograms subtract,
@@ -276,6 +330,16 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	d.Tenant.ForksRejected = s.Tenant.ForksRejected - prev.Tenant.ForksRejected
 	d.Tenant.QueueWait = s.Tenant.QueueWait.Sub(prev.Tenant.QueueWait)
 	d.Tenant.FairEvictions = s.Tenant.FairEvictions - prev.Tenant.FairEvictions
+
+	// Per-tenant deltas match slots by id; a tenant absent from prev
+	// (registered mid-window) deltas against zero.
+	prevByID := map[uint64]TenantSlotSnapshot{}
+	for _, t := range prev.Tenants {
+		prevByID[t.ID] = t
+	}
+	for _, t := range s.Tenants {
+		d.Tenants = append(d.Tenants, t.Sub(prevByID[t.ID]))
+	}
 	return d
 }
 
@@ -308,6 +372,9 @@ func (s Snapshot) Render() string {
 			} else {
 				fmt.Fprintf(&b, "%s.bucket{le_ns=%d} %d\n", name, BucketBound(i), n)
 			}
+		}
+		for _, ex := range h.Exemplars {
+			fmt.Fprintf(&b, "%s.exemplar{req=%d} %d\n", name, ex.Req, ex.NS)
 		}
 	}
 
@@ -375,5 +442,22 @@ func (s Snapshot) Render() string {
 	line("tenant.forks_rejected", s.Tenant.ForksRejected)
 	hist("tenant.queue_wait", s.Tenant.QueueWait)
 	line("tenant.fair_evictions", s.Tenant.FairEvictions)
+
+	for _, t := range s.Tenants {
+		p := fmt.Sprintf("tenant.%d.", t.ID)
+		for e := ForkEngine(0); e < NumEngines; e++ {
+			line(p+"fork."+e.String()+".forks", t.Forks[e])
+			hist(p+"fork."+e.String()+".latency", t.ForkLatency[e])
+		}
+		line(p+"fault.table_splits", t.TableSplits)
+		line(p+"fault.pmd_splits", t.PMDSplits)
+		line(p+"fault.fast_dedups", t.FastDedups)
+		line(p+"fault.page_copies", t.PageCopies)
+		line(p+"fault.huge_copies", t.HugeCopies)
+		line(p+"fault.swap_ins", t.SwapIns)
+		hist(p+"queue_wait", t.QueueWait)
+		line(p+"reclaim_evictions", t.ReclaimEvictions)
+		line(p+"quota_rejections", t.QuotaRejections)
+	}
 	return b.String()
 }

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/trace"
+)
+
+// Server is the opt-in observability listener: a plain HTTP endpoint
+// the daemons (odf-serverless, odf-kv) expose next to their serving
+// port. Routes:
+//
+//	/metrics       — OpenMetrics exposition (per-tenant series included)
+//	/metrics.json  — the typed metrics.Snapshot as JSON (odf-top's feed)
+//	/trace         — the flight recorder as a Chrome/Perfetto trace
+//	/health        — the watchdog verdict (503 while degraded)
+//	/procfs/<name> — any /proc/odf file, verbatim
+//	/debug/pprof/  — the Go runtime profiles
+//
+// The listener binds localhost by default; it serves introspection
+// data, not tenant payloads.
+type Server struct {
+	k  *kernel.Kernel
+	ln net.Listener
+	hs *http.Server
+	wd *Watchdog
+}
+
+// ContentTypeOpenMetrics is the media type /metrics responds with.
+const ContentTypeOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// Listen starts the observability server on addr ("" means an
+// ephemeral localhost port) and starts its watchdog. Stop with Close.
+func Listen(k *kernel.Kernel, addr string, cfg WatchdogConfig) (*Server, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	s := &Server{k: k, ln: ln, wd: NewWatchdog(k, cfg)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/health", s.handleHealth)
+	mux.HandleFunc("/procfs/", s.handleProcfs)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.hs = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s.wd.Start()
+	go s.hs.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return s, nil
+}
+
+// Addr returns the listening address ("127.0.0.1:port").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Watchdog returns the server's stall watchdog.
+func (s *Server) Watchdog() *Watchdog { return s.wd }
+
+// Close stops the watchdog and the listener.
+func (s *Server) Close() error {
+	s.wd.Stop()
+	return s.hs.Close()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", ContentTypeOpenMetrics)
+	fmt.Fprint(w, RenderOpenMetrics(s.k.MetricsSnapshot()))
+}
+
+// MetricsJSON is the /metrics.json document: the typed snapshot plus
+// the health verdict, stamped with the server's wall-clock time so
+// pollers (odf-top) can compute rates.
+type MetricsJSON struct {
+	UnixNano int64              `json:"unix_nano"`
+	Snapshot any                `json:"snapshot"`
+	Health   kernel.HealthStats `json:"health"`
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	h, _ := s.k.Health()
+	doc := MetricsJSON{
+		UnixNano: time.Now().UnixNano(),
+		Snapshot: s.k.MetricsSnapshot(),
+		Health:   h,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(doc) //nolint:errcheck // client gone mid-write
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="odf-trace.json"`)
+	s.k.WriteTrace(w, trace.FormatChrome) //nolint:errcheck // client gone mid-write
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.k.Health()
+	if !ok {
+		http.Error(w, "no health verdict published yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if st.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	fmt.Fprint(w, kernel.RenderHealth(st))
+}
+
+func (s *Server) handleProcfs(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/procfs/")
+	if name == "" || strings.Contains(name, "/") {
+		http.NotFound(w, r)
+		return
+	}
+	content, err := s.k.Procfs("/proc/odf/" + name)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, content)
+}

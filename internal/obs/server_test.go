@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/apps/kvstore"
+	"repro/internal/apps/serve"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/trace"
+)
+
+func httpGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestServerEndToEnd boots a tenanted clone-per-request lane behind
+// the observability listener, drives tagged requests, and checks every
+// route: the OpenMetrics scrape parses with non-empty per-tenant fork
+// histograms and resolvable exemplars, /health publishes the watchdog
+// verdict, /metrics.json decodes, /trace validates as a Chrome trace
+// whose request flows and exemplar metadata tie back to the driven
+// requests.
+func TestServerEndToEnd(t *testing.T) {
+	k := kernel.New()
+	tn, err := k.Tenants().Create("alpha", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := serve.NewKV(k, serve.KVConfig{
+		Config: kvstore.Config{
+			ArenaBytes: 4 << 20,
+			TableCap:   1 << 10,
+			Mode:       core.ForkOnDemand,
+			Tenant:     tn,
+		},
+		Keys:     32,
+		ValueLen: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if err := app.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	d := serve.NewDispatcher()
+	d.AddLane(uint32(tn.TenantID()), app, true)
+	k.SetTraceEnabled(true)
+	d.SetObserver(serve.NewObs(k.Tracer()))
+
+	// A long watchdog interval keeps ticks deterministic (manual only).
+	srv, err := Listen(k, "", WatchdogConfig{Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	const reqs = 8
+	for i := 0; i < reqs; i++ {
+		req := serve.EncodeTenant(uint32(tn.TenantID()), serve.EncodeGet(kvstore.Key(i)))
+		if _, err := d.Handle(req); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	srv.Watchdog().Tick()
+
+	// /metrics: parses, and the tenant's fork histogram counted the
+	// clone forks.
+	code, body := httpGet(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	exp, err := ParseOpenMetrics(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v", err)
+	}
+	fam := exp.Family("odf_tenant_fork_latency_ns")
+	if fam == nil {
+		t.Fatal("no odf_tenant_fork_latency_ns family in scrape")
+	}
+	var tenantForkCount float64
+	var exemplarReqs []string
+	wantTenant := fmt.Sprint(tn.TenantID())
+	for _, s := range fam.Samples {
+		if s.Labels.Get("tenant") != wantTenant {
+			continue
+		}
+		if s.Name == "odf_tenant_fork_latency_ns_count" && s.Labels.Get("engine") == "ondemand" {
+			tenantForkCount = s.Value
+		}
+		if s.Exemplar != nil {
+			exemplarReqs = append(exemplarReqs, s.Exemplar.Labels.Get("request_id"))
+		}
+	}
+	if tenantForkCount != reqs {
+		t.Fatalf("tenant fork histogram count = %v, want %d", tenantForkCount, reqs)
+	}
+	if len(exemplarReqs) == 0 {
+		t.Fatal("no exemplars on the tenant fork histogram")
+	}
+
+	// /health: published by the tick, healthy.
+	code, body = httpGet(t, base+"/health")
+	if code != http.StatusOK {
+		t.Fatalf("/health status %d: %s", code, body)
+	}
+	if !strings.Contains(string(body), "status:\tok") {
+		t.Fatalf("/health body:\n%s", body)
+	}
+
+	// /metrics.json: decodes, carries the tenant partition.
+	code, body = httpGet(t, base+"/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json status %d", code)
+	}
+	var doc struct {
+		UnixNano int64 `json:"unix_nano"`
+		Snapshot struct {
+			Tenants []struct {
+				ID    uint64   `json:"ID"`
+				Forks []uint64 `json:"Forks"`
+			} `json:"Tenants"`
+		} `json:"snapshot"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/metrics.json: %v", err)
+	}
+	if doc.UnixNano == 0 || len(doc.Snapshot.Tenants) != 1 {
+		t.Fatalf("/metrics.json missing timestamp or tenants: %s", body)
+	}
+
+	// /trace: a valid Chrome document whose request spans and exemplar
+	// metadata reference the driven request ids.
+	code, body = httpGet(t, base+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace status %d", code)
+	}
+	if err := trace.ValidateChrome(body); err != nil {
+		t.Fatalf("/trace invalid: %v", err)
+	}
+	reqEvents := map[uint64]bool{}
+	for _, e := range k.TraceSnapshot().Events {
+		if e.Req != 0 {
+			reqEvents[e.Req] = true
+		}
+	}
+	if len(reqEvents) == 0 {
+		t.Fatal("no request-tagged events on the flight recorder")
+	}
+	for _, rid := range exemplarReqs {
+		var id uint64
+		fmt.Sscanf(rid, "%d", &id)
+		if !reqEvents[id] {
+			t.Fatalf("exemplar request id %s resolves to no trace event", rid)
+		}
+	}
+
+	// /procfs/metrics mirrors the procfs namespace.
+	code, body = httpGet(t, base+"/procfs/metrics")
+	if code != http.StatusOK || !strings.Contains(string(body), "fork.ondemand.forks") {
+		t.Fatalf("/procfs/metrics status %d body %.80s", code, body)
+	}
+	if code, _ := httpGet(t, base+"/procfs/no-such-file"); code != http.StatusNotFound {
+		t.Fatalf("unknown procfs file served: %d", code)
+	}
+}
+
+// TestRequestFlowChain pins the tentpole acceptance shape: one tagged
+// request produces a connected chain on the flight recorder — the
+// enclosing request span, fork-stage spans, and at least one
+// fault-resolution event, all carrying the same request id.
+func TestRequestFlowChain(t *testing.T) {
+	k := kernel.New()
+	tn, err := k.Tenants().Create("alpha", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := serve.NewKV(k, serve.KVConfig{
+		Config: kvstore.Config{
+			ArenaBytes: 4 << 20,
+			TableCap:   1 << 10,
+			Mode:       core.ForkOnDemand,
+			Tenant:     tn,
+		},
+		Keys:     32,
+		ValueLen: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if err := app.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	d := serve.NewDispatcher()
+	d.AddLane(uint32(tn.TenantID()), app, true)
+	k.SetTraceEnabled(true)
+	d.SetObserver(serve.NewObs(k.Tracer()))
+
+	// A SET: the clone shares page tables with the warm parent, so the
+	// request's first store is what forces copy-on-write fault work.
+	req := serve.EncodeTenant(uint32(tn.TenantID()),
+		serve.EncodeSet(kvstore.Key(3), []byte("observed-value")))
+	if _, err := d.Handle(req); err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := map[trace.Kind]int{}
+	var rid uint64
+	for _, e := range k.TraceSnapshot().Events {
+		if e.Kind == trace.KindRequest {
+			rid = e.Req
+		}
+	}
+	if rid == 0 {
+		t.Fatal("no request span recorded")
+	}
+	for _, e := range k.TraceSnapshot().Events {
+		if e.Req == rid {
+			kinds[e.Kind]++
+		}
+	}
+	if kinds[trace.KindRequest] != 1 {
+		t.Fatalf("request spans = %d, want 1", kinds[trace.KindRequest])
+	}
+	if kinds[trace.KindFork] == 0 || kinds[trace.KindForkStage] == 0 {
+		t.Fatalf("fork chain missing from request %d: %v", rid, kinds)
+	}
+	if kinds[trace.KindFault] == 0 {
+		t.Fatalf("no fault resolution carries request %d: %v", rid, kinds)
+	}
+}

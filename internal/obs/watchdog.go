@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Watchdog is the stall detector: on a timer it diffs successive
+// telemetry snapshots and evaluates a fixed rule set — fork-latency p99
+// breach, admission-wait spike, swap-path degradation, OOM/direct-
+// reclaim stalls. Each ok→firing transition records a structured
+// KindAlert instant on the flight recorder, and every tick publishes
+// the full verdict to the kernel's health slot, rendering as
+// /proc/odf/health. Evaluation is a pure function of two snapshots
+// (evaluate), so the rules are unit-testable without timers.
+
+// WatchdogConfig sets the rule thresholds. Zero values take defaults.
+type WatchdogConfig struct {
+	// Interval between evaluations.
+	Interval time.Duration
+	// ForkP99NS trips fork_p99_breach when the interval's fork-latency
+	// p99 (worst engine) exceeds it.
+	ForkP99NS uint64
+	// AdmitWaitP99NS trips admit_wait_spike when the interval's
+	// admission queue-wait p99 exceeds it.
+	AdmitWaitP99NS uint64
+	// DirectStallP99NS trips oom_stall when the interval's
+	// direct-reclaim stall p99 exceeds it.
+	DirectStallP99NS uint64
+}
+
+// Defaults for WatchdogConfig.
+const (
+	DefaultWatchdogInterval = 250 * time.Millisecond
+	DefaultForkP99NS        = 50_000_000  // 50 ms: far past a healthy on-demand fork
+	DefaultAdmitWaitP99NS   = 100_000_000 // 100 ms queued before fork admission
+	DefaultDirectStallP99NS = 100_000_000 // 100 ms stalled in direct reclaim
+)
+
+func (c *WatchdogConfig) fillDefaults() {
+	if c.Interval <= 0 {
+		c.Interval = DefaultWatchdogInterval
+	}
+	if c.ForkP99NS == 0 {
+		c.ForkP99NS = DefaultForkP99NS
+	}
+	if c.AdmitWaitP99NS == 0 {
+		c.AdmitWaitP99NS = DefaultAdmitWaitP99NS
+	}
+	if c.DirectStallP99NS == 0 {
+		c.DirectStallP99NS = DefaultDirectStallP99NS
+	}
+}
+
+// Watchdog runs the rule set against one kernel. Create with
+// NewWatchdog, start the sampling loop with Start, stop with Stop.
+type Watchdog struct {
+	k   *kernel.Kernel
+	cfg WatchdogConfig
+
+	mu     sync.Mutex
+	prev   metrics.Snapshot
+	firing [4]bool   // previous verdict per rule, for edge detection
+	fires  [4]uint64 // cumulative ok→firing transitions
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewWatchdog returns a watchdog for k. It does not start sampling.
+func NewWatchdog(k *kernel.Kernel, cfg WatchdogConfig) *Watchdog {
+	cfg.fillDefaults()
+	return &Watchdog{k: k, cfg: cfg, stop: make(chan struct{})}
+}
+
+// Start launches the sampling loop.
+func (w *Watchdog) Start() {
+	w.mu.Lock()
+	w.prev = w.k.MetricsSnapshot()
+	w.mu.Unlock()
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		t := time.NewTicker(w.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-t.C:
+				w.Tick()
+			}
+		}
+	}()
+}
+
+// Stop halts the sampling loop. Idempotent.
+func (w *Watchdog) Stop() {
+	w.once.Do(func() { close(w.stop) })
+	w.wg.Wait()
+}
+
+// Tick runs one evaluation round: diff against the previous snapshot,
+// evaluate the rules, trace new alerts, publish the health verdict.
+// The sampling loop calls it on the timer; tests call it directly.
+func (w *Watchdog) Tick() kernel.HealthStats {
+	cur := w.k.MetricsSnapshot()
+	w.mu.Lock()
+	delta := cur.Sub(w.prev)
+	w.prev = cur
+	checks := evaluate(delta, w.cfg)
+	st := kernel.HealthStats{Status: "ok"}
+	for i := range checks {
+		if checks[i].Firing {
+			st.Status = "degraded"
+			if !w.firing[i] {
+				w.fires[i]++
+				w.k.Tracer().Instant(trace.KindAlert, trace.StageNone, trace.ActorApp,
+					alertCodes[i], checks[i].Observed)
+			}
+		}
+		w.firing[i] = checks[i].Firing
+		checks[i].Fires = w.fires[i]
+	}
+	st.Checks = checks
+	w.mu.Unlock()
+	w.k.SetHealth(st)
+	return st
+}
+
+// alertCodes maps rule index to the trace alert code; the order is the
+// rule order evaluate emits.
+var alertCodes = [4]uint64{
+	trace.AlertForkP99,
+	trace.AlertAdmitWait,
+	trace.AlertSwapDegraded,
+	trace.AlertOOMStall,
+}
+
+// evaluate runs the rule set over one interval's metric delta. It is a
+// pure function: no clocks, no kernel access, no side effects. Fires
+// counts are filled in by the caller.
+func evaluate(delta metrics.Snapshot, cfg WatchdogConfig) []kernel.CheckState {
+	forkP99 := uint64(0)
+	for e := range delta.Fork.Engines {
+		if p := delta.Fork.Engines[e].Latency.Quantile(0.99); p > forkP99 {
+			forkP99 = p
+		}
+	}
+	admitP99 := delta.Tenant.QueueWait.Quantile(0.99)
+	stallP99 := delta.Reclaim.DirectStallLatency.Quantile(0.99)
+	return []kernel.CheckState{
+		{
+			Name:      trace.AlertName(trace.AlertForkP99),
+			Firing:    forkP99 > cfg.ForkP99NS,
+			Observed:  forkP99,
+			Threshold: cfg.ForkP99NS,
+		},
+		{
+			Name:      trace.AlertName(trace.AlertAdmitWait),
+			Firing:    admitP99 > cfg.AdmitWaitP99NS,
+			Observed:  admitP99,
+			Threshold: cfg.AdmitWaitP99NS,
+		},
+		{
+			Name:      trace.AlertName(trace.AlertSwapDegraded),
+			Firing:    delta.Robust.SwapDegrades > 0,
+			Observed:  delta.Robust.SwapDegrades,
+			Threshold: 0,
+		},
+		{
+			Name:      trace.AlertName(trace.AlertOOMStall),
+			Firing:    stallP99 > cfg.DirectStallP99NS,
+			Observed:  stallP99,
+			Threshold: cfg.DirectStallP99NS,
+		},
+	}
+}

@@ -3,6 +3,8 @@ package tenant
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/metrics"
 )
 
 // Render produces the /proc/odf/tenants text: a header with the
@@ -33,6 +35,21 @@ func (m *Manager) Render() string {
 		fmt.Fprintf(&b, "%squeue_waiting %d\n", p, s.QueueWaiting)
 		fmt.Fprintf(&b, "%squeue_wait_p50_ns %d\n", p, s.QueueWait.Quantile(0.50))
 		fmt.Fprintf(&b, "%squeue_wait_p99_ns %d\n", p, s.QueueWait.Quantile(0.99))
+		if t := m.ByID(s.ID); t != nil && t.slot != nil {
+			ss := t.slot.Snapshot()
+			for e := metrics.ForkEngine(0); e < metrics.NumEngines; e++ {
+				fmt.Fprintf(&b, "%sfork.%s.forks %d\n", p, e, ss.Forks[e])
+				fmt.Fprintf(&b, "%sfork.%s.latency_p99_ns %d\n", p, e, ss.ForkLatency[e].Quantile(0.99))
+			}
+			fmt.Fprintf(&b, "%sfault.table_splits %d\n", p, ss.TableSplits)
+			fmt.Fprintf(&b, "%sfault.pmd_splits %d\n", p, ss.PMDSplits)
+			fmt.Fprintf(&b, "%sfault.fast_dedups %d\n", p, ss.FastDedups)
+			fmt.Fprintf(&b, "%sfault.page_copies %d\n", p, ss.PageCopies)
+			fmt.Fprintf(&b, "%sfault.huge_copies %d\n", p, ss.HugeCopies)
+			fmt.Fprintf(&b, "%sfault.swap_ins %d\n", p, ss.SwapIns)
+			fmt.Fprintf(&b, "%sreclaim_evictions %d\n", p, ss.ReclaimEvictions)
+			fmt.Fprintf(&b, "%squota_rejections %d\n", p, ss.QuotaRejections)
+		}
 	}
 	return b.String()
 }

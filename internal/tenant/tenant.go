@@ -119,6 +119,7 @@ func (m *Manager) Create(name string, quotaFrames int64) (*Tenant, error) {
 	}
 	t := &Tenant{m: m, id: m.nextID, name: name}
 	t.quota.Store(quotaFrames)
+	t.slot = m.met.RegisterTenant(t.id, name)
 	m.nextID++
 	m.byID[t.id] = t
 	m.byName[name] = t
@@ -216,6 +217,9 @@ func (m *Manager) AdmitFork(t *Tenant) (time.Duration, error) {
 		t.rejected.Add(1)
 		if m.met.Enabled() {
 			m.met.Tenant.ForksRejected.Inc()
+			if ts := t.slot; ts != nil {
+				ts.QuotaRejections.Inc()
+			}
 		}
 		return 0, fmt.Errorf("tenant %q: admission queue full (%d queued forks): %w",
 			t.name, bound, ErrQuotaExceeded)
@@ -260,6 +264,10 @@ func (m *Manager) AdmitFork(t *Tenant) (time.Duration, error) {
 			if m.met.Enabled() {
 				m.met.Tenant.ForksRejected.Inc()
 				m.met.Tenant.QueueWait.Observe(wait)
+				if ts := t.slot; ts != nil {
+					ts.QuotaRejections.Inc()
+					ts.QueueWait.Observe(wait)
+				}
 			}
 			return wait, fmt.Errorf(
 				"tenant %q: fork admission timed out after %v (usage %d frames, quota %d): %w",
@@ -275,6 +283,9 @@ func (m *Manager) granted(t *Tenant, start time.Time) time.Duration {
 	t.queueWait.Observe(wait)
 	if m.met.Enabled() {
 		m.met.Tenant.QueueWait.Observe(wait)
+		if ts := t.slot; ts != nil {
+			ts.QueueWait.Observe(wait)
+		}
 	}
 	return wait
 }
@@ -342,6 +353,11 @@ type Tenant struct {
 	timedOut    atomic.Uint64 // forks refused: admission wait timed out
 
 	queueWait metrics.Histogram // per-tenant admission wait
+
+	// slot is the tenant's partition in the metrics registry (nil when
+	// metrics are detached). The kernel hands it to each of the tenant's
+	// address spaces so fork/fault paths charge it by direct pointer.
+	slot *metrics.TenantSlot
 
 	dead    atomic.Bool
 	waiters []chan struct{} // queued forks, FIFO; guarded by m.mu
@@ -432,7 +448,17 @@ func (t *Tenant) ReclaimOvershoot() int64 {
 
 // NoteReclaimed records n frames evicted from this tenant's LRU
 // partition by fair-share victim selection.
-func (t *Tenant) NoteReclaimed(n int64) { t.reclaimed.Add(uint64(n)) }
+func (t *Tenant) NoteReclaimed(n int64) {
+	t.reclaimed.Add(uint64(n))
+	if ts := t.slot; ts != nil {
+		ts.ReclaimEvictions.Add(uint64(n))
+	}
+}
+
+// Slot returns the tenant's metrics partition (nil when metrics are
+// detached). Address spaces hold it by direct pointer so hot paths
+// charge per-tenant counters with no map lookup.
+func (t *Tenant) Slot() *metrics.TenantSlot { return t.slot }
 
 // Stats is a point-in-time copy of one tenant's accounting.
 type Stats struct {

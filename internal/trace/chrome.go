@@ -46,6 +46,8 @@ type chromeEvent struct {
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
+	ID   *uint64        `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -55,12 +57,41 @@ type chromeDoc struct {
 	Metadata        map[string]any `json:"metadata,omitempty"`
 }
 
+// ExemplarRef links one histogram exemplar into a trace document: the
+// dotted metric series it came from, the observed latency, and the
+// request id whose flow the observation belongs to. WriteChromeExtra
+// embeds these under metadata.exemplars so a Perfetto bucket can be
+// chased back to its causal chain (and odf-tracecheck can verify the
+// link resolves).
+type ExemplarRef struct {
+	Series string `json:"series"`
+	NS     uint64 `json:"ns"`
+	Req    uint64 `json:"req"`
+}
+
+// ChromeExtra is the optional side data WriteChromeExtra folds into
+// the document's metadata block.
+type ChromeExtra struct {
+	Exemplars []ExemplarRef
+}
+
 // WriteChrome encodes the snapshot as a Chrome trace-event JSON
 // document. Spans become complete events (ph "X"), instants become
 // thread-scoped instant events (ph "i"), and each actor gets a
 // thread_name metadata record, so begin/end balance holds trivially
-// and every actor renders as its own Perfetto track.
+// and every actor renders as its own Perfetto track. Events sharing a
+// nonzero request id additionally get flow events (ph "s"/"t"/"f",
+// id = the request id) binding the request's causal chain across
+// tracks — the codec-receive span, its admission wait, the fork it
+// triggered, and the faults the clone resolved read as one arrowed
+// path in Perfetto.
 func WriteChrome(w io.Writer, s Snapshot) error {
+	return WriteChromeExtra(w, s, nil)
+}
+
+// WriteChromeExtra is WriteChrome with optional metadata side data
+// (histogram exemplars referencing request flows).
+func WriteChromeExtra(w io.Writer, s Snapshot, extra *ChromeExtra) error {
 	evs := append([]Event(nil), s.Events...)
 	sortEvents(evs)
 
@@ -78,6 +109,9 @@ func WriteChrome(w io.Writer, s Snapshot) error {
 		DisplayTimeUnit: "ns",
 		Metadata:        map[string]any{"source": "odf flight recorder", "dropped_events": s.Dropped},
 	}
+	if extra != nil && len(extra.Exemplars) > 0 {
+		doc.Metadata["exemplars"] = extra.Exemplars
+	}
 	for _, a := range actors {
 		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 			Name: "thread_name",
@@ -87,6 +121,8 @@ func WriteChrome(w io.Writer, s Snapshot) error {
 			Args: map[string]any{"name": ActorName(a)},
 		})
 	}
+	flows := map[uint64][]Event{}
+	var flowIDs []uint64
 	for _, e := range evs {
 		ce := chromeEvent{
 			Name: e.Name(),
@@ -95,8 +131,19 @@ func WriteChrome(w io.Writer, s Snapshot) error {
 			PID:  chromePID,
 			TID:  actorTID(e.Actor),
 		}
+		args := map[string]any{}
 		if d := e.Detail(); d != "" {
-			ce.Args = map[string]any{"detail": d}
+			args["detail"] = d
+		}
+		if e.Req != 0 {
+			args["req"] = e.Req
+			if _, ok := flows[e.Req]; !ok {
+				flowIDs = append(flowIDs, e.Req)
+			}
+			flows[e.Req] = append(flows[e.Req], e)
+		}
+		if len(args) > 0 {
+			ce.Args = args
 		}
 		if e.Kind.Span() {
 			ce.Ph = "X"
@@ -107,6 +154,42 @@ func WriteChrome(w io.Writer, s Snapshot) error {
 			ce.S = "t"
 		}
 		doc.TraceEvents = append(doc.TraceEvents, ce)
+	}
+	// Flow pass: each request id whose chain spans more than one event
+	// becomes a flow — start at the first event, steps through the
+	// middle, finish at the last, all sharing id = the request id. The
+	// flow points sit at their event's start timestamp (the chain is
+	// TS-sorted, so each flow's points are non-decreasing even when a
+	// long enclosing span starts before a short nested one); "bp":"e"
+	// asks Perfetto for enclosing-slice binding so the arrows attach
+	// to the slices themselves.
+	sort.Slice(flowIDs, func(i, j int) bool { return flowIDs[i] < flowIDs[j] })
+	for _, req := range flowIDs {
+		chain := flows[req]
+		if len(chain) < 2 {
+			continue
+		}
+		for i, e := range chain {
+			req := req
+			ce := chromeEvent{
+				Name: "req",
+				Cat:  "odf.req",
+				TS:   float64(e.TS) / 1e3,
+				PID:  chromePID,
+				TID:  actorTID(e.Actor),
+				ID:   &req,
+				BP:   "e",
+			}
+			switch i {
+			case 0:
+				ce.Ph = "s"
+			case len(chain) - 1:
+				ce.Ph = "f"
+			default:
+				ce.Ph = "t"
+			}
+			doc.TraceEvents = append(doc.TraceEvents, ce)
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -127,10 +210,12 @@ func WriteTo(w io.Writer, s Snapshot, f Format) error {
 
 // ValidateChrome checks that data is a well-formed Chrome trace-event
 // JSON document: parseable, at least one event, every event carrying a
-// phase and placement, non-negative monotonic timestamps (metadata
-// records excepted), non-negative durations on complete events, and
-// balanced begin/end pairs per track. It is the CI gate behind
-// `make trace`.
+// phase and placement, non-negative monotonic timestamps (metadata and
+// flow records excepted — flows are a second pass over the timeline),
+// non-negative durations on complete events, balanced begin/end pairs
+// per track, and well-formed flows (every "s"/"t"/"f" carries an id,
+// each id's points are in timestamp order, and each id opens with one
+// "s" and closes with one "f"). It is the CI gate behind `make trace`.
 func ValidateChrome(data []byte) error {
 	var doc struct {
 		TraceEvents []struct {
@@ -140,6 +225,7 @@ func ValidateChrome(data []byte) error {
 			Dur  *float64 `json:"dur"`
 			PID  *int     `json:"pid"`
 			TID  *int     `json:"tid"`
+			ID   *uint64  `json:"id"`
 		} `json:"traceEvents"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
@@ -152,6 +238,12 @@ func ValidateChrome(data []byte) error {
 	sawTS := false
 	type track struct{ pid, tid int }
 	stacks := map[track][]string{}
+	type flowState struct {
+		lastTS   float64
+		steps    int
+		finished bool
+	}
+	flows := map[uint64]*flowState{}
 	for i, e := range doc.TraceEvents {
 		if e.Ph == "" {
 			return fmt.Errorf("trace: event %d (%q) missing ph", i, e.Name)
@@ -164,6 +256,36 @@ func ValidateChrome(data []byte) error {
 		}
 		if e.TS == nil || *e.TS < 0 {
 			return fmt.Errorf("trace: event %d (%q) has missing or negative ts", i, e.Name)
+		}
+		switch e.Ph {
+		case "s", "t", "f":
+			if e.ID == nil {
+				return fmt.Errorf("trace: flow event %d (ph %q) missing id", i, e.Ph)
+			}
+			fs := flows[*e.ID]
+			switch e.Ph {
+			case "s":
+				if fs != nil {
+					return fmt.Errorf("trace: flow id %d started twice at event %d", *e.ID, i)
+				}
+				flows[*e.ID] = &flowState{lastTS: *e.TS}
+			default:
+				if fs == nil {
+					return fmt.Errorf("trace: flow event %d (ph %q, id %d) before its start", i, e.Ph, *e.ID)
+				}
+				if fs.finished {
+					return fmt.Errorf("trace: flow id %d continues after finish at event %d", *e.ID, i)
+				}
+				if *e.TS < fs.lastTS {
+					return fmt.Errorf("trace: flow id %d not in timestamp order at event %d: %v < %v", *e.ID, i, *e.TS, fs.lastTS)
+				}
+				fs.lastTS = *e.TS
+				fs.steps++
+				if e.Ph == "f" {
+					fs.finished = true
+				}
+			}
+			continue
 		}
 		if sawTS && *e.TS < lastTS {
 			return fmt.Errorf("trace: timestamps not monotonic at event %d (%q): %v < %v", i, e.Name, *e.TS, lastTS)
@@ -188,6 +310,11 @@ func ValidateChrome(data []byte) error {
 	for tr, st := range stacks {
 		if len(st) > 0 {
 			return fmt.Errorf("trace: %d unclosed begin event(s) on pid=%d tid=%d (innermost %q)", len(st), tr.pid, tr.tid, st[len(st)-1])
+		}
+	}
+	for id, fs := range flows {
+		if !fs.finished {
+			return fmt.Errorf("trace: flow id %d never finished (%d steps)", id, fs.steps)
 		}
 	}
 	return nil

@@ -74,6 +74,10 @@ func (e Event) Name() string {
 		return "swap.degraded"
 	case KindAdmitWait:
 		return "tenant.admit_wait"
+	case KindRequest:
+		return "request"
+	case KindAlert:
+		return "alert." + AlertName(e.Arg1)
 	}
 	return fmt.Sprintf("kind%d", e.Kind)
 }
@@ -138,6 +142,13 @@ func (e Event) Detail() string {
 			return fmt.Sprintf("tenant=%d rejected", e.Arg1)
 		}
 		return fmt.Sprintf("tenant=%d", e.Arg1)
+	case KindRequest:
+		if e.Arg2 != 0 {
+			return fmt.Sprintf("tenant=%d error", e.Arg1)
+		}
+		return fmt.Sprintf("tenant=%d", e.Arg1)
+	case KindAlert:
+		return fmt.Sprintf("observed=%d", e.Arg2)
 	}
 	return ""
 }
@@ -188,6 +199,9 @@ func RenderText(s Snapshot) string {
 		}
 		if d := e.Detail(); d != "" {
 			b.WriteString(" " + d)
+		}
+		if e.Req != 0 {
+			fmt.Fprintf(&b, " req=%d", e.Req)
 		}
 		b.WriteString("\n")
 	}

@@ -92,6 +92,17 @@ const (
 	// Arg1 is the tenant id, Arg2 is 1 when the fork was ultimately
 	// rejected (queue full or wait timed out).
 	KindAdmitWait
+	// KindRequest spans one served request end to end, from codec
+	// receive to response write. Arg1 is the tenant id (0 for
+	// untenanted daemons), Arg2 is nonzero when the handler reported
+	// an error. Req carries the request id that correlates this span
+	// with every admission/fork/fault event the request caused.
+	KindRequest
+	// KindAlert marks a watchdog detection: Arg1 is the alert code
+	// (AlertForkP99 ...; AlertName resolves it), Arg2 the observed
+	// value in the code's unit (ns for latency codes, a count for
+	// stall codes).
+	KindAlert
 
 	numKinds
 )
@@ -99,10 +110,43 @@ const (
 // Span reports whether events of this kind carry a duration.
 func (k Kind) Span() bool {
 	switch k {
-	case KindFork, KindForkStage, KindFault, KindSwapIn, KindReclaimScan, KindWriteback, KindAdmitWait:
+	case KindFork, KindForkStage, KindFault, KindSwapIn, KindReclaimScan, KindWriteback, KindAdmitWait, KindRequest:
 		return true
 	}
 	return false
+}
+
+// Watchdog alert codes carried in KindAlert's Arg1.
+const (
+	// AlertForkP99 fires when the windowed fork-latency p99 crosses
+	// the watchdog threshold; Arg2 is the observed p99 in ns.
+	AlertForkP99 uint64 = iota
+	// AlertAdmitWait fires when the windowed admission-queue p99 wait
+	// crosses the threshold; Arg2 is the observed wait in ns.
+	AlertAdmitWait
+	// AlertSwapDegraded fires when the swap store auto-disables;
+	// Arg2 is the cumulative degrade count.
+	AlertSwapDegraded
+	// AlertOOMStall fires when fault paths entered direct reclaim
+	// during the window; Arg2 is the stall count for the window.
+	AlertOOMStall
+
+	numAlerts
+)
+
+// AlertName resolves a KindAlert code to its stable name.
+func AlertName(code uint64) string {
+	switch code {
+	case AlertForkP99:
+		return "fork_p99_breach"
+	case AlertAdmitWait:
+		return "admit_wait_spike"
+	case AlertSwapDegraded:
+		return "swap_degraded"
+	case AlertOOMStall:
+		return "oom_stall"
+	}
+	return "unknown"
 }
 
 // Stage refines a Kind: the fork stage for KindForkStage, the
@@ -176,6 +220,11 @@ type Event struct {
 	Actor int32
 	Arg1  uint64
 	Arg2  uint64
+	// Req is the correlation id of the serving-tier request that
+	// caused this event, or 0 when the event happened outside any
+	// request (background reclaim, warmup forks, untagged daemons).
+	// Events sharing a nonzero Req are exported as one Perfetto flow.
+	Req uint64
 }
 
 // DefaultCapacity is the event capacity a kernel's tracer is built
@@ -274,6 +323,11 @@ func (t *Tracer) Reset() {
 // typically stamps start only after checking Enabled; Span re-checks so
 // a mid-operation disable drops the event instead of recording it.
 func (t *Tracer) Span(k Kind, st Stage, actor int32, start time.Time, arg1, arg2 uint64) {
+	t.SpanReq(k, st, actor, start, arg1, arg2, 0)
+}
+
+// SpanReq is Span carrying a request correlation id (0 = none).
+func (t *Tracer) SpanReq(k Kind, st Stage, actor int32, start time.Time, arg1, arg2, req uint64) {
 	if !t.Enabled() || start.IsZero() {
 		return
 	}
@@ -286,11 +340,17 @@ func (t *Tracer) Span(k Kind, st Stage, actor int32, start time.Time, arg1, arg2
 		Actor: actor,
 		Arg1:  arg1,
 		Arg2:  arg2,
+		Req:   req,
 	})
 }
 
 // Instant records a point event happening now.
 func (t *Tracer) Instant(k Kind, st Stage, actor int32, arg1, arg2 uint64) {
+	t.InstantReq(k, st, actor, arg1, arg2, 0)
+}
+
+// InstantReq is Instant carrying a request correlation id (0 = none).
+func (t *Tracer) InstantReq(k Kind, st Stage, actor int32, arg1, arg2, req uint64) {
 	if !t.Enabled() {
 		return
 	}
@@ -301,6 +361,7 @@ func (t *Tracer) Instant(k Kind, st Stage, actor int32, arg1, arg2 uint64) {
 		Actor: actor,
 		Arg1:  arg1,
 		Arg2:  arg2,
+		Req:   req,
 	})
 }
 
