@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-gate bench-gate-baseline pressure trace chaos slo serverless obs-scrape
+.PHONY: all build vet test race bench bench-json bench-gate bench-gate-baseline pressure trace chaos slo serverless obs-scrape ckpt
 
 # Newest committed curated baseline (BENCH_<date>.json sorts by date).
 # *_pre.json files are point-in-time "before" records kept for the
@@ -103,6 +103,31 @@ slo:
 serverless:
 	$(GO) run ./cmd/odf-serverless -mode soak -out serverless_out.json
 	$(GO) run ./cmd/odf-serverless -check serverless_out.json
+
+# Durable-checkpoint gate: the format and kernel-wiring unit tests
+# under -race, a fuzz smoke over the open/verify/read path (any input
+# is rejected or served, never a crash), the crash-consistency chaos
+# matrix (writers killed at random failpoints; every surviving file
+# either restores byte-identically against an in-memory shadow or is
+# rejected by fsck — pinned seeds make failures replayable), the
+# serverless checkpoint→restart→restore round trip over real TCP, and
+# the CI artifacts: a sample snapshot plus its fsck report.
+ckpt:
+	$(GO) test -race ./internal/ckpt/ -run 'Ckpt|Checkpoint|Chain|Crash|Corrupt|Trunc|BitFlip|Fsck|Read|Incremental|RoundTrip|Abort|Writer'
+	$(GO) test -race ./internal/kernel/ -run 'Checkpoint|Restore|Ckpt'
+	$(GO) test ./internal/ckpt/ -run '^$$' -fuzz FuzzCheckpointOpen -fuzztime 10s
+	$(GO) build -o odf-ckpt.bin ./cmd/odf-ckpt
+	rm -rf ckpt_chaos && mkdir -p ckpt_chaos/s1 ckpt_chaos/s2 ckpt_chaos/s3
+	./odf-ckpt.bin chaos -dir ckpt_chaos/s1 -seed 1 -n 30
+	./odf-ckpt.bin chaos -dir ckpt_chaos/s2 -seed 7 -n 30
+	./odf-ckpt.bin chaos -dir ckpt_chaos/s3 -seed 42 -n 30
+	rm -rf ckpt_sv && $(GO) run ./cmd/odf-serverless -mode checkpoint -ckpt-dir ckpt_sv -tenants 4 -quota 128
+	$(GO) run ./cmd/odf-serverless -mode restore -ckpt-dir ckpt_sv
+	./odf-ckpt.bin write -out sample.ckpt -pages 256 -seed 1
+	./odf-ckpt.bin verify sample.ckpt
+	./odf-ckpt.bin fsck -dir . > ckpt_fsck.txt
+	./odf-ckpt.bin fsck -dir ckpt_chaos/s1 -json >> ckpt_fsck.txt
+	cat ckpt_fsck.txt
 
 # Flight-recorder artifact: record a fork/fault/reclaim window, export
 # it as Chrome trace-event JSON (load trace.json in ui.perfetto.dev),

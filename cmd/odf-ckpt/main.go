@@ -1,0 +1,369 @@
+// Command odf-ckpt manages and stress-tests durable checkpoints.
+//
+//	odf-ckpt write  -out s.ckpt [-pages N] [-seed N]  write a sample snapshot
+//	odf-ckpt info   <path>                            print snapshot metadata
+//	odf-ckpt verify <path>                            verify a file + its chain
+//	odf-ckpt fsck   -dir D [-json]                    classify every candidate
+//	odf-ckpt chaos  -dir D [-seed N] [-n N]           crash-consistency proof
+//
+// Chaos mode is the acceptance harness: it repeatedly checkpoints a
+// mutating process while killing the writer at randomly chosen
+// checkpoint failpoints (torn chunk writes, missed fsyncs, silent media
+// corruption), then fscks every surviving file — committed snapshots
+// and crashed writers' temp files alike. Every file must be classified
+// restorable or rejected; every restorable file must restore
+// byte-identically to the shadow copy recorded at its capture; any
+// silent corruption is a hard failure (exit 1). A final pass restores
+// with transient read injection armed, proving fault-time retry keeps
+// lazy restore transparent.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/ckpt"
+	"repro/internal/failpoint"
+	"repro/internal/kernel"
+	"repro/internal/mem/addr"
+	"repro/internal/mem/vm"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "odf-ckpt: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: odf-ckpt <write|info|verify|fsck|chaos> [flags]")
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "write":
+		cmdWrite(args)
+	case "info":
+		cmdInfo(args)
+	case "verify":
+		cmdVerify(args)
+	case "fsck":
+		cmdFsck(args)
+	case "chaos":
+		cmdChaos(args)
+	default:
+		fmt.Fprintf(os.Stderr, "odf-ckpt: unknown command %q\n", cmd)
+		os.Exit(2)
+	}
+}
+
+const rw = vm.ProtRead | vm.ProtWrite
+
+// donor builds a process with a deterministic mixed-content arena:
+// incompressible pages, compressible pages, an explicit zero page, and
+// an untouched demand-zero tail.
+func donor(k *kernel.Kernel, pages int, rng *rand.Rand) (*kernel.Process, addr.V, [][]byte) {
+	p := k.NewProcess()
+	base, err := p.Mmap(uint64(pages)*addr.PageSize, rw, vm.MapPrivate)
+	if err != nil {
+		fail("mmap: %v", err)
+	}
+	shadow := make([][]byte, pages)
+	touched := pages * 3 / 4
+	for i := 0; i < touched; i++ {
+		b := make([]byte, addr.PageSize)
+		switch i % 4 {
+		case 0, 1:
+			rng.Read(b)
+		case 2:
+			for j := range b {
+				b[j] = byte(i)
+			}
+		case 3:
+			// leave all-zero: written then zeroed content
+		}
+		if err := p.WriteAt(b, base+addr.V(i)*addr.PageSize); err != nil {
+			fail("write page %d: %v", i, err)
+		}
+		shadow[i] = b
+	}
+	return p, base, shadow
+}
+
+func cmdWrite(args []string) {
+	fs := flag.NewFlagSet("write", flag.ExitOnError)
+	out := fs.String("out", "sample.ckpt", "output snapshot path")
+	pages := fs.Int("pages", 256, "arena pages to capture")
+	seed := fs.Uint64("seed", 1, "content PRNG seed")
+	fs.Parse(args)
+	k := kernel.New()
+	p, _, _ := donor(k, *pages, rand.New(rand.NewSource(int64(*seed))))
+	d, err := p.CheckpointTo(*out)
+	if err != nil {
+		fail("checkpoint: %v", err)
+	}
+	d.Release()
+	fmt.Printf("odf-ckpt: wrote %s: %d page records, %d bytes\n", *out, d.Pages(), d.Bytes())
+}
+
+func cmdInfo(args []string) {
+	if len(args) != 1 {
+		fail("info: want exactly one path")
+	}
+	s, err := ckpt.OpenChain(args[0], ckpt.Env{})
+	if err != nil {
+		fail("%v", err)
+	}
+	defer s.Close()
+	for c := s; c != nil; c = c.Parent() {
+		id := c.SnapID()
+		fmt.Printf("%s:\n  snap_id %x\n  pages   %d\n  chunks  %d\n  vmas    %d\n",
+			c.Path(), id[:], c.Pages(), c.Chunks(), len(c.VMAs()))
+		if ref := c.ParentRef(); ref != "" {
+			fmt.Printf("  parent  %s\n", ref)
+		}
+		for _, v := range c.VMAs() {
+			fmt.Printf("  vma     [%#x, +%#x) prot=%d flags=%d\n", v.Start, v.Size, v.Prot, v.Flags)
+		}
+	}
+}
+
+func cmdVerify(args []string) {
+	if len(args) != 1 {
+		fail("verify: want exactly one path")
+	}
+	rep := ckpt.Fsck(args[0], ckpt.Env{})
+	if !rep.Restorable {
+		fail("%s: REJECTED: %s", rep.Path, rep.Err)
+	}
+	fmt.Printf("odf-ckpt: %s: OK (chain=%d pages=%d chunks=%d bytes=%d)\n",
+		rep.Path, rep.ChainLen, rep.Pages, rep.Chunks, rep.Bytes)
+}
+
+func cmdFsck(args []string) {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	dir := fs.String("dir", ".", "directory to scan for *.ckpt and *.tmp")
+	asJSON := fs.Bool("json", false, "emit one JSON report per line")
+	fs.Parse(args)
+	reps, err := ckpt.FsckDir(*dir, ckpt.Env{})
+	if err != nil {
+		fail("%v", err)
+	}
+	restorable := 0
+	for _, r := range reps {
+		if *asJSON {
+			b, _ := json.Marshal(r)
+			fmt.Println(string(b))
+		} else if r.Restorable {
+			fmt.Printf("OK      %s (chain=%d pages=%d bytes=%d)\n", r.Path, r.ChainLen, r.Pages, r.Bytes)
+		} else {
+			fmt.Printf("REJECT  %s: %s\n", r.Path, r.Err)
+		}
+		if r.Restorable {
+			restorable++
+		}
+	}
+	fmt.Printf("odf-ckpt: fsck: %d candidates, %d restorable, %d rejected\n",
+		len(reps), restorable, len(reps)-restorable)
+}
+
+// attempt records one chaos checkpoint attempt: the shadow of the
+// donor's memory at capture time and what the injection implies.
+type attempt struct {
+	path         string
+	shadow       [][]byte
+	committed    bool
+	corruptFired bool
+	incremental  bool
+}
+
+func cmdChaos(args []string) {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	dir := fs.String("dir", "", "working directory (required; filled with snapshots)")
+	seed := fs.Uint64("seed", 1, "injection and mutation PRNG seed")
+	n := fs.Int("n", 30, "checkpoint attempts")
+	pages := fs.Int("pages", 128, "donor arena pages")
+	fs.Parse(args)
+	if *dir == "" {
+		fail("chaos: -dir is required")
+	}
+	rng := rand.New(rand.NewSource(int64(*seed)))
+
+	k := kernel.New()
+	k.SetFailpointSeed(*seed)
+	p, base, shadow := donor(k, *pages, rng)
+
+	// The injection schedule: one of the writer-side checkpoint
+	// failpoints (or none) armed "once" per attempt, crash-on-inject.
+	schedule := []string{"", failpoint.CkptWrite, failpoint.CkptFsync, failpoint.CkptCorrupt}
+
+	var attempts []attempt
+	var parent *kernel.DurableCheckpoint
+	committed, crashed := 0, 0
+	for i := 0; i < *n; i++ {
+		// Mutate a random slice of the arena; the shadow follows.
+		for m := rng.Intn(8); m >= 0; m-- {
+			pi := rng.Intn(*pages)
+			b := make([]byte, addr.PageSize)
+			if rng.Intn(4) > 0 {
+				rng.Read(b)
+			}
+			if err := p.WriteAt(b, base+addr.V(pi)*addr.PageSize); err != nil {
+				fail("mutate page %d: %v", pi, err)
+			}
+			shadow[pi] = b
+		}
+		at := attempt{path: filepath.Join(*dir, fmt.Sprintf("snap-%03d.ckpt", i))}
+		at.shadow = make([][]byte, len(shadow))
+		for j, s := range shadow {
+			at.shadow[j] = append([]byte(nil), s...)
+		}
+
+		point := schedule[rng.Intn(len(schedule))]
+		if point != "" {
+			if err := k.SetFailpoint(point, "once"); err != nil {
+				fail("arm %s: %v", point, err)
+			}
+		}
+		fired0 := k.Failpoints().Fires(failpoint.CkptCorrupt)
+		opts := []kernel.CheckpointOption{kernel.WithCheckpointCrashOnInject()}
+		if parent != nil && rng.Intn(2) == 0 {
+			opts = append(opts, kernel.WithCheckpointParent(parent))
+			at.incremental = true
+		}
+		d, err := p.CheckpointTo(at.path, opts...)
+		if point != "" {
+			if aerr := k.SetFailpoint(point, "off"); aerr != nil {
+				fail("disarm %s: %v", point, aerr)
+			}
+		}
+		if err != nil {
+			crashed++
+			if _, serr := os.Stat(at.path); serr == nil {
+				fail("attempt %d: crashed writer left a file at the target path", i)
+			}
+		} else {
+			committed++
+			at.committed = true
+			at.corruptFired = k.Failpoints().Fires(failpoint.CkptCorrupt) > fired0
+			if parent != nil {
+				parent.Release()
+			}
+			parent = d
+		}
+		attempts = append(attempts, at)
+	}
+	if parent != nil {
+		parent.Release()
+	}
+	if err := k.CheckInvariants(); err != nil {
+		fail("donor kernel invariants after chaos: %v", err)
+	}
+
+	// Phase 2: fsck everything that survived — committed snapshots and
+	// crashed writers' temp files.
+	reps, err := ckpt.FsckDir(*dir, ckpt.Env{})
+	if err != nil {
+		fail("fsck: %v", err)
+	}
+	byPath := map[string]ckpt.FsckReport{}
+	for _, r := range reps {
+		if r.Restorable == (r.Err != "") {
+			fail("ambiguous fsck verdict for %s: %+v", r.Path, r)
+		}
+		byPath[r.Path] = r
+	}
+
+	// Phase 3: every restorable file restores byte-identically to the
+	// shadow recorded at its capture; silent corruption is fatal.
+	restored, rejected := 0, 0
+	var lastGood *attempt
+	var lastGoodPath string
+	verify := func(at attempt, path string) {
+		rep, ok := byPath[path]
+		if !ok {
+			return
+		}
+		delete(byPath, path)
+		if at.corruptFired && rep.Restorable {
+			fail("%s: silent media corruption passed fsck", path)
+		}
+		if !rep.Restorable {
+			rejected++
+			return
+		}
+		rk := kernel.New()
+		r, err := rk.RestoreFrom(path)
+		if err != nil {
+			fail("restore %s (fsck said restorable): %v", path, err)
+		}
+		buf := make([]byte, addr.PageSize)
+		for pi, want := range at.shadow {
+			v := base + addr.V(pi)*addr.PageSize
+			if err := r.ReadAt(buf, v); err != nil {
+				fail("%s: read page %d: %v", path, pi, err)
+			}
+			if want == nil {
+				want = make([]byte, addr.PageSize)
+			}
+			if !bytes.Equal(buf, want) {
+				fail("%s: SILENT CORRUPTION: page %d differs from shadow", path, pi)
+			}
+		}
+		restored++
+		cp := at
+		lastGood, lastGoodPath = &cp, path
+	}
+	for _, at := range attempts {
+		verify(at, at.path)
+		verify(at, at.path+".tmp")
+	}
+	for path, rep := range byPath {
+		if rep.Restorable {
+			fail("unexpected restorable stray %s", path)
+		}
+		rejected++
+	}
+
+	// Phase 4: lazy restore with transient read faults stays
+	// transparent — an every-other-read ckpt.read schedule must be
+	// absorbed by retry, never surfacing to the reader.
+	retries := uint64(0)
+	if lastGood != nil {
+		rk := kernel.New()
+		rk.SetFailpointSeed(*seed + 1)
+		r, err := rk.RestoreFrom(lastGoodPath)
+		if err != nil {
+			fail("retry pass restore: %v", err)
+		}
+		if err := rk.SetFailpoint(failpoint.CkptRead, "every:2"); err != nil {
+			fail("arm ckpt.read: %v", err)
+		}
+		buf := make([]byte, addr.PageSize)
+		for pi, want := range lastGood.shadow {
+			v := base + addr.V(pi)*addr.PageSize
+			if err := r.ReadAt(buf, v); err != nil {
+				fail("retry pass: read page %d: %v", pi, err)
+			}
+			if want == nil {
+				want = make([]byte, addr.PageSize)
+			}
+			if !bytes.Equal(buf, want) {
+				fail("retry pass: page %d differs from shadow", pi)
+			}
+		}
+		retries = rk.MetricsSnapshot().Ckpt.ReadRetries
+		if retries == 0 {
+			fail("retry pass: injected read faults produced no retries")
+		}
+	}
+
+	fmt.Printf("odf-ckpt: chaos: seed=%d attempts=%d committed=%d crashed=%d "+
+		"restorable=%d rejected=%d read_retries=%d — zero silent corruption\n",
+		*seed, *n, committed, crashed, restored, rejected, retries)
+}

@@ -13,22 +13,33 @@
 // victim selection), and the well-behaved tenants see zero ErrNoMem
 // with clone fork p99 within 2x of a single-tenant baseline.
 //
+// Checkpoint/restore closes the daemon-restart gap: -mode checkpoint
+// writes each tenant's warm lineage to a durable on-disk snapshot
+// (plus a JSON manifest of the store's Go-side layout), and -mode
+// restore boots a fresh kernel, lazily fork-from-disk restores every
+// tenant, serves clone-per-request invocations over the TCP tier, and
+// byte-verifies every warm key against the pre-checkpoint content.
+//
 // Usage:
 //
 //	odf-serverless [-mode experiment|soak|serve] [-tenants N]
 //	               [-quota frames] [-noisy-mult M] [-n reqs]
 //	               [-noisy-n reqs] [-fork classic|ondemand]
 //	               [-listen addr] [-out file.json]
+//	odf-serverless -mode checkpoint -ckpt-dir D [-tenants N]
+//	odf-serverless -mode restore -ckpt-dir D
 //	odf-serverless -check file.json
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -55,6 +66,7 @@ var (
 	checkArg   = flag.String("check", "", "validate an odf-serverless/v1 JSON file and exit")
 	keysPerTen = flag.Int("keys", 256, "warm keys per tenant")
 	obsArg     = flag.String("obs", "", "observability HTTP listen address (empty = off; e.g. 127.0.0.1:9180)")
+	ckptDir    = flag.String("ckpt-dir", "", "durable checkpoint directory (-mode checkpoint|restore)")
 )
 
 // Result is the odf-serverless/v1 JSON record.
@@ -132,6 +144,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "odf-serverless: %v\n", err)
 			os.Exit(1)
 		}
+	case "checkpoint":
+		if err := runCheckpoint(mode); err != nil {
+			fmt.Fprintf(os.Stderr, "odf-serverless: %v\n", err)
+			os.Exit(1)
+		}
+	case "restore":
+		if err := runRestore(mode); err != nil {
+			fmt.Fprintf(os.Stderr, "odf-serverless: %v\n", err)
+			os.Exit(1)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "odf-serverless: unknown -mode %q\n", *modeArg)
 		os.Exit(2)
@@ -145,6 +167,7 @@ type cluster struct {
 	srv  *serve.Server
 	tens []*tenant.Tenant
 	ids  []uint32
+	apps []*serve.KVApp
 }
 
 const frameSize = 4096
@@ -200,6 +223,7 @@ func boot(mode core.ForkMode, nTenants int, quotaFrames, noisyMult int64, addr s
 		}
 		c.tens = append(c.tens, tn)
 		c.ids = append(c.ids, uint32(tn.TenantID()))
+		c.apps = append(c.apps, app)
 		c.d.AddLane(uint32(tn.TenantID()), app, true)
 	}
 	srv, err := serve.Listen(c.d, serve.TenantBinaryCodec{}, addr)
@@ -289,6 +313,211 @@ func drive(addrStr string, id uint32, n int, rng *rand.Rand) (driveStats, error)
 		}
 	}
 	return st, nil
+}
+
+// manifest is the odf-ckpt-manifest/v1 sidecar written next to each
+// tenant's snapshot: everything -mode restore needs to rebuild the
+// serving store around the restored process image.
+type manifest struct {
+	Schema   string         `json:"schema"`
+	Tenant   string         `json:"tenant"`
+	Quota    int64          `json:"quota_frames"`
+	Ckpt     string         `json:"ckpt"` // snapshot file, relative to the manifest
+	Keys     int            `json:"keys"`
+	ValueLen int            `json:"value_len"`
+	Layout   kvstore.Layout `json:"layout"`
+}
+
+const manifestSchema = "odf-ckpt-manifest/v1"
+
+// markerKey is a per-tenant sentinel written immediately before the
+// checkpoint; restore verifying it proves each tenant got its own
+// image back, not a neighbor's.
+var markerKey = []byte("tenant-marker")
+
+// runCheckpoint warms the fleet, then writes one durable snapshot +
+// manifest per tenant into -ckpt-dir.
+func runCheckpoint(mode core.ForkMode) error {
+	if *ckptDir == "" {
+		return fmt.Errorf("-mode checkpoint requires -ckpt-dir")
+	}
+	if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+		return err
+	}
+	c, err := boot(mode, *tenants, *quota, 1, "")
+	if err != nil {
+		return err
+	}
+	defer c.close()
+	var pages, bytesOut uint64
+	for i, tn := range c.tens {
+		st := c.apps[i].Store()
+		name := tn.Stats().Name
+		if _, err := st.Set(markerKey, []byte(name)); err != nil {
+			return fmt.Errorf("mark %s: %w", name, err)
+		}
+		path := filepath.Join(*ckptDir, name+".ckpt")
+		d, err := st.Process().CheckpointTo(path)
+		if err != nil {
+			return fmt.Errorf("checkpoint %s: %w", name, err)
+		}
+		m := manifest{
+			Schema:   manifestSchema,
+			Tenant:   name,
+			Quota:    tn.Stats().QuotaFrames,
+			Ckpt:     name + ".ckpt",
+			Keys:     *keysPerTen,
+			ValueLen: 64,
+			Layout:   st.Layout(),
+		}
+		raw, err := json.MarshalIndent(&m, "", "  ")
+		if err == nil {
+			err = os.WriteFile(filepath.Join(*ckptDir, name+".json"), append(raw, '\n'), 0o644)
+		}
+		pages += d.Pages()
+		bytesOut += d.Bytes()
+		d.Release()
+		if err != nil {
+			return fmt.Errorf("manifest %s: %w", name, err)
+		}
+	}
+	fmt.Printf("odf-serverless checkpoint: %d tenants -> %s (%d page records, %d bytes)\n",
+		len(c.tens), *ckptDir, pages, bytesOut)
+	return nil
+}
+
+// runRestore boots a fresh kernel (the restarted daemon), lazily
+// restores every checkpointed tenant, serves clone-per-request GETs
+// over the TCP tier, and byte-verifies the warm content.
+func runRestore(mode core.ForkMode) error {
+	if *ckptDir == "" {
+		return fmt.Errorf("-mode restore requires -ckpt-dir")
+	}
+	ents, err := os.ReadDir(*ckptDir)
+	if err != nil {
+		return err
+	}
+	var ms []manifest
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(*ckptDir, e.Name()))
+		if err != nil {
+			return err
+		}
+		var m manifest
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		if m.Schema != manifestSchema {
+			return fmt.Errorf("%s: schema %q, want %s", e.Name(), m.Schema, manifestSchema)
+		}
+		ms = append(ms, m)
+	}
+	if len(ms) == 0 {
+		return fmt.Errorf("no %s manifests in %s", manifestSchema, *ckptDir)
+	}
+
+	k := kernel.New()
+	k.Tenants().SetAdmitTimeout(*admitT)
+	d := serve.NewDispatcher()
+	var ids []uint32
+	for _, m := range ms {
+		tn, err := k.Tenants().Create(m.Tenant, m.Quota)
+		if err != nil {
+			return err
+		}
+		p, err := k.RestoreFrom(filepath.Join(*ckptDir, m.Ckpt), kernel.WithRestoreTenant(tn))
+		if err != nil {
+			return fmt.Errorf("restore %s: %w", m.Tenant, err)
+		}
+		st, err := kvstore.Adopt(k, p, m.Layout, kvstore.Config{Mode: mode, Tenant: tn})
+		if err != nil {
+			return fmt.Errorf("adopt %s: %w", m.Tenant, err)
+		}
+		app := serve.AdoptKV(st, serve.KVConfig{
+			Config: kvstore.Config{Mode: mode, Tenant: tn},
+			Keys:   m.Keys, ValueLen: m.ValueLen,
+		})
+		ids = append(ids, uint32(tn.TenantID()))
+		d.AddLane(uint32(tn.TenantID()), app, true)
+	}
+	srv, err := serve.Listen(d, serve.TenantBinaryCodec{}, *listenArg)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	defer srv.Close()
+
+	// Verify over the wire: every invocation is a fork of the restored
+	// image, every GET faults its pages from disk on first touch.
+	verified := 0
+	for i, m := range ms {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			return err
+		}
+		br, bw := serve.NewReader(conn), serve.NewWriter(conn)
+		cd := serve.TenantBinaryCodec{Tenant: ids[i]}
+		get := func(key []byte) ([]byte, error) {
+			if err := cd.WriteRequest(bw, serve.EncodeGet(key)); err != nil {
+				return nil, err
+			}
+			if err := bw.Flush(); err != nil {
+				return nil, err
+			}
+			resp, flags, err := cd.ReadResponse(br)
+			if err != nil {
+				return nil, err
+			}
+			if flags&serve.FlagAppError != 0 {
+				return nil, fmt.Errorf("app error: %s", resp)
+			}
+			status, val, err := serve.DecodeKVResponse(resp)
+			if err != nil {
+				return nil, err
+			}
+			if status != serve.StatusOK {
+				return nil, fmt.Errorf("status %d (miss)", status)
+			}
+			return val, nil
+		}
+		marker, err := get(markerKey)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("%s: marker: %w", m.Tenant, err)
+		}
+		if string(marker) != m.Tenant {
+			conn.Close()
+			return fmt.Errorf("%s: marker %q — wrong tenant image", m.Tenant, marker)
+		}
+		want := make([]byte, m.ValueLen)
+		for j := range want {
+			want[j] = byte(j)
+		}
+		for ki := 0; ki < m.Keys; ki++ {
+			val, err := get(kvstore.Key(ki))
+			if err != nil {
+				conn.Close()
+				return fmt.Errorf("%s: key %d: %w", m.Tenant, ki, err)
+			}
+			if !bytes.Equal(val, want) {
+				conn.Close()
+				return fmt.Errorf("%s: key %d: value differs from pre-checkpoint content", m.Tenant, ki)
+			}
+			verified++
+		}
+		conn.Close()
+	}
+	cs := k.MetricsSnapshot().Ckpt
+	if err := k.CheckInvariants(); err != nil {
+		return fmt.Errorf("post-restore audit: %w", err)
+	}
+	fmt.Printf("odf-serverless restore: %d tenants fork-from-disk, %d keys byte-verified, "+
+		"lazy page-ins %d, read retries %d, corruption errors %d\n",
+		len(ms), verified, cs.PageIns, cs.ReadRetries, cs.Corruptions)
+	return nil
 }
 
 // baselineForkP99 measures the clone fork p99 of one tenant running

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fs"
 	"repro/internal/kernel"
+	"repro/internal/mem/addr"
 	"repro/internal/stats"
 	"repro/internal/tenant"
 )
@@ -91,6 +92,64 @@ func New(k *kernel.Kernel, cfg Config) (*Store, error) {
 		kernel.WithSnapshotChild(s.serializer(nil)))
 	if err != nil {
 		proc.Exit()
+		return nil, err
+	}
+	s.snap = snap
+	return s, nil
+}
+
+// Layout captures the store's Go-side handles — the "registers" that
+// live outside simulated memory. Persisted (e.g. as JSON beside a
+// durable checkpoint of the store's process) it is exactly what Adopt
+// needs to rebuild a serving Store around a restored process image.
+type Layout struct {
+	ArenaBase uint64 `json:"arena_base"`
+	ArenaSize uint64 `json:"arena_size"`
+	ArenaUsed uint64 `json:"arena_used"`
+	TableBase uint64 `json:"table_base"`
+	TableCap  uint64 `json:"table_cap"`
+	TableLive uint64 `json:"table_live"`
+}
+
+// Layout returns the store's current Go-side handles.
+func (s *Store) Layout() Layout {
+	return Layout{
+		ArenaBase: uint64(s.arena.Base()),
+		ArenaSize: s.arena.Size(),
+		ArenaUsed: s.arena.Used(),
+		TableBase: uint64(s.table.Buckets()),
+		TableCap:  s.table.Capacity(),
+		TableLive: s.table.Len(),
+	}
+}
+
+// Adopt rebuilds a Store around proc — typically a process just
+// restored from a durable checkpoint — using the Layout saved when the
+// checkpoint was written. The store serves (and snapshots) exactly as
+// one built by New; its data pages fault in lazily from the checkpoint
+// on first touch.
+func Adopt(k *kernel.Kernel, proc *kernel.Process, l Layout, cfg Config) (*Store, error) {
+	arena, err := simalloc.Adopt(proc, addr.V(l.ArenaBase), l.ArenaSize, l.ArenaUsed)
+	if err != nil {
+		return nil, err
+	}
+	table, err := simalloc.AdoptHashTable(arena, addr.V(l.TableBase), l.TableCap, l.TableLive)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		kern:              k,
+		proc:              proc,
+		arena:             arena,
+		table:             table,
+		mode:              cfg.Mode,
+		SnapshotThreshold: cfg.Threshold,
+		ioDelay:           cfg.SnapshotIODelay,
+	}
+	snap, err := proc.StartSnapshotter(cfg.SnapshotEvery,
+		kernel.WithSnapshotMode(cfg.Mode),
+		kernel.WithSnapshotChild(s.serializer(nil)))
+	if err != nil {
 		return nil, err
 	}
 	s.snap = snap

@@ -77,6 +77,14 @@ func NewKV(k *kernel.Kernel, cfg KVConfig) (*KVApp, error) {
 	return &KVApp{st: st, cfg: cfg}, nil
 }
 
+// AdoptKV wraps an already-built store (e.g. one rebuilt by
+// kvstore.Adopt around a checkpoint-restored process) as a serving
+// app. Warm is a no-op path for adopted apps: the data is already in
+// the image.
+func AdoptKV(st *kvstore.Store, cfg KVConfig) *KVApp {
+	return &KVApp{st: st, cfg: cfg}
+}
+
 // Name identifies the app.
 func (a *KVApp) Name() string { return "kv" }
 

@@ -48,6 +48,18 @@ func (a *Arena) Clone(proc *kernel.Process) *Arena {
 	return &Arena{proc: proc, base: a.base, size: a.size, off: a.off}
 }
 
+// Adopt rebinds an arena layout saved from another kernel's process —
+// the inverse of the implicit register copy a fork performs. The
+// caller asserts that proc's memory at [base, base+size) holds an
+// arena image with used bytes allocated, e.g. because proc was
+// restored from a durable checkpoint of the original.
+func Adopt(proc *kernel.Process, base addr.V, size, used uint64) (*Arena, error) {
+	if used > size {
+		return nil, fmt.Errorf("simalloc: adopt: used %d > size %d", used, size)
+	}
+	return &Arena{proc: proc, base: base, size: size, off: used}, nil
+}
+
 // View returns a read-only handle on the arena bound to another
 // process. Unlike Clone it copies only fields that never change after
 // NewArena (base, size), so it is safe to call from a snapshot child's

@@ -66,6 +66,21 @@ func (h *HashTable) View(a *Arena) *HashTable {
 // Len returns the number of live entries.
 func (h *HashTable) Len() uint64 { return h.live }
 
+// Buckets returns the base address of the bucket array — part of the
+// Go-side layout persisted beside a durable checkpoint so the table
+// can be re-adopted after a restore.
+func (h *HashTable) Buckets() addr.V { return h.buckets }
+
+// AdoptHashTable rebinds a table layout saved from another kernel's
+// process: buckets is the bucket-array base, capacity the power-of-two
+// bucket count, and live the entry count at save time.
+func AdoptHashTable(a *Arena, buckets addr.V, capacity, live uint64) (*HashTable, error) {
+	if capacity == 0 || capacity&(capacity-1) != 0 {
+		return nil, fmt.Errorf("simalloc: adopt: capacity %d not a power of two", capacity)
+	}
+	return &HashTable{arena: a, buckets: buckets, capCnt: capacity, live: live}, nil
+}
+
 // Capacity returns the bucket count.
 func (h *HashTable) Capacity() uint64 { return h.capCnt }
 

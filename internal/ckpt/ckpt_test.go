@@ -1,0 +1,578 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/failpoint"
+	"repro/internal/mem/addr"
+	"repro/internal/metrics"
+)
+
+// testPage builds a page-sized payload from a seed; seed<0 yields a
+// page with trailing zeroes so trimming gets exercised.
+func testPage(seed int) []byte {
+	b := make([]byte, addr.PageSize)
+	n := len(b)
+	if seed < 0 {
+		seed = -seed
+		n = 100 + seed*13%2000
+	}
+	for i := 0; i < n; i++ {
+		b[i] = byte(seed*131 + i*7 + 1)
+	}
+	return b
+}
+
+func snapIDFrom(b byte) (id [16]byte) {
+	for i := range id {
+		id[i] = b
+	}
+	return id
+}
+
+// writeSnapshot writes a snapshot of the given (vaddr, data) pairs.
+func writeSnapshot(t *testing.T, path string, opt WriterOptions, pages map[uint64][]byte) CommitStats {
+	t.Helper()
+	w, err := NewWriter(path, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vaddrs []uint64
+	for v := range pages {
+		vaddrs = append(vaddrs, v)
+	}
+	for i := 0; i < len(vaddrs); i++ {
+		for j := i + 1; j < len(vaddrs); j++ {
+			if vaddrs[j] < vaddrs[i] {
+				vaddrs[i], vaddrs[j] = vaddrs[j], vaddrs[i]
+			}
+		}
+	}
+	for _, v := range vaddrs {
+		if err := w.AddPage(v, pages[v]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := w.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+// wantPage asserts Page(v) returns content equal to want (compared as
+// full zero-extended pages; want==nil means an explicit zero record).
+func wantPage(t *testing.T, s *Snapshot, v uint64, want []byte) {
+	t.Helper()
+	data, found, err := s.Page(v)
+	if err != nil || !found {
+		t.Fatalf("Page(%#x) = found=%v err=%v, want found", v, found, err)
+	}
+	full := make([]byte, addr.PageSize)
+	copy(full, data)
+	wfull := make([]byte, addr.PageSize)
+	copy(wfull, want)
+	if !bytes.Equal(full, wfull) {
+		t.Fatalf("Page(%#x) content mismatch", v)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.ckpt")
+	pages := map[uint64][]byte{}
+	// Enough pages for several chunks, with mixed full/trimmed/zero
+	// content and a gap in the address range.
+	for i := 0; i < 150; i++ {
+		v := uint64(0x10000000) + uint64(i)*addr.PageSize
+		if i >= 70 && i < 90 {
+			v += 1 << 30 // second region far away
+		}
+		switch i % 3 {
+		case 0:
+			pages[v] = testPage(i)
+		case 1:
+			pages[v] = testPage(-i - 1)
+		default:
+			pages[v] = nil // explicit zero record
+		}
+	}
+	opt := WriterOptions{
+		SnapID: snapIDFrom(1),
+		VMAs:   []VMARec{{Start: 0x10000000, Size: 256 * addr.PageSize, Prot: 3, Flags: 1}},
+	}
+	stats := writeSnapshot(t, path, opt, pages)
+	if stats.Pages != 150 {
+		t.Fatalf("stats.Pages = %d, want 150", stats.Pages)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind after commit")
+	}
+
+	s, err := Open(path, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.SnapID() != opt.SnapID {
+		t.Fatalf("snapID mismatch")
+	}
+	if got := s.VMAs(); len(got) != 1 || got[0] != opt.VMAs[0] {
+		t.Fatalf("VMAs = %+v", got)
+	}
+	if s.Pages() != 150 || s.ChainLen() != 1 {
+		t.Fatalf("pages=%d chain=%d", s.Pages(), s.ChainLen())
+	}
+	for v, data := range pages {
+		wantPage(t, s, v, data)
+	}
+	if _, found, err := s.Page(0xdead000); found || err != nil {
+		t.Fatalf("unrecorded page: found=%v err=%v", found, err)
+	}
+	if vs, err := s.Verify(); err != nil || vs.Pages != 150 {
+		t.Fatalf("Verify = %+v, %v", vs, err)
+	}
+	if s.Degraded() {
+		t.Fatal("healthy snapshot reports degraded")
+	}
+}
+
+func TestAbortLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.ckpt")
+	w, err := NewWriter(path, WriterOptions{SnapID: snapIDFrom(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddPage(0x1000, testPage(1)); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	for _, p := range []string{path, path + ".tmp"} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("%s exists after abort", p)
+		}
+	}
+}
+
+func TestInjectedWriteErrorCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.ckpt")
+	fp := failpoint.New(1)
+	if err := fp.Set(failpoint.CkptWrite, "every:1"); err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(path, WriterOptions{SnapID: snapIDFrom(1), Env: Env{Fail: fp}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < PagesPerChunk-1; i++ {
+		if err := w.AddPage(uint64(i+1)*addr.PageSize, testPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The chunk flushes inside Commit and hits the failpoint.
+	_, err = w.Commit()
+	if !errors.Is(err, ErrIO) {
+		t.Fatalf("commit err = %v, want ErrIO", err)
+	}
+	for _, p := range []string{path, path + ".tmp"} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("%s exists after injected write failure", p)
+		}
+	}
+}
+
+// TestCrashMidChunkLeavesTornTemp simulates the writer dying mid-chunk:
+// the temp file exists but has no commit record, and must be rejected.
+func TestCrashMidChunkLeavesTornTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.ckpt")
+	fp := failpoint.New(1)
+	if err := fp.Set(failpoint.CkptWrite, "once"); err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(path, WriterOptions{SnapID: snapIDFrom(1), Env: Env{Fail: fp}, CrashOnInject: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cerr error
+	for i := 0; i < 2*PagesPerChunk && cerr == nil; i++ {
+		cerr = w.AddPage(uint64(i+1)*addr.PageSize, testPage(i))
+	}
+	if cerr == nil {
+		_, cerr = w.Commit()
+	}
+	if !errors.Is(cerr, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", cerr)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("target path exists after crash")
+	}
+	if _, err := os.Stat(path + ".tmp"); err != nil {
+		t.Fatal("crash left no temp file to fsck")
+	}
+	if _, err := Open(path+".tmp", Env{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open(torn temp) err = %v, want ErrCorrupt", err)
+	}
+	rep := Fsck(path+".tmp", Env{})
+	if rep.Restorable || rep.Err == "" {
+		t.Fatalf("fsck of torn temp = %+v, want rejected with reason", rep)
+	}
+}
+
+// TestCrashBeforeFsyncLeavesCompleteTemp simulates dying between the
+// final write and the fsync: the temp file happens to be complete, so
+// fsck classifies it restorable (and restoring it is safe).
+func TestCrashBeforeFsyncLeavesCompleteTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.ckpt")
+	fp := failpoint.New(1)
+	if err := fp.Set(failpoint.CkptFsync, "once"); err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(path, WriterOptions{SnapID: snapIDFrom(1), Env: Env{Fail: fp}, CrashOnInject: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddPage(0x1000, testPage(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Commit(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("commit err = %v, want ErrCrashed", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("target path exists after crash")
+	}
+	rep := Fsck(path+".tmp", Env{})
+	if !rep.Restorable {
+		t.Fatalf("fsck of complete temp = %+v, want restorable", rep)
+	}
+	s, err := Open(path+".tmp", Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	wantPage(t, s, 0x1000, testPage(7))
+}
+
+// TestSilentCorruptionCaught arms ckpt.corrupt: the commit succeeds but
+// a chunk byte was flipped on disk. Open succeeds (the footer is fine);
+// the damage must surface as ErrCorrupt at page-fault and Verify time.
+func TestSilentCorruptionCaught(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.ckpt")
+	fp := failpoint.New(1)
+	if err := fp.Set(failpoint.CkptCorrupt, "every:1"); err != nil {
+		t.Fatal(err)
+	}
+	met := metrics.New()
+	w, err := NewWriter(path, WriterOptions{SnapID: snapIDFrom(1), Env: Env{Fail: fp, Met: met}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddPage(0x1000, testPage(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Commit(); err != nil {
+		t.Fatalf("corrupt injection must not fail the commit: %v", err)
+	}
+	s, err := Open(path, Env{Met: met})
+	if err != nil {
+		t.Fatalf("Open must succeed (footer intact): %v", err)
+	}
+	defer s.Close()
+	if _, _, err := s.Page(0x1000); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Page on corrupted chunk err = %v, want ErrCorrupt", err)
+	}
+	if _, err := s.Verify(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Verify err = %v, want ErrCorrupt", err)
+	}
+	if got := met.Snapshot().Ckpt.Corruptions; got == 0 {
+		t.Fatal("corruption counter not incremented")
+	}
+	rep := Fsck(path, Env{})
+	if rep.Restorable {
+		t.Fatal("fsck restored a silently corrupted file")
+	}
+}
+
+// TestTruncationRejected chops a committed file at every interesting
+// boundary; Open must reject each remnant, never succeed.
+func TestTruncationRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.ckpt")
+	pages := map[uint64][]byte{}
+	for i := 0; i < 100; i++ {
+		pages[uint64(i+1)*addr.PageSize] = testPage(i)
+	}
+	writeSnapshot(t, path, WriterOptions{SnapID: snapIDFrom(1)}, pages)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 4, len(Magic), len(full) / 2, len(full) - commitLen, len(full) - 1} {
+		p := filepath.Join(dir, "cut.ckpt")
+		if err := os.WriteFile(p, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if s, err := Open(p, Env{}); err == nil {
+			s.Close()
+			t.Fatalf("Open accepted file truncated to %d bytes", cut)
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrIO) {
+			t.Fatalf("truncated to %d: err = %v, want ErrCorrupt/ErrIO", cut, err)
+		}
+	}
+}
+
+// TestBitFlipsRejected flips individual bytes across a committed file:
+// every mutation must be rejected at open, verify, or page-read time —
+// never a silent wrong-content success.
+func TestBitFlipsRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.ckpt")
+	pages := map[uint64][]byte{}
+	for i := 0; i < 64; i++ {
+		pages[uint64(i+1)*addr.PageSize] = testPage(i)
+	}
+	writeSnapshot(t, path, WriterOptions{SnapID: snapIDFrom(1)}, pages)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := len(full)/37 + 1
+	for pos := 0; pos < len(full); pos += step {
+		mut := append([]byte(nil), full...)
+		mut[pos] ^= 0x41
+		p := filepath.Join(dir, "mut.ckpt")
+		if err := os.WriteFile(p, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(p, Env{})
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrIO) {
+				t.Fatalf("flip at %d: open err = %v", pos, err)
+			}
+			continue
+		}
+		// Open passed: the flip must be caught by Verify (chunk CRC).
+		if _, err := s.Verify(); !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrIO) {
+			t.Fatalf("flip at %d survived open and verify (err=%v)", pos, err)
+		}
+		s.Close()
+	}
+}
+
+// TestIncrementalChain writes parent + child and checks newest-wins
+// lookup, tombstone shadowing, and chain metadata.
+func TestIncrementalChain(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.ckpt")
+	inc := filepath.Join(dir, "inc.ckpt")
+	const (
+		vA = 0x1000 // diverged in child
+		vB = 0x2000 // zeroed in child (tombstone)
+		vC = 0x3000 // untouched, served by parent
+	)
+	writeSnapshot(t, base, WriterOptions{SnapID: snapIDFrom(1)}, map[uint64][]byte{
+		vA: testPage(1), vB: testPage(2), vC: testPage(3),
+	})
+	w, err := NewWriter(inc, WriterOptions{
+		SnapID:    snapIDFrom(2),
+		ParentID:  snapIDFrom(1),
+		ParentRef: "base.ckpt",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddPage(vA, testPage(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddPage(vB, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenChain(inc, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.ChainLen() != 2 || s.Parent() == nil || s.ParentRef() != "base.ckpt" {
+		t.Fatalf("chain metadata: len=%d parent=%v ref=%q", s.ChainLen(), s.Parent(), s.ParentRef())
+	}
+	wantPage(t, s, vA, testPage(9)) // child shadows parent
+	wantPage(t, s, vB, nil)         // tombstone shadows parent content
+	wantPage(t, s, vC, testPage(3)) // parent serves untouched page
+}
+
+// TestChainValidation rejects a parent whose snapID does not match the
+// child's recorded parentID — a swapped or regenerated parent file.
+func TestChainValidation(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.ckpt")
+	inc := filepath.Join(dir, "inc.ckpt")
+	writeSnapshot(t, base, WriterOptions{SnapID: snapIDFrom(7)}, map[uint64][]byte{0x1000: testPage(1)})
+	writeSnapshot(t, inc, WriterOptions{
+		SnapID:    snapIDFrom(2),
+		ParentID:  snapIDFrom(1), // does not match base's snapID 7
+		ParentRef: "base.ckpt",
+	}, map[uint64][]byte{0x2000: testPage(2)})
+	if _, err := OpenChain(inc, Env{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("OpenChain with wrong parent id err = %v, want ErrCorrupt", err)
+	}
+	// A missing parent is also fatal.
+	os.Remove(base)
+	if _, err := OpenChain(inc, Env{}); err == nil {
+		t.Fatal("OpenChain with missing parent succeeded")
+	}
+}
+
+// TestReadRetryThenSuccess arms ckpt.read once: the first chunk read
+// fails, the retry succeeds transparently, and the retry counter moves.
+func TestReadRetryThenSuccess(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.ckpt")
+	writeSnapshot(t, path, WriterOptions{SnapID: snapIDFrom(1)}, map[uint64][]byte{0x1000: testPage(1)})
+	fp := failpoint.New(1)
+	if err := fp.Set(failpoint.CkptRead, "once"); err != nil {
+		t.Fatal(err)
+	}
+	met := metrics.New()
+	s, err := Open(path, Env{Fail: fp, Met: met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	wantPage(t, s, 0x1000, testPage(1))
+	snap := met.Snapshot()
+	if snap.Ckpt.ReadRetries != 1 || snap.Ckpt.ReadErrors != 0 {
+		t.Fatalf("retries=%d errors=%d, want 1/0", snap.Ckpt.ReadRetries, snap.Ckpt.ReadErrors)
+	}
+	if s.Degraded() {
+		t.Fatal("recovered snapshot latched degraded")
+	}
+}
+
+// TestReadExhaustionDegrades arms ckpt.read every:1: all attempts fail,
+// the page read reports ErrIO, and the snapshot latches degraded.
+func TestReadExhaustionDegrades(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.ckpt")
+	writeSnapshot(t, path, WriterOptions{SnapID: snapIDFrom(1)}, map[uint64][]byte{0x1000: testPage(1)})
+	fp := failpoint.New(1)
+	if err := fp.Set(failpoint.CkptRead, "every:1"); err != nil {
+		t.Fatal(err)
+	}
+	met := metrics.New()
+	s, err := Open(path, Env{Fail: fp, Met: met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, _, err := s.Page(0x1000); !errors.Is(err, ErrIO) {
+		t.Fatalf("Page err = %v, want ErrIO", err)
+	}
+	if !s.Degraded() {
+		t.Fatal("snapshot not degraded after retry exhaustion")
+	}
+	snap := met.Snapshot()
+	if snap.Ckpt.ReadErrors != 1 || snap.Ckpt.Degrades != 1 {
+		t.Fatalf("errors=%d degrades=%d, want 1/1", snap.Ckpt.ReadErrors, snap.Ckpt.Degrades)
+	}
+	// The latch is one-shot.
+	if _, _, err := s.Page(0x1000); !errors.Is(err, ErrIO) {
+		t.Fatal("second read did not fail")
+	}
+	if got := met.Snapshot().Ckpt.Degrades; got != 1 {
+		t.Fatalf("degrades = %d after second failure, want latched 1", got)
+	}
+}
+
+// TestFsckDir classifies a mixed directory: a good file, a torn temp,
+// and a corrupted file — every candidate gets exactly one verdict.
+func TestFsckDir(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.ckpt")
+	writeSnapshot(t, good, WriterOptions{SnapID: snapIDFrom(1)}, map[uint64][]byte{0x1000: testPage(1)})
+	if err := os.WriteFile(filepath.Join(dir, "torn.ckpt.tmp"), []byte(Magic+"garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.ckpt")
+	full, _ := os.ReadFile(good)
+	mut := append([]byte(nil), full...)
+	mut[len(Magic)+2] ^= 0xFF // inside the first chunk
+	if err := os.WriteFile(bad, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reps, err := FsckDir(dir, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 {
+		t.Fatalf("fsck found %d candidates, want 3", len(reps))
+	}
+	verdicts := map[string]bool{}
+	for _, r := range reps {
+		if r.Restorable == (r.Err != "") {
+			t.Fatalf("ambiguous verdict: %+v", r)
+		}
+		verdicts[filepath.Base(r.Path)] = r.Restorable
+	}
+	if !verdicts["good.ckpt"] || verdicts["bad.ckpt"] || verdicts["torn.ckpt.tmp"] {
+		t.Fatalf("verdicts = %v", verdicts)
+	}
+}
+
+// TestWriterArgumentValidation pins the AddPage contract.
+func TestWriterArgumentValidation(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(filepath.Join(dir, "a.ckpt"), WriterOptions{SnapID: snapIDFrom(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Abort()
+	if err := w.AddPage(0x1001, testPage(1)); err == nil {
+		t.Fatal("unaligned vaddr accepted")
+	}
+	if err := w.AddPage(0x2000, testPage(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddPage(0x2000, testPage(2)); err == nil {
+		t.Fatal("duplicate vaddr accepted")
+	}
+	if err := w.AddPage(0x1000, testPage(2)); err == nil {
+		t.Fatal("descending vaddr accepted")
+	}
+	if err := w.AddPage(0x3000, make([]byte, addr.PageSize+1)); err == nil {
+		t.Fatal("oversized page accepted")
+	}
+}
+
+// TestEmptyIncremental: an incremental checkpoint with zero diverged
+// pages is a legal, restorable file that defers entirely to its parent.
+func TestEmptyIncremental(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.ckpt")
+	inc := filepath.Join(dir, "inc.ckpt")
+	writeSnapshot(t, base, WriterOptions{SnapID: snapIDFrom(1)}, map[uint64][]byte{0x1000: testPage(1)})
+	writeSnapshot(t, inc, WriterOptions{
+		SnapID: snapIDFrom(2), ParentID: snapIDFrom(1), ParentRef: "base.ckpt",
+	}, nil)
+	s, err := OpenChain(inc, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	wantPage(t, s, 0x1000, testPage(1))
+	if rep := Fsck(inc, Env{}); !rep.Restorable {
+		t.Fatalf("empty incremental rejected: %+v", rep)
+	}
+}

@@ -1,0 +1,21 @@
+package ckpt
+
+import (
+	"repro/internal/failpoint"
+	"repro/internal/metrics"
+)
+
+// Env carries the cross-cutting hooks a writer or snapshot charges:
+// the failpoint registry (write/fsync/read injection), the metrics
+// registry (ckpt.* counters), and the tenant the work is attributed to
+// for scoped injection. The zero Env is valid — every field is
+// nil-safe, matching the allocator/reclaim convention.
+type Env struct {
+	Fail   *failpoint.Registry
+	Met    *metrics.Registry
+	Tenant uint64
+}
+
+func (e Env) fire(name string) bool {
+	return e.Fail.Enabled() && e.Fail.FireAs(name, e.Tenant)
+}

@@ -1,0 +1,234 @@
+// Package ckpt is the durable checkpoint subsystem: a chunked,
+// compressed, CRC-protected on-disk snapshot format for a process's
+// memory, written atomically (temp + fsync + rename) and restored
+// lazily — pages fault in from the file on first touch, the
+// fork-from-disk analogue of the COW fault machinery.
+//
+// File layout (all integers little-endian):
+//
+//	magic "ODFCKPT1"                                    8 bytes
+//	chunk 0 .. chunk N-1      flate-compressed page-record groups
+//	footer                    index + identity, CRC-protected
+//	commit record             footerOff u64 | footerLen u32 |
+//	                          footerCRC u32 | "ODFCMT1\n"   24 bytes
+//
+// The commit record is the last thing written before fsync+rename, so
+// a reader that finds it intact (magic + footer CRC) knows the footer
+// is complete, and the footer's per-chunk CRC32s vouch for every page
+// byte — verified lazily at fault time, or eagerly by Verify. A
+// crashed writer leaves either the old file or a temp file that fsck
+// classifies: rejected when the commit record or any CRC is missing or
+// wrong, restorable when the crash happened after the last write but
+// before the rename.
+//
+// Chunk payload, before compression:
+//
+//	u32 count
+//	count × u64 vaddr         ascending, page-aligned
+//	count × u16 tlen          significant prefix length (0 = explicit
+//	                          zero page; the record still shadows any
+//	                          parent-snapshot content at that address)
+//	concatenated page prefixes (tlen bytes each)
+//
+// Incremental snapshots record only the pages diverged from a parent
+// snapshot and name that parent (file name + snapshot id) in the
+// footer; OpenChain resolves and validates the chain.
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/mem/addr"
+)
+
+const (
+	// Magic opens every checkpoint file.
+	Magic = "ODFCKPT1"
+	// commitMagic closes every committed checkpoint file.
+	commitMagic = "ODFCMT1\n"
+	// FormatVersion is written to the footer; readers reject others.
+	FormatVersion = 1
+	// PagesPerChunk bounds one chunk's page-record count. 64 pages
+	// (256 KiB of payload) keeps a fault-time chunk load small while
+	// amortizing compression and CRC over many pages.
+	PagesPerChunk = 64
+	// commitLen is the fixed size of the trailing commit record.
+	commitLen = 8 + 4 + 4 + 8
+	// maxChainDepth bounds incremental-parent resolution so a cyclic
+	// or absurdly long chain is rejected instead of looping.
+	maxChainDepth = 64
+)
+
+// VMARec describes one mapped region in the footer's VMA table —
+// enough to rebuild the address-space layout at restore.
+type VMARec struct {
+	Start uint64
+	Size  uint64
+	Prot  uint8
+	Flags uint8
+}
+
+// chunkRef is one footer index entry describing a written chunk.
+type chunkRef struct {
+	off    uint64 // file offset of the compressed chunk
+	clen   uint32 // compressed length
+	ulen   uint32 // uncompressed payload length
+	crc    uint32 // CRC32 (IEEE) over the compressed bytes
+	count  uint32 // page records in the chunk
+	firstV uint64 // lowest vaddr in the chunk
+	lastV  uint64 // highest vaddr in the chunk
+}
+
+// footer is the decoded footer block.
+type footer struct {
+	version    uint32
+	snapID     [16]byte
+	parentID   [16]byte
+	parentRef  string // parent snapshot's file name (same directory)
+	vmas       []VMARec
+	totalPages uint64
+	chunks     []chunkRef
+}
+
+func (ft *footer) encode() []byte {
+	var b []byte
+	b = binary.LittleEndian.AppendUint32(b, ft.version)
+	b = append(b, ft.snapID[:]...)
+	b = append(b, ft.parentID[:]...)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(ft.parentRef)))
+	b = append(b, ft.parentRef...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(ft.vmas)))
+	for _, v := range ft.vmas {
+		b = binary.LittleEndian.AppendUint64(b, v.Start)
+		b = binary.LittleEndian.AppendUint64(b, v.Size)
+		b = append(b, v.Prot, v.Flags)
+	}
+	b = binary.LittleEndian.AppendUint64(b, ft.totalPages)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(ft.chunks)))
+	for _, c := range ft.chunks {
+		b = binary.LittleEndian.AppendUint64(b, c.off)
+		b = binary.LittleEndian.AppendUint32(b, c.clen)
+		b = binary.LittleEndian.AppendUint32(b, c.ulen)
+		b = binary.LittleEndian.AppendUint32(b, c.crc)
+		b = binary.LittleEndian.AppendUint32(b, c.count)
+		b = binary.LittleEndian.AppendUint64(b, c.firstV)
+		b = binary.LittleEndian.AppendUint64(b, c.lastV)
+	}
+	return b
+}
+
+// cursor is a bounds-checked little-endian reader: decode paths must
+// reject malformed footers, never slice out of range.
+type cursor struct {
+	b   []byte
+	off int
+	err bool
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err || n < 0 || len(c.b)-c.off < n {
+		c.err = true
+		return nil
+	}
+	s := c.b[c.off : c.off+n]
+	c.off += n
+	return s
+}
+
+func (c *cursor) u16() uint16 {
+	if s := c.take(2); s != nil {
+		return binary.LittleEndian.Uint16(s)
+	}
+	return 0
+}
+
+func (c *cursor) u32() uint32 {
+	if s := c.take(4); s != nil {
+		return binary.LittleEndian.Uint32(s)
+	}
+	return 0
+}
+
+func (c *cursor) u64() uint64 {
+	if s := c.take(8); s != nil {
+		return binary.LittleEndian.Uint64(s)
+	}
+	return 0
+}
+
+// decodeFooter parses and sanity-checks a footer block. dataEnd is the
+// file offset where chunk data must end (the footer's own offset).
+func decodeFooter(b []byte, dataEnd uint64) (*footer, error) {
+	c := &cursor{b: b}
+	ft := &footer{}
+	ft.version = c.u32()
+	copy(ft.snapID[:], c.take(16))
+	copy(ft.parentID[:], c.take(16))
+	ft.parentRef = string(c.take(int(c.u16())))
+	nv := c.u32()
+	if nv > 1<<20 {
+		return nil, fmt.Errorf("%w: absurd VMA count %d", ErrCorrupt, nv)
+	}
+	for i := uint32(0); i < nv && !c.err; i++ {
+		var v VMARec
+		v.Start = c.u64()
+		v.Size = c.u64()
+		pf := c.take(2)
+		if pf != nil {
+			v.Prot, v.Flags = pf[0], pf[1]
+		}
+		ft.vmas = append(ft.vmas, v)
+	}
+	ft.totalPages = c.u64()
+	nc := c.u32()
+	if nc > 1<<28 {
+		return nil, fmt.Errorf("%w: absurd chunk count %d", ErrCorrupt, nc)
+	}
+	for i := uint32(0); i < nc && !c.err; i++ {
+		var ch chunkRef
+		ch.off = c.u64()
+		ch.clen = c.u32()
+		ch.ulen = c.u32()
+		ch.crc = c.u32()
+		ch.count = c.u32()
+		ch.firstV = c.u64()
+		ch.lastV = c.u64()
+		ft.chunks = append(ft.chunks, ch)
+	}
+	if c.err || c.off != len(b) {
+		return nil, fmt.Errorf("%w: malformed footer", ErrCorrupt)
+	}
+	if ft.version != FormatVersion {
+		return nil, fmt.Errorf("%w: unsupported format version %d", ErrCorrupt, ft.version)
+	}
+	maxUlen := uint32(4 + PagesPerChunk*(8+2+addr.PageSize))
+	prevLast := uint64(0)
+	for i, ch := range ft.chunks {
+		if ch.count == 0 || ch.count > PagesPerChunk {
+			return nil, fmt.Errorf("%w: chunk %d: bad page count %d", ErrCorrupt, i, ch.count)
+		}
+		if ch.ulen > maxUlen {
+			return nil, fmt.Errorf("%w: chunk %d: absurd payload length %d", ErrCorrupt, i, ch.ulen)
+		}
+		if ch.off < uint64(len(Magic)) || ch.off+uint64(ch.clen) > dataEnd || ch.off+uint64(ch.clen) < ch.off {
+			return nil, fmt.Errorf("%w: chunk %d: out-of-bounds extent [%d,+%d)", ErrCorrupt, i, ch.off, ch.clen)
+		}
+		if ch.firstV > ch.lastV {
+			return nil, fmt.Errorf("%w: chunk %d: inverted vaddr range", ErrCorrupt, i)
+		}
+		if i > 0 && ch.firstV <= prevLast {
+			return nil, fmt.Errorf("%w: chunk %d: vaddr range overlaps predecessor", ErrCorrupt, i)
+		}
+		prevLast = ch.lastV
+	}
+	for i, v := range ft.vmas {
+		if v.Start%addr.PageSize != 0 || v.Size == 0 || v.Size%addr.PageSize != 0 {
+			return nil, fmt.Errorf("%w: VMA %d: unaligned extent", ErrCorrupt, i)
+		}
+		if v.Start+v.Size < v.Start {
+			return nil, fmt.Errorf("%w: VMA %d: extent wraps", ErrCorrupt, i)
+		}
+	}
+	return ft, nil
+}

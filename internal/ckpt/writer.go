@@ -1,0 +1,287 @@
+package ckpt
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/failpoint"
+	"repro/internal/mem/addr"
+)
+
+// WriterOptions configure one snapshot write.
+type WriterOptions struct {
+	// SnapID is this snapshot's identity, recorded in the footer and
+	// checked by children that chain to it.
+	SnapID [16]byte
+	// ParentID/ParentRef name the parent snapshot for an incremental
+	// checkpoint: ParentRef is the parent's file name (resolved in the
+	// same directory at open), ParentID its footer snapID. Zero/empty
+	// for a full snapshot.
+	ParentID  [16]byte
+	ParentRef string
+	// VMAs is the process's mapping table at capture time.
+	VMAs []VMARec
+	// Env carries failpoint/metrics hooks.
+	Env Env
+	// CrashOnInject makes write/fsync failpoint hits simulate the
+	// writer being killed: the temp file is left exactly as written so
+	// far (possibly torn mid-chunk) and the writer returns ErrCrashed.
+	// Without it an injected failure cleans up the temp file and
+	// returns ErrIO, like any real write error.
+	CrashOnInject bool
+}
+
+// CommitStats reports what a committed snapshot contains.
+type CommitStats struct {
+	Pages  uint64 // page records written (incl. explicit-zero records)
+	Bytes  uint64 // final file size
+	Chunks int
+}
+
+// Writer streams page records into a temp file and commits atomically:
+// chunks, footer, and commit record are written to <path>.tmp, fsynced,
+// and renamed over path. Any failure before the rename leaves either
+// nothing (errors clean up) or a torn temp file (simulated crashes) —
+// never a half-written file at the target path.
+type Writer struct {
+	path, tmp string
+	f         *os.File
+	opt       WriterOptions
+	off       uint64
+	// current chunk accumulators
+	vaddrs []uint64
+	tlens  []uint16
+	data   []byte
+	chunks []chunkRef
+	pages  uint64
+	done   bool // committed, aborted, or crashed: file handle settled
+}
+
+// NewWriter starts a snapshot at path. The temp file is created
+// immediately so a crash at any later point is confined to <path>.tmp.
+func NewWriter(path string, opt WriterOptions) (*Writer, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: create %s: %w", tmp, ErrIO)
+	}
+	w := &Writer{path: path, tmp: tmp, f: f, opt: opt}
+	if _, err := f.Write([]byte(Magic)); err != nil {
+		return nil, w.ioFail("write magic", err)
+	}
+	w.off = uint64(len(Magic))
+	return w, nil
+}
+
+// AddPage appends one page record. v must be page-aligned and strictly
+// greater than every previously added vaddr (the capture walks in
+// address order). data is the page's content — it may be nil or
+// all-zero, in which case an explicit zero record is written: at
+// restore the address reads as zeroes even if a parent snapshot in the
+// chain holds older content for it. Trailing zero bytes are trimmed.
+func (w *Writer) AddPage(v uint64, data []byte) error {
+	if w.done {
+		return fmt.Errorf("ckpt: writer already finished: %w", ErrIO)
+	}
+	if v%addr.PageSize != 0 {
+		return fmt.Errorf("ckpt: unaligned page vaddr %#x", v)
+	}
+	if n := len(w.vaddrs); n > 0 && v <= w.vaddrs[n-1] {
+		return fmt.Errorf("ckpt: page vaddr %#x not ascending", v)
+	}
+	if len(data) > addr.PageSize {
+		return fmt.Errorf("ckpt: page data %d bytes exceeds page size", len(data))
+	}
+	tlen := len(data)
+	for tlen > 0 && data[tlen-1] == 0 {
+		tlen--
+	}
+	w.vaddrs = append(w.vaddrs, v)
+	w.tlens = append(w.tlens, uint16(tlen))
+	w.data = append(w.data, data[:tlen]...)
+	w.pages++
+	if len(w.vaddrs) >= PagesPerChunk {
+		return w.flushChunk()
+	}
+	return nil
+}
+
+// flushChunk compresses and writes the accumulated page records as one
+// chunk, recording its index entry.
+func (w *Writer) flushChunk() error {
+	if len(w.vaddrs) == 0 {
+		return nil
+	}
+	payload := make([]byte, 0, 4+len(w.vaddrs)*10+len(w.data))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(w.vaddrs)))
+	for _, v := range w.vaddrs {
+		payload = binary.LittleEndian.AppendUint64(payload, v)
+	}
+	for _, t := range w.tlens {
+		payload = binary.LittleEndian.AppendUint16(payload, t)
+	}
+	payload = append(payload, w.data...)
+
+	var cb bytes.Buffer
+	fw, err := flate.NewWriter(&cb, flate.BestSpeed)
+	if err != nil {
+		return w.ioFail("compressor", err)
+	}
+	if _, err := fw.Write(payload); err != nil {
+		return w.ioFail("compress chunk", err)
+	}
+	if err := fw.Close(); err != nil {
+		return w.ioFail("compress chunk", err)
+	}
+	comp := cb.Bytes()
+
+	if w.opt.Env.fire(failpoint.CkptWrite) {
+		if w.opt.CrashOnInject {
+			// Die mid-write: half the chunk reaches the disk, the
+			// index entry never does — a torn temp file.
+			w.f.Write(comp[:len(comp)/2])
+			return w.crash("chunk write")
+		}
+		return w.ioFail("chunk write", fmt.Errorf("injected"))
+	}
+	if _, err := w.f.Write(comp); err != nil {
+		return w.ioFail("chunk write", err)
+	}
+	w.chunks = append(w.chunks, chunkRef{
+		off:    w.off,
+		clen:   uint32(len(comp)),
+		ulen:   uint32(len(payload)),
+		crc:    crc32.ChecksumIEEE(comp),
+		count:  uint32(len(w.vaddrs)),
+		firstV: w.vaddrs[0],
+		lastV:  w.vaddrs[len(w.vaddrs)-1],
+	})
+	w.off += uint64(len(comp))
+	w.vaddrs = w.vaddrs[:0]
+	w.tlens = w.tlens[:0]
+	w.data = w.data[:0]
+	return nil
+}
+
+// Commit flushes the last chunk, writes footer and commit record,
+// fsyncs, and renames the temp file over the target path. On success
+// the snapshot is durable: a crash at any earlier point leaves no file
+// at the target path (or the previous snapshot, untouched).
+func (w *Writer) Commit() (CommitStats, error) {
+	if w.done {
+		return CommitStats{}, fmt.Errorf("ckpt: writer already finished: %w", ErrIO)
+	}
+	if err := w.flushChunk(); err != nil {
+		return CommitStats{}, err
+	}
+
+	// ckpt.corrupt simulates post-write media corruption: a byte of an
+	// already-written chunk is flipped on disk while the index keeps
+	// the CRC of the original bytes. The commit itself succeeds — the
+	// point is that the mismatch must be caught at fault/verify time,
+	// never silently restored.
+	if len(w.chunks) > 0 && w.opt.Env.fire(failpoint.CkptCorrupt) {
+		ch := w.chunks[len(w.chunks)-1]
+		poke := int64(ch.off) + int64(ch.clen)/2
+		var b [1]byte
+		if _, err := w.f.ReadAt(b[:], poke); err == nil {
+			b[0] ^= 0xDE
+			if _, err := w.f.WriteAt(b[:], poke); err != nil {
+				return CommitStats{}, w.ioFail("corrupt injection", err)
+			}
+		}
+	}
+
+	ft := footer{
+		version:    FormatVersion,
+		snapID:     w.opt.SnapID,
+		parentID:   w.opt.ParentID,
+		parentRef:  w.opt.ParentRef,
+		vmas:       w.opt.VMAs,
+		totalPages: w.pages,
+		chunks:     w.chunks,
+	}
+	fb := ft.encode()
+	if _, err := w.f.Write(fb); err != nil {
+		return CommitStats{}, w.ioFail("footer write", err)
+	}
+	var cr [commitLen]byte
+	binary.LittleEndian.PutUint64(cr[0:], w.off)
+	binary.LittleEndian.PutUint32(cr[8:], uint32(len(fb)))
+	binary.LittleEndian.PutUint32(cr[12:], crc32.ChecksumIEEE(fb))
+	copy(cr[16:], commitMagic)
+	if _, err := w.f.Write(cr[:]); err != nil {
+		return CommitStats{}, w.ioFail("commit write", err)
+	}
+
+	if w.opt.Env.fire(failpoint.CkptFsync) {
+		if w.opt.CrashOnInject {
+			// Die between the last write and the fsync: the temp file
+			// happens to be complete, but the rename never ran — the
+			// target path still shows the old snapshot or nothing.
+			return CommitStats{}, w.crash("fsync")
+		}
+		return CommitStats{}, w.ioFail("fsync", fmt.Errorf("injected"))
+	}
+	if err := w.f.Sync(); err != nil {
+		return CommitStats{}, w.ioFail("fsync", err)
+	}
+	size := w.off + uint64(len(fb)) + commitLen
+	if err := w.f.Close(); err != nil {
+		w.done = true
+		os.Remove(w.tmp)
+		return CommitStats{}, fmt.Errorf("ckpt: close: %v: %w", err, ErrIO)
+	}
+	if err := os.Rename(w.tmp, w.path); err != nil {
+		w.done = true
+		os.Remove(w.tmp)
+		return CommitStats{}, fmt.Errorf("ckpt: rename: %v: %w", err, ErrIO)
+	}
+	// Make the rename itself durable. Failure here is not fatal to the
+	// snapshot's integrity (the file content is already synced), so
+	// best effort.
+	if d, err := os.Open(filepath.Dir(w.path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	w.done = true
+	if m := w.opt.Env.Met; m.Enabled() {
+		m.Ckpt.Checkpoints.Inc()
+		m.Ckpt.PagesWritten.Add(w.pages)
+		m.Ckpt.BytesWritten.Add(size)
+	}
+	return CommitStats{Pages: w.pages, Bytes: size, Chunks: len(w.chunks)}, nil
+}
+
+// Abort discards the write and removes the temp file. Safe to call
+// after Commit or a failure (no-op then).
+func (w *Writer) Abort() {
+	if w.done {
+		return
+	}
+	w.done = true
+	w.f.Close()
+	os.Remove(w.tmp)
+}
+
+// ioFail settles the writer after a write-side failure: close, remove
+// the temp file, wrap in ErrIO.
+func (w *Writer) ioFail(op string, cause error) error {
+	w.done = true
+	w.f.Close()
+	os.Remove(w.tmp)
+	return fmt.Errorf("ckpt: %s: %v: %w", op, cause, ErrIO)
+}
+
+// crash settles the writer as a simulated kill: the temp file stays in
+// whatever state the writes so far left it.
+func (w *Writer) crash(op string) error {
+	w.done = true
+	w.f.Close()
+	return fmt.Errorf("ckpt: %s: %w", op, ErrCrashed)
+}

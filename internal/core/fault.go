@@ -333,7 +333,7 @@ func (as *AddressSpace) demandPageLocked(vma *vm.VMA, v addr.V) error {
 	}
 	leaf, li := as.ensurePrivateLeafLocked(v)
 	if e := leaf.Entry(li); !e.Present() && !e.Swapped() {
-		as.installPageLocked(vma, leaf, li, v)
+		return as.installPageLocked(vma, leaf, li, v)
 	}
 	return nil
 }

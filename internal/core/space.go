@@ -331,7 +331,13 @@ func (as *AddressSpace) Mmap(hint addr.V, size uint64, prot vm.Prot, flags vm.Ma
 		return 0, err
 	}
 	if flags&vm.MapPopulate != 0 {
-		as.populateLocked(vma, vma.Range)
+		if perr := as.populateLocked(vma, vma.Range); perr != nil {
+			// Unwind: drop the half-populated mapping so a failed
+			// MapPopulate leaves no trace of the VMA behind.
+			as.vmas.RemoveRange(vma.Range)
+			as.zapRangeLocked(vma.Range)
+			return 0, perr
+		}
 	}
 	return start, nil
 }
@@ -359,7 +365,7 @@ func (as *AddressSpace) findGapLocked(base addr.V, size uint64, flags vm.MapFlag
 // populateLocked backs every page of r (within vma) with a fresh frame.
 // Frames are materialized lazily by the phys layer, so this is a
 // metadata-only operation until the pages are written.
-func (as *AddressSpace) populateLocked(vma *vm.VMA, r addr.Range) {
+func (as *AddressSpace) populateLocked(vma *vm.VMA, r addr.Range) error {
 	if vma.Huge() {
 		for v := r.Start; v < r.End; v += addr.HugePageSize {
 			pmd, pi := as.ensurePrivatePMDLocked(v)
@@ -376,24 +382,39 @@ func (as *AddressSpace) populateLocked(vma *vm.VMA, r addr.Range) {
 				m.HugeMapped(head, pmd, pi, as)
 			}
 		}
-		return
+		return nil
 	}
 	for v := r.Start; v < r.End; v += addr.PageSize {
 		leaf, li := as.ensurePrivateLeafLocked(v)
 		if leaf.Entry(li).Present() {
 			continue
 		}
-		as.installPageLocked(vma, leaf, li, v)
+		if err := as.installPageLocked(vma, leaf, li, v); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // installPageLocked backs one 4 KiB page, copying file content for
-// file-backed VMAs.
-func (as *AddressSpace) installPageLocked(vma *vm.VMA, leaf *pagetable.Table, li int, v addr.V) {
+// file-backed VMAs. A fallible backing (a checkpoint image) can refuse
+// the read — corrupt chunk, exhausted I/O retries — in which case the
+// fresh frame is released and the error propagates out of the faulting
+// access, never leaving a silently zero-filled page behind.
+func (as *AddressSpace) installPageLocked(vma *vm.VMA, leaf *pagetable.Table, li int, v addr.V) error {
 	f := as.alloc.AllocFor(as.charger)
 	if vma.Backing != nil {
 		off := vma.FileOff + uint64(v.PageBase()-vma.Range.Start)
-		if src := vma.Backing.PageAt(off); src != nil {
+		if fb, ok := vma.Backing.(vm.FallibleBacking); ok {
+			src, err := fb.PageAtErr(off)
+			if err != nil {
+				as.alloc.Put(f)
+				return fmt.Errorf("core: page-in at %v from %s: %w", v, vma.Backing.BackingName(), err)
+			}
+			if src != nil {
+				copy(as.alloc.Data(f), src)
+			}
+		} else if src := vma.Backing.PageAt(off); src != nil {
 			copy(as.alloc.Data(f), src)
 		}
 	}
@@ -405,6 +426,7 @@ func (as *AddressSpace) installPageLocked(vma *vm.VMA, leaf *pagetable.Table, li
 	if m := as.trk(); m != nil {
 		m.PageMapped(f, leaf, li, as)
 	}
+	return nil
 }
 
 // Munmap removes all mappings in [start, start+size), tearing down page
@@ -883,4 +905,99 @@ func (as *AddressSpace) VisitPresentPages(fn func(v addr.V, data []byte) error) 
 		}
 	}
 	return nil
+}
+
+// Page identity classes for the incremental-checkpoint diff.
+const (
+	identityAbsent = iota // no frame, no swap entry
+	identityFrame         // present: identified by physical frame
+	identitySlot          // swapped out: identified by swap slot
+)
+
+// pageIdentity classifies what backs v right now. Frames are global to
+// the kernel's allocator, so two address spaces reporting the same
+// frame for the same address share one COW page — identical content by
+// construction. The same holds for a shared swap slot.
+func (as *AddressSpace) pageIdentity(v addr.V) (kind int, id uint64) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if tr, ok := as.w.Walk(v); ok {
+		return identityFrame, uint64(tr.Frame)
+	}
+	if leaf, li := as.w.FindPTE(v); leaf != nil {
+		if e := leaf.Entry(li); e.Swapped() {
+			return identitySlot, uint64(e.SwapSlot())
+		}
+	}
+	return identityAbsent, 0
+}
+
+// pageContent returns the logical content of v (nil = all zeroes),
+// reading swapped-out pages back through the swap store into swapBuf.
+func (as *AddressSpace) pageContent(v addr.V, swapBuf *[]byte) ([]byte, error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if tr, ok := as.w.Walk(v); ok {
+		return as.alloc.DataIfPresent(tr.Frame), nil
+	}
+	if as.rec != nil {
+		if leaf, li := as.w.FindPTE(v); leaf != nil {
+			if e := leaf.Entry(li); e.Swapped() {
+				slot := e.SwapSlot()
+				if slot == 0 {
+					return nil, nil
+				}
+				if *swapBuf == nil {
+					*swapBuf = make([]byte, addr.PageSize)
+				}
+				if err := as.rec.ReadSlot(slot, *swapBuf); err != nil {
+					return nil, fmt.Errorf("core: reading swapped page %v: %w", v, err)
+				}
+				return *swapBuf, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+// VisitDivergedPages calls fn for every page of the space whose content
+// may differ from base's view of the same address — the incremental-
+// checkpoint walk. The COW lineage makes the diff cheap: a page whose
+// physical frame (or swap slot) is the same in both spaces is a still-
+// shared COW page, so its content is identical by construction and the
+// page is skipped (counted in skipped). Diverged pages are delivered
+// with the space's logical content; nil data means the address now
+// reads as zeroes and must be recorded explicitly, because it may
+// shadow non-zero content in the parent snapshot. Only this space's
+// VMA ranges are walked: the restore maps this space's VMA table, so
+// addresses outside it can never be faulted in.
+func (as *AddressSpace) VisitDivergedPages(base *AddressSpace, fn func(v addr.V, data []byte) error) (skipped uint64, err error) {
+	as.mu.Lock()
+	vmas := make([]*vm.VMA, len(as.vmas.All()))
+	copy(vmas, as.vmas.All())
+	as.mu.Unlock()
+	var swapBuf []byte
+	for _, vma := range vmas {
+		for v := vma.Range.Start; v < vma.Range.End; v += addr.PageSize {
+			selfKind, selfID := as.pageIdentity(v)
+			baseKind, baseID := base.pageIdentity(v)
+			if selfKind == baseKind && selfID == baseID {
+				if selfKind != identityAbsent {
+					skipped++
+				}
+				continue
+			}
+			var data []byte
+			if selfKind != identityAbsent {
+				data, err = as.pageContent(v, &swapBuf)
+				if err != nil {
+					return skipped, err
+				}
+			}
+			if err := fn(v, data); err != nil {
+				return skipped, err
+			}
+		}
+	}
+	return skipped, nil
 }

@@ -57,6 +57,14 @@ func RenderFooter(d metrics.Snapshot, att *trace.Attribution) string {
 			r.InjectedFaults, r.ForkAborts, r.SwapReadRetries+r.SwapWriteRetries,
 			r.SwapReadErrors+r.SwapWriteErrors, r.SwapCorruptions, r.SwapDegrades, r.KswapdErrors)
 	}
+	// Likewise the checkpoint line: only runs that touched durable
+	// snapshots (write, restore, or fault-from-disk traffic) carry it.
+	if c := d.Ckpt; c.Checkpoints+c.Restores+c.PageIns+c.ReadRetries+
+		c.ReadErrors+c.Corruptions+c.Degrades > 0 {
+		fmt.Fprintf(&b, "checkpoints: written=%d (pages=%d skipped=%d) restores=%d page-ins=%d read-retries=%d read-errors=%d corruptions=%d degrades=%d\n",
+			c.Checkpoints, c.PagesWritten, c.PagesSkipped, c.Restores,
+			c.PageIns, c.ReadRetries, c.ReadErrors, c.Corruptions, c.Degrades)
+	}
 	if att != nil {
 		fmt.Fprintf(&b, "%s\n", att)
 	}

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -49,7 +50,24 @@ func fixtureDelta() metrics.Snapshot {
 	d.Robust.SwapCorruptions = 1
 	d.Robust.SwapDegrades = 1
 	d.Robust.KswapdErrors = 1
+	d.Ckpt.Checkpoints = 2
+	d.Ckpt.PagesWritten = 96
+	d.Ckpt.PagesSkipped = 1000
+	d.Ckpt.Restores = 1
+	d.Ckpt.PageIns = 48
+	d.Ckpt.ReadRetries = 2
+	d.Ckpt.Corruptions = 1
 	return d
+}
+
+// TestRenderFooterNoCkptLine checks a run with no durable-checkpoint
+// activity renders no checkpoints line — the healthy-footer contract.
+func TestRenderFooterNoCkptLine(t *testing.T) {
+	d := fixtureDelta()
+	d.Ckpt = metrics.CkptSnapshot{}
+	if got := RenderFooter(d, nil); strings.Contains(got, "checkpoints:") {
+		t.Errorf("footer without ckpt activity still renders a checkpoints line:\n%s", got)
+	}
 }
 
 // TestRenderFooterGolden pins the telemetry footer format, including

@@ -1,6 +1,7 @@
 // Package failpoint is a deterministic fault-injection registry for
 // the simulated kernel's fallible paths: frame allocation, shard
-// refill, the fork stages, fault resolution, and swap-store I/O.
+// refill, the fork stages, fault resolution, swap-store I/O, and
+// durable-checkpoint I/O.
 //
 // The design follows the trace-layer rule: when nothing is armed the
 // per-site cost is a single atomic load (plus the nil-safe pointer
@@ -44,6 +45,10 @@ const (
 	SwapFree        = "swap.free"         // swap-store Free needs retries
 	SwapCorrupt     = "swap.corrupt"      // swap-out records a poisoned checksum
 	KswapdPanic     = "kswapd.panic"      // kswapd balance pass panics
+	CkptWrite       = "ckpt.write"        // checkpoint chunk write fails with an I/O error
+	CkptFsync       = "ckpt.fsync"        // checkpoint fsync-before-rename fails
+	CkptRead        = "ckpt.read"         // checkpoint chunk read fails with an I/O error
+	CkptCorrupt     = "ckpt.corrupt"      // committed checkpoint bytes are flipped on disk
 )
 
 // catalog fixes the order used by indices, Status, and trace events.
@@ -53,6 +58,7 @@ var catalog = []string{
 	FaultTableCopy, FaultPMDSplit, FaultHugeCopy, FaultPageCopy,
 	SwapRead, SwapWrite, SwapFree, SwapCorrupt,
 	KswapdPanic,
+	CkptWrite, CkptFsync, CkptRead, CkptCorrupt,
 }
 
 // Catalog returns the full failpoint name list in index order.

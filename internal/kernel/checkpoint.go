@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 )
@@ -13,7 +14,13 @@ import (
 // the checkpoint is a frozen twin created in microseconds, and each
 // Spawn is another microsecond fork from the twin, unaffected by
 // whatever the original process did afterwards.
+//
+// Checkpoints are safe for concurrent use: Spawn and Release may race
+// from any number of goroutines, Release is idempotent, and a Spawn
+// that loses the race against Release fails cleanly instead of forking
+// from (or observing) a half-torn-down twin.
 type Checkpoint struct {
+	mu     sync.Mutex
 	frozen *Process
 }
 
@@ -31,8 +38,11 @@ func (p *Process) Checkpoint() (*Checkpoint, error) {
 const forkModeForCheckpoint = core.ForkOnDemand
 
 // Spawn creates a fresh process whose memory is exactly the
-// checkpointed state.
+// checkpointed state. The checkpoint's lock is held across the fork so
+// a concurrent Release cannot tear the twin down mid-copy.
 func (c *Checkpoint) Spawn() (*Process, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.frozen == nil || c.frozen.Exited() {
 		return nil, fmt.Errorf("kernel: checkpoint released")
 	}
@@ -40,10 +50,22 @@ func (c *Checkpoint) Spawn() (*Process, error) {
 }
 
 // Release frees the checkpoint's frozen state. Processes already
-// spawned from it are unaffected.
+// spawned from it are unaffected. Idempotent; safe to race with Spawn.
 func (c *Checkpoint) Release() {
-	if c.frozen != nil {
-		c.frozen.Exit()
-		c.frozen = nil
+	c.mu.Lock()
+	frozen := c.frozen
+	c.frozen = nil
+	c.mu.Unlock()
+	if frozen != nil {
+		frozen.Exit()
 	}
+}
+
+// frozenProcess returns the twin while holding the checkpoint open, or
+// nil after Release. Internal capture paths (durable checkpoints) use
+// it to walk the twin's memory.
+func (c *Checkpoint) frozenProcess() *Process {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.frozen
 }

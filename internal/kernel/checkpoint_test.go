@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/mem/addr"
@@ -58,6 +59,55 @@ func TestCheckpointReleasedSpawnFails(t *testing.T) {
 	cp.Release() // idempotent
 	if _, err := cp.Spawn(); err == nil {
 		t.Error("spawn from released checkpoint succeeded")
+	}
+}
+
+// TestCheckpointSpawnReleaseRace is the -race regression for the
+// Spawn/Release contract: any number of goroutines may race the two,
+// Release is idempotent, and a Spawn that loses the race fails cleanly
+// — never a fork from a half-torn-down twin. Every spawn that succeeds
+// must observe the exact checkpointed state.
+func TestCheckpointSpawnReleaseRace(t *testing.T) {
+	k := New()
+	p := k.NewProcess()
+	defer p.Exit()
+	base, err := p.Mmap(addr.PTECoverage, rw, vm.MapPrivate|vm.MapPopulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.StoreByte(base, 0xC1); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 16; round++ {
+		cp, err := p.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 4; i++ {
+					s, err := cp.Spawn()
+					if err != nil {
+						return // lost the race to Release: the clean outcome
+					}
+					if b, _ := s.LoadByte(base); b != 0xC1 {
+						t.Errorf("racing spawn saw %#x, want 0xC1", b)
+					}
+					s.Exit()
+				}
+			}()
+		}
+		wg.Add(2)
+		go func() { defer wg.Done(); cp.Release() }()
+		go func() { defer wg.Done(); cp.Release() }()
+		wg.Wait()
+		cp.Release() // after the dust settles: still idempotent
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,584 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/failpoint"
+	"repro/internal/mem/addr"
+	"repro/internal/mem/vm"
+	"repro/internal/tenant"
+)
+
+// fillRandom writes incompressible content to n pages starting at base,
+// returning the bytes written (page-majors, one slice per page).
+func fillRandom(t *testing.T, p *Process, base addr.V, n int, rng *rand.Rand) [][]byte {
+	t.Helper()
+	out := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		b := make([]byte, addr.PageSize)
+		rng.Read(b)
+		if err := p.WriteAt(b, base+addr.V(i)*addr.PageSize); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// TestCheckpointRestoreRoundTrip: capture a process with mixed content
+// (random pages, a zeroed page, untouched demand-zero pages, a huge
+// mapping), restore it in a fresh kernel, and compare every byte.
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "proc.ckpt")
+
+	k1 := New()
+	p := k1.NewProcess()
+	const pages = 40
+	base, err := p.Mmap(pages*addr.PageSize, rw, vm.MapPrivate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	content := fillRandom(t, p, base, 30, rng) // pages 30..39 stay untouched
+	// Page 3 written then zeroed: content diverged to all-zero.
+	zero := make([]byte, addr.PageSize)
+	if err := p.WriteAt(zero, base+3*addr.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	content[3] = zero
+	hbase, err := p.Mmap(addr.HugePageSize, rw, vm.MapPrivate|vm.MapHuge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.StoreByte(hbase+12345, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := p.CheckpointTo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Release()
+	if d.Pages() == 0 || d.Bytes() == 0 || d.Incremental() {
+		t.Fatalf("checkpoint stats: %+v", d)
+	}
+	p.Exit()
+
+	k2 := New()
+	r, err := k2.RestoreFrom(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, addr.PageSize)
+	for i := 0; i < 30; i++ {
+		if err := r.ReadAt(buf, base+addr.V(i)*addr.PageSize); err != nil {
+			t.Fatalf("read page %d: %v", i, err)
+		}
+		if !bytes.Equal(buf, content[i]) {
+			t.Fatalf("page %d content mismatch after restore", i)
+		}
+	}
+	// Untouched pages read as zeroes (no record; demand-zero).
+	if err := r.ReadAt(buf, base+35*addr.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, zero) {
+		t.Fatal("untouched page not zero after restore")
+	}
+	// Huge mapping content survives (restored as base pages).
+	if b, err := r.LoadByte(hbase + 12345); err != nil || b != 0xAB {
+		t.Fatalf("huge page byte = %#x, %v", b, err)
+	}
+	// The restored process is a normal process: it can fork and write.
+	c, err := r.Fork(WithMode(forkModeForCheckpoint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StoreByte(base, 0xEE); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := r.LoadByte(base); b == 0xEE {
+		t.Fatal("child write leaked into restored parent (COW broken)")
+	}
+	c.Exit()
+	if err := k2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := k2.MetricsSnapshot().Ckpt.Restores; got != 1 {
+		t.Fatalf("restores counter = %d", got)
+	}
+}
+
+// TestLazyRestorePageInCount pins laziness: restoring maps the file but
+// reads nothing; touching exactly 5 recorded pages pages in exactly 5.
+func TestLazyRestorePageInCount(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "proc.ckpt")
+	k1 := New()
+	p := k1.NewProcess()
+	base, err := p.Mmap(64*addr.PageSize, rw, vm.MapPrivate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRandom(t, p, base, 64, rand.New(rand.NewSource(7)))
+	if _, err := p.CheckpointTo(path); err != nil {
+		t.Fatal(err)
+	}
+
+	k2 := New()
+	r, err := k2.RestoreFrom(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := k2.MetricsSnapshot().Ckpt.PageIns; got != 0 {
+		t.Fatalf("%d pages read at restore time, want 0 (lazy)", got)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := r.LoadByte(base + addr.V(i*7)*addr.PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := k2.MetricsSnapshot().Ckpt.PageIns; got != 5 {
+		t.Fatalf("page-ins = %d after touching 5 pages, want 5", got)
+	}
+	// Re-touching faults nothing new: the pages are resident now.
+	for i := 0; i < 5; i++ {
+		if _, err := r.LoadByte(base + addr.V(i*7)*addr.PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := k2.MetricsSnapshot().Ckpt.PageIns; got != 5 {
+		t.Fatalf("page-ins = %d after re-touch, want still 5", got)
+	}
+}
+
+// TestIncrementalCheckpointBytes is the size acceptance gate: with <5%
+// of pages diverged, the incremental file must be under 10% of the full
+// snapshot's bytes, and the restored chain must reproduce the state.
+func TestIncrementalCheckpointBytes(t *testing.T) {
+	dir := t.TempDir()
+	fullPath := filepath.Join(dir, "base.ckpt")
+	incPath := filepath.Join(dir, "inc.ckpt")
+
+	k1 := New()
+	p := k1.NewProcess()
+	const pages = 1024
+	base, err := p.Mmap(pages*addr.PageSize, rw, vm.MapPrivate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	content := fillRandom(t, p, base, pages, rng)
+
+	full, err := p.CheckpointTo(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Release()
+
+	// Dirty 2% of the pages.
+	const dirtied = pages * 2 / 100
+	for i := 0; i < dirtied; i++ {
+		pi := i * (pages / dirtied)
+		b := make([]byte, addr.PageSize)
+		rng.Read(b)
+		if err := p.WriteAt(b, base+addr.V(pi)*addr.PageSize); err != nil {
+			t.Fatal(err)
+		}
+		content[pi] = b
+	}
+
+	inc, err := p.CheckpointTo(incPath, WithCheckpointParent(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inc.Release()
+	if !inc.Incremental() {
+		t.Fatal("child checkpoint not marked incremental")
+	}
+	if inc.Pages() != dirtied {
+		t.Fatalf("incremental wrote %d page records, want %d diverged", inc.Pages(), dirtied)
+	}
+	if lim := full.Bytes() / 10; inc.Bytes() >= lim {
+		t.Fatalf("incremental bytes = %d, want < %d (10%% of full %d)",
+			inc.Bytes(), lim, full.Bytes())
+	}
+	if got := k1.MetricsSnapshot().Ckpt.PagesSkipped; got < pages-dirtied {
+		t.Fatalf("pages_skipped = %d, want >= %d", got, pages-dirtied)
+	}
+
+	k2 := New()
+	r, err := k2.RestoreFrom(incPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, addr.PageSize)
+	for i := 0; i < pages; i++ {
+		if err := r.ReadAt(buf, base+addr.V(i)*addr.PageSize); err != nil {
+			t.Fatalf("read page %d: %v", i, err)
+		}
+		if !bytes.Equal(buf, content[i]) {
+			t.Fatalf("page %d mismatch after chain restore", i)
+		}
+	}
+}
+
+// TestCheckpointCrashAndCorruptInjection drives the writer through
+// every checkpoint failpoint and checks the crash-consistency contract
+// each leaves behind.
+func TestCheckpointCrashAndCorruptInjection(t *testing.T) {
+	newDonor := func(t *testing.T, k *Kernel) (*Process, addr.V) {
+		p := k.NewProcess()
+		base, err := p.Mmap(128*addr.PageSize, rw, vm.MapPrivate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillRandom(t, p, base, 128, rand.New(rand.NewSource(5)))
+		return p, base
+	}
+
+	t.Run("write-crash leaves torn rejected tmp", func(t *testing.T) {
+		dir := t.TempDir()
+		k := New()
+		p, _ := newDonor(t, k)
+		if err := k.SetFailpoint(failpoint.CkptWrite, "once"); err != nil {
+			t.Fatal(err)
+		}
+		_, err := p.CheckpointTo(filepath.Join(dir, "a.ckpt"), WithCheckpointCrashOnInject())
+		if !errors.Is(err, ckpt.ErrCrashed) {
+			t.Fatalf("err = %v, want ErrCrashed", err)
+		}
+		reps, err := ckpt.FsckDir(dir, ckpt.Env{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reps) != 1 || reps[0].Restorable {
+			t.Fatalf("fsck = %+v, want one rejected tmp", reps)
+		}
+		// The crash must not leak the frozen twin.
+		if n := k.NumProcesses(); n != 1 {
+			t.Fatalf("%d live processes after crashed checkpoint, want 1", n)
+		}
+	})
+
+	t.Run("fsync-crash leaves restorable tmp", func(t *testing.T) {
+		dir := t.TempDir()
+		k := New()
+		p, base := newDonor(t, k)
+		want, err := func() (byte, error) { return p.LoadByte(base) }()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.SetFailpoint(failpoint.CkptFsync, "once"); err != nil {
+			t.Fatal(err)
+		}
+		_, cerr := p.CheckpointTo(filepath.Join(dir, "a.ckpt"), WithCheckpointCrashOnInject())
+		if !errors.Is(cerr, ckpt.ErrCrashed) {
+			t.Fatalf("err = %v, want ErrCrashed", cerr)
+		}
+		reps, err := ckpt.FsckDir(dir, ckpt.Env{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reps) != 1 || !reps[0].Restorable {
+			t.Fatalf("fsck = %+v, want one restorable tmp", reps)
+		}
+		// The complete-but-unrenamed tmp restores to the captured state.
+		k2 := New()
+		r, err := k2.RestoreFrom(filepath.Join(dir, "a.ckpt.tmp"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b, err := r.LoadByte(base); err != nil || b != want {
+			t.Fatalf("restored byte = %#x, %v; want %#x", b, err, want)
+		}
+	})
+
+	t.Run("silent corruption surfaces at fault time", func(t *testing.T) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "a.ckpt")
+		k := New()
+		p, base := newDonor(t, k)
+		if err := k.SetFailpoint(failpoint.CkptCorrupt, "once"); err != nil {
+			t.Fatal(err)
+		}
+		d, err := p.CheckpointTo(path)
+		if err != nil {
+			t.Fatalf("corrupt injection must not fail commit: %v", err)
+		}
+		d.Release()
+		if rep := ckpt.Fsck(path, ckpt.Env{}); rep.Restorable {
+			t.Fatal("fsck passed a corrupted file")
+		}
+		k2 := New()
+		r, err := k2.RestoreFrom(path)
+		if err != nil {
+			t.Fatalf("open succeeds (footer intact): %v", err)
+		}
+		// ckpt.corrupt flips a byte in the last chunk: the tail page's
+		// fault must report corruption, not zeroes or wrong bytes.
+		_, ferr := r.LoadByte(base + 127*addr.PageSize)
+		if !errors.Is(ferr, ErrCheckpointCorrupt) {
+			t.Fatalf("fault on corrupted chunk err = %v, want ErrCheckpointCorrupt", ferr)
+		}
+		if got := k2.MetricsSnapshot().Ckpt.Corruptions; got == 0 {
+			t.Fatal("corruption counter unmoved")
+		}
+	})
+}
+
+// TestRestoreReadRetry: a transient read failure during a lazy fault is
+// retried transparently; the access succeeds.
+func TestRestoreReadRetry(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.ckpt")
+	k1 := New()
+	p := k1.NewProcess()
+	base, err := p.Mmap(4*addr.PageSize, rw, vm.MapPrivate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := fillRandom(t, p, base, 4, rand.New(rand.NewSource(3)))
+	if _, err := p.CheckpointTo(path); err != nil {
+		t.Fatal(err)
+	}
+
+	k2 := New()
+	r, err := k2.RestoreFrom(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k2.SetFailpoint(failpoint.CkptRead, "once"); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, addr.PageSize)
+	if err := r.ReadAt(buf, base); err != nil {
+		t.Fatalf("read with transient failure: %v", err)
+	}
+	if !bytes.Equal(buf, content[0]) {
+		t.Fatal("content mismatch after retried fault")
+	}
+	snap := k2.MetricsSnapshot()
+	if snap.Ckpt.ReadRetries != 1 {
+		t.Fatalf("read_retries = %d, want 1", snap.Ckpt.ReadRetries)
+	}
+}
+
+// TestRestoreUnderPressure is the three-error-classes test: lazy
+// faults from disk race kswapd eviction with the tenant over quota, and
+// the distinct failure modes stay distinguishable — fork admission
+// reports ErrQuotaExceeded, a corrupted chunk reports
+// ErrCheckpointCorrupt, and frame exhaustion without swap reports
+// ErrNoMem. Run under -race in CI.
+func TestRestoreUnderPressure(t *testing.T) {
+	dir := t.TempDir()
+	goodPath := filepath.Join(dir, "good.ckpt")
+	badPath := filepath.Join(dir, "bad.ckpt")
+	const pages = 256
+
+	k1 := New()
+	p := k1.NewProcess()
+	base, err := p.Mmap(pages*addr.PageSize, rw, vm.MapPrivate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := fillRandom(t, p, base, pages, rand.New(rand.NewSource(11)))
+	if _, err := p.CheckpointTo(goodPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := k1.SetFailpoint(failpoint.CkptCorrupt, "once"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CheckpointTo(badPath); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("faults-race-eviction-at-quota", func(t *testing.T) {
+		k := New()
+		k.Allocator().SetLimit(pages / 2)
+		k.SetSwapEnabled(true)
+		defer k.SetSwapEnabled(false)
+		k.Tenants().SetAdmitTimeout(10 * time.Millisecond)
+		// A quota of 8 frames keeps the tenant over quota for the whole
+		// run: eviction never pushes a 128-frame resident set that low.
+		tn, err := k.Tenants().Create("alpha", 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := k.RestoreFrom(goodPath, WithRestoreTenant(tn))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pre-warm past the quota so fork attempts race actual pressure.
+		buf0 := make([]byte, addr.PageSize)
+		for i := 0; i < 32; i++ {
+			if err := r.ReadAt(buf0, base+addr.V(i)*addr.PageSize); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		var wg sync.WaitGroup
+		// Readers sweep the whole image: first-touch faults from the
+		// checkpoint file while kswapd concurrently evicts to swap.
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				buf := make([]byte, addr.PageSize)
+				for round := 0; round < 2; round++ {
+					for i := 0; i < pages; i++ {
+						pi := (i + g*pages/2) % pages
+						if err := r.ReadAt(buf, base+addr.V(pi)*addr.PageSize); err != nil {
+							t.Errorf("sweep read page %d: %v", pi, err)
+							return
+						}
+						if !bytes.Equal(buf, content[pi]) {
+							t.Errorf("page %d content mismatch under pressure", pi)
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		// Fork attempts while the tenant is far over quota: they must
+		// fail with ErrQuotaExceeded, not corruption or OOM.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sawQuota := false
+			for i := 0; i < 5; i++ {
+				c, err := r.Fork(WithMode(forkModeForCheckpoint))
+				if err == nil {
+					c.Exit()
+					continue
+				}
+				if !errors.Is(err, tenant.ErrQuotaExceeded) {
+					t.Errorf("fork under quota pressure err = %v, want ErrQuotaExceeded", err)
+					return
+				}
+				sawQuota = true
+			}
+			if !sawQuota {
+				t.Error("tenant over quota never rejected a fork")
+			}
+		}()
+		wg.Wait()
+		if err := k.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("corrupt-chunk-distinct", func(t *testing.T) {
+		k := New()
+		k.Allocator().SetLimit(pages / 2)
+		k.SetSwapEnabled(true)
+		defer k.SetSwapEnabled(false)
+		r, err := k.RestoreFrom(badPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The corrupt injection hit the last chunk; its pages must fail
+		// with exactly the corruption sentinel.
+		_, ferr := r.LoadByte(base + (pages-1)*addr.PageSize)
+		if !errors.Is(ferr, ErrCheckpointCorrupt) {
+			t.Fatalf("err = %v, want ErrCheckpointCorrupt", ferr)
+		}
+		if errors.Is(ferr, tenant.ErrQuotaExceeded) || errors.Is(ferr, ErrCheckpointIO) {
+			t.Fatalf("corruption error aliases another class: %v", ferr)
+		}
+		// Early chunks are intact and still restore under pressure.
+		buf := make([]byte, addr.PageSize)
+		if err := r.ReadAt(buf, base); err != nil || !bytes.Equal(buf, content[0]) {
+			t.Fatalf("intact page failed: %v", err)
+		}
+	})
+
+	t.Run("frame-exhaustion-distinct", func(t *testing.T) {
+		k := New()
+		k.Allocator().SetLimit(24) // far below the working set, no swap
+		r, err := k.RestoreFrom(goodPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, addr.PageSize)
+		var oom error
+		for i := 0; i < pages && oom == nil; i++ {
+			oom = r.ReadAt(buf, base+addr.V(i)*addr.PageSize)
+		}
+		if !errors.Is(oom, core.ErrOutOfMemory) {
+			t.Fatalf("err = %v, want ErrNoMem", oom)
+		}
+		if errors.Is(oom, ErrCheckpointCorrupt) || errors.Is(oom, ErrCheckpointIO) {
+			t.Fatalf("OOM error aliases a checkpoint class: %v", oom)
+		}
+	})
+}
+
+// TestProcCheckpointsEndpoint smoke-tests /proc/odf/checkpoints: one
+// line per written snapshot and per open restore image.
+func TestProcCheckpointsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.ckpt")
+	k := New()
+	p := k.NewProcess()
+	if _, err := p.Mmap(4*addr.PageSize, rw, vm.MapPrivate|vm.MapPopulate); err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.CheckpointTo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.RestoreFrom(path); err != nil {
+		t.Fatal(err)
+	}
+	out, err := k.Procfs("/proc/odf/checkpoints")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "written=1 images=1") ||
+		!strings.Contains(out, "ckpt  a.ckpt") ||
+		!strings.Contains(out, "image a.ckpt") {
+		t.Fatalf("/proc/odf/checkpoints:\n%s", out)
+	}
+	if !strings.Contains(out, "twin=retained") {
+		t.Fatalf("missing twin state:\n%s", out)
+	}
+	d.Release()
+	out, _ = k.Procfs("/proc/odf/checkpoints")
+	if !strings.Contains(out, "twin=released") {
+		t.Fatalf("release not reflected:\n%s", out)
+	}
+}
+
+// TestCheckpointToParentValidation pins the incremental preconditions:
+// a released parent twin and a cross-directory target are both errors.
+func TestCheckpointToParentValidation(t *testing.T) {
+	dir := t.TempDir()
+	k := New()
+	p := k.NewProcess()
+	if _, err := p.Mmap(4*addr.PageSize, rw, vm.MapPrivate|vm.MapPopulate); err != nil {
+		t.Fatal(err)
+	}
+	full, err := p.CheckpointTo(filepath.Join(dir, "base.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := t.TempDir()
+	if _, err := p.CheckpointTo(filepath.Join(other, "inc.ckpt"), WithCheckpointParent(full)); err == nil {
+		t.Fatal("cross-directory incremental accepted")
+	}
+	full.Release()
+	if _, err := p.CheckpointTo(filepath.Join(dir, "inc.ckpt"), WithCheckpointParent(full)); err == nil {
+		t.Fatal("incremental against released parent accepted")
+	}
+}

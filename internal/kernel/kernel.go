@@ -61,6 +61,12 @@ type Kernel struct {
 	procs     map[PID]*Process
 	forkModes map[PID]core.ForkMode // procfs-style per-process override
 	defMode   core.ForkMode
+
+	// Durable-checkpoint registry: snapshots this kernel wrote and
+	// restore images it holds open, for /proc/odf/checkpoints.
+	ckptMu     sync.Mutex
+	ckpts      []*DurableCheckpoint
+	ckptImages []*ckptImage
 }
 
 // Option configures a Kernel.

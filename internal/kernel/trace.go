@@ -90,6 +90,7 @@ type procEndpoint struct {
 // pin down.
 func (k *Kernel) buildProcEndpoints() []procEndpoint {
 	return []procEndpoint{
+		{"checkpoints", func() (string, bool) { return k.renderCheckpoints(), true }},
 		{"failpoints", func() (string, bool) { return k.fail.Status(), true }},
 		{"health", func() (string, bool) {
 			st, ok := k.Health()

@@ -26,7 +26,7 @@ func TestProcOdfRootListing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := "failpoints\nmetrics\ntenants\ntrace\nvmstat\n"; got != want {
+	if want := "checkpoints\nfailpoints\nmetrics\ntenants\ntrace\nvmstat\n"; got != want {
 		t.Errorf("/proc/odf without profiler = %q, want %q", got, want)
 	}
 	// A trailing slash reads the same directory.
@@ -43,7 +43,7 @@ func TestProcOdfRootListing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := "failpoints\nmetrics\nprofile\ntenants\ntrace\nvmstat\n"; got != want {
+	if want := "checkpoints\nfailpoints\nmetrics\nprofile\ntenants\ntrace\nvmstat\n"; got != want {
 		t.Errorf("/proc/odf with profiler = %q, want %q", got, want)
 	}
 

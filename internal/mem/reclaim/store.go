@@ -136,7 +136,8 @@ func (s *MemStore) Close() error {
 type FileStore struct {
 	mu      sync.Mutex
 	f       *os.File
-	next    uint64 // lowest never-used slot; file length is (next-1) pages
+	sync    func() error // fsync hook; tests inject failures
+	next    uint64       // lowest never-used slot; file length is (next-1) pages
 	free    []uint64
 	freeSet map[uint64]struct{}
 	slots   int64
@@ -148,10 +149,15 @@ func NewFileStore(path string) (*FileStore, error) {
 	if err != nil {
 		return nil, fmt.Errorf("reclaim: open swap file: %w", err)
 	}
-	return &FileStore{f: f, next: 1, freeSet: make(map[uint64]struct{})}, nil
+	return &FileStore{f: f, sync: f.Sync, next: 1, freeSet: make(map[uint64]struct{})}, nil
 }
 
-// Write implements Store.
+// Write implements Store. The payload is fsynced before the slot
+// number is returned: once the manager records a slot, the page's only
+// copy may be the on-disk one, so a write that is merely in the page
+// cache is not yet an eviction-safe slot. A failed write or sync rolls
+// the slot allocation back completely — no slot number ever refers to
+// bytes that might not be durable.
 func (s *FileStore) Write(data []byte) (uint64, error) {
 	s.mu.Lock()
 	var slot uint64
@@ -166,7 +172,13 @@ func (s *FileStore) Write(data []byte) (uint64, error) {
 	s.slots++
 	s.mu.Unlock()
 
-	if _, err := s.f.WriteAt(data, int64(slot-1)*addr.PageSize); err != nil {
+	_, err := s.f.WriteAt(data, int64(slot-1)*addr.PageSize)
+	if err == nil {
+		if serr := s.sync(); serr != nil {
+			err = fmt.Errorf("fsync: %w", serr)
+		}
+	}
+	if err != nil {
 		s.mu.Lock()
 		s.slots--
 		s.free = append(s.free, slot)

@@ -216,6 +216,63 @@ func TestFileStoreDrainTruncatesToZero(t *testing.T) {
 	}
 }
 
+// TestFileStoreSyncsBeforeSlotStable pins the durability contract: the
+// payload is fsynced before Write returns a slot number. Once the
+// manager records the slot and drops the frame, the on-disk bytes are
+// the page's only copy — a write sitting in the page cache is not an
+// eviction-safe slot.
+func TestFileStoreSyncsBeforeSlotStable(t *testing.T) {
+	s, err := NewFileStore(filepath.Join(t.TempDir(), "swapfile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	syncs := 0
+	realSync := s.sync
+	s.sync = func() error { syncs++; return realSync() }
+	for i := 1; i <= 3; i++ {
+		if _, err := s.Write(page(i)); err != nil {
+			t.Fatal(err)
+		}
+		if syncs != i {
+			t.Fatalf("after write %d: %d fsyncs, want one per write", i, syncs)
+		}
+	}
+}
+
+// TestFileStoreSyncFailureRollsBackSlot injects an fsync failure (the
+// deterministic stand-in for the device dying between write-back and
+// flush) and expects the identical rollback a failed WriteAt gets: an
+// error, no slot leaked, and the slot number reused by the next write.
+func TestFileStoreSyncFailureRollsBackSlot(t *testing.T) {
+	s, err := NewFileStore(filepath.Join(t.TempDir(), "swapfile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	realSync := s.sync
+	injected := errors.New("injected fsync failure")
+	s.sync = func() error { return injected }
+	if _, err := s.Write(page(1)); !errors.Is(err, injected) {
+		t.Fatalf("write with failing fsync err = %v, want wrapped injection", err)
+	}
+	if st := s.Stats(); st.Slots != 0 {
+		t.Fatalf("failed write left %d slots allocated", st.Slots)
+	}
+	s.sync = realSync
+	slot, err := s.Write(page(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot != 1 {
+		t.Fatalf("write after rollback got slot %d, want the rolled-back slot 1", slot)
+	}
+	buf := make([]byte, addr.PageSize)
+	if err := s.Read(slot, buf); err != nil || !bytes.Equal(buf, page(2)) {
+		t.Fatalf("reused slot content mismatch (err=%v)", err)
+	}
+}
+
 // TestFileStoreShortRead pins the error contract: a slot whose extent
 // was truncated out from under the store reports io.ErrUnexpectedEOF,
 // not a bare EOF.

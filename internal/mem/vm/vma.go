@@ -59,6 +59,17 @@ type Backing interface {
 	PageAt(off uint64) []byte
 }
 
+// FallibleBacking is implemented by backings whose page reads can fail
+// — a checkpoint file whose chunk is corrupt or whose device errors.
+// The fault path prefers PageAtErr when a backing provides it, so the
+// error surfaces from the faulting access instead of silently reading
+// as zeroes. The returned slice may be shorter than a page; the
+// remainder reads as zeroes.
+type FallibleBacking interface {
+	Backing
+	PageAtErr(off uint64) ([]byte, error)
+}
+
 // VMA is one mapped region of an address space.
 type VMA struct {
 	Range   addr.Range

@@ -353,6 +353,26 @@ type Registry struct {
 		KswapdErrors     Counter // kswapd passes that panicked and were recovered
 	}
 
+	// Durable-checkpoint metrics (internal/ckpt + kernel wiring): what
+	// the snapshot writer captured, what lazy restores faulted back in,
+	// and the same retry/corruption/degrade ladder the swap path keeps,
+	// so a chaos run can assert the checkpoint recovery machinery ran.
+	Ckpt struct {
+		Checkpoints   Counter   // snapshot files committed (full + incremental)
+		PagesWritten  Counter   // page records written (incl. explicit-zero tombstones)
+		BytesWritten  Counter   // bytes in committed snapshot files
+		PagesSkipped  Counter   // pages elided by incremental frame-identity diff
+		Restores      Counter   // processes created by RestoreFrom
+		PageIns       Counter   // pages faulted in from a checkpoint on first touch
+		ChunkLoads    Counter   // chunk reads+decompressions (CRC verified each)
+		ReadRetries   Counter   // chunk reads retried after a transient I/O error
+		ReadErrors    Counter   // chunk reads abandoned after exhausting retries
+		Corruptions   Counter   // chunk CRC mismatches (ErrCheckpointCorrupt)
+		Degrades      Counter   // snapshots latched degraded after read failures
+		WriteLatency  Histogram // full CheckpointTo capture+commit wall time
+		PageInLatency Histogram // fault-path page-in stall from checkpoint chunks
+	}
+
 	// Multi-tenant control-plane metrics (internal/tenant): system-wide
 	// fork admission outcomes plus the fair-share reclaim pressure
 	// exerted on over-quota tenants. Per-tenant quota/usage counters
@@ -480,6 +500,20 @@ func (r *Registry) Snapshot() Snapshot {
 	s.Robust.SwapCorruptions = r.Robust.SwapCorruptions.Load()
 	s.Robust.SwapDegrades = r.Robust.SwapDegrades.Load()
 	s.Robust.KswapdErrors = r.Robust.KswapdErrors.Load()
+
+	s.Ckpt.Checkpoints = r.Ckpt.Checkpoints.Load()
+	s.Ckpt.PagesWritten = r.Ckpt.PagesWritten.Load()
+	s.Ckpt.BytesWritten = r.Ckpt.BytesWritten.Load()
+	s.Ckpt.PagesSkipped = r.Ckpt.PagesSkipped.Load()
+	s.Ckpt.Restores = r.Ckpt.Restores.Load()
+	s.Ckpt.PageIns = r.Ckpt.PageIns.Load()
+	s.Ckpt.ChunkLoads = r.Ckpt.ChunkLoads.Load()
+	s.Ckpt.ReadRetries = r.Ckpt.ReadRetries.Load()
+	s.Ckpt.ReadErrors = r.Ckpt.ReadErrors.Load()
+	s.Ckpt.Corruptions = r.Ckpt.Corruptions.Load()
+	s.Ckpt.Degrades = r.Ckpt.Degrades.Load()
+	s.Ckpt.WriteLatency = r.Ckpt.WriteLatency.Snapshot()
+	s.Ckpt.PageInLatency = r.Ckpt.PageInLatency.Snapshot()
 
 	s.Tenant.ForksAdmitted = r.Tenant.ForksAdmitted.Load()
 	s.Tenant.ForksQueued = r.Tenant.ForksQueued.Load()

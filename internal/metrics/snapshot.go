@@ -195,6 +195,26 @@ type RobustSnapshot struct {
 	KswapdErrors     uint64
 }
 
+// CkptSnapshot covers the durable-checkpoint subsystem: capture-side
+// volume (pages/bytes written, incremental skips), restore-side lazy
+// page-ins, and the read-error ladder mirroring RobustSnapshot's swap
+// counters.
+type CkptSnapshot struct {
+	Checkpoints   uint64
+	PagesWritten  uint64
+	BytesWritten  uint64
+	PagesSkipped  uint64
+	Restores      uint64
+	PageIns       uint64
+	ChunkLoads    uint64
+	ReadRetries   uint64
+	ReadErrors    uint64
+	Corruptions   uint64
+	Degrades      uint64
+	WriteLatency  HistogramSnapshot
+	PageInLatency HistogramSnapshot
+}
+
 // TenantSnapshot covers the multi-tenant control plane's system-wide
 // admission and fair-share reclaim counters. Per-tenant breakdowns are
 // served by /proc/odf/tenants.
@@ -253,6 +273,7 @@ type Snapshot struct {
 	Reclaim ReclaimSnapshot
 	TLB     TLBSnapshot
 	Robust  RobustSnapshot
+	Ckpt    CkptSnapshot
 	Tenant  TenantSnapshot
 	// Tenants are the per-tenant metric partitions, sorted by id
 	// (empty when no tenants are registered).
@@ -324,6 +345,20 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	d.Robust.SwapCorruptions = s.Robust.SwapCorruptions - prev.Robust.SwapCorruptions
 	d.Robust.SwapDegrades = s.Robust.SwapDegrades - prev.Robust.SwapDegrades
 	d.Robust.KswapdErrors = s.Robust.KswapdErrors - prev.Robust.KswapdErrors
+
+	d.Ckpt.Checkpoints = s.Ckpt.Checkpoints - prev.Ckpt.Checkpoints
+	d.Ckpt.PagesWritten = s.Ckpt.PagesWritten - prev.Ckpt.PagesWritten
+	d.Ckpt.BytesWritten = s.Ckpt.BytesWritten - prev.Ckpt.BytesWritten
+	d.Ckpt.PagesSkipped = s.Ckpt.PagesSkipped - prev.Ckpt.PagesSkipped
+	d.Ckpt.Restores = s.Ckpt.Restores - prev.Ckpt.Restores
+	d.Ckpt.PageIns = s.Ckpt.PageIns - prev.Ckpt.PageIns
+	d.Ckpt.ChunkLoads = s.Ckpt.ChunkLoads - prev.Ckpt.ChunkLoads
+	d.Ckpt.ReadRetries = s.Ckpt.ReadRetries - prev.Ckpt.ReadRetries
+	d.Ckpt.ReadErrors = s.Ckpt.ReadErrors - prev.Ckpt.ReadErrors
+	d.Ckpt.Corruptions = s.Ckpt.Corruptions - prev.Ckpt.Corruptions
+	d.Ckpt.Degrades = s.Ckpt.Degrades - prev.Ckpt.Degrades
+	d.Ckpt.WriteLatency = s.Ckpt.WriteLatency.Sub(prev.Ckpt.WriteLatency)
+	d.Ckpt.PageInLatency = s.Ckpt.PageInLatency.Sub(prev.Ckpt.PageInLatency)
 
 	d.Tenant.ForksAdmitted = s.Tenant.ForksAdmitted - prev.Tenant.ForksAdmitted
 	d.Tenant.ForksQueued = s.Tenant.ForksQueued - prev.Tenant.ForksQueued
@@ -436,6 +471,20 @@ func (s Snapshot) Render() string {
 	line("robust.swap_corruptions", s.Robust.SwapCorruptions)
 	line("robust.swap_degrades", s.Robust.SwapDegrades)
 	line("robust.kswapd_errors", s.Robust.KswapdErrors)
+
+	line("ckpt.checkpoints", s.Ckpt.Checkpoints)
+	line("ckpt.pages_written", s.Ckpt.PagesWritten)
+	line("ckpt.bytes_written", s.Ckpt.BytesWritten)
+	line("ckpt.pages_skipped", s.Ckpt.PagesSkipped)
+	line("ckpt.restores", s.Ckpt.Restores)
+	line("ckpt.page_ins", s.Ckpt.PageIns)
+	line("ckpt.chunk_loads", s.Ckpt.ChunkLoads)
+	line("ckpt.read_retries", s.Ckpt.ReadRetries)
+	line("ckpt.read_errors", s.Ckpt.ReadErrors)
+	line("ckpt.corruptions", s.Ckpt.Corruptions)
+	line("ckpt.degrades", s.Ckpt.Degrades)
+	hist("ckpt.write.latency", s.Ckpt.WriteLatency)
+	hist("ckpt.page_in.latency", s.Ckpt.PageInLatency)
 
 	line("tenant.forks_admitted", s.Tenant.ForksAdmitted)
 	line("tenant.forks_queued", s.Tenant.ForksQueued)

@@ -78,6 +78,10 @@ func (e Event) Name() string {
 		return "request"
 	case KindAlert:
 		return "alert." + AlertName(e.Arg1)
+	case KindCkptWrite:
+		return "ckpt.write"
+	case KindCkptPageIn:
+		return "ckpt.page_in"
 	}
 	return fmt.Sprintf("kind%d", e.Kind)
 }
@@ -149,6 +153,10 @@ func (e Event) Detail() string {
 		return fmt.Sprintf("tenant=%d", e.Arg1)
 	case KindAlert:
 		return fmt.Sprintf("observed=%d", e.Arg2)
+	case KindCkptWrite:
+		return fmt.Sprintf("pages=%d bytes=%d", e.Arg1, e.Arg2)
+	case KindCkptPageIn:
+		return fmt.Sprintf("addr=0x%x", e.Arg1)
 	}
 	return ""
 }

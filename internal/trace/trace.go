@@ -103,6 +103,13 @@ const (
 	// value in the code's unit (ns for latency codes, a count for
 	// stall codes).
 	KindAlert
+	// KindCkptWrite spans one durable checkpoint capture+commit;
+	// Arg1 is the number of page records written, Arg2 the committed
+	// file's size in bytes.
+	KindCkptWrite
+	// KindCkptPageIn spans one lazy page-in from a checkpoint file on
+	// first touch; Arg1 is the faulting virtual address.
+	KindCkptPageIn
 
 	numKinds
 )
@@ -110,7 +117,8 @@ const (
 // Span reports whether events of this kind carry a duration.
 func (k Kind) Span() bool {
 	switch k {
-	case KindFork, KindForkStage, KindFault, KindSwapIn, KindReclaimScan, KindWriteback, KindAdmitWait, KindRequest:
+	case KindFork, KindForkStage, KindFault, KindSwapIn, KindReclaimScan, KindWriteback, KindAdmitWait, KindRequest,
+		KindCkptWrite, KindCkptPageIn:
 		return true
 	}
 	return false

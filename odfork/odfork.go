@@ -65,6 +65,15 @@ var (
 	// ErrSwapCorrupt reports a swapped-out page whose content read back
 	// with a checksum different from the one recorded at swap-out.
 	ErrSwapCorrupt = reclaim.ErrSwapCorrupt
+	// ErrCheckpointCorrupt reports a durable checkpoint whose on-disk
+	// bytes fail integrity verification — a chunk CRC mismatch, torn
+	// footer, or broken incremental chain — at open, verify, or lazy
+	// fault-in time.
+	ErrCheckpointCorrupt = kernel.ErrCheckpointCorrupt
+	// ErrCheckpointIO reports a checkpoint store operation that kept
+	// failing after its bounded retries; the affected restore image
+	// latches into degraded mode.
+	ErrCheckpointIO = kernel.ErrCheckpointIO
 )
 
 // Addr is a virtual address in a simulated process.
@@ -190,6 +199,40 @@ func WithSnapshotNotify(fn func(SnapshotStats)) SnapshotterOpt {
 	return kernel.WithSnapshotNotify(fn)
 }
 
+// DurableCheckpoint is the handle for a snapshot written to disk with
+// Process.CheckpointTo: a crash-safe columnar file that a later
+// System.RestoreFrom turns back into a live process, faulting pages in
+// from the file on first touch (fork-from-disk). The handle retains
+// the frozen in-memory twin so a subsequent CheckpointTo with
+// WithCheckpointParent writes only the pages diverged since — an
+// incremental checkpoint; call Release when no more children will
+// chain to it.
+type DurableCheckpoint = kernel.DurableCheckpoint
+
+// CheckpointOption configures one Process.CheckpointTo call.
+type CheckpointOption = kernel.CheckpointOption
+
+// WithCheckpointParent makes the snapshot incremental against parent:
+// only pages diverged since the parent's capture are written, and
+// restore resolves the chain parent-by-parent, validating each link's
+// recorded snapshot identity.
+func WithCheckpointParent(parent *DurableCheckpoint) CheckpointOption {
+	return kernel.WithCheckpointParent(parent)
+}
+
+// RestoreOption configures one System.RestoreFrom call.
+type RestoreOption = kernel.RestoreOption
+
+// RestoreFrom creates a process from a durable checkpoint written by
+// Process.CheckpointTo — possibly by an earlier system instance; this
+// is the cold-start path after a daemon restart. No page data is read
+// up front: each page faults in from the file on first touch,
+// CRC-verified, with transparent retry on transient I/O errors.
+// Corruption surfaces from the faulting access as ErrCheckpointCorrupt.
+func (s *System) RestoreFrom(path string, opts ...RestoreOption) (*Process, error) {
+	return s.k.RestoreFrom(path, opts...)
+}
+
 // MetricsSnapshot is the typed telemetry tree returned by
 // System.Metrics: per-engine fork latency histograms, fault-path
 // counts and latencies, allocator shard and frame statistics, and TLB
@@ -311,9 +354,9 @@ func (s *System) TraceSnapshot() TraceSnapshot { return s.k.TraceSnapshot() }
 func (s *System) WriteTrace(w io.Writer, f TraceFormat) error { return s.k.WriteTrace(w, f) }
 
 // Procfs reads a file of the simulated procfs namespace:
-// /proc/odf (a listing of the odf endpoints), /proc/odf/failpoints,
-// /proc/odf/metrics, /proc/odf/profile, /proc/odf/slo,
-// /proc/odf/trace, /proc/odf/vmstat, /proc/<pid>/maps and
+// /proc/odf (a listing of the odf endpoints), /proc/odf/checkpoints,
+// /proc/odf/failpoints, /proc/odf/metrics, /proc/odf/profile,
+// /proc/odf/slo, /proc/odf/trace, /proc/odf/vmstat, /proc/<pid>/maps and
 // /proc/<pid>/status. Unknown paths fail with an error wrapping
 // fs.ErrNotExist.
 func (s *System) Procfs(path string) (string, error) { return s.k.Procfs(path) }
